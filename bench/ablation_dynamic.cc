@@ -1,0 +1,96 @@
+// Ablation: static vs dynamic partitioning (paper Section 4.1, "Dynamic
+// partitioning").
+//
+// The paper's implementation commits to one static partitioning chosen
+// offline, noting that a retained quad-tree index could instead be cut at
+// query time for the exact (tau, omega) a query needs — and that in their
+// experience "this approach incurs unnecessary overhead, as static
+// partitioning already performs extremely well". This bench quantifies
+// both sides:
+//
+//   * one-time costs: building a static partitioning at a fixed tau vs
+//     building the full index once;
+//   * per-request costs: re-partitioning from scratch for a new tau vs
+//     cutting the existing index;
+//   * answer quality: SKETCHREFINE response time and objective on the
+//     static partitioning vs on the equivalent cut.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "partition/quadtree_index.h"
+
+namespace paql::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseBenchArgs(argc, argv);
+  const size_t rows = config.galaxy_rows();
+  std::cout << "Ablation: static partitioning vs dynamic quad-tree cuts\n"
+            << "(" << rows << " Galaxy rows; workload attributes)\n\n";
+
+  relation::Table galaxy = workload::MakeGalaxyTable(rows);
+  auto queries = workload::MakeGalaxyQueries(galaxy);
+  PAQL_CHECK_MSG(queries.ok(), queries.status().ToString());
+  std::vector<std::string> attrs = workload::WorkloadAttributes(*queries);
+  ilp::SolverLimits limits = config.solver_limits();
+
+  // One-time: full index down to fine leaves.
+  partition::QuadTreeIndexOptions iopts;
+  iopts.attributes = attrs;
+  iopts.leaf_size = std::max<size_t>(rows / 100, 16);
+  Stopwatch index_watch;
+  auto index = partition::QuadTreeIndex::Build(galaxy, iopts);
+  PAQL_CHECK_MSG(index.ok(), index.status().ToString());
+  double index_s = index_watch.ElapsedSeconds();
+  std::cout << "Index build: " << FormatDouble(index_s, 3) << " s ("
+            << index->num_nodes() << " nodes, " << index->num_leaves()
+            << " leaves, depth " << index->depth() << ")\n\n";
+
+  // Per-request: sweep tau from coarse to fine; a representative query.
+  translate::CompiledQuery query = MustCompileBench(queries->front(), galaxy);
+  TablePrinter tp({"tau", "Static build (s)", "Cut (s)", "Speedup",
+                   "SR static (s)", "SR cut (s)", "Same obj"});
+  for (double frac : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    size_t tau = std::max<size_t>(static_cast<size_t>(rows * frac),
+                                  iopts.leaf_size);
+    partition::PartitionOptions popts;
+    popts.attributes = attrs;
+    popts.size_threshold = tau;
+    Stopwatch static_watch;
+    auto static_p = partition::PartitionTable(galaxy, popts);
+    PAQL_CHECK_MSG(static_p.ok(), static_p.status().ToString());
+    double static_s = static_watch.ElapsedSeconds();
+
+    Stopwatch cut_watch;
+    auto cut = index->Cut(tau, std::numeric_limits<double>::infinity());
+    PAQL_CHECK_MSG(cut.ok(), cut.status().ToString());
+    double cut_s = cut_watch.ElapsedSeconds();
+
+    RunCell sr_static = RunSketchRefine(galaxy, *static_p, query, limits);
+    RunCell sr_cut = RunSketchRefine(galaxy, *cut, query, limits);
+    std::string same = (sr_static.ok && sr_cut.ok)
+                           ? (std::abs(sr_static.objective -
+                                       sr_cut.objective) <=
+                                      1e-6 * (1 + std::abs(sr_static.objective))
+                                  ? "yes"
+                                  : "close")
+                           : "--";
+    tp.AddRow({std::to_string(tau), FormatDouble(static_s, 3),
+               FormatDouble(cut_s, 4),
+               cut_s > 0 ? FormatDouble(static_s / cut_s, 1) + "x" : "--",
+               sr_static.TimeString(), sr_cut.TimeString(), same});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nExpected shape: a cut is orders of magnitude cheaper\n"
+               "than re-partitioning and yields equivalent SKETCHREFINE\n"
+               "behaviour; the index pays for itself after a few distinct\n"
+               "(tau, omega) requests — matching the paper's observation\n"
+               "that static partitioning suffices when the workload is\n"
+               "known, with dynamic cuts as the flexible fallback.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace paql::bench
+
+int main(int argc, char** argv) { return paql::bench::Run(argc, argv); }

@@ -1,0 +1,77 @@
+// Ablation: evaluation strategy — DIRECT vs SKETCHREFINE vs LP rounding
+// (paper Sections 3.2, 4, and 6 "ILP approximations").
+//
+// The related-work section positions LP relaxation + rounding as the
+// classical way to approximate ILPs and notes that it shares DIRECT's
+// whole-problem memory wall while giving up exactness. This bench runs all
+// three engines over the Galaxy workload and reports time and objective
+// quality, plus the LP bound that the rounding pipeline gets for free —
+// making the paper's positioning concrete: SKETCHREFINE is the only one
+// of the three that both scales past the solver's budget and keeps the
+// approximation tight.
+#include "bench/bench_common.h"
+#include "core/lp_rounding.h"
+
+namespace paql::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = ParseBenchArgs(argc, argv);
+  const size_t rows = config.galaxy_rows();
+  std::cout << "Ablation: DIRECT vs SKETCHREFINE vs LP rounding\n"
+            << "(" << rows << " Galaxy rows; tau = 10%)\n\n";
+
+  relation::Table galaxy = workload::MakeGalaxyTable(rows);
+  auto queries = workload::MakeGalaxyQueries(galaxy);
+  PAQL_CHECK_MSG(queries.ok(), queries.status().ToString());
+  std::vector<std::string> attrs = workload::WorkloadAttributes(*queries);
+  partition::PartitionOptions popts;
+  popts.attributes = attrs;
+  popts.size_threshold = rows / 10 + 1;
+  auto partitioning = partition::PartitionTable(galaxy, popts);
+  PAQL_CHECK_MSG(partitioning.ok(), partitioning.status().ToString());
+  ilp::SolverLimits limits = config.solver_limits();
+
+  TablePrinter tp({"Query", "Direct (s)", "SketchRef (s)", "LPround (s)",
+                   "SR ratio", "LP ratio", "Frac vars"});
+  for (const auto& bq : *queries) {
+    translate::CompiledQuery cq = MustCompileBench(bq, galaxy);
+    RunCell direct = RunDirect(galaxy, cq, limits);
+    RunCell sr = RunSketchRefine(galaxy, *partitioning, cq, limits);
+
+    core::LpRoundingOptions lp_opts;
+    lp_opts.branch_and_bound.gap_tol = kCplexDefaultGap;
+    core::LpRoundingEvaluator lp_eval(galaxy, lp_opts);
+    core::LpRoundingInfo info;
+    Stopwatch watch;
+    auto lp = lp_eval.EvaluateWithInfo(cq, &info);
+    RunCell lp_cell;
+    lp_cell.seconds = watch.ElapsedSeconds();
+    if (lp.ok()) {
+      lp_cell.ok = true;
+      lp_cell.objective = lp->objective;
+    } else if (lp.status().IsResourceExhausted()) {
+      lp_cell.resource_failure = true;
+    } else if (lp.status().IsInfeasible()) {
+      lp_cell.infeasible = true;
+    }
+
+    tp.AddRow({bq.name, direct.TimeString(), sr.TimeString(),
+               lp_cell.TimeString(), ApproxRatio(direct, sr, cq.maximize()),
+               ApproxRatio(direct, lp_cell, cq.maximize()),
+               lp.ok() ? std::to_string(info.fractional_vars) : "--"});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nExpected shape: LP rounding is fast (one LP + a tiny\n"
+               "repair ILP, few fractional variables) and near-optimal on\n"
+               "easy queries, but it shares DIRECT's whole-problem memory\n"
+               "profile and gives no feasibility repair guarantee on hard\n"
+               "two-sided constraints; SKETCHREFINE alone combines\n"
+               "bounded subproblems with ratios near 1.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace paql::bench
+
+int main(int argc, char** argv) { return paql::bench::Run(argc, argv); }

@@ -1,0 +1,171 @@
+// Shared support for the figure/table reproduction benches.
+//
+// Every bench binary prints paper-style rows to stdout and accepts:
+//   --scale <f>      scale dataset sizes by f (default 1.0; also via the
+//                    PAQL_BENCH_SCALE environment variable)
+//   --quick          shrink sweeps for smoke runs
+//
+// The benches do not try to match the paper's absolute numbers (the paper's
+// testbed is a 24-core Xeon running CPLEX over PostgreSQL); they regenerate
+// the *shape* of each figure: who wins, by what factor, where failures and
+// crossovers appear. See EXPERIMENTS.md for paper-vs-measured notes.
+#ifndef PAQL_BENCH_BENCH_COMMON_H_
+#define PAQL_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/direct.h"
+#include "core/sketch_refine.h"
+#include "ilp/solver_limits.h"
+#include "paql/parser.h"
+#include "partition/partitioner.h"
+#include "translate/compiled_query.h"
+#include "workload/galaxy.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace paql::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  bool quick = false;
+
+  /// Default full-dataset sizes (scaled). The paper uses 5.5M Galaxy and
+  /// 17.5M TPC-H rows on a 24-core server; these defaults keep a full bench
+  /// run in minutes on a laptop while preserving the relative shapes.
+  size_t galaxy_rows() const {
+    return static_cast<size_t>(40000 * scale * (quick ? 0.25 : 1.0));
+  }
+  size_t tpch_rows() const {
+    return static_cast<size_t>(60000 * scale * (quick ? 0.25 : 1.0));
+  }
+
+  /// The solver budget DIRECT runs under — the scaled analogue of the
+  /// paper's CPLEX setup (512MB working memory, 1h limit). Subproblems in
+  /// SKETCHREFINE get the same budget, mirroring "same settings for all
+  /// solver executions" (Section 5.1).
+  ilp::SolverLimits solver_limits() const {
+    ilp::SolverLimits limits;
+    limits.time_limit_s = quick ? 10.0 : 30.0;
+    limits.memory_budget_bytes = 32ull << 20;  // ~64k B&B nodes
+    return limits;
+  }
+};
+
+inline BenchConfig ParseBenchArgs(int argc, char** argv) {
+  BenchConfig config;
+  if (const char* env = std::getenv("PAQL_BENCH_SCALE")) {
+    config.scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) {
+      config.scale = std::atof(argv[++i]);
+    } else if (arg == "--quick") {
+      config.quick = true;
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // Ignore google-benchmark style flags so `for b in bench/*` works.
+    } else {
+      std::cerr << "ignoring unknown bench argument: " << arg << "\n";
+    }
+  }
+  if (config.scale <= 0) config.scale = 1.0;
+  return config;
+}
+
+/// Compile one workload query against a table schema (aborts on error —
+/// workload queries are validated by tests).
+inline translate::CompiledQuery MustCompileBench(
+    const workload::BenchQuery& bq, const relation::Table& table) {
+  auto parsed = lang::ParsePackageQuery(bq.paql);
+  PAQL_CHECK_MSG(parsed.ok(), bq.name << ": " << parsed.status());
+  auto cq = translate::CompiledQuery::Compile(*parsed, table.schema());
+  PAQL_CHECK_MSG(cq.ok(), bq.name << ": " << cq.status());
+  return std::move(*cq);
+}
+
+/// Outcome of one evaluator run: seconds or a failure tag.
+struct RunCell {
+  bool ok = false;
+  bool resource_failure = false;  // the paper's "solver failed" case
+  bool infeasible = false;
+  double seconds = 0;
+  double objective = 0;
+
+  std::string TimeString() const {
+    if (ok) return FormatDouble(seconds, 3);
+    if (resource_failure) return "FAIL";
+    if (infeasible) return "infeas";
+    return "error";
+  }
+};
+
+/// CPLEX's default relative MIP gap tolerance (1e-4); both engines run the
+/// solver with the same settings, as in the paper.
+inline constexpr double kCplexDefaultGap = 1e-4;
+
+inline RunCell RunDirect(const relation::Table& table,
+                         const translate::CompiledQuery& query,
+                         const ilp::SolverLimits& limits) {
+  core::DirectOptions options;
+  options.limits = limits;
+  options.branch_and_bound.gap_tol = kCplexDefaultGap;
+  core::DirectEvaluator direct(table, options);
+  Stopwatch watch;
+  auto r = direct.Evaluate(query);
+  RunCell cell;
+  cell.seconds = watch.ElapsedSeconds();
+  if (r.ok()) {
+    cell.ok = true;
+    cell.objective = r->objective;
+  } else if (r.status().IsResourceExhausted()) {
+    cell.resource_failure = true;
+  } else if (r.status().IsInfeasible()) {
+    cell.infeasible = true;
+  }
+  return cell;
+}
+
+inline RunCell RunSketchRefine(const relation::Table& table,
+                               const partition::Partitioning& partitioning,
+                               const translate::CompiledQuery& query,
+                               const ilp::SolverLimits& limits) {
+  core::SketchRefineOptions options;
+  options.subproblem_limits = limits;
+  options.branch_and_bound.gap_tol = kCplexDefaultGap;
+  core::SketchRefineEvaluator sr(table, partitioning, options);
+  Stopwatch watch;
+  auto r = sr.Evaluate(query);
+  RunCell cell;
+  cell.seconds = watch.ElapsedSeconds();
+  if (r.ok()) {
+    cell.ok = true;
+    cell.objective = r->objective;
+  } else if (r.status().IsResourceExhausted()) {
+    cell.resource_failure = true;
+  } else if (r.status().IsInfeasible()) {
+    cell.infeasible = true;
+  }
+  return cell;
+}
+
+/// Empirical approximation ratio per the paper's definition: >= 1 when
+/// SketchRefine is no better than Direct; "--" when Direct failed.
+inline std::string ApproxRatio(const RunCell& direct, const RunCell& sr,
+                               bool maximize) {
+  if (!direct.ok || !sr.ok) return "--";
+  double ratio = maximize ? direct.objective / sr.objective
+                          : sr.objective / direct.objective;
+  return FormatDouble(ratio, 4);
+}
+
+}  // namespace paql::bench
+
+#endif  // PAQL_BENCH_BENCH_COMMON_H_

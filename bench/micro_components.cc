@@ -1,0 +1,218 @@
+// Micro benchmarks of the individual components (google-benchmark): PaQL
+// parsing, base-relation filtering, ILP model construction, LP relaxation,
+// integer solves, partitioning, and SketchRefine end-to-end. These are the
+// cost centers behind every figure; run in Release mode for meaningful
+// numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/direct.h"
+#include "core/ratio_objective.h"
+#include "core/sketch_refine.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/cuts.h"
+#include "lp/lp_format.h"
+#include "paql/parser.h"
+#include "partition/dynamic_update.h"
+#include "partition/partitioner.h"
+#include "translate/compiled_query.h"
+#include "workload/galaxy.h"
+#include "workload/queries.h"
+
+namespace paql::bench {
+namespace {
+
+constexpr const char* kQueryText =
+    "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 "
+    "SUCH THAT COUNT(P.*) = 10 AND SUM(P.petroRad_r) <= 50 "
+    "AND SUM(P.redshift) BETWEEN 0.2 AND 2.5 "
+    "MINIMIZE SUM(P.expMag_r)";
+
+const relation::Table& SharedGalaxy(size_t rows) {
+  static auto* cache = new std::map<size_t, relation::Table>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    it = cache->emplace(rows, workload::MakeGalaxyTable(rows)).first;
+  }
+  return it->second;
+}
+
+void BM_ParsePaql(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = lang::ParsePackageQuery(kQueryText);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParsePaql);
+
+void BM_CompileQuery(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(100);
+  auto q = lang::ParsePackageQuery(kQueryText);
+  for (auto _ : state) {
+    auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+    benchmark::DoNotOptimize(cq);
+  }
+}
+BENCHMARK(BM_CompileQuery);
+
+void BM_BuildModel(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  auto rows = cq->ComputeBaseRows(t);
+  for (auto _ : state) {
+    auto model = cq->BuildModel(t, rows);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_BuildModel)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  auto rows = cq->ComputeBaseRows(t);
+  auto model = cq->BuildModel(t, rows);
+  for (auto _ : state) {
+    auto lp = ilp::SolveLpRelaxation(*model);
+    benchmark::DoNotOptimize(lp);
+  }
+}
+BENCHMARK(BM_LpRelaxation)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SolveIlp(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  auto rows = cq->ComputeBaseRows(t);
+  auto model = cq->BuildModel(t, rows);
+  for (auto _ : state) {
+    auto sol = ilp::SolveIlp(*model);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SolveIlp)->Arg(1000)->Arg(10000);
+
+void BM_Partition(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  partition::PartitionOptions popts;
+  popts.attributes = {"ra", "dec", "r", "redshift"};
+  popts.size_threshold = t.num_rows() / 10;
+  for (auto _ : state) {
+    auto p = partition::PartitionTable(t, popts);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(t.num_rows()));
+}
+BENCHMARK(BM_Partition)->Arg(10000)->Arg(50000);
+
+void BM_DirectEndToEnd(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  core::DirectEvaluator direct(t);
+  for (auto _ : state) {
+    auto r = direct.Evaluate(*cq);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DirectEndToEnd)->Arg(1000)->Arg(10000);
+
+void BM_SketchRefineEndToEnd(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  partition::PartitionOptions popts;
+  popts.attributes = {"petroRad_r", "redshift", "expMag_r"};
+  popts.size_threshold = t.num_rows() / 10;
+  static auto* parts =
+      new std::map<size_t, partition::Partitioning>();
+  auto it = parts->find(t.num_rows());
+  if (it == parts->end()) {
+    auto p = partition::PartitionTable(t, popts);
+    it = parts->emplace(t.num_rows(), std::move(*p)).first;
+  }
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  core::SketchRefineEvaluator sr(t, it->second);
+  for (auto _ : state) {
+    auto r = sr.Evaluate(*cq);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SketchRefineEndToEnd)->Arg(1000)->Arg(10000);
+
+void BM_CutSeparation(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  auto rows = cq->ComputeBaseRows(t);
+  auto model = cq->BuildModel(t, rows);
+  auto lp = ilp::SolveLpRelaxation(*model);
+  for (auto _ : state) {
+    auto cuts = ilp::SeparateCuts(*model, lp.x, ilp::CutOptions{});
+    benchmark::DoNotOptimize(cuts);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_CutSeparation)->Arg(1000)->Arg(10000);
+
+void BM_LpFormatWrite(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(kQueryText);
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  auto model = cq->BuildModel(t, cq->ComputeBaseRows(t));
+  for (auto _ : state) {
+    std::string text = lp::ToLpFormat(*model);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_LpFormatWrite)->Arg(1000)->Arg(10000);
+
+void BM_RatioObjective(benchmark::State& state) {
+  const relation::Table& t = SharedGalaxy(static_cast<size_t>(state.range(0)));
+  auto q = lang::ParsePackageQuery(
+      "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 "
+      "SUCH THAT COUNT(P.*) BETWEEN 5 AND 15 "
+      "MINIMIZE AVG(P.expMag_r)");
+  core::RatioObjectiveEvaluator ratio(t);
+  for (auto _ : state) {
+    auto r = ratio.Evaluate(*q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RatioObjective)->Arg(1000)->Arg(10000);
+
+void BM_AbsorbAppendedRows(benchmark::State& state) {
+  // Base = 90% of the rows, absorb the last 10% each iteration.
+  size_t total = static_cast<size_t>(state.range(0));
+  const relation::Table& galaxy = SharedGalaxy(total);
+  size_t base = total * 9 / 10;
+  std::vector<relation::RowId> ids(base);
+  for (size_t r = 0; r < base; ++r) ids[r] = static_cast<relation::RowId>(r);
+  relation::Table table = galaxy.SelectRows(ids);
+  partition::PartitionOptions popts;
+  popts.attributes = {"petroRad_r", "redshift", "expMag_r"};
+  popts.size_threshold = total / 10;
+  auto p = partition::PartitionTable(table, popts);
+  for (size_t r = base; r < total; ++r) {
+    std::vector<relation::Value> row;
+    for (size_t c = 0; c < galaxy.num_columns(); ++c) {
+      row.push_back(galaxy.GetValue(static_cast<relation::RowId>(r), c));
+    }
+    table.AppendRowUnchecked(row);
+  }
+  for (auto _ : state) {
+    auto absorbed = partition::AbsorbAppendedRows(table, *p);
+    benchmark::DoNotOptimize(absorbed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(total - base));
+}
+BENCHMARK(BM_AbsorbAppendedRows)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace paql::bench
+
+BENCHMARK_MAIN();

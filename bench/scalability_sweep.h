@@ -1,0 +1,94 @@
+// Shared driver for the Figure 5 / Figure 6 scalability sweeps: runtime of
+// DIRECT vs SKETCHREFINE as the dataset grows from 10% to 100%, plus
+// per-query mean/median approximation ratios across the sweep.
+#ifndef PAQL_BENCH_SCALABILITY_SWEEP_H_
+#define PAQL_BENCH_SCALABILITY_SWEEP_H_
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace paql::bench {
+
+struct SweepResult {
+  std::vector<double> ratios;  // approximation ratios where both succeeded
+};
+
+/// Runs one query across dataset fractions. `full` is the 100% table with
+/// its offline partitioning; for each fraction the first fraction*n rows
+/// are kept (rows are i.i.d., so a prefix is a uniform sample) and the
+/// partitioning is shrunk to the subset, exactly like the paper derives
+/// smaller datasets "by randomly removing tuples from the original
+/// partitions". `extract_rows` optionally restricts each fraction's table
+/// to the query's usable rows (the TPC-H non-NULL extraction); pass nullptr
+/// for identity.
+inline SweepResult SweepQuery(
+    const relation::Table& full, const partition::Partitioning& partitioning,
+    const workload::BenchQuery& bq, const std::vector<double>& fractions,
+    const ilp::SolverLimits& limits, TablePrinter* out,
+    const std::vector<std::string>* nonnull_attrs) {
+  SweepResult result;
+  auto cq = MustCompileBench(bq, full);
+  bool maximize = cq.maximize();
+  for (double fraction : fractions) {
+    size_t keep = static_cast<size_t>(fraction * full.num_rows());
+    std::vector<relation::RowId> subset(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      subset[i] = static_cast<relation::RowId>(i);
+    }
+    relation::Table frac_table = full.SelectRows(subset);
+    auto frac_part = partition::ShrinkToSubset(full, partitioning, subset);
+    PAQL_CHECK_MSG(frac_part.ok(), frac_part.status());
+
+    const relation::Table* table = &frac_table;
+    relation::Table query_table;
+    partition::Partitioning query_part;
+    const partition::Partitioning* part = &*frac_part;
+    if (nonnull_attrs != nullptr) {
+      std::vector<size_t> cols;
+      for (const auto& attr : *nonnull_attrs) {
+        auto col = frac_table.schema().FindColumn(attr);
+        PAQL_CHECK(col.has_value());
+        cols.push_back(*col);
+      }
+      auto rows = frac_table.NonNullRows(cols);
+      auto shrunk = partition::ShrinkToSubset(frac_table, *frac_part, rows);
+      PAQL_CHECK_MSG(shrunk.ok(), shrunk.status());
+      query_table = frac_table.SelectRows(rows);
+      query_part = std::move(*shrunk);
+      table = &query_table;
+      part = &query_part;
+    }
+
+    RunCell direct = RunDirect(*table, cq, limits);
+    RunCell sr = RunSketchRefine(*table, *part, cq, limits);
+    std::string ratio = ApproxRatio(direct, sr, maximize);
+    if (direct.ok && sr.ok) {
+      result.ratios.push_back(maximize ? direct.objective / sr.objective
+                                       : sr.objective / direct.objective);
+    }
+    out->AddRow({bq.name, StrCat(static_cast<int>(fraction * 100), "%"),
+                 std::to_string(table->num_rows()), direct.TimeString(),
+                 sr.TimeString(), ratio});
+  }
+  return result;
+}
+
+inline std::string MeanString(const std::vector<double>& v) {
+  if (v.empty()) return "--";
+  double sum = 0;
+  for (double x : v) sum += x;
+  return FormatDouble(sum / static_cast<double>(v.size()), 4);
+}
+
+inline std::string MedianString(std::vector<double> v) {
+  if (v.empty()) return "--";
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  double med = n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  return FormatDouble(med, 4);
+}
+
+}  // namespace paql::bench
+
+#endif  // PAQL_BENCH_SCALABILITY_SWEEP_H_

@@ -1,0 +1,70 @@
+// Shared driver for the Figure 7 / Figure 8 partition-size-threshold
+// sweeps: SKETCHREFINE runtime and approximation ratio as tau shrinks from
+// "one giant partition" to "many tiny partitions", against the DIRECT
+// baseline.
+#ifndef PAQL_BENCH_TAU_SWEEP_H_
+#define PAQL_BENCH_TAU_SWEEP_H_
+
+#include "bench/bench_common.h"
+
+namespace paql::bench {
+
+/// Runs every query over partitionings built at each tau in `taus`.
+/// `nonnull` selects the TPC-H-style per-query non-NULL extraction.
+inline void TauSweep(const relation::Table& table,
+                     const std::vector<workload::BenchQuery>& queries,
+                     const std::vector<size_t>& taus,
+                     const ilp::SolverLimits& limits, bool nonnull) {
+  // Build one partitioning per tau (workload attributes, no radius).
+  partition::PartitionOptions popts;
+  popts.attributes = workload::WorkloadAttributes(queries);
+  std::vector<partition::Partitioning> partitionings;
+  std::cout << "Partitionings: ";
+  for (size_t tau : taus) {
+    popts.size_threshold = tau;
+    auto part = partition::PartitionTable(table, popts);
+    PAQL_CHECK_MSG(part.ok(), part.status());
+    std::cout << "tau=" << tau << " (" << part->num_groups() << " groups)  ";
+    partitionings.push_back(std::move(*part));
+  }
+  std::cout << "\n\n";
+
+  TablePrinter out({"Query", "tau", "Groups", "Direct (s)",
+                    "SketchRefine (s)", "Approx ratio"});
+  for (const auto& bq : queries) {
+    auto cq = MustCompileBench(bq, table);
+    // Per-query table (non-NULL extraction for TPC-H).
+    const relation::Table* qtable = &table;
+    relation::Table extracted;
+    std::vector<relation::RowId> rows;
+    if (nonnull) {
+      std::vector<size_t> cols;
+      for (const auto& attr : bq.attributes) {
+        cols.push_back(*table.schema().FindColumn(attr));
+      }
+      rows = table.NonNullRows(cols);
+      extracted = table.SelectRows(rows);
+      qtable = &extracted;
+    }
+    RunCell direct = RunDirect(*qtable, cq, limits);
+    for (size_t t = 0; t < taus.size(); ++t) {
+      const partition::Partitioning* part = &partitionings[t];
+      partition::Partitioning shrunk;
+      if (nonnull) {
+        auto s = partition::ShrinkToSubset(table, partitionings[t], rows);
+        PAQL_CHECK_MSG(s.ok(), s.status());
+        shrunk = std::move(*s);
+        part = &shrunk;
+      }
+      RunCell sr = RunSketchRefine(*qtable, *part, cq, limits);
+      out.AddRow({bq.name, std::to_string(taus[t]),
+                  std::to_string(part->num_groups()), direct.TimeString(),
+                  sr.TimeString(), ApproxRatio(direct, sr, cq.maximize())});
+    }
+  }
+  out.Print(std::cout);
+}
+
+}  // namespace paql::bench
+
+#endif  // PAQL_BENCH_TAU_SWEEP_H_

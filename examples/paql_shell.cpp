@@ -1,0 +1,252 @@
+// paql_shell: run PaQL queries against CSV files from the command line.
+//
+// Usage:
+//   paql_shell <table.csv> [more.csv ...] [options] [--query 'PAQL...']
+//
+// Options:
+//   --sketchrefine <tau>   partition on all numeric attributes with size
+//                          threshold tau and evaluate with SKETCHREFINE
+//                          (default: DIRECT)
+//   --parallel <threads>   with --sketchrefine: group-parallel evaluation
+//   --topk <k>             enumerate the k best distinct packages
+//                          (REPEAT 0 queries only)
+//   --explain              print the evaluation plan (translated ILP shape
+//                          or SKETCHREFINE partitioning plan), do not solve
+//   --dump-lp              print the translated ILP in CPLEX LP format and
+//                          exit (pipe it to an external solver)
+//   --query 'PAQL'         evaluate one query and exit (otherwise read
+//                          ';'-terminated queries from stdin)
+//
+// Each CSV becomes a catalog relation named after its basename (without
+// extension); multi-relation FROM clauses are materialized per paper §4.5
+// before evaluation.
+//
+// Example:
+//   ./build/examples/paql_shell recipes.csv --query "
+//     SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0
+//     SUCH THAT COUNT(P.*) = 3 MINIMIZE SUM(P.kcal)"
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/direct.h"
+#include "core/explain.h"
+#include "core/from_clause.h"
+#include "core/parallel.h"
+#include "core/ratio_objective.h"
+#include "core/sketch_refine.h"
+#include "core/topk.h"
+#include "lp/lp_format.h"
+#include "paql/parser.h"
+#include "partition/partitioner.h"
+#include "relation/csv.h"
+#include "translate/compiled_query.h"
+
+using paql::core::EvalResult;
+using paql::relation::DataType;
+using paql::relation::Table;
+
+namespace {
+
+struct ShellOptions {
+  std::optional<size_t> sketchrefine_tau;
+  int parallel_threads = 0;
+  std::optional<size_t> topk;
+  bool explain = false;
+  bool dump_lp = false;
+};
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+/// Partition `table` on all its numeric attributes at threshold tau.
+paql::Result<paql::partition::Partitioning> PartitionAllNumeric(
+    const Table& table, size_t tau) {
+  paql::partition::PartitionOptions popts;
+  for (const auto& col : table.schema().columns()) {
+    if (col.type != DataType::kString) popts.attributes.push_back(col.name);
+  }
+  popts.size_threshold = tau;
+  return paql::partition::PartitionTable(table, popts);
+}
+
+int RunQuery(const paql::core::Catalog& catalog, const ShellOptions& options,
+             const std::string& text) {
+  auto query = paql::lang::ParsePackageQuery(text);
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+  // Resolve (and, for multi-relation queries, join) the FROM clause.
+  auto mat = paql::core::MaterializeFromClause(*query, catalog);
+  if (!mat.ok()) {
+    std::cerr << mat.status() << "\n";
+    return 1;
+  }
+  const Table& table = mat->table;
+
+  if (options.explain || options.dump_lp) {
+    auto cq = paql::translate::CompiledQuery::Compile(mat->query,
+                                                      table.schema());
+    if (!cq.ok()) {
+      std::cerr << cq.status() << "\n";
+      return 1;
+    }
+    if (options.dump_lp) {
+      auto model = cq->BuildModel(table, cq->ComputeBaseRows(table));
+      if (!model.ok()) {
+        std::cerr << model.status() << "\n";
+        return 1;
+      }
+      paql::lp::WriteLpFormat(*model, std::cout);
+      return 0;
+    }
+    if (options.sketchrefine_tau.has_value()) {
+      auto partitioning =
+          PartitionAllNumeric(table, *options.sketchrefine_tau);
+      if (!partitioning.ok()) {
+        std::cerr << partitioning.status() << "\n";
+        return 1;
+      }
+      std::cout << paql::core::ExplainSketchRefine(*cq, table, *partitioning);
+    } else {
+      std::cout << paql::core::ExplainDirect(*cq, table);
+    }
+    return 0;
+  }
+
+  if (options.topk.has_value()) {
+    paql::core::TopKOptions topts;
+    topts.k = *options.topk;
+    auto results = paql::core::EnumerateTopPackages(table, mat->query, topts);
+    if (!results.ok()) {
+      std::cerr << "enumeration failed: " << results.status() << "\n";
+      return 1;
+    }
+    for (size_t i = 0; i < results->size(); ++i) {
+      const EvalResult& r = (*results)[i];
+      std::cout << "-- package " << i + 1 << "/" << results->size()
+                << " (objective " << r.objective << "):\n"
+                << r.package.Materialize(table).ToString(50);
+    }
+    return 0;
+  }
+
+  // AVG objectives are ratio objectives: dispatch to the Dinkelbach
+  // evaluator (the other evaluators reject them).
+  bool avg_objective =
+      mat->query.objective.has_value() &&
+      mat->query.objective->expr != nullptr &&
+      mat->query.objective->expr->kind == paql::lang::GlobalKind::kAgg &&
+      mat->query.objective->expr->agg->func == paql::relation::AggFunc::kAvg;
+
+  paql::Result<EvalResult> result = paql::Status::Internal("unreached");
+  if (avg_objective) {
+    result = paql::core::RatioObjectiveEvaluator(table).Evaluate(mat->query);
+  } else if (options.sketchrefine_tau.has_value()) {
+    auto partitioning =
+        PartitionAllNumeric(table, *options.sketchrefine_tau);
+    if (!partitioning.ok()) {
+      std::cerr << partitioning.status() << "\n";
+      return 1;
+    }
+    if (options.parallel_threads > 1) {
+      paql::core::ParallelOptions popts;
+      popts.num_threads = options.parallel_threads;
+      result = paql::core::ParallelSketchRefineEvaluator(table, *partitioning,
+                                                         popts)
+                   .Evaluate(mat->query);
+    } else {
+      result = paql::core::SketchRefineEvaluator(table, *partitioning)
+                   .Evaluate(mat->query);
+    }
+  } else {
+    result = paql::core::DirectEvaluator(table).Evaluate(mat->query);
+  }
+  if (!result.ok()) {
+    std::cerr << "evaluation failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "-- package (" << result->package.TotalCount()
+            << " tuples, objective " << result->objective << ", "
+            << result->stats.wall_seconds << "s):\n";
+  std::cout << result->package.Materialize(table).ToString(50);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0]
+              << " <table.csv> [more.csv ...] [--sketchrefine tau]"
+                 " [--parallel threads] [--topk k] [--explain] [--dump-lp]"
+                 " [--query 'PAQL']\n";
+    return 2;
+  }
+  // Positional arguments before the first option are catalog CSVs.
+  std::vector<std::unique_ptr<Table>> tables;
+  paql::core::Catalog catalog;
+  ShellOptions options;
+  std::optional<std::string> query_text;
+  int i = 1;
+  for (; i < argc && argv[i][0] != '-'; ++i) {
+    auto table = paql::relation::ReadCsv(argv[i]);
+    if (!table.ok()) {
+      std::cerr << argv[i] << ": " << table.status() << "\n";
+      return 1;
+    }
+    tables.push_back(std::make_unique<Table>(std::move(*table)));
+    catalog[BaseName(argv[i])] = tables.back().get();
+  }
+  if (tables.empty()) {
+    std::cerr << "no input tables given\n";
+    return 2;
+  }
+  // Single-table convenience: also register it under the alias "R".
+  if (tables.size() == 1) {
+    catalog.emplace("R", tables.front().get());
+  }
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--sketchrefine" && i + 1 < argc) {
+      options.sketchrefine_tau = static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--parallel" && i + 1 < argc) {
+      options.parallel_threads = std::atoi(argv[++i]);
+    } else if (arg == "--topk" && i + 1 < argc) {
+      options.topk = static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--dump-lp") {
+      options.dump_lp = true;
+    } else if (arg == "--query" && i + 1 < argc) {
+      query_text = argv[++i];
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (query_text.has_value()) {
+    return RunQuery(catalog, options, *query_text);
+  }
+  // Interactive: read ';'-terminated queries from stdin.
+  std::string buffer, line;
+  int status = 0;
+  while (std::getline(std::cin, line)) {
+    buffer += line + "\n";
+    auto pos = buffer.find(';');
+    if (pos != std::string::npos) {
+      status |= RunQuery(catalog, options, buffer.substr(0, pos));
+      buffer.erase(0, pos + 1);
+    }
+  }
+  return status;
+}

@@ -1,0 +1,63 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace paql {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PAQL_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double lambda) {
+  std::exponential_distribution<double> dist(lambda);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  PAQL_CHECK(n >= 1);
+  // Rejection-inversion sampling (Hormann & Derflinger) is overkill for the
+  // sizes used here; use the classic inverse-CDF on the harmonic partial sums
+  // approximation, which is accurate enough for workload generation.
+  double u = Uniform(0.0, 1.0);
+  // H(x) ~ (x^{1-s} - 1) / (1 - s) for s != 1, ln(x) for s == 1.
+  auto h = [s](double x) {
+    return std::abs(s - 1.0) < 1e-12 ? std::log(x)
+                                     : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  double total = h(static_cast<double>(n) + 0.5) - h(0.5);
+  double target = h(0.5) + u * total;
+  // Invert h.
+  double x = std::abs(s - 1.0) < 1e-12
+                 ? std::exp(target)
+                 : std::pow(1.0 + (1.0 - s) * target, 1.0 / (1.0 - s));
+  int64_t k = static_cast<int64_t>(std::llround(x));
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p < 0 ? 0 : (p > 1 ? 1 : p));
+  return dist(engine_);
+}
+
+}  // namespace paql

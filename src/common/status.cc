@@ -1,0 +1,42 @@
+#include "common/status.h"
+
+namespace paql {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInfeasible: return "Infeasible";
+    case StatusCode::kUnbounded: return "Unbounded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kIoError: return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::cerr << "PAQL_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) std::cerr << " (" << extra << ")";
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace paql

@@ -1,0 +1,171 @@
+// Lightweight Status / Result error-handling primitives (RocksDB idiom).
+//
+// All fallible public APIs in this codebase return either `Status` or
+// `Result<T>` instead of throwing. Exceptions are reserved for programmer
+// errors (assertion-style `PAQL_CHECK`).
+#ifndef PAQL_COMMON_STATUS_H_
+#define PAQL_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace paql {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // a named entity (attribute, table, file) is missing
+  kParseError,        // PaQL text could not be parsed
+  kUnsupported,       // valid PaQL, but outside the supported fragment
+  kInfeasible,        // the (sub)problem has no feasible solution
+  kUnbounded,         // the LP/ILP objective is unbounded
+  kResourceExhausted, // solver exceeded its time/node/memory budget
+  kInternal,          // invariant violation inside the library
+  kIoError,           // filesystem I/O failure
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus an optional message.
+///
+/// `Status::OK()` is the success value. Statuses are cheap to copy and
+/// compare; use the factory functions (`Status::InvalidArgument(...)` etc.)
+/// to construct errors.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the failure is the solver reporting infeasibility (as opposed
+  /// to an error in how it was invoked). SketchRefine branches on this.
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error union. On success holds a `T`; on failure holds a
+/// non-OK `Status`. Modeled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}   // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Assertion for programmer errors; aborts with a message on failure.
+#define PAQL_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::paql::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                 \
+  } while (0)
+
+#define PAQL_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream paql_check_os_;                                   \
+      paql_check_os_ << msg;                                               \
+      ::paql::internal::CheckFailed(__FILE__, __LINE__, #expr,             \
+                                    paql_check_os_.str());                 \
+    }                                                                      \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define PAQL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::paql::Status paql_status_ = (expr);     \
+    if (!paql_status_.ok()) return paql_status_; \
+  } while (0)
+
+/// Evaluate an expression returning Result<T>; on error, return its Status;
+/// on success, bind the value to `lhs`.
+#define PAQL_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto PAQL_CONCAT_(paql_result_, __LINE__) = (rexpr); \
+  if (!PAQL_CONCAT_(paql_result_, __LINE__).ok())      \
+    return PAQL_CONCAT_(paql_result_, __LINE__).status(); \
+  lhs = std::move(PAQL_CONCAT_(paql_result_, __LINE__)).value()
+
+#define PAQL_CONCAT_INNER_(a, b) a##b
+#define PAQL_CONCAT_(a, b) PAQL_CONCAT_INNER_(a, b)
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_STATUS_H_

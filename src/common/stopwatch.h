@@ -1,0 +1,53 @@
+// Wall-clock stopwatch used for all runtime measurements.
+#ifndef PAQL_COMMON_STOPWATCH_H_
+#define PAQL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace paql {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Reset the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper: answers "is the budget exhausted?" for solver limits.
+class Deadline {
+ public:
+  /// A deadline `seconds` from now; non-positive or infinite means "never".
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0 && watch_.ElapsedSeconds() >= seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (seconds_ <= 0) return 1e18;
+    double rem = seconds_ - watch_.ElapsedSeconds();
+    return rem > 0 ? rem : 0;
+  }
+
+ private:
+  double seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_STOPWATCH_H_

@@ -1,0 +1,48 @@
+// Small string helpers shared across modules.
+#ifndef PAQL_COMMON_STR_UTIL_H_
+#define PAQL_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paql {
+
+/// Concatenate streamable arguments into a std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Join the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split `text` at every occurrence of `sep` (no trimming, keeps empties).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-case an ASCII string.
+std::string ToLower(std::string_view text);
+/// Upper-case an ASCII string.
+std::string ToUpper(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Format `value` with `digits` significant digits (for table output).
+std::string FormatDouble(double value, int digits = 6);
+
+/// Format a number of bytes as a human-readable string ("1.5 MiB").
+std::string FormatBytes(size_t bytes);
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_STR_UTIL_H_

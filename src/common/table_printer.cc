@@ -1,0 +1,43 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace paql {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  PAQL_CHECK_MSG(cells.size() == header_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+}  // namespace paql

@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit
+// paper-style result tables.
+#ifndef PAQL_COMMON_TABLE_PRINTER_H_
+#define PAQL_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paql {
+
+/// Collects rows of string cells and prints them as an aligned table:
+///
+///   TablePrinter tp({"Query", "Direct (s)", "SketchRefine (s)"});
+///   tp.AddRow({"Q1", "12.3", "1.4"});
+///   tp.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Print header, separator, and all rows, space-padded and pipe-separated.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,72 @@
+#include "core/direct.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace paql::core {
+
+DirectEvaluator::DirectEvaluator(const relation::Table& table,
+                                 DirectOptions options)
+    : table_(&table), options_(std::move(options)) {}
+
+Result<EvalResult> DirectEvaluator::Evaluate(
+    const lang::PackageQuery& query) const {
+  PAQL_ASSIGN_OR_RETURN(
+      translate::CompiledQuery cq,
+      translate::CompiledQuery::Compile(query, table_->schema()));
+  return Evaluate(cq);
+}
+
+Result<EvalResult> DirectEvaluator::Evaluate(
+    const translate::CompiledQuery& query) const {
+  std::vector<relation::RowId> all(table_->num_rows());
+  for (relation::RowId r = 0; r < table_->num_rows(); ++r) all[r] = r;
+  return EvaluateOnRows(query, all);
+}
+
+Result<EvalResult> DirectEvaluator::EvaluateOnRows(
+    const translate::CompiledQuery& query,
+    const std::vector<relation::RowId>& rows) const {
+  Stopwatch total;
+  EvalResult result;
+
+  // Step 2 (paper): compute the base relation; variables for excluded
+  // tuples are eliminated (they simply never enter the model).
+  Stopwatch translate_watch;
+  std::vector<relation::RowId> candidates;
+  candidates.reserve(rows.size());
+  for (relation::RowId r : rows) {
+    if (query.BaseAccepts(*table_, r)) candidates.push_back(r);
+  }
+
+  // Step 1 (paper): ILP formulation.
+  PAQL_ASSIGN_OR_RETURN(lp::Model model,
+                        query.BuildModel(*table_, candidates));
+  result.stats.translate_seconds = translate_watch.ElapsedSeconds();
+
+  // Step 3 (paper): ILP execution by the black-box solver.
+  auto solution = ilp::SolveIlp(model, options_.limits,
+                                options_.branch_and_bound);
+  if (!solution.ok()) {
+    return solution.status();
+  }
+  result.stats.Accumulate(solution->stats);
+
+  // x*_i gives the multiplicity of tuple i in the answer package. Indicator
+  // variables (appended after the tuple variables by the translator) are
+  // not part of the package.
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    int64_t mult = static_cast<int64_t>(std::llround(solution->x[k]));
+    if (mult > 0) {
+      result.package.rows.push_back(candidates[k]);
+      result.package.multiplicity.push_back(mult);
+    }
+  }
+  result.objective = query.ObjectiveValue(*table_, result.package.rows,
+                                          result.package.multiplicity);
+  result.stats.wall_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace paql::core

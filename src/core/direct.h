@@ -1,0 +1,49 @@
+// DIRECT package evaluation (Section 3.2 of the paper).
+//
+// Three steps: (1) translate the PaQL query into an ILP, (2) compute the
+// base relation and eliminate excluded variables, (3) hand the whole ILP to
+// the solver. DIRECT is exact but inherits the solver's failure modes on
+// large or combinatorially hard inputs — the SolverLimits budgets reproduce
+// those failures (see ilp/solver_limits.h).
+#ifndef PAQL_CORE_DIRECT_H_
+#define PAQL_CORE_DIRECT_H_
+
+#include "core/package.h"
+#include "paql/ast.h"
+
+namespace paql::core {
+
+struct DirectOptions {
+  ilp::SolverLimits limits;                  // default: unlimited
+  ilp::BranchAndBoundOptions branch_and_bound;
+};
+
+/// Evaluates package queries by solving one ILP over the full base relation.
+class DirectEvaluator {
+ public:
+  explicit DirectEvaluator(const relation::Table& table,
+                           DirectOptions options = {});
+
+  /// Parse-compile-and-evaluate convenience entry point.
+  Result<EvalResult> Evaluate(const lang::PackageQuery& query) const;
+
+  /// Evaluate a precompiled query (reuse across dataset fractions).
+  Result<EvalResult> Evaluate(const translate::CompiledQuery& query) const;
+
+  /// Evaluate over an explicit candidate row subset (used by benches that
+  /// sweep dataset fractions). Rows are ids into the evaluator's table; the
+  /// base predicate is applied on top of the subset.
+  Result<EvalResult> EvaluateOnRows(
+      const translate::CompiledQuery& query,
+      const std::vector<relation::RowId>& rows) const;
+
+  const relation::Table& table() const { return *table_; }
+
+ private:
+  const relation::Table* table_;
+  DirectOptions options_;
+};
+
+}  // namespace paql::core
+
+#endif  // PAQL_CORE_DIRECT_H_

@@ -1,0 +1,107 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "ilp/branch_and_bound.h"
+
+namespace paql::core {
+
+using partition::Partitioning;
+using relation::RowId;
+using relation::Table;
+using translate::CompiledQuery;
+
+Result<IncrementalResult> ReEvaluatePackage(
+    const Table& table, const Partitioning& partitioning,
+    const CompiledQuery& query, const Package& previous,
+    const std::vector<uint32_t>& dirty_groups,
+    const IncrementalOptions& options) {
+  Stopwatch total;
+  if (partitioning.gid.size() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "partitioning does not cover the table (absorb appended rows "
+        "first: partition::AbsorbAppendedRows)");
+  }
+  std::vector<bool> is_dirty(partitioning.num_groups(), false);
+  for (uint32_t g : dirty_groups) {
+    if (g >= partitioning.num_groups()) {
+      return Status::InvalidArgument(StrCat("dirty group ", g,
+                                            " out of range"));
+    }
+    is_dirty[g] = true;
+  }
+
+  // Split the previous package into the fixed (clean-group) part and the
+  // released (dirty-group) part.
+  IncrementalResult out;
+  std::vector<RowId> fixed_rows;
+  std::vector<int64_t> fixed_mults;
+  for (size_t i = 0; i < previous.rows.size(); ++i) {
+    RowId r = previous.rows[i];
+    if (r >= table.num_rows()) {
+      return Status::InvalidArgument(
+          StrCat("previous package row ", r, " out of range"));
+    }
+    if (!is_dirty[partitioning.gid[r]]) {
+      fixed_rows.push_back(r);
+      fixed_mults.push_back(previous.multiplicity[i]);
+    }
+  }
+
+  // Candidates: base-relation rows of the dirty groups.
+  Stopwatch translate_watch;
+  std::vector<RowId> candidates;
+  for (uint32_t g : dirty_groups) {
+    for (RowId r : partitioning.groups[g]) {
+      if (query.BaseAccepts(table, r)) candidates.push_back(r);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  out.dirty_candidates = candidates.size();
+
+  // Refine-style subproblem: dirty-group candidates under bounds shifted by
+  // the fixed part's aggregates (Algorithm 2's Q[G_j], with G_j = the union
+  // of the dirty groups).
+  std::vector<double> offsets =
+      query.LeafActivities(table, fixed_rows, fixed_mults);
+  CompiledQuery::BuildOptions bopts;
+  bopts.activity_offset = &offsets;
+  PAQL_ASSIGN_OR_RETURN(lp::Model model,
+                        query.BuildModel(table, candidates, bopts));
+  auto sol = ilp::SolveIlp(model, options.sketch_refine.subproblem_limits,
+                           options.sketch_refine.branch_and_bound);
+  if (sol.ok()) {
+    out.result.stats.Accumulate(sol->stats);
+    out.result.stats.translate_seconds = translate_watch.ElapsedSeconds();
+    out.result.package.rows = fixed_rows;
+    out.result.package.multiplicity = fixed_mults;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      int64_t mult = static_cast<int64_t>(std::llround(sol->x[k]));
+      if (mult > 0) {
+        out.result.package.rows.push_back(candidates[k]);
+        out.result.package.multiplicity.push_back(mult);
+      }
+    }
+    out.result.package.Normalize();
+    PAQL_RETURN_IF_ERROR(ValidatePackage(query, table, out.result.package));
+    out.result.objective = query.ObjectiveValue(
+        table, out.result.package.rows, out.result.package.multiplicity);
+    out.result.stats.wall_seconds = total.ElapsedSeconds();
+    return out;
+  }
+  if (!sol.ok() && !sol.status().IsInfeasible()) return sol.status();
+
+  // The fixed part over-constrains the subproblem (e.g. the query changed
+  // since `previous` was computed): fall back to a full run.
+  SketchRefineEvaluator full(table, partitioning, options.sketch_refine);
+  PAQL_ASSIGN_OR_RETURN(out.result, full.Evaluate(query));
+  out.used_fallback = true;
+  out.dirty_candidates = 0;
+  out.result.stats.wall_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace paql::core

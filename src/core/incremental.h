@@ -1,0 +1,65 @@
+// Incremental package re-evaluation after data updates.
+//
+// SKETCHREFINE's divide-and-conquer structure (Section 4.2) has a useful
+// corollary the paper does not exploit: a previously computed package stays
+// locally optimal on groups whose membership did not change. After a batch
+// of appends is absorbed into the partitioning
+// (partition/dynamic_update.h), only the "dirty" groups — the ones that
+// gained rows or were split — can offer better tuples, so it suffices to
+// re-run one refine-style subproblem over the dirty groups' candidates with
+// the clean groups' contributions folded into the constraint bounds,
+// exactly like Algorithm 2's refine query Q[G_j].
+//
+// Guarantees mirror REFINE's: the returned package is always feasible for
+// the query (it is validated), and its objective is at least as good as the
+// previous package's whenever the previous package is still feasible (the
+// subproblem can re-select the previous dirty-group tuples, which remain
+// candidates under appends). When the fixed clean part makes the subproblem
+// infeasible (possible when re-evaluating a *different* query than the one
+// that produced `previous`), the evaluator falls back to a full
+// SKETCHREFINE run and reports it in the stats.
+#ifndef PAQL_CORE_INCREMENTAL_H_
+#define PAQL_CORE_INCREMENTAL_H_
+
+#include <vector>
+
+#include "core/package.h"
+#include "core/sketch_refine.h"
+#include "partition/partitioner.h"
+#include "relation/table.h"
+#include "translate/compiled_query.h"
+
+namespace paql::core {
+
+struct IncrementalOptions {
+  /// Budgets for the dirty-group subproblem and the full fallback.
+  SketchRefineOptions sketch_refine;
+};
+
+struct IncrementalResult {
+  EvalResult result;
+  /// The dirty-group subproblem was infeasible and a full SKETCHREFINE run
+  /// produced the answer instead.
+  bool used_fallback = false;
+  /// Candidate tuples in the dirty-group subproblem (0 when fallback).
+  size_t dirty_candidates = 0;
+};
+
+/// Re-evaluates `query` over `table` + `partitioning` starting from
+/// `previous`: tuples of `previous` in clean groups are kept fixed, dirty
+/// groups are re-solved. `dirty_groups` lists group ids of `partitioning`
+/// considered stale (from partition::AbsorbResult::dirty_groups).
+///
+/// `previous` row ids must be valid rows of `table` (appends never
+/// invalidate them). Rows of `previous` that fall in dirty groups are
+/// released and re-chosen.
+Result<IncrementalResult> ReEvaluatePackage(
+    const relation::Table& table,
+    const partition::Partitioning& partitioning,
+    const translate::CompiledQuery& query, const Package& previous,
+    const std::vector<uint32_t>& dirty_groups,
+    const IncrementalOptions& options = {});
+
+}  // namespace paql::core
+
+#endif  // PAQL_CORE_INCREMENTAL_H_

@@ -1,0 +1,79 @@
+// Package results and shared evaluator types.
+//
+// A package is a multiset of tuples from the input relation (the paper's
+// answer object). Evaluators return an EvalResult: the package, its
+// objective value, and detailed statistics.
+#ifndef PAQL_CORE_PACKAGE_H_
+#define PAQL_CORE_PACKAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/solver_limits.h"
+#include "relation/table.h"
+#include "translate/compiled_query.h"
+
+namespace paql::core {
+
+/// A multiset of tuples: parallel (row, multiplicity > 0) arrays.
+struct Package {
+  std::vector<relation::RowId> rows;
+  std::vector<int64_t> multiplicity;
+
+  /// Total number of tuples counting repetitions.
+  int64_t TotalCount() const;
+
+  /// Expand the multiset into a relational table (the paper materializes
+  /// packages as standard relations with the input schema).
+  relation::Table Materialize(const relation::Table& source) const;
+
+  /// Sort entries by row id (canonical form for comparisons in tests).
+  void Normalize();
+
+  std::string ToString() const;
+};
+
+/// Validate a package against a compiled query: base predicate, repetition
+/// bound, and all global predicates. Returns OK or an explanatory error.
+Status ValidatePackage(const translate::CompiledQuery& query,
+                       const relation::Table& table, const Package& package,
+                       double tol = 1e-6);
+
+/// Statistics shared by all evaluation strategies.
+struct EvalStats {
+  double wall_seconds = 0;       // end-to-end evaluation time
+  double translate_seconds = 0;  // base relation + ILP construction
+  double solve_seconds = 0;      // time inside the ILP solver
+  int64_t ilp_solves = 0;        // number of ILP solver invocations
+  int64_t lp_iterations = 0;     // total simplex pivots
+  int64_t bnb_nodes = 0;         // total branch-and-bound nodes
+  size_t peak_memory_bytes = 0;  // per the SolverLimits accounting model
+
+  // SKETCHREFINE-specific counters (zero for other strategies).
+  int64_t groups_refined = 0;
+  int64_t backtracks = 0;
+  bool used_hybrid_sketch = false;
+  int64_t recursion_depth = 0;
+
+  // Parallel-evaluation counters (core/parallel.h; zero elsewhere).
+  int threads_used = 0;
+  /// Speculative parallel refinement conflicted and the evaluator fell
+  /// back to the sequential algorithm (paper §4.5's predicted failure
+  /// mode for naive group-parallel refinement).
+  bool parallel_fallback = false;
+
+  void Accumulate(const ilp::IlpStats& ilp);
+};
+
+struct EvalResult {
+  Package package;
+  double objective = 0;
+  EvalStats stats;
+};
+
+}  // namespace paql::core
+
+#endif  // PAQL_CORE_PACKAGE_H_

@@ -1,0 +1,288 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+
+namespace paql::core {
+
+using partition::Partitioning;
+using relation::RowId;
+using relation::Table;
+using translate::CompiledQuery;
+
+namespace {
+
+int ClampThreads(int requested) {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 4;
+  return std::clamp(requested, 1, hw);
+}
+
+}  // namespace
+
+const char* ParallelModeName(ParallelMode mode) {
+  switch (mode) {
+    case ParallelMode::kGroupParallel: return "group_parallel";
+    case ParallelMode::kOrderingRace: return "ordering_race";
+  }
+  return "?";
+}
+
+ParallelSketchRefineEvaluator::ParallelSketchRefineEvaluator(
+    const Table& table, const Partitioning& partitioning,
+    ParallelOptions options)
+    : table_(&table),
+      partitioning_(&partitioning),
+      options_(std::move(options)) {
+  PAQL_CHECK_MSG(partitioning.gid.size() == table.num_rows(),
+                 "partitioning does not cover the table");
+}
+
+Result<EvalResult> ParallelSketchRefineEvaluator::Evaluate(
+    const lang::PackageQuery& query) const {
+  PAQL_ASSIGN_OR_RETURN(
+      CompiledQuery cq, CompiledQuery::Compile(query, table_->schema()));
+  return Evaluate(cq);
+}
+
+Result<EvalResult> ParallelSketchRefineEvaluator::Evaluate(
+    const CompiledQuery& query) const {
+  switch (options_.mode) {
+    case ParallelMode::kGroupParallel:
+      return EvaluateGroupParallel(query);
+    case ParallelMode::kOrderingRace:
+      return EvaluateOrderingRace(query);
+  }
+  return Status::InvalidArgument("unknown parallel mode");
+}
+
+// ---------------------------------------------------------------------------
+// kOrderingRace
+// ---------------------------------------------------------------------------
+
+Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
+    const CompiledQuery& query) const {
+  Stopwatch total;
+  const int threads = ClampThreads(options_.num_threads);
+  std::atomic<bool> cancel{false};
+  std::mutex mu;
+  std::optional<EvalResult> winner;
+  Status first_error = Status::OK();
+  int infeasible_count = 0;
+
+  auto racer = [&](int i) {
+    SketchRefineOptions opts = options_.sketch_refine;
+    opts.refine_order_seed = options_.seed + static_cast<uint64_t>(i);
+    opts.cancel = &cancel;
+    SketchRefineEvaluator evaluator(*table_, *partitioning_, opts);
+    auto result = evaluator.Evaluate(query);
+    std::lock_guard<std::mutex> lock(mu);
+    if (result.ok()) {
+      if (!winner.has_value()) {
+        winner = std::move(*result);
+        cancel.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (result.status().IsInfeasible()) {
+      ++infeasible_count;
+    } else if (first_error.ok() &&
+               !(cancel.load(std::memory_order_relaxed) &&
+                 result.status().IsResourceExhausted())) {
+      // Real failures are reported; cancellation-induced aborts are not.
+      first_error = result.status();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(racer, i);
+  for (auto& t : pool) t.join();
+
+  if (winner.has_value()) {
+    winner->stats.threads_used = threads;
+    winner->stats.wall_seconds = total.ElapsedSeconds();
+    return std::move(*winner);
+  }
+  if (!first_error.ok()) return first_error;
+  return Status::Infeasible(
+      StrCat("all ", threads, " refinement orderings reported infeasible (",
+             infeasible_count, " certain)"));
+}
+
+// ---------------------------------------------------------------------------
+// kGroupParallel
+// ---------------------------------------------------------------------------
+
+Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
+    const CompiledQuery& query) const {
+  Stopwatch total;
+  const int threads = ClampThreads(options_.num_threads);
+
+  auto fall_back = [&]() -> Result<EvalResult> {
+    SketchRefineEvaluator sequential(*table_, *partitioning_,
+                                     options_.sketch_refine);
+    auto result = sequential.Evaluate(query);
+    if (result.ok()) {
+      result->stats.parallel_fallback = true;
+      result->stats.threads_used = threads;
+      result->stats.wall_seconds = total.ElapsedSeconds();
+    }
+    return result;
+  };
+
+  // Group the base relation by the offline partitioning (as the sequential
+  // driver does).
+  std::vector<std::vector<RowId>> group_rows(partitioning_->num_groups());
+  for (RowId r = 0; r < table_->num_rows(); ++r) {
+    if (query.BaseAccepts(*table_, r)) {
+      group_rows[partitioning_->gid[r]].push_back(r);
+    }
+  }
+  std::vector<size_t> active;  // groups with candidates
+  for (size_t g = 0; g < group_rows.size(); ++g) {
+    if (!group_rows[g].empty()) active.push_back(g);
+  }
+  if (active.empty()) return fall_back();
+
+  // --- SKETCH (one ILP, not parallelized: it is small by design). ---
+  EvalStats stats;
+  std::vector<RowId> rep_rows;
+  std::vector<double> rep_ub;
+  rep_rows.reserve(active.size());
+  for (size_t g : active) {
+    rep_rows.push_back(static_cast<RowId>(g));
+    double ub = query.per_tuple_ub();
+    rep_ub.push_back(std::isinf(ub)
+                         ? ub
+                         : ub * static_cast<double>(group_rows[g].size()));
+  }
+  CompiledQuery::Segment seg;
+  seg.table = &partitioning_->representatives;
+  seg.rows = &rep_rows;
+  seg.ub_override = &rep_ub;
+  PAQL_ASSIGN_OR_RETURN(lp::Model sketch_model,
+                        query.BuildModelSegments({seg}, nullptr));
+  auto sketch = ilp::SolveIlp(sketch_model, options_.sketch_refine.subproblem_limits,
+                              options_.sketch_refine.branch_and_bound);
+  if (!sketch.ok()) {
+    // Infeasible sketch: the sequential path owns the hybrid-sketch and
+    // backtracking machinery.
+    if (sketch.status().IsInfeasible()) return fall_back();
+    return sketch.status();
+  }
+  stats.Accumulate(sketch->stats);
+
+  std::vector<int64_t> rep_mult(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    rep_mult[i] = std::llround(sketch->x[i]);
+  }
+
+  // Total sketch activities; per-group offsets subtract the group's own
+  // representative contribution (activities are linear in the package).
+  std::vector<RowId> picked_reps;
+  std::vector<int64_t> picked_mults;
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (rep_mult[i] > 0) {
+      picked_reps.push_back(rep_rows[i]);
+      picked_mults.push_back(rep_mult[i]);
+    }
+  }
+  std::vector<double> total_acts = query.LeafActivities(
+      partitioning_->representatives, picked_reps, picked_mults);
+
+  // --- Speculative parallel REFINE: one subproblem per picked group. ---
+  struct GroupOutcome {
+    Status status = Status::OK();
+    std::vector<int64_t> mults;  // per candidate of the group
+    ilp::IlpStats ilp;
+  };
+  std::vector<size_t> picked_groups;  // indices into `active`
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (rep_mult[i] > 0) picked_groups.push_back(i);
+  }
+  std::vector<GroupOutcome> outcomes(picked_groups.size());
+  std::atomic<size_t> next{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t job = next.fetch_add(1, std::memory_order_relaxed);
+      if (job >= picked_groups.size()) return;
+      size_t i = picked_groups[job];
+      size_t g = active[i];
+      GroupOutcome& out = outcomes[job];
+      // Offsets: everything in the sketch except this group's rep.
+      std::vector<double> offsets = query.LeafActivities(
+          partitioning_->representatives, {rep_rows[i]}, {rep_mult[i]});
+      for (size_t k = 0; k < offsets.size(); ++k) {
+        offsets[k] = total_acts[k] - offsets[k];
+      }
+      CompiledQuery::BuildOptions build;
+      build.activity_offset = &offsets;
+      auto model = query.BuildModel(*table_, group_rows[g], build);
+      if (!model.ok()) {
+        out.status = model.status();
+        continue;  // keep draining the queue; assembly reports the failure
+      }
+      auto sol = ilp::SolveIlp(*model, options_.sketch_refine.subproblem_limits,
+                               options_.sketch_refine.branch_and_bound);
+      if (!sol.ok()) {
+        out.status = sol.status();
+        continue;  // other groups may still be useful for diagnostics
+      }
+      out.ilp = sol->stats;
+      out.mults.resize(group_rows[g].size());
+      for (size_t k = 0; k < group_rows[g].size(); ++k) {
+        out.mults[k] = std::llround(sol->x[k]);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  int workers = std::min<int>(threads, static_cast<int>(picked_groups.size()));
+  pool.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // Any per-group failure, or a combined package that misses the global
+  // constraints, falls back to the sequential algorithm.
+  EvalResult result;
+  for (size_t job = 0; job < picked_groups.size(); ++job) {
+    const GroupOutcome& out = outcomes[job];
+    if (!out.status.ok()) {
+      if (out.status.IsInfeasible() || out.status.IsResourceExhausted()) {
+        return fall_back();
+      }
+      return out.status;
+    }
+    stats.Accumulate(out.ilp);
+    size_t g = active[picked_groups[job]];
+    for (size_t k = 0; k < group_rows[g].size(); ++k) {
+      if (out.mults[k] > 0) {
+        result.package.rows.push_back(group_rows[g][k]);
+        result.package.multiplicity.push_back(out.mults[k]);
+      }
+    }
+  }
+  result.package.Normalize();
+  if (!query.PackageSatisfiesGlobals(*table_, result.package.rows,
+                                     result.package.multiplicity)) {
+    // Local refinements conflicted — the failure mode §4.5 predicts.
+    return fall_back();
+  }
+  stats.groups_refined = static_cast<int64_t>(picked_groups.size());
+  result.objective = query.ObjectiveValue(*table_, result.package.rows,
+                                          result.package.multiplicity);
+  result.stats = stats;
+  result.stats.threads_used = threads;
+  result.stats.wall_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace paql::core

@@ -1,0 +1,106 @@
+// False-infeasibility remedies for SKETCHREFINE (paper Section 4.4).
+//
+// SKETCHREFINE can report a feasible query as infeasible in two cases: the
+// sketch query over the representatives is infeasible, or the greedy
+// backtracking refinement fails. The paper proposes four remedies:
+//
+//   1. Hybrid sketch query — built into SketchRefineEvaluator (the paper's
+//      experiments use it as the only remedy);
+//   2. Further partitioning — reduce the size threshold tau so that skewed
+//      groups get better (closer) representatives;
+//   3. Dropping partitioning attributes — project the partitioning onto
+//      fewer dimensions so groups merge; the attributes to drop are chosen
+//      from the constraints in an irreducible infeasible subsystem (IIS) of
+//      the failed sketch ILP (footnote 1);
+//   4. Iterative group merging — brute-force fallback that merges groups
+//      until the sub-queries become feasible; with one group left the
+//      problem degenerates to DIRECT, so any feasible query is eventually
+//      answered (at the cost of performance).
+//
+// RobustSketchRefineEvaluator wires remedies 2-4 behind the evaluator: it
+// runs plain SKETCHREFINE first and walks a configurable remedy chain only
+// when the result is infeasible, re-partitioning and re-evaluating per
+// remedy round. The report says which remedy (if any) produced the answer,
+// so experiments can attribute recoveries.
+#ifndef PAQL_CORE_REMEDIES_H_
+#define PAQL_CORE_REMEDIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sketch_refine.h"
+
+namespace paql::core {
+
+enum class InfeasibilityRemedy {
+  kFurtherPartitioning,  // Section 4.4, remedy 2
+  kDropAttributes,       // Section 4.4, remedy 3 (IIS-guided)
+  kGroupMerging,         // Section 4.4, remedy 4
+};
+
+const char* RemedyName(InfeasibilityRemedy remedy);
+
+struct RemedyOptions {
+  /// Options forwarded to every inner SKETCHREFINE run (including the
+  /// hybrid-sketch setting, i.e. remedy 1).
+  SketchRefineOptions sketch_refine;
+
+  /// Remedies tried in order after plain SKETCHREFINE reports infeasible.
+  std::vector<InfeasibilityRemedy> chain = {
+      InfeasibilityRemedy::kFurtherPartitioning,
+      InfeasibilityRemedy::kDropAttributes,
+      InfeasibilityRemedy::kGroupMerging,
+  };
+
+  /// Rounds per remedy: further-partitioning halves tau each round; group
+  /// merging halves the group count each round (it additionally keeps
+  /// going until one group remains, which is exact).
+  int max_rounds_per_remedy = 4;
+
+  /// Floor below which further partitioning stops halving tau.
+  size_t min_size_threshold = 4;
+};
+
+struct RemedyReport {
+  EvalResult result;
+  /// Which remedy produced the answer: "" when plain SKETCHREFINE
+  /// succeeded, otherwise one of "further_partitioning",
+  /// "drop_attributes", "group_merging".
+  std::string remedy_used;
+  /// Rounds spent inside the successful remedy (0 when none was needed).
+  int rounds = 0;
+  /// Attributes dropped by the drop-attributes remedy (empty otherwise).
+  std::vector<std::string> dropped_attributes;
+};
+
+/// SKETCHREFINE with the Section 4.4 remedy chain behind it.
+class RobustSketchRefineEvaluator {
+ public:
+  RobustSketchRefineEvaluator(const relation::Table& table,
+                              const partition::Partitioning& partitioning,
+                              RemedyOptions options = {});
+
+  Result<RemedyReport> Evaluate(const lang::PackageQuery& query) const;
+  Result<RemedyReport> Evaluate(const translate::CompiledQuery& query) const;
+
+ private:
+  Result<RemedyReport> TryFurtherPartitioning(
+      const translate::CompiledQuery& query) const;
+  Result<RemedyReport> TryDropAttributes(
+      const translate::CompiledQuery& query) const;
+  Result<RemedyReport> TryGroupMerging(
+      const translate::CompiledQuery& query) const;
+
+  /// Attributes participating in an IIS of the infeasible sketch ILP over
+  /// the current partitioning's representatives (remedy 3's guidance).
+  Result<std::vector<std::string>> IisAttributes(
+      const translate::CompiledQuery& query) const;
+
+  const relation::Table* table_;
+  const partition::Partitioning* partitioning_;
+  RemedyOptions options_;
+};
+
+}  // namespace paql::core
+
+#endif  // PAQL_CORE_REMEDIES_H_

@@ -1,0 +1,433 @@
+#include "ilp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+
+namespace paql::ilp {
+namespace {
+
+/// Internal search driver. Works in "internal minimize" space: objectives
+/// are multiplied by `sign` (+1 minimize, -1 maximize) so that smaller is
+/// always better.
+class Searcher {
+ public:
+  Searcher(const lp::Model& model, const SolverLimits& limits,
+           const BranchAndBoundOptions& options)
+      : model_(model),
+        limits_(limits),
+        options_(options),
+        solver_(model, options.simplex),
+        deadline_(limits.time_limit_s),
+        sign_(model.sense() == lp::Sense::kMaximize ? -1.0 : 1.0) {
+    if (options_.branch_rule == BranchRule::kPseudoCost) {
+      size_t n = static_cast<size_t>(model.num_vars());
+      pc_down_.assign(n, 0.0);
+      pc_up_.assign(n, 0.0);
+      pc_count_down_.assign(n, 0);
+      pc_count_up_.assign(n, 0);
+    }
+  }
+
+  Result<IlpSolution> Run() {
+    Stopwatch watch;
+    base_bytes_ = solver_.ApproximateBytes() + model_.ApproximateBytes();
+    Status status = Search();
+    stats_.wall_seconds = watch.ElapsedSeconds();
+    stats_.peak_memory_bytes = EstimatedBytes();
+    if (!status.ok() && !status.IsResourceExhausted()) return status;
+    if (!has_incumbent_) {
+      if (status.IsResourceExhausted()) return status;
+      return Status::Infeasible("no feasible package assignment exists");
+    }
+    // A budget overrun with an incumbent still fails the solve: the paper's
+    // evaluators require the solver's (near-)optimal answer, and CPLEX
+    // aborting mid-search is reported as a failure. The incumbent is kept in
+    // the solution only when optimality was proven or the gap closed.
+    if (status.IsResourceExhausted() && !stats_.proven_optimal) {
+      return status;
+    }
+    IlpSolution solution;
+    solution.x = incumbent_;
+    solution.objective = sign_ * incumbent_obj_;
+    solution.stats = stats_;
+    return solution;
+  }
+
+ private:
+  struct Frame {
+    int var = -1;
+    // The two children: [lb, v] and [v+1, ub]; `next_child` counts how many
+    // children have been expanded so far (0, 1, 2).
+    double child_values[2][2];  // [child][{lb, ub}]
+    bool child_is_down[2] = {true, false};
+    int next_child = 0;
+    double saved_lb = 0;
+    double saved_ub = 0;
+    double parent_bound = 0;  // LP bound inherited by both children
+    double frac = 0.5;        // fractional part of the branch variable
+  };
+
+  /// Attribution of the node about to be evaluated to the branching that
+  /// produced it (pseudo-cost bookkeeping).
+  struct PendingBranch {
+    bool active = false;
+    int var = -1;
+    bool down = true;
+    double frac = 0.5;
+    double parent_bound = 0;
+  };
+
+  size_t EstimatedBytes() const {
+    return base_bytes_ + static_cast<size_t>(stats_.nodes) *
+                             (SolverLimits::kBytesPerOpenNode / 2);
+  }
+
+  Status CheckBudgets() {
+    if (limits_.time_limit_s > 0 && deadline_.Expired()) {
+      return Status::ResourceExhausted(
+          StrCat("ILP time limit of ", limits_.time_limit_s, "s exceeded"));
+    }
+    if (limits_.max_nodes > 0 && stats_.nodes >= limits_.max_nodes) {
+      return Status::ResourceExhausted(
+          StrCat("ILP node limit of ", limits_.max_nodes, " exceeded"));
+    }
+    if (limits_.memory_budget_bytes > 0 &&
+        EstimatedBytes() > limits_.memory_budget_bytes) {
+      return Status::ResourceExhausted(
+          StrCat("ILP memory budget of ",
+                 FormatBytes(limits_.memory_budget_bytes), " exceeded (",
+                 FormatBytes(EstimatedBytes()), " in use; solver thrashing)"));
+    }
+    return Status::OK();
+  }
+
+  /// Index of the integer variable to branch on, or -1 if integral.
+  int PickBranchVar(const std::vector<double>& x) const {
+    switch (options_.branch_rule) {
+      case BranchRule::kFirstFractional: {
+        for (int j = 0; j < model_.num_vars(); ++j) {
+          if (!model_.is_integer()[j]) continue;
+          double frac = x[j] - std::floor(x[j]);
+          if (std::min(frac, 1.0 - frac) > options_.integrality_tol) {
+            return j;
+          }
+        }
+        return -1;
+      }
+      case BranchRule::kPseudoCost: {
+        int best = -1;
+        double best_score = -1;
+        int fallback = -1;
+        double fallback_dist = options_.integrality_tol;
+        for (int j = 0; j < model_.num_vars(); ++j) {
+          if (!model_.is_integer()[j]) continue;
+          double frac = x[j] - std::floor(x[j]);
+          double dist = std::min(frac, 1.0 - frac);
+          if (dist <= options_.integrality_tol) continue;
+          if (dist > fallback_dist) {
+            fallback_dist = dist;
+            fallback = j;
+          }
+          size_t uj = static_cast<size_t>(j);
+          if (pc_count_down_[uj] == 0 || pc_count_up_[uj] == 0) continue;
+          double down = pc_down_[uj] / pc_count_down_[uj];
+          double up = pc_up_[uj] / pc_count_up_[uj];
+          // Classic product score; epsilon keeps zero-cost directions from
+          // zeroing the whole score.
+          double score = std::max(down * frac, 1e-9) *
+                         std::max(up * (1.0 - frac), 1e-9);
+          if (score > best_score) {
+            best_score = score;
+            best = j;
+          }
+        }
+        // Reliability fallback: branch most-fractional until pseudo costs
+        // exist for at least one candidate.
+        return best >= 0 ? best : fallback;
+      }
+      case BranchRule::kMostFractional:
+        break;
+    }
+    int best = -1;
+    double best_frac_dist = options_.integrality_tol;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (!model_.is_integer()[j]) continue;
+      double frac = x[j] - std::floor(x[j]);
+      double dist = std::min(frac, 1.0 - frac);  // distance to integer
+      if (dist > best_frac_dist) {
+        best_frac_dist = dist;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  void OfferIncumbent(const std::vector<double>& x) {
+    // Snap integer variables exactly.
+    std::vector<double> snapped = x;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (model_.is_integer()[j]) snapped[j] = std::round(snapped[j]);
+    }
+    if (!model_.IsFeasible(snapped, 1e-6)) return;
+    double obj = sign_ * model_.ObjectiveValue(snapped);
+    if (!has_incumbent_ || obj < incumbent_obj_ - 1e-12) {
+      has_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_ = std::move(snapped);
+    }
+  }
+
+  /// Simple diving heuristic: repeatedly fix the most fractional variable to
+  /// its nearest integer and re-solve, hoping to land on a feasible integer
+  /// point quickly. All bound changes are rolled back before returning.
+  void Dive(const std::vector<double>& root_x) {
+    std::vector<std::tuple<int, double, double>> undo;
+    std::vector<double> x = root_x;
+    for (int depth = 0; depth < options_.dive_max_depth; ++depth) {
+      int j = PickBranchVar(x);
+      if (j < 0) {
+        OfferIncumbent(x);
+        break;
+      }
+      double target = std::round(x[j]);
+      target = std::clamp(target, solver_.var_lb(j), solver_.var_ub(j));
+      undo.emplace_back(j, solver_.var_lb(j), solver_.var_ub(j));
+      solver_.SetVarBounds(j, target, target);
+      lp::LpResult lp = solver_.Solve(deadline_);
+      stats_.lp_iterations += lp.iterations;
+      if (lp.status != lp::LpStatus::kOptimal) break;
+      x = lp.x;
+    }
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      solver_.SetVarBounds(std::get<0>(*it), std::get<1>(*it),
+                           std::get<2>(*it));
+    }
+  }
+
+  Status Search() {
+    std::vector<Frame> stack;
+    // Depth-first search; each iteration either expands the next child of
+    // the top frame or evaluates a fresh node (after a bound change).
+    bool evaluate_current = true;  // root pending
+    bool root = true;
+    while (true) {
+      PAQL_RETURN_IF_ERROR(CheckBudgets());
+
+      if (evaluate_current) {
+        evaluate_current = false;
+        ++stats_.nodes;
+        stats_.max_depth =
+            std::max<int64_t>(stats_.max_depth, static_cast<int64_t>(stack.size()));
+        lp::LpResult lp = solver_.Solve(deadline_);
+        stats_.lp_iterations += lp.iterations;
+        PendingBranch pending = pending_;
+        pending_.active = false;  // attribution applies to this node only
+        if (lp.status == lp::LpStatus::kTimeLimit) {
+          return Status::ResourceExhausted("LP time limit during node solve");
+        }
+        if (lp.status == lp::LpStatus::kIterationLimit) {
+          return Status::ResourceExhausted("LP iteration limit");
+        }
+        if (lp.status == lp::LpStatus::kUnbounded) {
+          if (root) return Status::Unbounded("ILP relaxation is unbounded");
+          // A bounded-variable child LP cannot be unbounded if the root was
+          // not; treat defensively as a pruned node.
+        }
+        if (lp.status == lp::LpStatus::kOptimal) {
+          double bound = sign_ * lp.objective;
+          if (pending.active &&
+              options_.branch_rule == BranchRule::kPseudoCost) {
+            // Pseudo-cost update: objective degradation per unit of the
+            // fraction rounded away by this child.
+            double degradation = std::max(0.0, bound - pending.parent_bound);
+            double unit = pending.down ? pending.frac : 1.0 - pending.frac;
+            if (unit > 1e-9) {
+              size_t uj = static_cast<size_t>(pending.var);
+              if (pending.down) {
+                pc_down_[uj] += degradation / unit;
+                ++pc_count_down_[uj];
+              } else {
+                pc_up_[uj] += degradation / unit;
+                ++pc_count_up_[uj];
+              }
+            }
+          }
+          if (root) {
+            stats_.root_bound = sign_ * bound;
+            if (options_.enable_rounding_heuristic) OfferIncumbent(lp.x);
+          }
+          bool pruned = has_incumbent_ &&
+                        bound >= incumbent_obj_ -
+                                     options_.gap_tol *
+                                         (1.0 + std::abs(incumbent_obj_));
+          if (!pruned) {
+            int branch_var = PickBranchVar(lp.x);
+            if (branch_var < 0) {
+              OfferIncumbent(lp.x);
+            } else {
+              if (root && options_.enable_diving_heuristic) {
+                Dive(lp.x);
+              }
+              // Expand: create a frame with two children, nearest-first.
+              Frame frame;
+              frame.var = branch_var;
+              frame.saved_lb = solver_.var_lb(branch_var);
+              frame.saved_ub = solver_.var_ub(branch_var);
+              frame.parent_bound = bound;
+              double v = lp.x[branch_var];
+              double floor_v = std::floor(v);
+              double down[2] = {frame.saved_lb, floor_v};
+              double up[2] = {floor_v + 1.0, frame.saved_ub};
+              bool down_first = (v - floor_v) <= 0.5;
+              frame.child_values[0][0] = down_first ? down[0] : up[0];
+              frame.child_values[0][1] = down_first ? down[1] : up[1];
+              frame.child_values[1][0] = down_first ? up[0] : down[0];
+              frame.child_values[1][1] = down_first ? up[1] : down[1];
+              frame.child_is_down[0] = down_first;
+              frame.child_is_down[1] = !down_first;
+              frame.frac = v - floor_v;
+              stack.push_back(frame);
+            }
+          }
+        }
+        // kInfeasible nodes simply fall through to backtracking.
+        root = false;
+        continue;
+      }
+
+      // Expand the next child of the top frame, or pop it.
+      if (stack.empty()) break;
+      Frame& top = stack.back();
+      // Prune remaining children if the bound can no longer beat the
+      // incumbent (the parent LP bound is a valid bound for both children).
+      bool prune_rest =
+          has_incumbent_ &&
+          top.parent_bound >=
+              incumbent_obj_ -
+                  options_.gap_tol * (1.0 + std::abs(incumbent_obj_));
+      if (top.next_child >= 2 || (prune_rest && top.next_child > 0)) {
+        solver_.SetVarBounds(top.var, top.saved_lb, top.saved_ub);
+        stack.pop_back();
+        continue;
+      }
+      double lb = top.child_values[top.next_child][0];
+      double ub = top.child_values[top.next_child][1];
+      bool child_down = top.child_is_down[top.next_child];
+      ++top.next_child;
+      if (lb > ub) continue;  // empty child (branching at a bound)
+      solver_.SetVarBounds(top.var, lb, ub);
+      pending_ = {true, top.var, child_down, top.frac, top.parent_bound};
+      evaluate_current = true;
+    }
+    stats_.proven_optimal = has_incumbent_;
+    return Status::OK();
+  }
+
+  const lp::Model& model_;
+  SolverLimits limits_;
+  BranchAndBoundOptions options_;
+  lp::SimplexSolver solver_;
+  Deadline deadline_;
+  double sign_;
+
+  IlpStats stats_;
+  bool has_incumbent_ = false;
+  double incumbent_obj_ = 0;
+  std::vector<double> incumbent_;
+  size_t base_bytes_ = 0;
+
+  // Pseudo-cost state (allocated only under BranchRule::kPseudoCost).
+  std::vector<double> pc_down_, pc_up_;
+  std::vector<int64_t> pc_count_down_, pc_count_up_;
+  PendingBranch pending_;
+};
+
+}  // namespace
+
+const char* BranchRuleName(BranchRule rule) {
+  switch (rule) {
+    case BranchRule::kMostFractional: return "most_fractional";
+    case BranchRule::kFirstFractional: return "first_fractional";
+    case BranchRule::kPseudoCost: return "pseudo_cost";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Root cut loop (cut-and-branch): separate valid inequalities at the LP
+/// optimum, append them, re-solve, repeat. Returns the augmented model and
+/// fills the cut counters; on any LP hiccup it stops early and the search
+/// proceeds with whatever cuts were added so far (correctness never depends
+/// on cuts).
+lp::Model AddRootCuts(const lp::Model& model,
+                      const BranchAndBoundOptions& options,
+                      const Deadline& deadline, int64_t* cuts_added,
+                      int64_t* cut_rounds, int64_t* lp_iterations) {
+  lp::Model augmented = model;
+  for (int round = 0; round < options.cuts.max_rounds; ++round) {
+    if (deadline.Expired()) break;
+    lp::SimplexSolver solver(augmented, options.simplex);
+    lp::LpResult lp = solver.Solve(deadline);
+    *lp_iterations += lp.iterations;
+    if (lp.status != lp::LpStatus::kOptimal) break;
+    // Nothing to separate at an integral point.
+    bool fractional = false;
+    for (int j = 0; j < augmented.num_vars() && !fractional; ++j) {
+      if (!augmented.is_integer()[j]) continue;
+      double frac = lp.x[j] - std::floor(lp.x[j]);
+      fractional = std::min(frac, 1.0 - frac) > options.integrality_tol;
+    }
+    if (!fractional) break;
+    std::vector<Cut> cuts = SeparateCuts(augmented, lp.x, options.cuts);
+    if (cuts.empty()) break;
+    for (Cut& cut : cuts) {
+      if (augmented.AddRow(std::move(cut.row)).ok()) ++*cuts_added;
+    }
+    ++*cut_rounds;
+  }
+  return augmented;
+}
+
+}  // namespace
+
+Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
+                             const BranchAndBoundOptions& options) {
+  if (!options.cuts.enable || model.num_integer_vars() == 0 ||
+      model.num_rows() == 0) {
+    Searcher searcher(model, limits, options);
+    return searcher.Run();
+  }
+  Stopwatch cut_watch;
+  Deadline deadline(limits.time_limit_s);
+  int64_t cuts_added = 0, cut_rounds = 0, lp_iterations = 0;
+  lp::Model augmented = AddRootCuts(model, options, deadline, &cuts_added,
+                                    &cut_rounds, &lp_iterations);
+  double cut_seconds = cut_watch.ElapsedSeconds();
+  SolverLimits search_limits = limits;
+  if (search_limits.time_limit_s > 0) {
+    search_limits.time_limit_s =
+        std::max(1e-3, search_limits.time_limit_s - cut_seconds);
+  }
+  Searcher searcher(augmented, search_limits, options);
+  auto solution = searcher.Run();
+  if (solution.ok()) {
+    solution->stats.cuts_added = cuts_added;
+    solution->stats.cut_rounds = cut_rounds;
+    solution->stats.lp_iterations += lp_iterations;
+    solution->stats.wall_seconds += cut_seconds;
+  }
+  return solution;
+}
+
+lp::LpResult SolveLpRelaxation(const lp::Model& model, double time_limit_s) {
+  lp::SimplexSolver solver(model);
+  return solver.Solve(Deadline(time_limit_s));
+}
+
+}  // namespace paql::ilp

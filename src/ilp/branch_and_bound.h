@@ -1,0 +1,89 @@
+// Branch-and-bound ILP solver over the simplex LP relaxation.
+//
+// This is the from-scratch replacement for the paper's black-box ILP solver
+// (CPLEX). Search is depth-first with best-first child ordering, incumbent
+// pruning, a root rounding heuristic, and a diving heuristic; all LP solves
+// warm-start from the parent basis through SimplexSolver::SetVarBounds.
+#ifndef PAQL_ILP_BRANCH_AND_BOUND_H_
+#define PAQL_ILP_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ilp/cuts.h"
+#include "ilp/solver_limits.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace paql::ilp {
+
+/// Statistics from one ILP solve.
+struct IlpStats {
+  int64_t nodes = 0;           // branch-and-bound nodes explored
+  int64_t lp_iterations = 0;   // total simplex pivots
+  int64_t max_depth = 0;       // deepest node
+  double wall_seconds = 0;
+  size_t peak_memory_bytes = 0;  // per the SolverLimits accounting model
+  double root_bound = 0;         // LP relaxation objective at the root
+  bool proven_optimal = false;
+  int64_t cuts_added = 0;   // root cutting planes appended (cut-and-branch)
+  int64_t cut_rounds = 0;   // separate-resolve rounds that produced cuts
+};
+
+/// A feasible (and, when stats.proven_optimal, optimal) integer solution.
+struct IlpSolution {
+  std::vector<double> x;
+  double objective = 0;
+  IlpStats stats;
+};
+
+/// Which fractional variable a node branches on.
+enum class BranchRule {
+  /// Most-fractional ("maximum infeasibility"): the classic default.
+  kMostFractional,
+  /// First fractional index: the cheapest rule, a lower-bound baseline for
+  /// the branching ablation (bench/ablation_solver).
+  kFirstFractional,
+  /// Pseudo-cost branching: score variables by the per-unit objective
+  /// degradation their past branchings caused (product of up/down pseudo
+  /// costs), falling back to most-fractional until a variable has history.
+  kPseudoCost,
+};
+
+const char* BranchRuleName(BranchRule rule);
+
+struct BranchAndBoundOptions {
+  double integrality_tol = 1e-6;
+  /// Relative optimality gap at which search stops early.
+  double gap_tol = 1e-9;
+  bool enable_rounding_heuristic = true;
+  bool enable_diving_heuristic = true;
+  int dive_max_depth = 64;
+  BranchRule branch_rule = BranchRule::kMostFractional;
+  lp::SimplexOptions simplex;
+  /// Root cutting planes (cut-and-branch). Valid cuts never change the
+  /// optimum; they tighten the relaxation before the search starts.
+  CutOptions cuts;
+};
+
+/// Solve `model` to integer optimality under `limits`.
+///
+/// Returns:
+///  * IlpSolution on success;
+///  * kInfeasible when the ILP has no feasible assignment;
+///  * kUnbounded when the relaxation is unbounded;
+///  * kResourceExhausted when a time/node/memory budget was exceeded before
+///    an optimal solution was proven (the CPLEX-failure emulation — the
+///    evaluators treat this as "the solver failed").
+Result<IlpSolution> SolveIlp(const lp::Model& model,
+                             const SolverLimits& limits = {},
+                             const BranchAndBoundOptions& options = {});
+
+/// Solve only the LP relaxation (used by tests and diagnostics).
+lp::LpResult SolveLpRelaxation(const lp::Model& model,
+                               double time_limit_s = 0);
+
+}  // namespace paql::ilp
+
+#endif  // PAQL_ILP_BRANCH_AND_BOUND_H_

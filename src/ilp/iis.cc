@@ -1,0 +1,78 @@
+#include "ilp/iis.h"
+
+#include <algorithm>
+
+#include "ilp/branch_and_bound.h"
+
+namespace paql::ilp {
+
+namespace {
+
+/// Rebuild `model` keeping only the rows whose indices appear in `keep`.
+lp::Model RestrictRows(const lp::Model& model, const std::vector<int>& keep) {
+  lp::Model out;
+  out.set_sense(model.sense());
+  for (int v = 0; v < model.num_vars(); ++v) {
+    out.AddVariable(model.lb()[v], model.ub()[v], model.obj()[v],
+                    model.is_integer()[v]);
+  }
+  for (int r : keep) {
+    lp::RowDef row = model.rows()[static_cast<size_t>(r)];
+    PAQL_CHECK(out.AddRow(std::move(row)).ok());
+  }
+  return out;
+}
+
+/// True when the row subset is infeasible under the chosen certification.
+Result<bool> IsInfeasible(const lp::Model& model, const std::vector<int>& keep,
+                          const IisOptions& options) {
+  lp::Model restricted = RestrictRows(model, keep);
+  if (!options.use_ilp) {
+    lp::LpResult lp = SolveLpRelaxation(restricted);
+    if (lp.status == lp::LpStatus::kInfeasible) return true;
+    if (lp.status == lp::LpStatus::kOptimal ||
+        lp.status == lp::LpStatus::kUnbounded) {
+      return false;
+    }
+    return Status::ResourceExhausted(
+        "LP relaxation did not converge during IIS filtering");
+  }
+  auto sol = SolveIlp(restricted, options.probe_limits);
+  if (sol.ok()) return false;
+  if (sol.status().IsInfeasible()) return true;
+  if (sol.status().code() == StatusCode::kUnbounded) return false;
+  return sol.status();
+}
+
+}  // namespace
+
+Result<std::vector<int>> FindIisRows(const lp::Model& model,
+                                     const IisOptions& options) {
+  std::vector<int> active(static_cast<size_t>(model.num_rows()));
+  for (int r = 0; r < model.num_rows(); ++r) {
+    active[static_cast<size_t>(r)] = r;
+  }
+  PAQL_ASSIGN_OR_RETURN(bool infeasible, IsInfeasible(model, active, options));
+  if (!infeasible) {
+    return Status::InvalidArgument(
+        "FindIisRows requires an infeasible model");
+  }
+
+  // Deletion filter: drop each row in turn; if the rest is still infeasible
+  // the row is redundant to the conflict and stays out, otherwise it is
+  // essential and stays in. One pass suffices for irreducibility: when row
+  // r is kept, every subsequent probe includes it, so the final set minus
+  // any single kept row was certified feasible at the moment that row was
+  // examined — and dropping more rows afterwards only keeps it feasible.
+  std::vector<int> kept;
+  for (size_t i = 0; i < active.size(); ++i) {
+    std::vector<int> probe = kept;
+    for (size_t j = i + 1; j < active.size(); ++j) probe.push_back(active[j]);
+    PAQL_ASSIGN_OR_RETURN(bool still, IsInfeasible(model, probe, options));
+    if (!still) kept.push_back(active[i]);
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace paql::ilp

@@ -1,0 +1,50 @@
+// Irreducible infeasible subsystem (IIS) computation.
+//
+// The paper (Section 4.4, remedy 3 and footnote 1) relies on the solver's
+// ability to identify "a minimal set of infeasible constraints: removing
+// any constraint from the set makes the problem feasible". CPLEX exposes
+// this as conflict refinement; this module provides the equivalent for the
+// built-in solver via the classic deletion filter: walk the rows, drop each
+// row whose removal keeps the system infeasible, and keep the rest. The
+// result is an irreducible (not necessarily minimum) infeasible subset of
+// row indices.
+//
+// Infeasibility is certified with the LP relaxation by default — package-
+// query infeasibility is almost always already LP-infeasible because the
+// constraint rows are few and wide. When the LP is feasible but the ILP is
+// not (integrality-induced infeasibility), the filter can run in exact ILP
+// mode at higher cost.
+#ifndef PAQL_ILP_IIS_H_
+#define PAQL_ILP_IIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ilp/solver_limits.h"
+#include "lp/model.h"
+
+namespace paql::ilp {
+
+struct IisOptions {
+  /// Certify infeasibility with full ILP solves instead of LP relaxations.
+  /// Exact but expensive; only needed for integrality-induced conflicts.
+  bool use_ilp = false;
+  /// Budget per feasibility probe (ILP mode only).
+  SolverLimits probe_limits;
+};
+
+/// Row indices of an irreducible infeasible subsystem of `model`.
+///
+/// Requires `model` to be infeasible (in the chosen certification mode);
+/// returns InvalidArgument when it is feasible, so callers cannot misread a
+/// feasible system as conflicting. The returned set is irreducible: the
+/// model restricted to these rows (keeping all variable bounds) is
+/// infeasible, and removing any single row from the set makes it feasible.
+/// Variable bounds are always kept — bound-only conflicts yield an empty
+/// row set with an OK status.
+Result<std::vector<int>> FindIisRows(const lp::Model& model,
+                                     const IisOptions& options = {});
+
+}  // namespace paql::ilp
+
+#endif  // PAQL_ILP_IIS_H_

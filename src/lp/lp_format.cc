@@ -1,0 +1,562 @@
+#include "lp/lp_format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace paql::lp {
+
+namespace {
+
+/// Full-precision numeric rendering (round-trip safe for our data).
+std::string Num(double v) { return FormatDouble(v, 15); }
+
+/// LP-format identifiers: letters, digits, underscores; must not start with
+/// a digit or 'e'/'E' (which would parse as a number).
+std::string SanitizeName(const std::string& name, int index,
+                         const char* prefix) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out += c;
+    } else if (c == ' ' || c == '(' || c == ')' || c == '.') {
+      out += '_';
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) ||
+      out[0] == 'e' || out[0] == 'E') {
+    out = StrCat(prefix, index, out.empty() ? "" : "_", out);
+  }
+  return out;
+}
+
+void WriteTerm(std::ostream& out, double coef, int var, bool first) {
+  if (coef >= 0) {
+    out << (first ? "" : " + ");
+  } else {
+    out << (first ? "- " : " - ");
+  }
+  double mag = std::abs(coef);
+  if (mag != 1.0) out << Num(mag) << " ";
+  out << "x" << var;
+}
+
+void WriteLinear(std::ostream& out, const std::vector<int>& vars,
+                 const std::vector<double>& coefs) {
+  bool first = true;
+  for (size_t k = 0; k < vars.size(); ++k) {
+    if (coefs[k] == 0) continue;
+    WriteTerm(out, coefs[k], vars[k], first);
+    first = false;
+  }
+  if (first) out << "0 x0";  // empty expression placeholder
+}
+
+}  // namespace
+
+void WriteLpFormat(const Model& model, std::ostream& out) {
+  out << "\\ " << model.num_vars() << " variables, " << model.num_rows()
+      << " rows (paql export)\n";
+  out << (model.sense() == Sense::kMaximize ? "Maximize" : "Minimize")
+      << "\n obj: ";
+  std::vector<int> obj_vars;
+  std::vector<double> obj_coefs;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (model.obj()[j] != 0) {
+      obj_vars.push_back(j);
+      obj_coefs.push_back(model.obj()[j]);
+    }
+  }
+  WriteLinear(out, obj_vars, obj_coefs);
+  out << "\nSubject To\n";
+  std::map<std::string, int> used;
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const RowDef& row = model.rows()[static_cast<size_t>(i)];
+    std::string base = SanitizeName(row.name, i, "c");
+    if (int n = used[base]++; n > 0) base = StrCat(base, "_", n);
+    bool is_equality = row.lo == row.hi && std::isfinite(row.lo);
+    if (is_equality) {
+      out << " " << base << ": ";
+      WriteLinear(out, row.vars, row.coefs);
+      out << " = " << Num(row.lo) << "\n";
+      continue;
+    }
+    if (std::isfinite(row.hi)) {
+      out << " " << base << "_hi: ";
+      WriteLinear(out, row.vars, row.coefs);
+      out << " <= " << Num(row.hi) << "\n";
+    }
+    if (std::isfinite(row.lo)) {
+      out << " " << base << "_lo: ";
+      WriteLinear(out, row.vars, row.coefs);
+      out << " >= " << Num(row.lo) << "\n";
+    }
+  }
+  out << "Bounds\n";
+  std::vector<int> binaries, generals;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    double lb = model.lb()[j], ub = model.ub()[j];
+    if (model.is_integer()[j]) {
+      if (lb == 0 && ub == 1) {
+        binaries.push_back(j);
+      } else {
+        generals.push_back(j);
+      }
+    }
+    // Binaries are implicitly [0,1]; everything else is written explicitly
+    // (the LP-format default of [0, +inf) matches our common case, but
+    // being explicit keeps the parser simple and the file unambiguous).
+    if (model.is_integer()[j] && lb == 0 && ub == 1) continue;
+    if (std::isinf(lb) && std::isinf(ub)) {
+      out << " x" << j << " free\n";
+    } else if (std::isinf(ub)) {
+      out << " x" << j << " >= " << Num(lb) << "\n";
+    } else {
+      out << " " << Num(lb) << " <= x" << j
+          << " <= " << Num(ub) << "\n";
+    }
+  }
+  if (!generals.empty()) {
+    out << "Generals\n";
+    for (int j : generals) out << " x" << j;
+    out << "\n";
+  }
+  if (!binaries.empty()) {
+    out << "Binaries\n";
+    for (int j : binaries) out << " x" << j;
+    out << "\n";
+  }
+  out << "End\n";
+}
+
+std::string ToLpFormat(const Model& model) {
+  std::ostringstream out;
+  WriteLpFormat(model, out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Token-level scanner over LP text. Comments run from '\' to end of line.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) { Advance(); }
+
+  const std::string& token() const { return token_; }
+  bool done() const { return token_.empty(); }
+
+  void Advance() {
+    token_.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\\') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size()) return;
+    char c = text_[pos_];
+    // Multi-char comparison operators and single-char punctuation.
+    if (c == '<' || c == '>' || c == '=') {
+      token_ += c;
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        token_ += '=';
+        ++pos_;
+      }
+      return;
+    }
+    if (c == '+' || c == '-' || c == ':') {
+      token_ += c;
+      ++pos_;
+      return;
+    }
+    // Number or identifier (identifiers may embed digits/underscores).
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+          d == '.' || ((d == '+' || d == '-') && !token_.empty() &&
+                       (token_.back() == 'e' || token_.back() == 'E') &&
+                       LooksNumeric())) {
+        token_ += d;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (token_.empty()) ++pos_;  // skip unknown punctuation
+  }
+
+ private:
+  bool LooksNumeric() const {
+    return !token_.empty() &&
+           (std::isdigit(static_cast<unsigned char>(token_[0])) ||
+            token_[0] == '.');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string token_;
+};
+
+bool IsNumber(const std::string& tok, double* value) {
+  if (tok.empty()) return false;
+  char first = tok[0];
+  if (!std::isdigit(static_cast<unsigned char>(first)) && first != '.') {
+    return false;
+  }
+  char* end = nullptr;
+  *value = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
+bool EqualsKeyword(const std::string& tok, const char* kw) {
+  return EqualsIgnoreCase(tok, kw);
+}
+
+/// One parsed constraint before range folding.
+struct ParsedRow {
+  std::string name;
+  std::map<int, double> terms;
+  double lo = -kInf;
+  double hi = kInf;
+};
+
+}  // namespace
+
+Result<Model> ParseLpFormat(std::string_view text) {
+  Scanner scan(text);
+  if (scan.done()) return Status::InvalidArgument("empty LP text");
+
+  bool maximize;
+  if (EqualsKeyword(scan.token(), "Maximize")) {
+    maximize = true;
+  } else if (EqualsKeyword(scan.token(), "Minimize")) {
+    maximize = false;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("expected Maximize/Minimize, found '", scan.token(), "'"));
+  }
+  scan.Advance();
+
+  int max_var = -1;
+  auto parse_var = [&](const std::string& tok, int* var) {
+    if (tok.size() < 2 || (tok[0] != 'x' && tok[0] != 'X')) return false;
+    for (size_t i = 1; i < tok.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return false;
+    }
+    *var = std::stoi(tok.substr(1));
+    max_var = std::max(max_var, *var);
+    return true;
+  };
+
+  // Parse a linear expression: [name:] {(+|-) [coef] var}...
+  // Stops at a comparison operator or a section keyword.
+  auto is_section = [&](const std::string& tok) {
+    return EqualsKeyword(tok, "Subject") || EqualsKeyword(tok, "st") ||
+           EqualsKeyword(tok, "Bounds") || EqualsKeyword(tok, "Generals") ||
+           EqualsKeyword(tok, "Binaries") || EqualsKeyword(tok, "End") ||
+           EqualsKeyword(tok, "General") || EqualsKeyword(tok, "Binary");
+  };
+  auto parse_linear = [&](std::map<int, double>* terms) -> Status {
+    double sign = 1.0;
+    bool pending_sign = false;
+    while (!scan.done()) {
+      const std::string& tok = scan.token();
+      if (tok == "+") {
+        sign = pending_sign ? sign : 1.0;
+        pending_sign = true;
+        scan.Advance();
+        continue;
+      }
+      if (tok == "-") {
+        sign = pending_sign ? -sign : -1.0;
+        pending_sign = true;
+        scan.Advance();
+        continue;
+      }
+      double value;
+      int var;
+      if (IsNumber(tok, &value)) {
+        scan.Advance();
+        if (scan.done() || !parse_var(scan.token(), &var)) {
+          return Status::InvalidArgument(
+              StrCat("expected variable after coefficient ", value));
+        }
+        (*terms)[var] += sign * value;
+        scan.Advance();
+      } else if (parse_var(tok, &var)) {
+        (*terms)[var] += sign;
+        scan.Advance();
+      } else {
+        break;  // operator or section keyword
+      }
+      sign = 1.0;
+      pending_sign = false;
+    }
+    return Status::OK();
+  };
+
+  std::map<int, double> objective;
+  // Optional "obj:" label.
+  {
+    std::string maybe_name = scan.token();
+    double ignored;
+    if (!IsNumber(maybe_name, &ignored) && !is_section(maybe_name)) {
+      Scanner look = scan;  // peek for ':'
+      look.Advance();
+      if (look.token() == ":") {
+        scan = look;
+        scan.Advance();
+      }
+    }
+  }
+  PAQL_RETURN_IF_ERROR(parse_linear(&objective));
+
+  // Subject To
+  if (!(EqualsKeyword(scan.token(), "Subject") ||
+        EqualsKeyword(scan.token(), "st"))) {
+    return Status::InvalidArgument(
+        StrCat("expected 'Subject To', found '", scan.token(), "'"));
+  }
+  scan.Advance();
+  if (EqualsKeyword(scan.token(), "To")) scan.Advance();
+
+  std::vector<ParsedRow> parsed_rows;
+  while (!scan.done() && !is_section(scan.token())) {
+    ParsedRow row;
+    // Optional "name:" prefix.
+    {
+      std::string maybe_name = scan.token();
+      double ignored;
+      if (!IsNumber(maybe_name, &ignored)) {
+        Scanner look = scan;
+        look.Advance();
+        if (look.token() == ":") {
+          row.name = maybe_name;
+          scan = look;
+          scan.Advance();
+        }
+      }
+    }
+    PAQL_RETURN_IF_ERROR(parse_linear(&row.terms));
+    const std::string op = scan.token();
+    if (op != "<=" && op != ">=" && op != "=" && op != "<" && op != ">") {
+      return Status::InvalidArgument(
+          StrCat("expected comparison in constraint '", row.name,
+                 "', found '", op, "'"));
+    }
+    scan.Advance();
+    double rhs;
+    double sign = 1.0;
+    if (scan.token() == "-") {
+      sign = -1.0;
+      scan.Advance();
+    } else if (scan.token() == "+") {
+      scan.Advance();
+    }
+    if (!IsNumber(scan.token(), &rhs)) {
+      return Status::InvalidArgument(
+          StrCat("expected numeric right-hand side in constraint '",
+                 row.name, "'"));
+    }
+    rhs *= sign;
+    scan.Advance();
+    if (op == "<=" || op == "<") {
+      row.hi = rhs;
+    } else if (op == ">=" || op == ">") {
+      row.lo = rhs;
+    } else {
+      row.lo = row.hi = rhs;
+    }
+    parsed_rows.push_back(std::move(row));
+  }
+
+  // Bounds / Generals / Binaries sections.
+  struct VarInfo {
+    double lb = 0;
+    double ub = kInf;
+    bool integer = false;
+    bool binary = false;
+  };
+  std::map<int, VarInfo> var_info;
+  while (!scan.done() && !EqualsKeyword(scan.token(), "End")) {
+    if (EqualsKeyword(scan.token(), "Bounds")) {
+      scan.Advance();
+      while (!scan.done() && !is_section(scan.token())) {
+        // Forms: `lo <= xj <= hi`, `xj <= hi`, `xj >= lo`, `xj free`,
+        // `xj = v`.
+        double first_num;
+        double sign = 1.0;
+        if (scan.token() == "-") {
+          sign = -1.0;
+          scan.Advance();
+        }
+        if (IsNumber(scan.token(), &first_num)) {
+          first_num *= sign;
+          scan.Advance();
+          if (scan.token() != "<=" && scan.token() != "<") {
+            return Status::InvalidArgument("malformed bound line");
+          }
+          scan.Advance();
+          int var;
+          if (!parse_var(scan.token(), &var)) {
+            return Status::InvalidArgument("expected variable in bound");
+          }
+          scan.Advance();
+          var_info[var].lb = first_num;
+          if (scan.token() == "<=" || scan.token() == "<") {
+            scan.Advance();
+            double hi_sign = 1.0;
+            if (scan.token() == "-") {
+              hi_sign = -1.0;
+              scan.Advance();
+            }
+            double hi;
+            if (!IsNumber(scan.token(), &hi)) {
+              return Status::InvalidArgument("expected upper bound");
+            }
+            var_info[var].ub = hi_sign * hi;
+            scan.Advance();
+          }
+          continue;
+        }
+        int var;
+        if (!parse_var(scan.token(), &var)) {
+          return Status::InvalidArgument(
+              StrCat("unexpected token in Bounds: '", scan.token(), "'"));
+        }
+        scan.Advance();
+        if (EqualsKeyword(scan.token(), "free")) {
+          var_info[var].lb = -kInf;
+          var_info[var].ub = kInf;
+          scan.Advance();
+        } else if (scan.token() == "<=" || scan.token() == "<" ||
+                   scan.token() == ">=" || scan.token() == ">" ||
+                   scan.token() == "=") {
+          std::string op = scan.token();
+          scan.Advance();
+          double v_sign = 1.0;
+          if (scan.token() == "-") {
+            v_sign = -1.0;
+            scan.Advance();
+          }
+          double v;
+          if (!IsNumber(scan.token(), &v)) {
+            return Status::InvalidArgument("expected bound value");
+          }
+          v *= v_sign;
+          scan.Advance();
+          if (op == "<=" || op == "<") {
+            var_info[var].ub = v;
+          } else if (op == ">=" || op == ">") {
+            var_info[var].lb = v;
+          } else {
+            var_info[var].lb = var_info[var].ub = v;
+          }
+        } else {
+          return Status::InvalidArgument("malformed bound line");
+        }
+      }
+      continue;
+    }
+    if (EqualsKeyword(scan.token(), "Generals") ||
+        EqualsKeyword(scan.token(), "General")) {
+      scan.Advance();
+      int var;
+      while (!scan.done() && parse_var(scan.token(), &var)) {
+        var_info[var].integer = true;
+        scan.Advance();
+      }
+      continue;
+    }
+    if (EqualsKeyword(scan.token(), "Binaries") ||
+        EqualsKeyword(scan.token(), "Binary")) {
+      scan.Advance();
+      int var;
+      while (!scan.done() && parse_var(scan.token(), &var)) {
+        var_info[var].integer = true;
+        var_info[var].binary = true;
+        scan.Advance();
+      }
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrCat("unexpected section '", scan.token(), "'"));
+  }
+
+  // Assemble the model.
+  Model model;
+  model.set_sense(maximize ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j <= max_var; ++j) {
+    VarInfo info;
+    if (auto it = var_info.find(j); it != var_info.end()) info = it->second;
+    if (info.binary) {
+      info.lb = 0;
+      info.ub = 1;
+    }
+    double obj = 0;
+    if (auto it = objective.find(j); it != objective.end()) obj = it->second;
+    model.AddVariable(info.lb, info.ub, obj, info.integer);
+  }
+
+  // Fold `name_lo` / `name_hi` pairs with identical terms into range rows.
+  auto strip_suffix = [](const std::string& name, const char* suffix) {
+    size_t n = std::string(suffix).size();
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+      return name.substr(0, name.size() - n);
+    }
+    return std::string();
+  };
+  std::vector<bool> folded(parsed_rows.size(), false);
+  for (size_t i = 0; i < parsed_rows.size(); ++i) {
+    if (folded[i]) continue;
+    ParsedRow& row = parsed_rows[i];
+    std::string base_hi = strip_suffix(row.name, "_hi");
+    std::string base_lo = strip_suffix(row.name, "_lo");
+    const std::string& base = !base_hi.empty() ? base_hi : base_lo;
+    if (!base.empty()) {
+      for (size_t k = i + 1; k < parsed_rows.size(); ++k) {
+        if (folded[k]) continue;
+        ParsedRow& other = parsed_rows[k];
+        std::string other_base = !base_hi.empty()
+                                     ? strip_suffix(other.name, "_lo")
+                                     : strip_suffix(other.name, "_hi");
+        if (other_base == base && other.terms == row.terms) {
+          row.lo = std::max(row.lo, other.lo);
+          row.hi = std::min(row.hi, other.hi);
+          row.name = base;
+          folded[k] = true;
+          break;
+        }
+      }
+    }
+    RowDef def;
+    def.name = row.name;
+    def.lo = row.lo;
+    def.hi = row.hi;
+    for (const auto& [var, coef] : row.terms) {
+      def.vars.push_back(var);
+      def.coefs.push_back(coef);
+    }
+    PAQL_RETURN_IF_ERROR(model.AddRow(std::move(def)));
+  }
+  return model;
+}
+
+}  // namespace paql::lp

@@ -1,0 +1,44 @@
+// CPLEX LP file format serialization for lp::Model.
+//
+// The paper's system hands its ILPs to a black-box solver (CPLEX). This
+// module provides the equivalent escape hatch for ours: any translated
+// package query can be exported in the industry-standard LP text format and
+// solved by an external solver (CPLEX, Gurobi, CBC, SCIP, HiGHS all read
+// it), and models written by other tools can be imported for our solver.
+//
+// Dialect notes:
+//  * Range rows `lo <= a'x <= hi` are written as two named constraints
+//    (`name_lo`, `name_hi`) because ranged constraints are not part of the
+//    portable core of the format. The parser folds `X_lo`/`X_hi` pairs with
+//    identical coefficients back into one range row.
+//  * Variables are named x0..x{n-1}; constraint names are sanitized to
+//    [A-Za-z0-9_] (the original names are package-predicate strings like
+//    "SUM(kcal) BETWEEN").
+//  * Integer variables are declared under `Generals` (or `Binaries` when
+//    bounded to [0,1]).
+#ifndef PAQL_LP_LP_FORMAT_H_
+#define PAQL_LP_LP_FORMAT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace paql::lp {
+
+/// Serialize `model` in CPLEX LP format.
+void WriteLpFormat(const Model& model, std::ostream& out);
+
+/// Convenience: serialize to a string.
+std::string ToLpFormat(const Model& model);
+
+/// Parse a model from LP-format text. Supports the subset WriteLpFormat
+/// emits plus free-form whitespace, comments (`\ ...`), and constraints in
+/// either `a'x cmp b` orientation.
+Result<Model> ParseLpFormat(std::string_view text);
+
+}  // namespace paql::lp
+
+#endif  // PAQL_LP_LP_FORMAT_H_

@@ -1,0 +1,105 @@
+#include "lp/model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace paql::lp {
+
+int Model::AddVariable(double lb, double ub, double obj_coef,
+                       bool is_integer) {
+  PAQL_CHECK_MSG(lb <= ub, "variable bounds crossed: [" << lb << ", " << ub
+                                                        << "]");
+  obj_.push_back(obj_coef);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  integer_.push_back(is_integer);
+  return num_vars() - 1;
+}
+
+Status Model::AddRow(RowDef row) {
+  if (row.vars.size() != row.coefs.size()) {
+    return Status::InvalidArgument("row vars/coefs size mismatch");
+  }
+  if (row.lo > row.hi) {
+    return Status::InvalidArgument(
+        StrCat("row '", row.name, "' has crossed bounds [", row.lo, ", ",
+               row.hi, "]"));
+  }
+  for (int v : row.vars) {
+    if (v < 0 || v >= num_vars()) {
+      return Status::InvalidArgument(
+          StrCat("row '", row.name, "' references unknown variable ", v));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+int Model::num_integer_vars() const {
+  int count = 0;
+  for (bool b : integer_) count += b ? 1 : 0;
+  return count;
+}
+
+size_t Model::ApproximateBytes() const {
+  size_t bytes = obj_.size() * (3 * sizeof(double) + 1);
+  for (const auto& row : rows_) {
+    bytes += row.vars.size() * (sizeof(int) + sizeof(double));
+  }
+  return bytes;
+}
+
+double Model::ObjectiveValue(const std::vector<double>& x) const {
+  PAQL_CHECK(static_cast<int>(x.size()) == num_vars());
+  double total = 0;
+  for (int j = 0; j < num_vars(); ++j) total += obj_[j] * x[j];
+  return total;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_vars()) return false;
+  for (int j = 0; j < num_vars(); ++j) {
+    double slack_tol = tol * (1.0 + std::abs(x[j]));
+    if (x[j] < lb_[j] - slack_tol || x[j] > ub_[j] + slack_tol) return false;
+    if (integer_[j] && std::abs(x[j] - std::round(x[j])) > tol) return false;
+  }
+  for (const auto& row : rows_) {
+    double activity = 0;
+    for (size_t k = 0; k < row.vars.size(); ++k) {
+      activity += row.coefs[k] * x[row.vars[k]];
+    }
+    double row_tol = tol * (1.0 + std::abs(activity));
+    if (activity < row.lo - row_tol || activity > row.hi + row_tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Model::ToString() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::kMaximize ? "maximize" : "minimize");
+  for (int j = 0; j < num_vars(); ++j) {
+    if (obj_[j] != 0) os << " + " << obj_[j] << " x" << j;
+  }
+  os << "\nsubject to:\n";
+  for (const auto& row : rows_) {
+    os << "  " << row.lo << " <=";
+    for (size_t k = 0; k < row.vars.size(); ++k) {
+      os << " + " << row.coefs[k] << " x" << row.vars[k];
+    }
+    os << " <= " << row.hi;
+    if (!row.name.empty()) os << "   (" << row.name << ")";
+    os << "\n";
+  }
+  os << "bounds:\n";
+  for (int j = 0; j < num_vars(); ++j) {
+    os << "  " << lb_[j] << " <= x" << j << " <= " << ub_[j]
+       << (integer_[j] ? " integer" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paql::lp

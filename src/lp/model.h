@@ -1,0 +1,92 @@
+// Linear / integer-linear program model.
+//
+// Package-query ILPs have a distinctive shape (paper Section 3.1): one
+// variable per tuple (many columns — up to millions) and one row per global
+// predicate (very few rows). The model stores rows sparsely; the simplex
+// solver densifies columns internally because m is tiny.
+#ifndef PAQL_LP_MODEL_H_
+#define PAQL_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace paql::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Optimization direction.
+enum class Sense { kMinimize, kMaximize };
+
+/// One linear range row:  lo <= sum_j coef_j * x_{var_j} <= hi.
+/// Equality rows use lo == hi; one-sided rows use -inf / +inf.
+struct RowDef {
+  std::vector<int> vars;
+  std::vector<double> coefs;
+  double lo = -kInf;
+  double hi = kInf;
+  std::string name;  // for diagnostics (e.g. "SUM(kcal) BETWEEN")
+};
+
+/// A (mixed-)integer linear program.
+///
+/// Build with AddVariable / AddRow, then hand to SimplexSolver (LP
+/// relaxation) or ilp::BranchAndBoundSolver.
+class Model {
+ public:
+  /// Add a variable; returns its index. `ub` may be kInf.
+  int AddVariable(double lb, double ub, double obj_coef, bool is_integer);
+
+  /// Overwrite one objective coefficient. Used by parametric solves
+  /// (core/ratio_objective.h re-weights the same model per Dinkelbach
+  /// iteration instead of rebuilding it).
+  void set_obj_coef(int var, double coef) {
+    obj_[static_cast<size_t>(var)] = coef;
+  }
+
+  /// Add a range row. Variable indices must already exist.
+  Status AddRow(RowDef row);
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  Sense sense() const { return sense_; }
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  const std::vector<double>& obj() const { return obj_; }
+  const std::vector<double>& lb() const { return lb_; }
+  const std::vector<double>& ub() const { return ub_; }
+  const std::vector<bool>& is_integer() const { return integer_; }
+  const std::vector<RowDef>& rows() const { return rows_; }
+
+  /// Count of integer-constrained variables.
+  int num_integer_vars() const;
+
+  /// Approximate memory footprint of the model (used for the solver's
+  /// memory-budget accounting that emulates CPLEX's failure mode).
+  size_t ApproximateBytes() const;
+
+  /// Evaluate the objective for an assignment.
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  /// Check that `x` satisfies all rows and bounds within `tol`
+  /// (absolute+relative). Integrality is checked for integer variables.
+  bool IsFeasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Human-readable rendering (small models only; for tests/debugging).
+  std::string ToString() const;
+
+ private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<double> obj_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<bool> integer_;
+  std::vector<RowDef> rows_;
+};
+
+}  // namespace paql::lp
+
+#endif  // PAQL_LP_MODEL_H_

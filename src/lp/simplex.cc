@@ -1,0 +1,442 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace paql::lp {
+
+const char* LpStatusName(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "Optimal";
+    case LpStatus::kInfeasible: return "Infeasible";
+    case LpStatus::kUnbounded: return "Unbounded";
+    case LpStatus::kIterationLimit: return "IterationLimit";
+    case LpStatus::kTimeLimit: return "TimeLimit";
+  }
+  return "Unknown";
+}
+
+SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
+    : model_(&model), options_(options) {
+  m_ = model.num_rows();
+  n_ = model.num_vars();
+  total_ = n_ + m_;
+  obj_sign_ = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+
+  // Densify the sparse rows into column-major storage.
+  cols_.assign(static_cast<size_t>(n_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const RowDef& row = model.rows()[i];
+    for (size_t k = 0; k < row.vars.size(); ++k) {
+      cols_[static_cast<size_t>(row.vars[k]) * m_ + i] += row.coefs[k];
+    }
+  }
+
+  cost_.assign(total_, 0.0);
+  lb_.resize(total_);
+  ub_.resize(total_);
+  for (int j = 0; j < n_; ++j) {
+    cost_[j] = obj_sign_ * model.obj()[j];
+    lb_[j] = model.lb()[j];
+    ub_[j] = model.ub()[j];
+  }
+  for (int i = 0; i < m_; ++i) {
+    lb_[n_ + i] = model.rows()[i].lo;
+    ub_[n_ + i] = model.rows()[i].hi;
+  }
+  status_.assign(total_, VarStatus::kAtLower);
+  basis_.assign(m_, -1);
+  binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  xb_.assign(m_, 0.0);
+}
+
+size_t SimplexSolver::ApproximateBytes() const {
+  return cols_.size() * sizeof(double) + binv_.size() * sizeof(double) +
+         (cost_.size() + lb_.size() + ub_.size()) * sizeof(double) +
+         status_.size() + basis_.size() * sizeof(int);
+}
+
+void SimplexSolver::SetVarBounds(int var, double lb, double ub) {
+  PAQL_CHECK(var >= 0 && var < n_);
+  PAQL_CHECK_MSG(lb <= ub, "crossed bounds for x" << var);
+  lb_[var] = lb;
+  ub_[var] = ub;
+  if (status_[var] == VarStatus::kBasic) return;
+  // Keep the nonbasic variable resting on a bound that still exists.
+  if (status_[var] == VarStatus::kAtUpper && std::isinf(ub)) {
+    status_[var] =
+        std::isinf(lb) ? VarStatus::kFree : VarStatus::kAtLower;
+  } else if (status_[var] == VarStatus::kAtLower && std::isinf(lb)) {
+    status_[var] = std::isinf(ub) ? VarStatus::kFree : VarStatus::kAtUpper;
+  } else if (status_[var] == VarStatus::kFree && !std::isinf(lb)) {
+    status_[var] = VarStatus::kAtLower;
+  }
+}
+
+void SimplexSolver::ResetVarBounds() {
+  for (int j = 0; j < n_; ++j) {
+    SetVarBounds(j, model_->lb()[j], model_->ub()[j]);
+  }
+}
+
+double SimplexSolver::NonbasicValue(int j) const {
+  switch (status_[j]) {
+    case VarStatus::kAtLower: return lb_[j];
+    case VarStatus::kAtUpper: return ub_[j];
+    case VarStatus::kFree: return 0.0;
+    case VarStatus::kBasic: break;
+  }
+  PAQL_CHECK_MSG(false, "NonbasicValue on basic variable " << j);
+  return 0.0;
+}
+
+void SimplexSolver::InitAllSlackBasis() {
+  for (int j = 0; j < n_; ++j) {
+    if (!std::isinf(lb_[j])) {
+      status_[j] = VarStatus::kAtLower;
+    } else if (!std::isinf(ub_[j])) {
+      status_[j] = VarStatus::kAtUpper;
+    } else {
+      status_[j] = VarStatus::kFree;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    basis_[i] = n_ + i;
+    status_[n_ + i] = VarStatus::kBasic;
+  }
+  // B = -I  =>  B^{-1} = -I.
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) binv_[static_cast<size_t>(i) * m_ + i] = -1.0;
+  basis_valid_ = true;
+  pivots_since_refactor_ = 0;
+}
+
+bool SimplexSolver::Refactorize() {
+  // Build the basis matrix B column-by-column and invert with Gauss-Jordan
+  // (partial pivoting). m_ is tiny, so O(m^3) is negligible.
+  std::vector<double> work(static_cast<size_t>(m_) * 2 * m_, 0.0);
+  auto at = [&](int r, int c) -> double& { return work[r * 2 * m_ + c]; };
+  for (int c = 0; c < m_; ++c) {
+    int j = basis_[c];
+    for (int r = 0; r < m_; ++r) at(r, c) = ColEntry(j, r);
+  }
+  for (int r = 0; r < m_; ++r) at(r, m_ + r) = 1.0;
+
+  for (int col = 0; col < m_; ++col) {
+    int pivot_row = col;
+    double best = std::abs(at(col, col));
+    for (int r = col + 1; r < m_; ++r) {
+      if (std::abs(at(r, col)) > best) {
+        best = std::abs(at(r, col));
+        pivot_row = r;
+      }
+    }
+    if (best < options_.pivot_tol) return false;  // singular basis
+    if (pivot_row != col) {
+      for (int c = 0; c < 2 * m_; ++c) std::swap(at(col, c), at(pivot_row, c));
+    }
+    double pivot = at(col, col);
+    for (int c = 0; c < 2 * m_; ++c) at(col, c) /= pivot;
+    for (int r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      double factor = at(r, col);
+      if (factor == 0.0) continue;
+      for (int c = 0; c < 2 * m_; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    for (int c = 0; c < m_; ++c) {
+      binv_[static_cast<size_t>(r) * m_ + c] = at(r, m_ + c);
+    }
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void SimplexSolver::ComputeBasicValues() {
+  // x_B = -B^{-1} (sum over nonbasic j of A_j x_j).
+  std::vector<double> r(m_, 0.0);
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    double xj = NonbasicValue(j);
+    if (xj == 0.0) continue;
+    if (j < n_) {
+      const double* col = &cols_[static_cast<size_t>(j) * m_];
+      for (int i = 0; i < m_; ++i) r[i] += col[i] * xj;
+    } else {
+      r[j - n_] -= xj;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    double v = 0;
+    const double* row = &binv_[static_cast<size_t>(i) * m_];
+    for (int k = 0; k < m_; ++k) v += row[k] * r[k];
+    xb_[i] = -v;
+  }
+}
+
+double SimplexSolver::TotalInfeasibility() const {
+  double total = 0;
+  for (int i = 0; i < m_; ++i) {
+    int b = basis_[i];
+    double tol = options_.feas_tol * (1.0 + std::abs(xb_[i]));
+    if (xb_[i] < lb_[b] - tol) total += lb_[b] - xb_[i];
+    if (xb_[i] > ub_[b] + tol) total += xb_[i] - ub_[b];
+  }
+  return total;
+}
+
+void SimplexSolver::ComputeDuals(bool phase1, std::vector<double>* y) const {
+  std::vector<double> cb(m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    int b = basis_[i];
+    if (phase1) {
+      double tol = options_.feas_tol * (1.0 + std::abs(xb_[i]));
+      if (xb_[i] < lb_[b] - tol) cb[i] = -1.0;
+      else if (xb_[i] > ub_[b] + tol) cb[i] = 1.0;
+    } else {
+      cb[i] = cost_[b];
+    }
+  }
+  // y^T = c_B^T B^{-1}  =>  y[c] = sum_r cb[r] * binv[r][c].
+  y->assign(m_, 0.0);
+  for (int r = 0; r < m_; ++r) {
+    if (cb[r] == 0.0) continue;
+    const double* row = &binv_[static_cast<size_t>(r) * m_];
+    for (int c = 0; c < m_; ++c) (*y)[c] += cb[r] * row[c];
+  }
+}
+
+void SimplexSolver::Ftran(int j, std::vector<double>* w) const {
+  w->assign(m_, 0.0);
+  if (j < n_) {
+    const double* col = &cols_[static_cast<size_t>(j) * m_];
+    for (int i = 0; i < m_; ++i) {
+      double v = 0;
+      const double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) v += row[k] * col[k];
+      (*w)[i] = v;
+    }
+  } else {
+    int slack_row = j - n_;
+    for (int i = 0; i < m_; ++i) {
+      (*w)[i] = -binv_[static_cast<size_t>(i) * m_ + slack_row];
+    }
+  }
+}
+
+LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
+                                 int* iterations) {
+  const double kTol = options_.opt_tol;
+  std::vector<double> y, w;
+  int degenerate_streak = 0;
+  bool bland = false;
+
+  while (true) {
+    if (*iterations >= options_.max_iterations) {
+      return LpStatus::kIterationLimit;
+    }
+    if ((*iterations & 63) == 0 && deadline.Expired()) {
+      return LpStatus::kTimeLimit;
+    }
+    if (pivots_since_refactor_ >= options_.refactor_every) {
+      if (!Refactorize()) {
+        InitAllSlackBasis();
+      }
+      ComputeBasicValues();
+    }
+    if (phase1 && TotalInfeasibility() <= options_.feas_tol * m_) {
+      return LpStatus::kOptimal;  // feasible: phase 1 complete
+    }
+
+    ComputeDuals(phase1, &y);
+
+    // --- Pricing: choose the entering variable. ---
+    int enter = -1;
+    double enter_sigma = 0;
+    double best_score = kTol;
+    for (int j = 0; j < total_; ++j) {
+      VarStatus st = status_[j];
+      if (st == VarStatus::kBasic) continue;
+      // A degenerate nonbasic variable (lb == ub) can never move.
+      if (st != VarStatus::kFree && lb_[j] == ub_[j]) continue;
+      double cj = phase1 ? 0.0 : cost_[j];
+      double d;
+      if (j < n_) {
+        const double* col = &cols_[static_cast<size_t>(j) * m_];
+        double dot = 0;
+        for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
+        d = cj - dot;
+      } else {
+        d = cj + y[j - n_];
+      }
+      double score = 0;
+      double sigma = 0;
+      if (st == VarStatus::kAtLower && d < -kTol) {
+        score = -d;
+        sigma = +1;
+      } else if (st == VarStatus::kAtUpper && d > kTol) {
+        score = d;
+        sigma = -1;
+      } else if (st == VarStatus::kFree && std::abs(d) > kTol) {
+        score = std::abs(d);
+        sigma = d < 0 ? +1 : -1;
+      } else {
+        continue;
+      }
+      if (bland) {  // Bland's rule: first eligible index
+        enter = j;
+        enter_sigma = sigma;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        enter_sigma = sigma;
+      }
+    }
+    if (enter < 0) {
+      if (phase1) {
+        return TotalInfeasibility() <= options_.feas_tol * m_
+                   ? LpStatus::kOptimal
+                   : LpStatus::kInfeasible;
+      }
+      return LpStatus::kOptimal;
+    }
+
+    Ftran(enter, &w);
+
+    // --- Ratio test. ---
+    // The entering variable moves by t >= 0 in direction enter_sigma; basic
+    // variable i changes at rate delta_i = -enter_sigma * w[i].
+    double t_best = kInf;
+    int leave_row = -1;
+    bool leave_at_upper = false;
+    // Entering variable's own opposite bound (bound flip).
+    if (!std::isinf(lb_[enter]) && !std::isinf(ub_[enter])) {
+      t_best = ub_[enter] - lb_[enter];
+    }
+    for (int i = 0; i < m_; ++i) {
+      double delta = -enter_sigma * w[i];
+      if (std::abs(delta) < options_.pivot_tol) continue;
+      int b = basis_[i];
+      double xv = xb_[i];
+      double tol = options_.feas_tol * (1.0 + std::abs(xv));
+      double t = kInf;
+      bool to_upper = false;
+      if (phase1 && xv < lb_[b] - tol) {
+        // Below its lower bound: blocks only when rising to that bound.
+        if (delta > 0) {
+          t = (lb_[b] - xv) / delta;
+          to_upper = false;
+        }
+      } else if (phase1 && xv > ub_[b] + tol) {
+        if (delta < 0) {
+          t = (ub_[b] - xv) / delta;
+          to_upper = true;
+        }
+      } else {
+        if (delta > 0 && !std::isinf(ub_[b])) {
+          t = (ub_[b] - xv) / delta;
+          to_upper = true;
+        } else if (delta < 0 && !std::isinf(lb_[b])) {
+          t = (lb_[b] - xv) / delta;
+          to_upper = false;
+        }
+      }
+      if (t < -tol) t = 0;  // numerical noise on a degenerate basis
+      if (t < t_best - 1e-12 ||
+          (leave_row >= 0 && t < t_best + 1e-12 &&
+           std::abs(delta) > std::abs(-enter_sigma * w[leave_row]))) {
+        t_best = t;
+        leave_row = i;
+        leave_at_upper = to_upper;
+      }
+    }
+
+    if (std::isinf(t_best)) {
+      // Nothing blocks: in phase 2 the LP is unbounded. In phase 1 the
+      // infeasibility objective is bounded below by zero, so this indicates
+      // numerical trouble; treat as infeasible.
+      return phase1 ? LpStatus::kInfeasible : LpStatus::kUnbounded;
+    }
+    if (t_best < 0) t_best = 0;
+    if (t_best <= 1e-12) {
+      if (++degenerate_streak > options_.stall_before_bland) bland = true;
+    } else {
+      degenerate_streak = 0;
+    }
+
+    ++*iterations;
+    ++pivots_since_refactor_;
+
+    if (leave_row < 0) {
+      // Bound flip: the entering variable runs to its opposite bound.
+      for (int i = 0; i < m_; ++i) xb_[i] -= enter_sigma * t_best * w[i];
+      status_[enter] = status_[enter] == VarStatus::kAtLower
+                           ? VarStatus::kAtUpper
+                           : VarStatus::kAtLower;
+      continue;
+    }
+
+    // Regular pivot.
+    double enter_value = NonbasicValue(enter) + enter_sigma * t_best;
+    for (int i = 0; i < m_; ++i) xb_[i] -= enter_sigma * t_best * w[i];
+    int leave_var = basis_[leave_row];
+    status_[leave_var] =
+        leave_at_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    // Snap the leaving variable's row value exactly onto its bound.
+    xb_[leave_row] = enter_value;
+    basis_[leave_row] = enter;
+    status_[enter] = VarStatus::kBasic;
+
+    // Product-form update of B^{-1}: pivot on w[leave_row].
+    double pivot = w[leave_row];
+    PAQL_CHECK_MSG(std::abs(pivot) >= options_.pivot_tol,
+                   "tiny pivot " << pivot);
+    double* prow = &binv_[static_cast<size_t>(leave_row) * m_];
+    for (int c = 0; c < m_; ++c) prow[c] /= pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave_row) continue;
+      double factor = w[i];
+      if (factor == 0.0) continue;
+      double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+    }
+  }
+}
+
+LpResult SimplexSolver::Solve(const Deadline& deadline) {
+  LpResult result;
+  if (!basis_valid_) {
+    InitAllSlackBasis();
+  } else if (!Refactorize()) {
+    InitAllSlackBasis();
+  }
+  ComputeBasicValues();
+
+  int iterations = 0;
+  LpStatus st = RunPhase(/*phase1=*/true, deadline, &iterations);
+  if (st == LpStatus::kOptimal) {
+    st = RunPhase(/*phase1=*/false, deadline, &iterations);
+  }
+  result.iterations = iterations;
+  result.status = st;
+  if (st != LpStatus::kOptimal) return result;
+
+  result.x.assign(n_, 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (status_[j] != VarStatus::kBasic) result.x[j] = NonbasicValue(j);
+  }
+  for (int i = 0; i < m_; ++i) {
+    if (basis_[i] < n_) result.x[basis_[i]] = xb_[i];
+  }
+  double obj = 0;
+  for (int j = 0; j < n_; ++j) obj += model_->obj()[j] * result.x[j];
+  result.objective = obj;
+  return result;
+}
+
+}  // namespace paql::lp

@@ -1,0 +1,134 @@
+// Bounded-variable two-phase revised simplex.
+//
+// Replaces the LP engine inside the paper's black-box ILP solver (CPLEX).
+// The implementation is specialized for the package-query problem shape:
+// very few rows (one per global predicate) and very many columns (one per
+// tuple). It keeps a dense m×m basis inverse (m = #rows) and prices all
+// columns each iteration, so one pivot costs O(n·m) and memory stays at
+// O(n·m) for the densified column matrix.
+//
+// Supported features:
+//  * range rows  lo <= a'x <= hi  (slack variables with finite/infinite
+//    bounds; equality rows via lo == hi)
+//  * variable bounds  lb <= x <= ub  with ub possibly +inf, and free
+//    variables (both bounds infinite)
+//  * warm starts: variable bounds can be tightened/relaxed between solves
+//    (used heavily by branch-and-bound) and the previous basis is reused
+//  * Dantzig pricing with automatic fallback to Bland's rule to break
+//    degenerate cycles; periodic refactorization for numerical stability
+#ifndef PAQL_LP_SIMPLEX_H_
+#define PAQL_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "lp/model.h"
+
+namespace paql::lp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+};
+
+const char* LpStatusName(LpStatus status);
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  /// Objective value in the model's own sense (valid when kOptimal).
+  double objective = 0;
+  /// Structural variable values (size model.num_vars(); valid when kOptimal).
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  double feas_tol = 1e-7;   // bound/row feasibility tolerance (relative-ish)
+  double opt_tol = 1e-7;    // reduced-cost optimality tolerance
+  double pivot_tol = 1e-9;  // minimum acceptable pivot magnitude
+  int max_iterations = 500000;
+  int refactor_every = 100; // rebuild B^-1 every this many pivots
+  int stall_before_bland = 1000;  // degenerate pivots before Bland's rule
+};
+
+/// Reusable simplex instance over one model. Not thread-safe.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, SimplexOptions options = {});
+
+  /// Change the working bounds of a structural variable (branching).
+  /// Keeps the current basis for warm starting.
+  void SetVarBounds(int var, double lb, double ub);
+
+  /// Restore all structural bounds to the model's original bounds.
+  void ResetVarBounds();
+
+  double var_lb(int var) const { return lb_[var]; }
+  double var_ub(int var) const { return ub_[var]; }
+
+  /// Solve from the current basis (first call starts from the all-slack
+  /// basis). `deadline` bounds wall-clock time.
+  LpResult Solve(const Deadline& deadline);
+
+  /// Bytes used by the densified columns and factorization workspace.
+  size_t ApproximateBytes() const;
+
+  int num_rows() const { return m_; }
+  int num_structural() const { return n_; }
+
+ private:
+  enum class VarStatus : uint8_t { kAtLower, kAtUpper, kBasic, kFree };
+
+  // Column j of the full (structural + slack) constraint matrix, entry row i.
+  double ColEntry(int j, int i) const {
+    return j < n_ ? cols_[static_cast<size_t>(j) * m_ + i]
+                  : (j - n_ == i ? -1.0 : 0.0);
+  }
+
+  double NonbasicValue(int j) const;
+  void InitAllSlackBasis();
+  // Rebuild binv_ from basis_; returns false if the basis matrix is
+  // singular (caller falls back to the all-slack basis).
+  bool Refactorize();
+  void ComputeBasicValues();
+
+  // One simplex phase. phase1 == true minimizes total infeasibility of the
+  // basic variables; phase1 == false minimizes cost_.
+  LpStatus RunPhase(bool phase1, const Deadline& deadline, int* iterations);
+
+  // Basic-variable infeasibility (sum of bound violations).
+  double TotalInfeasibility() const;
+
+  // y = B^{-T} c_B for the phase-specific basic costs.
+  void ComputeDuals(bool phase1, std::vector<double>* y) const;
+
+  // w = B^{-1} A_j.
+  void Ftran(int j, std::vector<double>* w) const;
+
+  const Model* model_;
+  SimplexOptions options_;
+  int m_;  // rows
+  int n_;  // structural variables
+  int total_;  // n_ + m_
+
+  std::vector<double> cols_;   // dense structural columns, column-major
+  std::vector<double> cost_;   // phase-2 costs (internal minimize), size total_
+  std::vector<double> lb_;     // working bounds, size total_
+  std::vector<double> ub_;
+  double obj_sign_;            // +1 minimize, -1 maximize
+
+  std::vector<VarStatus> status_;  // size total_
+  std::vector<int> basis_;         // size m_: variable basic in each row
+  std::vector<double> binv_;       // m_ x m_ row-major B^{-1}
+  std::vector<double> xb_;         // basic variable values, size m_
+  bool basis_valid_ = false;
+  int pivots_since_refactor_ = 0;
+};
+
+}  // namespace paql::lp
+
+#endif  // PAQL_LP_SIMPLEX_H_

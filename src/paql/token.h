@@ -1,0 +1,45 @@
+// Lexical analysis for PaQL (Appendix A.4 of the paper).
+#ifndef PAQL_PAQL_TOKEN_H_
+#define PAQL_PAQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace paql::lang {
+
+enum class TokenType {
+  // Literals and identifiers.
+  kIdentifier,   // table, attribute, alias names
+  kNumber,       // integer or real literal
+  kString,       // 'single-quoted'
+  // Punctuation / operators.
+  kLParen, kRParen, kComma, kDot, kStar, kSemicolon,
+  kPlus, kMinus, kSlash,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // Keywords (recognized case-insensitively from identifiers).
+  kSelect, kPackage, kAs, kFrom, kRepeat, kWhere, kSuchKw, kThat,
+  kMinimize, kMaximize, kAnd, kOr, kNot, kBetween, kIn, kIs, kNull,
+  kCount, kSum, kAvg, kMin, kMax,
+  kEnd,          // end of input
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type;
+  std::string text;   // raw text (identifier/keyword/literal)
+  double number = 0;  // valid when type == kNumber
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenize PaQL text. Supports `--` line comments.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace paql::lang
+
+#endif  // PAQL_PAQL_TOKEN_H_

@@ -1,0 +1,438 @@
+#include "paql/validator.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace paql::lang {
+namespace {
+
+bool QualifierAllowed(const std::string& qualifier,
+                      const std::vector<std::string>& allowed) {
+  if (qualifier.empty()) return true;
+  for (const auto& a : allowed) {
+    if (EqualsIgnoreCase(qualifier, a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateScalar(const ScalarExpr& expr, const relation::Schema& schema,
+                      const std::vector<std::string>& allowed_qualifiers,
+                      bool* is_string_out) {
+  switch (expr.kind) {
+    case ScalarKind::kColumn: {
+      if (!QualifierAllowed(expr.qualifier, allowed_qualifiers)) {
+        return Status::InvalidArgument(
+            StrCat("unknown qualifier '", expr.qualifier, "' in '",
+                   ToString(expr), "' (expected one of: ",
+                   Join(allowed_qualifiers, ", "), ")"));
+      }
+      PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
+      if (is_string_out != nullptr) {
+        *is_string_out =
+            schema.column(col).type == relation::DataType::kString;
+      }
+      return Status::OK();
+    }
+    case ScalarKind::kLiteral:
+      if (is_string_out != nullptr) *is_string_out = expr.literal.is_string();
+      return Status::OK();
+    case ScalarKind::kUnaryMinus: {
+      bool is_string = false;
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.lhs, schema, allowed_qualifiers, &is_string));
+      if (is_string) {
+        return Status::InvalidArgument(
+            StrCat("cannot negate string expression: ", ToString(expr)));
+      }
+      if (is_string_out != nullptr) *is_string_out = false;
+      return Status::OK();
+    }
+    case ScalarKind::kAdd:
+    case ScalarKind::kSub:
+    case ScalarKind::kMul:
+    case ScalarKind::kDiv: {
+      bool lhs_string = false, rhs_string = false;
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.lhs, schema, allowed_qualifiers, &lhs_string));
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.rhs, schema, allowed_qualifiers, &rhs_string));
+      if (lhs_string || rhs_string) {
+        return Status::InvalidArgument(
+            StrCat("arithmetic over string operands: ", ToString(expr)));
+      }
+      if (is_string_out != nullptr) *is_string_out = false;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable scalar kind");
+}
+
+Status ValidateBool(const BoolExpr& expr, const relation::Schema& schema,
+                    const std::vector<std::string>& allowed_qualifiers) {
+  switch (expr.kind) {
+    case BoolKind::kCmp: {
+      bool lhs_string = false, rhs_string = false;
+      PAQL_RETURN_IF_ERROR(ValidateScalar(*expr.scalar_lhs, schema,
+                                          allowed_qualifiers, &lhs_string));
+      PAQL_RETURN_IF_ERROR(ValidateScalar(*expr.scalar_rhs, schema,
+                                          allowed_qualifiers, &rhs_string));
+      if (lhs_string != rhs_string) {
+        return Status::InvalidArgument(
+            StrCat("type mismatch in comparison: ", ToString(expr)));
+      }
+      if (lhs_string && expr.cmp != CmpOp::kEq && expr.cmp != CmpOp::kNe) {
+        return Status::Unsupported(
+            StrCat("string ordering comparisons are not supported: ",
+                   ToString(expr)));
+      }
+      return Status::OK();
+    }
+    case BoolKind::kBetween: {
+      bool s0 = false, s1 = false, s2 = false;
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.scalar_lhs, schema, allowed_qualifiers, &s0));
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.between_lo, schema, allowed_qualifiers, &s1));
+      PAQL_RETURN_IF_ERROR(
+          ValidateScalar(*expr.between_hi, schema, allowed_qualifiers, &s2));
+      if (s0 || s1 || s2) {
+        return Status::InvalidArgument(
+            StrCat("BETWEEN over string operands: ", ToString(expr)));
+      }
+      return Status::OK();
+    }
+    case BoolKind::kAnd:
+    case BoolKind::kOr:
+      PAQL_RETURN_IF_ERROR(
+          ValidateBool(*expr.left, schema, allowed_qualifiers));
+      return ValidateBool(*expr.right, schema, allowed_qualifiers);
+    case BoolKind::kNot:
+      return ValidateBool(*expr.left, schema, allowed_qualifiers);
+    case BoolKind::kIsNull:
+    case BoolKind::kIsNotNull:
+      return ValidateScalar(*expr.scalar_lhs, schema, allowed_qualifiers,
+                            nullptr);
+  }
+  return Status::Internal("unreachable bool kind");
+}
+
+bool ContainsAggregate(const GlobalExpr& expr) {
+  if (expr.kind == GlobalKind::kAgg) return true;
+  if (expr.lhs && ContainsAggregate(*expr.lhs)) return true;
+  if (expr.rhs && ContainsAggregate(*expr.rhs)) return true;
+  return false;
+}
+
+bool ContainsAvg(const GlobalExpr& expr) {
+  if (expr.kind == GlobalKind::kAgg) {
+    return expr.agg->func == relation::AggFunc::kAvg;
+  }
+  if (expr.lhs && ContainsAvg(*expr.lhs)) return true;
+  if (expr.rhs && ContainsAvg(*expr.rhs)) return true;
+  return false;
+}
+
+namespace {
+
+/// Validates one global expression: column resolution, linearity (products
+/// and divisions may not have aggregates on both / the divisor side), and
+/// aggregate argument types.
+Status ValidateGlobalExpr(const GlobalExpr& expr,
+                          const relation::Schema& schema,
+                          const PackageQuery& query) {
+  // Qualifiers usable inside aggregate args/filters: the package name and
+  // the relation alias/name (the paper's examples use both styles).
+  std::vector<std::string> quals = {query.package_name, query.relation_alias,
+                                    query.relation_name};
+  switch (expr.kind) {
+    case GlobalKind::kAgg: {
+      const AggCall& call = *expr.agg;
+      if (call.func == relation::AggFunc::kMin ||
+          call.func == relation::AggFunc::kMax) {
+        return Status::Unsupported(
+            StrCat("MIN/MAX are only supported as a bare side of a "
+                   "comparison against a constant (elsewhere they have no "
+                   "linear ILP translation; paper §2.1 limits queries to "
+                   "linear functions): ",
+                   ToString(call, query.package_name)));
+      }
+      if (call.is_count_star) {
+        if (call.func != relation::AggFunc::kCount) {
+          return Status::InvalidArgument("'*' argument requires COUNT");
+        }
+      } else {
+        if (call.arg == nullptr) {
+          return Status::InvalidArgument(
+              StrCat("aggregate missing argument: ",
+                     ToString(call, query.package_name)));
+        }
+        bool is_string = false;
+        PAQL_RETURN_IF_ERROR(
+            ValidateScalar(*call.arg, schema, quals, &is_string));
+        if (is_string) {
+          return Status::InvalidArgument(
+              StrCat("aggregate argument must be numeric: ",
+                     ToString(call, query.package_name)));
+        }
+      }
+      if (call.filter) {
+        PAQL_RETURN_IF_ERROR(ValidateBool(*call.filter, schema, quals));
+      }
+      return Status::OK();
+    }
+    case GlobalKind::kLiteral:
+      return Status::OK();
+    case GlobalKind::kUnaryMinus:
+      return ValidateGlobalExpr(*expr.lhs, schema, query);
+    case GlobalKind::kAdd:
+    case GlobalKind::kSub:
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*expr.lhs, schema, query));
+      return ValidateGlobalExpr(*expr.rhs, schema, query);
+    case GlobalKind::kMul:
+      if (ContainsAggregate(*expr.lhs) && ContainsAggregate(*expr.rhs)) {
+        return Status::Unsupported(
+            StrCat("product of two aggregate expressions is non-linear: ",
+                   ToString(expr, query.package_name)));
+      }
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*expr.lhs, schema, query));
+      return ValidateGlobalExpr(*expr.rhs, schema, query);
+    case GlobalKind::kDiv:
+      if (ContainsAggregate(*expr.rhs)) {
+        return Status::Unsupported(
+            StrCat("division by an aggregate expression is non-linear: ",
+                   ToString(expr, query.package_name)));
+      }
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*expr.lhs, schema, query));
+      return ValidateGlobalExpr(*expr.rhs, schema, query);
+  }
+  return Status::Internal("unreachable global kind");
+}
+
+/// AVG is linearizable only when it is the sole aggregate on its side and the
+/// other side is aggregate-free (Section 3.1's AVG rule multiplies through by
+/// COUNT). Enforce that shape.
+Status CheckAvgUsage(const GlobalExpr& lhs, const GlobalExpr* rhs,
+                     const PackageQuery& query) {
+  auto describe = [&](const GlobalExpr& e) {
+    return ToString(e, query.package_name);
+  };
+  bool lhs_avg = ContainsAvg(lhs);
+  bool rhs_avg = rhs != nullptr && ContainsAvg(*rhs);
+  if (!lhs_avg && !rhs_avg) return Status::OK();
+  if (lhs_avg && rhs_avg) {
+    return Status::Unsupported(
+        StrCat("AVG on both sides of a comparison is non-linear: ",
+               describe(lhs), " vs ", describe(*rhs)));
+  }
+  const GlobalExpr& avg_side = lhs_avg ? lhs : *rhs;
+  const GlobalExpr* other = lhs_avg ? rhs : &lhs;
+  // The AVG side must be exactly one AVG aggregate (optionally negated /
+  // scaled by constants would change the count-multiplication; keep strict).
+  const GlobalExpr* core = &avg_side;
+  if (core->kind != GlobalKind::kAgg) {
+    return Status::Unsupported(
+        StrCat("AVG must appear alone on one side of a comparison "
+               "(found inside an arithmetic expression): ",
+               describe(avg_side)));
+  }
+  if (other != nullptr && ContainsAggregate(*other)) {
+    return Status::Unsupported(
+        StrCat("AVG compared against an aggregate expression is non-linear: ",
+               describe(*other)));
+  }
+  return Status::OK();
+}
+
+/// True when the expression is a bare MIN or MAX aggregate call.
+bool IsBareMinMax(const GlobalExpr& expr) {
+  return expr.kind == GlobalKind::kAgg &&
+         (expr.agg->func == relation::AggFunc::kMin ||
+          expr.agg->func == relation::AggFunc::kMax);
+}
+
+/// True when the expression provably takes integer values for every package
+/// (COUNT aggregates combined with integer constants). Mirrors the
+/// translator's LinearExpr::integral tracking.
+bool IsIntegerValued(const GlobalExpr& expr) {
+  switch (expr.kind) {
+    case GlobalKind::kAgg:
+      return expr.agg->func == relation::AggFunc::kCount;
+    case GlobalKind::kLiteral:
+      return std::isfinite(expr.literal) &&
+             expr.literal == std::floor(expr.literal);
+    case GlobalKind::kUnaryMinus:
+      return IsIntegerValued(*expr.lhs);
+    case GlobalKind::kAdd:
+    case GlobalKind::kSub:
+    case GlobalKind::kMul:
+      return IsIntegerValued(*expr.lhs) && IsIntegerValued(*expr.rhs);
+    case GlobalKind::kDiv:
+      return false;
+  }
+  return false;
+}
+
+/// Validates `MIN/MAX(arg) cmp other`: the call needs a numeric scalar
+/// argument (optionally a subquery filter), and the other side must be
+/// aggregate-free (the translation rewrites the predicate into threshold
+/// COUNT rows, which only works against constants).
+Status ValidateMinMaxCmp(const GlobalExpr& mm, const GlobalExpr* other,
+                         const relation::Schema& schema,
+                         const PackageQuery& query) {
+  const AggCall& call = *mm.agg;
+  std::vector<std::string> quals = {query.package_name, query.relation_alias,
+                                    query.relation_name};
+  if (call.is_count_star || call.arg == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("MIN/MAX requires a scalar argument: ",
+               ToString(call, query.package_name)));
+  }
+  bool is_string = false;
+  PAQL_RETURN_IF_ERROR(ValidateScalar(*call.arg, schema, quals, &is_string));
+  if (is_string) {
+    return Status::InvalidArgument(
+        StrCat("MIN/MAX argument must be numeric: ",
+               ToString(call, query.package_name)));
+  }
+  if (call.filter) {
+    PAQL_RETURN_IF_ERROR(ValidateBool(*call.filter, schema, quals));
+  }
+  if (other != nullptr && ContainsAggregate(*other)) {
+    return Status::Unsupported(
+        StrCat("MIN/MAX compared against an aggregate expression is "
+               "non-linear: ",
+               ToString(*other, query.package_name)));
+  }
+  return Status::OK();
+}
+
+Status ValidateGlobalPred(const GlobalPredicate& pred,
+                          const relation::Schema& schema,
+                          const PackageQuery& query,
+                          const ValidateOptions& options) {
+  switch (pred.kind) {
+    case GlobalPredKind::kCmp: {
+      bool lhs_mm = IsBareMinMax(*pred.lhs);
+      bool rhs_mm = IsBareMinMax(*pred.rhs);
+      if (lhs_mm && rhs_mm) {
+        return Status::Unsupported(
+            "MIN/MAX on both sides of a comparison has no linear "
+            "translation");
+      }
+      if (lhs_mm || rhs_mm) {
+        const GlobalExpr& mm = lhs_mm ? *pred.lhs : *pred.rhs;
+        const GlobalExpr& other = lhs_mm ? *pred.rhs : *pred.lhs;
+        if (pred.cmp == CmpOp::kNe && !options.allow_global_or) {
+          return Status::Unsupported(
+              "'<>' expands to an OR of predicates, which is disabled by "
+              "options");
+        }
+        return ValidateMinMaxCmp(mm, &other, schema, query);
+      }
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*pred.lhs, schema, query));
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*pred.rhs, schema, query));
+      PAQL_RETURN_IF_ERROR(CheckAvgUsage(*pred.lhs, pred.rhs.get(), query));
+      if (pred.cmp == CmpOp::kNe) {
+        if (!IsIntegerValued(*pred.lhs) || !IsIntegerValued(*pred.rhs)) {
+          return Status::Unsupported(
+              "'<>' requires an integer-valued (COUNT-based) global "
+              "expression; its complement over continuous aggregates has no "
+              "linear encoding");
+        }
+        if (!options.allow_global_or) {
+          return Status::Unsupported(
+              "'<>' expands to an OR of predicates, which is disabled by "
+              "options");
+        }
+      }
+      return Status::OK();
+    }
+    case GlobalPredKind::kBetween:
+      if (IsBareMinMax(*pred.lhs)) {
+        PAQL_RETURN_IF_ERROR(
+            ValidateMinMaxCmp(*pred.lhs, pred.lo.get(), schema, query));
+        PAQL_RETURN_IF_ERROR(
+            ValidateMinMaxCmp(*pred.lhs, pred.hi.get(), schema, query));
+        return Status::OK();
+      }
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*pred.lhs, schema, query));
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*pred.lo, schema, query));
+      PAQL_RETURN_IF_ERROR(ValidateGlobalExpr(*pred.hi, schema, query));
+      PAQL_RETURN_IF_ERROR(CheckAvgUsage(*pred.lhs, pred.lo.get(), query));
+      PAQL_RETURN_IF_ERROR(CheckAvgUsage(*pred.lhs, pred.hi.get(), query));
+      if (ContainsAggregate(*pred.lo) || ContainsAggregate(*pred.hi)) {
+        return Status::Unsupported(
+            "BETWEEN bounds must be aggregate-free expressions");
+      }
+      return Status::OK();
+    case GlobalPredKind::kAnd:
+      PAQL_RETURN_IF_ERROR(
+          ValidateGlobalPred(*pred.left, schema, query, options));
+      return ValidateGlobalPred(*pred.right, schema, query, options);
+    case GlobalPredKind::kOr:
+      if (!options.allow_global_or) {
+        return Status::Unsupported(
+            "OR between global predicates disabled by options");
+      }
+      PAQL_RETURN_IF_ERROR(
+          ValidateGlobalPred(*pred.left, schema, query, options));
+      return ValidateGlobalPred(*pred.right, schema, query, options);
+    case GlobalPredKind::kNot:
+      // Negation pushes down to flipped comparisons (De Morgan) in the
+      // translator. NOT of a conjunction or of BETWEEN produces an OR, so
+      // it needs the OR machinery.
+      if (!options.allow_global_or) {
+        return Status::Unsupported(
+            "NOT over global predicates expands to OR, which is disabled "
+            "by options");
+      }
+      return ValidateGlobalPred(*pred.left, schema, query, options);
+  }
+  return Status::Internal("unreachable global predicate kind");
+}
+
+}  // namespace
+
+Status ValidateQuery(const PackageQuery& query, const relation::Schema& schema,
+                     const ValidateOptions& options) {
+  if (query.package_name.empty()) {
+    return Status::InvalidArgument("query has no package name");
+  }
+  if (query.repeat.has_value() && *query.repeat < 0) {
+    return Status::InvalidArgument("REPEAT must be non-negative");
+  }
+  if (!query.more_relations.empty()) {
+    return Status::Unsupported(
+        "multi-relation package queries must be materialized first: run the "
+        "query through core::MaterializeFromClause (paper §4.5) and "
+        "evaluate the rewritten single-relation query");
+  }
+  if (query.where) {
+    std::vector<std::string> quals = {query.relation_alias,
+                                      query.relation_name};
+    PAQL_RETURN_IF_ERROR(ValidateBool(*query.where, schema, quals));
+  }
+  if (query.such_that) {
+    PAQL_RETURN_IF_ERROR(
+        ValidateGlobalPred(*query.such_that, schema, query, options));
+  }
+  if (query.objective.has_value()) {
+    if (query.objective->expr == nullptr) {
+      return Status::InvalidArgument("objective has no expression");
+    }
+    PAQL_RETURN_IF_ERROR(
+        ValidateGlobalExpr(*query.objective->expr, schema, query));
+    if (ContainsAvg(*query.objective->expr)) {
+      return Status::Unsupported(
+          "AVG in the objective is a ratio objective with no linear ILP "
+          "translation; evaluate it with core::RatioObjectiveEvaluator "
+          "(Dinkelbach's parametric algorithm)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace paql::lang

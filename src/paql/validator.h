@@ -1,0 +1,49 @@
+// Semantic validation of parsed PaQL queries against a relation schema.
+//
+// Validation enforces the fragment the evaluation engine supports (the same
+// fragment the paper evaluates): single relation, linear global constraints,
+// numeric aggregate arguments. Valid-but-unsupported constructs (MIN/MAX in
+// SUCH THAT, NOT over global predicates, non-linear aggregate algebra) are
+// rejected with StatusCode::kUnsupported and a precise message.
+#ifndef PAQL_PAQL_VALIDATOR_H_
+#define PAQL_PAQL_VALIDATOR_H_
+
+#include "common/status.h"
+#include "paql/ast.h"
+#include "relation/schema.h"
+
+namespace paql::lang {
+
+/// Options controlling which extensions are admitted.
+struct ValidateOptions {
+  /// Allow OR in SUCH THAT (translated via big-M indicator variables).
+  bool allow_global_or = true;
+};
+
+/// Check `query` against `schema`. Returns OK iff the query can be
+/// translated to an ILP by the translate module.
+Status ValidateQuery(const PackageQuery& query,
+                     const relation::Schema& schema,
+                     const ValidateOptions& options = {});
+
+/// Validate a scalar expression in a tuple context. `allowed_qualifiers`
+/// lists the aliases a column reference may use (empty qualifier is always
+/// allowed). Returns the expression's type: numeric expressions must not mix
+/// strings; strings may only appear as bare columns or literals.
+Status ValidateScalar(const ScalarExpr& expr, const relation::Schema& schema,
+                      const std::vector<std::string>& allowed_qualifiers,
+                      bool* is_string_out);
+
+/// Validate a boolean (per-tuple) expression in a tuple context.
+Status ValidateBool(const BoolExpr& expr, const relation::Schema& schema,
+                    const std::vector<std::string>& allowed_qualifiers);
+
+/// True if the global expression contains any aggregate call.
+bool ContainsAggregate(const GlobalExpr& expr);
+
+/// True if the global expression contains an AVG aggregate.
+bool ContainsAvg(const GlobalExpr& expr);
+
+}  // namespace paql::lang
+
+#endif  // PAQL_PAQL_VALIDATOR_H_

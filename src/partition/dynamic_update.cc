@@ -1,0 +1,157 @@
+#include "partition/dynamic_update.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace paql::partition {
+
+using relation::RowId;
+using relation::Table;
+
+namespace {
+
+/// L-infinity distance between row `r` of `table` and `centroid` over
+/// `cols` (the metric of Definition 2's radius).
+double LInfDistance(const Table& table, RowId r,
+                    const std::vector<size_t>& cols,
+                    const std::vector<double>& centroid) {
+  double d = 0;
+  for (size_t k = 0; k < cols.size(); ++k) {
+    d = std::max(d, std::abs(table.GetDouble(r, cols[k]) - centroid[k]));
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<AbsorbResult> AbsorbAppendedRows(const Table& table,
+                                        const Partitioning& old) {
+  size_t n_old = old.gid.size();
+  size_t n_new = table.num_rows();
+  if (n_new < n_old) {
+    return Status::InvalidArgument(
+        StrCat("table shrank from ", n_old, " to ", n_new,
+               " rows; AbsorbAppendedRows handles appends only (use "
+               "ShrinkToSubset or re-partition for deletions)"));
+  }
+  if (old.num_groups() == 0) {
+    return Status::InvalidArgument(
+        "old partitioning has no groups; run PartitionTable instead");
+  }
+  // Resolve the partitioning attributes against the (unchanged) schema.
+  std::vector<size_t> cols;
+  cols.reserve(old.attributes.size());
+  for (const std::string& attr : old.attributes) {
+    PAQL_ASSIGN_OR_RETURN(size_t col, table.schema().ResolveColumn(attr));
+    cols.push_back(col);
+  }
+  // Centroids from the representative relation (numeric columns hold the
+  // centroid values; the representative table appends a trailing gid
+  // column, so the first columns line up with the source schema).
+  std::vector<std::vector<double>> centroids(old.num_groups());
+  for (size_t g = 0; g < old.num_groups(); ++g) {
+    centroids[g].reserve(cols.size());
+    for (size_t col : cols) {
+      centroids[g].push_back(
+          old.representatives.GetDouble(static_cast<RowId>(g), col));
+    }
+  }
+
+  // Assign each appended row to the nearest-centroid group.
+  std::vector<std::vector<RowId>> groups = old.groups;
+  std::set<size_t> touched;
+  for (RowId r = static_cast<RowId>(n_old); r < n_new; ++r) {
+    size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t g = 0; g < centroids.size(); ++g) {
+      double d = LInfDistance(table, r, cols, centroids[g]);
+      if (d < best_d) {
+        best_d = d;
+        best = g;
+      }
+    }
+    groups[best].push_back(r);
+    touched.insert(best);
+  }
+
+  // Split any touched group that violates the size threshold or the radius
+  // limit, using the quad-tree partitioner on the group's rows.
+  AbsorbResult out;
+  out.rows_absorbed = n_new - n_old;
+  std::vector<bool> dirty(groups.size(), false);
+  for (size_t g : touched) dirty[g] = true;
+  std::vector<std::vector<RowId>> final_groups;
+  std::vector<bool> final_dirty;
+  // Fragments beyond a split group's first keep arriving after all original
+  // slots, so untouched groups keep their group ids.
+  std::vector<std::vector<RowId>> overflow_groups;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    bool oversized = old.size_threshold > 0 &&
+                     groups[g].size() > old.size_threshold;
+    bool over_radius = false;
+    if (dirty[g] && !oversized && std::isfinite(old.radius_limit) &&
+        old.radius_limit > 0) {
+      // Radius check against the *new* centroid of the grown group.
+      std::vector<double> centroid(cols.size(), 0.0);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        double sum = 0;
+        for (RowId r : groups[g]) sum += table.GetDouble(r, cols[k]);
+        centroid[k] = sum / static_cast<double>(groups[g].size());
+      }
+      for (RowId r : groups[g]) {
+        if (LInfDistance(table, r, cols, centroid) >
+            old.radius_limit + 1e-12) {
+          over_radius = true;
+          break;
+        }
+      }
+    }
+    if (!oversized && !over_radius) {
+      final_groups.push_back(std::move(groups[g]));
+      final_dirty.push_back(dirty[g]);
+      continue;
+    }
+    // Re-partition the group's rows in isolation and map back.
+    Table sub = table.SelectRows(groups[g]);
+    PartitionOptions popts;
+    popts.attributes = old.attributes;
+    // A zero threshold means "no size condition": split on radius only.
+    popts.size_threshold =
+        old.size_threshold > 0 ? old.size_threshold : groups[g].size();
+    popts.radius_limit = old.radius_limit > 0 && std::isfinite(old.radius_limit)
+                             ? old.radius_limit
+                             : std::numeric_limits<double>::infinity();
+    PAQL_ASSIGN_OR_RETURN(Partitioning nested, PartitionTable(sub, popts));
+    ++out.groups_split;
+    for (size_t sg = 0; sg < nested.groups.size(); ++sg) {
+      std::vector<RowId> mapped;
+      mapped.reserve(nested.groups[sg].size());
+      for (RowId sr : nested.groups[sg]) mapped.push_back(groups[g][sr]);
+      if (sg == 0) {
+        final_groups.push_back(std::move(mapped));  // keeps slot g
+        final_dirty.push_back(true);
+      } else {
+        overflow_groups.push_back(std::move(mapped));
+      }
+    }
+  }
+  for (auto& fragment : overflow_groups) {
+    final_groups.push_back(std::move(fragment));
+    final_dirty.push_back(true);
+  }
+
+  PAQL_ASSIGN_OR_RETURN(
+      out.partitioning,
+      MakePartitioningFromGroups(table, old.attributes, old.size_threshold,
+                                 old.radius_limit, std::move(final_groups)));
+  for (size_t g = 0; g < final_dirty.size(); ++g) {
+    if (final_dirty[g]) out.dirty_groups.push_back(static_cast<uint32_t>(g));
+  }
+  return out;
+}
+
+}  // namespace paql::partition

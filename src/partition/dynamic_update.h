@@ -1,0 +1,55 @@
+// Incremental maintenance of an offline partitioning under appends.
+//
+// The paper treats partitioning as a one-time offline cost amortized over a
+// query workload (Section 4.1, "One-time cost"). Real tables grow, and
+// re-partitioning from scratch on every batch of inserts would forfeit the
+// amortization. This module absorbs appended rows into an existing
+// partitioning:
+//
+//   1. each appended row joins the group with the nearest representative
+//      (L-infinity distance over the partitioning attributes — the same
+//      metric as the radius definition);
+//   2. groups pushed over the size threshold tau or the radius limit omega
+//      are split in place with the quad-tree partitioner;
+//   3. the artifact (centroids, radii, gid map, representative relation) is
+//      rebuilt for the touched groups.
+//
+// The result reports which groups changed ("dirty" groups), which is what
+// incremental re-evaluation (core/incremental.h) needs: a package computed
+// before the update remains valid on the untouched groups, so only dirty
+// groups need re-refinement.
+#ifndef PAQL_PARTITION_DYNAMIC_UPDATE_H_
+#define PAQL_PARTITION_DYNAMIC_UPDATE_H_
+
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace paql::partition {
+
+/// Outcome of absorbing appended rows.
+struct AbsorbResult {
+  /// Rebuilt artifact covering all rows of the grown table. Group order is
+  /// preserved for untouched groups; split groups occupy their old slot
+  /// plus new slots at the end.
+  Partitioning partitioning;
+
+  /// Group ids (in the new artifact) whose membership changed: groups that
+  /// received appended rows and every fragment of a split group.
+  std::vector<uint32_t> dirty_groups;
+
+  size_t rows_absorbed = 0;
+  size_t groups_split = 0;
+};
+
+/// Absorb the rows of `table` beyond `old_partitioning.gid.size()` into the
+/// partitioning. The first gid.size() rows of `table` must be the rows the
+/// old partitioning was built on, in the same order. Fails when `table` has
+/// fewer rows than the old partitioning covers (deletions are expressed by
+/// rebuilding from scratch or via ShrinkToSubset).
+Result<AbsorbResult> AbsorbAppendedRows(const relation::Table& table,
+                                        const Partitioning& old_partitioning);
+
+}  // namespace paql::partition
+
+#endif  // PAQL_PARTITION_DYNAMIC_UPDATE_H_

@@ -1,0 +1,448 @@
+#include "partition/methods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace paql::partition {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Table;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Resolved numeric partitioning columns, or an error.
+Result<std::vector<size_t>> ResolveAttrs(
+    const Table& table, const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("no partitioning attributes given");
+  }
+  std::vector<size_t> cols;
+  for (const auto& name : names) {
+    PAQL_ASSIGN_OR_RETURN(size_t idx, table.schema().ResolveColumn(name));
+    if (table.schema().column(idx).type == DataType::kString) {
+      return Status::InvalidArgument(
+          StrCat("partitioning attribute '", name, "' is not numeric"));
+    }
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+/// Per-attribute [min, max] over `rows`.
+struct AttrRange {
+  double lo = kInf;
+  double hi = -kInf;
+  double width() const { return hi > lo ? hi - lo : 0.0; }
+};
+std::vector<AttrRange> ComputeRanges(const Table& table,
+                                     const std::vector<RowId>& rows,
+                                     const std::vector<size_t>& cols) {
+  std::vector<AttrRange> ranges(cols.size());
+  for (size_t k = 0; k < cols.size(); ++k) {
+    for (RowId r : rows) {
+      double v = table.GetDouble(r, cols[k]);
+      ranges[k].lo = std::min(ranges[k].lo, v);
+      ranges[k].hi = std::max(ranges[k].hi, v);
+    }
+  }
+  return ranges;
+}
+
+/// Max |mean - value| over `rows` across `cols` (the group radius).
+double RadiusOf(const Table& table, const std::vector<RowId>& rows,
+                const std::vector<size_t>& cols) {
+  double radius = 0;
+  for (size_t c : cols) {
+    double sum = 0;
+    for (RowId r : rows) sum += table.GetDouble(r, c);
+    double mean = sum / static_cast<double>(rows.size());
+    for (RowId r : rows) {
+      radius = std::max(radius, std::abs(table.GetDouble(r, c) - mean));
+    }
+  }
+  return radius;
+}
+
+/// Split `rows` into tau-sized chunks (for degenerate groups whose rows all
+/// coincide on the partitioning attributes — any chunking is valid).
+void ChunkBySize(std::vector<RowId> rows, size_t tau,
+                 std::vector<std::vector<RowId>>* out) {
+  size_t chunk = std::max<size_t>(1, tau);
+  for (size_t start = 0; start < rows.size(); start += chunk) {
+    size_t end = std::min(rows.size(), start + chunk);
+    out->emplace_back(rows.begin() + start, rows.begin() + end);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Balanced k-d tree splits (also the refinement step for grid cells).
+// ---------------------------------------------------------------------------
+
+/// Recursive median split until both conditions hold.
+void KdSplit(const Table& table, const std::vector<size_t>& cols,
+             const std::vector<double>& scale, size_t tau, double omega,
+             int depth, int max_depth, std::vector<RowId> rows,
+             std::vector<std::vector<RowId>>* out) {
+  if (rows.empty()) return;
+  bool size_ok = rows.size() <= tau;
+  bool radius_ok = std::isinf(omega) || RadiusOf(table, rows, cols) <= omega;
+  if (size_ok && radius_ok) {
+    out->push_back(std::move(rows));
+    return;
+  }
+  if (depth >= max_depth) {
+    // Recursion safety valve: the size condition is a hard contract, so
+    // chunk instead of emitting an oversized group (the radius condition
+    // cannot be met at this point and is best-effort).
+    ChunkBySize(std::move(rows), tau, out);
+    return;
+  }
+  // Split on the attribute with the widest scale-normalized spread.
+  std::vector<AttrRange> ranges = ComputeRanges(table, rows, cols);
+  size_t best = 0;
+  double best_score = -1;
+  for (size_t k = 0; k < cols.size(); ++k) {
+    double score =
+        scale[k] > 0 ? ranges[k].width() / scale[k] : ranges[k].width();
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  if (best_score <= 0) {
+    // All rows identical on every attribute: radius is 0, only size binds.
+    ChunkBySize(std::move(rows), tau, out);
+    return;
+  }
+  size_t col = cols[best];
+  size_t mid = rows.size() / 2;
+  std::nth_element(rows.begin(), rows.begin() + static_cast<long>(mid),
+                   rows.end(), [&](RowId a, RowId b) {
+                     double va = table.GetDouble(a, col);
+                     double vb = table.GetDouble(b, col);
+                     if (va != vb) return va < vb;
+                     return a < b;  // deterministic total order
+                   });
+  std::vector<RowId> left(rows.begin(), rows.begin() + static_cast<long>(mid));
+  std::vector<RowId> right(rows.begin() + static_cast<long>(mid), rows.end());
+  // Guard against a zero-progress split (mid == 0 cannot happen for
+  // rows.size() >= 2; identical keys are separated by the RowId tie-break).
+  KdSplit(table, cols, scale, tau, omega, depth + 1, max_depth,
+          std::move(left), out);
+  KdSplit(table, cols, scale, tau, omega, depth + 1, max_depth,
+          std::move(right), out);
+}
+
+// ---------------------------------------------------------------------------
+// K-means
+// ---------------------------------------------------------------------------
+
+/// One Lloyd run over `rows`, k centers, scale-normalized distance.
+/// Returns per-cluster row lists (empty clusters dropped).
+std::vector<std::vector<RowId>> LloydCluster(
+    const Table& table, const std::vector<size_t>& cols,
+    const std::vector<double>& scale, const std::vector<RowId>& rows,
+    size_t k, int max_iterations, Rng* rng) {
+  const size_t dim = cols.size();
+  auto coord = [&](RowId r, size_t d) {
+    double v = table.GetDouble(r, cols[d]);
+    return scale[d] > 0 ? v / scale[d] : v;
+  };
+  auto dist2 = [&](RowId r, const std::vector<double>& center) {
+    double s = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = coord(r, d) - center[d];
+      s += diff * diff;
+    }
+    return s;
+  };
+
+  // k-means++ style initialization: first center uniform, the rest chosen
+  // greedily as the row farthest from its nearest chosen center (a
+  // deterministic variant of D^2 sampling — adequate here and reproducible).
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  {
+    RowId first =
+        rows[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(rows.size()) - 1))];
+    std::vector<double> c(dim);
+    for (size_t d = 0; d < dim; ++d) c[d] = coord(first, d);
+    centers.push_back(std::move(c));
+    std::vector<double> best_d2(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      best_d2[i] = dist2(rows[i], centers[0]);
+    }
+    while (centers.size() < k) {
+      size_t far = static_cast<size_t>(
+          std::max_element(best_d2.begin(), best_d2.end()) - best_d2.begin());
+      if (best_d2[far] <= 0) break;  // fewer distinct points than k
+      std::vector<double> c(dim);
+      for (size_t d = 0; d < dim; ++d) c[d] = coord(rows[far], d);
+      centers.push_back(c);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        best_d2[i] = std::min(best_d2[i], dist2(rows[i], c));
+      }
+    }
+  }
+
+  std::vector<uint32_t> assign(rows.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      size_t best = 0;
+      double best_d = kInf;
+      for (size_t c = 0; c < centers.size(); ++c) {
+        double d = dist2(rows[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = static_cast<uint32_t>(best);
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    std::vector<std::vector<double>> sums(centers.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(centers.size(), 0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t d = 0; d < dim; ++d) sums[assign[i]][d] += coord(rows[i], d);
+      counts[assign[i]]++;
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep the old center
+      for (size_t d = 0; d < dim; ++d) {
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  std::vector<std::vector<RowId>> clusters(centers.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    clusters[assign[i]].push_back(rows[i]);
+  }
+  clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                [](const auto& c) { return c.empty(); }),
+                 clusters.end());
+  return clusters;
+}
+
+/// Cluster `rows`, then recursively re-cluster any cluster violating the
+/// size or radius condition (falling back to chunking when degenerate).
+void KMeansSplit(const Table& table, const std::vector<size_t>& cols,
+                 const std::vector<double>& scale, const KMeansOptions& opts,
+                 int depth, std::vector<RowId> rows,
+                 std::vector<std::vector<RowId>>* out, Rng* rng) {
+  if (rows.empty()) return;
+  bool size_ok = rows.size() <= opts.size_threshold;
+  bool radius_ok = std::isinf(opts.radius_limit) ||
+                   RadiusOf(table, rows, cols) <= opts.radius_limit;
+  if (size_ok && radius_ok) {
+    out->push_back(std::move(rows));
+    return;
+  }
+  if (depth >= opts.max_split_depth) {
+    // Same safety valve as KdSplit: never emit an oversized group.
+    ChunkBySize(std::move(rows), opts.size_threshold, out);
+    return;
+  }
+  size_t k;
+  if (depth == 0 && opts.num_clusters > 0) {
+    k = opts.num_clusters;
+  } else {
+    k = static_cast<size_t>(std::ceil(
+        static_cast<double>(rows.size()) /
+        static_cast<double>(opts.size_threshold)));
+    k = std::max<size_t>(k, 2);
+  }
+  k = std::min(k, rows.size());
+  std::vector<std::vector<RowId>> clusters = LloydCluster(
+      table, cols, scale, rows, k, opts.max_iterations, rng);
+  if (clusters.size() <= 1) {
+    // No separation achievable (all rows coincide on A): chunk by size.
+    ChunkBySize(std::move(rows), opts.size_threshold, out);
+    return;
+  }
+  for (auto& cluster : clusters) {
+    KMeansSplit(table, cols, scale, opts, depth + 1, std::move(cluster), out,
+                rng);
+  }
+}
+
+std::vector<double> FullTableScales(const Table& table,
+                                    const std::vector<size_t>& cols) {
+  std::vector<RowId> all(table.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<AttrRange> ranges = ComputeRanges(table, all, cols);
+  std::vector<double> scale(cols.size());
+  for (size_t k = 0; k < cols.size(); ++k) scale[k] = ranges[k].width();
+  return scale;
+}
+
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kQuadTree: return "quadtree";
+    case Method::kKMeans: return "kmeans";
+    case Method::kKdTree: return "kdtree";
+    case Method::kGrid: return "grid";
+  }
+  return "?";
+}
+
+Result<Partitioning> KMeansPartition(const Table& table,
+                                     const KMeansOptions& options) {
+  if (options.size_threshold == 0) {
+    return Status::InvalidArgument("size_threshold must be positive");
+  }
+  PAQL_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveAttrs(table, options.attributes));
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  std::vector<double> scale = FullTableScales(table, cols);
+  std::vector<RowId> all(table.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  Rng rng(options.seed);
+  std::vector<std::vector<RowId>> groups;
+  KMeansSplit(table, cols, scale, options, 0, std::move(all), &groups, &rng);
+  return MakePartitioningFromGroups(table, options.attributes,
+                                    options.size_threshold,
+                                    options.radius_limit, std::move(groups));
+}
+
+Result<Partitioning> KdTreePartition(const Table& table,
+                                     const KdTreeOptions& options) {
+  if (options.size_threshold == 0) {
+    return Status::InvalidArgument("size_threshold must be positive");
+  }
+  PAQL_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveAttrs(table, options.attributes));
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  std::vector<double> scale = FullTableScales(table, cols);
+  std::vector<RowId> all(table.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<std::vector<RowId>> groups;
+  KdSplit(table, cols, scale, options.size_threshold, options.radius_limit, 0,
+          options.max_depth, std::move(all), &groups);
+  return MakePartitioningFromGroups(table, options.attributes,
+                                    options.size_threshold,
+                                    options.radius_limit, std::move(groups));
+}
+
+Result<Partitioning> GridPartition(const Table& table,
+                                   const GridOptions& options) {
+  if (options.size_threshold == 0) {
+    return Status::InvalidArgument("size_threshold must be positive");
+  }
+  PAQL_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveAttrs(table, options.attributes));
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  const size_t n = table.num_rows();
+  const size_t dim = cols.size();
+  size_t bins = options.bins_per_attribute;
+  if (bins == 0) {
+    // Aim for ~n/tau cells overall: bins = (n/tau)^(1/dim), clamped.
+    double target_cells = static_cast<double>(n) /
+                          static_cast<double>(options.size_threshold);
+    bins = static_cast<size_t>(
+        std::ceil(std::pow(std::max(target_cells, 1.0),
+                           1.0 / static_cast<double>(dim))));
+    bins = std::clamp<size_t>(bins, 1, 16);
+  }
+
+  std::vector<RowId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<AttrRange> ranges = ComputeRanges(table, all, cols);
+
+  // Assign rows to cells. Cell ids are mixed-radix over per-attribute bins.
+  auto bin_of = [&](RowId r, size_t k) -> size_t {
+    double w = ranges[k].width();
+    if (w <= 0) return 0;
+    double t = (table.GetDouble(r, cols[k]) - ranges[k].lo) / w;
+    auto b = static_cast<size_t>(t * static_cast<double>(bins));
+    return std::min(b, bins - 1);
+  };
+  std::unordered_map<uint64_t, std::vector<RowId>> cells;
+  for (RowId r : all) {
+    uint64_t id = 0;
+    for (size_t k = 0; k < dim; ++k) {
+      id = id * bins + bin_of(r, k);
+    }
+    cells[id].push_back(r);
+  }
+
+  // Deterministic order, then refine any violating cell with median splits.
+  std::vector<uint64_t> ids;
+  ids.reserve(cells.size());
+  for (const auto& [id, _] : cells) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::vector<double> scale(dim);
+  for (size_t k = 0; k < dim; ++k) scale[k] = ranges[k].width();
+  std::vector<std::vector<RowId>> groups;
+  for (uint64_t id : ids) {
+    KdSplit(table, cols, scale, options.size_threshold, options.radius_limit,
+            0, options.max_depth, std::move(cells[id]), &groups);
+  }
+  return MakePartitioningFromGroups(table, options.attributes,
+                                    options.size_threshold,
+                                    options.radius_limit, std::move(groups));
+}
+
+Result<Partitioning> PartitionWithMethod(
+    const Table& table, Method method,
+    const std::vector<std::string>& attributes, size_t size_threshold,
+    double radius_limit, uint64_t seed) {
+  switch (method) {
+    case Method::kQuadTree: {
+      PartitionOptions opts;
+      opts.attributes = attributes;
+      opts.size_threshold = size_threshold;
+      opts.radius_limit = radius_limit;
+      return PartitionTable(table, opts);
+    }
+    case Method::kKMeans: {
+      KMeansOptions opts;
+      opts.attributes = attributes;
+      opts.size_threshold = size_threshold;
+      opts.radius_limit = radius_limit;
+      opts.seed = seed;
+      return KMeansPartition(table, opts);
+    }
+    case Method::kKdTree: {
+      KdTreeOptions opts;
+      opts.attributes = attributes;
+      opts.size_threshold = size_threshold;
+      opts.radius_limit = radius_limit;
+      return KdTreePartition(table, opts);
+    }
+    case Method::kGrid: {
+      GridOptions opts;
+      opts.attributes = attributes;
+      opts.size_threshold = size_threshold;
+      opts.radius_limit = radius_limit;
+      return GridPartition(table, opts);
+    }
+  }
+  return Status::InvalidArgument("unknown partitioning method");
+}
+
+}  // namespace paql::partition

@@ -1,0 +1,101 @@
+// Alternative offline partitioning methods (paper Section 4.1, "Alternative
+// partitioning approaches").
+//
+// The paper's implementation partitions with a k-dimensional quad tree
+// (partitioner.h) and discusses why generic clustering algorithms are a poor
+// fit: they cannot natively enforce the size threshold tau or the radius
+// limit omega. This module implements three alternatives — Lloyd's k-means,
+// a balanced k-d tree (median splits), and a uniform grid — each adapted to
+// honor both conditions by recursively splitting violating clusters/cells.
+// All three produce the same `Partitioning` artifact as the quad tree, so
+// SKETCHREFINE runs unchanged on any of them; the ablation bench
+// (bench/ablation_partitioners) compares build time, group shape, query
+// time, and approximation quality across methods.
+#ifndef PAQL_PARTITION_METHODS_H_
+#define PAQL_PARTITION_METHODS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioner.h"
+#include "relation/table.h"
+
+namespace paql::partition {
+
+/// Which algorithm produced a partitioning (for reports and dispatch).
+enum class Method {
+  kQuadTree,  // the paper's method (partitioner.h)
+  kKMeans,    // Lloyd's algorithm + recursive re-clustering of violators
+  kKdTree,    // balanced median splits on the widest attribute
+  kGrid,      // uniform grid over the attribute ranges
+};
+
+const char* MethodName(Method method);
+
+struct KMeansOptions {
+  /// Partitioning attributes A (numeric columns).
+  std::vector<std::string> attributes;
+  /// Size threshold tau (required, > 0).
+  size_t size_threshold = 0;
+  /// Radius limit omega; infinity = no radius condition.
+  double radius_limit = std::numeric_limits<double>::infinity();
+  /// Number of clusters; 0 = ceil(n / tau) (so clusters average ~tau rows).
+  size_t num_clusters = 0;
+  /// Lloyd iteration cap per (re-)clustering round.
+  int max_iterations = 25;
+  /// Seed for the k-means++ style initialization.
+  uint64_t seed = 42;
+  /// Recursion guard when splitting oversized/over-radius clusters.
+  int max_split_depth = 32;
+};
+
+/// Partition with k-means over scale-normalized attributes. Clusters that
+/// violate the size or radius condition are re-clustered recursively (the
+/// adaptation the paper says off-the-shelf clustering lacks); degenerate
+/// clusters (all rows identical on A) are chunked by size.
+Result<Partitioning> KMeansPartition(const relation::Table& table,
+                                     const KMeansOptions& options);
+
+struct KdTreeOptions {
+  std::vector<std::string> attributes;
+  size_t size_threshold = 0;
+  double radius_limit = std::numeric_limits<double>::infinity();
+  int max_depth = 64;
+};
+
+/// Partition with a balanced k-d tree: recursively split at the median of
+/// the attribute with the largest scale-normalized spread until every leaf
+/// satisfies both conditions. Median splits keep groups between tau/2 and
+/// tau, giving the most uniform group sizes of all methods.
+Result<Partitioning> KdTreePartition(const relation::Table& table,
+                                     const KdTreeOptions& options);
+
+struct GridOptions {
+  std::vector<std::string> attributes;
+  size_t size_threshold = 0;
+  double radius_limit = std::numeric_limits<double>::infinity();
+  /// Cells per attribute; 0 = derive from n/tau (k-th root, capped at 16).
+  size_t bins_per_attribute = 0;
+  int max_depth = 64;
+};
+
+/// Partition with a uniform grid over each attribute's [min, max] range
+/// (the discretization underlying semantic windows, Section 6). Cells that
+/// violate a condition are refined with median splits. Fast to build but
+/// sensitive to skew: empty cells are dropped and dense cells recurse.
+Result<Partitioning> GridPartition(const relation::Table& table,
+                                   const GridOptions& options);
+
+/// Dispatch on `method` with uniform parameters (used by the ablation
+/// bench). `seed` only affects k-means.
+Result<Partitioning> PartitionWithMethod(
+    const relation::Table& table, Method method,
+    const std::vector<std::string>& attributes, size_t size_threshold,
+    double radius_limit = std::numeric_limits<double>::infinity(),
+    uint64_t seed = 42);
+
+}  // namespace paql::partition
+
+#endif  // PAQL_PARTITION_METHODS_H_

@@ -1,0 +1,230 @@
+#include "partition/quadtree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace paql::partition {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Table;
+
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+Result<std::vector<size_t>> ResolveAttrs(
+    const Table& table, const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("no partitioning attributes given");
+  }
+  std::vector<size_t> cols;
+  for (const auto& name : names) {
+    PAQL_ASSIGN_OR_RETURN(size_t idx, table.schema().ResolveColumn(name));
+    if (table.schema().column(idx).type == DataType::kString) {
+      return Status::InvalidArgument(
+          StrCat("partitioning attribute '", name, "' is not numeric"));
+    }
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Result<QuadTreeIndex> QuadTreeIndex::Build(const Table& table,
+                                           const QuadTreeIndexOptions& options) {
+  if (options.leaf_size == 0) {
+    return Status::InvalidArgument("leaf_size must be positive");
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  PAQL_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                        ResolveAttrs(table, options.attributes));
+
+  QuadTreeIndex index;
+  index.table_ = &table;
+  index.attributes_ = options.attributes;
+
+  // Full-table per-attribute scale, for split-attribute scoring.
+  std::vector<double> scale(cols.size(), 0.0);
+  for (size_t k = 0; k < cols.size(); ++k) {
+    double lo = kInfD, hi = -kInfD;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      double v = table.GetDouble(r, cols[k]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    scale[k] = hi - lo;
+  }
+
+  struct Work {
+    std::vector<RowId> rows;
+    int node;   // index into nodes_
+    int depth;
+  };
+
+  auto centroid_radius = [&](const std::vector<RowId>& rows,
+                             std::vector<double>* centroid) {
+    centroid->assign(cols.size(), 0.0);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      double sum = 0;
+      for (RowId r : rows) sum += table.GetDouble(r, cols[k]);
+      (*centroid)[k] = sum / static_cast<double>(rows.size());
+    }
+    double radius = 0;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      for (RowId r : rows) {
+        radius = std::max(
+            radius, std::abs(table.GetDouble(r, cols[k]) - (*centroid)[k]));
+      }
+    }
+    return radius;
+  };
+
+  std::vector<RowId> all(table.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  index.nodes_.emplace_back();
+  std::vector<Work> stack;
+  stack.push_back({std::move(all), 0, 0});
+
+  while (!stack.empty()) {
+    Work work = std::move(stack.back());
+    stack.pop_back();
+    std::vector<double> centroid;
+    double radius = centroid_radius(work.rows, &centroid);
+    Node& node = index.nodes_[static_cast<size_t>(work.node)];
+    node.size = work.rows.size();
+    node.radius = radius;
+    node.depth = work.depth;
+    index.depth_ = std::max(index.depth_, work.depth);
+
+    bool size_ok = work.rows.size() <= options.leaf_size;
+    bool radius_ok = options.leaf_radius <= 0 || radius <= options.leaf_radius;
+    if ((size_ok && radius_ok) || work.depth >= options.max_depth) {
+      node.rows = std::move(work.rows);
+      ++index.num_leaves_;
+      continue;
+    }
+
+    // Choose split attributes: enough of the widest (scale-normalized)
+    // spreads to bring children under the leaf size, capped at 2^4 fan-out
+    // (mirrors the static partitioner's policy).
+    std::vector<std::pair<double, size_t>> scored(cols.size());
+    for (size_t k = 0; k < cols.size(); ++k) {
+      double r_k = 0;
+      for (RowId r : work.rows) {
+        r_k = std::max(r_k,
+                       std::abs(table.GetDouble(r, cols[k]) - centroid[k]));
+      }
+      scored[k] = {scale[k] > 0 ? r_k / scale[k] : 0.0, k};
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    double excess = static_cast<double>(work.rows.size()) /
+                    static_cast<double>(options.leaf_size);
+    size_t want = static_cast<size_t>(
+        std::ceil(std::log2(std::max(excess, 2.0))));
+    want = std::clamp<size_t>(want, 1, std::min<size_t>(4, cols.size()));
+
+    std::unordered_map<uint32_t, std::vector<RowId>> quadrants;
+    for (RowId r : work.rows) {
+      uint32_t mask = 0;
+      for (size_t k = 0; k < want; ++k) {
+        size_t a = scored[k].second;
+        if (table.GetDouble(r, cols[a]) > centroid[a]) mask |= 1u << k;
+      }
+      quadrants[mask].push_back(r);
+    }
+    if (quadrants.size() <= 1) {
+      // Degenerate: rows coincide on A. Chunk into leaf_size children so
+      // cuts below this node still work (radius is 0 everywhere).
+      size_t chunk = options.leaf_size;
+      for (size_t start = 0; start < work.rows.size(); start += chunk) {
+        size_t end = std::min(work.rows.size(), start + chunk);
+        int child = static_cast<int>(index.nodes_.size());
+        index.nodes_.emplace_back();
+        index.nodes_[static_cast<size_t>(work.node)].children.push_back(child);
+        stack.push_back({{work.rows.begin() + static_cast<long>(start),
+                          work.rows.begin() + static_cast<long>(end)},
+                         child, work.depth + 1});
+      }
+      continue;
+    }
+    std::vector<uint32_t> masks;
+    masks.reserve(quadrants.size());
+    for (const auto& [mask, _] : quadrants) masks.push_back(mask);
+    std::sort(masks.begin(), masks.end());
+    for (uint32_t mask : masks) {
+      int child = static_cast<int>(index.nodes_.size());
+      index.nodes_.emplace_back();
+      index.nodes_[static_cast<size_t>(work.node)].children.push_back(child);
+      stack.push_back({std::move(quadrants[mask]), child, work.depth + 1});
+    }
+  }
+  return index;
+}
+
+void QuadTreeIndex::CollectRows(int node, std::vector<RowId>* out) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.is_leaf()) {
+    out->insert(out->end(), n.rows.begin(), n.rows.end());
+    return;
+  }
+  for (int child : n.children) CollectRows(child, out);
+}
+
+void QuadTreeIndex::CutRec(int node, size_t tau, double omega,
+                           std::vector<std::vector<RowId>>* groups) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if ((n.size <= tau && n.radius <= omega) || n.is_leaf()) {
+    std::vector<RowId> rows;
+    rows.reserve(n.size);
+    CollectRows(node, &rows);
+    groups->push_back(std::move(rows));
+    return;
+  }
+  for (int child : n.children) CutRec(child, tau, omega, groups);
+}
+
+Result<Partitioning> QuadTreeIndex::Cut(size_t tau, double omega) const {
+  if (tau == 0) {
+    return Status::InvalidArgument("tau must be positive");
+  }
+  std::vector<std::vector<RowId>> groups;
+  CutRec(0, tau, omega, &groups);
+  // Leaves below the requested tau/omega may still violate the request (the
+  // index cannot cut finer than its leaves); report that honestly.
+  for (const auto& g : groups) {
+    if (g.size() > tau) {
+      return Status::InvalidArgument(
+          StrCat("requested tau=", tau, " is finer than the index leaves (",
+                 "got a group of ", g.size(),
+                 " rows); rebuild the index with a smaller leaf_size"));
+    }
+  }
+  PAQL_ASSIGN_OR_RETURN(
+      Partitioning out,
+      MakePartitioningFromGroups(*table_, attributes_, tau, omega,
+                                 std::move(groups)));
+  // Radius violations can also only come from leaf granularity.
+  for (double r : out.radius) {
+    if (r > omega * (1 + 1e-12)) {
+      return Status::InvalidArgument(
+          StrCat("requested omega=", omega,
+                 " is finer than the index leaves; rebuild the index with a "
+                 "leaf_radius target"));
+    }
+  }
+  return out;
+}
+
+}  // namespace paql::partition

@@ -1,0 +1,91 @@
+// Dynamic partitioning via a retained quad-tree hierarchy (paper Section
+// 4.1, "Dynamic partitioning").
+//
+// The static partitioner (partitioner.h) flattens the quad tree into one
+// fixed partitioning chosen offline. The paper notes an alternative: keep
+// the entire hierarchical structure and, at query time, traverse it to
+// produce the *coarsest* partitioning that satisfies the radius (and size)
+// condition the query's approximation target demands. This module builds
+// that index once — splitting all the way down to fine leaves — and answers
+// `Cut(tau, omega)` requests by emitting the shallowest antichain of nodes
+// whose subtrees satisfy both conditions.
+//
+// The paper found static partitioning sufficient in practice; the ablation
+// bench (bench/ablation_dynamic) quantifies that claim: one index build is
+// amortized across many cuts, and a cut is orders of magnitude cheaper than
+// a fresh partitioning.
+#ifndef PAQL_PARTITION_QUADTREE_INDEX_H_
+#define PAQL_PARTITION_QUADTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioner.h"
+#include "relation/table.h"
+
+namespace paql::partition {
+
+struct QuadTreeIndexOptions {
+  /// Partitioning attributes A (numeric columns).
+  std::vector<std::string> attributes;
+  /// Leaf granularity: split until every leaf has at most this many rows.
+  /// Cuts can never be finer than the leaves, so pick the smallest size
+  /// threshold any query is expected to request.
+  size_t leaf_size = 0;
+  /// Optional leaf radius target: also split until every leaf's radius is
+  /// at most this (0 disables; useful when queries request tight omegas).
+  double leaf_radius = 0;
+  /// Safety valve against pathological recursion.
+  int max_depth = 64;
+};
+
+/// A fully retained quad-tree over one table.
+class QuadTreeIndex {
+ public:
+  /// Build the index (the expensive offline step).
+  static Result<QuadTreeIndex> Build(const relation::Table& table,
+                                     const QuadTreeIndexOptions& options);
+
+  /// Coarsest partitioning whose groups all have size <= tau and radius <=
+  /// omega (the query-time step; omega may be +infinity for "no radius
+  /// condition"). Runs in time linear in the number of emitted nodes plus
+  /// their row counts — no re-clustering.
+  Result<Partitioning> Cut(size_t tau, double omega) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const { return num_leaves_; }
+  int depth() const { return depth_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+ private:
+  struct Node {
+    std::vector<relation::RowId> rows;  // leaves only (empty for internal)
+    std::vector<int> children;          // indices into nodes_
+    size_t size = 0;                    // rows in the subtree
+    double radius = 0;                  // subtree radius around its centroid
+    int depth = 0;
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  QuadTreeIndex() = default;
+
+  /// Append the subtree's rows to `out` (leaves in DFS order).
+  void CollectRows(int node, std::vector<relation::RowId>* out) const;
+
+  /// Emit the coarsest antichain under `node` satisfying (tau, omega).
+  void CutRec(int node, size_t tau, double omega,
+              std::vector<std::vector<relation::RowId>>* groups) const;
+
+  const relation::Table* table_ = nullptr;
+  std::vector<std::string> attributes_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  size_t num_leaves_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace paql::partition
+
+#endif  // PAQL_PARTITION_QUADTREE_INDEX_H_

@@ -1,0 +1,121 @@
+#include "relation/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "UNKNOWN";
+}
+
+Result<AggFunc> ParseAggFunc(std::string_view name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggFunc::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggFunc::kSum;
+  if (EqualsIgnoreCase(name, "AVG")) return AggFunc::kAvg;
+  if (EqualsIgnoreCase(name, "MIN")) return AggFunc::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggFunc::kMax;
+  return Status::ParseError(
+      StrCat("unknown aggregate function '", std::string(name), "'"));
+}
+
+bool IsLinearAgg(AggFunc func) {
+  return func == AggFunc::kCount || func == AggFunc::kSum ||
+         func == AggFunc::kAvg;
+}
+
+Result<double> AggregateRows(const Table& table, AggFunc func, size_t col,
+                             const std::vector<RowId>& rows,
+                             const std::vector<int64_t>& multiplicity) {
+  if (rows.size() != multiplicity.size()) {
+    return Status::InvalidArgument("rows/multiplicity size mismatch");
+  }
+  int64_t count = 0;
+  double sum = 0.0;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int64_t mult = multiplicity[i];
+    if (mult <= 0) continue;
+    count += mult;
+    if (func != AggFunc::kCount) {
+      double v = table.GetDouble(rows[i], col);
+      sum += v * static_cast<double>(mult);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+  }
+  switch (func) {
+    case AggFunc::kCount:
+      return static_cast<double>(count);
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kAvg:
+      if (count == 0) return Status::InvalidArgument("AVG over empty package");
+      return sum / static_cast<double>(count);
+    case AggFunc::kMin:
+      if (count == 0) return Status::InvalidArgument("MIN over empty package");
+      return min_v;
+    case AggFunc::kMax:
+      if (count == 0) return Status::InvalidArgument("MAX over empty package");
+      return max_v;
+  }
+  return Status::Internal("unreachable aggregate");
+}
+
+Result<std::vector<std::vector<RowId>>> GroupByDenseId(const Table& table,
+                                                       size_t gid_col,
+                                                       size_t num_groups) {
+  if (gid_col >= table.num_columns()) {
+    return Status::InvalidArgument("gid column out of range");
+  }
+  std::vector<std::vector<RowId>> groups(num_groups);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    int64_t g = table.GetInt64(r, gid_col);
+    if (g < 0 || static_cast<size_t>(g) >= num_groups) {
+      return Status::InvalidArgument(
+          StrCat("group id ", g, " out of range [0, ", num_groups, ")"));
+    }
+    groups[static_cast<size_t>(g)].push_back(r);
+  }
+  return groups;
+}
+
+Result<GroupCentroids> ComputeGroupCentroids(
+    const Table& table, const std::vector<std::vector<RowId>>& groups,
+    const std::vector<size_t>& cols) {
+  for (size_t c : cols) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("centroid column out of range");
+    }
+    if (table.schema().column(c).type == DataType::kString) {
+      return Status::InvalidArgument(
+          StrCat("centroid column '", table.schema().column(c).name,
+                 "' is not numeric"));
+    }
+  }
+  GroupCentroids out;
+  out.centroid.assign(groups.size(), std::vector<double>(cols.size(), 0.0));
+  out.group_size.assign(groups.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    out.group_size[g] = groups[g].size();
+    if (groups[g].empty()) continue;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      double sum = 0.0;
+      for (RowId r : groups[g]) sum += table.GetDouble(r, cols[k]);
+      out.centroid[g][k] = sum / static_cast<double>(groups[g].size());
+    }
+  }
+  return out;
+}
+
+}  // namespace paql::relation

@@ -1,0 +1,60 @@
+// Column aggregation over row subsets: COUNT, SUM, AVG, MIN, MAX.
+//
+// These are the aggregate functions PaQL global predicates use (the paper
+// restricts evaluation to the linear ones, COUNT/SUM/AVG; MIN/MAX are
+// provided for validation and examples).
+#ifndef PAQL_RELATION_AGGREGATE_H_
+#define PAQL_RELATION_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace paql::relation {
+
+/// Aggregate function tags.
+enum class AggFunc {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggFuncName(AggFunc func);
+Result<AggFunc> ParseAggFunc(std::string_view name);
+
+/// True for aggregates with a linear ILP translation (Section 3.1).
+bool IsLinearAgg(AggFunc func);
+
+/// Compute `func` over column `col` restricted to `rows`, weighting row r by
+/// `multiplicity[i]` (packages are multisets). For COUNT, `col` is ignored.
+/// AVG of an empty set is an error; MIN/MAX of an empty set is an error.
+Result<double> AggregateRows(const Table& table, AggFunc func, size_t col,
+                             const std::vector<RowId>& rows,
+                             const std::vector<int64_t>& multiplicity);
+
+/// Group rows of `table` by an INT64 column; returns group-id -> row list.
+/// Group ids must be dense in [0, num_groups); rows with out-of-range ids
+/// produce an error.
+Result<std::vector<std::vector<RowId>>> GroupByDenseId(const Table& table,
+                                                       size_t gid_col,
+                                                       size_t num_groups);
+
+/// Per-group centroids over the given numeric columns (the representative
+/// construction in the paper's partitioning). Empty groups yield centroids
+/// of all zeros.
+struct GroupCentroids {
+  // centroid[g][k] = mean of column cols[k] over group g.
+  std::vector<std::vector<double>> centroid;
+  std::vector<size_t> group_size;
+};
+Result<GroupCentroids> ComputeGroupCentroids(
+    const Table& table, const std::vector<std::vector<RowId>>& groups,
+    const std::vector<size_t>& cols);
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_AGGREGATE_H_

@@ -1,0 +1,179 @@
+#include "relation/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+namespace {
+
+// Escape a string field: quote if it contains comma, quote, or newline.
+std::string EscapeField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Split one CSV line honoring quotes.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void AppendTableAsCsv(const Table& table, std::ostream& os) {
+  const Schema& schema = table.schema();
+  std::vector<std::string> header;
+  header.reserve(schema.num_columns());
+  for (const auto& col : schema.columns()) {
+    header.push_back(StrCat(col.name, ":", DataTypeName(col.type)));
+  }
+  os << Join(header, ",") << "\n";
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) os << ",";
+      if (table.IsNull(r, c)) continue;  // empty field == NULL
+      switch (schema.column(c).type) {
+        case DataType::kInt64: os << table.GetInt64(r, c); break;
+        case DataType::kDouble:
+          os << FormatDouble(table.GetDouble(r, c), 17);
+          break;
+        case DataType::kString: os << EscapeField(table.GetString(r, c)); break;
+      }
+    }
+    os << "\n";
+  }
+}
+
+Result<Table> ParseCsv(std::istream& is, const std::string& origin) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::IoError(StrCat("empty CSV input: ", origin));
+  }
+  std::vector<ColumnDef> defs;
+  for (const auto& field : SplitCsvLine(line)) {
+    auto parts = Split(field, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError(
+          StrCat("CSV header field '", field, "' is not name:TYPE"));
+    }
+    DataType type;
+    if (EqualsIgnoreCase(parts[1], "INT64")) type = DataType::kInt64;
+    else if (EqualsIgnoreCase(parts[1], "DOUBLE")) type = DataType::kDouble;
+    else if (EqualsIgnoreCase(parts[1], "STRING")) type = DataType::kString;
+    else
+      return Status::ParseError(StrCat("unknown CSV type '", parts[1], "'"));
+    defs.push_back({parts[0], type});
+  }
+  Table table{Schema(std::move(defs))};
+  const Schema& schema = table.schema();
+  std::vector<Value> row(schema.num_columns());
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(StrCat(origin, ":", line_no, ": expected ",
+                                       schema.num_columns(), " fields, got ",
+                                       fields.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      if (f.empty()) {
+        row[c] = Value::Null();
+        continue;
+      }
+      switch (schema.column(c).type) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+          if (ec != std::errc() || ptr != f.data() + f.size()) {
+            return Status::ParseError(
+                StrCat(origin, ":", line_no, ": bad INT64 '", f, "'"));
+          }
+          row[c] = Value(v);
+          break;
+        }
+        case DataType::kDouble: {
+          try {
+            size_t used = 0;
+            double v = std::stod(f, &used);
+            if (used != f.size()) throw std::invalid_argument(f);
+            row[c] = Value(v);
+          } catch (const std::exception&) {
+            return Status::ParseError(
+                StrCat(origin, ":", line_no, ": bad DOUBLE '", f, "'"));
+          }
+          break;
+        }
+        case DataType::kString:
+          row[c] = Value(f);
+          break;
+      }
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  AppendTableAsCsv(table, out);
+  out.flush();
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError(StrCat("cannot open for read: ", path));
+  return ParseCsv(in, path);
+}
+
+std::string ToCsvString(const Table& table) {
+  std::ostringstream os;
+  AppendTableAsCsv(table, os);
+  return os.str();
+}
+
+Result<Table> FromCsvString(const std::string& text) {
+  std::istringstream is(text);
+  return ParseCsv(is, "<string>");
+}
+
+}  // namespace paql::relation

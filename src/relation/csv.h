@@ -1,0 +1,27 @@
+// CSV persistence for tables (datasets and partitioning artifacts).
+#ifndef PAQL_RELATION_CSV_H_
+#define PAQL_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace paql::relation {
+
+/// Write `table` to `path` with a typed header line of the form
+/// `name:INT64,name:DOUBLE,...`. NULLs are written as empty fields.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Read a table written by WriteCsv (typed header required).
+Result<Table> ReadCsv(const std::string& path);
+
+/// Serialize to a string (same format as WriteCsv); used by tests.
+std::string ToCsvString(const Table& table);
+
+/// Parse from a string (same format as ReadCsv).
+Result<Table> FromCsvString(const std::string& text);
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_CSV_H_

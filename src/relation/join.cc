@@ -1,0 +1,186 @@
+#include "relation/join.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+namespace {
+
+std::string PrefixedName(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : StrCat(prefix, "_", name);
+}
+
+/// Output schema: left columns then right columns, renamed per options.
+Result<Schema> JoinedSchema(const Table& left, const Table& right,
+                            const JoinOptions& options) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(left.num_columns() + right.num_columns());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    ColumnDef def = left.schema().column(c);
+    def.name = PrefixedName(options.left_prefix, def.name);
+    defs.push_back(std::move(def));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    ColumnDef def = right.schema().column(c);
+    def.name = PrefixedName(options.right_prefix, def.name);
+    defs.push_back(std::move(def));
+  }
+  for (size_t i = 0; i < defs.size(); ++i) {
+    for (size_t j = i + 1; j < defs.size(); ++j) {
+      if (defs[i].name == defs[j].name) {
+        return Status::InvalidArgument(
+            StrCat("join output column name collision: '", defs[i].name,
+                   "'; give the FROM relations distinct aliases"));
+      }
+    }
+  }
+  return Schema(std::move(defs));
+}
+
+/// Type-tagged encoding of one key column value, appended to `key`.
+/// Returns false when the value is NULL (NULL keys never join).
+bool AppendKeyPart(const Table& table, RowId row, size_t col,
+                   std::string* key) {
+  if (table.IsNull(row, col)) return false;
+  if (table.schema().column(col).type == DataType::kString) {
+    key->push_back('s');
+    const std::string& s = table.GetString(row, col);
+    uint32_t len = static_cast<uint32_t>(s.size());
+    key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+    key->append(s);
+    return true;
+  }
+  // Numerics compare as double so INT64 5 joins with DOUBLE 5.0.
+  key->push_back('d');
+  double v = table.GetDouble(row, col);
+  if (v == 0.0) v = 0.0;  // normalize -0.0 to +0.0 for bitwise equality
+  char buf[sizeof(double)];
+  std::memcpy(buf, &v, sizeof(double));
+  key->append(buf, sizeof(double));
+  return true;
+}
+
+Status CheckKeyTypes(const Table& left, const Table& right,
+                     const std::vector<JoinKey>& keys) {
+  for (const JoinKey& k : keys) {
+    if (k.left_col >= left.num_columns() ||
+        k.right_col >= right.num_columns()) {
+      return Status::InvalidArgument("join key column out of range");
+    }
+    bool ls = left.schema().column(k.left_col).type == DataType::kString;
+    bool rs = right.schema().column(k.right_col).type == DataType::kString;
+    if (ls != rs) {
+      return Status::InvalidArgument(
+          StrCat("join key type mismatch: '",
+                 left.schema().column(k.left_col).name, "' vs '",
+                 right.schema().column(k.right_col).name, "'"));
+    }
+  }
+  return Status::OK();
+}
+
+/// Emit the concatenated (left row, right row) into `out`.
+void EmitRow(const Table& left, RowId lrow, const Table& right, RowId rrow,
+             std::vector<Value>* scratch, Table* out) {
+  scratch->clear();
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    scratch->push_back(left.GetValue(lrow, c));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    scratch->push_back(right.GetValue(rrow, c));
+  }
+  out->AppendRowUnchecked(*scratch);
+}
+
+}  // namespace
+
+Result<Table> HashEquiJoin(const Table& left, const Table& right,
+                           const std::vector<JoinKey>& keys,
+                           const JoinOptions& options) {
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "HashEquiJoin requires at least one key (use CrossJoin otherwise)");
+  }
+  PAQL_RETURN_IF_ERROR(CheckKeyTypes(left, right, keys));
+  PAQL_ASSIGN_OR_RETURN(Schema schema, JoinedSchema(left, right, options));
+  Table out{std::move(schema)};
+
+  // Build on the smaller side, probe with the larger.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+
+  std::unordered_map<std::string, std::vector<RowId>> ht;
+  ht.reserve(build.num_rows());
+  std::string key;
+  for (RowId r = 0; r < build.num_rows(); ++r) {
+    key.clear();
+    bool usable = true;
+    for (const JoinKey& k : keys) {
+      size_t col = build_left ? k.left_col : k.right_col;
+      if (!AppendKeyPart(build, r, col, &key)) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable) ht[key].push_back(r);
+  }
+
+  std::vector<Value> scratch;
+  scratch.reserve(left.num_columns() + right.num_columns());
+  size_t emitted = 0;
+  for (RowId r = 0; r < probe.num_rows(); ++r) {
+    key.clear();
+    bool usable = true;
+    for (const JoinKey& k : keys) {
+      size_t col = build_left ? k.right_col : k.left_col;
+      if (!AppendKeyPart(probe, r, col, &key)) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    for (RowId m : it->second) {
+      if (++emitted > options.max_result_rows) {
+        return Status::ResourceExhausted(
+            StrCat("join result exceeds ", options.max_result_rows, " rows"));
+      }
+      RowId lrow = build_left ? m : r;
+      RowId rrow = build_left ? r : m;
+      EmitRow(left, lrow, right, rrow, &scratch, &out);
+    }
+  }
+  return out;
+}
+
+Result<Table> CrossJoin(const Table& left, const Table& right,
+                        const JoinOptions& options) {
+  PAQL_ASSIGN_OR_RETURN(Schema schema, JoinedSchema(left, right, options));
+  size_t total = left.num_rows() * right.num_rows();
+  if (right.num_rows() != 0 && total / right.num_rows() != left.num_rows()) {
+    return Status::ResourceExhausted("cross join size overflows");
+  }
+  if (total > options.max_result_rows) {
+    return Status::ResourceExhausted(
+        StrCat("cross join would produce ", total, " rows (limit ",
+               options.max_result_rows,
+               "); add an equi-join predicate to the WHERE clause"));
+  }
+  Table out{std::move(schema)};
+  out.Reserve(total);
+  std::vector<Value> scratch;
+  scratch.reserve(left.num_columns() + right.num_columns());
+  for (RowId l = 0; l < left.num_rows(); ++l) {
+    for (RowId r = 0; r < right.num_rows(); ++r) {
+      EmitRow(left, l, right, r, &scratch, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace paql::relation

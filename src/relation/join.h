@@ -1,0 +1,61 @@
+// Relational joins over in-memory tables.
+//
+// Multi-relation package queries are evaluated by materializing the join
+// result first and then running the single-relation package machinery on it
+// (paper Section 4.5, "Handling joins": "the system can simply evaluate and
+// materialize the join result before applying the package-specific
+// transformations"). This module provides the join operators that
+// core/from_clause.h builds that materialization from:
+//
+//  * HashEquiJoin — build-side hash table on the smaller input, probe with
+//    the larger; NULL keys never match (SQL semantics).
+//  * CrossJoin — Cartesian product with a row-count guard (used only when
+//    no equi-join predicate links two FROM relations).
+//
+// Output columns are prefixed with their source alias ("alias_column") so
+// same-named columns from different inputs stay distinguishable; empty
+// prefixes keep the original names (collisions are an error).
+#ifndef PAQL_RELATION_JOIN_H_
+#define PAQL_RELATION_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace paql::relation {
+
+/// One equality condition between a left column and a right column. The
+/// columns must have comparable types (numeric with numeric, string with
+/// string).
+struct JoinKey {
+  size_t left_col = 0;
+  size_t right_col = 0;
+};
+
+struct JoinOptions {
+  /// Prefix for output column names from each side; "" keeps the original
+  /// name. Non-empty prefixes produce "<prefix>_<column>".
+  std::string left_prefix;
+  std::string right_prefix;
+  /// Guard against runaway outputs (also applies to CrossJoin).
+  size_t max_result_rows = 50'000'000;
+};
+
+/// Inner equi-join of `left` and `right` on `keys` (all must hold). Rows
+/// with a NULL key on any join column never match. Output columns are all
+/// left columns then all right columns, renamed per the options; row order
+/// follows the probe (larger) side and is not part of the contract.
+Result<Table> HashEquiJoin(const Table& left, const Table& right,
+                           const std::vector<JoinKey>& keys,
+                           const JoinOptions& options = {});
+
+/// Cartesian product (used when no join predicate connects two inputs).
+Result<Table> CrossJoin(const Table& left, const Table& right,
+                        const JoinOptions& options = {});
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_JOIN_H_

@@ -1,0 +1,69 @@
+#include "relation/schema.h"
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      PAQL_CHECK_MSG(!EqualsIgnoreCase(columns_[i].name, columns_[j].name),
+                     "duplicate column name: " << columns_[i].name);
+    }
+  }
+}
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ResolveColumn(std::string_view name) const {
+  auto idx = FindColumn(name);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("attribute '", std::string(name), "' not in schema [",
+               Join(ColumnNames(), ", "), "]"));
+  }
+  return *idx;
+}
+
+Status Schema::AddColumn(ColumnDef def) {
+  if (FindColumn(def.name).has_value()) {
+    return Status::InvalidArgument(
+        StrCat("column '", def.name, "' already exists"));
+  }
+  columns_.push_back(std::move(def));
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(StrCat(c.name, " ", DataTypeName(c.type)));
+  }
+  return Join(parts, ", ");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paql::relation

@@ -1,0 +1,54 @@
+// Relation schema: ordered, named, typed columns.
+#ifndef PAQL_RELATION_SCHEMA_H_
+#define PAQL_RELATION_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace paql::relation {
+
+/// A single column definition.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered collection of column definitions with case-insensitive lookup
+/// (SQL identifiers are case-insensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive), if any.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but returns a Status error naming the attribute.
+  Result<size_t> ResolveColumn(std::string_view name) const;
+
+  /// Append a column; fails if the name already exists.
+  Status AddColumn(ColumnDef def);
+
+  /// Names of all columns, in order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// "name TYPE, name TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_SCHEMA_H_

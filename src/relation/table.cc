@@ -1,0 +1,217 @@
+#include "relation/table.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  nulls_.resize(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    columns_[c].type = schema_.column(c).type;
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", values.size(), " != schema arity ",
+               schema_.num_columns()));
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    const Value& v = values[c];
+    if (v.is_null()) continue;
+    DataType t = schema_.column(c).type;
+    bool ok = (t == DataType::kString) ? v.is_string() : v.is_numeric();
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrCat("value ", v.ToString(), " does not match column '",
+                 schema_.column(c).name, "' of type ",
+                 DataTypeName(t)));
+    }
+  }
+  AppendRowUnchecked(values);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const std::vector<Value>& values) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnData& col = columns_[c];
+    const Value& v = values[c];
+    switch (col.type) {
+      case DataType::kInt64:
+        col.ints.push_back(v.is_null() ? 0 : v.AsInt64());
+        break;
+      case DataType::kDouble:
+        col.doubles.push_back(v.is_null() ? 0.0 : v.AsDouble());
+        break;
+      case DataType::kString:
+        col.strings.push_back(v.is_null() ? std::string() : v.AsString());
+        break;
+    }
+    if (v.is_null()) SetNull(static_cast<RowId>(num_rows_), c);
+  }
+  ++num_rows_;
+}
+
+void Table::SetNull(RowId row, size_t col) {
+  auto& bitmap = nulls_[col];
+  if (bitmap.size() <= row) bitmap.resize(num_rows_ + 1, 0);
+  bitmap[row] = 1;
+}
+
+Value Table::GetValue(RowId row, size_t col) const {
+  if (IsNull(row, col)) return Value::Null();
+  const ColumnData& c = columns_[col];
+  switch (c.type) {
+    case DataType::kInt64: return Value(c.ints[row]);
+    case DataType::kDouble: return Value(c.doubles[row]);
+    case DataType::kString: return Value(c.strings[row]);
+  }
+  return Value::Null();
+}
+
+void Table::SetValue(RowId row, size_t col, const Value& value) {
+  PAQL_CHECK(row < num_rows_ && col < columns_.size());
+  ColumnData& c = columns_[col];
+  if (value.is_null()) {
+    SetNull(row, col);
+    return;
+  }
+  if (!nulls_[col].empty() && nulls_[col].size() > row) nulls_[col][row] = 0;
+  switch (c.type) {
+    case DataType::kInt64: c.ints[row] = value.AsInt64(); break;
+    case DataType::kDouble: c.doubles[row] = value.AsDouble(); break;
+    case DataType::kString: c.strings[row] = value.AsString(); break;
+  }
+}
+
+const std::vector<double>& Table::DoubleColumn(size_t col) const {
+  PAQL_CHECK(columns_[col].type == DataType::kDouble);
+  return columns_[col].doubles;
+}
+
+const std::vector<int64_t>& Table::Int64Column(size_t col) const {
+  PAQL_CHECK(columns_[col].type == DataType::kInt64);
+  return columns_[col].ints;
+}
+
+std::vector<RowId> Table::FilterRows(
+    const std::function<bool(const Table&, RowId)>& pred) const {
+  std::vector<RowId> out;
+  for (RowId r = 0; r < num_rows_; ++r) {
+    if (pred(*this, r)) out.push_back(r);
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<RowId>& rows) const {
+  Table out(schema_);
+  out.Reserve(rows.size());
+  std::vector<Value> row_values(schema_.num_columns());
+  for (RowId r : rows) {
+    PAQL_CHECK(r < num_rows_);
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      row_values[c] = GetValue(r, c);
+    }
+    out.AppendRowUnchecked(row_values);
+  }
+  return out;
+}
+
+Result<Table> Table::ProjectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<ColumnDef> defs;
+  std::vector<size_t> src;
+  for (const auto& name : names) {
+    PAQL_ASSIGN_OR_RETURN(size_t idx, schema_.ResolveColumn(name));
+    defs.push_back(schema_.column(idx));
+    src.push_back(idx);
+  }
+  Table out{Schema(defs)};
+  out.Reserve(num_rows_);
+  std::vector<Value> row_values(defs.size());
+  for (RowId r = 0; r < num_rows_; ++r) {
+    for (size_t c = 0; c < src.size(); ++c) row_values[c] = GetValue(r, src[c]);
+    out.AppendRowUnchecked(row_values);
+  }
+  return out;
+}
+
+Result<size_t> Table::AddColumn(const ColumnDef& def, const Value& fill) {
+  PAQL_RETURN_IF_ERROR(schema_.AddColumn(def));
+  ColumnData col;
+  col.type = def.type;
+  switch (def.type) {
+    case DataType::kInt64:
+      col.ints.assign(num_rows_, fill.is_null() ? 0 : fill.AsInt64());
+      break;
+    case DataType::kDouble:
+      col.doubles.assign(num_rows_, fill.is_null() ? 0.0 : fill.AsDouble());
+      break;
+    case DataType::kString:
+      col.strings.assign(num_rows_,
+                         fill.is_null() ? std::string() : fill.AsString());
+      break;
+  }
+  columns_.push_back(std::move(col));
+  nulls_.emplace_back();
+  if (fill.is_null()) nulls_.back().assign(num_rows_, 1);
+  return schema_.num_columns() - 1;
+}
+
+std::vector<RowId> Table::NonNullRows(const std::vector<size_t>& cols) const {
+  std::vector<RowId> out;
+  out.reserve(num_rows_);
+  for (RowId r = 0; r < num_rows_; ++r) {
+    bool keep = true;
+    for (size_t c : cols) {
+      if (IsNull(r, c)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " (" << num_rows_ << " rows)\n";
+  size_t limit = std::min(max_rows, num_rows_);
+  for (RowId r = 0; r < limit; ++r) {
+    std::vector<std::string> cells;
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      cells.push_back(GetValue(r, c).ToString());
+    }
+    os << "  (" << Join(cells, ", ") << ")\n";
+  }
+  if (num_rows_ > limit) os << "  ... " << (num_rows_ - limit) << " more\n";
+  return os.str();
+}
+
+size_t Table::ApproximateBytes() const {
+  size_t total = 0;
+  for (const auto& c : columns_) {
+    total += c.ints.capacity() * sizeof(int64_t);
+    total += c.doubles.capacity() * sizeof(double);
+    for (const auto& s : c.strings) total += sizeof(std::string) + s.capacity();
+  }
+  for (const auto& b : nulls_) total += b.capacity();
+  return total;
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& c : columns_) {
+    switch (c.type) {
+      case DataType::kInt64: c.ints.reserve(rows); break;
+      case DataType::kDouble: c.doubles.reserve(rows); break;
+      case DataType::kString: c.strings.reserve(rows); break;
+    }
+  }
+}
+
+}  // namespace paql::relation

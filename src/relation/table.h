@@ -1,0 +1,123 @@
+// Columnar in-memory table.
+//
+// This is the storage substrate replacing PostgreSQL in the original system
+// (see DESIGN.md §1). The paper uses the DBMS for scans, selections, and
+// group-by aggregation; `Table` supports exactly those access paths with
+// typed columnar storage and per-column null bitmaps.
+#ifndef PAQL_RELATION_TABLE_H_
+#define PAQL_RELATION_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace paql::relation {
+
+/// Row index type. Tables are append-only; a RowId is stable forever.
+using RowId = uint32_t;
+
+/// Columnar table: one typed vector per column plus a null bitmap.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Append a row of values; must match the schema arity and types
+  /// (numeric coercion int64<->double is allowed).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Append a row without validation (hot path for generators).
+  /// Values must already match column types; Value::Null() marks nulls.
+  void AppendRowUnchecked(const std::vector<Value>& values);
+
+  // --- Typed element access (hot paths; no bounds checks in release) ---
+
+  bool IsNull(RowId row, size_t col) const {
+    // The bitmap is grown lazily: rows past its end are non-NULL.
+    const auto& bitmap = nulls_[col];
+    return row < bitmap.size() && bitmap[row] != 0;
+  }
+
+  /// Numeric read with int64->double coercion. Must not be NULL or string.
+  double GetDouble(RowId row, size_t col) const {
+    const ColumnData& c = columns_[col];
+    return c.type == DataType::kDouble
+               ? c.doubles[row]
+               : static_cast<double>(c.ints[row]);
+  }
+
+  int64_t GetInt64(RowId row, size_t col) const {
+    const ColumnData& c = columns_[col];
+    return c.type == DataType::kInt64 ? c.ints[row]
+                                      : static_cast<int64_t>(c.doubles[row]);
+  }
+
+  const std::string& GetString(RowId row, size_t col) const {
+    return columns_[col].strings[row];
+  }
+
+  /// Generic (boxed) element access for non-hot paths.
+  Value GetValue(RowId row, size_t col) const;
+
+  /// Overwrite one element (used by the partitioner to assign group ids).
+  void SetValue(RowId row, size_t col, const Value& value);
+
+  /// Direct access to a whole double column (must be kDouble).
+  const std::vector<double>& DoubleColumn(size_t col) const;
+  /// Direct access to a whole int64 column (must be kInt64).
+  const std::vector<int64_t>& Int64Column(size_t col) const;
+
+  // --- Relational operations ---
+
+  /// Row ids whose rows satisfy `pred`.
+  std::vector<RowId> FilterRows(
+      const std::function<bool(const Table&, RowId)>& pred) const;
+
+  /// New table containing the given rows (in order).
+  Table SelectRows(const std::vector<RowId>& rows) const;
+
+  /// New table with only the named columns.
+  Result<Table> ProjectColumns(const std::vector<std::string>& names) const;
+
+  /// Add a new column filled with `fill`; returns its index.
+  Result<size_t> AddColumn(const ColumnDef& def, const Value& fill);
+
+  /// Rows with non-NULL values in all the given columns.
+  std::vector<RowId> NonNullRows(const std::vector<size_t>& cols) const;
+
+  /// Debug rendering of the first `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+  /// Approximate heap footprint in bytes (for solver budget accounting).
+  size_t ApproximateBytes() const;
+
+  void Reserve(size_t rows);
+
+ private:
+  struct ColumnData {
+    DataType type;
+    std::vector<int64_t> ints;        // kInt64
+    std::vector<double> doubles;      // kDouble
+    std::vector<std::string> strings; // kString
+  };
+
+  Schema schema_;
+  std::vector<ColumnData> columns_;
+  std::vector<std::vector<uint8_t>> nulls_;  // per-column; empty = no nulls
+  size_t num_rows_ = 0;
+
+  void SetNull(RowId row, size_t col);
+};
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_TABLE_H_

@@ -1,0 +1,51 @@
+#include "relation/value.h"
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const {
+  if (is_int64()) return std::get<int64_t>(data_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(data_));
+  PAQL_CHECK_MSG(false, "Value is not numeric: " << ToString());
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(data_);
+  if (is_int64()) return static_cast<double>(std::get<int64_t>(data_));
+  PAQL_CHECK_MSG(false, "Value is not numeric: " << ToString());
+  return 0;
+}
+
+const std::string& Value::AsString() const {
+  PAQL_CHECK_MSG(is_string(), "Value is not a string: " << ToString());
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(std::get<int64_t>(data_));
+  if (is_double()) return FormatDouble(std::get<double>(data_), 10);
+  return StrCat("'", std::get<std::string>(data_), "'");
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;  // SQL NULL semantics.
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() == other.AsDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+}  // namespace paql::relation

@@ -1,0 +1,67 @@
+// Scalar value type for the in-memory relational engine.
+#ifndef PAQL_RELATION_VALUE_H_
+#define PAQL_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace paql::relation {
+
+/// Column/value data types supported by the engine.
+///
+/// The paper's package queries operate over numeric attributes; strings
+/// appear only in base predicates (e.g. `R.gluten = 'free'`).
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A dynamically-typed scalar: NULL, INT64, DOUBLE, or STRING.
+///
+/// `Value` is used at the API boundary (row construction, CSV, query
+/// constants). Hot paths read the typed column storage in `Table` directly.
+class Value {
+ public:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+
+  Value() : data_(NullTag{}) {}                               // NULL
+  Value(int64_t v) : data_(v) {}                              // NOLINT
+  Value(int v) : data_(static_cast<int64_t>(v)) {}            // NOLINT
+  Value(double v) : data_(v) {}                               // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}               // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}             // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t AsInt64() const;
+  /// Numeric coercion: int64 and double both convert; others PAQL_CHECK-fail.
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// SQL-style string rendering; NULL prints as "NULL", strings are quoted.
+  std::string ToString() const;
+
+  /// SQL equality (NULL != anything, numerics compare cross-type).
+  bool Equals(const Value& other) const;
+
+ private:
+  std::variant<NullTag, int64_t, double, std::string> data_;
+};
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_VALUE_H_

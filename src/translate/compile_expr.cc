@@ -1,0 +1,225 @@
+#include "translate/compile_expr.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace paql::translate {
+
+using lang::BoolExpr;
+using lang::BoolKind;
+using lang::CmpOp;
+using lang::ScalarExpr;
+using lang::ScalarKind;
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+bool IsStringColumn(const Schema& schema, size_t col) {
+  return schema.column(col).type == DataType::kString;
+}
+
+/// Column-or-literal string accessor for string comparisons.
+struct StringOperand {
+  bool is_column = false;
+  size_t col = 0;
+  std::string literal;
+};
+
+Result<StringOperand> CompileStringOperand(const ScalarExpr& expr,
+                                           const Schema& schema) {
+  StringOperand op;
+  if (expr.kind == ScalarKind::kLiteral && expr.literal.is_string()) {
+    op.literal = expr.literal.AsString();
+    return op;
+  }
+  if (expr.kind == ScalarKind::kColumn) {
+    PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
+    if (IsStringColumn(schema, col)) {
+      op.is_column = true;
+      op.col = col;
+      return op;
+    }
+  }
+  return Status::InvalidArgument(
+      StrCat("expected string operand: ", lang::ToString(expr)));
+}
+
+bool IsStringExpr(const ScalarExpr& expr, const Schema& schema) {
+  if (expr.kind == ScalarKind::kLiteral) return expr.literal.is_string();
+  if (expr.kind == ScalarKind::kColumn) {
+    auto col = schema.FindColumn(expr.column);
+    return col.has_value() && IsStringColumn(schema, *col);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<RowFn> CompileScalar(const ScalarExpr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case ScalarKind::kColumn: {
+      PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
+      if (IsStringColumn(schema, col)) {
+        return Status::InvalidArgument(
+            StrCat("string column '", expr.column,
+                   "' in numeric expression"));
+      }
+      return RowFn([col](const Table& t, RowId r) {
+        return t.IsNull(r, col) ? kNan : t.GetDouble(r, col);
+      });
+    }
+    case ScalarKind::kLiteral: {
+      if (!expr.literal.is_numeric()) {
+        return Status::InvalidArgument(
+            StrCat("non-numeric literal in numeric expression: ",
+                   expr.literal.ToString()));
+      }
+      double v = expr.literal.AsDouble();
+      return RowFn([v](const Table&, RowId) { return v; });
+    }
+    case ScalarKind::kUnaryMinus: {
+      PAQL_ASSIGN_OR_RETURN(RowFn inner, CompileScalar(*expr.lhs, schema));
+      return RowFn([inner](const Table& t, RowId r) { return -inner(t, r); });
+    }
+    case ScalarKind::kAdd:
+    case ScalarKind::kSub:
+    case ScalarKind::kMul:
+    case ScalarKind::kDiv: {
+      PAQL_ASSIGN_OR_RETURN(RowFn lhs, CompileScalar(*expr.lhs, schema));
+      PAQL_ASSIGN_OR_RETURN(RowFn rhs, CompileScalar(*expr.rhs, schema));
+      switch (expr.kind) {
+        case ScalarKind::kAdd:
+          return RowFn([lhs, rhs](const Table& t, RowId r) {
+            return lhs(t, r) + rhs(t, r);
+          });
+        case ScalarKind::kSub:
+          return RowFn([lhs, rhs](const Table& t, RowId r) {
+            return lhs(t, r) - rhs(t, r);
+          });
+        case ScalarKind::kMul:
+          return RowFn([lhs, rhs](const Table& t, RowId r) {
+            return lhs(t, r) * rhs(t, r);
+          });
+        default:
+          return RowFn([lhs, rhs](const Table& t, RowId r) {
+            return lhs(t, r) / rhs(t, r);
+          });
+      }
+    }
+  }
+  return Status::Internal("unreachable scalar kind");
+}
+
+Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case BoolKind::kCmp: {
+      // String comparison path (equality only; enforced by the validator).
+      if (IsStringExpr(*expr.scalar_lhs, schema) ||
+          IsStringExpr(*expr.scalar_rhs, schema)) {
+        if (expr.cmp != CmpOp::kEq && expr.cmp != CmpOp::kNe) {
+          return Status::Unsupported("string ordering comparison");
+        }
+        PAQL_ASSIGN_OR_RETURN(StringOperand lhs,
+                              CompileStringOperand(*expr.scalar_lhs, schema));
+        PAQL_ASSIGN_OR_RETURN(StringOperand rhs,
+                              CompileStringOperand(*expr.scalar_rhs, schema));
+        bool negate = expr.cmp == CmpOp::kNe;
+        return RowPred([lhs, rhs, negate](const Table& t, RowId r) {
+          if (lhs.is_column && t.IsNull(r, lhs.col)) return false;
+          if (rhs.is_column && t.IsNull(r, rhs.col)) return false;
+          const std::string& a =
+              lhs.is_column ? t.GetString(r, lhs.col) : lhs.literal;
+          const std::string& b =
+              rhs.is_column ? t.GetString(r, rhs.col) : rhs.literal;
+          return (a == b) != negate;
+        });
+      }
+      PAQL_ASSIGN_OR_RETURN(RowFn lhs, CompileScalar(*expr.scalar_lhs, schema));
+      PAQL_ASSIGN_OR_RETURN(RowFn rhs, CompileScalar(*expr.scalar_rhs, schema));
+      CmpOp op = expr.cmp;
+      return RowPred([lhs, rhs, op](const Table& t, RowId r) {
+        double a = lhs(t, r), b = rhs(t, r);
+        // NaN (NULL) comparisons are false, matching SQL.
+        switch (op) {
+          case CmpOp::kEq: return a == b;
+          case CmpOp::kNe: return a != b && !std::isnan(a) && !std::isnan(b);
+          case CmpOp::kLt: return a < b;
+          case CmpOp::kLe: return a <= b;
+          case CmpOp::kGt: return a > b;
+          case CmpOp::kGe: return a >= b;
+        }
+        return false;
+      });
+    }
+    case BoolKind::kBetween: {
+      PAQL_ASSIGN_OR_RETURN(RowFn subject,
+                            CompileScalar(*expr.scalar_lhs, schema));
+      PAQL_ASSIGN_OR_RETURN(RowFn lo, CompileScalar(*expr.between_lo, schema));
+      PAQL_ASSIGN_OR_RETURN(RowFn hi, CompileScalar(*expr.between_hi, schema));
+      return RowPred([subject, lo, hi](const Table& t, RowId r) {
+        double v = subject(t, r);
+        return v >= lo(t, r) && v <= hi(t, r);
+      });
+    }
+    case BoolKind::kAnd: {
+      PAQL_ASSIGN_OR_RETURN(RowPred lhs, CompileBool(*expr.left, schema));
+      PAQL_ASSIGN_OR_RETURN(RowPred rhs, CompileBool(*expr.right, schema));
+      return RowPred([lhs, rhs](const Table& t, RowId r) {
+        return lhs(t, r) && rhs(t, r);
+      });
+    }
+    case BoolKind::kOr: {
+      PAQL_ASSIGN_OR_RETURN(RowPred lhs, CompileBool(*expr.left, schema));
+      PAQL_ASSIGN_OR_RETURN(RowPred rhs, CompileBool(*expr.right, schema));
+      return RowPred([lhs, rhs](const Table& t, RowId r) {
+        return lhs(t, r) || rhs(t, r);
+      });
+    }
+    case BoolKind::kNot: {
+      PAQL_ASSIGN_OR_RETURN(RowPred inner, CompileBool(*expr.left, schema));
+      return RowPred(
+          [inner](const Table& t, RowId r) { return !inner(t, r); });
+    }
+    case BoolKind::kIsNull:
+    case BoolKind::kIsNotNull: {
+      if (expr.scalar_lhs->kind != ScalarKind::kColumn) {
+        return Status::Unsupported(
+            "IS NULL is only supported on column references");
+      }
+      PAQL_ASSIGN_OR_RETURN(size_t col,
+                            schema.ResolveColumn(expr.scalar_lhs->column));
+      bool want_null = expr.kind == BoolKind::kIsNull;
+      return RowPred([col, want_null](const Table& t, RowId r) {
+        return t.IsNull(r, col) == want_null;
+      });
+    }
+  }
+  return Status::Internal("unreachable bool kind");
+}
+
+Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
+                                     const Schema& schema) {
+  CompiledAggArg out;
+  if (call.is_count_star || call.func == relation::AggFunc::kCount) {
+    out.value = [](const Table&, RowId) { return 1.0; };
+  } else {
+    PAQL_ASSIGN_OR_RETURN(RowFn fn, CompileScalar(*call.arg, schema));
+    // SQL aggregates skip NULLs; a NULL argument contributes nothing.
+    out.value = [fn](const Table& t, RowId r) {
+      double v = fn(t, r);
+      return std::isnan(v) ? 0.0 : v;
+    };
+  }
+  if (call.filter) {
+    PAQL_ASSIGN_OR_RETURN(out.filter, CompileBool(*call.filter, schema));
+  }
+  return out;
+}
+
+}  // namespace paql::translate

@@ -1,0 +1,52 @@
+// Compilation of PaQL per-tuple expressions into fast evaluators.
+//
+// Column references are resolved against a schema once; the resulting
+// closures evaluate against any table sharing that schema prefix (the
+// original relation, a group sub-table, or the representative relation,
+// which appends a `gid` column after the original columns).
+#ifndef PAQL_TRANSLATE_COMPILE_EXPR_H_
+#define PAQL_TRANSLATE_COMPILE_EXPR_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "paql/ast.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace paql::translate {
+
+/// Per-tuple numeric evaluator. Returns NaN when any referenced column is
+/// NULL for the row (SQL three-valued logic: comparisons on NaN are false).
+using RowFn =
+    std::function<double(const relation::Table&, relation::RowId)>;
+
+/// Per-tuple predicate evaluator.
+using RowPred =
+    std::function<bool(const relation::Table&, relation::RowId)>;
+
+/// Compile a numeric scalar expression. Fails on string-typed operands
+/// (validated queries never reach that path).
+Result<RowFn> CompileScalar(const lang::ScalarExpr& expr,
+                            const relation::Schema& schema);
+
+/// Compile a boolean (WHERE-style) expression. Supports numeric comparisons,
+/// string equality/inequality, BETWEEN, AND/OR/NOT, IS [NOT] NULL.
+Result<RowPred> CompileBool(const lang::BoolExpr& expr,
+                            const relation::Schema& schema);
+
+/// Compile the aggregate argument of `call` into a per-tuple value function:
+/// COUNT contributes 1.0 per tuple; other aggregates evaluate their argument
+/// expression with NULL treated as 0 (SQL aggregates skip NULLs). The
+/// optional subquery filter is compiled into the returned pair's predicate
+/// (nullptr-equivalent: always-true).
+struct CompiledAggArg {
+  RowFn value;     // per-tuple contribution
+  RowPred filter;  // may be empty => always true
+};
+Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
+                                     const relation::Schema& schema);
+
+}  // namespace paql::translate
+
+#endif  // PAQL_TRANSLATE_COMPILE_EXPR_H_

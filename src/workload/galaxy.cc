@@ -1,0 +1,70 @@
+#include "workload/galaxy.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace paql::workload {
+
+using relation::DataType;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+std::vector<std::string> GalaxyNumericAttributes() {
+  return {"ra",         "dec",        "u",        "g",        "r",
+          "i",          "z",          "petroRad_r", "petroR50_r",
+          "petroFlux_r", "expMag_r",  "deVMag_r", "redshift"};
+}
+
+Table MakeGalaxyTable(size_t num_rows, uint64_t seed) {
+  std::vector<relation::ColumnDef> defs;
+  defs.push_back({"objid", DataType::kInt64});
+  for (const auto& name : GalaxyNumericAttributes()) {
+    defs.push_back({name, DataType::kDouble});
+  }
+  Table table{Schema(std::move(defs))};
+  table.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<Value> row(table.num_columns());
+  for (size_t k = 0; k < num_rows; ++k) {
+    // Sky position: clustered in "stripes" like SDSS scans.
+    double stripe = static_cast<double>(rng.UniformInt(0, 11));
+    double ra = 30.0 * stripe + rng.Uniform(0.0, 30.0);
+    double dec = rng.Gaussian(stripe * 4.0 - 20.0, 6.0);
+    // Magnitudes: r drives the others with band-dependent color offsets.
+    double r_mag = rng.Gaussian(19.5, 1.6);
+    double u_mag = r_mag + 1.8 + rng.Gaussian(0.0, 0.5);
+    double g_mag = r_mag + 0.7 + rng.Gaussian(0.0, 0.3);
+    double i_mag = r_mag - 0.3 + rng.Gaussian(0.0, 0.2);
+    double z_mag = r_mag - 0.6 + rng.Gaussian(0.0, 0.3);
+    // Radii and flux: heavy-tailed positives; flux anti-correlates with
+    // magnitude (mag = -2.5 log10 flux + const).
+    double petro_rad = rng.LogNormal(0.9, 0.5);
+    double petro_r50 = petro_rad * (0.45 + rng.Uniform(0.0, 0.1));
+    double petro_flux = std::pow(10.0, (22.5 - r_mag) / 2.5) *
+                        (1.0 + rng.Uniform(-0.05, 0.05));
+    double exp_mag = r_mag + rng.Gaussian(0.0, 0.15);
+    double dev_mag = r_mag + rng.Gaussian(0.05, 0.2);
+    double redshift = rng.Exponential(8.0);  // mostly < 0.4
+    size_t c = 0;
+    row[c++] = Value(static_cast<int64_t>(1'000'000'000 + k));
+    row[c++] = Value(ra);
+    row[c++] = Value(dec);
+    row[c++] = Value(u_mag);
+    row[c++] = Value(g_mag);
+    row[c++] = Value(r_mag);
+    row[c++] = Value(i_mag);
+    row[c++] = Value(z_mag);
+    row[c++] = Value(petro_rad);
+    row[c++] = Value(petro_r50);
+    row[c++] = Value(petro_flux);
+    row[c++] = Value(exp_mag);
+    row[c++] = Value(dev_mag);
+    row[c++] = Value(redshift);
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace paql::workload

@@ -1,0 +1,32 @@
+// Synthetic SDSS Galaxy-view workload (DESIGN.md substitution table).
+//
+// The paper evaluates on ~5.5M tuples from the Sloan Digital Sky Survey
+// Galaxy view (data release 12). That data is not redistributable here, so
+// this generator produces a table with the same *statistical shape*: many
+// correlated numeric photometry attributes with heavy tails and sky-position
+// coordinates. The attribute names follow the SDSS PhotoObj nomenclature so
+// the benchmark queries read like the paper's.
+#ifndef PAQL_WORKLOAD_GALAXY_H_
+#define PAQL_WORKLOAD_GALAXY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace paql::workload {
+
+/// Columns: objid INT64; ra, dec (sky position); u, g, r, i, z (correlated
+/// magnitudes); petroRad_r, petroR50_r (log-normal radii); petroFlux_r
+/// (heavy-tailed flux); expMag_r, deVMag_r (model magnitudes tracking r);
+/// redshift (exponential). 13 numeric attributes after objid — enough for
+/// the paper's partitioning-coverage sweep (coverage up to 13, Figure 9).
+relation::Table MakeGalaxyTable(size_t num_rows, uint64_t seed = 20161);
+
+/// The numeric attribute names of the Galaxy table (partitioning
+/// candidates), in schema order.
+std::vector<std::string> GalaxyNumericAttributes();
+
+}  // namespace paql::workload
+
+#endif  // PAQL_WORKLOAD_GALAXY_H_

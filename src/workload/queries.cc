@@ -1,0 +1,317 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace paql::workload {
+
+using relation::RowId;
+using relation::Table;
+
+Result<double> ColumnMeanNonNull(const Table& table,
+                                 const std::string& column) {
+  PAQL_ASSIGN_OR_RETURN(size_t col, table.schema().ResolveColumn(column));
+  double sum = 0;
+  size_t count = 0;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (table.IsNull(r, col)) continue;
+    sum += table.GetDouble(r, col);
+    ++count;
+  }
+  if (count == 0) {
+    return Status::InvalidArgument(StrCat("column '", column, "' is all NULL"));
+  }
+  return sum / static_cast<double>(count);
+}
+
+std::vector<std::string> WorkloadAttributes(
+    const std::vector<BenchQuery>& queries) {
+  std::vector<std::string> out;
+  for (const auto& q : queries) {
+    for (const auto& attr : q.attributes) {
+      bool present = false;
+      for (const auto& existing : out) {
+        if (EqualsIgnoreCase(existing, attr)) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) out.push_back(attr);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Format a bound with full precision so reparsing is exact.
+std::string B(double v) { return FormatDouble(v, 17); }
+
+/// Expected package size used to scale bounds (the paper's recipe).
+constexpr int kPackageSize = 10;
+
+}  // namespace
+
+Result<std::vector<BenchQuery>> MakeGalaxyQueries(const Table& galaxy,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  auto mean = [&](const char* col) -> Result<double> {
+    return ColumnMeanNonNull(galaxy, col);
+  };
+  PAQL_ASSIGN_OR_RETURN(double mean_rad, mean("petroRad_r"));
+  PAQL_ASSIGN_OR_RETURN(double mean_flux, mean("petroFlux_r"));
+  PAQL_ASSIGN_OR_RETURN(double mean_r50, mean("petroR50_r"));
+  PAQL_ASSIGN_OR_RETURN(double mean_u, mean("u"));
+  PAQL_ASSIGN_OR_RETURN(double mean_g, mean("g"));
+  PAQL_ASSIGN_OR_RETURN(double mean_i, mean("i"));
+  PAQL_ASSIGN_OR_RETURN(double mean_z, mean("z"));
+  PAQL_ASSIGN_OR_RETURN(double mean_ra, mean("ra"));
+  PAQL_ASSIGN_OR_RETURN(double mean_dec, mean("dec"));
+  PAQL_ASSIGN_OR_RETURN(double mean_exp, mean("expMag_r"));
+  PAQL_ASSIGN_OR_RETURN(double mean_dev, mean("deVMag_r"));
+  PAQL_ASSIGN_OR_RETURN(double mean_red, mean("redshift"));
+
+  std::vector<BenchQuery> queries;
+
+  // Q1 (easy): a "bright nearby objects" plan — bounded total radius,
+  // minimal total redshift.
+  {
+    BenchQuery q;
+    q.name = "Q1";
+    double rad_cap = kPackageSize * mean_rad * rng.Uniform(1.1, 1.4);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.petroRad_r) <= ",
+        B(rad_cap), " MINIMIZE SUM(P.g)");
+    q.attributes = {"petroRad_r", "g"};
+    q.hardness = Hardness::kEasy;
+    queries.push_back(std::move(q));
+  }
+  // Q2 (hard): tight two-sided flux window (subset-sum structure) with an
+  // uncorrelated objective — the solver-killer (paper: DIRECT fails on
+  // Galaxy Q2 at every size).
+  {
+    BenchQuery q;
+    q.name = "Q2";
+    double target = kPackageSize * mean_flux * rng.Uniform(0.9, 1.1);
+    double delta = target * 1e-3;
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.petroFlux_r) BETWEEN ",
+        B(target - delta), " AND ", B(target + delta),
+        " MAXIMIZE SUM(P.expMag_r)");
+    q.attributes = {"petroFlux_r", "expMag_r"};
+    q.hardness = Hardness::kHard;
+    queries.push_back(std::move(q));
+  }
+  // Q3 (medium): two-band color selection with a moderately tight window.
+  // Objectives use positive-valued attributes throughout the workload so
+  // the paper's approximation-ratio convention (ratio >= 1) is meaningful.
+  {
+    BenchQuery q;
+    q.name = "Q3";
+    double target_u = kPackageSize * mean_u * rng.Uniform(0.95, 1.05);
+    double delta_u = target_u * 1e-3;
+    double cap_g = kPackageSize * mean_g * rng.Uniform(1.0, 1.2);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.u) BETWEEN ",
+        B(target_u - delta_u), " AND ", B(target_u + delta_u),
+        " AND SUM(P.g) <= ", B(cap_g), " MINIMIZE SUM(P.petroRad_r)");
+    q.attributes = {"u", "g", "petroRad_r"};
+    q.hardness = Hardness::kMedium;
+    queries.push_back(std::move(q));
+  }
+  // Q4 (easy): sky-region maximization with two one-sided caps.
+  {
+    BenchQuery q;
+    q.name = "Q4";
+    double cap_ra = kPackageSize * mean_ra * rng.Uniform(0.9, 1.1);
+    double cap_red = kPackageSize * mean_red * rng.Uniform(0.8, 1.2);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.ra) <= ", B(cap_ra),
+        " AND SUM(P.redshift) <= ", B(cap_red),
+        " MAXIMIZE SUM(P.petroFlux_r)");
+    q.attributes = {"ra", "redshift", "petroFlux_r"};
+    q.hardness = Hardness::kEasy;
+    queries.push_back(std::move(q));
+  }
+  // Q5 (easy): small bright package with a floor constraint.
+  {
+    BenchQuery q;
+    q.name = "Q5";
+    double floor_i = 5 * mean_i * rng.Uniform(0.8, 0.95);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = 5 AND SUM(P.i) >= ", B(floor_i),
+        " MINIMIZE SUM(P.deVMag_r)");
+    q.attributes = {"i", "deVMag_r"};
+    q.hardness = Hardness::kEasy;
+    queries.push_back(std::move(q));
+  }
+  // Q6 (hard): tight window on petroR50_r plus an AVG constraint — the
+  // second solver-killer (paper: DIRECT fails on Galaxy Q6 even on small
+  // data).
+  {
+    BenchQuery q;
+    q.name = "Q6";
+    double target = kPackageSize * mean_r50 * rng.Uniform(0.9, 1.1);
+    double delta = target * 1e-3;
+    double avg_cap = mean_dev * rng.Uniform(1.0, 1.05);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.petroR50_r) BETWEEN ",
+        B(target - delta), " AND ", B(target + delta),
+        " AND AVG(P.deVMag_r) <= ", B(avg_cap),
+        " MAXIMIZE SUM(P.z)");
+    q.attributes = {"petroR50_r", "deVMag_r", "z"};
+    q.hardness = Hardness::kHard;
+    queries.push_back(std::move(q));
+  }
+  // Q7 (medium): three constraints with a moderate window.
+  {
+    BenchQuery q;
+    q.name = "Q7";
+    double target_z = kPackageSize * mean_z * rng.Uniform(0.95, 1.05);
+    double delta_z = target_z * 1e-2;
+    double cap_ra = kPackageSize * mean_ra * rng.Uniform(1.1, 1.4);
+    q.paql = StrCat(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.z) BETWEEN ",
+        B(target_z - delta_z), " AND ", B(target_z + delta_z),
+        " AND SUM(P.ra) <= ", B(cap_ra),
+        " MINIMIZE SUM(P.expMag_r)");
+    q.attributes = {"z", "ra", "expMag_r"};
+    q.hardness = Hardness::kMedium;
+    queries.push_back(std::move(q));
+  }
+  (void)mean_exp;
+  (void)mean_dec;
+  return queries;
+}
+
+Result<std::vector<BenchQuery>> MakeTpchQueries(const Table& tpch,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  PAQL_ASSIGN_OR_RETURN(double mean_qty,
+                        ColumnMeanNonNull(tpch, "l_quantity"));
+  PAQL_ASSIGN_OR_RETURN(double mean_price,
+                        ColumnMeanNonNull(tpch, "l_extendedprice"));
+  PAQL_ASSIGN_OR_RETURN(double mean_disc,
+                        ColumnMeanNonNull(tpch, "l_discount"));
+  PAQL_ASSIGN_OR_RETURN(double mean_tax, ColumnMeanNonNull(tpch, "l_tax"));
+  PAQL_ASSIGN_OR_RETURN(double mean_total,
+                        ColumnMeanNonNull(tpch, "o_totalprice"));
+  PAQL_ASSIGN_OR_RETURN(double mean_retail,
+                        ColumnMeanNonNull(tpch, "p_retailprice"));
+  PAQL_ASSIGN_OR_RETURN(double mean_size, ColumnMeanNonNull(tpch, "p_size"));
+  PAQL_ASSIGN_OR_RETURN(double mean_sbal,
+                        ColumnMeanNonNull(tpch, "s_acctbal"));
+  PAQL_ASSIGN_OR_RETURN(double mean_cbal,
+                        ColumnMeanNonNull(tpch, "c_acctbal"));
+
+  std::vector<BenchQuery> queries;
+
+  // Q1: pricing-summary-flavored — bounded quantity, maximize revenue.
+  {
+    BenchQuery q;
+    q.name = "Q1";
+    double cap_disc = kPackageSize * mean_disc * rng.Uniform(0.9, 1.2);
+    double cap_total = kPackageSize * mean_total * rng.Uniform(0.9, 1.2);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.l_discount) <= ",
+        B(cap_disc), " AND SUM(P.o_totalprice) <= ", B(cap_total),
+        " MAXIMIZE SUM(P.l_extendedprice)");
+    q.attributes = {"l_discount", "l_extendedprice", "o_totalprice"};
+    queries.push_back(std::move(q));
+  }
+  // Q2: minimization with a revenue floor (the paper notes this query's
+  // approximation ratio suffers without a radius condition).
+  {
+    BenchQuery q;
+    q.name = "Q2";
+    double floor_total = kPackageSize * mean_total * rng.Uniform(0.95, 1.1);
+    double cap_disc = kPackageSize * mean_disc * rng.Uniform(0.7, 0.9);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.o_totalprice) >= ",
+        B(floor_total), " AND SUM(P.l_discount) <= ", B(cap_disc),
+        " MINIMIZE SUM(P.l_extendedprice)");
+    q.attributes = {"o_totalprice", "l_discount", "l_extendedprice"};
+    queries.push_back(std::move(q));
+  }
+  // Q3: shipping-priority-flavored.
+  {
+    BenchQuery q;
+    q.name = "Q3";
+    double cap_tax = kPackageSize * mean_tax * rng.Uniform(0.8, 1.1);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.l_tax) <= ", B(cap_tax),
+        " MAXIMIZE SUM(P.o_totalprice)");
+    q.attributes = {"l_tax", "o_totalprice"};
+    queries.push_back(std::move(q));
+  }
+  // Q4: order-priority-flavored with AVG.
+  {
+    BenchQuery q;
+    q.name = "Q4";
+    double avg_cap = mean_price * rng.Uniform(1.0, 1.1);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND AVG(P.l_extendedprice) <= ",
+        B(avg_cap), " MAXIMIZE SUM(P.o_totalprice)");
+    q.attributes = {"l_extendedprice", "o_totalprice"};
+    queries.push_back(std::move(q));
+  }
+  // Q5: the part/supplier/customer query (small non-NULL subset, Figure 3).
+  {
+    BenchQuery q;
+    q.name = "Q5";
+    double cap_size = kPackageSize * mean_size * rng.Uniform(0.9, 1.1);
+    double floor_sbal = kPackageSize * mean_sbal * rng.Uniform(0.4, 0.7);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.p_size) <= ", B(cap_size),
+        " AND SUM(P.s_acctbal) >= ", B(floor_sbal),
+        " MAXIMIZE SUM(P.c_acctbal)");
+    q.attributes = {"p_size", "s_acctbal", "c_acctbal", "p_retailprice"};
+    queries.push_back(std::move(q));
+  }
+  // Q6: forecast-revenue-flavored, lineitem columns only (largest subset).
+  {
+    BenchQuery q;
+    q.name = "Q6";
+    double cap_tax = kPackageSize * mean_tax * rng.Uniform(0.9, 1.2);
+    double floor_disc = kPackageSize * mean_disc * rng.Uniform(0.5, 0.8);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.l_tax) <= ",
+        B(cap_tax), " AND SUM(P.l_discount) >= ", B(floor_disc),
+        " MAXIMIZE SUM(P.l_extendedprice)");
+    q.attributes = {"l_quantity", "l_discount", "l_extendedprice", "l_tax"};
+    queries.push_back(std::move(q));
+  }
+  // Q7: volume-shipping-flavored minimization.
+  {
+    BenchQuery q;
+    q.name = "Q7";
+    double floor_qty = kPackageSize * mean_qty * rng.Uniform(0.9, 1.1);
+    q.paql = StrCat(
+        "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT ",
+        "COUNT(P.*) = ", kPackageSize, " AND SUM(P.l_quantity) >= ",
+        B(floor_qty), " MINIMIZE SUM(P.o_totalprice)");
+    q.attributes = {"l_quantity", "l_discount", "o_totalprice"};
+    queries.push_back(std::move(q));
+  }
+  (void)mean_retail;
+  (void)mean_cbal;
+  return queries;
+}
+
+}  // namespace paql::workload

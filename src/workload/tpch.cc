@@ -1,0 +1,76 @@
+#include "workload/tpch.h"
+
+#include "common/rng.h"
+
+namespace paql::workload {
+
+using relation::DataType;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+std::vector<std::string> TpchNumericAttributes() {
+  return {"l_quantity", "l_extendedprice", "l_discount",   "l_tax",
+          "o_totalprice", "p_retailprice", "p_size",       "s_acctbal",
+          "c_acctbal"};
+}
+
+Table MakeTpchTable(size_t num_rows, uint64_t seed) {
+  std::vector<relation::ColumnDef> defs;
+  defs.push_back({"rowid", DataType::kInt64});
+  for (const auto& name : TpchNumericAttributes()) {
+    defs.push_back({name, DataType::kDouble});
+  }
+  Table table{Schema(std::move(defs))};
+  table.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<Value> row(table.num_columns());
+  for (size_t k = 0; k < num_rows; ++k) {
+    // Join-completeness class, calibrated to Figure 3's per-query sizes
+    // (out of the 17.5M-row pre-joined table: 11.8M have lineitem columns,
+    // 6M also have orders columns, 240k have part/supplier/customer).
+    double dice = rng.Uniform(0.0, 1.0);
+    bool has_li = dice < (11.8 / 17.5);
+    bool has_ord = dice < (6.0 / 17.5);  // subset of has_li
+    bool has_psc = rng.Bernoulli(0.24 / 17.5);
+
+    size_t c = 0;
+    row[c++] = Value(static_cast<int64_t>(k));
+    if (has_li) {
+      double quantity = static_cast<double>(rng.UniformInt(1, 50));
+      // TPC-H: extendedprice = quantity * part price (900..2100-ish).
+      double price_per_unit = rng.Uniform(900.0, 2100.0);
+      row[c++] = Value(quantity);
+      row[c++] = Value(quantity * price_per_unit);
+      row[c++] = Value(0.01 * static_cast<double>(rng.UniformInt(0, 10)));
+      row[c++] = Value(0.01 * static_cast<double>(rng.UniformInt(0, 8)));
+    } else {
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+    }
+    if (has_ord) {
+      // Orders total across ~4 lineitems on average.
+      row[c++] = Value(rng.Uniform(900.0, 2100.0) *
+                       static_cast<double>(rng.UniformInt(4, 200)));
+    } else {
+      row[c++] = Value::Null();
+    }
+    if (has_psc) {
+      row[c++] = Value(rng.Uniform(900.0, 2100.0));                // p_retailprice
+      row[c++] = Value(static_cast<double>(rng.UniformInt(1, 50)));  // p_size
+      row[c++] = Value(rng.Uniform(-999.99, 9999.99));             // s_acctbal
+      row[c++] = Value(rng.Uniform(-999.99, 9999.99));             // c_acctbal
+    } else {
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+      row[c++] = Value::Null();
+    }
+    table.AppendRowUnchecked(row);
+  }
+  return table;
+}
+
+}  // namespace paql::workload

@@ -1,0 +1,33 @@
+// Synthetic TPC-H pre-joined workload (DESIGN.md substitution table).
+//
+// The paper full-outer-joins the TPC-H tables into one ~17.5M-row relation
+// holding every attribute its 7 package queries need, then restricts each
+// query to the tuples that are non-NULL on that query's attributes
+// (Figure 3 reports the resulting per-query sizes). This generator
+// reproduces both the column value distributions (TPC-H spec ranges) and
+// the NULL pattern: each row belongs to a join-completeness class that
+// determines which column families are populated, calibrated so the
+// non-NULL fractions track Figure 3 (lineitem-only ~67%, lineitem+orders
+// ~34%, part/supplier/customer ~1.4%).
+#ifndef PAQL_WORKLOAD_TPCH_H_
+#define PAQL_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace paql::workload {
+
+/// Columns: rowid INT64; l_quantity, l_extendedprice, l_discount, l_tax
+/// (lineitem family); o_totalprice (orders family); p_retailprice, p_size,
+/// s_acctbal, c_acctbal (part/supplier/customer family). NULL fields mark
+/// tuples missing from the corresponding side of the full outer join.
+relation::Table MakeTpchTable(size_t num_rows, uint64_t seed = 19921);
+
+/// Numeric attribute names (NULL-able per the join-completeness classes).
+std::vector<std::string> TpchNumericAttributes();
+
+}  // namespace paql::workload
+
+#endif  // PAQL_WORKLOAD_TPCH_H_

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "relation/aggregate.h"
+
+namespace paql::relation {
+namespace {
+
+Table MakeTable() {
+  Table t{Schema({{"v", DataType::kDouble}, {"gid", DataType::kInt64}})};
+  // values 1..6 split into groups 0,0,1,1,1,2
+  EXPECT_TRUE(t.AppendRow({Value(1.0), Value(0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(2.0), Value(0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3.0), Value(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(4.0), Value(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(5.0), Value(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(6.0), Value(2)}).ok());
+  return t;
+}
+
+TEST(AggFuncTest, NamesAndParsing) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kSum), "SUM");
+  auto f = ParseAggFunc("avg");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, AggFunc::kAvg);
+  EXPECT_FALSE(ParseAggFunc("median").ok());
+}
+
+TEST(AggFuncTest, Linearity) {
+  EXPECT_TRUE(IsLinearAgg(AggFunc::kCount));
+  EXPECT_TRUE(IsLinearAgg(AggFunc::kSum));
+  EXPECT_TRUE(IsLinearAgg(AggFunc::kAvg));
+  EXPECT_FALSE(IsLinearAgg(AggFunc::kMin));
+  EXPECT_FALSE(IsLinearAgg(AggFunc::kMax));
+}
+
+TEST(AggregateRowsTest, CountHonorsMultiplicity) {
+  Table t = MakeTable();
+  auto r = AggregateRows(t, AggFunc::kCount, 0, {0, 1}, {2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 5.0);
+}
+
+TEST(AggregateRowsTest, SumWeightsByMultiplicity) {
+  Table t = MakeTable();
+  auto r = AggregateRows(t, AggFunc::kSum, 0, {0, 2}, {1, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0 + 2 * 3.0);
+}
+
+TEST(AggregateRowsTest, AvgIsWeighted) {
+  Table t = MakeTable();
+  auto r = AggregateRows(t, AggFunc::kAvg, 0, {0, 5}, {3, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, (3 * 1.0 + 6.0) / 4.0);
+}
+
+TEST(AggregateRowsTest, MinMaxIgnoreMultiplicity) {
+  Table t = MakeTable();
+  auto lo = AggregateRows(t, AggFunc::kMin, 0, {2, 3, 4}, {1, 1, 1});
+  auto hi = AggregateRows(t, AggFunc::kMax, 0, {2, 3, 4}, {1, 1, 1});
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_DOUBLE_EQ(*lo, 3.0);
+  EXPECT_DOUBLE_EQ(*hi, 5.0);
+}
+
+TEST(AggregateRowsTest, ZeroMultiplicityRowsAreSkipped) {
+  Table t = MakeTable();
+  auto r = AggregateRows(t, AggFunc::kMin, 0, {0, 5}, {0, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 6.0);
+}
+
+TEST(AggregateRowsTest, EmptyPackageRules) {
+  Table t = MakeTable();
+  auto count = AggregateRows(t, AggFunc::kCount, 0, {}, {});
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 0.0);
+  auto sum = AggregateRows(t, AggFunc::kSum, 0, {}, {});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 0.0);
+  EXPECT_FALSE(AggregateRows(t, AggFunc::kAvg, 0, {}, {}).ok());
+  EXPECT_FALSE(AggregateRows(t, AggFunc::kMin, 0, {}, {}).ok());
+}
+
+TEST(AggregateRowsTest, MismatchedArraysFail) {
+  Table t = MakeTable();
+  EXPECT_FALSE(AggregateRows(t, AggFunc::kSum, 0, {0, 1}, {1}).ok());
+}
+
+TEST(GroupByTest, DenseGrouping) {
+  Table t = MakeTable();
+  auto groups = GroupByDenseId(t, 1, 3);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 3u);
+  EXPECT_EQ((*groups)[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ((*groups)[1], (std::vector<RowId>{2, 3, 4}));
+  EXPECT_EQ((*groups)[2], (std::vector<RowId>{5}));
+}
+
+TEST(GroupByTest, OutOfRangeIdFails) {
+  Table t = MakeTable();
+  auto groups = GroupByDenseId(t, 1, 2);  // gid 2 exists
+  EXPECT_FALSE(groups.ok());
+}
+
+TEST(CentroidTest, PerGroupMeans) {
+  Table t = MakeTable();
+  auto groups = GroupByDenseId(t, 1, 3);
+  ASSERT_TRUE(groups.ok());
+  auto cent = ComputeGroupCentroids(t, *groups, {0});
+  ASSERT_TRUE(cent.ok());
+  EXPECT_DOUBLE_EQ(cent->centroid[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(cent->centroid[1][0], 4.0);
+  EXPECT_DOUBLE_EQ(cent->centroid[2][0], 6.0);
+  EXPECT_EQ(cent->group_size[1], 3u);
+}
+
+TEST(CentroidTest, EmptyGroupYieldsZeros) {
+  Table t = MakeTable();
+  std::vector<std::vector<RowId>> groups{{0, 1}, {}};
+  auto cent = ComputeGroupCentroids(t, groups, {0});
+  ASSERT_TRUE(cent.ok());
+  EXPECT_DOUBLE_EQ(cent->centroid[1][0], 0.0);
+  EXPECT_EQ(cent->group_size[1], 0u);
+}
+
+TEST(CentroidTest, RejectsStringColumn) {
+  Table t{Schema({{"s", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  auto cent = ComputeGroupCentroids(t, {{0}}, {0});
+  EXPECT_FALSE(cent.ok());
+}
+
+}  // namespace
+}  // namespace paql::relation

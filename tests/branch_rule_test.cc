@@ -1,0 +1,103 @@
+// Tests for the branch-and-bound branching rules (BranchRule): all rules
+// must agree on the optimum; they may differ in nodes explored.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ilp/branch_and_bound.h"
+
+namespace paql::ilp {
+namespace {
+
+using lp::Model;
+
+/// Random bounded knapsack-ish ILP: maximize c'x s.t. one or two packing
+/// rows, x integer in [0, 3].
+Model RandomIlp(uint64_t seed, int n) {
+  Rng rng(seed);
+  Model m;
+  m.set_sense(lp::Sense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable(0, 3, rng.Uniform(1, 10), true);
+  }
+  int rows = rng.Bernoulli(0.5) ? 1 : 2;
+  for (int r = 0; r < rows; ++r) {
+    lp::RowDef row;
+    for (int j = 0; j < n; ++j) {
+      row.vars.push_back(j);
+      row.coefs.push_back(rng.Uniform(1, 5));
+    }
+    row.hi = rng.Uniform(5, 20);
+    row.name = "pack";
+    PAQL_CHECK(m.AddRow(std::move(row)).ok());
+  }
+  return m;
+}
+
+class BranchRuleAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchRuleAgreementTest, AllRulesFindTheSameOptimum) {
+  Model m = RandomIlp(GetParam(), 12);
+  double reference = 0;
+  bool have_reference = false;
+  for (BranchRule rule :
+       {BranchRule::kMostFractional, BranchRule::kFirstFractional,
+        BranchRule::kPseudoCost}) {
+    BranchAndBoundOptions options;
+    options.branch_rule = rule;
+    auto sol = SolveIlp(m, {}, options);
+    ASSERT_TRUE(sol.ok()) << BranchRuleName(rule) << ": " << sol.status();
+    EXPECT_TRUE(m.IsFeasible(sol->x)) << BranchRuleName(rule);
+    if (!have_reference) {
+      reference = sol->objective;
+      have_reference = true;
+    } else {
+      EXPECT_NEAR(sol->objective, reference,
+                  1e-6 * (1 + std::abs(reference)))
+          << BranchRuleName(rule) << " disagrees with the reference optimum";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchRuleAgreementTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(BranchRuleTest, RulesAlsoAgreeWithoutHeuristics) {
+  Model m = RandomIlp(99, 10);
+  BranchAndBoundOptions base;
+  auto reference = SolveIlp(m, {}, base);
+  ASSERT_TRUE(reference.ok());
+  for (BranchRule rule :
+       {BranchRule::kMostFractional, BranchRule::kFirstFractional,
+        BranchRule::kPseudoCost}) {
+    BranchAndBoundOptions bare;
+    bare.branch_rule = rule;
+    bare.enable_diving_heuristic = false;
+    bare.enable_rounding_heuristic = false;
+    auto sol = SolveIlp(m, {}, bare);
+    ASSERT_TRUE(sol.ok()) << BranchRuleName(rule);
+    EXPECT_NEAR(sol->objective, reference->objective, 1e-6);
+  }
+}
+
+TEST(BranchRuleTest, PseudoCostHandlesInfeasibleModels) {
+  Model m;
+  int x = m.AddVariable(0, 5, 1, true);
+  PAQL_CHECK(m.AddRow({{x}, {1}, -lp::kInf, 1, "le"}).ok());
+  PAQL_CHECK(m.AddRow({{x}, {1}, 3, lp::kInf, "ge"}).ok());
+  BranchAndBoundOptions options;
+  options.branch_rule = BranchRule::kPseudoCost;
+  auto sol = SolveIlp(m, {}, options);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(BranchRuleTest, NamesAreStable) {
+  EXPECT_STREQ(BranchRuleName(BranchRule::kMostFractional),
+               "most_fractional");
+  EXPECT_STREQ(BranchRuleName(BranchRule::kFirstFractional),
+               "first_fractional");
+  EXPECT_STREQ(BranchRuleName(BranchRule::kPseudoCost), "pseudo_cost");
+}
+
+}  // namespace
+}  // namespace paql::ilp

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "relation/csv.h"
+
+namespace paql::relation {
+namespace {
+
+Table MakeTable() {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"score", DataType::kDouble},
+                  {"name", DataType::kString}})};
+  EXPECT_TRUE(t.AppendRow({Value(1), Value(1.25), Value("plain")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(-2), Value::Null(), Value("with,comma")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value(3.5), Value("with\"quote")}).ok());
+  return t;
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  Table t = MakeTable();
+  std::string text = ToCsvString(t);
+  auto back = FromCsvString(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  EXPECT_TRUE(back->schema() == t.schema());
+  EXPECT_EQ(back->GetInt64(0, 0), 1);
+  EXPECT_TRUE(back->IsNull(1, 1));
+  EXPECT_TRUE(back->IsNull(2, 0));
+  EXPECT_EQ(back->GetString(1, 2), "with,comma");
+  EXPECT_EQ(back->GetString(2, 2), "with\"quote");
+  EXPECT_DOUBLE_EQ(back->GetDouble(2, 1), 3.5);
+}
+
+TEST(CsvTest, RoundTripPreservesDoublePrecision) {
+  Table t{Schema({{"x", DataType::kDouble}})};
+  double tricky = 0.1 + 0.2;  // not representable exactly
+  ASSERT_TRUE(t.AppendRow({Value(tricky)}).ok());
+  auto back = FromCsvString(ToCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetDouble(0, 0), tricky);  // bit-exact via %.17g
+}
+
+TEST(CsvTest, HeaderEncodesTypes) {
+  std::string text = ToCsvString(MakeTable());
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "id:INT64,score:DOUBLE,name:STRING");
+}
+
+TEST(CsvTest, RejectsMalformedHeader) {
+  auto r = FromCsvString("id\n1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsUnknownType) {
+  auto r = FromCsvString("id:BLOB\n1\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsBadFieldCount) {
+  auto r = FromCsvString("a:INT64,b:INT64\n1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected 2 fields"),
+            std::string::npos);
+}
+
+TEST(CsvTest, RejectsBadNumbers) {
+  EXPECT_FALSE(FromCsvString("a:INT64\nxyz\n").ok());
+  EXPECT_FALSE(FromCsvString("a:DOUBLE\n1.2.3\n").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = MakeTable();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "paql_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto r = ReadCsv("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace paql::relation

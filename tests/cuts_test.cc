@@ -1,0 +1,281 @@
+#include "ilp/cuts.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ilp/branch_and_bound.h"
+#include "lp/model.h"
+
+namespace paql::ilp {
+namespace {
+
+using lp::Model;
+using lp::RowDef;
+
+/// 0/1 knapsack: max sum v_j x_j s.t. sum w_j x_j <= cap.
+Model MakeKnapsack(const std::vector<double>& w, const std::vector<double>& v,
+                   double cap) {
+  Model m;
+  for (size_t j = 0; j < w.size(); ++j) {
+    m.AddVariable(0, 1, v[j], /*is_integer=*/true);
+  }
+  RowDef row;
+  for (size_t j = 0; j < w.size(); ++j) {
+    row.vars.push_back(static_cast<int>(j));
+    row.coefs.push_back(w[j]);
+  }
+  row.hi = cap;
+  EXPECT_TRUE(m.AddRow(std::move(row)).ok());
+  m.set_sense(lp::Sense::kMaximize);
+  return m;
+}
+
+double RowActivity(const RowDef& row, const std::vector<double>& x) {
+  double a = 0;
+  for (size_t k = 0; k < row.vars.size(); ++k) {
+    a += row.coefs[k] * x[row.vars[k]];
+  }
+  return a;
+}
+
+/// Exhaustively verify a cut admits every feasible 0/1 point of `model`.
+void ExpectCutValidForAllBinaryPoints(const Model& model, const Cut& cut) {
+  int n = model.num_vars();
+  ASSERT_LE(n, 20) << "exhaustive check needs small n";
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<double> x(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) x[static_cast<size_t>(j)] = (mask >> j) & 1;
+    if (!model.IsFeasible(x, 1e-9)) continue;
+    double act = RowActivity(cut.row, x);
+    EXPECT_LE(act, cut.row.hi + 1e-9)
+        << "cut " << cut.row.name << " cuts off feasible point mask=" << mask;
+    EXPECT_GE(act, cut.row.lo - 1e-9);
+  }
+}
+
+TEST(CoverCutTest, ClassicFractionalKnapsackIsCut) {
+  // Three equal items, capacity fits two: LP optimum is x = (1,1,.5)-ish and
+  // the cover {1,2,3} gives x1+x2+x3 <= 2.
+  Model m = MakeKnapsack({4, 4, 4}, {1, 1, 1}, 10);
+  std::vector<double> x = {1.0, 1.0, 0.5};
+  auto cuts = SeparateCoverCuts(m, x, CutOptions{});
+  ASSERT_FALSE(cuts.empty());
+  const Cut& cut = cuts[0];
+  EXPECT_NEAR(cut.row.hi, 2.0, 1e-12);
+  EXPECT_EQ(cut.row.vars.size(), 3u);
+  EXPECT_NEAR(cut.violation, 0.5, 1e-9);
+  ExpectCutValidForAllBinaryPoints(m, cut);
+}
+
+TEST(CoverCutTest, NoCutWhenPointIsInteger) {
+  Model m = MakeKnapsack({4, 4, 4}, {1, 1, 1}, 10);
+  std::vector<double> x = {1.0, 1.0, 0.0};
+  auto cuts = SeparateCoverCuts(m, x, CutOptions{});
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(CoverCutTest, NoCoverWhenEverythingFits) {
+  Model m = MakeKnapsack({1, 1, 1}, {1, 1, 1}, 10);
+  std::vector<double> x = {0.9, 0.9, 0.9};
+  auto cuts = SeparateCoverCuts(m, x, CutOptions{});
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(CoverCutTest, NegativeCoefficientsComplemented) {
+  // -3x1 - 3x2 - 3x3 >= -7  ==  3x1 + 3x2 + 3x3 <= 7: cover of any 3.
+  Model m;
+  for (int j = 0; j < 3; ++j) m.AddVariable(0, 1, 1, true);
+  RowDef row;
+  row.vars = {0, 1, 2};
+  row.coefs = {-3, -3, -3};
+  row.lo = -7;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  m.set_sense(lp::Sense::kMaximize);
+  std::vector<double> x = {1.0, 0.8, 0.8};
+  auto cuts = SeparateCoverCuts(m, x, CutOptions{});
+  ASSERT_FALSE(cuts.empty());
+  ExpectCutValidForAllBinaryPoints(m, cuts[0]);
+  // x1+x2+x3 <= 2 separates (1, .8, .8).
+  EXPECT_GT(cuts[0].violation, 0.5);
+}
+
+TEST(CoverCutTest, NonBinaryVariablesShiftCapacity) {
+  // y in [1,2] integer uses at least 5 of the capacity; the binary part
+  // has effective capacity 10 - 5 = 5, so {x1,x2} (4+4 > 5) is a cover.
+  Model m;
+  int x1 = m.AddVariable(0, 1, 1, true);
+  int x2 = m.AddVariable(0, 1, 1, true);
+  int y = m.AddVariable(1, 2, 1, true);
+  RowDef row;
+  row.vars = {x1, x2, y};
+  row.coefs = {4, 4, 5};
+  row.hi = 10;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  m.set_sense(lp::Sense::kMaximize);
+  std::vector<double> frac = {0.9, 0.7, 1.0};
+  auto cuts = SeparateCoverCuts(m, frac, CutOptions{});
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_NEAR(cuts[0].row.hi, 1.0, 1e-12);  // x1 + x2 <= 1
+  // Validity against all integer points including y.
+  for (int b1 = 0; b1 <= 1; ++b1) {
+    for (int b2 = 0; b2 <= 1; ++b2) {
+      for (int yv = 1; yv <= 2; ++yv) {
+        std::vector<double> pt = {double(b1), double(b2), double(yv)};
+        if (!m.IsFeasible(pt, 1e-9)) continue;
+        EXPECT_LE(RowActivity(cuts[0].row, pt), cuts[0].row.hi + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CoverCutTest, ExtendedCoverLiftsHeavyOutsiders) {
+  // Items 8,5,5 with capacity 9: cover {5,5} -> x2+x3 <= 1; item 1 (weight
+  // 8 >= 5) lifts in: x1+x2+x3 <= 1.
+  Model m = MakeKnapsack({8, 5, 5}, {1, 1, 1}, 9);
+  std::vector<double> x = {0.1, 0.95, 0.95};
+  auto cuts = SeparateCoverCuts(m, x, CutOptions{});
+  ASSERT_FALSE(cuts.empty());
+  const Cut& cut = cuts[0];
+  EXPECT_EQ(cut.row.vars.size(), 3u);
+  EXPECT_NEAR(cut.row.hi, 1.0, 1e-12);
+  ExpectCutValidForAllBinaryPoints(m, cut);
+}
+
+TEST(CgCutTest, OddCountBoundRoundsDown) {
+  // x1 + x2 + x3 <= 3 with x binary has no slack, but over a row
+  // 2x1 + 2x2 + 2x3 <= 5 the 1/2-CG round gives x1+x2+x3 <= 2.
+  Model m = MakeKnapsack({2, 2, 2}, {1, 1, 1}, 5);
+  std::vector<double> x = {0.9, 0.9, 0.7};
+  auto cuts = SeparateCgCuts(m, x, CutOptions{});
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_NEAR(cuts[0].row.hi, 2.0, 1e-12);
+  ExpectCutValidForAllBinaryPoints(m, cuts[0]);
+}
+
+TEST(CgCutTest, SkipsFractionalCoefficients) {
+  Model m = MakeKnapsack({2.5, 2, 2}, {1, 1, 1}, 5);
+  std::vector<double> x = {0.9, 0.9, 0.7};
+  auto cuts = SeparateCgCuts(m, x, CutOptions{});
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(CgCutTest, SkipsContinuousVariables) {
+  Model m;
+  m.AddVariable(0, 1, 1, /*is_integer=*/false);
+  m.AddVariable(0, 1, 1, true);
+  RowDef row;
+  row.vars = {0, 1};
+  row.coefs = {2, 2};
+  row.hi = 3;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  std::vector<double> x = {0.9, 0.9};
+  EXPECT_TRUE(SeparateCgCuts(m, x, CutOptions{}).empty());
+}
+
+TEST(SeparateCutsTest, DeduplicatesAndCaps) {
+  Model m = MakeKnapsack({4, 4, 4}, {1, 1, 1}, 10);
+  std::vector<double> x = {1.0, 1.0, 0.5};
+  CutOptions options;
+  options.max_cuts_per_round = 1;
+  auto cuts = SeparateCuts(m, x, options);
+  EXPECT_EQ(cuts.size(), 1u);
+}
+
+TEST(SeparateCutsTest, FamilySwitchesRespected) {
+  Model m = MakeKnapsack({2, 2, 2}, {1, 1, 1}, 5);
+  std::vector<double> x = {1.0, 1.0, 0.5};
+  CutOptions no_cover;
+  no_cover.cover_cuts = false;
+  for (const Cut& c : SeparateCuts(m, x, no_cover)) {
+    EXPECT_EQ(c.row.name.substr(0, 2), "cg");
+  }
+  CutOptions no_cg;
+  no_cg.cg_cuts = false;
+  for (const Cut& c : SeparateCuts(m, x, no_cg)) {
+    EXPECT_EQ(c.row.name.substr(0, 5), "cover");
+  }
+}
+
+// --- Property: cuts never change the ILP optimum. ---
+
+class CutSeedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CutSeedTest, CutsPreserveKnapsackOptimum) {
+  Rng rng(GetParam());
+  int n = 10 + static_cast<int>(rng.UniformInt(0, 6));
+  std::vector<double> w(static_cast<size_t>(n)), v(static_cast<size_t>(n));
+  double total = 0;
+  for (int j = 0; j < n; ++j) {
+    w[static_cast<size_t>(j)] = std::floor(rng.Uniform(1.0, 20.0));
+    v[static_cast<size_t>(j)] = std::floor(rng.Uniform(1.0, 30.0));
+    total += w[static_cast<size_t>(j)];
+  }
+  double cap = std::floor(total * rng.Uniform(0.3, 0.7));
+  Model m = MakeKnapsack(w, v, cap);
+
+  BranchAndBoundOptions with, without;
+  with.cuts.enable = true;
+  without.cuts.enable = false;
+  auto a = SolveIlp(m, SolverLimits{}, with);
+  auto b = SolveIlp(m, SolverLimits{}, without);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_NEAR(a->objective, b->objective, 1e-6);
+  EXPECT_TRUE(m.IsFeasible(a->x, 1e-6));
+}
+
+TEST_P(CutSeedTest, SeparatedCutsAreValidEverywhere) {
+  Rng rng(GetParam() * 131);
+  int n = 8 + static_cast<int>(rng.UniformInt(0, 5));
+  std::vector<double> w(static_cast<size_t>(n)), v(static_cast<size_t>(n));
+  double total = 0;
+  for (int j = 0; j < n; ++j) {
+    w[static_cast<size_t>(j)] = std::floor(rng.Uniform(1.0, 15.0));
+    v[static_cast<size_t>(j)] = std::floor(rng.Uniform(1.0, 9.0));
+    total += w[static_cast<size_t>(j)];
+  }
+  Model m = MakeKnapsack(w, v, std::floor(total * 0.5));
+  // Separate at a random fractional point; every returned cut must admit
+  // every feasible integer point.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (auto& xi : x) xi = rng.Uniform(0.0, 1.0);
+  for (const Cut& cut : SeparateCuts(m, x, CutOptions{})) {
+    ExpectCutValidForAllBinaryPoints(m, cut);
+  }
+}
+
+TEST_P(CutSeedTest, CutsPreserveGeneralIntegerOptimum) {
+  // REPEAT K queries give general-integer variables: cover cuts must skip
+  // them (complementing is only valid for binaries) but CG cuts apply, and
+  // the optimum must be unchanged either way.
+  Rng rng(GetParam() * 7 + 11);
+  Model m;
+  m.set_sense(lp::Sense::kMaximize);
+  int n = 6 + static_cast<int>(rng.UniformInt(0, 4));
+  RowDef cap;
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable(0, 3, std::floor(rng.Uniform(1.0, 12.0)), true);
+    cap.vars.push_back(j);
+    cap.coefs.push_back(std::floor(rng.Uniform(1.0, 7.0)));
+  }
+  cap.hi = std::floor(rng.Uniform(10.0, 25.0));
+  ASSERT_TRUE(m.AddRow(std::move(cap)).ok());
+
+  BranchAndBoundOptions with, without;
+  with.cuts.enable = true;
+  without.cuts.enable = false;
+  auto a = SolveIlp(m, SolverLimits{}, with);
+  auto b = SolveIlp(m, SolverLimits{}, without);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_NEAR(a->objective, b->objective, 1e-6);
+  EXPECT_TRUE(m.IsFeasible(a->x, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutSeedTest, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace paql::ilp

@@ -1,0 +1,182 @@
+#include "partition/dynamic_update.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace paql::partition {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+Table MakePoints(int n, uint64_t seed, double lo = 0.0, double hi = 100.0) {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"x", DataType::kDouble},
+                  {"y", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(i), Value(rng.Uniform(lo, hi)),
+                             Value(rng.Uniform(lo, hi))})
+                    .ok());
+  }
+  return t;
+}
+
+void AppendPoints(Table* t, int n, uint64_t seed, double lo, double hi) {
+  Rng rng(seed);
+  int base = static_cast<int>(t->num_rows());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value(base + i), Value(rng.Uniform(lo, hi)),
+                              Value(rng.Uniform(lo, hi))})
+                    .ok());
+  }
+}
+
+Partitioning MustPartition(const Table& t, size_t tau) {
+  PartitionOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = tau;
+  auto p = PartitionTable(t, opts);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(*p);
+}
+
+/// Structural invariants every partitioning artifact must satisfy.
+void CheckInvariants(const Table& t, const Partitioning& p) {
+  ASSERT_EQ(p.gid.size(), t.num_rows());
+  std::set<RowId> seen;
+  for (size_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_FALSE(p.groups[g].empty()) << "group " << g;
+    if (p.size_threshold > 0) {
+      EXPECT_LE(p.groups[g].size(), p.size_threshold) << "group " << g;
+    }
+    for (RowId r : p.groups[g]) {
+      EXPECT_EQ(p.gid[r], g);
+      EXPECT_TRUE(seen.insert(r).second) << "row " << r << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), t.num_rows());
+  EXPECT_EQ(p.representatives.num_rows(), p.num_groups());
+}
+
+TEST(AbsorbTest, AppendedRowsJoinNearestGroup) {
+  Table t = MakePoints(100, 1);
+  Partitioning p = MustPartition(t, 30);
+  size_t groups_before = p.num_groups();
+  AppendPoints(&t, 10, 2, 0.0, 100.0);
+  auto r = AbsorbAppendedRows(t, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows_absorbed, 10u);
+  CheckInvariants(t, r->partitioning);
+  EXPECT_GE(r->partitioning.num_groups(), groups_before);
+  EXPECT_FALSE(r->dirty_groups.empty());
+}
+
+TEST(AbsorbTest, DirtyGroupsAreExactlyTheTouchedOnes) {
+  Table t = MakePoints(100, 3);
+  Partitioning p = MustPartition(t, 50);
+  // Append a tight cluster near one corner: only the group(s) owning that
+  // corner become dirty.
+  AppendPoints(&t, 5, 4, 0.0, 5.0);
+  auto r = AbsorbAppendedRows(t, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  CheckInvariants(t, r->partitioning);
+  // Every appended row lies in a dirty group.
+  std::set<uint32_t> dirty(r->dirty_groups.begin(), r->dirty_groups.end());
+  for (RowId row = 100; row < t.num_rows(); ++row) {
+    EXPECT_TRUE(dirty.count(r->partitioning.gid[row]))
+        << "appended row " << row << " in clean group";
+  }
+  // Clean groups kept their exact membership.
+  for (size_t g = 0; g < r->partitioning.num_groups(); ++g) {
+    if (dirty.count(static_cast<uint32_t>(g))) continue;
+    ASSERT_LT(g, p.num_groups());
+    EXPECT_EQ(r->partitioning.groups[g], p.groups[g]) << "group " << g;
+  }
+}
+
+TEST(AbsorbTest, OversizedGroupsAreSplit) {
+  Table t = MakePoints(60, 5);
+  Partitioning p = MustPartition(t, 20);
+  // Flood one region so some group must exceed tau = 20 and split.
+  AppendPoints(&t, 40, 6, 40.0, 60.0);
+  auto r = AbsorbAppendedRows(t, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  CheckInvariants(t, r->partitioning);
+  EXPECT_GT(r->groups_split, 0u);
+  EXPECT_EQ(r->partitioning.max_group_size(),
+            std::min<size_t>(r->partitioning.max_group_size(), 20));
+}
+
+TEST(AbsorbTest, RadiusLimitTriggersSplit) {
+  // Partition a tight cluster with a radius limit, then append an outlier:
+  // its group's radius blows past omega and must split.
+  Table t = MakePoints(50, 7, 10.0, 20.0);
+  PartitionOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = 50;
+  opts.radius_limit = 8.0;
+  auto p = PartitionTable(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  AppendPoints(&t, 1, 8, 95.0, 100.0);
+  auto r = AbsorbAppendedRows(t, *p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  CheckInvariants(t, r->partitioning);
+  EXPECT_GT(r->groups_split, 0u);
+  for (size_t g = 0; g < r->partitioning.num_groups(); ++g) {
+    EXPECT_LE(r->partitioning.radius[g], 8.0 + 1e-9) << "group " << g;
+  }
+}
+
+TEST(AbsorbTest, NoAppendsIsANoOp) {
+  Table t = MakePoints(80, 9);
+  Partitioning p = MustPartition(t, 25);
+  auto r = AbsorbAppendedRows(t, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows_absorbed, 0u);
+  EXPECT_TRUE(r->dirty_groups.empty());
+  EXPECT_EQ(r->partitioning.num_groups(), p.num_groups());
+  CheckInvariants(t, r->partitioning);
+}
+
+TEST(AbsorbTest, ShrunkTableRejected) {
+  Table t = MakePoints(50, 10);
+  Partitioning p = MustPartition(t, 20);
+  Table smaller = MakePoints(30, 10);
+  auto r = AbsorbAppendedRows(smaller, p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+class AbsorbSeedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbsorbSeedTest, InvariantsHoldUnderRandomAppendBatches) {
+  unsigned seed = GetParam();
+  Rng rng(seed * 7919);
+  Table t = MakePoints(60 + static_cast<int>(rng.UniformInt(0, 60)),
+                       seed * 13 + 1);
+  Partitioning p = MustPartition(t, 16 + seed % 17);
+  // Three successive absorb rounds, re-using the updated artifact.
+  for (int round = 0; round < 3; ++round) {
+    double lo = rng.Uniform(0.0, 80.0);
+    AppendPoints(&t, 5 + static_cast<int>(rng.UniformInt(0, 25)),
+                 seed * 31 + static_cast<uint64_t>(round), lo, lo + 20.0);
+    auto r = AbsorbAppendedRows(t, p);
+    ASSERT_TRUE(r.ok()) << r.status();
+    CheckInvariants(t, r->partitioning);
+    p = std::move(r->partitioning);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbSeedTest, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace paql::partition

@@ -1,0 +1,224 @@
+// Tests for multi-relation FROM materialization (core/from_clause.h) and
+// the parser/AST support behind it.
+#include "core/from_clause.h"
+
+#include <gtest/gtest.h>
+
+#include "core/direct.h"
+#include "paql/parser.h"
+#include "relation/join.h"
+
+namespace paql::core {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+lang::PackageQuery Parse(const std::string& text) {
+  auto q = lang::ParsePackageQuery(text);
+  PAQL_CHECK_MSG(q.ok(), q.status().ToString());
+  return std::move(*q);
+}
+
+/// meals(meal_id, kcal, fat) and tags(meal_id, gluten): the paper's meal
+/// planner split across two relations.
+Table Meals() {
+  Table t{Schema({{"meal_id", DataType::kInt64},
+                  {"kcal", DataType::kDouble},
+                  {"fat", DataType::kDouble}})};
+  for (int i = 0; i < 8; ++i) {
+    PAQL_CHECK(t.AppendRow({Value(int64_t{i}), Value(0.5 + 0.1 * i),
+                            Value(1.0 + i)})
+                   .ok());
+  }
+  return t;
+}
+
+Table Tags() {
+  Table t{Schema({{"meal_id", DataType::kInt64},
+                  {"gluten", DataType::kString}})};
+  for (int i = 0; i < 8; ++i) {
+    PAQL_CHECK(
+        t.AppendRow({Value(int64_t{i}), Value(i % 2 ? "free" : "full")}).ok());
+  }
+  return t;
+}
+
+const char* kJoinQuery =
+    "SELECT PACKAGE(M) AS P "
+    "FROM meals M REPEAT 0, tags T "
+    "WHERE M.meal_id = T.meal_id AND T.gluten = 'free' "
+    "SUCH THAT COUNT(P.*) = 2 AND SUM(M.kcal) BETWEEN 1.0 AND 3.0 "
+    "MINIMIZE SUM(M.fat)";
+
+TEST(ParserMultiFromTest, ParsesAndRoundTrips) {
+  lang::PackageQuery q = Parse(kJoinQuery);
+  EXPECT_EQ(q.relation_name, "meals");
+  EXPECT_EQ(q.relation_alias, "M");
+  ASSERT_EQ(q.more_relations.size(), 1u);
+  EXPECT_EQ(q.more_relations[0].relation_name, "tags");
+  EXPECT_EQ(q.more_relations[0].alias, "T");
+  EXPECT_EQ(q.repeat, 0);
+  // Round trip: printing and reparsing preserves the FROM list.
+  lang::PackageQuery again = Parse(lang::ToString(q));
+  EXPECT_EQ(again.more_relations.size(), 1u);
+  EXPECT_EQ(again.more_relations[0].alias, "T");
+}
+
+TEST(ParserMultiFromTest, RepeatOnLaterRelationRejected) {
+  auto q = lang::ParsePackageQuery(
+      "SELECT PACKAGE(A) AS P FROM a A, b B REPEAT 2 SUCH THAT COUNT(P.*)=1");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorMultiFromTest, DirectEvaluationRequiresMaterialization) {
+  Table meals = Meals();
+  DirectEvaluator direct(meals);
+  auto result = direct.Evaluate(Parse(kJoinQuery));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(MaterializeFromTest, EquiJoinAndRewrite) {
+  Table meals = Meals();
+  Table tags = Tags();
+  Catalog catalog{{"meals", &meals}, {"tags", &tags}};
+  auto mat = MaterializeFromClause(Parse(kJoinQuery), catalog);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_EQ(mat->join_predicates_used, 1u);
+  EXPECT_FALSE(mat->used_cross_join);
+  EXPECT_EQ(mat->table.num_rows(), 8u);  // 1:1 join
+  EXPECT_TRUE(mat->query.more_relations.empty());
+  ASSERT_TRUE(mat->table.schema().FindColumn("M_kcal").has_value());
+  ASSERT_TRUE(mat->table.schema().FindColumn("T_gluten").has_value());
+
+  // The rewritten query runs end-to-end on the joined table.
+  DirectEvaluator direct(mat->table);
+  auto result = direct.Evaluate(mat->query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->package.TotalCount(), 2);
+  // Only gluten-free (odd meal_id) rows qualify; the two cheapest-fat free
+  // meals within the kcal window are meal 1 (kcal .6, fat 2) and meal 3
+  // (kcal .8, fat 4): total kcal 1.4, fat 6.
+  EXPECT_DOUBLE_EQ(result->objective, 6.0);
+}
+
+TEST(MaterializeFromTest, MatchesManualPreJoin) {
+  // The pipeline must agree with manually pre-joining and running an
+  // equivalent single-relation query (the paper's TPC-H construction).
+  Table meals = Meals();
+  Table tags = Tags();
+  Catalog catalog{{"meals", &meals}, {"tags", &tags}};
+  auto mat = MaterializeFromClause(Parse(kJoinQuery), catalog);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  DirectEvaluator joined_eval(mat->table);
+  auto from_pipeline = joined_eval.Evaluate(mat->query);
+  ASSERT_TRUE(from_pipeline.ok());
+
+  relation::JoinOptions jopts;
+  jopts.left_prefix = "M";
+  jopts.right_prefix = "T";
+  auto manual = relation::HashEquiJoin(meals, tags, {{0, 0}}, jopts);
+  ASSERT_TRUE(manual.ok());
+  DirectEvaluator manual_eval(*manual);
+  auto manual_result = manual_eval.Evaluate(
+      Parse("SELECT PACKAGE(J) AS P FROM J REPEAT 0 "
+            "WHERE T_gluten = 'free' "
+            "SUCH THAT COUNT(P.*) = 2 AND SUM(P.M_kcal) BETWEEN 1.0 AND 3.0 "
+            "MINIMIZE SUM(P.M_fat)"));
+  ASSERT_TRUE(manual_result.ok()) << manual_result.status();
+  EXPECT_DOUBLE_EQ(from_pipeline->objective, manual_result->objective);
+}
+
+TEST(MaterializeFromTest, SingleRelationPassesThrough) {
+  Table meals = Meals();
+  Catalog catalog{{"meals", &meals}};
+  auto mat = MaterializeFromClause(
+      Parse("SELECT PACKAGE(M) AS P FROM meals M REPEAT 0 "
+            "SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.fat)"),
+      catalog);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_EQ(mat->table.num_rows(), meals.num_rows());
+  EXPECT_TRUE(mat->table.schema().FindColumn("kcal").has_value());
+  EXPECT_EQ(mat->query.relation_name, "meals");
+}
+
+TEST(MaterializeFromTest, CrossJoinWhenNoPredicate) {
+  Table a{Schema({{"x", DataType::kDouble}})};
+  Table b{Schema({{"y", DataType::kDouble}})};
+  for (int i = 0; i < 3; ++i) {
+    PAQL_CHECK(a.AppendRow({Value(1.0 * i)}).ok());
+    PAQL_CHECK(b.AppendRow({Value(10.0 * i)}).ok());
+  }
+  Catalog catalog{{"a", &a}, {"b", &b}};
+  auto mat = MaterializeFromClause(
+      Parse("SELECT PACKAGE(a) AS P FROM a REPEAT 0, b "
+            "SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.x)"),
+      catalog);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_TRUE(mat->used_cross_join);
+  EXPECT_EQ(mat->table.num_rows(), 9u);
+}
+
+TEST(MaterializeFromTest, ThreeWayJoin) {
+  Table a{Schema({{"k", DataType::kInt64}, {"va", DataType::kDouble}})};
+  Table b{Schema({{"k", DataType::kInt64}, {"vb", DataType::kDouble}})};
+  Table c{Schema({{"k", DataType::kInt64}, {"vc", DataType::kDouble}})};
+  for (int i = 0; i < 5; ++i) {
+    PAQL_CHECK(a.AppendRow({Value(int64_t{i}), Value(1.0 * i)}).ok());
+    PAQL_CHECK(b.AppendRow({Value(int64_t{i}), Value(2.0 * i)}).ok());
+    PAQL_CHECK(c.AppendRow({Value(int64_t{i}), Value(3.0 * i)}).ok());
+  }
+  Catalog catalog{{"a", &a}, {"b", &b}, {"c", &c}};
+  auto mat = MaterializeFromClause(
+      Parse("SELECT PACKAGE(a) AS P FROM a REPEAT 0, b, c "
+            "WHERE a.k = b.k AND b.k = c.k "
+            "SUCH THAT COUNT(P.*) = 2 "
+            "MAXIMIZE SUM(P.va) + SUM(P.vb) + SUM(P.vc)"),
+      catalog);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  EXPECT_EQ(mat->table.num_rows(), 5u);
+  EXPECT_EQ(mat->join_predicates_used, 2u);
+  DirectEvaluator direct(mat->table);
+  auto result = direct.Evaluate(mat->query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Best two rows are k=4 (1+2+3)*4=24 and k=3 ... total 24 + 18 = 42.
+  EXPECT_DOUBLE_EQ(result->objective, 42.0);
+}
+
+TEST(MaterializeFromTest, AmbiguousColumnIsRejected) {
+  Table a{Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}})};
+  Table b{Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}})};
+  PAQL_CHECK(a.AppendRow({Value(int64_t{1}), Value(1.0)}).ok());
+  PAQL_CHECK(b.AppendRow({Value(int64_t{1}), Value(2.0)}).ok());
+  Catalog catalog{{"a", &a}, {"b", &b}};
+  auto mat = MaterializeFromClause(
+      Parse("SELECT PACKAGE(a) AS P FROM a REPEAT 0, b "
+            "WHERE a.k = b.k "
+            "SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.v)"),  // ambiguous v
+      catalog);
+  ASSERT_FALSE(mat.ok());
+  EXPECT_EQ(mat.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MaterializeFromTest, MissingCatalogEntryAndDuplicateAlias) {
+  Table a{Schema({{"k", DataType::kInt64}})};
+  Catalog catalog{{"a", &a}};
+  auto missing = MaterializeFromClause(
+      Parse("SELECT PACKAGE(a) AS P FROM a, nope SUCH THAT COUNT(P.*)=1"),
+      catalog);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto dup = MaterializeFromClause(
+      Parse("SELECT PACKAGE(x) AS P FROM a x, a x SUCH THAT COUNT(P.*)=1"),
+      catalog);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace paql::core

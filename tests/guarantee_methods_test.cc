@@ -1,0 +1,129 @@
+// Theorem 3 across partitioning methods: the (1±ε)^6 approximation bound
+// depends only on the radius limit ω (Eq. 1), not on *how* the groups were
+// formed. These property tests partition with k-means, the balanced k-d
+// tree, the grid, and the quad tree — all at ω derived from ε — and assert
+// the bound against DIRECT on randomized instances, for both maximization
+// and minimization queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/direct.h"
+#include "core/sketch_refine.h"
+#include "paql/parser.h"
+#include "partition/methods.h"
+
+namespace paql::core {
+namespace {
+
+using partition::Method;
+using relation::DataType;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+lang::PackageQuery Parse(const std::string& text) {
+  auto q = lang::ParsePackageQuery(text);
+  PAQL_CHECK_MSG(q.ok(), q.status().ToString());
+  return std::move(*q);
+}
+
+/// Positive-valued attributes (v in [10, 30], w in [5, 25]) so Eq. 1's
+/// tuple-level lower bound on omega is valid (constant sign).
+Table PositiveTable(int n, uint64_t seed) {
+  Table t{Schema({{"v", DataType::kDouble}, {"w", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    PAQL_CHECK(
+        t.AppendRow({Value(rng.Uniform(10, 30)), Value(rng.Uniform(5, 25))})
+            .ok());
+  }
+  return t;
+}
+
+struct GuaranteeCase {
+  Method method;
+  uint64_t seed;
+};
+
+class MethodGuaranteeTest : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(MethodGuaranteeTest, MaximizationBoundHolds) {
+  const GuaranteeCase& c = GetParam();
+  const double epsilon = 0.25;
+  Table t = PositiveTable(120, c.seed);
+  auto query = Parse(
+      "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+      "SUCH THAT SUM(P.v) <= 200 AND COUNT(P.*) <= 12 "
+      "MAXIMIZE SUM(P.w)");
+  auto omega = partition::RadiusLimitForEpsilon(t, {"v", "w"}, epsilon,
+                                                /*maximize=*/true);
+  ASSERT_TRUE(omega.ok()) << omega.status();
+  auto p = partition::PartitionWithMethod(t, c.method, {"v", "w"},
+                                          /*size_threshold=*/30, *omega,
+                                          c.seed);
+  ASSERT_TRUE(p.ok()) << p.status();
+
+  DirectEvaluator direct(t);
+  auto exact = direct.Evaluate(query);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  SketchRefineEvaluator sr(t, *p);
+  auto approx = sr.Evaluate(query);
+  ASSERT_TRUE(approx.ok()) << partition::MethodName(c.method) << ": "
+                           << approx.status();
+  double bound = std::pow(1.0 - epsilon, 6) * exact->objective;
+  EXPECT_GE(approx->objective, bound - 1e-9)
+      << partition::MethodName(c.method) << ": obj " << approx->objective
+      << " below (1-eps)^6 * " << exact->objective;
+}
+
+TEST_P(MethodGuaranteeTest, MinimizationBoundHolds) {
+  const GuaranteeCase& c = GetParam();
+  const double epsilon = 0.25;
+  Table t = PositiveTable(120, c.seed + 1000);
+  auto query = Parse(
+      "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+      "SUCH THAT SUM(P.v) >= 100 AND COUNT(P.*) <= 20 "
+      "MINIMIZE SUM(P.w)");
+  auto omega = partition::RadiusLimitForEpsilon(t, {"v", "w"}, epsilon,
+                                                /*maximize=*/false);
+  ASSERT_TRUE(omega.ok()) << omega.status();
+  auto p = partition::PartitionWithMethod(t, c.method, {"v", "w"},
+                                          /*size_threshold=*/30, *omega,
+                                          c.seed);
+  ASSERT_TRUE(p.ok()) << p.status();
+
+  DirectEvaluator direct(t);
+  auto exact = direct.Evaluate(query);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  SketchRefineEvaluator sr(t, *p);
+  auto approx = sr.Evaluate(query);
+  ASSERT_TRUE(approx.ok()) << partition::MethodName(c.method) << ": "
+                           << approx.status();
+  double bound = std::pow(1.0 + epsilon, 6) * exact->objective;
+  EXPECT_LE(approx->objective, bound + 1e-9)
+      << partition::MethodName(c.method) << ": obj " << approx->objective
+      << " above (1+eps)^6 * " << exact->objective;
+}
+
+std::vector<GuaranteeCase> MakeCases() {
+  std::vector<GuaranteeCase> cases;
+  for (Method method : {Method::kQuadTree, Method::kKMeans, Method::kKdTree,
+                        Method::kGrid}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      cases.push_back({method, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsBySeeds, MethodGuaranteeTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<GuaranteeCase>& info) {
+      return std::string(partition::MethodName(info.param.method)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace paql::core

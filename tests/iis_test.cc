@@ -1,0 +1,163 @@
+// Tests for irreducible-infeasible-subsystem computation (ilp/iis.h).
+#include "ilp/iis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ilp/branch_and_bound.h"
+
+namespace paql::ilp {
+namespace {
+
+using lp::Model;
+using lp::RowDef;
+
+/// x + y <= 1  vs  x + y >= 3 over x, y in [0, 10]: a 2-row conflict.
+Model TwoRowConflict() {
+  Model m;
+  int x = m.AddVariable(0, 10, 0, false);
+  int y = m.AddVariable(0, 10, 0, false);
+  PAQL_CHECK(m.AddRow({{x, y}, {1, 1}, -lp::kInf, 1, "le1"}).ok());
+  PAQL_CHECK(m.AddRow({{x, y}, {1, 1}, 3, lp::kInf, "ge3"}).ok());
+  return m;
+}
+
+TEST(IisTest, FindsTheConflictPair) {
+  Model m = TwoRowConflict();
+  auto iis = FindIisRows(m);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  EXPECT_EQ(*iis, (std::vector<int>{0, 1}));
+}
+
+TEST(IisTest, IgnoresIrrelevantRows) {
+  Model m;
+  int x = m.AddVariable(0, 10, 0, false);
+  int y = m.AddVariable(0, 10, 0, false);
+  int z = m.AddVariable(0, 10, 0, false);
+  // Two harmless rows around the conflict pair.
+  PAQL_CHECK(m.AddRow({{z}, {1}, 0, 10, "slack_z"}).ok());
+  PAQL_CHECK(m.AddRow({{x, y}, {1, 1}, -lp::kInf, 1, "le1"}).ok());
+  PAQL_CHECK(m.AddRow({{x, z}, {1, 1}, -lp::kInf, 20, "loose"}).ok());
+  PAQL_CHECK(m.AddRow({{x, y}, {1, 1}, 3, lp::kInf, "ge3"}).ok());
+  auto iis = FindIisRows(m);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  EXPECT_EQ(*iis, (std::vector<int>{1, 3}));
+}
+
+TEST(IisTest, ThreeWayConflict) {
+  // x <= 1, y <= 1, x + y >= 3: all three rows are needed.
+  Model m;
+  int x = m.AddVariable(0, 10, 0, false);
+  int y = m.AddVariable(0, 10, 0, false);
+  PAQL_CHECK(m.AddRow({{x}, {1}, -lp::kInf, 1, "x_le1"}).ok());
+  PAQL_CHECK(m.AddRow({{y}, {1}, -lp::kInf, 1, "y_le1"}).ok());
+  PAQL_CHECK(m.AddRow({{x, y}, {1, 1}, 3, lp::kInf, "sum_ge3"}).ok());
+  auto iis = FindIisRows(m);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  EXPECT_EQ(*iis, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(IisTest, FeasibleModelIsRejected) {
+  Model m;
+  int x = m.AddVariable(0, 10, 0, false);
+  PAQL_CHECK(m.AddRow({{x}, {1}, 0, 5, "ok"}).ok());
+  auto iis = FindIisRows(m);
+  EXPECT_FALSE(iis.ok());
+  EXPECT_EQ(iis.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IisTest, BoundOnlyConflictYieldsEmptyRowSet) {
+  // lb > ub rows cannot exist in Model; emulate a bound conflict with a row
+  // contradicting a variable bound: x in [0, 1] but row forces x >= 5. The
+  // row alone conflicts with the bounds, so the IIS is that single row.
+  Model m;
+  int x = m.AddVariable(0, 1, 0, false);
+  PAQL_CHECK(m.AddRow({{x}, {1}, 5, lp::kInf, "x_ge5"}).ok());
+  auto iis = FindIisRows(m);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  EXPECT_EQ(*iis, (std::vector<int>{0}));
+}
+
+TEST(IisTest, IlpModeCatchesIntegralityConflicts) {
+  // 2x = 1 with x integer in [0, 3]: LP-feasible (x = 0.5), ILP-infeasible.
+  Model m;
+  int x = m.AddVariable(0, 3, 0, true);
+  PAQL_CHECK(m.AddRow({{x}, {2}, 1, 1, "2x_eq1"}).ok());
+  // LP mode refuses (the LP is feasible).
+  EXPECT_FALSE(FindIisRows(m).ok());
+  IisOptions opts;
+  opts.use_ilp = true;
+  auto iis = FindIisRows(m, opts);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  EXPECT_EQ(*iis, (std::vector<int>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// Property: the returned set is infeasible and irreducible, on randomized
+// instances engineered to be infeasible.
+// ---------------------------------------------------------------------------
+
+class IisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IisPropertyTest, IrreducibleOnRandomInfeasibleSystems) {
+  Rng rng(GetParam());
+  Model m;
+  const int n = 6;
+  for (int v = 0; v < n; ++v) m.AddVariable(0, 5, 0, false);
+  // A planted conflict: sum of all vars <= L and >= L + gap.
+  double level = rng.Uniform(3, 8);
+  std::vector<int> all_vars(n);
+  std::vector<double> ones(n, 1.0);
+  for (int v = 0; v < n; ++v) all_vars[static_cast<size_t>(v)] = v;
+  PAQL_CHECK(m.AddRow({all_vars, ones, -lp::kInf, level, "le"}).ok());
+  PAQL_CHECK(
+      m.AddRow({all_vars, ones, level + rng.Uniform(0.5, 2), lp::kInf, "ge"})
+          .ok());
+  // Noise rows that are individually satisfiable.
+  int noise = static_cast<int>(rng.UniformInt(1, 5));
+  for (int k = 0; k < noise; ++k) {
+    int a = static_cast<int>(rng.UniformInt(0, n - 1));
+    int b = static_cast<int>(rng.UniformInt(0, n - 1));
+    if (a == b) b = (b + 1) % n;
+    PAQL_CHECK(m.AddRow({{a, b},
+                         {rng.Uniform(0.5, 2), rng.Uniform(0.5, 2)},
+                         -lp::kInf,
+                         rng.Uniform(5, 30),
+                         "noise"})
+                   .ok());
+  }
+
+  auto iis = FindIisRows(m);
+  ASSERT_TRUE(iis.ok()) << iis.status();
+  ASSERT_FALSE(iis->empty());
+
+  // (1) The IIS rows alone are infeasible.
+  auto restricted_infeasible = [&](const std::vector<int>& keep) {
+    Model r;
+    r.set_sense(m.sense());
+    for (int v = 0; v < m.num_vars(); ++v) {
+      r.AddVariable(m.lb()[v], m.ub()[v], m.obj()[v], m.is_integer()[v]);
+    }
+    for (int row : keep) {
+      PAQL_CHECK(r.AddRow(m.rows()[static_cast<size_t>(row)]).ok());
+    }
+    return SolveLpRelaxation(r).status == lp::LpStatus::kInfeasible;
+  };
+  EXPECT_TRUE(restricted_infeasible(*iis));
+
+  // (2) Irreducibility: removing any one row restores feasibility.
+  for (size_t drop = 0; drop < iis->size(); ++drop) {
+    std::vector<int> without;
+    for (size_t i = 0; i < iis->size(); ++i) {
+      if (i != drop) without.push_back((*iis)[i]);
+    }
+    EXPECT_FALSE(restricted_infeasible(without))
+        << "IIS not irreducible: row " << (*iis)[drop] << " is redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IisPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace paql::ilp

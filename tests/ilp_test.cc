@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ilp/branch_and_bound.h"
+
+namespace paql::ilp {
+namespace {
+
+using lp::kInf;
+using lp::Model;
+using lp::RowDef;
+using lp::Sense;
+
+TEST(IlpTest, PureIntegerKnapsack) {
+  // max 10x0 + 6x1 + 4x2 s.t. x0+x1+x2 <= 2 (0/1 vars) => pick x0, x1 = 16.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  double values[] = {10, 6, 4};
+  RowDef row;
+  for (int j = 0; j < 3; ++j) {
+    m.AddVariable(0, 1, values[j], true);
+    row.vars.push_back(j);
+    row.coefs.push_back(1.0);
+  }
+  row.lo = -kInf;
+  row.hi = 2;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->objective, 16.0, 1e-9);
+  EXPECT_TRUE(r->stats.proven_optimal);
+}
+
+TEST(IlpTest, FractionalLpButIntegerOptimum) {
+  // max x + y s.t. 2x + 2y <= 3, binary. LP gives 1.5; ILP must give 1.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 1, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {2.0, 2.0}, -kInf, 3, ""}).ok());
+
+  // With root cuts off, the fractional LP optimum forces actual branching.
+  BranchAndBoundOptions no_cuts;
+  no_cuts.cuts.enable = false;
+  auto branched = SolveIlp(m, SolverLimits{}, no_cuts);
+  ASSERT_TRUE(branched.ok());
+  EXPECT_NEAR(branched->objective, 1.0, 1e-9);
+  EXPECT_GT(branched->stats.nodes, 1);  // required actual branching
+
+  // With cuts on, the 1/2-CG round x + y <= 1 closes the gap at the root.
+  auto cut = SolveIlp(m);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_NEAR(cut->objective, 1.0, 1e-9);
+  EXPECT_EQ(cut->stats.nodes, 1);
+  EXPECT_GT(cut->stats.cuts_added, 0);
+}
+
+TEST(IlpTest, EqualityCardinalityConstraint) {
+  // The package-query shape: exactly 3 of 10 items, minimize cost.
+  Model m;
+  RowDef row;
+  double costs[] = {5, 1, 4, 2, 8, 3, 9, 7, 6, 0.5};
+  for (int j = 0; j < 10; ++j) {
+    m.AddVariable(0, 1, costs[j], true);
+    row.vars.push_back(j);
+    row.coefs.push_back(1.0);
+  }
+  row.lo = 3;
+  row.hi = 3;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 0.5 + 1 + 2, 1e-9);
+}
+
+TEST(IlpTest, InfeasibleIlp) {
+  Model m;
+  m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 1, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 3, kInf, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInfeasible());
+}
+
+TEST(IlpTest, IntegralityGapInfeasible) {
+  // x + y = 1 with both in {0, 2}: LP feasible (0.5, 0.5), ILP infeasible.
+  Model m;
+  m.AddVariable(0, 2, 0.0, true);
+  m.AddVariable(0, 2, 0.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {2.0, 2.0}, 1, 1, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInfeasible());
+}
+
+TEST(IlpTest, UnboundedIlp) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, kInf, 1.0, true);
+  auto r = SolveIlp(m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnbounded);
+}
+
+TEST(IlpTest, GeneralIntegerVariables) {
+  // max 3x + 4y s.t. x + 2y <= 7, 3x + y <= 9, x,y >= 0 integer.
+  // Optimum x=1, y=3 -> 15 (enumeration over the small feasible box).
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, kInf, 3.0, true);
+  m.AddVariable(0, kInf, 4.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 2.0}, -kInf, 7, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{0, 1}, {3.0, 1.0}, -kInf, 9, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->objective, 15.0, 1e-9);
+  EXPECT_NEAR(r->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r->x[1], 3.0, 1e-9);
+}
+
+TEST(IlpTest, RepeatSemanticsViaUpperBounds) {
+  // REPEAT 2 => x_i in [0, 3]. min cost with COUNT = 5 over 2 tuples.
+  Model m;
+  m.AddVariable(0, 3, 1.0, true);
+  m.AddVariable(0, 3, 2.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 5, 5, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->x[0], 3.0, 1e-9);
+  EXPECT_NEAR(r->x[1], 2.0, 1e-9);
+  EXPECT_NEAR(r->objective, 3 + 4, 1e-9);
+}
+
+TEST(IlpTest, MixedIntegerContinuous) {
+  // max x + y, x integer <= 2.5-ish constraint, y continuous.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, kInf, 1.0, true);    // x integer
+  m.AddVariable(0, kInf, 1.0, false);   // y continuous
+  ASSERT_TRUE(m.AddRow({{0}, {1.0}, -kInf, 2.5, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{1}, {1.0}, -kInf, 1.5, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->x[0], 2.0, 1e-9);   // snapped to integer
+  EXPECT_NEAR(r->x[1], 1.5, 1e-9);   // stays fractional
+}
+
+TEST(IlpTest, NodeLimitTriggersResourceExhausted) {
+  // A hard subset-sum-like instance with a tiny node budget.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> weight(50, 100);
+  RowDef row;
+  const int kN = 30;
+  for (int j = 0; j < kN; ++j) {
+    double w = weight(rng);
+    m.AddVariable(0, 1, w, true);
+    row.vars.push_back(j);
+    row.coefs.push_back(w);
+  }
+  row.lo = -kInf;
+  row.hi = 1111.5;  // fractional capacity forces branching
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  SolverLimits limits;
+  limits.max_nodes = 3;
+  BranchAndBoundOptions options;
+  options.enable_rounding_heuristic = false;
+  options.enable_diving_heuristic = false;
+  auto r = SolveIlp(m, limits, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(IlpTest, MemoryBudgetTriggersResourceExhausted) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> weight(1.0, 2.0);
+  RowDef row;
+  for (int j = 0; j < 40; ++j) {
+    double w = weight(rng);
+    m.AddVariable(0, 1, w, true);
+    row.vars.push_back(j);
+    row.coefs.push_back(w);
+  }
+  row.lo = 20.333;  // equality-ish range hard to hit
+  row.hi = 20.334;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  SolverLimits limits;
+  limits.memory_budget_bytes = 1;  // absurdly small: immediate failure
+  auto r = SolveIlp(m, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+  EXPECT_NE(r.status().message().find("memory"), std::string::npos);
+}
+
+TEST(IlpTest, TimeLimitTriggersResourceExhausted) {
+  Model m;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> weight(1.0, 2.0);
+  RowDef row;
+  for (int j = 0; j < 50; ++j) {
+    double w = weight(rng);
+    m.AddVariable(0, 1, w, true);
+    row.vars.push_back(j);
+    row.coefs.push_back(w);
+  }
+  row.lo = 25.4321;
+  row.hi = 25.4322;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  SolverLimits limits;
+  limits.time_limit_s = 1e-6;
+  auto r = SolveIlp(m, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(IlpTest, StatsArePopulated) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 1, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {2.0, 2.0}, -kInf, 3, ""}).ok());
+  BranchAndBoundOptions no_cuts;
+  no_cuts.cuts.enable = false;
+  auto r = SolveIlp(m, SolverLimits{}, no_cuts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->stats.nodes, 1);
+  EXPECT_GT(r->stats.lp_iterations, 0);
+  EXPECT_GE(r->stats.wall_seconds, 0);
+  EXPECT_GT(r->stats.peak_memory_bytes, 0u);
+  EXPECT_NEAR(r->stats.root_bound, 1.5, 1e-6);  // LP relaxation value
+  EXPECT_EQ(r->stats.cuts_added, 0);
+
+  // The cut loop reports its own counters.
+  auto with_cuts = SolveIlp(m);
+  ASSERT_TRUE(with_cuts.ok());
+  EXPECT_GT(with_cuts->stats.cuts_added, 0);
+  EXPECT_GT(with_cuts->stats.cut_rounds, 0);
+}
+
+TEST(IlpTest, LpRelaxationHelper) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 1, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {2.0, 2.0}, -kInf, 3, ""}).ok());
+  auto lp = SolveLpRelaxation(m);
+  ASSERT_EQ(lp.status, lp::LpStatus::kOptimal);
+  EXPECT_NEAR(lp.objective, 1.5, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: branch-and-bound matches exhaustive enumeration on random
+// small ILPs (the ground-truth oracle).
+// ---------------------------------------------------------------------------
+
+class IlpVsBruteForceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IlpVsBruteForceTest, MatchesEnumeration) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nvars(2, 7), nrows(1, 4), ub_dist(1, 3);
+  std::uniform_real_distribution<double> coef(-4.0, 4.0);
+  std::uniform_real_distribution<double> rhs(-2.0, 10.0);
+  std::bernoulli_distribution maximize(0.5), two_sided(0.3);
+
+  int n = nvars(rng), k = nrows(rng);
+  Model m;
+  m.set_sense(maximize(rng) ? Sense::kMaximize : Sense::kMinimize);
+  std::vector<int> ubs;
+  for (int j = 0; j < n; ++j) {
+    int ub = ub_dist(rng);
+    ubs.push_back(ub);
+    m.AddVariable(0, ub, coef(rng), true);
+  }
+  for (int i = 0; i < k; ++i) {
+    RowDef row;
+    for (int j = 0; j < n; ++j) {
+      row.vars.push_back(j);
+      row.coefs.push_back(coef(rng));
+    }
+    double b = rhs(rng);
+    if (two_sided(rng)) {
+      row.lo = b - 5.0;
+      row.hi = b;
+    } else {
+      row.lo = -kInf;
+      row.hi = b;
+    }
+    ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  }
+
+  // Oracle: enumerate the full integer box.
+  bool any_feasible = false;
+  double best = 0;
+  std::vector<double> x(n, 0.0);
+  std::function<void(int)> enumerate = [&](int j) {
+    if (j == n) {
+      if (!m.IsFeasible(x, 1e-9)) return;
+      double obj = m.ObjectiveValue(x);
+      bool better = m.sense() == Sense::kMaximize ? obj > best : obj < best;
+      if (!any_feasible || better) {
+        best = obj;
+        any_feasible = true;
+      }
+      return;
+    }
+    for (int v = 0; v <= ubs[j]; ++v) {
+      x[j] = v;
+      enumerate(j + 1);
+    }
+    x[j] = 0;
+  };
+  enumerate(0);
+
+  auto r = SolveIlp(m);
+  if (!any_feasible) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsInfeasible()) << r.status();
+  } else {
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_NEAR(r->objective, best, 1e-6)
+        << "model:\n" << m.ToString();
+    EXPECT_TRUE(m.IsFeasible(r->x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIlps, IlpVsBruteForceTest,
+                         ::testing::Range(1u, 61u));
+
+}  // namespace
+}  // namespace paql::ilp

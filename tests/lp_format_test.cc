@@ -1,0 +1,193 @@
+#include "lp/lp_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ilp/branch_and_bound.h"
+
+namespace paql::lp {
+namespace {
+
+Model SampleModel() {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(0, 1, 10.0, true);        // binary
+  m.AddVariable(0, 5, 6.5, true);         // general integer
+  m.AddVariable(0, kInf, -2.0, false);    // continuous, unbounded above
+  m.AddVariable(-kInf, kInf, 0.0, false); // free
+  RowDef r1;
+  r1.name = "SUM(kcal) BETWEEN";
+  r1.vars = {0, 1};
+  r1.coefs = {2.0, 3.0};
+  r1.lo = 1.0;
+  r1.hi = 8.0;
+  EXPECT_TRUE(m.AddRow(std::move(r1)).ok());
+  RowDef r2;
+  r2.name = "COUNT = 3";
+  r2.vars = {0, 1, 2};
+  r2.coefs = {1.0, 1.0, 1.0};
+  r2.lo = r2.hi = 3.0;
+  EXPECT_TRUE(m.AddRow(std::move(r2)).ok());
+  RowDef r3;  // one-sided with a negative coefficient
+  r3.vars = {2, 3};
+  r3.coefs = {-1.5, 1.0};
+  r3.hi = 4.25;
+  EXPECT_TRUE(m.AddRow(std::move(r3)).ok());
+  return m;
+}
+
+TEST(LpFormatTest, WriterEmitsAllSections) {
+  std::string text = ToLpFormat(SampleModel());
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("Generals"), std::string::npos);
+  EXPECT_NE(text.find("Binaries"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+  // Range row splits into _hi / _lo pair.
+  EXPECT_NE(text.find("_hi:"), std::string::npos);
+  EXPECT_NE(text.find("_lo:"), std::string::npos);
+  // Names are sanitized: no parentheses survive.
+  EXPECT_EQ(text.find("SUM(kcal)"), std::string::npos);
+}
+
+void ExpectModelsEquivalent(const Model& a, const Model& b) {
+  ASSERT_EQ(a.num_vars(), b.num_vars());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_EQ(a.sense(), b.sense());
+  for (int j = 0; j < a.num_vars(); ++j) {
+    EXPECT_NEAR(a.obj()[j], b.obj()[j], 1e-12) << "obj " << j;
+    EXPECT_EQ(a.lb()[j], b.lb()[j]) << "lb " << j;
+    EXPECT_EQ(a.ub()[j], b.ub()[j]) << "ub " << j;
+    EXPECT_EQ(a.is_integer()[j], b.is_integer()[j]) << "int " << j;
+  }
+  // Rows may be reordered/renamed; compare activities at random points.
+  Rng rng(99);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::vector<double> x(static_cast<size_t>(a.num_vars()));
+    for (auto& xi : x) xi = std::floor(rng.Uniform(0.0, 3.0));
+    EXPECT_EQ(a.IsFeasible(x, 1e-9), b.IsFeasible(x, 1e-9));
+  }
+}
+
+TEST(LpFormatTest, RoundTripPreservesModel) {
+  Model original = SampleModel();
+  auto parsed = ParseLpFormat(ToLpFormat(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectModelsEquivalent(original, *parsed);
+  // Folding restored the range row as one row.
+  bool has_range = false;
+  for (const auto& row : parsed->rows()) {
+    if (std::isfinite(row.lo) && std::isfinite(row.hi) && row.lo != row.hi) {
+      has_range = true;
+    }
+  }
+  EXPECT_TRUE(has_range);
+}
+
+TEST(LpFormatTest, ParsesHandWrittenText) {
+  auto m = ParseLpFormat(R"(
+\ a comment line
+Minimize
+ cost: 2 x0 + 3.5 x1 - x2
+Subject To
+ cap: x0 + x1 + x2 <= 2
+ need: x0 + x2 >= 1
+Bounds
+ x2 free
+Generals
+ x1
+Binaries
+ x0
+End
+)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->num_vars(), 3);
+  EXPECT_EQ(m->num_rows(), 2);
+  EXPECT_EQ(m->sense(), Sense::kMinimize);
+  EXPECT_TRUE(m->is_integer()[0]);
+  EXPECT_TRUE(m->is_integer()[1]);
+  EXPECT_FALSE(m->is_integer()[2]);
+  EXPECT_EQ(m->ub()[0], 1.0);
+  EXPECT_EQ(m->lb()[2], -kInf);
+  EXPECT_NEAR(m->obj()[1], 3.5, 1e-12);
+}
+
+TEST(LpFormatTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(ParseLpFormat("").ok());
+  EXPECT_FALSE(ParseLpFormat("Hello world").ok());
+  EXPECT_FALSE(ParseLpFormat("Maximize obj: x0 Subject To c: x0 <=").ok());
+  EXPECT_FALSE(ParseLpFormat("Maximize obj: 3 Subject To End").ok());
+}
+
+TEST(LpFormatTest, NegativeRhsAndCoefficients) {
+  auto m = ParseLpFormat(R"(
+Minimize
+ obj: - x0 - 2 x1
+Subject To
+ c: - x0 + x1 >= -3
+Bounds
+ -2 <= x0 <= 2
+ x1 <= 7
+End
+)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_NEAR(m->obj()[0], -1.0, 1e-12);
+  EXPECT_EQ(m->rows()[0].lo, -3.0);
+  EXPECT_EQ(m->lb()[0], -2.0);
+  EXPECT_EQ(m->ub()[0], 2.0);
+  EXPECT_EQ(m->ub()[1], 7.0);
+}
+
+// Property: solving the original and a round-tripped random knapsack gives
+// the same optimum.
+class LpFormatSeedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LpFormatSeedTest, RoundTripPreservesOptimum) {
+  Rng rng(GetParam() * 17 + 3);
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int n = 8 + static_cast<int>(rng.UniformInt(0, 5));
+  RowDef cap;
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable(0, 1, std::floor(rng.Uniform(1.0, 20.0)), true);
+    cap.vars.push_back(j);
+    cap.coefs.push_back(std::floor(rng.Uniform(1.0, 10.0)));
+  }
+  cap.hi = std::floor(rng.Uniform(5.0, 30.0));
+  ASSERT_TRUE(m.AddRow(std::move(cap)).ok());
+
+  auto round_tripped = ParseLpFormat(ToLpFormat(m));
+  ASSERT_TRUE(round_tripped.ok()) << round_tripped.status();
+  auto a = ilp::SolveIlp(m);
+  auto b = ilp::SolveIlp(*round_tripped);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_NEAR(a->objective, b->objective, 1e-9);
+}
+
+TEST(LpFormatTest, VacuousObjectiveRoundTrips) {
+  // A PaQL query without an objective clause translates to max sum 0*x_i;
+  // the writer emits a placeholder term and the parser accepts it.
+  Model m;
+  m.AddVariable(0, 1, 0.0, true);
+  m.AddVariable(0, 1, 0.0, true);
+  RowDef row;
+  row.vars = {0, 1};
+  row.coefs = {1.0, 1.0};
+  row.lo = row.hi = 1.0;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  auto parsed = ParseLpFormat(ToLpFormat(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_vars(), 2);
+  EXPECT_EQ(parsed->obj()[0], 0.0);
+  auto sol = ilp::SolveIlp(*parsed);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpFormatSeedTest, ::testing::Range(1u, 9u));
+
+}  // namespace
+}  // namespace paql::lp

@@ -1,0 +1,169 @@
+// Tests for the LP-relaxation + rounding baseline (core/lp_rounding.h).
+#include "core/lp_rounding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/direct.h"
+#include "paql/parser.h"
+
+namespace paql::core {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+lang::PackageQuery Parse(const std::string& text) {
+  auto q = lang::ParsePackageQuery(text);
+  PAQL_CHECK_MSG(q.ok(), q.status().ToString());
+  return std::move(*q);
+}
+
+translate::CompiledQuery Compile(const Table& t, const std::string& text) {
+  auto cq = translate::CompiledQuery::Compile(Parse(text), t.schema());
+  PAQL_CHECK_MSG(cq.ok(), cq.status().ToString());
+  return std::move(*cq);
+}
+
+/// Random knapsack-style table: cost and gain columns.
+Table RandomTable(int n, uint64_t seed) {
+  Table t{Schema({{"cost", DataType::kDouble}, {"gain", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    PAQL_CHECK(
+        t.AppendRow({Value(rng.Uniform(1, 10)), Value(rng.Uniform(0, 5))})
+            .ok());
+  }
+  return t;
+}
+
+const char* kKnapsack =
+    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+    "SUCH THAT SUM(P.cost) <= 30 AND COUNT(P.*) >= 2 "
+    "MAXIMIZE SUM(P.gain)";
+
+TEST(LpRoundingTest, ProducesFeasiblePackage) {
+  Table t = RandomTable(100, 1);
+  auto cq = Compile(t, kKnapsack);
+  LpRoundingEvaluator evaluator(t);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, result->package).ok());
+}
+
+TEST(LpRoundingTest, ObjectiveWithinLpBoundAndNearDirect) {
+  Table t = RandomTable(150, 2);
+  auto cq = Compile(t, kKnapsack);
+  LpRoundingEvaluator evaluator(t);
+  LpRoundingInfo info;
+  auto rounded = evaluator.EvaluateWithInfo(cq, &info);
+  ASSERT_TRUE(rounded.ok()) << rounded.status();
+  DirectEvaluator direct(t);
+  auto exact = direct.Evaluate(cq);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  // LP bound >= exact >= rounded for maximization; rounding typically
+  // loses at most the value of a handful of fractional tuples.
+  EXPECT_GE(info.lp_objective, exact->objective - 1e-6);
+  EXPECT_LE(rounded->objective, exact->objective + 1e-6);
+  EXPECT_GE(rounded->objective, 0.8 * exact->objective);
+}
+
+TEST(LpRoundingTest, FewFractionalVariables) {
+  // A basic LP optimum has at most m fractional variables (m = row count).
+  Table t = RandomTable(500, 3);
+  auto cq = Compile(t, kKnapsack);
+  LpRoundingEvaluator evaluator(t);
+  LpRoundingInfo info;
+  auto result = evaluator.EvaluateWithInfo(cq, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(info.fractional_vars, 3u);  // 2 rows (cost, count) + slack room
+}
+
+TEST(LpRoundingTest, InfeasibleQueryIsReported) {
+  Table t = RandomTable(50, 4);
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+                    "SUCH THAT SUM(P.cost) <= 1 AND COUNT(P.*) >= 40 "
+                    "MAXIMIZE SUM(P.gain)");
+  LpRoundingEvaluator evaluator(t);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST(LpRoundingTest, MinimizationQuery) {
+  Table t = RandomTable(120, 5);
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+                    "SUCH THAT SUM(P.gain) >= 20 AND COUNT(P.*) <= 30 "
+                    "MINIMIZE SUM(P.cost)");
+  LpRoundingEvaluator evaluator(t);
+  LpRoundingInfo info;
+  auto rounded = evaluator.EvaluateWithInfo(cq, &info);
+  ASSERT_TRUE(rounded.ok()) << rounded.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, rounded->package).ok());
+  DirectEvaluator direct(t);
+  auto exact = direct.Evaluate(cq);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(info.lp_objective, exact->objective + 1e-6);
+  EXPECT_GE(rounded->objective, exact->objective - 1e-6);
+  EXPECT_LE(rounded->objective, 1.25 * exact->objective + 1e-6);
+}
+
+TEST(LpRoundingTest, IntegralLpNeedsNoRepair) {
+  // Cardinality-only constraint with uniform gains: the LP optimum is
+  // integral (pick the top-gain tuples), so no repair ILP runs.
+  Table t{Schema({{"cost", DataType::kDouble}, {"gain", DataType::kDouble}})};
+  for (int i = 0; i < 20; ++i) {
+    PAQL_CHECK(t.AppendRow({Value(1.0), Value(static_cast<double>(i))}).ok());
+  }
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+                    "SUCH THAT COUNT(P.*) <= 3 "
+                    "MAXIMIZE SUM(P.gain)");
+  LpRoundingEvaluator evaluator(t);
+  LpRoundingInfo info;
+  auto result = evaluator.EvaluateWithInfo(cq, &info);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(info.fractional_vars, 0u);
+  EXPECT_DOUBLE_EQ(result->objective, 19 + 18 + 17);
+}
+
+TEST(LpRoundingTest, RepeatedTuplesSupported) {
+  // REPEAT 2 allows multiplicity up to 3; rounding must respect it.
+  Table t = RandomTable(40, 6);
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 2 "
+                    "SUCH THAT SUM(P.cost) <= 25 "
+                    "MAXIMIZE SUM(P.gain)");
+  LpRoundingEvaluator evaluator(t);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, result->package).ok());
+  for (int64_t m : result->package.multiplicity) {
+    EXPECT_LE(m, 3);
+  }
+}
+
+// Property: feasibility and the maximization sandwich hold across seeds.
+class LpRoundingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LpRoundingPropertyTest, FeasibleAndBounded) {
+  Table t = RandomTable(80, GetParam());
+  auto cq = Compile(t, kKnapsack);
+  LpRoundingEvaluator evaluator(t);
+  LpRoundingInfo info;
+  auto rounded = evaluator.EvaluateWithInfo(cq, &info);
+  ASSERT_TRUE(rounded.ok()) << rounded.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, rounded->package).ok());
+  EXPECT_LE(rounded->objective, info.lp_objective + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundingPropertyTest,
+                         ::testing::Range<uint64_t>(10, 30));
+
+}  // namespace
+}  // namespace paql::core

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "common/stopwatch.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace paql::lp {
+namespace {
+
+LpResult Solve(const Model& model) {
+  SimplexSolver solver(model);
+  return solver.Solve(Deadline(10.0));
+}
+
+TEST(ModelTest, BuildAndValidate) {
+  Model m;
+  int x = m.AddVariable(0, 10, 1.0, false);
+  int y = m.AddVariable(0, kInf, 2.0, true);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, 0, 5, "r"}).ok());
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_EQ(m.num_integer_vars(), 1);
+  EXPECT_FALSE(m.AddRow({{7}, {1.0}, 0, 1, "bad var"}).ok());
+  EXPECT_FALSE(m.AddRow({{x}, {1.0, 2.0}, 0, 1, "bad arity"}).ok());
+  EXPECT_FALSE(m.AddRow({{x}, {1.0}, 3, 1, "crossed"}).ok());
+}
+
+TEST(ModelTest, FeasibilityCheck) {
+  Model m;
+  int x = m.AddVariable(0, 4, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{x}, {2.0}, 2, 6, ""}).ok());
+  EXPECT_TRUE(m.IsFeasible({2.0}));
+  EXPECT_FALSE(m.IsFeasible({0.0}));   // row violated
+  EXPECT_FALSE(m.IsFeasible({5.0}));   // bound violated
+  EXPECT_FALSE(m.IsFeasible({1.5}));   // not integral
+  EXPECT_FALSE(m.IsFeasible({1.0, 2.0}));  // wrong arity
+}
+
+TEST(ModelTest, ObjectiveValue) {
+  Model m;
+  m.AddVariable(0, 1, 3.0, false);
+  m.AddVariable(0, 1, -1.0, false);
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({2.0, 4.0}), 2.0);
+}
+
+TEST(SimplexTest, SingleVariableMax) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int x = m.AddVariable(0, 7, 3.0, false);
+  ASSERT_TRUE(m.AddRow({{x}, {1.0}, -kInf, 5, ""}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 15.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 5.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (x,y >= 0).
+  // Optimum: x=2, y=6, obj=36 (textbook Wyndor Glass problem).
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int x = m.AddVariable(0, kInf, 3.0, false);
+  int y = m.AddVariable(0, kInf, 5.0, false);
+  ASSERT_TRUE(m.AddRow({{x}, {1.0}, -kInf, 4, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{y}, {2.0}, -kInf, 12, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{x, y}, {3.0, 2.0}, -kInf, 18, ""}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 36.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityRowNeedsPhase1) {
+  // min x + y s.t. x + y = 10, x <= 4  => x=4, y=6 is NOT optimal;
+  // optimum is any point with x+y=10; objective 10 everywhere on the row.
+  Model m;
+  int x = m.AddVariable(0, 4, 1.0, false);
+  int y = m.AddVariable(0, kInf, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, 10, 10, "eq"}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-7);
+  EXPECT_NEAR(r.x[0] + r.x[1], 10.0, 1e-7);
+}
+
+TEST(SimplexTest, RangeRow) {
+  // min x s.t. 2 <= x + y <= 4, y <= 1  =>  x >= 1 (y at 1), obj = 1.
+  Model m;
+  int x = m.AddVariable(0, kInf, 1.0, false);
+  int y = m.AddVariable(0, 1, 0.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, 2, 4, "range"}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Model m;
+  int x = m.AddVariable(0, 1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{x}, {1.0}, 5, 9, ""}).ok());
+  LpResult r = Solve(m);
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ConflictingRowsInfeasible) {
+  Model m;
+  int x = m.AddVariable(0, kInf, 0.0, false);
+  int y = m.AddVariable(0, kInf, 0.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, -kInf, 1, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, 3, kInf, ""}).ok());
+  EXPECT_EQ(Solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int x = m.AddVariable(0, kInf, 1.0, false);
+  int y = m.AddVariable(0, kInf, 0.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, -1.0}, -kInf, 1, ""}).ok());
+  EXPECT_EQ(Solve(m).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NoRowsJustBounds) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  m.AddVariable(1, 3, 2.0, false);
+  m.AddVariable(-2, 5, -1.0, false);
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2 * 3 + (-1) * (-2), 1e-9);
+}
+
+TEST(SimplexTest, FreeVariable) {
+  // min x + 2y, y free, x >= 0, s.t. x + y = 3, y <= 10 via row.
+  Model m;
+  int x = m.AddVariable(0, kInf, 1.0, false);
+  int y = m.AddVariable(-kInf, kInf, 2.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, 3, 3, ""}).ok());
+  ASSERT_TRUE(m.AddRow({{y}, {1.0}, -5, kInf, ""}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // Pushing y down to -5 and x up to 8: obj = 8 - 10 = -2.
+  EXPECT_NEAR(r.objective, -2.0, 1e-7);
+  EXPECT_NEAR(r.x[1], -5.0, 1e-7);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x + y with x,y in [-3, -1], x + y >= -5.
+  Model m;
+  int x = m.AddVariable(-3, -1, 1.0, false);
+  int y = m.AddVariable(-3, -1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, -5, kInf, ""}).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-7);
+}
+
+TEST(SimplexTest, ManyColumnsFewRowsKnapsackRelaxation) {
+  // Fractional knapsack with known greedy solution.
+  // Items: value v_j = j+1, weight w_j = 1, capacity 3.5, x_j in [0,1].
+  // Optimal: take the 3 most valuable fully + half of the next.
+  const int kN = 100;
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  RowDef row;
+  for (int j = 0; j < kN; ++j) {
+    m.AddVariable(0, 1, j + 1.0, false);
+    row.vars.push_back(j);
+    row.coefs.push_back(1.0);
+  }
+  row.lo = -kInf;
+  row.hi = 3.5;
+  ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  double expect = 100 + 99 + 98 + 0.5 * 97;
+  EXPECT_NEAR(r.objective, expect, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Many redundant constraints meeting at the same vertex.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int x = m.AddVariable(0, kInf, 1.0, false);
+  int y = m.AddVariable(0, kInf, 1.0, false);
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(m.AddRow({{x, y}, {1.0 + k * 0.0, 1.0}, -kInf, 2, ""}).ok());
+  }
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, WarmStartAfterBoundChange) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int x = m.AddVariable(0, 10, 1.0, false);
+  int y = m.AddVariable(0, 10, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{x, y}, {1.0, 1.0}, -kInf, 12, ""}).ok());
+  SimplexSolver solver(m);
+  LpResult r1 = solver.Solve(Deadline(10));
+  ASSERT_EQ(r1.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, 12.0, 1e-7);
+  // Tighten x <= 3 and re-solve from the previous basis.
+  solver.SetVarBounds(x, 0, 3);
+  LpResult r2 = solver.Solve(Deadline(10));
+  ASSERT_EQ(r2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, 3 + 9, 1e-7);
+  // Fix x exactly.
+  solver.SetVarBounds(x, 2, 2);
+  LpResult r3 = solver.Solve(Deadline(10));
+  ASSERT_EQ(r3.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r3.x[0], 2.0, 1e-7);
+  // Restore.
+  solver.ResetVarBounds();
+  LpResult r4 = solver.Solve(Deadline(10));
+  ASSERT_EQ(r4.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r4.objective, 12.0, 1e-7);
+}
+
+TEST(SimplexTest, TimeLimitReported) {
+  Model m;
+  int x = m.AddVariable(0, 1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{x}, {1.0}, 0, 1, ""}).ok());
+  SimplexSolver solver(m);
+  Deadline expired(1e-12);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  LpResult r = solver.Solve(expired);
+  EXPECT_EQ(r.status, LpStatus::kTimeLimit);
+}
+
+TEST(SimplexTest, ApproximateBytesScalesWithColumns) {
+  Model small, big;
+  for (int j = 0; j < 10; ++j) small.AddVariable(0, 1, 1, false);
+  for (int j = 0; j < 1000; ++j) big.AddVariable(0, 1, 1, false);
+  RowDef r1{{0}, {1.0}, 0, 1, ""}, r2{{0}, {1.0}, 0, 1, ""};
+  ASSERT_TRUE(small.AddRow(r1).ok());
+  ASSERT_TRUE(big.AddRow(r2).ok());
+  SimplexSolver s_small(small), s_big(big);
+  EXPECT_GT(s_big.ApproximateBytes(), s_small.ApproximateBytes());
+}
+
+// --- Property test: LP optimum dominates random feasible points. ---
+
+struct RandomLpCase {
+  unsigned seed;
+};
+
+class LpDominanceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LpDominanceTest, OptimumDominatesSampledFeasiblePoints) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_int_distribution<int> nvars(2, 6), nrows(1, 3);
+
+  int n = nvars(rng), k = nrows(rng);
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) m.AddVariable(0, 2.0, coef(rng), false);
+  for (int i = 0; i < k; ++i) {
+    RowDef row;
+    for (int j = 0; j < n; ++j) {
+      row.vars.push_back(j);
+      row.coefs.push_back(coef(rng));
+    }
+    row.lo = -kInf;
+    row.hi = 2.0 + std::abs(coef(rng));  // always allows x = 0
+    ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  }
+  LpResult r = Solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);  // x = 0 is feasible
+  ASSERT_TRUE(m.IsFeasible(r.x, 1e-6));
+
+  // Sample random points; every feasible one must not beat the optimum.
+  std::uniform_real_distribution<double> point(0.0, 2.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = point(rng);
+    if (m.IsFeasible(x, 1e-9)) {
+      EXPECT_LE(m.ObjectiveValue(x), r.objective + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, LpDominanceTest,
+                         ::testing::Range(1u, 26u));
+
+}  // namespace
+}  // namespace paql::lp

@@ -1,0 +1,395 @@
+// End-to-end tests for the global-predicate language extensions:
+// MIN/MAX threshold constraints, NOT (De Morgan push-down), '<>' on
+// COUNT-valued expressions, and exact strict comparisons on integer-valued
+// expressions. Every DIRECT answer is checked against brute-force subset
+// enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/direct.h"
+#include "core/package.h"
+#include "core/sketch_refine.h"
+#include "paql/parser.h"
+#include "translate/compiled_query.h"
+
+namespace paql::core {
+namespace {
+
+using lang::ParsePackageQuery;
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+using translate::CompiledQuery;
+
+Table MakeItems(int n, uint64_t seed) {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"cost", DataType::kDouble},
+                  {"gain", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double cost = std::floor(rng.Uniform(1.0, 10.0) * 2.0) / 2.0;  // .5 grid
+    double gain = std::floor(cost * rng.Uniform(0.5, 2.0) * 2.0) / 2.0;
+    EXPECT_TRUE(t.AppendRow({Value(i), Value(cost), Value(gain)}).ok());
+  }
+  return t;
+}
+
+CompiledQuery MustCompile(const std::string& text, const Table& table) {
+  auto q = ParsePackageQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status() << "\n" << text;
+  auto cq = CompiledQuery::Compile(*q, table.schema());
+  EXPECT_TRUE(cq.ok()) << cq.status() << "\n" << text;
+  return std::move(*cq);
+}
+
+/// Best objective over all REPEAT-0 subsets, or nullopt when infeasible.
+/// Requires n <= 16.
+std::optional<double> BruteForceBest(const CompiledQuery& cq,
+                                     const Table& t) {
+  int n = static_cast<int>(t.num_rows());
+  EXPECT_LE(n, 16);
+  std::optional<double> best;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Package p;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        p.rows.push_back(static_cast<RowId>(i));
+        p.multiplicity.push_back(1);
+      }
+    }
+    if (!ValidatePackage(cq, t, p).ok()) continue;
+    double obj = cq.ObjectiveValue(t, p.rows, p.multiplicity);
+    if (!best.has_value()) {
+      best = obj;
+    } else if (cq.maximize() ? obj > *best : obj < *best) {
+      best = obj;
+    }
+  }
+  return best;
+}
+
+/// Run DIRECT and compare feasibility + optimum with brute force.
+void CheckAgainstBruteForce(const std::string& text, const Table& t) {
+  SCOPED_TRACE(text);
+  CompiledQuery cq = MustCompile(text, t);
+  std::optional<double> best = BruteForceBest(cq, t);
+  DirectEvaluator direct(t);
+  auto r = direct.Evaluate(cq);
+  if (!best.has_value()) {
+    ASSERT_FALSE(r.ok()) << "DIRECT found a package brute force did not";
+    EXPECT_TRUE(r.status().IsInfeasible()) << r.status();
+    return;
+  }
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, r->package).ok());
+  if (cq.has_objective()) {
+    EXPECT_NEAR(r->objective, *best, 1e-6);
+  }
+}
+
+// --- MIN/MAX semantics ---------------------------------------------------
+
+TEST(MinMaxTest, MinLowerBoundExcludesCheapTuples) {
+  Table t = MakeItems(12, 7);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND MIN(P.cost) >= 4 "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+TEST(MinMaxTest, MinUpperBoundForcesACheapTuple) {
+  Table t = MakeItems(12, 8);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND MIN(P.cost) <= 2 "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+TEST(MinMaxTest, MaxUpperBoundExcludesExpensiveTuples) {
+  Table t = MakeItems(12, 9);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND MAX(P.cost) <= 6 "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+TEST(MinMaxTest, MaxLowerBoundForcesAnExpensiveTuple) {
+  Table t = MakeItems(12, 10);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 2 AND MAX(P.cost) >= 8 "
+      "MINIMIZE SUM(P.cost)",
+      t);
+}
+
+TEST(MinMaxTest, MinBetweenIsConjunction) {
+  Table t = MakeItems(12, 11);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND MIN(P.cost) BETWEEN 2 AND 5 "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+TEST(MinMaxTest, MinEqualityPinsTheMinimum) {
+  Table t = MakeItems(12, 12);
+  // Pick the cost value of some tuple so equality is achievable.
+  double v = t.GetDouble(3, 1);
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+             "SUCH THAT COUNT(P.*) = 3 AND MIN(P.cost) = ",
+             v, " MAXIMIZE SUM(P.gain)"),
+      t);
+}
+
+TEST(MinMaxTest, EmptyPackageSatisfiesUniversalSideOnly) {
+  Table t = MakeItems(6, 13);
+  // Universal direction: MIN >= v is vacuous on the empty package.
+  CompiledQuery universal = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT MIN(P.cost) >= 100",
+      t);
+  Package empty;
+  EXPECT_TRUE(ValidatePackage(universal, t, empty).ok());
+  // Existence direction: MIN <= v needs a qualifying tuple.
+  CompiledQuery existence = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT MIN(P.cost) <= 100",
+      t);
+  EXPECT_FALSE(ValidatePackage(existence, t, empty).ok());
+}
+
+TEST(MinMaxTest, StrictMinComparisonExcludesBoundary) {
+  Table t = MakeItems(12, 14);
+  double v = t.GetDouble(2, 1);
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+             "SUCH THAT COUNT(P.*) = 3 AND MIN(P.cost) > ",
+             v, " MAXIMIZE SUM(P.gain)"),
+      t);
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+             "SUCH THAT COUNT(P.*) = 3 AND MAX(P.cost) < ",
+             v, " MAXIMIZE SUM(P.gain)"),
+      t);
+}
+
+TEST(MinMaxTest, MinNotEqualAvoidsValue) {
+  Table t = MakeItems(12, 15);
+  double v = t.GetDouble(0, 1);
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+             "SUCH THAT COUNT(P.*) = 2 AND MIN(P.cost) <> ",
+             v, " MINIMIZE SUM(P.cost)"),
+      t);
+}
+
+TEST(MinMaxTest, MinMaxConstantOnLeftFlips) {
+  Table t = MakeItems(12, 16);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND 4 <= MIN(P.cost) "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+// --- NOT and '<>' ---------------------------------------------------------
+
+TEST(NotTest, NotBetweenSplitsIntoOr) {
+  Table t = MakeItems(12, 20);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 AND NOT SUM(P.cost) BETWEEN 10 AND 20 "
+      "MINIMIZE SUM(P.cost)",
+      t);
+}
+
+TEST(NotTest, NotCountEquality) {
+  Table t = MakeItems(10, 21);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) <= 3 AND NOT COUNT(P.*) = 2 AND "
+      "SUM(P.cost) >= 6 MINIMIZE SUM(P.cost)",
+      t);
+}
+
+TEST(NotTest, CountNotEqualDirect) {
+  Table t = MakeItems(10, 22);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) BETWEEN 1 AND 4 AND COUNT(P.*) <> 3 "
+      "MAXIMIZE SUM(P.gain) - SUM(P.cost)",
+      t);
+}
+
+TEST(NotTest, DoubleNegationIsIdentity) {
+  Table t = MakeItems(10, 23);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT NOT (NOT COUNT(P.*) = 2) MAXIMIZE SUM(P.gain)",
+      t);
+}
+
+TEST(NotTest, DeMorganOverConjunction) {
+  Table t = MakeItems(10, 24);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) BETWEEN 1 AND 3 AND "
+      "NOT (SUM(P.cost) <= 8 AND COUNT(P.*) = 2) "
+      "MINIMIZE SUM(P.cost)",
+      t);
+}
+
+TEST(NotTest, DeMorganOverDisjunction) {
+  Table t = MakeItems(10, 25);
+  CheckAgainstBruteForce(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) BETWEEN 1 AND 3 AND "
+      "NOT (SUM(P.cost) <= 5 OR SUM(P.cost) >= 15) "
+      "MINIMIZE SUM(P.cost)",
+      t);
+}
+
+TEST(NotTest, StrictCountComparisonIsExact) {
+  Table t = MakeItems(10, 26);
+  // COUNT(P.*) < 3 must mean <= 2 exactly, not the closed relaxation <= 3.
+  CompiledQuery cq = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) < 3 AND COUNT(P.*) > 1 MAXIMIZE SUM(P.gain)",
+      t);
+  DirectEvaluator direct(t);
+  auto r = direct.Evaluate(cq);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->package.TotalCount(), 2);
+}
+
+// --- Property sweep: random MIN/MAX/NOT queries vs brute force -----------
+
+class MinMaxSeedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MinMaxSeedTest, DirectMatchesBruteForce) {
+  unsigned seed = GetParam();
+  Table t = MakeItems(11, seed * 37 + 1);
+  Rng rng(seed * 101 + 5);
+  double v = std::floor(rng.Uniform(1.0, 10.0));
+  int count = static_cast<int>(rng.UniformInt(1, 4));
+  const char* fn = rng.UniformInt(0, 2) == 0 ? "MIN" : "MAX";
+  const char* op;
+  switch (rng.UniformInt(0, 4)) {
+    case 0: op = ">="; break;
+    case 1: op = "<="; break;
+    case 2: op = ">"; break;
+    default: op = "<"; break;
+  }
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 SUCH THAT "
+             "COUNT(P.*) = ",
+             count, " AND ", fn, "(P.cost) ", op, " ", v,
+             " MAXIMIZE SUM(P.gain)"),
+      t);
+}
+
+TEST_P(MinMaxSeedTest, NegatedQueriesMatchBruteForce) {
+  unsigned seed = GetParam();
+  Table t = MakeItems(10, seed * 53 + 2);
+  Rng rng(seed * 211 + 7);
+  double lo = std::floor(rng.Uniform(4.0, 12.0));
+  double hi = lo + std::floor(rng.Uniform(2.0, 8.0));
+  CheckAgainstBruteForce(
+      StrCat("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 SUCH THAT "
+             "COUNT(P.*) BETWEEN 1 AND 3 AND NOT SUM(P.cost) BETWEEN ",
+             lo, " AND ", hi, " MINIMIZE SUM(P.cost)"),
+      t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinMaxSeedTest, ::testing::Range(1u, 16u));
+
+// --- SketchRefine compatibility -------------------------------------------
+
+class ExtendedEngineAgreementTest : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(ExtendedEngineAgreementTest, SketchRefineAgreesOnExtendedLanguage) {
+  // DIRECT vs SKETCHREFINE on random queries drawn from the extended
+  // fragment (MIN/MAX thresholds, NOT-BETWEEN, '<>'): SKETCHREFINE's
+  // answer, when produced, must be feasible and never beat DIRECT.
+  unsigned seed = GetParam();
+  Table t = MakeItems(90, seed * 71 + 9);
+  partition::PartitionOptions popts;
+  popts.attributes = {"cost", "gain"};
+  popts.size_threshold = 12 + seed % 18;
+  auto part = partition::PartitionTable(t, popts);
+  ASSERT_TRUE(part.ok());
+
+  Rng rng(seed * 331 + 17);
+  int count = static_cast<int>(rng.UniformInt(2, 5));
+  double v = std::floor(rng.Uniform(2.0, 9.0));
+  std::string extra;
+  switch (rng.UniformInt(0, 3)) {
+    case 0: extra = StrCat(" AND MIN(P.cost) >= ", v - 1); break;
+    case 1: extra = StrCat(" AND MAX(P.cost) <= ", v + 3); break;
+    case 2:
+      extra = StrCat(" AND NOT SUM(P.cost) BETWEEN ", v, " AND ", v + 2);
+      break;
+    default: extra = StrCat(" AND COUNT(P.*) <> ", count + 1); break;
+  }
+  std::string text = StrCat(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 SUCH THAT COUNT(P.*) = ",
+      count, extra, " MAXIMIZE SUM(P.gain)");
+  SCOPED_TRACE(text);
+  CompiledQuery cq = MustCompile(text, t);
+
+  DirectEvaluator direct(t);
+  SketchRefineEvaluator sr(t, *part);
+  auto d = direct.Evaluate(cq);
+  auto a = sr.Evaluate(cq);
+  if (!d.ok()) {
+    ASSERT_TRUE(d.status().IsInfeasible()) << d.status();
+    // SKETCHREFINE may never return a package for an infeasible query.
+    EXPECT_FALSE(a.ok());
+    return;
+  }
+  if (!a.ok()) {
+    EXPECT_TRUE(a.status().IsInfeasible()) << a.status();  // Theorem 4
+    return;
+  }
+  EXPECT_TRUE(ValidatePackage(cq, t, a->package).ok());
+  EXPECT_LE(a->objective, d->objective + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendedEngineAgreementTest,
+                         ::testing::Range(1u, 25u));
+
+TEST(MinMaxTest, SketchRefineHandlesMinMaxQueries) {
+  Table t = MakeItems(80, 30);
+  partition::PartitionOptions popts;
+  popts.attributes = {"cost", "gain"};
+  popts.size_threshold = 16;
+  auto part = partition::PartitionTable(t, popts);
+  ASSERT_TRUE(part.ok());
+  CompiledQuery cq = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 4 AND MAX(P.cost) <= 8 "
+      "MAXIMIZE SUM(P.gain)",
+      t);
+  SketchRefineEvaluator sr(t, *part);
+  auto r = sr.Evaluate(cq);
+  // False infeasibility is permitted but the answer, if any, must be valid.
+  if (r.ok()) {
+    EXPECT_TRUE(ValidatePackage(cq, t, r->package).ok());
+  } else {
+    EXPECT_TRUE(r.status().IsInfeasible()) << r.status();
+  }
+}
+
+}  // namespace
+}  // namespace paql::core

@@ -1,0 +1,313 @@
+// Tests pinned to constructions that appear verbatim in the paper:
+//  * the meal-planner running example (Example 1 / query Q, Section 2.1),
+//  * the Theorem 1 reduction from ILP instances to PaQL queries (App. A.1),
+//  * the sketch query's |G_j|*(1+K) repetition bounds (Section 4.2.1),
+//  * false infeasibility and the hybrid sketch remedy (Section 4.4).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/str_util.h"
+#include "core/direct.h"
+#include "core/package.h"
+#include "core/sketch_refine.h"
+#include "ilp/branch_and_bound.h"
+#include "paql/parser.h"
+#include "partition/partitioner.h"
+
+namespace paql::core {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+translate::CompiledQuery MustCompile(const std::string& text,
+                                     const Table& table) {
+  auto q = lang::ParsePackageQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto cq = translate::CompiledQuery::Compile(*q, table.schema());
+  EXPECT_TRUE(cq.ok()) << cq.status();
+  return std::move(*cq);
+}
+
+// ---------------------------------------------------------------------------
+// Example 1 / query Q from Section 2.1.
+// ---------------------------------------------------------------------------
+
+TEST(PaperExamplesTest, MealPlannerRunningExample) {
+  Table recipes{Schema({{"name", DataType::kString},
+                        {"gluten", DataType::kString},
+                        {"kcal", DataType::kDouble},
+                        {"saturated_fat", DataType::kDouble}})};
+  struct Row {
+    const char* name;
+    const char* gluten;
+    double kcal, fat;
+  };
+  const Row kRows[] = {
+      {"lentil soup", "free", 0.55, 1.2}, {"salmon", "free", 0.80, 3.1},
+      {"carbonara", "full", 1.10, 12.4},  {"rice bowl", "free", 0.95, 2.0},
+      {"quinoa", "free", 0.60, 0.9},      {"steak", "free", 1.20, 9.5},
+      {"pudding", "full", 0.85, 6.2},     {"parfait", "free", 0.45, 2.5},
+      {"omelette", "free", 0.70, 4.8},    {"tofu", "free", 0.75, 1.6},
+  };
+  for (const Row& r : kRows) {
+    ASSERT_TRUE(recipes
+                    .AppendRow({Value(r.name), Value(r.gluten), Value(r.kcal),
+                                Value(r.fat)})
+                    .ok());
+  }
+  auto cq = MustCompile(R"(
+      SELECT PACKAGE(R) AS P
+      FROM Recipes R REPEAT 0
+      WHERE R.gluten = 'free'
+      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5
+      MINIMIZE SUM(P.saturated_fat))",
+                        recipes);
+  DirectEvaluator direct(recipes);
+  auto result = direct.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePackage(cq, recipes, result->package).ok());
+  EXPECT_EQ(result->package.TotalCount(), 3);
+  // Brute-force oracle over the 8 gluten-free recipes.
+  std::vector<RowId> free_rows = cq.ComputeBaseRows(recipes);
+  double best = 1e18;
+  for (size_t a = 0; a < free_rows.size(); ++a) {
+    for (size_t b = a + 1; b < free_rows.size(); ++b) {
+      for (size_t c = b + 1; c < free_rows.size(); ++c) {
+        double kcal = recipes.GetDouble(free_rows[a], 2) +
+                      recipes.GetDouble(free_rows[b], 2) +
+                      recipes.GetDouble(free_rows[c], 2);
+        if (kcal < 2.0 || kcal > 2.5) continue;
+        double fat = recipes.GetDouble(free_rows[a], 3) +
+                     recipes.GetDouble(free_rows[b], 3) +
+                     recipes.GetDouble(free_rows[c], 3);
+        best = std::min(best, fat);
+      }
+    }
+  }
+  EXPECT_NEAR(result->objective, best, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 (Appendix A.1): every ILP maps to a PaQL query over a relation
+// whose tuple i holds variable i's coefficients; solving the PaQL query must
+// match solving the ILP.
+// ---------------------------------------------------------------------------
+
+class IlpToPaqlReductionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IlpToPaqlReductionTest, ReductionPreservesOptimum) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nvars(2, 6), nrows(1, 3), ub_dist(1, 3);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_real_distribution<double> rhs(1.0, 12.0);
+
+  int n = nvars(rng), k = nrows(rng);
+  int ub = ub_dist(rng);
+
+  // The ILP instance: max sum a_i x_i s.t. sum b_ij x_i <= c_j, 0<=x<=ub.
+  std::vector<double> a(n);
+  std::vector<std::vector<double>> b(k, std::vector<double>(n));
+  std::vector<double> c(k);
+  for (int i = 0; i < n; ++i) a[i] = coef(rng);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < n; ++i) b[j][i] = coef(rng);
+    c[j] = rhs(rng);
+  }
+
+  // Solve the ILP directly.
+  lp::Model model;
+  model.set_sense(lp::Sense::kMaximize);
+  for (int i = 0; i < n; ++i) model.AddVariable(0, ub, a[i], true);
+  for (int j = 0; j < k; ++j) {
+    lp::RowDef row;
+    for (int i = 0; i < n; ++i) {
+      row.vars.push_back(i);
+      row.coefs.push_back(b[j][i]);
+    }
+    row.lo = -lp::kInf;
+    row.hi = c[j];
+    ASSERT_TRUE(model.AddRow(std::move(row)).ok());
+  }
+  auto ilp = ilp::SolveIlp(model);
+  ASSERT_TRUE(ilp.ok()) << ilp.status();  // x = 0 is always feasible
+
+  // The reduction: relation R(attr_obj, attr_1..attr_k), tuple i = column i
+  // of the constraint matrix; REPEAT ub-1 bounds x_i <= ub.
+  std::vector<relation::ColumnDef> defs{{"attr_obj", DataType::kDouble}};
+  for (int j = 0; j < k; ++j) {
+    defs.push_back({StrCat("attr_", j), DataType::kDouble});
+  }
+  Table r{Schema(std::move(defs))};
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> row{Value(a[i])};
+    for (int j = 0; j < k; ++j) row.push_back(Value(b[j][i]));
+    ASSERT_TRUE(r.AppendRow(row).ok());
+  }
+  std::string paql = StrCat("SELECT PACKAGE(R) AS P FROM R R REPEAT ", ub - 1,
+                            " SUCH THAT ");
+  for (int j = 0; j < k; ++j) {
+    if (j > 0) paql += " AND ";
+    paql += StrCat("SUM(P.attr_", j, ") <= ", FormatDouble(c[j], 17));
+  }
+  paql += " MAXIMIZE SUM(P.attr_obj)";
+  auto cq = MustCompile(paql, r);
+  DirectEvaluator direct(r);
+  auto pkg = direct.Evaluate(cq);
+  ASSERT_TRUE(pkg.ok()) << pkg.status();
+  EXPECT_NEAR(pkg->objective, ilp->objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpToPaqlReductionTest,
+                         ::testing::Range(1u, 31u));
+
+// ---------------------------------------------------------------------------
+// Sketch-query repetition bounds: representative j may appear up to
+// |G_j| * (1 + K) times (Section 4.2.1).
+// ---------------------------------------------------------------------------
+
+TEST(PaperExamplesTest, SketchRespectsGroupRepetitionBounds) {
+  // One group holding a single tuple of value 5, REPEAT 2 => the package may
+  // use that tuple up to 3 times; COUNT = 3 with SUM = 15 is feasible,
+  // COUNT = 4 (needing 4 copies) is not.
+  Table t{Schema({{"v", DataType::kDouble}})};
+  ASSERT_TRUE(t.AppendRow({Value(5.0)}).ok());
+  partition::PartitionOptions popts;
+  popts.attributes = {"v"};
+  popts.size_threshold = 10;
+  auto part = partition::PartitionTable(t, popts);
+  ASSERT_TRUE(part.ok());
+  SketchRefineEvaluator sr(t, *part);
+
+  auto feasible = MustCompile(R"(
+      SELECT PACKAGE(R) AS P FROM T R REPEAT 2
+      SUCH THAT COUNT(P.*) = 3 AND SUM(P.v) = 15)",
+                              t);
+  auto ok_result = sr.Evaluate(feasible);
+  ASSERT_TRUE(ok_result.ok()) << ok_result.status();
+  EXPECT_EQ(ok_result->package.TotalCount(), 3);
+
+  auto infeasible = MustCompile(R"(
+      SELECT PACKAGE(R) AS P FROM T R REPEAT 2
+      SUCH THAT COUNT(P.*) = 4)",
+                                t);
+  auto bad_result = sr.Evaluate(infeasible);
+  ASSERT_FALSE(bad_result.ok());
+  EXPECT_TRUE(bad_result.status().IsInfeasible());
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.4: false infeasibility and the hybrid sketch remedy.
+// ---------------------------------------------------------------------------
+
+/// The quad-tree yields groups {1, 2, 9} (centroid 4), {100}, and
+/// {200, 300} (centroid 250). COUNT = 2 with SUM = 3 is satisfied only by
+/// originals {1, 2}; no integer combination of the representatives
+/// {4, 100, 250} reaches 3, so the plain sketch is falsely infeasible while
+/// the hybrid sketch (originals of the first group + other representatives)
+/// succeeds.
+struct FalseInfeasibilitySetup {
+  Table table{Schema({{"v", DataType::kDouble}})};
+  partition::Partitioning partitioning;
+
+  FalseInfeasibilitySetup() {
+    for (double v : {1.0, 2.0, 9.0, 100.0, 200.0, 300.0}) {
+      PAQL_CHECK(table.AppendRow({Value(v)}).ok());
+    }
+    partition::PartitionOptions popts;
+    popts.attributes = {"v"};
+    popts.size_threshold = 3;
+    auto part = partition::PartitionTable(table, popts);
+    PAQL_CHECK(part.ok());
+    PAQL_CHECK_MSG(part->num_groups() == 3,
+                   "expected 3 natural groups, got " << part->num_groups());
+    partitioning = std::move(*part);
+  }
+};
+
+TEST(PaperExamplesTest, HybridSketchRescuesFalseInfeasibility) {
+  FalseInfeasibilitySetup s;
+  auto cq = MustCompile(R"(
+      SELECT PACKAGE(R) AS P FROM T R REPEAT 0
+      SUCH THAT COUNT(P.*) = 2 AND SUM(P.v) = 3
+      MINIMIZE SUM(P.v))",
+                        s.table);
+  // DIRECT finds {1, 2}.
+  DirectEvaluator direct(s.table);
+  auto d = direct.Evaluate(cq);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_NEAR(d->objective, 3.0, 1e-9);
+
+  // Without the hybrid remedy: false infeasibility (Theorem 4's caveat).
+  SketchRefineOptions no_hybrid;
+  no_hybrid.use_hybrid_sketch = false;
+  auto plain = SketchRefineEvaluator(s.table, s.partitioning, no_hybrid)
+                   .Evaluate(cq);
+  ASSERT_FALSE(plain.ok());
+  EXPECT_TRUE(plain.status().IsInfeasible());
+
+  // With the hybrid remedy (the default): the query is answered.
+  auto hybrid =
+      SketchRefineEvaluator(s.table, s.partitioning).Evaluate(cq);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  EXPECT_TRUE(hybrid->stats.used_hybrid_sketch);
+  EXPECT_NEAR(hybrid->objective, 3.0, 1e-9);
+  EXPECT_TRUE(ValidatePackage(cq, s.table, hybrid->package).ok());
+}
+
+TEST(PaperExamplesTest, FalseInfeasibilityCanSurviveHybrid) {
+  // SUM = 202 needs originals from *two different multi-tuple groups*
+  // ({2, 200}); neither the sketch nor any single-group hybrid can express
+  // it. SKETCHREFINE reports infeasible although DIRECT solves it — the
+  // residual false-infeasibility case the paper's remedies 2-4 (finer
+  // partitioning, attribute dropping, group merging) address.
+  FalseInfeasibilitySetup s;
+  auto cq = MustCompile(R"(
+      SELECT PACKAGE(R) AS P FROM T R REPEAT 0
+      SUCH THAT COUNT(P.*) = 2 AND SUM(P.v) = 202)",
+                        s.table);
+  DirectEvaluator direct(s.table);
+  auto d = direct.Evaluate(cq);
+  ASSERT_TRUE(d.ok()) << d.status();
+  auto sr = SketchRefineEvaluator(s.table, s.partitioning).Evaluate(cq);
+  ASSERT_FALSE(sr.ok());
+  EXPECT_TRUE(sr.status().IsInfeasible());
+}
+
+// ---------------------------------------------------------------------------
+// Refinement skips groups without representatives in the sketch package
+// (Algorithm 2, line 10: "Skip groups that have no representative in pS").
+// ---------------------------------------------------------------------------
+
+TEST(PaperExamplesTest, RefineSkipsUnusedGroups) {
+  // Two well-separated groups; the optimal package lies entirely in the
+  // cheap group, so the expensive group's representative never enters the
+  // sketch and exactly one group is refined.
+  Table t{Schema({{"v", DataType::kDouble}})};
+  for (double v : {1.0, 1.1, 1.2, 50.0, 50.1, 50.2}) {
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  partition::PartitionOptions popts;
+  popts.attributes = {"v"};
+  popts.size_threshold = 3;
+  auto part = partition::PartitionTable(t, popts);
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->num_groups(), 2u);
+  SketchRefineEvaluator sr(t, *part);
+  auto cq = MustCompile(R"(
+      SELECT PACKAGE(R) AS P FROM T R REPEAT 0
+      SUCH THAT COUNT(P.*) = 2
+      MINIMIZE SUM(P.v))",
+                        t);
+  auto r = sr.Evaluate(cq);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->objective, 2.1, 1e-9);
+  EXPECT_EQ(r->stats.groups_refined, 1);
+}
+
+}  // namespace
+}  // namespace paql::core

@@ -1,0 +1,196 @@
+// Tests for parallel SKETCHREFINE (core/parallel.h): both modes must
+// always return feasible packages, match the sequential algorithm when the
+// speculation is safe, and fall back cleanly when it is not.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/direct.h"
+#include "paql/parser.h"
+#include "partition/partitioner.h"
+
+namespace paql::core {
+namespace {
+
+using partition::PartitionOptions;
+using partition::Partitioning;
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+lang::PackageQuery Parse(const std::string& text) {
+  auto q = lang::ParsePackageQuery(text);
+  PAQL_CHECK_MSG(q.ok(), q.status().ToString());
+  return std::move(*q);
+}
+
+translate::CompiledQuery Compile(const Table& t, const std::string& text) {
+  auto cq = translate::CompiledQuery::Compile(Parse(text), t.schema());
+  PAQL_CHECK_MSG(cq.ok(), cq.status().ToString());
+  return std::move(*cq);
+}
+
+/// Clustered (x, cost, gain) table: x drives partitioning, cost/gain drive
+/// the query.
+Table ClusteredWorkload(int n, uint64_t seed) {
+  Table t{Schema({{"x", DataType::kDouble},
+                  {"cost", DataType::kDouble},
+                  {"gain", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double center = 100.0 * (i % 5);
+    PAQL_CHECK(t.AppendRow({Value(center + rng.Uniform(-1, 1)),
+                            Value(rng.Uniform(1, 10)),
+                            Value(rng.Uniform(0, 5))})
+                   .ok());
+  }
+  return t;
+}
+
+Partitioning MakePartitioning(const Table& t, size_t tau) {
+  PartitionOptions opts;
+  opts.attributes = {"x"};
+  opts.size_threshold = tau;
+  auto p = partition::PartitionTable(t, opts);
+  PAQL_CHECK_MSG(p.ok(), p.status().ToString());
+  return std::move(*p);
+}
+
+const char* kKnapsack =
+    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+    "SUCH THAT SUM(P.cost) <= 40 AND COUNT(P.*) BETWEEN 3 AND 12 "
+    "MAXIMIZE SUM(P.gain)";
+
+struct ModeCase {
+  ParallelMode mode;
+  int threads;
+};
+
+class ParallelModeTest : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(ParallelModeTest, ProducesFeasiblePackage) {
+  Table t = ClusteredWorkload(200, 1);
+  Partitioning p = MakePartitioning(t, 50);
+  auto cq = Compile(t, kKnapsack);
+  ParallelOptions opts;
+  opts.mode = GetParam().mode;
+  opts.num_threads = GetParam().threads;
+  ParallelSketchRefineEvaluator evaluator(t, p, opts);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, result->package).ok());
+  // The evaluator clamps to hardware_concurrency, so `threads_used` may be
+  // smaller than requested on small machines — but never more.
+  EXPECT_GE(result->stats.threads_used, 1);
+  EXPECT_LE(result->stats.threads_used, GetParam().threads);
+}
+
+TEST_P(ParallelModeTest, QualityComparableToSequential) {
+  Table t = ClusteredWorkload(300, 2);
+  Partitioning p = MakePartitioning(t, 60);
+  auto cq = Compile(t, kKnapsack);
+  SketchRefineEvaluator sequential(t, p);
+  auto seq = sequential.Evaluate(cq);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  ParallelOptions opts;
+  opts.mode = GetParam().mode;
+  opts.num_threads = GetParam().threads;
+  ParallelSketchRefineEvaluator evaluator(t, p, opts);
+  auto par = evaluator.Evaluate(cq);
+  ASSERT_TRUE(par.ok()) << par.status();
+  // Maximization: both are feasible approximations; parallel should land
+  // in the same ballpark (it may be better or worse, not garbage).
+  EXPECT_GE(par->objective, 0.5 * seq->objective);
+}
+
+TEST_P(ParallelModeTest, InfeasibleQueryReportsInfeasible) {
+  Table t = ClusteredWorkload(100, 3);
+  Partitioning p = MakePartitioning(t, 25);
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+                    "SUCH THAT SUM(P.cost) <= 1 AND COUNT(P.*) >= 90 "
+                    "MAXIMIZE SUM(P.gain)");
+  ParallelOptions opts;
+  opts.mode = GetParam().mode;
+  opts.num_threads = GetParam().threads;
+  ParallelSketchRefineEvaluator evaluator(t, p, opts);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndThreads, ParallelModeTest,
+    ::testing::Values(ModeCase{ParallelMode::kGroupParallel, 1},
+                      ModeCase{ParallelMode::kGroupParallel, 2},
+                      ModeCase{ParallelMode::kGroupParallel, 4},
+                      ModeCase{ParallelMode::kOrderingRace, 1},
+                      ModeCase{ParallelMode::kOrderingRace, 2},
+                      ModeCase{ParallelMode::kOrderingRace, 4}),
+    [](const ::testing::TestParamInfo<ModeCase>& info) {
+      return std::string(ParallelModeName(info.param.mode)) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(ParallelFallbackTest, ConflictingSpeculationFallsBackAndStaysCorrect) {
+  // An equality-tight budget makes independent per-group refinements
+  // overshoot or undershoot jointly: the speculative combination often
+  // violates SUM(cost) = k, forcing the sequential fallback. Whichever
+  // path runs, the answer must validate.
+  Table t = ClusteredWorkload(150, 4);
+  Partitioning p = MakePartitioning(t, 30);
+  auto cq = Compile(t,
+                    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+                    "SUCH THAT COUNT(P.*) = 7 "
+                    "MINIMIZE SUM(P.cost)");
+  ParallelOptions opts;
+  opts.mode = ParallelMode::kGroupParallel;
+  opts.num_threads = 4;
+  ParallelSketchRefineEvaluator evaluator(t, p, opts);
+  auto result = evaluator.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(ValidatePackage(cq, t, result->package).ok());
+  EXPECT_EQ(result->package.TotalCount(), 7);
+}
+
+TEST(ParallelRaceTest, DifferentSeedsStillAgreeOnFeasibility) {
+  Table t = ClusteredWorkload(120, 5);
+  Partitioning p = MakePartitioning(t, 40);
+  auto cq = Compile(t, kKnapsack);
+  for (uint64_t seed : {1u, 99u, 12345u}) {
+    ParallelOptions opts;
+    opts.mode = ParallelMode::kOrderingRace;
+    opts.num_threads = 3;
+    opts.seed = seed;
+    ParallelSketchRefineEvaluator evaluator(t, p, opts);
+    auto result = evaluator.Evaluate(cq);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status();
+    EXPECT_TRUE(ValidatePackage(cq, t, result->package).ok());
+  }
+}
+
+TEST(ParallelRaceTest, MatchesSequentialWithOneThread) {
+  // One racer with seed s == sequential evaluation with seed s.
+  Table t = ClusteredWorkload(100, 6);
+  Partitioning p = MakePartitioning(t, 25);
+  auto cq = Compile(t, kKnapsack);
+  ParallelOptions popts;
+  popts.mode = ParallelMode::kOrderingRace;
+  popts.num_threads = 1;
+  popts.seed = 7;
+  ParallelSketchRefineEvaluator par(t, p, popts);
+  auto pr = par.Evaluate(cq);
+  ASSERT_TRUE(pr.ok()) << pr.status();
+  SketchRefineOptions sopts;
+  sopts.refine_order_seed = 7;
+  SketchRefineEvaluator seq(t, p, sopts);
+  auto sr = seq.Evaluate(cq);
+  ASSERT_TRUE(sr.ok());
+  EXPECT_DOUBLE_EQ(pr->objective, sr->objective);
+}
+
+}  // namespace
+}  // namespace paql::core

@@ -1,0 +1,278 @@
+// Tests for the alternative partitioning methods (k-means, balanced k-d
+// tree, uniform grid) of partition/methods.h. Every method must produce a
+// Partitioning artifact interchangeable with the quad tree's: the
+// parameterized battery below runs the same invariants across all four
+// methods, several data shapes, and both condition modes (size-only and
+// size+radius).
+#include "partition/methods.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "partition_test_util.h"
+
+namespace paql::partition {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+// ---------------------------------------------------------------------------
+// Parameterized invariant battery over (method, clusters, per_cluster, tau).
+// ---------------------------------------------------------------------------
+
+struct MethodCase {
+  Method method;
+  int clusters;
+  int per_cluster;
+  size_t tau;
+};
+
+class MethodInvariantsTest : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodInvariantsTest, SizeOnlyPartitioning) {
+  const MethodCase& c = GetParam();
+  Table t = MakeClusteredTable(c.per_cluster, c.clusters, /*seed=*/7);
+  auto p = PartitionWithMethod(t, c.method, {"x", "y"}, c.tau);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+  // Size condition: enough groups to hold everything.
+  EXPECT_GE(p->num_groups(), t.num_rows() / c.tau);
+}
+
+TEST_P(MethodInvariantsTest, RadiusConditionSeparatesClusters) {
+  const MethodCase& c = GetParam();
+  Table t = MakeClusteredTable(c.per_cluster, c.clusters, /*seed=*/11);
+  // Clusters are 100 apart with intra-cluster radius ~1; omega = 10 forces
+  // cluster-pure groups for every method.
+  auto p = PartitionWithMethod(t, c.method, {"x", "y"},
+                               /*size_threshold=*/t.num_rows(),
+                               /*radius_limit=*/10.0);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/true);
+  for (size_t g = 0; g < p->num_groups(); ++g) {
+    int cluster = static_cast<int>(p->groups[g].front()) / c.per_cluster;
+    for (RowId r : p->groups[g]) {
+      EXPECT_EQ(static_cast<int>(r) / c.per_cluster, cluster)
+          << MethodName(c.method) << " group " << g
+          << " mixes rows from different clusters";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodInvariantsTest,
+    ::testing::Values(
+        MethodCase{Method::kKMeans, 4, 50, 30},
+        MethodCase{Method::kKMeans, 3, 40, 25},
+        MethodCase{Method::kKMeans, 6, 20, 15},
+        MethodCase{Method::kKdTree, 4, 50, 30},
+        MethodCase{Method::kKdTree, 3, 40, 25},
+        MethodCase{Method::kKdTree, 6, 20, 15},
+        MethodCase{Method::kGrid, 4, 50, 30},
+        MethodCase{Method::kGrid, 3, 40, 25},
+        MethodCase{Method::kGrid, 6, 20, 15},
+        MethodCase{Method::kQuadTree, 4, 50, 30}),
+    [](const ::testing::TestParamInfo<MethodCase>& info) {
+      const MethodCase& c = info.param;
+      return std::string(MethodName(c.method)) + "_c" +
+             std::to_string(c.clusters) + "x" +
+             std::to_string(c.per_cluster) + "_tau" + std::to_string(c.tau);
+    });
+
+// ---------------------------------------------------------------------------
+// Method-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(KMeansPartitionTest, RecoversWellSeparatedClusters) {
+  Table t = MakeClusteredTable(40, 3, 21);
+  KMeansOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = 60;
+  opts.num_clusters = 3;
+  opts.seed = 5;
+  auto p = KMeansPartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  // With k = true cluster count and clear separation, Lloyd converges to
+  // exactly the three blobs.
+  EXPECT_EQ(p->num_groups(), 3u);
+  for (size_t g = 0; g < p->num_groups(); ++g) {
+    EXPECT_EQ(p->groups[g].size(), 40u);
+  }
+}
+
+TEST(KMeansPartitionTest, DeterministicForFixedSeed) {
+  Table t = MakeClusteredTable(30, 4, 22);
+  KMeansOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = 25;
+  opts.seed = 99;
+  auto p1 = KMeansPartition(t, opts);
+  auto p2 = KMeansPartition(t, opts);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->gid, p2->gid);
+}
+
+TEST(KMeansPartitionTest, IdenticalTuplesChunked) {
+  Table t{Schema({{"x", DataType::kDouble}})};
+  for (int i = 0; i < 23; ++i) ASSERT_TRUE(t.AppendRow({Value(3.0)}).ok());
+  KMeansOptions opts;
+  opts.attributes = {"x"};
+  opts.size_threshold = 10;
+  auto p = KMeansPartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+  EXPECT_EQ(p->num_groups(), 3u);  // 10 + 10 + 3
+}
+
+TEST(KdTreePartitionTest, MedianSplitsGiveBalancedGroups) {
+  Table t = MakeClusteredTable(32, 4, 23);  // 128 rows
+  KdTreeOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = 16;
+  auto p = KdTreePartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+  // Median halving of 128 rows to tau=16 gives exactly 8 groups of 16.
+  EXPECT_EQ(p->num_groups(), 8u);
+  for (const auto& g : p->groups) EXPECT_EQ(g.size(), 16u);
+}
+
+TEST(KdTreePartitionTest, DuplicateKeysStillSplit) {
+  // Half the rows share one x value; the RowId tie-break must still halve.
+  Table t{Schema({{"x", DataType::kDouble}})};
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i < 20 ? 1.0 : 2.0)}).ok());
+  }
+  KdTreeOptions opts;
+  opts.attributes = {"x"};
+  opts.size_threshold = 5;
+  auto p = KdTreePartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+}
+
+TEST(GridPartitionTest, UniformDataGetsUniformCells) {
+  Table t{Schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}})};
+  Rng rng(31);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(rng.Uniform(0, 100)), Value(rng.Uniform(0, 100))})
+            .ok());
+  }
+  GridOptions opts;
+  opts.attributes = {"x", "y"};
+  opts.size_threshold = 50;
+  auto p = GridPartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+  // ~400/50 = 8 cells wanted => 3x3 grid; skew-free data stays near that.
+  EXPECT_GE(p->num_groups(), 4u);
+  EXPECT_LE(p->num_groups(), 32u);
+}
+
+TEST(GridPartitionTest, SkewedCellsAreRefined) {
+  // 90% of rows in one tiny corner: that cell must be split to honor tau.
+  Table t{Schema({{"x", DataType::kDouble}})};
+  Rng rng(32);
+  for (int i = 0; i < 180; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(rng.Uniform(0.0, 0.1))}).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(rng.Uniform(50.0, 100.0))}).ok());
+  }
+  GridOptions opts;
+  opts.attributes = {"x"};
+  opts.size_threshold = 25;
+  auto p = GridPartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+}
+
+TEST(GridPartitionTest, ExplicitBinsRespected) {
+  Table t = MakeClusteredTable(25, 2, 33);
+  GridOptions opts;
+  opts.attributes = {"x"};
+  opts.size_threshold = 50;
+  opts.bins_per_attribute = 2;
+  auto p = GridPartition(t, opts);
+  ASSERT_TRUE(p.ok()) << p.status();
+  // Two clusters land in distinct bins of a 2-bin grid.
+  EXPECT_EQ(p->num_groups(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Validation errors.
+// ---------------------------------------------------------------------------
+
+TEST(MethodsValidationTest, RejectsZeroSizeThreshold) {
+  Table t = MakeClusteredTable(10, 1, 41);
+  KMeansOptions km;
+  km.attributes = {"x"};
+  EXPECT_FALSE(KMeansPartition(t, km).ok());
+  KdTreeOptions kd;
+  kd.attributes = {"x"};
+  EXPECT_FALSE(KdTreePartition(t, kd).ok());
+  GridOptions gr;
+  gr.attributes = {"x"};
+  EXPECT_FALSE(GridPartition(t, gr).ok());
+}
+
+TEST(MethodsValidationTest, RejectsUnknownAndNonNumericAttributes) {
+  Table t{Schema({{"x", DataType::kDouble}, {"s", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value(1.0), Value("a")}).ok());
+  for (auto method : {Method::kKMeans, Method::kKdTree, Method::kGrid}) {
+    EXPECT_FALSE(PartitionWithMethod(t, method, {"nope"}, 5).ok())
+        << MethodName(method);
+    EXPECT_FALSE(PartitionWithMethod(t, method, {"s"}, 5).ok())
+        << MethodName(method);
+  }
+}
+
+TEST(MethodsValidationTest, RejectsEmptyTable) {
+  Table t{Schema({{"x", DataType::kDouble}})};
+  for (auto method : {Method::kKMeans, Method::kKdTree, Method::kGrid}) {
+    EXPECT_FALSE(PartitionWithMethod(t, method, {"x"}, 5).ok())
+        << MethodName(method);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MakePartitioningFromGroups contract.
+// ---------------------------------------------------------------------------
+
+TEST(MakeFromGroupsTest, BuildsConsistentArtifact) {
+  Table t = MakeClusteredTable(10, 2, 51);
+  std::vector<std::vector<RowId>> groups(2);
+  for (RowId r = 0; r < 20; ++r) groups[r / 10].push_back(r);
+  auto p = MakePartitioningFromGroups(t, {"x", "y"}, 10, 1e18, groups);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckPartitioningInvariants(t, *p, /*check_radius=*/false);
+}
+
+TEST(MakeFromGroupsTest, RejectsOverlapGapAndOutOfRange) {
+  Table t = MakeClusteredTable(5, 1, 52);
+  // Overlap.
+  EXPECT_FALSE(
+      MakePartitioningFromGroups(t, {"x"}, 5, 1e18, {{0, 1, 2}, {2, 3, 4}})
+          .ok());
+  // Gap (row 4 missing).
+  EXPECT_FALSE(
+      MakePartitioningFromGroups(t, {"x"}, 5, 1e18, {{0, 1}, {2, 3}}).ok());
+  // Out of range.
+  EXPECT_FALSE(
+      MakePartitioningFromGroups(t, {"x"}, 5, 1e18, {{0, 1, 2, 3, 4, 99}})
+          .ok());
+  // Empty group.
+  EXPECT_FALSE(
+      MakePartitioningFromGroups(t, {"x"}, 5, 1e18, {{0, 1, 2, 3, 4}, {}})
+          .ok());
+}
+
+}  // namespace
+}  // namespace paql::partition

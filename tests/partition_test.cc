@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+
+namespace paql::partition {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+Table MakeClusteredTable(int per_cluster, int clusters, uint64_t seed) {
+  Table t{Schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}})};
+  Rng rng(seed);
+  for (int c = 0; c < clusters; ++c) {
+    double cx = 100.0 * c, cy = -50.0 * c;
+    for (int i = 0; i < per_cluster; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value(cx + rng.Uniform(-1, 1)),
+                               Value(cy + rng.Uniform(-1, 1))})
+                      .ok());
+    }
+  }
+  return t;
+}
+
+/// Invariant battery every partitioning must satisfy.
+void CheckInvariants(const Table& table, const Partitioning& p,
+                     bool check_radius) {
+  // Every row in exactly one group; gids dense and consistent.
+  ASSERT_EQ(p.gid.size(), table.num_rows());
+  std::vector<int> seen(table.num_rows(), 0);
+  for (size_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_LE(p.groups[g].size(), p.size_threshold);
+    for (RowId r : p.groups[g]) {
+      EXPECT_EQ(p.gid[r], g);
+      seen[r]++;
+    }
+  }
+  for (RowId r = 0; r < table.num_rows(); ++r) EXPECT_EQ(seen[r], 1);
+  // Representatives: one per group, trailing gid column matches.
+  ASSERT_EQ(p.representatives.num_rows(), p.num_groups());
+  size_t gid_col = p.representatives.num_columns() - 1;
+  EXPECT_EQ(p.representatives.schema().column(gid_col).name, "gid");
+  for (size_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_EQ(p.representatives.GetInt64(static_cast<RowId>(g), gid_col),
+              static_cast<int64_t>(g));
+  }
+  // Radii within limit, and representatives are the group centroids.
+  for (size_t g = 0; g < p.num_groups(); ++g) {
+    if (check_radius) {
+      EXPECT_LE(p.radius[g], p.radius_limit + 1e-9);
+    }
+    for (size_t k = 0; k < p.attributes.size(); ++k) {
+      auto col = table.schema().FindColumn(p.attributes[k]);
+      ASSERT_TRUE(col.has_value());
+      double sum = 0;
+      for (RowId r : p.groups[g]) sum += table.GetDouble(r, *col);
+      double mean = sum / static_cast<double>(p.groups[g].size());
+      auto rep_col = p.representatives.schema().FindColumn(p.attributes[k]);
+      ASSERT_TRUE(rep_col.has_value());
+      EXPECT_NEAR(p.representatives.GetDouble(static_cast<RowId>(g), *rep_col),
+                  mean, 1e-9);
+      // Recomputed radius must match the stored one.
+      double radius = 0;
+      for (RowId r : p.groups[g]) {
+        radius = std::max(radius,
+                          std::abs(table.GetDouble(r, *col) - mean));
+      }
+      EXPECT_LE(radius, p.radius[g] + 1e-9);
+    }
+  }
+}
+
+TEST(PartitionerTest, SizeThresholdRespected) {
+  Table t = MakeClusteredTable(50, 4, 1);
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = 30;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckInvariants(t, *p, /*check_radius=*/false);
+  EXPECT_GE(p->num_groups(), 200u / 30u);
+}
+
+TEST(PartitionerTest, NaturalClustersSeparateUnderRadiusLimit) {
+  Table t = MakeClusteredTable(40, 3, 2);
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = 120;
+  // Clusters are 100 apart with intra-cluster radius ~1; a radius limit of
+  // 10 forces any group spanning two clusters to keep splitting until the
+  // groups are cluster-pure.
+  options.radius_limit = 10.0;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  CheckInvariants(t, *p, /*check_radius=*/true);
+  for (size_t g = 0; g < p->num_groups(); ++g) {
+    int cluster = p->groups[g].front() / 40;
+    for (RowId r : p->groups[g]) {
+      EXPECT_EQ(static_cast<int>(r / 40), cluster);
+    }
+  }
+}
+
+TEST(PartitionerTest, RadiusLimitRespected) {
+  Table t = MakeClusteredTable(64, 2, 3);
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = 1000;  // size never binds
+  options.radius_limit = 0.5;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  CheckInvariants(t, *p, /*check_radius=*/true);
+  EXPECT_GT(p->num_groups(), 2u);  // clusters had radius ~1, must split
+}
+
+TEST(PartitionerTest, SingleAttributePartitioning) {
+  Table t = MakeClusteredTable(30, 3, 4);
+  PartitionOptions options;
+  options.attributes = {"x"};
+  options.size_threshold = 10;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  CheckInvariants(t, *p, false);
+}
+
+TEST(PartitionerTest, IdenticalTuplesChunkedBySize) {
+  Table t{Schema({{"x", DataType::kDouble}})};
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(t.AppendRow({Value(7.0)}).ok());
+  PartitionOptions options;
+  options.attributes = {"x"};
+  options.size_threshold = 10;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  CheckInvariants(t, *p, true);
+  EXPECT_EQ(p->num_groups(), 3u);  // 10 + 10 + 5
+  for (size_t g = 0; g < p->num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(p->radius[g], 0.0);
+  }
+}
+
+TEST(PartitionerTest, StringColumnsBecomeNullRepresentatives) {
+  Table t{Schema({{"x", DataType::kDouble}, {"tag", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value(1.0), Value("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2.0), Value("b")}).ok());
+  PartitionOptions options;
+  options.attributes = {"x"};
+  options.size_threshold = 10;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  auto tag_col = p->representatives.schema().FindColumn("tag");
+  ASSERT_TRUE(tag_col.has_value());
+  EXPECT_TRUE(p->representatives.IsNull(0, *tag_col));
+}
+
+TEST(PartitionerTest, RejectsBadOptions) {
+  Table t = MakeClusteredTable(5, 1, 5);
+  PartitionOptions options;
+  options.attributes = {"x"};
+  options.size_threshold = 0;
+  EXPECT_FALSE(PartitionTable(t, options).ok());
+  options.size_threshold = 5;
+  options.attributes = {};
+  EXPECT_FALSE(PartitionTable(t, options).ok());
+  options.attributes = {"nope"};
+  EXPECT_FALSE(PartitionTable(t, options).ok());
+}
+
+TEST(PartitionerTest, RejectsStringAttribute) {
+  Table t{Schema({{"s", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  PartitionOptions options;
+  options.attributes = {"s"};
+  options.size_threshold = 1;
+  EXPECT_FALSE(PartitionTable(t, options).ok());
+}
+
+TEST(ShrinkTest, SubsetKeepsInvariants) {
+  Table t = MakeClusteredTable(40, 3, 6);
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = 25;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+
+  // Keep every other row.
+  std::vector<RowId> subset;
+  for (RowId r = 0; r < t.num_rows(); r += 2) subset.push_back(r);
+  auto shrunk = ShrinkToSubset(t, *p, subset);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status();
+  Table sub = t.SelectRows(subset);
+  CheckInvariants(sub, *shrunk, false);
+  // The size condition is preserved by dropping rows (paper Section 5.2.1).
+  EXPECT_LE(shrunk->max_group_size(), p->size_threshold);
+}
+
+TEST(ShrinkTest, EmptiedGroupsAreDropped) {
+  Table t = MakeClusteredTable(10, 2, 7);
+  PartitionOptions options;
+  options.attributes = {"x"};
+  options.size_threshold = 10;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  ASSERT_GE(p->num_groups(), 2u);
+  // Keep only rows from the first natural cluster.
+  std::vector<RowId> subset;
+  for (RowId r = 0; r < 10; ++r) subset.push_back(r);
+  auto shrunk = ShrinkToSubset(t, *p, subset);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_LT(shrunk->num_groups(), p->num_groups());
+}
+
+TEST(RadiusForEpsilonTest, FormulaAndValidation) {
+  Table t{Schema({{"x", DataType::kDouble}})};
+  ASSERT_TRUE(t.AppendRow({Value(5.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(10.0)}).ok());
+  auto w_max = RadiusLimitForEpsilon(t, {"x"}, 0.5, /*maximize=*/true);
+  ASSERT_TRUE(w_max.ok());
+  EXPECT_NEAR(*w_max, 0.5 * 5.0, 1e-12);
+  auto w_min = RadiusLimitForEpsilon(t, {"x"}, 0.5, /*maximize=*/false);
+  ASSERT_TRUE(w_min.ok());
+  EXPECT_NEAR(*w_min, (0.5 / 1.5) * 5.0, 1e-12);
+  EXPECT_FALSE(RadiusLimitForEpsilon(t, {"x"}, -1, true).ok());
+  EXPECT_FALSE(RadiusLimitForEpsilon(t, {"x"}, 1.0, true).ok());
+  EXPECT_TRUE(RadiusLimitForEpsilon(t, {"x"}, 1.0, false).ok());
+}
+
+TEST(PersistenceTest, SaveLoadRoundTrip) {
+  Table t = MakeClusteredTable(20, 2, 8);
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = 15;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok());
+  std::string prefix =
+      (std::filesystem::temp_directory_path() / "paql_part_test").string();
+  ASSERT_TRUE(SavePartitioning(*p, prefix).ok());
+  auto loaded = LoadPartitioning(t, prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_groups(), p->num_groups());
+  EXPECT_EQ(loaded->gid, p->gid);
+  EXPECT_EQ(loaded->representatives.num_rows(), p->representatives.num_rows());
+  std::remove((prefix + ".gid.csv").c_str());
+  std::remove((prefix + ".reps.csv").c_str());
+}
+
+// Property sweep: random tables, varying tau, with and without radius.
+struct SweepParam {
+  uint64_t seed;
+  size_t tau;
+  bool use_radius;
+};
+
+class PartitionSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionSweepTest, InvariantsHold) {
+  auto [seed, tau] = GetParam();
+  Table t = MakeClusteredTable(35, 4, static_cast<uint64_t>(seed));
+  PartitionOptions options;
+  options.attributes = {"x", "y"};
+  options.size_threshold = static_cast<size_t>(tau);
+  options.radius_limit = (seed % 2 == 0)
+                             ? std::numeric_limits<double>::infinity()
+                             : 25.0;
+  auto p = PartitionTable(t, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  CheckInvariants(t, *p, !std::isinf(options.radius_limit));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(5, 17, 60,
+                                                              200)));
+
+}  // namespace
+}  // namespace paql::partition

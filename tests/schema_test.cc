@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "relation/schema.h"
+
+namespace paql::relation {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"kcal", DataType::kDouble},
+                 {"gluten", DataType::kString}});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column(1).name, "kcal");
+  EXPECT_EQ(s.column(1).type, DataType::kDouble);
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.FindColumn("KCAL").value_or(99), 1u);
+  EXPECT_EQ(s.FindColumn("Gluten").value_or(99), 2u);
+  EXPECT_FALSE(s.FindColumn("fat").has_value());
+}
+
+TEST(SchemaTest, ResolveColumnErrorNamesAttribute) {
+  Schema s = MakeSchema();
+  auto r = s.ResolveColumn("fat");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("fat"), std::string::npos);
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicate) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.AddColumn({"fat", DataType::kDouble}).ok());
+  EXPECT_EQ(s.num_columns(), 4u);
+  auto dup = s.AddColumn({"KCAL", DataType::kDouble});
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EqualityIgnoresNameCase) {
+  Schema a({{"x", DataType::kDouble}});
+  Schema b({{"X", DataType::kDouble}});
+  Schema c({{"x", DataType::kInt64}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(MakeSchema().ToString(),
+            "id INT64, kcal DOUBLE, gluten STRING");
+}
+
+TEST(SchemaTest, ColumnNamesInOrder) {
+  auto names = MakeSchema().ColumnNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "id");
+  EXPECT_EQ(names[2], "gluten");
+}
+
+}  // namespace
+}  // namespace paql::relation

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "relation/table.h"
+
+namespace paql::relation {
+namespace {
+
+Table MakeRecipes() {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"kcal", DataType::kDouble},
+                  {"gluten", DataType::kString}})};
+  EXPECT_TRUE(t.AppendRow({Value(1), Value(0.6), Value("free")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(2), Value(0.9), Value("full")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value(1.1), Value("free")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(4), Value::Null(), Value("free")}).ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t = MakeRecipes();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.GetInt64(0, 0), 1);
+  EXPECT_DOUBLE_EQ(t.GetDouble(1, 1), 0.9);
+  EXPECT_EQ(t.GetString(2, 2), "free");
+}
+
+TEST(TableTest, NullTracking) {
+  Table t = MakeRecipes();
+  EXPECT_FALSE(t.IsNull(0, 1));
+  EXPECT_TRUE(t.IsNull(3, 1));
+  EXPECT_TRUE(t.GetValue(3, 1).is_null());
+}
+
+TEST(TableTest, AppendRowValidatesArity) {
+  Table t = MakeRecipes();
+  auto s = t.AppendRow({Value(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendRowValidatesTypes) {
+  Table t = MakeRecipes();
+  auto s = t.AppendRow({Value(1), Value(0.5), Value(3.0)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Numeric coercion is allowed: double into INT64 column.
+  EXPECT_TRUE(t.AppendRow({Value(9.0), Value(1), Value("x")}).ok());
+  EXPECT_EQ(t.GetInt64(t.num_rows() - 1, 0), 9);
+}
+
+TEST(TableTest, GetDoubleCoercesIntColumn) {
+  Table t = MakeRecipes();
+  EXPECT_DOUBLE_EQ(t.GetDouble(1, 0), 2.0);
+}
+
+TEST(TableTest, SetValue) {
+  Table t = MakeRecipes();
+  t.SetValue(0, 1, Value(5.5));
+  EXPECT_DOUBLE_EQ(t.GetDouble(0, 1), 5.5);
+  t.SetValue(3, 1, Value(2.2));  // overwrite a NULL
+  EXPECT_FALSE(t.IsNull(3, 1));
+  EXPECT_DOUBLE_EQ(t.GetDouble(3, 1), 2.2);
+}
+
+TEST(TableTest, FilterRows) {
+  Table t = MakeRecipes();
+  auto rows = t.FilterRows([](const Table& tab, RowId r) {
+    return tab.GetString(r, 2) == "free";
+  });
+  EXPECT_EQ(rows, (std::vector<RowId>{0, 2, 3}));
+}
+
+TEST(TableTest, SelectRowsPreservesValuesAndNulls) {
+  Table t = MakeRecipes();
+  Table sel = t.SelectRows({3, 0});
+  ASSERT_EQ(sel.num_rows(), 2u);
+  EXPECT_TRUE(sel.IsNull(0, 1));
+  EXPECT_EQ(sel.GetInt64(1, 0), 1);
+}
+
+TEST(TableTest, ProjectColumns) {
+  Table t = MakeRecipes();
+  auto proj = t.ProjectColumns({"kcal", "id"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 2u);
+  EXPECT_EQ(proj->schema().column(0).name, "kcal");
+  EXPECT_DOUBLE_EQ(proj->GetDouble(0, 0), 0.6);
+  EXPECT_EQ(proj->GetInt64(0, 1), 1);
+}
+
+TEST(TableTest, ProjectUnknownColumnFails) {
+  Table t = MakeRecipes();
+  auto proj = t.ProjectColumns({"nope"});
+  EXPECT_FALSE(proj.ok());
+  EXPECT_EQ(proj.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, AddColumnFills) {
+  Table t = MakeRecipes();
+  auto idx = t.AddColumn({"gid", DataType::kInt64}, Value(-1));
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3u);
+  for (RowId r = 0; r < t.num_rows(); ++r) EXPECT_EQ(t.GetInt64(r, 3), -1);
+  // New rows must now provide the column too.
+  EXPECT_TRUE(
+      t.AppendRow({Value(5), Value(1.0), Value("x"), Value(2)}).ok());
+  EXPECT_EQ(t.GetInt64(4, 3), 2);
+}
+
+TEST(TableTest, NonNullRows) {
+  Table t = MakeRecipes();
+  auto rows = t.NonNullRows({1});
+  EXPECT_EQ(rows, (std::vector<RowId>{0, 1, 2}));
+  EXPECT_EQ(t.NonNullRows({0, 2}).size(), 4u);
+}
+
+TEST(TableTest, ApproximateBytesGrows) {
+  Table t = MakeRecipes();
+  size_t before = t.ApproximateBytes();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value(i), Value(1.0 * i), Value("filler")}).ok());
+  }
+  EXPECT_GT(t.ApproximateBytes(), before);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeRecipes();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("... 2 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paql::relation

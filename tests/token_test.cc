@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "paql/token.h"
+
+namespace paql::lang {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view text) {
+  auto r = Tokenize(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(TokenTest, KeywordsAreCaseInsensitive) {
+  auto toks = MustTokenize("select SELECT SeLeCt");
+  ASSERT_EQ(toks.size(), 4u);  // 3 + end
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(toks[i].type, TokenType::kSelect);
+}
+
+TEST(TokenTest, IdentifiersKeepCase) {
+  auto toks = MustTokenize("Recipes saturated_fat _x1");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "Recipes");
+  EXPECT_EQ(toks[1].text, "saturated_fat");
+  EXPECT_EQ(toks[2].text, "_x1");
+}
+
+TEST(TokenTest, Numbers) {
+  auto toks = MustTokenize("3 2.5 1e3 4.5E-2 .25");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 3.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].number, 0.045);
+  EXPECT_DOUBLE_EQ(toks[4].number, 0.25);
+}
+
+TEST(TokenTest, StringsWithEscapedQuote) {
+  auto toks = MustTokenize("'free' 'it''s'");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "free");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(TokenTest, UnterminatedStringFails) {
+  auto r = Tokenize("'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(TokenTest, Operators) {
+  auto toks = MustTokenize("= <> != < <= > >= + - * / ( ) , . ;");
+  std::vector<TokenType> expected{
+      TokenType::kEq, TokenType::kNe,     TokenType::kNe,
+      TokenType::kLt, TokenType::kLe,     TokenType::kGt,
+      TokenType::kGe, TokenType::kPlus,   TokenType::kMinus,
+      TokenType::kStar, TokenType::kSlash, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma, TokenType::kDot,
+      TokenType::kSemicolon, TokenType::kEnd};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(TokenTest, LineComments) {
+  auto toks = MustTokenize("a -- comment with select\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2u);
+}
+
+TEST(TokenTest, TracksLineAndColumn) {
+  auto toks = MustTokenize("a\n  bc");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].column, 3u);
+}
+
+TEST(TokenTest, RejectsUnknownCharacter) {
+  auto r = Tokenize("a @ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("@"), std::string::npos);
+}
+
+TEST(TokenTest, AggregateKeywords) {
+  auto toks = MustTokenize("count sum avg min max between and or not is null");
+  std::vector<TokenType> expected{
+      TokenType::kCount, TokenType::kSum,  TokenType::kAvg,
+      TokenType::kMin,   TokenType::kMax,  TokenType::kBetween,
+      TokenType::kAnd,   TokenType::kOr,   TokenType::kNot,
+      TokenType::kIs,    TokenType::kNull, TokenType::kEnd};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(TokenTest, DescribeMentionsText) {
+  auto toks = MustTokenize("foo");
+  EXPECT_NE(toks[0].Describe().find("foo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paql::lang

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "paql/parser.h"
+#include "paql/validator.h"
+
+namespace paql::lang {
+namespace {
+
+relation::Schema MakeSchema() {
+  return relation::Schema({{"id", relation::DataType::kInt64},
+                           {"kcal", relation::DataType::kDouble},
+                           {"fat", relation::DataType::kDouble},
+                           {"gluten", relation::DataType::kString}});
+}
+
+Status ValidateText(const std::string& text) {
+  auto q = ParsePackageQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  if (!q.ok()) return q.status();
+  return ValidateQuery(*q, MakeSchema());
+}
+
+TEST(ValidatorTest, AcceptsMealPlannerStyleQuery) {
+  EXPECT_TRUE(ValidateText(R"(
+      SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0
+      WHERE R.gluten = 'free'
+      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5
+      MINIMIZE SUM(P.fat))")
+                  .ok());
+}
+
+TEST(ValidatorTest, UnknownWhereColumn) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R WHERE R.nope = 1");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(ValidatorTest, UnknownQualifier) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R WHERE Z.kcal = 1");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, PackageQualifierAllowedInSuchThat) {
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT SUM(P.kcal) <= 5")
+                  .ok());
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT SUM(kcal) <= 5")
+                  .ok());
+}
+
+TEST(ValidatorTest, StringComparisonOnlyEquality) {
+  EXPECT_TRUE(
+      ValidateText("SELECT PACKAGE(R) AS P FROM T R WHERE gluten = 'x'").ok());
+  EXPECT_TRUE(
+      ValidateText("SELECT PACKAGE(R) AS P FROM T R WHERE gluten <> 'x'")
+          .ok());
+  auto s = ValidateText("SELECT PACKAGE(R) AS P FROM T R WHERE gluten < 'x'");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, MixedTypeComparisonRejected) {
+  auto s = ValidateText("SELECT PACKAGE(R) AS P FROM T R WHERE gluten = 3");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, StringArithmeticRejected) {
+  auto s =
+      ValidateText("SELECT PACKAGE(R) AS P FROM T R WHERE gluten + 1 = 2");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, AggregateOverStringRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT SUM(P.gluten) <= 5");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, MinMaxComparisonsAccepted) {
+  // Bare MIN/MAX against a constant rewrites to threshold-count rows.
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MIN(P.kcal) >= 1")
+                  .ok());
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MAX(P.kcal) <= 9")
+                  .ok());
+  EXPECT_TRUE(ValidateText("SELECT PACKAGE(R) AS P FROM T R "
+                           "SUCH THAT MIN(P.kcal) BETWEEN 1 AND 2")
+                  .ok());
+}
+
+TEST(ValidatorTest, MinMaxOutsideComparisonsRejected) {
+  // In the objective or inside arithmetic there is no linear translation.
+  auto s = ValidateText("SELECT PACKAGE(R) AS P FROM T R MAXIMIZE MAX(P.kcal)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MIN(P.kcal) + 1 >= 2");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MIN(P.kcal) >= MAX(P.fat)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MIN(P.kcal) >= COUNT(P.*)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, MinMaxStringArgumentRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT MIN(P.gluten) >= 1");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorTest, AvgAloneIsLinearizable) {
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT AVG(P.kcal) <= 2")
+                  .ok());
+  EXPECT_TRUE(
+      ValidateText("SELECT PACKAGE(R) AS P FROM T R "
+                   "SUCH THAT AVG(P.kcal) BETWEEN 1 AND 2")
+          .ok());
+}
+
+TEST(ValidatorTest, AvgInsideArithmeticRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT AVG(P.kcal) + 1 <= 2");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, AvgVsAggregateRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT AVG(P.kcal) <= SUM(P.fat)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, AvgBothSidesRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT AVG(P.kcal) <= AVG(P.fat)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, AvgObjectiveRejected) {
+  auto s =
+      ValidateText("SELECT PACKAGE(R) AS P FROM T R MINIMIZE AVG(P.kcal)");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, ProductOfAggregatesRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT SUM(P.kcal) * SUM(P.fat) <= 5");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, ConstantTimesAggregateAllowed) {
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R "
+                  "SUCH THAT 2 * SUM(P.kcal) + COUNT(P.*) <= 5")
+                  .ok());
+}
+
+TEST(ValidatorTest, DivisionByAggregateRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT 1 / COUNT(P.*) <= 5");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, NotEqualOnCountsAccepted) {
+  // '<>' over integer-valued (COUNT-based) expressions expands exactly to
+  // an OR of strict comparisons.
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R SUCH THAT COUNT(P.*) <> 3")
+                  .ok());
+}
+
+TEST(ValidatorTest, NotEqualOnContinuousRejected) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT SUM(P.kcal) <> 3");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, GlobalNotAccepted) {
+  EXPECT_TRUE(
+      ValidateText(
+          "SELECT PACKAGE(R) AS P FROM T R SUCH THAT NOT COUNT(P.*) = 3")
+          .ok());
+  EXPECT_TRUE(ValidateText("SELECT PACKAGE(R) AS P FROM T R SUCH THAT NOT "
+                           "(COUNT(P.*) = 3 AND SUM(P.kcal) <= 5)")
+                  .ok());
+}
+
+TEST(ValidatorTest, GlobalNotRespectsOrOption) {
+  // NOT expands through De Morgan into OR, so it is gated on the same
+  // option as OR.
+  auto q = ParsePackageQuery(
+      "SELECT PACKAGE(R) AS P FROM T R SUCH THAT NOT COUNT(P.*) = 3");
+  ASSERT_TRUE(q.ok());
+  ValidateOptions no_or;
+  no_or.allow_global_or = false;
+  auto s = ValidateQuery(*q, MakeSchema(), no_or);
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, GlobalOrRespectsOptions) {
+  auto q = ParsePackageQuery(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT SUM(P.kcal) <= 1 OR SUM(P.fat) >= 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(ValidateQuery(*q, MakeSchema()).ok());
+  ValidateOptions no_or;
+  no_or.allow_global_or = false;
+  EXPECT_EQ(ValidateQuery(*q, MakeSchema(), no_or).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, SubqueryFilterColumnsResolve) {
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R "
+                  "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.kcal > 0) >= 1")
+                  .ok());
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT (SELECT COUNT(*) FROM P WHERE P.nope > 0) >= 1");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ValidatorTest, BetweenBoundsMustBeConstant) {
+  auto s = ValidateText(
+      "SELECT PACKAGE(R) AS P FROM T R "
+      "SUCH THAT SUM(P.kcal) BETWEEN COUNT(P.*) AND 5");
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ValidatorTest, LinearAggArithmeticInArgAllowed) {
+  EXPECT_TRUE(ValidateText(
+                  "SELECT PACKAGE(R) AS P FROM T R "
+                  "SUCH THAT SUM(P.kcal * 2 + P.fat) <= 5")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace paql::lang

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "relation/value.h"
+
+namespace paql::relation {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Int64Conversions) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.0);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, IntLiteralPromotes) {
+  Value v(7);  // int constructor
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, DoubleConversions) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+  EXPECT_EQ(v.AsInt64(), 2);  // truncation
+}
+
+TEST(ValueTest, StringAccess) {
+  Value v("free");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "free");
+  EXPECT_EQ(v.ToString(), "'free'");
+}
+
+TEST(ValueTest, SqlEqualitySemantics) {
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));  // NULL != NULL
+  EXPECT_FALSE(Value(1).Equals(Value::Null()));
+  EXPECT_TRUE(Value(1).Equals(Value(1.0)));  // cross-type numeric
+  EXPECT_TRUE(Value("a").Equals(Value("a")));
+  EXPECT_FALSE(Value("a").Equals(Value("b")));
+  EXPECT_FALSE(Value("1").Equals(Value(1)));  // no string/number coercion
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace paql::relation

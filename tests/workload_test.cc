@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "core/direct.h"
+#include "core/package.h"
+#include "core/sketch_refine.h"
+#include "paql/parser.h"
+#include "paql/validator.h"
+#include "partition/partitioner.h"
+#include "workload/galaxy.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace paql::workload {
+namespace {
+
+using relation::RowId;
+using relation::Table;
+
+TEST(GalaxyTest, SchemaAndDeterminism) {
+  Table a = MakeGalaxyTable(100, 5);
+  Table b = MakeGalaxyTable(100, 5);
+  Table c = MakeGalaxyTable(100, 6);
+  EXPECT_EQ(a.num_rows(), 100u);
+  EXPECT_EQ(a.num_columns(), 1 + GalaxyNumericAttributes().size());
+  // Deterministic per seed.
+  EXPECT_DOUBLE_EQ(a.GetDouble(42, 5), b.GetDouble(42, 5));
+  EXPECT_NE(a.GetDouble(42, 5), c.GetDouble(42, 5));
+}
+
+TEST(GalaxyTest, AttributesResolveAndAreNumeric) {
+  Table t = MakeGalaxyTable(10, 1);
+  for (const auto& name : GalaxyNumericAttributes()) {
+    auto col = t.schema().FindColumn(name);
+    ASSERT_TRUE(col.has_value()) << name;
+    EXPECT_NE(t.schema().column(*col).type, relation::DataType::kString);
+  }
+}
+
+TEST(GalaxyTest, PositiveHeavyTailedFlux) {
+  Table t = MakeGalaxyTable(2000, 2);
+  size_t flux = *t.schema().FindColumn("petroFlux_r");
+  double max_v = 0, sum = 0;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    double v = t.GetDouble(r, flux);
+    EXPECT_GT(v, 0);
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  double mean = sum / 2000;
+  EXPECT_GT(max_v, 5 * mean);  // heavy tail
+}
+
+TEST(TpchTest, NullPatternTracksFigure3) {
+  const size_t kN = 40000;
+  Table t = MakeTpchTable(kN, 3);
+  auto frac_nonnull = [&](const std::vector<std::string>& attrs) {
+    std::vector<size_t> cols;
+    for (const auto& a : attrs) cols.push_back(*t.schema().FindColumn(a));
+    return static_cast<double>(t.NonNullRows(cols).size()) /
+           static_cast<double>(kN);
+  };
+  // Lineitem family ~ 11.8/17.5; lineitem+orders ~ 6/17.5; psc ~ 0.24/17.5.
+  EXPECT_NEAR(frac_nonnull({"l_quantity"}), 11.8 / 17.5, 0.02);
+  EXPECT_NEAR(frac_nonnull({"l_quantity", "o_totalprice"}), 6.0 / 17.5, 0.02);
+  EXPECT_NEAR(frac_nonnull({"p_size", "s_acctbal"}), 0.24 / 17.5, 0.01);
+}
+
+TEST(TpchTest, ValueRangesFollowSpec) {
+  Table t = MakeTpchTable(5000, 4);
+  size_t qty = *t.schema().FindColumn("l_quantity");
+  size_t disc = *t.schema().FindColumn("l_discount");
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (t.IsNull(r, qty)) continue;
+    EXPECT_GE(t.GetDouble(r, qty), 1.0);
+    EXPECT_LE(t.GetDouble(r, qty), 50.0);
+    EXPECT_GE(t.GetDouble(r, disc), 0.0);
+    EXPECT_LE(t.GetDouble(r, disc), 0.10 + 1e-12);
+  }
+}
+
+TEST(QueriesTest, GalaxyQueriesParseValidateAndSolve) {
+  Table t = MakeGalaxyTable(3000, 10);
+  auto queries = MakeGalaxyQueries(t);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 7u);
+  core::DirectEvaluator direct(t);
+  for (const auto& bq : *queries) {
+    SCOPED_TRACE(bq.name);
+    auto parsed = lang::ParsePackageQuery(bq.paql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << bq.paql;
+    EXPECT_TRUE(lang::ValidateQuery(*parsed, t.schema()).ok());
+    // Attributes listed must appear in the query text.
+    for (const auto& attr : bq.attributes) {
+      EXPECT_NE(bq.paql.find(attr), std::string::npos) << attr;
+    }
+    // The easy queries must actually be solvable end to end.
+    if (bq.hardness == Hardness::kEasy) {
+      auto cq = translate::CompiledQuery::Compile(*parsed, t.schema());
+      ASSERT_TRUE(cq.ok());
+      auto r = direct.Evaluate(*cq);
+      ASSERT_TRUE(r.ok()) << bq.name << ": " << r.status();
+      EXPECT_TRUE(core::ValidatePackage(*cq, t, r->package).ok());
+    }
+  }
+}
+
+TEST(QueriesTest, TpchQueriesParseValidateAndSolve) {
+  Table t = MakeTpchTable(20000, 11);
+  auto queries = MakeTpchQueries(t);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 7u);
+  for (const auto& bq : *queries) {
+    SCOPED_TRACE(bq.name);
+    auto parsed = lang::ParsePackageQuery(bq.paql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << bq.paql;
+    EXPECT_TRUE(lang::ValidateQuery(*parsed, t.schema()).ok());
+    auto cq = translate::CompiledQuery::Compile(*parsed, t.schema());
+    ASSERT_TRUE(cq.ok());
+    // Evaluate over the non-NULL subset for this query's attributes (the
+    // paper's per-query table extraction).
+    std::vector<size_t> cols;
+    for (const auto& a : bq.attributes) {
+      cols.push_back(*t.schema().FindColumn(a));
+    }
+    auto rows = t.NonNullRows(cols);
+    EXPECT_GT(rows.size(), 10u);
+    Table sub = t.SelectRows(rows);
+    core::DirectEvaluator direct(sub);
+    auto r = direct.Evaluate(*cq);
+    ASSERT_TRUE(r.ok()) << bq.name << ": " << r.status();
+    EXPECT_TRUE(core::ValidatePackage(*cq, sub, r->package).ok());
+  }
+}
+
+TEST(QueriesTest, WorkloadAttributesUnion) {
+  Table t = MakeGalaxyTable(500, 12);
+  auto queries = MakeGalaxyQueries(t);
+  ASSERT_TRUE(queries.ok());
+  auto attrs = WorkloadAttributes(*queries);
+  // No duplicates.
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      EXPECT_FALSE(EqualsIgnoreCase(attrs[i], attrs[j]));
+    }
+  }
+  // Every query attribute is covered.
+  for (const auto& q : *queries) {
+    for (const auto& a : q.attributes) {
+      bool found = false;
+      for (const auto& w : attrs) found = found || EqualsIgnoreCase(w, a);
+      EXPECT_TRUE(found) << a;
+    }
+  }
+}
+
+TEST(QueriesTest, BoundsScaleWithData) {
+  // The synthesis recipe ties bounds to column means, so queries remain
+  // feasible across dataset scales.
+  for (size_t n : {1000u, 5000u}) {
+    Table t = MakeGalaxyTable(n, 13);
+    auto queries = MakeGalaxyQueries(t);
+    ASSERT_TRUE(queries.ok());
+    core::DirectEvaluator direct(t);
+    auto parsed = lang::ParsePackageQuery((*queries)[0].paql);  // Q1, easy
+    ASSERT_TRUE(parsed.ok());
+    auto cq = translate::CompiledQuery::Compile(*parsed, t.schema());
+    ASSERT_TRUE(cq.ok());
+    auto r = direct.Evaluate(*cq);
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+}
+
+TEST(QueriesTest, SketchRefineHandlesWorkloadQueries) {
+  Table t = MakeGalaxyTable(4000, 14);
+  auto queries = MakeGalaxyQueries(t);
+  ASSERT_TRUE(queries.ok());
+  partition::PartitionOptions popts;
+  popts.attributes = WorkloadAttributes(*queries);
+  popts.size_threshold = t.num_rows() / 10;
+  auto part = partition::PartitionTable(t, popts);
+  ASSERT_TRUE(part.ok()) << part.status();
+  core::SketchRefineEvaluator sr(t, *part);
+  for (const auto& bq : *queries) {
+    if (bq.hardness != Hardness::kEasy) continue;
+    SCOPED_TRACE(bq.name);
+    auto parsed = lang::ParsePackageQuery(bq.paql);
+    ASSERT_TRUE(parsed.ok());
+    auto cq = translate::CompiledQuery::Compile(*parsed, t.schema());
+    ASSERT_TRUE(cq.ok());
+    auto r = sr.Evaluate(*cq);
+    ASSERT_TRUE(r.ok()) << bq.name << ": " << r.status();
+    EXPECT_TRUE(core::ValidatePackage(*cq, t, r->package).ok());
+  }
+}
+
+}  // namespace
+}  // namespace paql::workload
