@@ -86,7 +86,7 @@ int Run(int argc, char** argv) {
   // seed the incremental path.
   translate::CompiledQuery query = MustCompileBench(queries->front(), table);
   core::SketchRefineOptions sropts;
-  sropts.subproblem_limits = limits;
+  sropts.limits = limits;
   sropts.branch_and_bound.gap_tol = kCplexDefaultGap;
   core::SketchRefineEvaluator seed(table, partitioning, sropts);
   auto current = seed.Evaluate(query);

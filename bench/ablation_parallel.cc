@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
       core::ParallelOptions par;
       par.mode = mode;
       par.num_threads = threads;
-      par.sketch_refine.subproblem_limits = limits;
+      par.sketch_refine.limits = limits;
       par.sketch_refine.branch_and_bound.gap_tol = kCplexDefaultGap;
       core::ParallelSketchRefineEvaluator evaluator(galaxy, *partitioning,
                                                     par);

@@ -23,6 +23,7 @@
 #include "common/table_printer.h"
 #include "core/direct.h"
 #include "core/sketch_refine.h"
+#include "engine/engine.h"
 #include "ilp/solver_limits.h"
 #include "paql/parser.h"
 #include "partition/partitioner.h"
@@ -138,7 +139,7 @@ inline RunCell RunSketchRefine(const relation::Table& table,
                                const translate::CompiledQuery& query,
                                const ilp::SolverLimits& limits) {
   core::SketchRefineOptions options;
-  options.subproblem_limits = limits;
+  options.limits = limits;
   options.branch_and_bound.gap_tol = kCplexDefaultGap;
   core::SketchRefineEvaluator sr(table, partitioning, options);
   Stopwatch watch;
@@ -147,6 +148,41 @@ inline RunCell RunSketchRefine(const relation::Table& table,
   cell.seconds = watch.ElapsedSeconds();
   if (r.ok()) {
     cell.ok = true;
+    cell.objective = r->objective;
+  } else if (r.status().IsResourceExhausted()) {
+    cell.resource_failure = true;
+  } else if (r.status().IsInfeasible()) {
+    cell.infeasible = true;
+  }
+  return cell;
+}
+
+/// Open an engine session over `table` — shared, not copied; the caller's
+/// table must outlive the session (always true in the benches, whose
+/// tables are function-scope locals) — with bench solver settings (the
+/// paper's CPLEX emulation budgets + default MIP gap).
+inline paql::Session OpenBenchSession(const relation::Table& table,
+                                      const ilp::SolverLimits& limits,
+                                      const std::string& name = "R") {
+  EngineOptions options;
+  options.exec.limits = limits;
+  options.exec.branch_and_bound.gap_tol = kCplexDefaultGap;
+  std::shared_ptr<const relation::Table> shared(
+      std::shared_ptr<const relation::Table>(), &table);  // non-owning alias
+  auto session = Engine::Open(std::move(shared), name, options);
+  PAQL_CHECK_MSG(session.ok(), session.status());
+  return std::move(*session);
+}
+
+/// Run one query through the engine facade and fold the outcome into a
+/// RunCell. Reported seconds cover evaluation only (the plan phase —
+/// partitioning build/lookup — is offline in the paper's methodology).
+inline RunCell RunViaEngine(paql::Session& session, const std::string& paql) {
+  auto r = session.Execute(paql);
+  RunCell cell;
+  if (r.ok()) {
+    cell.ok = true;
+    cell.seconds = r->timings.evaluate_seconds;
     cell.objective = r->objective;
   } else if (r.status().IsResourceExhausted()) {
     cell.resource_failure = true;

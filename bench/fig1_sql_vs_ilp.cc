@@ -17,6 +17,11 @@ void Run(const BenchConfig& config) {
   relation::Table galaxy = workload::MakeGalaxyTable(kTuples, /*seed=*/1);
   double mean_rad = *workload::ColumnMeanNonNull(galaxy, "petroRad_r");
 
+  // The ILP side goes through the engine facade; at 100 rows the planner
+  // picks DIRECT on its own.
+  paql::Session session =
+      OpenBenchSession(galaxy, ilp::SolverLimits::Unlimited(), "Galaxy");
+
   std::cout << "Figure 1: SQL self-join formulation vs ILP formulation\n"
             << "(" << kTuples << " SDSS-like tuples; naive budget "
             << (config.quick ? 2 : 10) << "s per cardinality)\n\n";
@@ -45,7 +50,7 @@ void Run(const BenchConfig& config) {
     auto naive_result = naive.Evaluate(*cq, c);
     double naive_seconds = naive_watch.ElapsedSeconds();
 
-    RunCell direct = RunDirect(galaxy, *cq, ilp::SolverLimits::Unlimited());
+    RunCell direct = RunViaEngine(session, paql);
 
     std::string naive_cell =
         naive_result.ok() ? FormatDouble(naive_seconds, 3)

@@ -4,7 +4,7 @@
 // motivating package workload: a student picks a set of courses subject to
 // global constraints (total credits, total workload) while maximizing
 // average rating. A real advisor UI should offer *alternatives*, not one
-// answer — this example uses EnumerateTopPackages to produce the three
+// answer — this example uses Session::ExecuteTopK to produce the three
 // best distinct schedules, each at least two course-swaps apart so they
 // are genuinely different options.
 //
@@ -12,11 +12,9 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/topk.h"
-#include "paql/parser.h"
+#include "engine/engine.h"
 
-using paql::core::EnumerateTopPackages;
-using paql::core::TopKOptions;
+using paql::Engine;
 using paql::relation::DataType;
 using paql::relation::RowId;
 using paql::relation::Schema;
@@ -58,18 +56,14 @@ int main() {
                 SUM(Schedule.workload_hours) <= 45 AND
                 COUNT(Schedule.*) <= 5
       MAXIMIZE SUM(Schedule.rating))";
-  auto query = paql::lang::ParsePackageQuery(kQuery);
-  if (!query.ok()) {
-    std::cerr << "parse error: " << query.status() << "\n";
-    return 1;
-  }
-  std::cout << "PaQL query:\n" << paql::lang::ToString(*query) << "\n\n";
 
   // --- 3. Enumerate the three best schedules, pairwise >= 2 swaps apart. ---
-  TopKOptions options;
-  options.k = 3;
-  options.min_difference = 2;
-  auto schedules = EnumerateTopPackages(courses, *query, options);
+  auto session = Engine::Open(std::move(courses), "Courses");
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
+  auto schedules = session->ExecuteTopK(kQuery, /*k=*/3, /*min_difference=*/2);
   if (!schedules.ok()) {
     std::cerr << "enumeration failed: " << schedules.status() << "\n";
     return 1;
@@ -78,7 +72,7 @@ int main() {
   for (size_t i = 0; i < schedules->size(); ++i) {
     const auto& schedule = (*schedules)[i];
     double credits = 0, hours = 0;
-    Table plan = schedule.package.Materialize(courses);
+    Table plan = schedule.Materialize();
     std::printf("Option %zu (total rating %.1f):\n", i + 1,
                 schedule.objective);
     for (RowId r = 0; r < plan.num_rows(); ++r) {

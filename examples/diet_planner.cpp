@@ -4,29 +4,23 @@
 //   * MIN/MAX package constraints — "no meal under 300 kcal" (MIN >= v) and
 //     "at least one light dessert" (MIN <= v over a filtered subquery);
 //   * NOT / '<>' — "not exactly two mains", via De Morgan push-down;
-//   * a ratio objective — MINIMIZE AVG(saturated_fat), solved exactly with
-//     Dinkelbach's parametric algorithm (core/ratio_objective.h);
-//   * EXPLAIN — the translated ILP shape before solving;
+//   * a ratio objective — MINIMIZE AVG(saturated_fat); the planner detects
+//     the AVG and routes to Dinkelbach's parametric algorithm on its own;
+//   * EXPLAIN — the plan plus the translated ILP shape before solving;
 //   * LP-format export — the same ILP, ready for an external solver.
+//
+// Everything goes through one paql::Session; no evaluator is named.
 //
 // Build & run:  cmake --build build && ./build/examples/diet_planner
 #include <iostream>
 
-#include "core/direct.h"
-#include "core/explain.h"
-#include "core/package.h"
-#include "core/ratio_objective.h"
-#include "lp/lp_format.h"
-#include "paql/parser.h"
-#include "translate/compiled_query.h"
+#include "engine/engine.h"
 
-using paql::core::DirectEvaluator;
-using paql::core::RatioObjectiveEvaluator;
+using paql::Engine;
 using paql::relation::DataType;
 using paql::relation::Schema;
 using paql::relation::Table;
 using paql::relation::Value;
-using paql::translate::CompiledQuery;
 
 namespace {
 
@@ -68,7 +62,11 @@ Table MakeMeals() {
 }  // namespace
 
 int main() {
-  Table meals = MakeMeals();
+  auto session = Engine::Open(MakeMeals(), "Meals");
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
+    return 1;
+  }
 
   // --- 1. A linear-objective plan with MIN/MAX and NOT constraints. ---
   // Four meals, 1,400-2,200 kcal total, every meal at least 200 kcal
@@ -84,60 +82,51 @@ int main() {
           AND NOT (SELECT COUNT(*) FROM P WHERE P.course = 'main') = 2
     MINIMIZE SUM(P.saturated_fat))";
 
-  auto query = paql::lang::ParsePackageQuery(kPlanQuery);
-  if (!query.ok()) {
-    std::cerr << query.status() << "\n";
+  auto explain = session->Explain(kPlanQuery);
+  if (!explain.ok()) {
+    std::cerr << explain.status() << "\n";
     return 1;
   }
-  auto compiled = CompiledQuery::Compile(*query, meals.schema());
-  if (!compiled.ok()) {
-    std::cerr << compiled.status() << "\n";
-    return 1;
-  }
-
-  std::cout << "=== EXPLAIN ===\n"
-            << paql::core::ExplainDirect(*compiled, meals) << "\n";
+  std::cout << "=== EXPLAIN ===\n" << *explain << "\n";
 
   std::cout << "=== LP export (feed this to CPLEX/CBC/SCIP/HiGHS) ===\n";
-  auto model = compiled->BuildModel(meals, compiled->ComputeBaseRows(meals));
-  if (model.ok()) paql::lp::WriteLpFormat(*model, std::cout);
+  auto dumped = session->DumpLp(kPlanQuery, std::cout);
+  if (!dumped.ok()) {
+    std::cerr << dumped << "\n";
+    return 1;
+  }
   std::cout << "\n";
 
-  DirectEvaluator direct(meals);
-  auto plan = direct.Evaluate(*compiled);
+  auto plan = session->Execute(kPlanQuery);
   if (!plan.ok()) {
     std::cerr << "evaluation failed: " << plan.status() << "\n";
     return 1;
   }
   std::cout << "=== Meal plan (total saturated fat " << plan->objective
             << "g) ===\n"
-            << plan->package.Materialize(meals).ToString(20) << "\n";
+            << plan->Materialize().ToString(20) << "\n";
 
   // --- 2. The same constraints with a ratio objective. ---
   // "Among all valid plans, make the *average* meal as lean as possible"
   // is MINIMIZE AVG(saturated_fat) — a ratio of two package aggregates,
-  // outside the paper's linear fragment, solved exactly by Dinkelbach
-  // iteration (each step is one ordinary package ILP).
+  // outside the paper's linear fragment. The session's planner spots the
+  // AVG objective and routes to the Dinkelbach strategy (each iteration is
+  // one ordinary package ILP); no special API is needed.
   const char* kRatioQuery = R"(
     SELECT PACKAGE(M) AS P FROM Meals M REPEAT 0
     SUCH THAT COUNT(P.*) = 4
           AND SUM(P.kcal) BETWEEN 1400 AND 2200
           AND MIN(P.kcal) >= 200
     MINIMIZE AVG(P.saturated_fat))";
-  auto ratio_query = paql::lang::ParsePackageQuery(kRatioQuery);
-  if (!ratio_query.ok()) {
-    std::cerr << ratio_query.status() << "\n";
-    return 1;
-  }
-  RatioObjectiveEvaluator ratio(meals);
-  auto lean = ratio.Evaluate(*ratio_query);
+  auto lean = session->Execute(kRatioQuery);
   if (!lean.ok()) {
     std::cerr << "ratio evaluation failed: " << lean.status() << "\n";
     return 1;
   }
   std::cout << "=== Leanest-on-average plan (avg " << lean->objective
-            << "g saturated fat per meal, " << lean->stats.ilp_solves
-            << " Dinkelbach ILP solves) ===\n"
-            << lean->package.Materialize(meals).ToString(20);
+            << "g saturated fat per meal, via "
+            << paql::engine::StrategyName(lean->plan.strategy) << ", "
+            << lean->stats.ilp_solves << " Dinkelbach ILP solves) ===\n"
+            << lean->Materialize().ToString(20);
   return 0;
 }

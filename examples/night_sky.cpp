@@ -2,25 +2,21 @@
 //
 // An astrophysicist looks for collections of galaxies whose overall
 // redshift is within given parameters, ranked by total brightness — a
-// package query over a large photometric catalog. This example shows the
-// full SKETCHREFINE pipeline: offline partitioning with a size threshold,
-// then fast approximate evaluation, compared against DIRECT on the same
-// query.
+// package query over a large photometric catalog. The 50k-row table is
+// past the planner's default size threshold, so a plain Execute picks
+// SKETCHREFINE (building the partitioning on first use and caching it);
+// the planner's explicit-override escape hatch then forces DIRECT on the
+// same session to compare exact and approximate answers.
 //
 // Build & run:  cmake --build build && ./build/examples/night_sky
 #include <cstdio>
 #include <iostream>
 
-#include "common/stopwatch.h"
-#include "core/direct.h"
-#include "core/sketch_refine.h"
-#include "paql/parser.h"
-#include "partition/partitioner.h"
+#include "engine/engine.h"
 #include "workload/galaxy.h"
 
-using paql::Stopwatch;
-using paql::core::DirectEvaluator;
-using paql::core::SketchRefineEvaluator;
+using paql::Engine;
+using paql::engine::Strategy;
 using paql::relation::Table;
 
 int main() {
@@ -29,19 +25,17 @@ int main() {
   std::cout << "Generating " << kRows << " galaxies...\n";
   Table galaxy = paql::workload::MakeGalaxyTable(kRows, /*seed=*/99);
 
-  // --- 2. Offline partitioning (run once, reused by every query). ---
-  paql::partition::PartitionOptions popts;
-  popts.attributes = {"redshift", "petroFlux_r", "ra", "dec"};
-  popts.size_threshold = kRows / 10;  // tau = 10% of the data (paper setup)
-  Stopwatch part_watch;
-  auto partitioning = paql::partition::PartitionTable(galaxy, popts);
-  if (!partitioning.ok()) {
-    std::cerr << "partitioning failed: " << partitioning.status() << "\n";
+  // --- 2. Open a session; partitioning happens lazily when the planner
+  //        first picks SKETCHREFINE (tau = 10% of the data, paper setup).
+  paql::EngineOptions options;
+  options.planner.partition_attributes = {"redshift", "petroFlux_r", "ra",
+                                          "dec"};
+  options.planner.partition_size_threshold = kRows / 10;
+  auto session = Engine::Open(std::move(galaxy), "Galaxy", options);
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
     return 1;
   }
-  std::printf("Partitioned into %zu groups in %.2fs (tau = %zu).\n\n",
-              partitioning->num_groups(), part_watch.ElapsedSeconds(),
-              popts.size_threshold);
 
   // --- 3. The package query: 12 objects, bounded total redshift, in a
   //        right-ascension band, maximizing total flux. ---
@@ -52,23 +46,23 @@ int main() {
                 SUM(P.redshift) BETWEEN 0.4 AND 1.6 AND
                 SUM(P.ra) <= 2400
       MAXIMIZE SUM(P.petroFlux_r))";
-  auto query = paql::lang::ParsePackageQuery(kQuery);
-  if (!query.ok()) {
-    std::cerr << query.status() << "\n";
+
+  // --- 4. Auto plan (SKETCHREFINE at this scale) vs forced DIRECT. ---
+  auto s = session->Execute(kQuery);
+  if (!s.ok()) {
+    std::cerr << "evaluation failed: " << s.status() << "\n";
     return 1;
   }
+  std::printf("auto plan chose %s; partitioned into %zu groups (tau %zu), "
+              "%.2fs plan phase\n",
+              paql::engine::StrategyName(s->plan.strategy),
+              s->plan.partition_groups, s->plan.partition_size_threshold,
+              s->timings.plan_seconds);
 
-  // --- 4. DIRECT vs SKETCHREFINE. ---
-  DirectEvaluator direct(galaxy);
-  auto d = direct.Evaluate(*query);
+  session->options().planner.force = Strategy::kDirect;
+  auto d = session->Execute(kQuery);
   if (!d.ok()) {
     std::cerr << "DIRECT failed: " << d.status() << "\n";
-    return 1;
-  }
-  SketchRefineEvaluator sketch_refine(galaxy, *partitioning);
-  auto s = sketch_refine.Evaluate(*query);
-  if (!s.ok()) {
-    std::cerr << "SKETCHREFINE failed: " << s.status() << "\n";
     return 1;
   }
 

@@ -1,184 +1,145 @@
-// paql_shell: run PaQL queries against CSV files from the command line.
+// paql_shell: run PaQL queries against CSV files from the command line,
+// through the paql::Engine facade.
 //
 // Usage:
 //   paql_shell <table.csv> [more.csv ...] [options] [--query 'PAQL...']
 //
 // Options:
-//   --sketchrefine <tau>   partition on all numeric attributes with size
-//                          threshold tau and evaluate with SKETCHREFINE
-//                          (default: DIRECT)
-//   --parallel <threads>   with --sketchrefine: group-parallel evaluation
+//   --sketchrefine <tau>   force the SKETCHREFINE strategy with size
+//                          threshold tau (default: the planner decides)
+//   --direct               force the DIRECT strategy
+//   --parallel <threads>   grant worker threads (upgrades SKETCHREFINE to
+//                          the parallel variant)
+//   --threshold <rows>     planner size threshold for auto DIRECT vs
+//                          SKETCHREFINE routing
 //   --topk <k>             enumerate the k best distinct packages
 //                          (REPEAT 0 queries only)
-//   --explain              print the evaluation plan (translated ILP shape
-//                          or SKETCHREFINE partitioning plan), do not solve
+//   --explain              print the evaluation plan (planner choice plus
+//                          translated ILP / partitioning shape), no solve
 //   --dump-lp              print the translated ILP in CPLEX LP format and
 //                          exit (pipe it to an external solver)
 //   --query 'PAQL'         evaluate one query and exit (otherwise read
 //                          ';'-terminated queries from stdin)
 //
+// Interactive meta-commands (statements starting with a backslash):
+//   \plan <PAQL...>;       print the planner's choice for the query —
+//                          strategy, reason, partitioning, thresholds —
+//                          without solving it
+//   \tables;               list the registered relations
+//   \help;                 this list
+//
 // Each CSV becomes a catalog relation named after its basename (without
-// extension); multi-relation FROM clauses are materialized per paper §4.5
-// before evaluation.
+// extension); multi-relation FROM clauses are joined by the session per
+// paper §4.5. A single-table session answers any FROM name.
 //
 // Example:
 //   ./build/examples/paql_shell recipes.csv --query "
 //     SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0
 //     SUCH THAT COUNT(P.*) = 3 MINIMIZE SUM(P.kcal)"
+#include <cctype>
 #include <iostream>
-#include <map>
-#include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/direct.h"
-#include "core/explain.h"
-#include "core/from_clause.h"
-#include "core/parallel.h"
-#include "core/ratio_objective.h"
-#include "core/sketch_refine.h"
-#include "core/topk.h"
-#include "lp/lp_format.h"
-#include "paql/parser.h"
-#include "partition/partitioner.h"
-#include "relation/csv.h"
-#include "translate/compiled_query.h"
+#include "common/str_util.h"
+#include "engine/engine.h"
 
-using paql::core::EvalResult;
-using paql::relation::DataType;
-using paql::relation::Table;
+using paql::Engine;
+using paql::QueryResult;
+using paql::Session;
+using paql::engine::Strategy;
 
 namespace {
 
 struct ShellOptions {
-  std::optional<size_t> sketchrefine_tau;
-  int parallel_threads = 0;
   std::optional<size_t> topk;
   bool explain = false;
   bool dump_lp = false;
 };
 
-std::string BaseName(const std::string& path) {
-  size_t slash = path.find_last_of("/\\");
-  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
-  size_t dot = name.find_last_of('.');
-  return dot == std::string::npos ? name : name.substr(0, dot);
+void PrintHelp() {
+  std::cout << "statements end with ';'. Meta-commands:\n"
+               "  \\plan <PAQL...>;  show the planner's choice, don't solve\n"
+               "  \\tables;          list registered relations\n"
+               "  \\help;            this list\n";
 }
 
-/// Partition `table` on all its numeric attributes at threshold tau.
-paql::Result<paql::partition::Partitioning> PartitionAllNumeric(
-    const Table& table, size_t tau) {
-  paql::partition::PartitionOptions popts;
-  for (const auto& col : table.schema().columns()) {
-    if (col.type != DataType::kString) popts.attributes.push_back(col.name);
-  }
-  popts.size_threshold = tau;
-  return paql::partition::PartitionTable(table, popts);
-}
+int RunStatement(Session& session, const ShellOptions& options,
+                 const std::string& raw) {
+  std::string text{paql::StripWhitespace(raw)};
+  if (text.empty()) return 0;
 
-int RunQuery(const paql::core::Catalog& catalog, const ShellOptions& options,
-             const std::string& text) {
-  auto query = paql::lang::ParsePackageQuery(text);
-  if (!query.ok()) {
-    std::cerr << query.status() << "\n";
-    return 1;
-  }
-  // Resolve (and, for multi-relation queries, join) the FROM clause.
-  auto mat = paql::core::MaterializeFromClause(*query, catalog);
-  if (!mat.ok()) {
-    std::cerr << mat.status() << "\n";
-    return 1;
-  }
-  const Table& table = mat->table;
-
-  if (options.explain || options.dump_lp) {
-    auto cq = paql::translate::CompiledQuery::Compile(mat->query,
-                                                      table.schema());
-    if (!cq.ok()) {
-      std::cerr << cq.status() << "\n";
-      return 1;
-    }
-    if (options.dump_lp) {
-      auto model = cq->BuildModel(table, cq->ComputeBaseRows(table));
-      if (!model.ok()) {
-        std::cerr << model.status() << "\n";
+  // Meta-commands.
+  if (text[0] == '\\') {
+    if (paql::StartsWith(text, "\\plan") &&
+        (text.size() == 5 || std::isspace(static_cast<unsigned char>(text[5])))) {
+      auto plan = session.PlanQuery(text.substr(5));
+      if (!plan.ok()) {
+        std::cerr << plan.status() << "\n";
         return 1;
       }
-      paql::lp::WriteLpFormat(*model, std::cout);
+      std::cout << plan->Explain();
       return 0;
     }
-    if (options.sketchrefine_tau.has_value()) {
-      auto partitioning =
-          PartitionAllNumeric(table, *options.sketchrefine_tau);
-      if (!partitioning.ok()) {
-        std::cerr << partitioning.status() << "\n";
-        return 1;
+    if (text == "\\tables") {
+      for (const auto& name : session.table_names()) {
+        std::cout << name << "\n";
       }
-      std::cout << paql::core::ExplainSketchRefine(*cq, table, *partitioning);
-    } else {
-      std::cout << paql::core::ExplainDirect(*cq, table);
+      return 0;
+    }
+    if (text == "\\help") {
+      PrintHelp();
+      return 0;
+    }
+    std::cerr << "unknown meta-command: " << text << " (try \\help;)\n";
+    return 1;
+  }
+
+  if (options.dump_lp) {
+    auto status = session.DumpLp(text, std::cout);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
     }
     return 0;
   }
 
+  if (options.explain) {
+    auto report = session.Explain(text);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    std::cout << *report;
+    return 0;
+  }
+
   if (options.topk.has_value()) {
-    paql::core::TopKOptions topts;
-    topts.k = *options.topk;
-    auto results = paql::core::EnumerateTopPackages(table, mat->query, topts);
+    auto results = session.ExecuteTopK(text, *options.topk);
     if (!results.ok()) {
       std::cerr << "enumeration failed: " << results.status() << "\n";
       return 1;
     }
     for (size_t i = 0; i < results->size(); ++i) {
-      const EvalResult& r = (*results)[i];
+      const QueryResult& r = (*results)[i];
       std::cout << "-- package " << i + 1 << "/" << results->size()
                 << " (objective " << r.objective << "):\n"
-                << r.package.Materialize(table).ToString(50);
+                << r.Materialize().ToString(50);
     }
     return 0;
   }
 
-  // AVG objectives are ratio objectives: dispatch to the Dinkelbach
-  // evaluator (the other evaluators reject them).
-  bool avg_objective =
-      mat->query.objective.has_value() &&
-      mat->query.objective->expr != nullptr &&
-      mat->query.objective->expr->kind == paql::lang::GlobalKind::kAgg &&
-      mat->query.objective->expr->agg->func == paql::relation::AggFunc::kAvg;
-
-  paql::Result<EvalResult> result = paql::Status::Internal("unreached");
-  if (avg_objective) {
-    result = paql::core::RatioObjectiveEvaluator(table).Evaluate(mat->query);
-  } else if (options.sketchrefine_tau.has_value()) {
-    auto partitioning =
-        PartitionAllNumeric(table, *options.sketchrefine_tau);
-    if (!partitioning.ok()) {
-      std::cerr << partitioning.status() << "\n";
-      return 1;
-    }
-    if (options.parallel_threads > 1) {
-      paql::core::ParallelOptions popts;
-      popts.num_threads = options.parallel_threads;
-      result = paql::core::ParallelSketchRefineEvaluator(table, *partitioning,
-                                                         popts)
-                   .Evaluate(mat->query);
-    } else {
-      result = paql::core::SketchRefineEvaluator(table, *partitioning)
-                   .Evaluate(mat->query);
-    }
-  } else {
-    result = paql::core::DirectEvaluator(table).Evaluate(mat->query);
-  }
+  auto result = session.Execute(text);
   if (!result.ok()) {
     std::cerr << "evaluation failed: " << result.status() << "\n";
     return 1;
   }
   std::cout << "-- package (" << result->package.TotalCount()
             << " tuples, objective " << result->objective << ", "
-            << result->stats.wall_seconds << "s):\n";
-  std::cout << result->package.Materialize(table).ToString(50);
+            << paql::engine::StrategyName(result->plan.strategy) << ", "
+            << result->timings.total_seconds << "s):\n";
+  std::cout << result->Materialize().ToString(50);
   return 0;
 }
 
@@ -188,39 +149,53 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " <table.csv> [more.csv ...] [--sketchrefine tau]"
-                 " [--parallel threads] [--topk k] [--explain] [--dump-lp]"
-                 " [--query 'PAQL']\n";
+                 " [--direct] [--parallel threads] [--threshold rows]"
+                 " [--topk k] [--explain] [--dump-lp] [--query 'PAQL']\n";
     return 2;
   }
+
   // Positional arguments before the first option are catalog CSVs.
-  std::vector<std::unique_ptr<Table>> tables;
-  paql::core::Catalog catalog;
+  std::optional<paql::Result<Session>> session;
   ShellOptions options;
   std::optional<std::string> query_text;
   int i = 1;
   for (; i < argc && argv[i][0] != '-'; ++i) {
-    auto table = paql::relation::ReadCsv(argv[i]);
-    if (!table.ok()) {
-      std::cerr << argv[i] << ": " << table.status() << "\n";
-      return 1;
+    if (!session.has_value()) {
+      session = Engine::OpenCsv(argv[i]);
+      if (!session->ok()) {
+        std::cerr << argv[i] << ": " << session->status() << "\n";
+        return 1;
+      }
+    } else {
+      auto added = session->value().AddTableFromCsv(argv[i]);
+      if (!added.ok()) {
+        std::cerr << argv[i] << ": " << added << "\n";
+        return 1;
+      }
     }
-    tables.push_back(std::make_unique<Table>(std::move(*table)));
-    catalog[BaseName(argv[i])] = tables.back().get();
   }
-  if (tables.empty()) {
+  if (!session.has_value()) {
     std::cerr << "no input tables given\n";
     return 2;
   }
-  // Single-table convenience: also register it under the alias "R".
-  if (tables.size() == 1) {
-    catalog.emplace("R", tables.front().get());
+  if (!session->ok()) {
+    std::cerr << session->status() << "\n";
+    return 1;
   }
+  Session& live = session->value();
   for (; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--sketchrefine" && i + 1 < argc) {
-      options.sketchrefine_tau = static_cast<size_t>(std::stoul(argv[++i]));
+      live.options().planner.force = Strategy::kSketchRefine;
+      live.options().planner.partition_size_threshold =
+          static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--direct") {
+      live.options().planner.force = Strategy::kDirect;
     } else if (arg == "--parallel" && i + 1 < argc) {
-      options.parallel_threads = std::atoi(argv[++i]);
+      live.options().planner.parallel_threads = std::atoi(argv[++i]);
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      live.options().planner.direct_row_threshold =
+          static_cast<size_t>(std::stoul(argv[++i]));
     } else if (arg == "--topk" && i + 1 < argc) {
       options.topk = static_cast<size_t>(std::stoul(argv[++i]));
     } else if (arg == "--explain") {
@@ -234,17 +209,23 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (query_text.has_value()) {
-    return RunQuery(catalog, options, *query_text);
+  // Resolve flag interactions after the whole command line is parsed, so
+  // --parallel and --sketchrefine combine in either order.
+  if (live.options().planner.parallel_threads > 1 &&
+      live.options().planner.force == Strategy::kSketchRefine) {
+    live.options().planner.force = Strategy::kParallelSketchRefine;
   }
-  // Interactive: read ';'-terminated queries from stdin.
+  if (query_text.has_value()) {
+    return RunStatement(live, options, *query_text);
+  }
+  // Interactive: read ';'-terminated statements from stdin.
   std::string buffer, line;
   int status = 0;
   while (std::getline(std::cin, line)) {
     buffer += line + "\n";
     auto pos = buffer.find(';');
     if (pos != std::string::npos) {
-      status |= RunQuery(catalog, options, buffer.substr(0, pos));
+      status |= RunStatement(live, options, buffer.substr(0, pos));
       buffer.erase(0, pos + 1);
     }
   }

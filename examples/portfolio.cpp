@@ -5,19 +5,18 @@
 // total cost within budget, bounded aggregate risk, sector diversification
 // expressed with count-subquery constraints, maximizing expected return.
 // Demonstrates: REPEAT (multiple lots of the same instrument), aggregate
-// filter subqueries, AVG constraints, and package validation.
+// filter subqueries, AVG constraints, and the engine facade (the session
+// validates every answer package against the query before returning it).
 //
 // Build & run:  cmake --build build && ./build/examples/portfolio
 #include <cstdio>
 #include <iostream>
 
 #include "common/rng.h"
-#include "core/direct.h"
-#include "core/package.h"
-#include "paql/parser.h"
+#include "engine/engine.h"
 
+using paql::Engine;
 using paql::Rng;
-using paql::core::DirectEvaluator;
 using paql::relation::DataType;
 using paql::relation::RowId;
 using paql::relation::Schema;
@@ -60,49 +59,43 @@ int main() {
         (SELECT COUNT(*) FROM P WHERE P.sector = 'energy') >= 3 AND
         AVG(P.price) <= 100
       MAXIMIZE SUM(P.expected_return))";
-  auto query = paql::lang::ParsePackageQuery(kQuery);
-  if (!query.ok()) {
-    std::cerr << query.status() << "\n";
+
+  // --- 3. One facade call: the session parses, plans, evaluates, and
+  //        validates the answer package. ---
+  auto session = Engine::Open(std::move(universe), "Universe");
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
     return 1;
   }
-
-  // --- 3. Evaluate and report. ---
-  DirectEvaluator direct(universe);
-  auto result = direct.Evaluate(*query);
+  auto result = session->Execute(kQuery);
   if (!result.ok()) {
     std::cerr << "evaluation failed: " << result.status() << "\n";
     return 1;
   }
-  std::printf("Portfolio: expected return $%.2f\n", result->objective);
+  const Table& table = *result->table;
+  std::printf("Portfolio via %s: expected return $%.2f\n",
+              paql::engine::StrategyName(result->plan.strategy),
+              result->objective);
   double cost = 0, risk = 0;
   int tech = 0, energy = 0;
   for (size_t k = 0; k < result->package.rows.size(); ++k) {
     RowId r = result->package.rows[k];
     int64_t lots = result->package.multiplicity[k];
-    cost += universe.GetDouble(r, 2) * static_cast<double>(lots);
-    risk += universe.GetDouble(r, 4) * static_cast<double>(lots);
-    if (universe.GetString(r, 1) == "tech") tech += static_cast<int>(lots);
-    if (universe.GetString(r, 1) == "energy") {
+    cost += table.GetDouble(r, 2) * static_cast<double>(lots);
+    risk += table.GetDouble(r, 4) * static_cast<double>(lots);
+    if (table.GetString(r, 1) == "tech") tech += static_cast<int>(lots);
+    if (table.GetString(r, 1) == "energy") {
       energy += static_cast<int>(lots);
     }
     std::printf("  ticker %3lld x%lld  (%s, $%.2f, ret $%.2f, risk %.2f)\n",
-                static_cast<long long>(universe.GetInt64(r, 0)),
+                static_cast<long long>(table.GetInt64(r, 0)),
                 static_cast<long long>(lots),
-                universe.GetString(r, 1).c_str(), universe.GetDouble(r, 2),
-                universe.GetDouble(r, 3), universe.GetDouble(r, 4));
+                table.GetString(r, 1).c_str(), table.GetDouble(r, 2),
+                table.GetDouble(r, 3), table.GetDouble(r, 4));
   }
   std::printf("totals: cost $%.2f (<=1200), risk %.2f (<=45), tech %d (<=7), "
               "energy %d (>=3)\n",
               cost, risk, tech, energy);
-
-  auto compiled =
-      paql::translate::CompiledQuery::Compile(*query, universe.schema());
-  if (!compiled.ok() ||
-      !paql::core::ValidatePackage(*compiled, universe, result->package)
-           .ok()) {
-    std::cerr << "package failed validation!\n";
-    return 1;
-  }
-  std::cout << "Package validated.\n";
+  std::cout << "Package validated by the engine.\n";
   return 0;
 }

@@ -2,19 +2,22 @@
 //
 // A dietitian wants a set of three gluten-free meals, between 2,000 and
 // 2,500 kcal in total, minimizing total saturated fat. This example builds
-// the Recipes relation in memory, runs the PaQL query with the DIRECT
-// evaluator, and prints the chosen package.
+// the Recipes relation in memory and runs the PaQL query through the
+// engine facade — the whole pipeline is:
+//
+//   auto session = paql::Engine::Open(std::move(recipes));
+//   auto result  = session->Execute(kQuery);
+//
+// The planner, not the caller, decides how to evaluate (exact DIRECT here:
+// the table is tiny); result->plan says what it chose and why.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 #include <iostream>
 
-#include "core/direct.h"
-#include "core/package.h"
-#include "paql/parser.h"
+#include "engine/engine.h"
 
-using paql::core::DirectEvaluator;
-using paql::core::ValidatePackage;
+using paql::Engine;
 using paql::relation::DataType;
 using paql::relation::Schema;
 using paql::relation::Table;
@@ -55,39 +58,36 @@ int main() {
       SUCH THAT COUNT(P.*) = 3 AND
                 SUM(P.kcal) BETWEEN 2.0 AND 2.5
       MINIMIZE SUM(P.saturated_fat))";
-  auto query = paql::lang::ParsePackageQuery(kQuery);
-  if (!query.ok()) {
-    std::cerr << "parse error: " << query.status() << "\n";
+
+  // --- 3. Open a session and execute: parse -> validate -> compile ->
+  //        plan -> evaluate, strategy chosen by the system. ---
+  auto session = Engine::Open(std::move(recipes));
+  if (!session.ok()) {
+    std::cerr << "open failed: " << session.status() << "\n";
     return 1;
   }
-  std::cout << "PaQL query:\n" << paql::lang::ToString(*query) << "\n\n";
-
-  // --- 3. Evaluate with DIRECT (PaQL -> ILP -> solver). ---
-  DirectEvaluator direct(recipes);
-  auto result = direct.Evaluate(*query);
+  auto result = session->Execute(kQuery);
   if (!result.ok()) {
     std::cerr << "evaluation failed: " << result.status() << "\n";
     return 1;
   }
 
-  // --- 4. Inspect the answer package. ---
+  // --- 4. Inspect the answer package and the plan that produced it. ---
+  std::cout << "Plan: " << paql::engine::StrategyName(result->plan.strategy)
+            << " (" << result->plan.reason << ")\n\n";
   std::cout << "Meal plan (total saturated fat " << result->objective
             << " g):\n";
-  Table plan = result->package.Materialize(recipes);
+  Table plan = result->Materialize();
   for (paql::relation::RowId r = 0; r < plan.num_rows(); ++r) {
     std::printf("  %-16s %5.2f kkcal  %4.1f g sat. fat\n",
                 plan.GetString(r, 0).c_str(), plan.GetDouble(r, 2),
                 plan.GetDouble(r, 3));
   }
-
-  // --- 5. Double-check the package against the query (belt & braces). ---
-  auto compiled =
-      paql::translate::CompiledQuery::Compile(*query, recipes.schema());
-  if (!compiled.ok() ||
-      !ValidatePackage(*compiled, recipes, result->package).ok()) {
-    std::cerr << "package failed validation!\n";
-    return 1;
-  }
-  std::cout << "\nPackage validated: all global constraints hold.\n";
+  std::printf(
+      "\nSolved in %.3f ms (%lld ILP solve%s); package validated by the "
+      "engine.\n",
+      result->timings.total_seconds * 1e3,
+      static_cast<long long>(result->stats.ilp_solves),
+      result->stats.ilp_solves == 1 ? "" : "s");
   return 0;
 }

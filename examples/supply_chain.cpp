@@ -5,29 +5,21 @@
 // holds supplier metadata. The buyer wants a procurement package — a set
 // of offers — that joins the two relations, filters to reliable suppliers,
 // caps total cost, guarantees a minimum total quantity, and minimizes lead
-// time. Multi-relation FROM clauses are evaluated by materializing the
-// join first (paper §4.5): MaterializeFromClause turns the query into a
-// single-relation one, after which any evaluator runs — here both DIRECT
-// and the parallel SKETCHREFINE from §4.5.
+// time. The session materializes the join automatically (paper §4.5) and
+// rewrites the query onto the join result; forcing the parallel
+// SKETCHREFINE strategy on the same query shows the §4.5 parallel path
+// without touching any low-level evaluator.
 //
 // Build & run:  cmake --build build && ./build/examples/supply_chain
 #include <cstdio>
 #include <iostream>
 
 #include "common/rng.h"
-#include "core/direct.h"
-#include "core/from_clause.h"
-#include "core/parallel.h"
-#include "paql/parser.h"
-#include "partition/partitioner.h"
+#include "engine/engine.h"
 
+using paql::Engine;
 using paql::Rng;
-using paql::core::Catalog;
-using paql::core::DirectEvaluator;
-using paql::core::MaterializeFromClause;
-using paql::core::ParallelMode;
-using paql::core::ParallelOptions;
-using paql::core::ParallelSketchRefineEvaluator;
+using paql::engine::Strategy;
 using paql::relation::DataType;
 using paql::relation::RowId;
 using paql::relation::Schema;
@@ -70,47 +62,37 @@ int main() {
                 SUM(O.quantity) >= 1200 AND
                 COUNT(Cart.*) <= 15
       MINIMIZE SUM(O.lead_days))";
-  auto query = paql::lang::ParsePackageQuery(kQuery);
-  if (!query.ok()) {
-    std::cerr << "parse error: " << query.status() << "\n";
+
+  // --- 3. One session over both relations; the engine materializes the
+  //        join and rewrites the query before planning. ---
+  auto session = Engine::Open(std::move(offers), "offers");
+  if (!session.ok()) {
+    std::cerr << session.status() << "\n";
     return 1;
   }
-  std::cout << "PaQL query:\n" << paql::lang::ToString(*query) << "\n\n";
-
-  // --- 3. Materialize the join (paper §4.5), then evaluate. ---
-  Catalog catalog{{"offers", &offers}, {"suppliers", &suppliers}};
-  auto mat = MaterializeFromClause(*query, catalog);
-  if (!mat.ok()) {
-    std::cerr << "join materialization failed: " << mat.status() << "\n";
+  if (auto added = session->AddTable("suppliers", std::move(suppliers));
+      !added.ok()) {
+    std::cerr << added << "\n";
     return 1;
   }
-  std::printf("Join materialized: %zu rows, %zu columns (%zu equi preds)\n\n",
-              mat->table.num_rows(), mat->table.num_columns(),
-              mat->join_predicates_used);
 
-  DirectEvaluator direct(mat->table);
-  auto exact = direct.Evaluate(mat->query);
+  auto exact = session->Execute(kQuery);
   if (!exact.ok()) {
     std::cerr << "DIRECT failed: " << exact.status() << "\n";
     return 1;
   }
+  std::printf("Join materialized: %zu rows, %zu columns\n\n",
+              exact->table->num_rows(), exact->table->num_columns());
   std::printf("DIRECT:            total lead time %6.1f days  (%.3fs)\n",
               exact->objective, exact->stats.wall_seconds);
 
-  // Parallel SKETCHREFINE over a quad-tree partitioning of the join result.
-  paql::partition::PartitionOptions popts;
-  popts.attributes = {"O_unit_cost", "O_quantity", "O_lead_days"};
-  popts.size_threshold = mat->table.num_rows() / 10 + 1;
-  auto partitioning = paql::partition::PartitionTable(mat->table, popts);
-  if (!partitioning.ok()) {
-    std::cerr << "partitioning failed: " << partitioning.status() << "\n";
-    return 1;
-  }
-  ParallelOptions par;
-  par.mode = ParallelMode::kGroupParallel;
-  par.num_threads = 4;
-  ParallelSketchRefineEvaluator sketch(mat->table, *partitioning, par);
-  auto approx = sketch.Evaluate(mat->query);
+  // Parallel SKETCHREFINE over the join result, via the override escape
+  // hatch (the join result is below the auto threshold, so we force it).
+  session->options().planner.force = Strategy::kParallelSketchRefine;
+  session->options().planner.parallel_threads = 4;
+  session->options().planner.partition_attributes = {
+      "O_unit_cost", "O_quantity", "O_lead_days"};
+  auto approx = session->Execute(kQuery);
   if (!approx.ok()) {
     std::cerr << "SKETCHREFINE failed: " << approx.status() << "\n";
     return 1;
@@ -122,7 +104,7 @@ int main() {
       approx->stats.parallel_fallback ? "  [sequential fallback]" : "");
 
   // --- 4. Show the chosen cart. ---
-  Table cart = approx->package.Materialize(mat->table);
+  Table cart = approx->Materialize();
   auto cost_col = cart.schema().FindColumn("O_unit_cost");
   auto qty_col = cart.schema().FindColumn("O_quantity");
   auto lead_col = cart.schema().FindColumn("O_lead_days");

@@ -30,6 +30,9 @@ Result<EvalResult> DirectEvaluator::EvaluateOnRows(
     const std::vector<relation::RowId>& rows) const {
   Stopwatch total;
   EvalResult result;
+  if (options_.Cancelled()) {
+    return Status::ResourceExhausted("evaluation cancelled");
+  }
 
   // Step 2 (paper): compute the base relation; variables for excluded
   // tuples are eliminated (they simply never enter the model).

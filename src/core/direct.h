@@ -9,14 +9,15 @@
 #define PAQL_CORE_DIRECT_H_
 
 #include "core/package.h"
+#include "engine/exec_context.h"
 #include "paql/ast.h"
 
 namespace paql::core {
 
-struct DirectOptions {
-  ilp::SolverLimits limits;                  // default: unlimited
-  ilp::BranchAndBoundOptions branch_and_bound;
-};
+/// DIRECT has no strategy-specific knobs: its options are exactly the
+/// shared execution context (`limits` budgets the single whole-problem
+/// solve; `cancel` is polled before handing the ILP to the solver).
+struct DirectOptions : engine::ExecContext {};
 
 /// Evaluates package queries by solving one ILP over the full base relation.
 class DirectEvaluator {

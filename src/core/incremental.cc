@@ -71,7 +71,7 @@ Result<IncrementalResult> ReEvaluatePackage(
   bopts.activity_offset = &offsets;
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(table, candidates, bopts));
-  auto sol = ilp::SolveIlp(model, options.sketch_refine.subproblem_limits,
+  auto sol = ilp::SolveIlp(model, options.sketch_refine.limits,
                            options.sketch_refine.branch_and_bound);
   if (sol.ok()) {
     out.result.stats.Accumulate(sol->stats);

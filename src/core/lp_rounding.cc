@@ -42,6 +42,9 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
   Stopwatch total;
   EvalResult result;
   *info = LpRoundingInfo();
+  if (options_.Cancelled()) {
+    return Status::ResourceExhausted("evaluation cancelled");
+  }
 
   Stopwatch translate_watch;
   std::vector<RowId> candidates = query.ComputeBaseRows(*table_);
@@ -133,7 +136,7 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
                           query.BuildModel(*table_, repair_rows, build));
     PAQL_ASSIGN_OR_RETURN(
         ilp::IlpSolution sol,
-        ilp::SolveIlp(repair_model, options_.repair_limits,
+        ilp::SolveIlp(repair_model, options_.limits,
                       options_.branch_and_bound));
     result.stats.Accumulate(sol.stats);
     std::vector<int64_t> mults(repair_set.size());

@@ -24,14 +24,14 @@
 #define PAQL_CORE_LP_ROUNDING_H_
 
 #include "core/package.h"
+#include "engine/exec_context.h"
 #include "paql/ast.h"
 
 namespace paql::core {
 
-struct LpRoundingOptions {
-  /// Budgets for the repair ILP (tiny; defaults suffice).
-  ilp::SolverLimits repair_limits;
-  ilp::BranchAndBoundOptions branch_and_bound;
+/// Rounding-specific knobs; the inherited `limits` budgets the repair ILP
+/// (tiny; defaults suffice).
+struct LpRoundingOptions : engine::ExecContext {
   /// When the first repair ILP is infeasible, un-fix this many additional
   /// integer-valued candidates (those with the largest LP values) and
   /// retry once. 0 disables the widening retry.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <optional>
@@ -71,6 +72,10 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
     const CompiledQuery& query) const {
   Stopwatch total;
   const int threads = ClampThreads(options_.num_threads);
+  // The race needs its own cancel flag (the winner stops the losers), but
+  // the caller may have supplied one too; a monitor bridges it so external
+  // cancellation still stops every racer.
+  const std::atomic<bool>* external = options_.sketch_refine.cancel;
   std::atomic<bool> cancel{false};
   std::mutex mu;
   std::optional<EvalResult> winner;
@@ -79,7 +84,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
 
   auto racer = [&](int i) {
     SketchRefineOptions opts = options_.sketch_refine;
-    opts.refine_order_seed = options_.seed + static_cast<uint64_t>(i);
+    opts.seed = options_.sketch_refine.seed + static_cast<uint64_t>(i);
     opts.cancel = &cancel;
     SketchRefineEvaluator evaluator(*table_, *partitioning_, opts);
     auto result = evaluator.Evaluate(query);
@@ -104,12 +109,32 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) pool.emplace_back(racer, i);
+  std::atomic<bool> race_done{false};
+  std::thread monitor;
+  if (external != nullptr) {
+    monitor = std::thread([&] {
+      while (!race_done.load(std::memory_order_relaxed)) {
+        if (external->load(std::memory_order_relaxed)) {
+          cancel.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
   for (auto& t : pool) t.join();
+  race_done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
 
+  // A completed winner is returned even when cancellation landed late —
+  // the work is done and the package is valid.
   if (winner.has_value()) {
     winner->stats.threads_used = threads;
     winner->stats.wall_seconds = total.ElapsedSeconds();
     return std::move(*winner);
+  }
+  if (external != nullptr && external->load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted("evaluation cancelled");
   }
   if (!first_error.ok()) return first_error;
   return Status::Infeasible(
@@ -170,7 +195,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   seg.ub_override = &rep_ub;
   PAQL_ASSIGN_OR_RETURN(lp::Model sketch_model,
                         query.BuildModelSegments({seg}, nullptr));
-  auto sketch = ilp::SolveIlp(sketch_model, options_.sketch_refine.subproblem_limits,
+  auto sketch = ilp::SolveIlp(sketch_model, options_.sketch_refine.limits,
                               options_.sketch_refine.branch_and_bound);
   if (!sketch.ok()) {
     // Infeasible sketch: the sequential path owns the hybrid-sketch and
@@ -215,6 +240,11 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
     for (;;) {
       size_t job = next.fetch_add(1, std::memory_order_relaxed);
       if (job >= picked_groups.size()) return;
+      if (options_.sketch_refine.Cancelled()) {
+        outcomes[job].status =
+            Status::ResourceExhausted("evaluation cancelled");
+        continue;
+      }
       size_t i = picked_groups[job];
       size_t g = active[i];
       GroupOutcome& out = outcomes[job];
@@ -231,7 +261,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
         out.status = model.status();
         continue;  // keep draining the queue; assembly reports the failure
       }
-      auto sol = ilp::SolveIlp(*model, options_.sketch_refine.subproblem_limits,
+      auto sol = ilp::SolveIlp(*model, options_.sketch_refine.limits,
                                options_.sketch_refine.branch_and_bound);
       if (!sol.ok()) {
         out.status = sol.status();

@@ -42,7 +42,9 @@ const char* ParallelModeName(ParallelMode mode);
 
 struct ParallelOptions {
   /// Options for the underlying sketch/refine machinery (and the
-  /// sequential fallback).
+  /// sequential fallback). Its inherited ExecContext fields apply to every
+  /// worker; `sketch_refine.seed` is the base seed for kOrderingRace
+  /// (racer i refines with seed + i).
   SketchRefineOptions sketch_refine;
 
   ParallelMode mode = ParallelMode::kGroupParallel;
@@ -50,9 +52,6 @@ struct ParallelOptions {
   /// Worker threads (clamped to 1..hardware_concurrency). For
   /// kOrderingRace this is also the number of orderings raced.
   int num_threads = 4;
-
-  /// kOrderingRace: base seed; racer i uses refine_order_seed = seed + i.
-  uint64_t seed = 42;
 };
 
 /// Parallel package evaluation over a fixed table + offline partitioning.

@@ -97,6 +97,9 @@ Result<EvalResult> RatioObjectiveEvaluator::Evaluate(
   double lambda = 0.0;
   std::vector<double> best_x;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.Cancelled()) {
+      return Status::ResourceExhausted("evaluation cancelled");
+    }
     for (size_t k = 0; k < rows.size(); ++k) {
       model.set_obj_coef(static_cast<int>(k),
                          numerator[k] - lambda * denominator[k]);

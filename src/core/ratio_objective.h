@@ -33,17 +33,15 @@
 #define PAQL_CORE_RATIO_OBJECTIVE_H_
 
 #include "core/package.h"
-#include "ilp/branch_and_bound.h"
-#include "ilp/solver_limits.h"
+#include "engine/exec_context.h"
 #include "paql/ast.h"
 #include "relation/table.h"
 
 namespace paql::core {
 
-struct RatioObjectiveOptions {
-  /// Budgets for each inner ILP solve.
-  ilp::SolverLimits limits;
-  ilp::BranchAndBoundOptions branch_and_bound;
+/// Dinkelbach-specific knobs; the inherited `limits`/`branch_and_bound`
+/// budget each inner ILP solve (one per parametric iteration).
+struct RatioObjectiveOptions : engine::ExecContext {
   /// Dinkelbach iteration cap (convergence is finite but this guards
   /// pathological numerics). Typical instances converge in 2-5 iterations.
   int max_iterations = 64;

@@ -274,7 +274,7 @@ Result<RemedyReport> RobustSketchRefineEvaluator::TryGroupMerging(
   // problem (i.e., with no partitioning)" — solve it directly, under the
   // same subproblem budgets SKETCHREFINE would use.
   DirectOptions direct_opts;
-  direct_opts.limits = options_.sketch_refine.subproblem_limits;
+  direct_opts.limits = options_.sketch_refine.limits;
   direct_opts.branch_and_bound = options_.sketch_refine.branch_and_bound;
   DirectEvaluator direct(*table_, direct_opts);
   PAQL_ASSIGN_OR_RETURN(EvalResult exact, direct.Evaluate(query));

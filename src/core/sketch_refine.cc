@@ -41,7 +41,7 @@ class Driver {
         partitioning_(partitioning),
         query_(query),
         options_(options),
-        rng_(options.refine_order_seed) {}
+        rng_(options.seed) {}
 
   Result<EvalResult> Run() {
     Stopwatch total;
@@ -164,7 +164,7 @@ class Driver {
           StrCat("SketchRefine exceeded ", max_attempts_,
                  " subproblem solves (excessive backtracking)"));
     }
-    auto sol = ilp::SolveIlp(model, options_.subproblem_limits,
+    auto sol = ilp::SolveIlp(model, options_.limits,
                              options_.branch_and_bound);
     if (sol.ok()) stats_.Accumulate(sol->stats);
     return sol;

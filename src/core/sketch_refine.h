@@ -29,19 +29,20 @@
 #ifndef PAQL_CORE_SKETCH_REFINE_H_
 #define PAQL_CORE_SKETCH_REFINE_H_
 
-#include <atomic>
-
 #include "core/package.h"
+#include "engine/exec_context.h"
 #include "paql/ast.h"
 #include "partition/partitioner.h"
 
 namespace paql::core {
 
-struct SketchRefineOptions {
-  /// Budgets applied to every subproblem ILP (sketch, refine, hybrid).
-  ilp::SolverLimits subproblem_limits;
-  ilp::BranchAndBoundOptions branch_and_bound;
-
+/// Strategy-specific knobs on top of the shared execution context. The
+/// inherited fields map onto SKETCHREFINE as follows: `limits` budgets
+/// every subproblem ILP (sketch, refine, hybrid); `seed` randomizes the
+/// initial refinement order of Algorithm 2; `cancel` is checked before
+/// every subproblem solve (the parallel ordering race of paper §4.5 uses
+/// it to stop losing orderings once a winner finishes).
+struct SketchRefineOptions : engine::ExecContext {
   /// Enable the hybrid sketch fallback (the paper's experiments use it as
   /// "the only strategy to cope with infeasible initial queries").
   bool use_hybrid_sketch = true;
@@ -50,18 +51,9 @@ struct SketchRefineOptions {
   /// (0 = never recurse; solve everything directly).
   size_t max_subproblem_size = 0;
 
-  /// Seed for the (random) initial refinement order of Algorithm 2.
-  uint64_t refine_order_seed = 42;
-
   /// Cap on refine-query solves before giving up (guards the worst-case
   /// exponential backtracking). 0 = automatic: 10*m + 1000.
   int64_t max_refine_attempts = 0;
-
-  /// Optional cooperative-cancellation flag, checked before every
-  /// subproblem solve. When another thread sets it, evaluation stops with
-  /// kResourceExhausted. Used by the parallel ordering race (paper §4.5)
-  /// to stop losing orderings once a winner finishes. Not owned.
-  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Evaluates package queries with the SKETCHREFINE algorithm over a fixed

@@ -43,6 +43,9 @@ Result<std::vector<EvalResult>> EnumerateTopPackages(
 
   std::vector<EvalResult> results;
   for (size_t round = 0; round < options.k; ++round) {
+    if (options.Cancelled()) {
+      return Status::ResourceExhausted("enumeration cancelled");
+    }
     Stopwatch watch;
     auto solution =
         ilp::SolveIlp(model, options.limits, options.branch_and_bound);

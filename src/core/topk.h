@@ -23,19 +23,19 @@
 #include <vector>
 
 #include "core/package.h"
+#include "engine/exec_context.h"
 #include "paql/ast.h"
 
 namespace paql::core {
 
-struct TopKOptions {
+/// Enumeration-specific knobs; the inherited `limits`/`branch_and_bound`
+/// budget each of the k ILP solves.
+struct TopKOptions : engine::ExecContext {
   /// How many packages to return (fewer when the space runs dry).
   size_t k = 5;
   /// Minimum Hamming distance (tuples swapped in or out) between any two
   /// returned packages. 1 = merely distinct; larger values force diversity.
   int64_t min_difference = 1;
-  /// Budgets per ILP solve.
-  ilp::SolverLimits limits;
-  ilp::BranchAndBoundOptions branch_and_bound;
 };
 
 /// The k best distinct packages of `query` over `table`, best first.

@@ -1,0 +1,404 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "core/explain.h"
+#include "core/topk.h"
+#include "engine/evaluators.h"
+#include "lp/lp_format.h"
+#include "paql/parser.h"
+#include "partition/partitioner.h"
+#include "relation/csv.h"
+
+namespace paql {
+
+using engine::CompiledQuery;
+using engine::ExecContext;
+using engine::PhaseTimings;
+using engine::Plan;
+using engine::Planner;
+using engine::QueryShape;
+using engine::Strategy;
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Result<Session> Engine::Open(relation::Table table, std::string name,
+                             EngineOptions options) {
+  return Open(std::make_shared<const relation::Table>(std::move(table)),
+              std::move(name), std::move(options));
+}
+
+Result<Session> Engine::Open(std::shared_ptr<const relation::Table> table,
+                             std::string name, EngineOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  Session session;
+  session.options_ = std::move(options);
+  session.tables_.emplace(std::move(name), std::move(table));
+  return session;
+}
+
+namespace {
+
+std::string CsvBaseName(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
+}  // namespace
+
+Result<Session> Engine::OpenCsv(const std::string& path,
+                                EngineOptions options) {
+  PAQL_ASSIGN_OR_RETURN(relation::Table table, relation::ReadCsv(path));
+  return Open(std::move(table), CsvBaseName(path), std::move(options));
+}
+
+// ---------------------------------------------------------------------------
+// Session: FROM resolution + compilation
+// ---------------------------------------------------------------------------
+
+Status Session::AddTable(std::string name, relation::Table table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  auto [it, inserted] = tables_.emplace(
+      std::move(name),
+      std::make_shared<const relation::Table>(std::move(table)));
+  if (!inserted) {
+    return Status::InvalidArgument(
+        StrCat("table '", it->first, "' is already registered"));
+  }
+  return Status::OK();
+}
+
+Status Session::AddTableFromCsv(const std::string& path) {
+  auto table = relation::ReadCsv(path);
+  if (!table.ok()) return table.status();
+  return AddTable(CsvBaseName(path), std::move(*table));
+}
+
+std::vector<std::string> Session::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
+                                                PhaseTimings* timings) {
+  Stopwatch parse_watch;
+  auto parsed = lang::ParsePackageQuery(paql);
+  if (timings) timings->parse_seconds = parse_watch.ElapsedSeconds();
+  if (!parsed.ok()) return parsed.status();
+
+  Stopwatch resolve_watch;
+  ResolvedQuery out;
+  if (parsed->more_relations.empty()) {
+    // Single-relation query: bind the table without copying it. Name
+    // resolution is forgiving on purpose — the paper's examples write
+    // `FROM Recipes R` against whatever the caller registered — so: exact
+    // match, then case-insensitive match, then the only table of a
+    // single-table session.
+    auto it = tables_.find(parsed->relation_name);
+    if (it == tables_.end()) {
+      for (auto probe = tables_.begin(); probe != tables_.end(); ++probe) {
+        if (EqualsIgnoreCase(probe->first, parsed->relation_name)) {
+          it = probe;
+          break;
+        }
+      }
+    }
+    if (it == tables_.end() && tables_.size() == 1) it = tables_.begin();
+    if (it == tables_.end()) {
+      return Status::NotFound(
+          StrCat("FROM relation '", parsed->relation_name,
+                 "' is not registered in this session"));
+    }
+    out.ast = std::move(*parsed);
+    out.table = it->second;
+    out.table_name = it->first;
+  } else if (join_cache_.has_value() && join_cache_->query_text == paql) {
+    // Same multi-relation statement as last time (the shell's interactive
+    // loop, repeated Execute calls): reuse the materialized join instead
+    // of re-running it. Session tables are immutable, so the cached result
+    // cannot go stale.
+    out.ast = join_cache_->ast.Clone();
+    out.table = join_cache_->table;
+    out.joined_from = true;
+  } else {
+    // Multi-relation query: materialize the join (paper §4.5) and rewrite
+    // the query against the join result.
+    core::Catalog catalog;
+    for (const auto& [name, table] : tables_) catalog[name] = table.get();
+    auto materialized =
+        core::MaterializeFromClause(*parsed, catalog, options_.from_clause);
+    if (!materialized.ok()) return materialized.status();
+    out.ast = std::move(materialized->query);
+    out.table = std::make_shared<const relation::Table>(
+        std::move(materialized->table));
+    out.joined_from = true;
+    join_cache_ = JoinCacheEntry{std::string(paql), out.ast.Clone(),
+                                 out.table};
+  }
+  if (timings) timings->resolve_seconds += resolve_watch.ElapsedSeconds();
+  return out;
+}
+
+Result<CompiledQuery> Session::CompileResolved(const ResolvedQuery& resolved,
+                                               PhaseTimings* timings) {
+  Stopwatch compile_watch;
+  auto compiled = CompiledQuery::Compile(
+      resolved.ast, resolved.table->schema(), options_.validate);
+  if (timings) timings->compile_seconds = compile_watch.ElapsedSeconds();
+  return compiled;
+}
+
+// ---------------------------------------------------------------------------
+// Session: planning
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const partition::Partitioning>>
+Session::PartitioningFor(const ResolvedQuery& resolved, Plan* plan) {
+  Planner planner(options_.planner);
+  std::vector<std::string> attributes =
+      planner.PartitionAttributes(*resolved.table);
+  if (attributes.empty()) {
+    return Status::InvalidArgument(
+        "SKETCHREFINE needs at least one numeric partitioning attribute, "
+        "and the table has none");
+  }
+  size_t tau = planner.PartitionSizeThreshold(*resolved.table);
+  plan->partition_attributes = attributes;
+  plan->partition_size_threshold = tau;
+
+  // Joined tables are per-query; only named session tables are cacheable.
+  std::string key;
+  if (!resolved.joined_from) {
+    std::ostringstream key_os;
+    key_os << resolved.table_name << "|" << tau;
+    for (const auto& attr : attributes) key_os << "|" << attr;
+    key = key_os.str();
+    auto hit = partition_cache_.find(key);
+    if (hit != partition_cache_.end()) {
+      plan->partitioning_reused = true;
+      plan->partition_groups = hit->second->num_groups();
+      return hit->second;
+    }
+  }
+
+  partition::PartitionOptions popts;
+  popts.attributes = attributes;
+  popts.size_threshold = tau;
+  auto built = partition::PartitionTable(*resolved.table, popts);
+  if (!built.ok()) return built.status();
+  auto partitioning =
+      std::make_shared<const partition::Partitioning>(std::move(*built));
+  plan->partition_groups = partitioning->num_groups();
+  if (!key.empty()) partition_cache_.emplace(std::move(key), partitioning);
+  return partitioning;
+}
+
+Result<std::unique_ptr<engine::PackageEvaluator>> Session::MakeStrategy(
+    const ResolvedQuery& resolved, Plan* plan) {
+  using engine::DirectStrategy;
+  using engine::LpRoundingStrategy;
+  using engine::ParallelSketchRefineStrategy;
+  using engine::RatioObjectiveStrategy;
+  using engine::SketchRefineStrategy;
+
+  switch (plan->strategy) {
+    case Strategy::kDirect:
+      return std::unique_ptr<engine::PackageEvaluator>(
+          new DirectStrategy(resolved.table));
+    case Strategy::kLpRounding:
+      return std::unique_ptr<engine::PackageEvaluator>(
+          new LpRoundingStrategy(resolved.table));
+    case Strategy::kRatioObjective:
+      return std::unique_ptr<engine::PackageEvaluator>(
+          new RatioObjectiveStrategy(resolved.table));
+    case Strategy::kSketchRefine: {
+      PAQL_ASSIGN_OR_RETURN(auto partitioning,
+                            PartitioningFor(resolved, plan));
+      return std::unique_ptr<engine::PackageEvaluator>(
+          new SketchRefineStrategy(resolved.table, std::move(partitioning)));
+    }
+    case Strategy::kParallelSketchRefine: {
+      PAQL_ASSIGN_OR_RETURN(auto partitioning,
+                            PartitioningFor(resolved, plan));
+      int threads = std::max(2, plan->threads);
+      plan->threads = threads;
+      return std::unique_ptr<engine::PackageEvaluator>(
+          new ParallelSketchRefineStrategy(resolved.table,
+                                           std::move(partitioning), threads));
+    }
+    case Strategy::kAuto:
+      break;
+  }
+  return Status::Internal("planner returned no executable strategy");
+}
+
+// ---------------------------------------------------------------------------
+// Session: execution entry points
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Session::Execute(std::string_view paql) {
+  Stopwatch total;
+  QueryResult out;
+  PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, &out.timings));
+  PAQL_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompileResolved(resolved, &out.timings));
+
+  Stopwatch plan_watch;
+  QueryShape shape;
+  shape.ratio_objective = compiled.ratio_objective;
+  shape.joined_from = resolved.joined_from;
+  Planner planner(options_.planner);
+  out.plan = planner.Decide(*resolved.table, shape);
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<engine::PackageEvaluator> strategy,
+                        MakeStrategy(resolved, &out.plan));
+  out.timings.plan_seconds = plan_watch.ElapsedSeconds();
+
+  Stopwatch eval_watch;
+  auto result = strategy->Evaluate(compiled, options_.exec);
+  out.timings.evaluate_seconds = eval_watch.ElapsedSeconds();
+  if (!result.ok()) return result.status();
+
+  out.package = std::move(result->package);
+  out.objective = result->objective;
+  out.stats = result->stats;
+  out.table = resolved.table;
+
+  // Belt and braces for every strategy: the facade only returns packages
+  // that satisfy the query (base predicate, REPEAT bound, and all global
+  // constraints — the `ilp` artifact carries them even for ratio queries).
+  Status valid =
+      core::ValidatePackage(compiled.ilp, *resolved.table, out.package);
+  if (!valid.ok()) {
+    return Status::Internal(StrCat("strategy ",
+                                   engine::StrategyName(out.plan.strategy),
+                                   " returned an invalid package: ",
+                                   valid.message()));
+  }
+  out.timings.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+Result<std::vector<QueryResult>> Session::ExecuteTopK(std::string_view paql,
+                                                      size_t k,
+                                                      int64_t min_difference) {
+  Stopwatch total;
+  PhaseTimings timings;
+  PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, &timings));
+  PAQL_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompileResolved(resolved, &timings));
+  if (compiled.ratio_objective) {
+    return Status::Unsupported(
+        "top-k enumeration does not support ratio (AVG) objectives");
+  }
+
+  Stopwatch plan_watch;
+  QueryShape shape;
+  shape.joined_from = resolved.joined_from;
+  shape.topk = k;
+  Planner planner(options_.planner);
+  Plan plan = planner.Decide(*resolved.table, shape);
+  timings.plan_seconds = plan_watch.ElapsedSeconds();
+
+  Stopwatch eval_watch;
+  core::TopKOptions topts;
+  static_cast<ExecContext&>(topts) = options_.exec;
+  topts.k = k;
+  topts.min_difference = min_difference;
+  auto enumerated =
+      core::EnumerateTopPackages(*resolved.table, compiled.ilp, topts);
+  timings.evaluate_seconds = eval_watch.ElapsedSeconds();
+  if (!enumerated.ok()) return enumerated.status();
+  timings.total_seconds = total.ElapsedSeconds();
+
+  std::vector<QueryResult> out;
+  out.reserve(enumerated->size());
+  for (core::EvalResult& result : *enumerated) {
+    QueryResult qr;
+    qr.package = std::move(result.package);
+    qr.objective = result.objective;
+    qr.stats = result.stats;
+    qr.plan = plan;
+    qr.timings = timings;
+    qr.table = resolved.table;
+    out.push_back(std::move(qr));
+  }
+  return out;
+}
+
+Result<Plan> Session::PlanQuery(std::string_view paql) {
+  PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, nullptr));
+  PAQL_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompileResolved(resolved, nullptr));
+  QueryShape shape;
+  shape.ratio_objective = compiled.ratio_objective;
+  shape.joined_from = resolved.joined_from;
+  Planner planner(options_.planner);
+  Plan plan = planner.Decide(*resolved.table, shape);
+  if (plan.uses_partitioning()) {
+    PAQL_ASSIGN_OR_RETURN(auto partitioning,
+                          PartitioningFor(resolved, &plan));
+    (void)partitioning;
+  }
+  return plan;
+}
+
+Result<std::string> Session::Explain(std::string_view paql) {
+  PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, nullptr));
+  PAQL_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        CompileResolved(resolved, nullptr));
+
+  QueryShape shape;
+  shape.ratio_objective = compiled.ratio_objective;
+  shape.joined_from = resolved.joined_from;
+  Planner planner(options_.planner);
+  Plan plan = planner.Decide(*resolved.table, shape);
+
+  std::ostringstream os;
+  if (plan.uses_partitioning()) {
+    PAQL_ASSIGN_OR_RETURN(auto partitioning, PartitioningFor(resolved, &plan));
+    os << plan.Explain() << "\n"
+       << core::ExplainSketchRefine(compiled.ilp, *resolved.table,
+                                    *partitioning);
+  } else {
+    os << plan.Explain() << "\n"
+       << core::ExplainDirect(compiled.ilp, *resolved.table);
+  }
+  return os.str();
+}
+
+Status Session::DumpLp(std::string_view paql, std::ostream& os) {
+  auto resolved = Resolve(paql, nullptr);
+  if (!resolved.ok()) return resolved.status();
+  auto compiled = CompileResolved(*resolved, nullptr);
+  if (!compiled.ok()) return compiled.status();
+  if (compiled->ratio_objective) {
+    return Status::Unsupported(
+        "ratio (AVG) objectives have no linear LP translation to dump");
+  }
+  auto model = compiled->ilp.BuildModel(
+      *resolved->table, compiled->ilp.ComputeBaseRows(*resolved->table));
+  if (!model.ok()) return model.status();
+  lp::WriteLpFormat(*model, os);
+  return Status::OK();
+}
+
+}  // namespace paql

@@ -1,0 +1,179 @@
+// paql::Engine — the single entry point for evaluating package queries.
+//
+//   auto session = paql::Engine::Open(std::move(table));
+//   auto result  = session->Execute(R"(
+//       SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0
+//       WHERE R.gluten = 'free'
+//       SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5
+//       MINIMIZE SUM(P.saturated_fat))");
+//   if (result.ok()) std::cout << result->Materialize().ToString();
+//
+// Execute runs the whole pipeline — parse -> resolve/join FROM ->
+// validate -> compile (PaQL -> ILP) -> plan -> evaluate — and the planner,
+// not the caller, chooses between exact DIRECT and scalable SKETCHREFINE
+// (building or reusing a partitioning as needed). The low-level strategy
+// classes in core/ remain available for specialized callers, but every
+// example and bench in this repo goes through the facade.
+#ifndef PAQL_ENGINE_ENGINE_H_
+#define PAQL_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/from_clause.h"
+#include "core/package.h"
+#include "engine/evaluator.h"
+#include "engine/exec_context.h"
+#include "engine/planner.h"
+#include "paql/validator.h"
+#include "partition/partitioner.h"
+#include "relation/table.h"
+
+namespace paql {
+
+/// Everything a session lets you tune. Defaults are sensible: unlimited
+/// solver budgets, auto strategy selection, tau = 10% of the table.
+struct EngineOptions {
+  /// Strategy selection (thresholds, explicit override, partitioning
+  /// policy, worker threads).
+  engine::PlannerOptions planner;
+  /// Execution settings shared by every strategy (solver budgets,
+  /// branch-and-bound, cancellation, seed).
+  engine::ExecContext exec;
+  /// Multi-relation FROM materialization guard rails.
+  core::FromClauseOptions from_clause;
+  /// Language-fragment switches.
+  lang::ValidateOptions validate;
+};
+
+/// The answer to one Execute call: the package, the plan that produced it,
+/// and per-phase timings. Package row ids refer to `table` (the session
+/// table, or the materialized join result for multi-relation queries).
+struct QueryResult {
+  core::Package package;
+  double objective = 0;
+  core::EvalStats stats;        // strategy-level statistics
+  engine::Plan plan;            // what the planner chose and why
+  engine::PhaseTimings timings; // parse/validate/compile/plan/evaluate
+  std::shared_ptr<const relation::Table> table;
+
+  /// The package as a relation with the input schema.
+  relation::Table Materialize() const { return package.Materialize(*table); }
+};
+
+/// A session: an open catalog of tables plus cached partitionings and
+/// per-session options. Create with Engine::Open, then Execute PaQL text.
+class Session {
+ public:
+  /// Run one PaQL query end to end (parse -> validate -> compile -> plan
+  /// -> evaluate). Returns the answer package, kInfeasible when no package
+  /// satisfies the constraints, kResourceExhausted on budget exhaustion,
+  /// or the parse/validation error.
+  Result<QueryResult> Execute(std::string_view paql);
+
+  /// Enumerate the k best distinct packages (REPEAT 0 + objective queries
+  /// only), best first, each at least `min_difference` tuple swaps apart.
+  Result<std::vector<QueryResult>> ExecuteTopK(std::string_view paql,
+                                               size_t k,
+                                               int64_t min_difference = 1);
+
+  /// The planner's choice for `paql` (strategy, reason, partitioning
+  /// details) without solving anything. Builds/caches the partitioning a
+  /// SKETCHREFINE plan would use, so the report shows real group counts.
+  Result<engine::Plan> PlanQuery(std::string_view paql);
+
+  /// The evaluation plan for `paql` — the planner's choice plus the
+  /// strategy-level problem shape (translated ILP or partitioning plan) —
+  /// without solving anything.
+  Result<std::string> Explain(std::string_view paql);
+
+  /// Write the translated whole-problem ILP in CPLEX LP format (for
+  /// external solvers). Fails on ratio objectives (no linear translation).
+  Status DumpLp(std::string_view paql, std::ostream& os);
+
+  /// Register another relation for multi-table FROM clauses. Fails with
+  /// kInvalidArgument when the name is already taken.
+  Status AddTable(std::string name, relation::Table table);
+
+  /// Read a CSV file and register it under its basename (sans extension).
+  Status AddTableFromCsv(const std::string& path);
+
+  /// Mutable session options; changes apply to subsequent Execute calls.
+  EngineOptions& options() { return options_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Names of the registered tables (sorted).
+  std::vector<std::string> table_names() const;
+
+ private:
+  friend class Engine;
+
+  struct ResolvedQuery {
+    lang::PackageQuery ast;    // single-relation (joins materialized)
+    std::shared_ptr<const relation::Table> table;
+    std::string table_name;    // registered name; empty for join results
+    bool joined_from = false;
+  };
+
+  Session() = default;
+
+  /// parse + resolve/join FROM + validate + compile, with timings.
+  Result<ResolvedQuery> Resolve(std::string_view paql,
+                                engine::PhaseTimings* timings);
+  Result<engine::CompiledQuery> CompileResolved(
+      const ResolvedQuery& resolved, engine::PhaseTimings* timings);
+
+  /// Look up (or build and cache) the partitioning a SKETCHREFINE plan
+  /// needs, and record its details in `plan`.
+  Result<std::shared_ptr<const partition::Partitioning>> PartitioningFor(
+      const ResolvedQuery& resolved, engine::Plan* plan);
+
+  /// Construct the strategy adapter `plan` names.
+  Result<std::unique_ptr<engine::PackageEvaluator>> MakeStrategy(
+      const ResolvedQuery& resolved, engine::Plan* plan);
+
+  /// The last materialized multi-relation join, keyed by the exact query
+  /// text (size-1 cache: it serves the repeat-same-statement pattern
+  /// without holding many large join results alive).
+  struct JoinCacheEntry {
+    std::string query_text;
+    lang::PackageQuery ast;
+    std::shared_ptr<const relation::Table> table;
+  };
+
+  std::map<std::string, std::shared_ptr<const relation::Table>> tables_;
+  std::map<std::string, std::shared_ptr<const partition::Partitioning>>
+      partition_cache_;
+  std::optional<JoinCacheEntry> join_cache_;
+  EngineOptions options_;
+};
+
+/// The facade's only constructor surface.
+class Engine {
+ public:
+  /// Open a session over one in-memory table, registered under `name`
+  /// (queries whose FROM names don't match fall back to the only table of
+  /// a single-table session, so the paper's examples run as written).
+  static Result<Session> Open(relation::Table table, std::string name = "R",
+                              EngineOptions options = {});
+
+  /// Same, sharing an externally-owned table instead of copying it (used
+  /// by the benches, whose tables are large and outlive the session).
+  static Result<Session> Open(std::shared_ptr<const relation::Table> table,
+                              std::string name = "R",
+                              EngineOptions options = {});
+
+  /// Open a session over a CSV file; the relation is named after the file
+  /// basename without extension.
+  static Result<Session> OpenCsv(const std::string& path,
+                                 EngineOptions options = {});
+};
+
+}  // namespace paql
+
+#endif  // PAQL_ENGINE_ENGINE_H_

@@ -1,0 +1,69 @@
+// The one evaluator interface every execution strategy implements.
+//
+// The paper presents package evaluation as a choice between specialized
+// algorithms — exact DIRECT (§3.2), scalable SKETCHREFINE (§4), plus the
+// variants this repo grew around them (parallel, LP rounding, ratio
+// objectives). The engine treats each of them as an interchangeable
+// strategy behind `PackageEvaluator`: the planner picks one, the session
+// calls `Evaluate(query, ctx)`, and the strategy maps the shared
+// ExecContext onto its legacy options struct.
+#ifndef PAQL_ENGINE_EVALUATOR_H_
+#define PAQL_ENGINE_EVALUATOR_H_
+
+#include <string_view>
+
+#include "core/package.h"
+#include "engine/exec_context.h"
+#include "paql/ast.h"
+#include "paql/validator.h"
+#include "translate/compiled_query.h"
+
+namespace paql::engine {
+
+/// The engine's prepared-statement artifact: one validated PaQL query,
+/// bound to a schema, with its ILP translation ready.
+///
+/// For ratio (AVG) objectives — which have no linear ILP translation — the
+/// `ilp` artifact is compiled from the constraints-only query and
+/// `ratio_objective` is set; the Dinkelbach strategy re-derives the
+/// parametric objective from `ast` at evaluation time.
+struct CompiledQuery {
+  /// The (single-relation, post join-materialization) query text as parsed.
+  lang::PackageQuery ast;
+  /// PaQL -> ILP translation artifacts over `ast` (constraints only when
+  /// `ratio_objective`).
+  translate::CompiledQuery ilp;
+  /// MINIMIZE/MAXIMIZE AVG(...): route to the ratio-objective strategy.
+  bool ratio_objective = false;
+
+  /// Validate `query` against `schema` (under `validate`) and translate
+  /// it. Fails with the validator's error on malformed or unsupported
+  /// queries.
+  static Result<CompiledQuery> Compile(
+      const lang::PackageQuery& query, const relation::Schema& schema,
+      const lang::ValidateOptions& validate = {});
+
+  /// True when `query`'s objective is a bare AVG aggregate (the shape the
+  /// Dinkelbach evaluator accepts).
+  static bool HasRatioObjective(const lang::PackageQuery& query);
+};
+
+/// Abstract evaluation strategy: DIRECT, SKETCHREFINE, and friends each
+/// get a thin adapter implementing this interface (see evaluators.h).
+class PackageEvaluator {
+ public:
+  virtual ~PackageEvaluator() = default;
+
+  /// Strategy name as reported by plans and EXPLAIN (e.g. "DIRECT").
+  virtual std::string_view name() const = 0;
+
+  /// Evaluate the query under the shared execution settings. Returns the
+  /// answer package, kInfeasible when no package satisfies the
+  /// constraints, or kResourceExhausted on budget/cancellation.
+  virtual Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                            const ExecContext& ctx) const = 0;
+};
+
+}  // namespace paql::engine
+
+#endif  // PAQL_ENGINE_EVALUATOR_H_

@@ -1,0 +1,95 @@
+// Thin adapters wrapping each core evaluation strategy behind the
+// PackageEvaluator interface.
+//
+// Each adapter holds the inputs the underlying algorithm needs (table,
+// offline partitioning, thread count) and, at Evaluate time, copies the
+// shared ExecContext into the strategy's legacy options struct. The core
+// classes stay available for callers that want the full per-strategy
+// surface; the engine only needs this uniform slice.
+#ifndef PAQL_ENGINE_EVALUATORS_H_
+#define PAQL_ENGINE_EVALUATORS_H_
+
+#include <memory>
+
+#include "core/parallel.h"
+#include "engine/evaluator.h"
+#include "partition/partitioner.h"
+#include "relation/table.h"
+
+namespace paql::engine {
+
+/// DIRECT (paper §3.2): one exact ILP over the full base relation.
+class DirectStrategy : public PackageEvaluator {
+ public:
+  explicit DirectStrategy(std::shared_ptr<const relation::Table> table);
+  std::string_view name() const override { return "DIRECT"; }
+  Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                    const ExecContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const relation::Table> table_;
+};
+
+/// SKETCHREFINE (paper §4): sketch over representatives, greedy refine.
+class SketchRefineStrategy : public PackageEvaluator {
+ public:
+  SketchRefineStrategy(
+      std::shared_ptr<const relation::Table> table,
+      std::shared_ptr<const partition::Partitioning> partitioning);
+  std::string_view name() const override { return "SKETCHREFINE"; }
+  Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                    const ExecContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const partition::Partitioning> partitioning_;
+};
+
+/// Parallel SKETCHREFINE (paper §4.5): group-parallel refinement with a
+/// sequential fallback, or an ordering race.
+class ParallelSketchRefineStrategy : public PackageEvaluator {
+ public:
+  ParallelSketchRefineStrategy(
+      std::shared_ptr<const relation::Table> table,
+      std::shared_ptr<const partition::Partitioning> partitioning,
+      int num_threads,
+      core::ParallelMode mode = core::ParallelMode::kGroupParallel);
+  std::string_view name() const override { return "PARALLEL_SKETCHREFINE"; }
+  Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                    const ExecContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const partition::Partitioning> partitioning_;
+  int num_threads_;
+  core::ParallelMode mode_;
+};
+
+/// LP relaxation + rounding + repair (related-work baseline, paper §6).
+class LpRoundingStrategy : public PackageEvaluator {
+ public:
+  explicit LpRoundingStrategy(std::shared_ptr<const relation::Table> table);
+  std::string_view name() const override { return "LP_ROUNDING"; }
+  Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                    const ExecContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const relation::Table> table_;
+};
+
+/// Dinkelbach parametric evaluation for MINIMIZE/MAXIMIZE AVG objectives.
+class RatioObjectiveStrategy : public PackageEvaluator {
+ public:
+  explicit RatioObjectiveStrategy(
+      std::shared_ptr<const relation::Table> table);
+  std::string_view name() const override { return "RATIO_OBJECTIVE"; }
+  Result<core::EvalResult> Evaluate(const CompiledQuery& query,
+                                    const ExecContext& ctx) const override;
+
+ private:
+  std::shared_ptr<const relation::Table> table_;
+};
+
+}  // namespace paql::engine
+
+#endif  // PAQL_ENGINE_EVALUATORS_H_

@@ -1,0 +1,68 @@
+// ExecContext: the execution settings shared by every evaluation strategy.
+//
+// Before the engine facade existed, each evaluator carried its own options
+// struct with copy-pasted solver budgets (`DirectOptions::limits`,
+// `SketchRefineOptions::subproblem_limits`, `LpRoundingOptions::
+// repair_limits`, ...), branch-and-bound settings, seeds, and cancellation
+// flags. ExecContext is the single home for those shared fields; the
+// per-strategy options structs in core/ now derive from it and add only
+// their strategy-specific knobs.
+//
+// Header-only on purpose: core/ includes this file from its options structs
+// while the engine *library* (planner, adapters, facade) links against
+// core/ — keeping the dependency arrow between the two libraries acyclic.
+#ifndef PAQL_ENGINE_EXEC_CONTEXT_H_
+#define PAQL_ENGINE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "ilp/branch_and_bound.h"
+#include "ilp/solver_limits.h"
+
+namespace paql::engine {
+
+/// Wall-clock seconds spent in each stage of Session::Execute's
+/// parse -> validate -> compile -> plan -> evaluate pipeline (reported in
+/// QueryResult::timings).
+struct PhaseTimings {
+  double parse_seconds = 0;
+  double resolve_seconds = 0;    // FROM binding + join materialization
+  double compile_seconds = 0;    // semantic validation + PaQL -> ILP
+  double plan_seconds = 0;       // strategy choice + partitioning build/lookup
+  double evaluate_seconds = 0;   // the chosen strategy, end to end
+  double total_seconds = 0;
+
+  void Reset() { *this = PhaseTimings(); }
+};
+
+/// Execution settings every strategy understands. A default-constructed
+/// context means: unlimited solver budgets, default branch-and-bound, no
+/// cancellation, seed 42.
+struct ExecContext {
+  /// Budgets applied to every ILP solve the strategy performs (DIRECT's
+  /// single solve, each SKETCHREFINE subproblem, each Dinkelbach
+  /// iteration, the LP-rounding repair ILP, each top-k enumeration step).
+  ilp::SolverLimits limits;
+
+  /// Branch-and-bound settings for those solves.
+  ilp::BranchAndBoundOptions branch_and_bound;
+
+  /// Optional cooperative-cancellation flag, polled between (sub)problem
+  /// solves. When another thread sets it, evaluation stops with
+  /// kResourceExhausted. Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Seed for any randomized choice a strategy makes (e.g. SKETCHREFINE's
+  /// initial refinement order, the parallel ordering race's racer seeds).
+  uint64_t seed = 42;
+
+  /// True once `cancel` has been set by another thread.
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace paql::engine
+
+#endif  // PAQL_ENGINE_EXEC_CONTEXT_H_

@@ -164,7 +164,7 @@ TEST(ParallelRaceTest, DifferentSeedsStillAgreeOnFeasibility) {
     ParallelOptions opts;
     opts.mode = ParallelMode::kOrderingRace;
     opts.num_threads = 3;
-    opts.seed = seed;
+    opts.sketch_refine.seed = seed;
     ParallelSketchRefineEvaluator evaluator(t, p, opts);
     auto result = evaluator.Evaluate(cq);
     ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status();
@@ -180,12 +180,12 @@ TEST(ParallelRaceTest, MatchesSequentialWithOneThread) {
   ParallelOptions popts;
   popts.mode = ParallelMode::kOrderingRace;
   popts.num_threads = 1;
-  popts.seed = 7;
+  popts.sketch_refine.seed = 7;
   ParallelSketchRefineEvaluator par(t, p, popts);
   auto pr = par.Evaluate(cq);
   ASSERT_TRUE(pr.ok()) << pr.status();
   SketchRefineOptions sopts;
-  sopts.refine_order_seed = 7;
+  sopts.seed = 7;
   SketchRefineEvaluator seq(t, p, sopts);
   auto sr = seq.Evaluate(cq);
   ASSERT_TRUE(sr.ok());
