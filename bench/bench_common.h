@@ -13,6 +13,7 @@
 #define PAQL_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -200,6 +201,54 @@ inline std::string ApproxRatio(const RunCell& direct, const RunCell& sr,
   double ratio = maximize ? direct.objective / sr.objective
                           : sr.objective / direct.objective;
   return FormatDouble(ratio, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable micro-benchmark output (BENCH_*.json)
+// ---------------------------------------------------------------------------
+
+/// One micro measurement: a named kernel and its per-row cost.
+struct MicroMeasurement {
+  std::string name;
+  double ns_per_row = 0;
+};
+
+/// Derived scalar/vectorized ratios, keyed by kernel family.
+struct MicroSpeedup {
+  std::string name;
+  double factor = 0;
+};
+
+/// Write the BENCH_micro.json perf-trajectory record: per-kernel ns/row
+/// plus scalar-over-vectorized speedup factors. The format is flat on
+/// purpose — one object, stable keys — so successive PRs diff cleanly.
+inline Status WriteBenchMicroJson(const std::string& path, size_t rows,
+                                  const std::vector<MicroMeasurement>& entries,
+                                  const std::vector<MicroSpeedup>& speedups) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::InvalidArgument(StrCat("cannot write ", path));
+  }
+  os << "{\n";
+  os << "  \"bench\": \"micro_components\",\n";
+  os << "  \"unit\": \"ns_per_row\",\n";
+  os << "  \"rows\": " << rows << ",\n";
+  os << "  \"entries\": {\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    os << "    \"" << entries[i].name
+       << "\": " << FormatDouble(entries[i].ns_per_row, 3)
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  },\n";
+  os << "  \"speedup\": {\n";
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    os << "    \"" << speedups[i].name
+       << "\": " << FormatDouble(speedups[i].factor, 2)
+       << (i + 1 < speedups.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+  return Status::OK();
 }
 
 }  // namespace paql::bench

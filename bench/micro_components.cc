@@ -3,8 +3,15 @@
 // integer solves, partitioning, and SketchRefine end-to-end. These are the
 // cost centers behind every figure; run in Release mode for meaningful
 // numbers.
+//
+// Every run additionally measures the scalar vs vectorized expression
+// pipelines (predicate scan + SUM aggregation) and records the ns/row
+// numbers in BENCH_micro.json — the machine-readable perf trajectory that
+// keeps future performance PRs honest.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
 #include "core/direct.h"
 #include "core/ratio_objective.h"
 #include "core/sketch_refine.h"
@@ -15,6 +22,7 @@
 #include "partition/dynamic_update.h"
 #include "partition/partitioner.h"
 #include "translate/compiled_query.h"
+#include "translate/vector_expr.h"
 #include "workload/galaxy.h"
 #include "workload/queries.h"
 
@@ -212,7 +220,197 @@ void BM_AbsorbAppendedRows(benchmark::State& state) {
 }
 BENCHMARK(BM_AbsorbAppendedRows)->Arg(10000)->Arg(50000);
 
+// ---------------------------------------------------------------------------
+// Scalar vs vectorized expression pipelines (the BENCH_micro.json suite)
+// ---------------------------------------------------------------------------
+
+/// The WHERE clause is the predicate-scan kernel; the objective argument is
+/// the SUM-aggregation kernel. Both touch several columns with arithmetic,
+/// the shape the paper's Galaxy workload queries take.
+constexpr const char* kMicroQueryText =
+    "SELECT PACKAGE(G) AS P FROM Galaxy G "
+    "WHERE G.expMag_r + 0.1 * G.deVMag_r <= 40 "
+    "AND G.redshift BETWEEN 0.05 AND 2.5 "
+    "MINIMIZE SUM(G.petroFlux_r * 0.001 + G.petroRad_r)";
+
+size_t CountScalar(const relation::Table& t,
+                   const translate::RowPred& pred) {
+  size_t n = 0;
+  for (relation::RowId r = 0; r < t.num_rows(); ++r) {
+    n += pred(t, r) ? 1 : 0;
+  }
+  return n;
+}
+
+size_t CountVectorized(const relation::Table& t,
+                       const translate::BatchPred& pred) {
+  size_t n = 0;
+  relation::SelectionVector sel;
+  for (size_t start = 0; start < t.num_rows(); start += relation::kChunkSize) {
+    relation::RowSpan span;
+    span.start = static_cast<relation::RowId>(start);
+    span.len = static_cast<uint32_t>(
+        std::min(relation::kChunkSize, t.num_rows() - start));
+    sel.MakeDense(span.len);
+    pred(t, span, &sel);
+    n += sel.count;
+  }
+  return n;
+}
+
+/// Compiled micro kernels over the shared Galaxy table.
+struct MicroKernels {
+  const relation::Table* table;
+  translate::RowPred scalar_pred;
+  translate::BatchPred batch_pred;
+  translate::CompiledAggArg agg;
+};
+
+MicroKernels MakeMicroKernels(size_t rows) {
+  MicroKernels k;
+  k.table = &SharedGalaxy(rows);
+  auto q = lang::ParsePackageQuery(kMicroQueryText);
+  PAQL_CHECK_MSG(q.ok(), q.status());
+  auto scalar_pred = translate::CompileBool(*q->where, k.table->schema());
+  PAQL_CHECK_MSG(scalar_pred.ok(), scalar_pred.status());
+  auto batch_pred = translate::CompileBoolBatch(*q->where, k.table->schema());
+  PAQL_CHECK_MSG(batch_pred.ok(), batch_pred.status());
+  auto agg =
+      translate::CompileAggArg(*q->objective->expr->agg, k.table->schema());
+  PAQL_CHECK_MSG(agg.ok(), agg.status());
+  PAQL_CHECK_MSG(agg->vectorized(), "micro aggregate lost its batch twin");
+  k.scalar_pred = std::move(*scalar_pred);
+  k.batch_pred = std::move(*batch_pred);
+  k.agg = std::move(*agg);
+  return k;
+}
+
+void BM_PredicateScanScalar(benchmark::State& state) {
+  MicroKernels k = MakeMicroKernels(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t n = CountScalar(*k.table, k.scalar_pred);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredicateScanScalar)->Arg(100000)->Arg(1000000);
+
+void BM_PredicateScanVectorized(benchmark::State& state) {
+  MicroKernels k = MakeMicroKernels(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    size_t n = CountVectorized(*k.table, k.batch_pred);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredicateScanVectorized)->Arg(100000)->Arg(1000000);
+
+void BM_SumAggregateScalar(benchmark::State& state) {
+  MicroKernels k = MakeMicroKernels(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    double s = translate::AggregateSumScalar(*k.table, k.agg);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SumAggregateScalar)->Arg(100000)->Arg(1000000);
+
+void BM_SumAggregateVectorized(benchmark::State& state) {
+  MicroKernels k = MakeMicroKernels(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    double s = translate::AggregateSumVectorized(*k.table, k.agg);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SumAggregateVectorized)->Arg(100000)->Arg(1000000);
+
+template <typename Fn>
+double BestNsPerRow(size_t rows, int reps, Fn fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best * 1e9 / static_cast<double>(rows);
+}
+
 }  // namespace
+
+/// Measure the four pipeline kernels at `rows` rows, cross-check that both
+/// pipelines agree exactly, print a paper-style table, and record the
+/// trajectory in `json_path`.
+void RunVectorizedMicroSuite(size_t rows, const std::string& json_path) {
+  MicroKernels k = MakeMicroKernels(rows);
+  const relation::Table& t = *k.table;
+
+  // Correctness gate before any timing: identical selections and sums.
+  size_t scalar_count = CountScalar(t, k.scalar_pred);
+  size_t vector_count = CountVectorized(t, k.batch_pred);
+  PAQL_CHECK_MSG(scalar_count == vector_count,
+                 "pipelines disagree: " << scalar_count << " vs "
+                                        << vector_count);
+  double scalar_sum = translate::AggregateSumScalar(t, k.agg);
+  double vector_sum = translate::AggregateSumVectorized(t, k.agg);
+  PAQL_CHECK_MSG(scalar_sum == vector_sum,
+                 "pipelines disagree: " << scalar_sum << " vs " << vector_sum);
+
+  constexpr int kReps = 5;
+  std::vector<MicroMeasurement> entries;
+  entries.push_back({"predicate_scan_scalar",
+                     BestNsPerRow(rows, kReps, [&] {
+                       benchmark::DoNotOptimize(CountScalar(t, k.scalar_pred));
+                     })});
+  entries.push_back({"predicate_scan_vectorized",
+                     BestNsPerRow(rows, kReps, [&] {
+                       benchmark::DoNotOptimize(
+                           CountVectorized(t, k.batch_pred));
+                     })});
+  entries.push_back({"sum_aggregate_scalar",
+                     BestNsPerRow(rows, kReps, [&] {
+                       benchmark::DoNotOptimize(
+                           translate::AggregateSumScalar(t, k.agg));
+                     })});
+  entries.push_back({"sum_aggregate_vectorized",
+                     BestNsPerRow(rows, kReps, [&] {
+                       benchmark::DoNotOptimize(
+                           translate::AggregateSumVectorized(t, k.agg));
+                     })});
+
+  std::vector<MicroSpeedup> speedups;
+  speedups.push_back(
+      {"predicate_scan", entries[0].ns_per_row / entries[1].ns_per_row});
+  speedups.push_back(
+      {"sum_aggregate", entries[2].ns_per_row / entries[3].ns_per_row});
+
+  TablePrinter printer({"kernel", "ns/row", "speedup"});
+  printer.AddRow({entries[0].name, FormatDouble(entries[0].ns_per_row, 2),
+                  "1.00"});
+  printer.AddRow({entries[1].name, FormatDouble(entries[1].ns_per_row, 2),
+                  FormatDouble(speedups[0].factor, 2)});
+  printer.AddRow({entries[2].name, FormatDouble(entries[2].ns_per_row, 2),
+                  "1.00"});
+  printer.AddRow({entries[3].name, FormatDouble(entries[3].ns_per_row, 2),
+                  FormatDouble(speedups[1].factor, 2)});
+  std::cout << "== scalar vs vectorized pipelines (" << rows << " rows) ==\n";
+  printer.Print(std::cout);
+
+  Status written = WriteBenchMicroJson(json_path, rows, entries, speedups);
+  PAQL_CHECK_MSG(written.ok(), written);
+  std::cout << "wrote " << json_path << "\n\n";
+}
+
 }  // namespace paql::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  paql::bench::BenchConfig config = paql::bench::ParseBenchArgs(argc, argv);
+  // The paper-trajectory suite runs first so every invocation — including
+  // `--benchmark_filter=none` smoke runs — refreshes BENCH_micro.json.
+  paql::bench::RunVectorizedMicroSuite(config.quick ? 200000 : 1000000,
+                                       "BENCH_micro.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,33 +20,51 @@ Result<EvalResult> DirectEvaluator::Evaluate(
 
 Result<EvalResult> DirectEvaluator::Evaluate(
     const translate::CompiledQuery& query) const {
-  std::vector<relation::RowId> all(table_->num_rows());
-  for (relation::RowId r = 0; r < table_->num_rows(); ++r) all[r] = r;
-  return EvaluateOnRows(query, all);
+  if (options_.Cancelled()) {
+    return Status::ResourceExhausted("evaluation cancelled");
+  }
+  Stopwatch translate_watch;
+  // Step 2 (paper): the base relation over the whole table — a contiguous
+  // chunked scan on the vectorized pipeline, a row-at-a-time loop on the
+  // scalar one (identical result either way).
+  std::vector<relation::RowId> candidates =
+      options_.vectorized ? query.ComputeBaseRowsVectorized(*table_)
+                          : query.ComputeBaseRows(*table_);
+  return SolveCandidates(query, candidates,
+                         translate_watch.ElapsedSeconds());
 }
 
 Result<EvalResult> DirectEvaluator::EvaluateOnRows(
     const translate::CompiledQuery& query,
     const std::vector<relation::RowId>& rows) const {
+  if (options_.Cancelled()) {
+    return Status::ResourceExhausted("evaluation cancelled");
+  }
+  Stopwatch translate_watch;
+  std::vector<relation::RowId> candidates =
+      query.FilterBaseRows(*table_, rows, options_.vectorized);
+  return SolveCandidates(query, candidates,
+                         translate_watch.ElapsedSeconds());
+}
+
+Result<EvalResult> DirectEvaluator::SolveCandidates(
+    const translate::CompiledQuery& query,
+    const std::vector<relation::RowId>& candidates,
+    double filter_seconds) const {
   Stopwatch total;
   EvalResult result;
   if (options_.Cancelled()) {
     return Status::ResourceExhausted("evaluation cancelled");
   }
 
-  // Step 2 (paper): compute the base relation; variables for excluded
-  // tuples are eliminated (they simply never enter the model).
-  Stopwatch translate_watch;
-  std::vector<relation::RowId> candidates;
-  candidates.reserve(rows.size());
-  for (relation::RowId r : rows) {
-    if (query.BaseAccepts(*table_, r)) candidates.push_back(r);
-  }
-
   // Step 1 (paper): ILP formulation.
+  Stopwatch translate_watch;
+  translate::CompiledQuery::BuildOptions build;
+  build.vectorized = options_.vectorized;
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
-                        query.BuildModel(*table_, candidates));
-  result.stats.translate_seconds = translate_watch.ElapsedSeconds();
+                        query.BuildModel(*table_, candidates, build));
+  result.stats.translate_seconds =
+      filter_seconds + translate_watch.ElapsedSeconds();
 
   // Step 3 (paper): ILP execution by the black-box solver.
   auto solution = ilp::SolveIlp(model, options_.limits,
@@ -68,7 +86,7 @@ Result<EvalResult> DirectEvaluator::EvaluateOnRows(
   }
   result.objective = query.ObjectiveValue(*table_, result.package.rows,
                                           result.package.multiplicity);
-  result.stats.wall_seconds = total.ElapsedSeconds();
+  result.stats.wall_seconds = total.ElapsedSeconds() + filter_seconds;
   return result;
 }
 

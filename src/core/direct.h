@@ -41,6 +41,13 @@ class DirectEvaluator {
   const relation::Table& table() const { return *table_; }
 
  private:
+  /// Steps 1+3 over an already-filtered candidate set. `filter_seconds`
+  /// (the base-relation scan) is folded into the reported timings.
+  Result<EvalResult> SolveCandidates(
+      const translate::CompiledQuery& query,
+      const std::vector<relation::RowId>& candidates,
+      double filter_seconds) const;
+
   const relation::Table* table_;
   DirectOptions options_;
 };

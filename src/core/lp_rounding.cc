@@ -47,9 +47,13 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
   }
 
   Stopwatch translate_watch;
-  std::vector<RowId> candidates = query.ComputeBaseRows(*table_);
+  std::vector<RowId> candidates = options_.vectorized
+                                      ? query.ComputeBaseRowsVectorized(*table_)
+                                      : query.ComputeBaseRows(*table_);
+  CompiledQuery::BuildOptions base_build;
+  base_build.vectorized = options_.vectorized;
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
-                        query.BuildModel(*table_, candidates));
+                        query.BuildModel(*table_, candidates, base_build));
   result.stats.translate_seconds = translate_watch.ElapsedSeconds();
 
   // Step 1: one LP relaxation over the whole problem.
@@ -132,6 +136,7 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
     for (size_t k : repair_set) repair_rows.push_back(candidates[k]);
     CompiledQuery::BuildOptions build;
     build.activity_offset = &offsets;
+    build.vectorized = options_.vectorized;
     PAQL_ASSIGN_OR_RETURN(lp::Model repair_model,
                           query.BuildModel(*table_, repair_rows, build));
     PAQL_ASSIGN_OR_RETURN(

@@ -35,7 +35,9 @@ Result<EvalResult> NaiveSelfJoinEvaluator::Evaluate(
   EvalResult result;
   Deadline deadline(options_.time_limit_s);
 
-  std::vector<RowId> base = query.ComputeBaseRows(*table_);
+  std::vector<RowId> base = options_.vectorized
+                                ? query.ComputeBaseRowsVectorized(*table_)
+                                : query.ComputeBaseRows(*table_);
   size_t n = base.size();
   if (static_cast<size_t>(cardinality) > n) {
     return Status::Infeasible(

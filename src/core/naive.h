@@ -26,6 +26,11 @@ struct NaiveOptions {
   /// hours (the paper measured ~24h at cardinality 7 on 100 tuples), so
   /// benches run it with a small budget and report the timeout.
   double time_limit_s = 0;
+
+  /// Compute the base relation through the chunked batch pipeline (the
+  /// WHERE scan is this evaluator's only per-tuple loop over the table;
+  /// the combination enumeration itself is inherently row-at-a-time).
+  bool vectorized = true;
 };
 
 /// Exhaustive self-join-style evaluator for fixed-cardinality queries with

@@ -165,11 +165,13 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
 
   // Group the base relation by the offline partitioning (as the sequential
   // driver does).
+  const bool vectorized = options_.sketch_refine.vectorized;
   std::vector<std::vector<RowId>> group_rows(partitioning_->num_groups());
-  for (RowId r = 0; r < table_->num_rows(); ++r) {
-    if (query.BaseAccepts(*table_, r)) {
-      group_rows[partitioning_->gid[r]].push_back(r);
-    }
+  std::vector<RowId> base = vectorized
+                                ? query.ComputeBaseRowsVectorized(*table_)
+                                : query.ComputeBaseRows(*table_);
+  for (RowId r : base) {
+    group_rows[partitioning_->gid[r]].push_back(r);
   }
   std::vector<size_t> active;  // groups with candidates
   for (size_t g = 0; g < group_rows.size(); ++g) {
@@ -194,7 +196,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   seg.rows = &rep_rows;
   seg.ub_override = &rep_ub;
   PAQL_ASSIGN_OR_RETURN(lp::Model sketch_model,
-                        query.BuildModelSegments({seg}, nullptr));
+                        query.BuildModelSegments({seg}, nullptr, vectorized));
   auto sketch = ilp::SolveIlp(sketch_model, options_.sketch_refine.limits,
                               options_.sketch_refine.branch_and_bound);
   if (!sketch.ok()) {
@@ -256,6 +258,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
       }
       CompiledQuery::BuildOptions build;
       build.activity_offset = &offsets;
+      build.vectorized = vectorized;
       auto model = query.BuildModel(*table_, group_rows[g], build);
       if (!model.ok()) {
         out.status = model.status();

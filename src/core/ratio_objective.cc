@@ -55,8 +55,12 @@ Result<EvalResult> RatioObjectiveEvaluator::Evaluate(
 
   EvalResult result;
   Stopwatch translate_watch;
-  std::vector<RowId> rows = cq.ComputeBaseRows(*table_);
-  PAQL_ASSIGN_OR_RETURN(lp::Model model, cq.BuildModel(*table_, rows));
+  std::vector<RowId> rows = options_.vectorized
+                                ? cq.ComputeBaseRowsVectorized(*table_)
+                                : cq.ComputeBaseRows(*table_);
+  CompiledQuery::BuildOptions build;
+  build.vectorized = options_.vectorized;
+  PAQL_ASSIGN_OR_RETURN(lp::Model model, cq.BuildModel(*table_, rows, build));
 
   std::vector<double> numerator(rows.size(), 0.0);
   std::vector<double> denominator(rows.size(), 0.0);

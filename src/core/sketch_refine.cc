@@ -47,13 +47,15 @@ class Driver {
     Stopwatch total;
     EvalResult result;
 
-    // Group the base relation by the offline partitioning.
+    // Group the base relation by the offline partitioning. The base scan
+    // runs chunked through the batch pipeline when enabled.
     Stopwatch translate_watch;
     std::vector<std::vector<RowId>> group_rows(partitioning_.num_groups());
-    for (RowId r = 0; r < table_.num_rows(); ++r) {
-      if (query_.BaseAccepts(table_, r)) {
-        group_rows[partitioning_.gid[r]].push_back(r);
-      }
+    std::vector<RowId> base = options_.vectorized
+                                  ? query_.ComputeBaseRowsVectorized(table_)
+                                  : query_.ComputeBaseRows(table_);
+    for (RowId r : base) {
+      group_rows[partitioning_.gid[r]].push_back(r);
     }
     stats_.translate_seconds += translate_watch.ElapsedSeconds();
 
@@ -142,7 +144,8 @@ class Driver {
       seg.rows = &prob.rows;
       seg.ub_override = &prob.ub;
       PAQL_ASSIGN_OR_RETURN(lp::Model model,
-                            query_.BuildModelSegments({seg}, &offsets));
+                            query_.BuildModelSegments({seg}, &offsets,
+                                                      options_.vectorized));
       PAQL_ASSIGN_OR_RETURN(ilp::IlpSolution sol, SolveModel(model));
       return RoundMults(sol.x, prob.rows.size());
     }
@@ -339,7 +342,10 @@ class Driver {
       }
     }
     std::vector<double> acts =
-        query_.LeafActivities(*prob.table, orig_rows, orig_mults);
+        options_.vectorized
+            ? query_.LeafActivitiesVectorized(*prob.table, orig_rows,
+                                              orig_mults)
+            : query_.LeafActivities(*prob.table, orig_rows, orig_mults);
     std::vector<double> rep_acts =
         query_.LeafActivities(*groups.rep_table, rep_rows, rep_mults);
     for (size_t i = 0; i < acts.size(); ++i) acts[i] += rep_acts[i];
@@ -471,7 +477,8 @@ class Driver {
     seg_rep.ub_override = &other_ub;
     PAQL_ASSIGN_OR_RETURN(
         lp::Model model,
-        query_.BuildModelSegments({seg_orig, seg_rep}, &offsets));
+        query_.BuildModelSegments({seg_orig, seg_rep}, &offsets,
+                                  options_.vectorized));
     PAQL_ASSIGN_OR_RETURN(ilp::IlpSolution sol, SolveModel(model));
     HybridResult out;
     out.group_mults = RoundMults(sol.x, orig_rows.size());

@@ -38,8 +38,13 @@ Result<std::vector<EvalResult>> EnumerateTopPackages(
     return Status::InvalidArgument("min_difference must be at least 1");
   }
 
-  std::vector<RowId> candidates = query.ComputeBaseRows(table);
-  PAQL_ASSIGN_OR_RETURN(lp::Model model, query.BuildModel(table, candidates));
+  std::vector<RowId> candidates = options.vectorized
+                                      ? query.ComputeBaseRowsVectorized(table)
+                                      : query.ComputeBaseRows(table);
+  translate::CompiledQuery::BuildOptions build;
+  build.vectorized = options.vectorized;
+  PAQL_ASSIGN_OR_RETURN(lp::Model model,
+                        query.BuildModel(table, candidates, build));
 
   std::vector<EvalResult> results;
   for (size_t round = 0; round < options.k; ++round) {

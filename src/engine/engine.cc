@@ -268,6 +268,8 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   out.plan = planner.Decide(*resolved.table, shape);
+  out.plan.vectorized =
+      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
   PAQL_ASSIGN_OR_RETURN(std::unique_ptr<engine::PackageEvaluator> strategy,
                         MakeStrategy(resolved, &out.plan));
   out.timings.plan_seconds = plan_watch.ElapsedSeconds();
@@ -316,6 +318,8 @@ Result<std::vector<QueryResult>> Session::ExecuteTopK(std::string_view paql,
   shape.topk = k;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
+  plan.vectorized =
+      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
   timings.plan_seconds = plan_watch.ElapsedSeconds();
 
   Stopwatch eval_watch;
@@ -353,6 +357,8 @@ Result<Plan> Session::PlanQuery(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
+  plan.vectorized =
+      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
   if (plan.uses_partitioning()) {
     PAQL_ASSIGN_OR_RETURN(auto partitioning,
                           PartitioningFor(resolved, &plan));
@@ -371,6 +377,8 @@ Result<std::string> Session::Explain(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
+  plan.vectorized =
+      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
 
   std::ostringstream os;
   if (plan.uses_partitioning()) {

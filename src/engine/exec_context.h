@@ -57,6 +57,14 @@ struct ExecContext {
   /// initial refinement order, the parallel ordering race's racer seeds).
   uint64_t seed = 42;
 
+  /// Evaluate per-tuple expressions through the vectorized batch pipeline
+  /// (1024-row chunks with selection vectors, translate/vector_expr.h)
+  /// instead of the row-at-a-time closures. Results are identical either
+  /// way (the differential tests enforce it); this exists as a kill switch
+  /// and for A/B benchmarking. Expressions the batch compiler cannot
+  /// handle fall back to scalar per piece even when enabled.
+  bool vectorized = true;
+
   /// True once `cancel` has been set by another thread.
   bool Cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);

@@ -121,6 +121,10 @@ std::string Plan::Explain() const {
   os << "reason: " << reason << "\n";
   os << "table rows: " << table_rows << "\n";
   os << "direct row threshold: " << direct_row_threshold << "\n";
+  os << "pipeline: "
+     << (vectorized ? "vectorized (1024-row batches)"
+                    : "scalar (row-at-a-time)")
+     << "\n";
   if (shape.ratio_objective) os << "ratio objective: yes\n";
   if (shape.joined_from) os << "joined FROM: materialized before planning\n";
   if (shape.topk > 0) os << "top-k: " << shape.topk << "\n";

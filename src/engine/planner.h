@@ -70,6 +70,11 @@ struct Plan {
   size_t direct_row_threshold = 0;
   QueryShape shape;
 
+  /// Which expression pipeline evaluation will run: vectorized (1024-row
+  /// batches) or scalar (row-at-a-time closures). Filled by the session
+  /// from ExecContext::vectorized and the query's batch-compilability.
+  bool vectorized = true;
+
   // Partitioning details, filled by the session for SKETCHREFINE plans.
   std::vector<std::string> partition_attributes;
   size_t partition_size_threshold = 0;  // tau

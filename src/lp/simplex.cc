@@ -163,7 +163,7 @@ void SimplexSolver::ComputeBasicValues() {
     double xj = NonbasicValue(j);
     if (xj == 0.0) continue;
     if (j < n_) {
-      const double* col = &cols_[static_cast<size_t>(j) * m_];
+      const double* col = cols_.data() + static_cast<size_t>(j) * m_;
       for (int i = 0; i < m_; ++i) r[i] += col[i] * xj;
     } else {
       r[j - n_] -= xj;
@@ -171,7 +171,7 @@ void SimplexSolver::ComputeBasicValues() {
   }
   for (int i = 0; i < m_; ++i) {
     double v = 0;
-    const double* row = &binv_[static_cast<size_t>(i) * m_];
+    const double* row = binv_.data() + static_cast<size_t>(i) * m_;
     for (int k = 0; k < m_; ++k) v += row[k] * r[k];
     xb_[i] = -v;
   }
@@ -204,7 +204,7 @@ void SimplexSolver::ComputeDuals(bool phase1, std::vector<double>* y) const {
   y->assign(m_, 0.0);
   for (int r = 0; r < m_; ++r) {
     if (cb[r] == 0.0) continue;
-    const double* row = &binv_[static_cast<size_t>(r) * m_];
+    const double* row = binv_.data() + static_cast<size_t>(r) * m_;
     for (int c = 0; c < m_; ++c) (*y)[c] += cb[r] * row[c];
   }
 }
@@ -212,10 +212,10 @@ void SimplexSolver::ComputeDuals(bool phase1, std::vector<double>* y) const {
 void SimplexSolver::Ftran(int j, std::vector<double>* w) const {
   w->assign(m_, 0.0);
   if (j < n_) {
-    const double* col = &cols_[static_cast<size_t>(j) * m_];
+    const double* col = cols_.data() + static_cast<size_t>(j) * m_;
     for (int i = 0; i < m_; ++i) {
       double v = 0;
-      const double* row = &binv_[static_cast<size_t>(i) * m_];
+      const double* row = binv_.data() + static_cast<size_t>(i) * m_;
       for (int k = 0; k < m_; ++k) v += row[k] * col[k];
       (*w)[i] = v;
     }
@@ -265,7 +265,7 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
       double cj = phase1 ? 0.0 : cost_[j];
       double d;
       if (j < n_) {
-        const double* col = &cols_[static_cast<size_t>(j) * m_];
+        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
         double dot = 0;
         for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
         d = cj - dot;
@@ -396,13 +396,13 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
     double pivot = w[leave_row];
     PAQL_CHECK_MSG(std::abs(pivot) >= options_.pivot_tol,
                    "tiny pivot " << pivot);
-    double* prow = &binv_[static_cast<size_t>(leave_row) * m_];
+    double* prow = binv_.data() + static_cast<size_t>(leave_row) * m_;
     for (int c = 0; c < m_; ++c) prow[c] /= pivot;
     for (int i = 0; i < m_; ++i) {
       if (i == leave_row) continue;
       double factor = w[i];
       if (factor == 0.0) continue;
-      double* row = &binv_[static_cast<size_t>(i) * m_];
+      double* row = binv_.data() + static_cast<size_t>(i) * m_;
       for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
     }
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "relation/chunk.h"
 #include "relation/csv.h"
 
 namespace paql::partition {
@@ -18,12 +19,10 @@ using relation::Value;
 
 namespace {
 
-/// Mean of `col` over `rows`.
+/// Mean of `col` over `rows` (chunked gather, relation/chunk.h).
 double ColumnMean(const Table& table, const std::vector<RowId>& rows,
                   size_t col) {
-  double sum = 0;
-  for (RowId r : rows) sum += table.GetDouble(r, col);
-  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+  return relation::GatherMean(table, col, rows);
 }
 
 /// Max |centroid - value| over `rows` across the partitioning columns.
@@ -32,10 +31,8 @@ double GroupRadius(const Table& table, const std::vector<RowId>& rows,
                    const std::vector<double>& centroid) {
   double radius = 0;
   for (size_t k = 0; k < cols.size(); ++k) {
-    for (RowId r : rows) {
-      radius = std::max(radius,
-                        std::abs(table.GetDouble(r, cols[k]) - centroid[k]));
-    }
+    radius = std::max(radius, relation::GatherMaxAbsDeviation(
+                                  table, cols[k], rows, centroid[k]));
   }
   return radius;
 }
@@ -46,16 +43,11 @@ class QuadTreeBuilder {
   QuadTreeBuilder(const Table& table, const PartitionOptions& options,
                   std::vector<size_t> part_cols)
       : table_(table), options_(options), part_cols_(std::move(part_cols)) {
-    // Full-table value range per attribute (split-score normalization).
+    // Full-table value range per attribute (split-score normalization),
+    // scanned chunk at a time.
     attr_scale_.assign(part_cols_.size(), 0.0);
     for (size_t k = 0; k < part_cols_.size(); ++k) {
-      double lo = std::numeric_limits<double>::infinity();
-      double hi = -lo;
-      for (RowId r = 0; r < table.num_rows(); ++r) {
-        double v = table.GetDouble(r, part_cols_[k]);
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-      }
+      auto [lo, hi] = relation::ColumnMinMax(table, part_cols_[k]);
       attr_scale_[k] = table.num_rows() > 0 ? hi - lo : 0.0;
     }
   }
@@ -136,11 +128,8 @@ class QuadTreeBuilder {
     // raw radius is the binding quantity.
     std::vector<std::pair<double, size_t>> scored(part_cols_.size());
     for (size_t k = 0; k < part_cols_.size(); ++k) {
-      double radius = 0;
-      for (RowId r : rows) {
-        radius = std::max(
-            radius, std::abs(table_.GetDouble(r, part_cols_[k]) - centroid[k]));
-      }
+      double radius = relation::GatherMaxAbsDeviation(table_, part_cols_[k],
+                                                      rows, centroid[k]);
       double score = size_ok ? radius
                              : (attr_scale_[k] > 0 ? radius / attr_scale_[k]
                                                    : 0.0);
@@ -376,9 +365,7 @@ Result<double> RadiusLimitForEpsilon(const Table& table,
   PAQL_RETURN_IF_ERROR(status);
   double min_abs = std::numeric_limits<double>::infinity();
   for (size_t c : cols) {
-    for (RowId r = 0; r < table.num_rows(); ++r) {
-      min_abs = std::min(min_abs, std::abs(table.GetDouble(r, c)));
-    }
+    min_abs = std::min(min_abs, relation::ColumnMinAbs(table, c));
   }
   if (std::isinf(min_abs)) {
     return Status::InvalidArgument("empty table");

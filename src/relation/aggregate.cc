@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/str_util.h"
+#include "relation/chunk.h"
 
 namespace paql::relation {
 
@@ -33,6 +34,31 @@ bool IsLinearAgg(AggFunc func) {
          func == AggFunc::kAvg;
 }
 
+namespace {
+
+/// Shared accumulator for the chunked AggregateRows fast path. The value
+/// column is gathered one NumericBatch at a time (type dispatch hoisted
+/// out of the row loop, raw storage reads like the scalar GetDouble loop
+/// this replaces), then folded with the per-function lambda in row order —
+/// so the result is bit-identical to the original row-at-a-time loop.
+template <typename Fold>
+void FoldChunks(const Table& table, size_t col, const std::vector<RowId>& rows,
+                const std::vector<int64_t>& multiplicity, Fold fold) {
+  NumericBatch batch;
+  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
+    RowSpan span;
+    span.rows = rows.data() + off;
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
+    LoadNumericChunkRaw(table, col, span, &batch);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      int64_t mult = multiplicity[off + i];
+      if (mult > 0) fold(batch.values[i], mult);
+    }
+  }
+}
+
+}  // namespace
+
 Result<double> AggregateRows(const Table& table, AggFunc func, size_t col,
                              const std::vector<RowId>& rows,
                              const std::vector<int64_t>& multiplicity) {
@@ -40,34 +66,42 @@ Result<double> AggregateRows(const Table& table, AggFunc func, size_t col,
     return Status::InvalidArgument("rows/multiplicity size mismatch");
   }
   int64_t count = 0;
-  double sum = 0.0;
-  double min_v = std::numeric_limits<double>::infinity();
-  double max_v = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    int64_t mult = multiplicity[i];
-    if (mult <= 0) continue;
-    count += mult;
-    if (func != AggFunc::kCount) {
-      double v = table.GetDouble(rows[i], col);
-      sum += v * static_cast<double>(mult);
-      min_v = std::min(min_v, v);
-      max_v = std::max(max_v, v);
-    }
-  }
   switch (func) {
-    case AggFunc::kCount:
+    case AggFunc::kCount: {
+      for (int64_t mult : multiplicity) {
+        if (mult > 0) count += mult;
+      }
       return static_cast<double>(count);
+    }
     case AggFunc::kSum:
-      return sum;
-    case AggFunc::kAvg:
+    case AggFunc::kAvg: {
+      double sum = 0.0;
+      FoldChunks(table, col, rows, multiplicity, [&](double v, int64_t mult) {
+        count += mult;
+        sum += v * static_cast<double>(mult);
+      });
+      if (func == AggFunc::kSum) return sum;
       if (count == 0) return Status::InvalidArgument("AVG over empty package");
       return sum / static_cast<double>(count);
-    case AggFunc::kMin:
+    }
+    case AggFunc::kMin: {
+      double min_v = std::numeric_limits<double>::infinity();
+      FoldChunks(table, col, rows, multiplicity, [&](double v, int64_t mult) {
+        count += mult;
+        min_v = std::min(min_v, v);
+      });
       if (count == 0) return Status::InvalidArgument("MIN over empty package");
       return min_v;
-    case AggFunc::kMax:
+    }
+    case AggFunc::kMax: {
+      double max_v = -std::numeric_limits<double>::infinity();
+      FoldChunks(table, col, rows, multiplicity, [&](double v, int64_t mult) {
+        count += mult;
+        max_v = std::max(max_v, v);
+      });
       if (count == 0) return Status::InvalidArgument("MAX over empty package");
       return max_v;
+    }
   }
   return Status::Internal("unreachable aggregate");
 }

@@ -1,0 +1,122 @@
+#include "relation/chunk.h"
+
+#include <algorithm>
+
+namespace paql::relation {
+
+namespace {
+
+/// Copy the value lanes of `span` out of a typed column with the type
+/// dispatch hoisted out of the row loop.
+void LoadValues(const Table& table, size_t col, const RowSpan& span,
+                NumericBatch* out) {
+  const DataType type = table.schema().column(col).type;
+  PAQL_CHECK_MSG(type != DataType::kString,
+                 "LoadNumericChunk on string column "
+                     << table.schema().column(col).name);
+  if (type == DataType::kDouble) {
+    const double* src = table.DoubleColumn(col).data();
+    if (span.contiguous()) {
+      std::memcpy(out->values.data(), src + span.start,
+                  span.len * sizeof(double));
+    } else {
+      for (uint32_t i = 0; i < span.len; ++i) {
+        out->values[i] = src[span.rows[i]];
+      }
+    }
+  } else {
+    const int64_t* src = table.Int64Column(col).data();
+    for (uint32_t i = 0; i < span.len; ++i) {
+      out->values[i] = static_cast<double>(src[span.row(i)]);
+    }
+  }
+}
+
+}  // namespace
+
+void LoadNumericChunk(const Table& table, size_t col, const RowSpan& span,
+                      NumericBatch* out) {
+  LoadValues(table, col, span, out);
+  out->ClearNulls();
+  // The bitmap is grown lazily: an empty bitmap means no NULLs at all, and
+  // rows past its end are non-NULL (see Table::IsNull).
+  const std::vector<uint8_t>& bitmap = table.NullBitmap(col);
+  if (bitmap.empty()) return;
+  for (uint32_t i = 0; i < span.len; ++i) {
+    RowId r = span.row(i);
+    if (r < bitmap.size() && bitmap[r] != 0) out->SetNull(i);
+  }
+}
+
+void LoadNumericChunkRaw(const Table& table, size_t col, const RowSpan& span,
+                         NumericBatch* out) {
+  LoadValues(table, col, span, out);
+  out->ClearNulls();
+}
+
+double GatherMean(const Table& table, size_t col,
+                  const std::vector<RowId>& rows) {
+  if (rows.empty()) return 0.0;
+  NumericBatch batch;
+  double sum = 0.0;
+  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
+    RowSpan span;
+    span.rows = rows.data() + off;
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
+    LoadNumericChunkRaw(table, col, span, &batch);
+    for (uint32_t i = 0; i < span.len; ++i) sum += batch.values[i];
+  }
+  return sum / static_cast<double>(rows.size());
+}
+
+double GatherMaxAbsDeviation(const Table& table, size_t col,
+                             const std::vector<RowId>& rows, double center) {
+  NumericBatch batch;
+  double radius = 0.0;
+  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
+    RowSpan span;
+    span.rows = rows.data() + off;
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
+    LoadNumericChunkRaw(table, col, span, &batch);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      radius = std::max(radius, std::abs(batch.values[i] - center));
+    }
+  }
+  return radius;
+}
+
+std::pair<double, double> ColumnMinMax(const Table& table, size_t col) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  NumericBatch batch;
+  const size_t n = table.num_rows();
+  for (size_t start = 0; start < n; start += kChunkSize) {
+    RowSpan span;
+    span.start = static_cast<RowId>(start);
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
+    LoadNumericChunkRaw(table, col, span, &batch);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      lo = std::min(lo, batch.values[i]);
+      hi = std::max(hi, batch.values[i]);
+    }
+  }
+  return {lo, hi};
+}
+
+double ColumnMinAbs(const Table& table, size_t col) {
+  double best = std::numeric_limits<double>::infinity();
+  NumericBatch batch;
+  const size_t n = table.num_rows();
+  for (size_t start = 0; start < n; start += kChunkSize) {
+    RowSpan span;
+    span.start = static_cast<RowId>(start);
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
+    LoadNumericChunkRaw(table, col, span, &batch);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      best = std::min(best, std::abs(batch.values[i]));
+    }
+  }
+  return best;
+}
+
+}  // namespace paql::relation

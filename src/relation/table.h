@@ -75,6 +75,13 @@ class Table {
   const std::vector<double>& DoubleColumn(size_t col) const;
   /// Direct access to a whole int64 column (must be kInt64).
   const std::vector<int64_t>& Int64Column(size_t col) const;
+  /// Direct access to a column's lazily-grown null bitmap (empty = the
+  /// column has no NULLs; rows past the end are non-NULL). The chunked
+  /// pipeline (relation/chunk.h) reads it to null-mask whole batches
+  /// without a per-row IsNull call.
+  const std::vector<uint8_t>& NullBitmap(size_t col) const {
+    return nulls_[col];
+  }
 
   // --- Relational operations ---
 

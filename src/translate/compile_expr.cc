@@ -1,8 +1,10 @@
 #include "translate/compile_expr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/str_util.h"
+#include "translate/string_operand.h"
 
 namespace paql::translate {
 
@@ -19,45 +21,6 @@ using relation::Table;
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
-
-bool IsStringColumn(const Schema& schema, size_t col) {
-  return schema.column(col).type == DataType::kString;
-}
-
-/// Column-or-literal string accessor for string comparisons.
-struct StringOperand {
-  bool is_column = false;
-  size_t col = 0;
-  std::string literal;
-};
-
-Result<StringOperand> CompileStringOperand(const ScalarExpr& expr,
-                                           const Schema& schema) {
-  StringOperand op;
-  if (expr.kind == ScalarKind::kLiteral && expr.literal.is_string()) {
-    op.literal = expr.literal.AsString();
-    return op;
-  }
-  if (expr.kind == ScalarKind::kColumn) {
-    PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
-    if (IsStringColumn(schema, col)) {
-      op.is_column = true;
-      op.col = col;
-      return op;
-    }
-  }
-  return Status::InvalidArgument(
-      StrCat("expected string operand: ", lang::ToString(expr)));
-}
-
-bool IsStringExpr(const ScalarExpr& expr, const Schema& schema) {
-  if (expr.kind == ScalarKind::kLiteral) return expr.literal.is_string();
-  if (expr.kind == ScalarKind::kColumn) {
-    auto col = schema.FindColumn(expr.column);
-    return col.has_value() && IsStringColumn(schema, *col);
-  }
-  return false;
-}
 
 }  // namespace
 
@@ -208,6 +171,11 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
   CompiledAggArg out;
   if (call.is_count_star || call.func == relation::AggFunc::kCount) {
     out.value = [](const Table&, RowId) { return 1.0; };
+    out.batch_value = [](const Table&, const relation::RowSpan& span,
+                         relation::NumericBatch* batch) {
+      std::fill_n(batch->values.data(), span.len, 1.0);
+      batch->ClearNulls();
+    };
   } else {
     PAQL_ASSIGN_OR_RETURN(RowFn fn, CompileScalar(*call.arg, schema));
     // SQL aggregates skip NULLs; a NULL argument contributes nothing.
@@ -215,11 +183,63 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
       double v = fn(t, r);
       return std::isnan(v) ? 0.0 : v;
     };
+    // Batch twin: same NULL-to-zero mapping, lane at a time. Batch
+    // compilation failing is not an error — the scalar closure remains the
+    // reference and callers fall back to it.
+    auto batch = CompileScalarBatch(*call.arg, schema);
+    if (batch.ok()) {
+      BatchFn inner = std::move(*batch);
+      out.batch_value = [inner](const Table& t, const relation::RowSpan& span,
+                                relation::NumericBatch* b) {
+        inner(t, span, b);
+        for (uint32_t i = 0; i < span.len; ++i) {
+          if (std::isnan(b->values[i])) b->values[i] = 0.0;
+        }
+      };
+    }
   }
   if (call.filter) {
     PAQL_ASSIGN_OR_RETURN(out.filter, CompileBool(*call.filter, schema));
+    auto batch = CompileBoolBatch(*call.filter, schema);
+    if (batch.ok()) {
+      out.batch_filter = std::move(*batch);
+    } else {
+      out.batch_value = nullptr;  // scalar filter without a batch twin
+    }
   }
   return out;
+}
+
+double AggregateSumScalar(const Table& table, const CompiledAggArg& arg) {
+  double total = 0;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (arg.filter && !arg.filter(table, r)) continue;
+    total += arg.value(table, r);
+  }
+  return total;
+}
+
+double AggregateSumVectorized(const Table& table, const CompiledAggArg& arg) {
+  PAQL_CHECK_MSG(arg.vectorized(),
+                 "AggregateSumVectorized on a non-vectorized aggregate");
+  double total = 0;
+  relation::NumericBatch batch;
+  relation::SelectionVector sel;
+  const size_t n = table.num_rows();
+  for (size_t start = 0; start < n; start += relation::kChunkSize) {
+    relation::RowSpan span;
+    span.start = static_cast<RowId>(start);
+    span.len =
+        static_cast<uint32_t>(std::min(relation::kChunkSize, n - start));
+    sel.MakeDense(span.len);
+    if (arg.batch_filter) arg.batch_filter(table, span, &sel);
+    if (sel.empty()) continue;
+    arg.batch_value(table, span, &batch);
+    for (uint32_t k = 0; k < sel.count; ++k) {
+      total += batch.values[sel.idx[k]];
+    }
+  }
+  return total;
 }
 
 }  // namespace paql::translate

@@ -13,6 +13,7 @@
 #include "paql/ast.h"
 #include "relation/schema.h"
 #include "relation/table.h"
+#include "translate/vector_expr.h"
 
 namespace paql::translate {
 
@@ -40,12 +41,38 @@ Result<RowPred> CompileBool(const lang::BoolExpr& expr,
 /// expression with NULL treated as 0 (SQL aggregates skip NULLs). The
 /// optional subquery filter is compiled into the returned pair's predicate
 /// (nullptr-equivalent: always-true).
+///
+/// Alongside the scalar closures, CompileAggArg also compiles vectorized
+/// batch twins (vector_expr.h). The scalar pair is the reference
+/// implementation and always present; the batch pair is best-effort —
+/// `vectorized()` is false when batch compilation was unavailable, and
+/// callers must then fall back to the scalar pair.
 struct CompiledAggArg {
   RowFn value;     // per-tuple contribution
   RowPred filter;  // may be empty => always true
+
+  BatchFn batch_value;    // empty when the batch compiler declined
+  BatchPred batch_filter; // empty => always true (only valid if vectorized())
+
+  /// True when the batch twins cover this argument (batch_value present,
+  /// and batch_filter present whenever the scalar filter is).
+  bool vectorized() const {
+    return static_cast<bool>(batch_value) &&
+           (!filter || static_cast<bool>(batch_filter));
+  }
 };
 Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
                                      const relation::Schema& schema);
+
+/// SUM of `arg` over every row of `table` passing its filter — the scalar
+/// reference loop (one RowFn/RowPred call per row).
+double AggregateSumScalar(const relation::Table& table,
+                          const CompiledAggArg& arg);
+
+/// Vectorized twin of AggregateSumScalar, accumulating chunk at a time in
+/// the same row order (bit-identical result). Requires arg.vectorized().
+double AggregateSumVectorized(const relation::Table& table,
+                              const CompiledAggArg& arg);
 
 }  // namespace paql::translate
 

@@ -28,6 +28,32 @@ double LinearExpr::Coeff(const Table& table, RowId row) const {
   return total;
 }
 
+bool LinearExpr::vectorizable() const {
+  for (const Term& term : terms) {
+    if (!term.agg.vectorized()) return false;
+  }
+  return true;
+}
+
+void LinearExpr::CoeffBatch(const Table& table, const relation::RowSpan& span,
+                            double* out) const {
+  std::fill_n(out, span.len, 0.0);
+  relation::NumericBatch batch;
+  relation::SelectionVector sel;
+  for (const Term& term : terms) {
+    sel.MakeDense(span.len);
+    if (term.agg.batch_filter) term.agg.batch_filter(table, span, &sel);
+    if (sel.empty()) continue;
+    term.agg.batch_value(table, span, &batch);
+    // Per lane, terms accumulate in declaration order — the same floating
+    // point operation sequence as the scalar Coeff loop.
+    for (uint32_t k = 0; k < sel.count; ++k) {
+      uint16_t i = sel.idx[k];
+      out[i] += term.scale * batch.values[i];
+    }
+  }
+}
+
 Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
                                              const Schema& schema) {
   PAQL_RETURN_IF_ERROR(lang::ValidateQuery(query, schema));
@@ -37,9 +63,12 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
   if (query.repeat.has_value()) {
     cq.per_tuple_ub_ = static_cast<double>(*query.repeat + 1);
   }
-  // Rule 2: base predicate.
+  // Rule 2: base predicate (plus its best-effort batch twin; the scalar
+  // closure remains the reference implementation).
   if (query.where) {
     PAQL_ASSIGN_OR_RETURN(cq.base_pred_, CompileBool(*query.where, schema));
+    auto batch = CompileBoolBatch(*query.where, schema);
+    if (batch.ok()) cq.base_pred_batch_ = std::move(*batch);
   }
   // Rule 3: global predicates.
   if (query.such_that) {
@@ -58,6 +87,13 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
         std::unique(cq.objective_columns_.begin(), cq.objective_columns_.end()),
         cq.objective_columns_.end());
   }
+  cq.fully_vectorizable_ =
+      (!cq.base_pred_ || static_cast<bool>(cq.base_pred_batch_)) &&
+      (!cq.has_objective_ || cq.objective_.vectorizable());
+  for (const Leaf& leaf : cq.leaves_) {
+    cq.fully_vectorizable_ =
+        cq.fully_vectorizable_ && leaf.expr.vectorizable();
+  }
   return cq;
 }
 
@@ -68,6 +104,27 @@ std::vector<RowId> CompiledQuery::ComputeBaseRows(const Table& table) const {
     if (!base_pred_ || base_pred_(table, r)) rows.push_back(r);
   }
   return rows;
+}
+
+std::vector<RowId> CompiledQuery::ComputeBaseRowsVectorized(
+    const Table& table) const {
+  if (!base_pred_batch_) return ComputeBaseRows(table);
+  return FilterTableVectorized(table, base_pred_batch_);
+}
+
+std::vector<RowId> CompiledQuery::FilterBaseRows(
+    const Table& table, const std::vector<RowId>& rows,
+    bool vectorized) const {
+  if (!base_pred_) return rows;
+  if (vectorized && base_pred_batch_) {
+    return FilterRowsVectorized(table, rows, base_pred_batch_);
+  }
+  std::vector<RowId> out;
+  out.reserve(rows.size());
+  for (RowId r : rows) {
+    if (base_pred_(table, r)) out.push_back(r);
+  }
+  return out;
 }
 
 Result<LinearExpr> CompiledQuery::CompileGlobalExpr(
@@ -210,6 +267,15 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeComparisonLeaf(
     term.agg.value = [base, v](const Table& t, RowId r) {
       return base(t, r) - v;
     };
+    if (term.agg.batch_value) {
+      BatchFn batch_base = term.agg.batch_value;
+      term.agg.batch_value = [batch_base, v](const Table& t,
+                                             const relation::RowSpan& span,
+                                             relation::NumericBatch* b) {
+        batch_base(t, span, b);
+        for (uint32_t i = 0; i < span.len; ++i) b->values[i] -= v;
+      };
+    }
     leaf.expr.terms.push_back(std::move(term));
     leaf.name = StrCat("AVG cmp ", v);
     switch (cmp) {
@@ -473,6 +539,49 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeThresholdCountLeaf(
     }
     return false;
   };
+  // Batch twins: the value is the constant 1; the filter chains the
+  // subquery filter's batch twin with a lane-wise threshold test (NaN
+  // lanes fail it, like the scalar closure above).
+  auto batch_arg = CompileScalarBatch(*call.arg, schema);
+  Result<BatchPred> batch_base =
+      call.filter ? CompileBoolBatch(*call.filter, schema)
+                  : Result<BatchPred>(BatchPred());
+  if (batch_arg.ok() && batch_base.ok()) {
+    term.agg.batch_value = [](const Table&, const relation::RowSpan& span,
+                              relation::NumericBatch* b) {
+      std::fill_n(b->values.data(), span.len, 1.0);
+      b->ClearNulls();
+    };
+    BatchFn arg_fn = std::move(*batch_arg);
+    BatchPred base_fn = std::move(*batch_base);
+    term.agg.batch_filter = [arg_fn, base_fn, thresh, v](
+                                const Table& t, const relation::RowSpan& span,
+                                relation::SelectionVector* sel) {
+      if (base_fn) base_fn(t, span, sel);
+      if (sel->empty()) return;
+      relation::NumericBatch a;
+      arg_fn(t, span, &a);
+      uint32_t kept = 0;
+      for (uint32_t k = 0; k < sel->count; ++k) {
+        uint16_t i = sel->idx[k];
+        double av = a.values[i];
+        bool keep = false;
+        if (!std::isnan(av)) {
+          switch (thresh) {
+            case CmpOp::kLt: keep = av < v; break;
+            case CmpOp::kLe: keep = av <= v; break;
+            case CmpOp::kGt: keep = av > v; break;
+            case CmpOp::kGe: keep = av >= v; break;
+            case CmpOp::kEq: keep = av == v; break;
+            case CmpOp::kNe: keep = av != v; break;
+          }
+        }
+        sel->idx[kept] = i;
+        kept += keep ? 1 : 0;
+      }
+      sel->count = kept;
+    };
+  }
   leaf.expr.terms.push_back(std::move(term));
   leaf.expr.integral = true;  // it is a COUNT
   leaf.lo = lo;
@@ -573,12 +682,13 @@ Result<lp::Model> CompiledQuery::BuildModel(const Table& table,
   segment.table = &table;
   segment.rows = &rows;
   segment.ub_override = options.ub_override;
-  return BuildModelSegments({segment}, options.activity_offset);
+  return BuildModelSegments({segment}, options.activity_offset,
+                            options.vectorized);
 }
 
 Result<lp::Model> CompiledQuery::BuildModelSegments(
     const std::vector<Segment>& segments,
-    const std::vector<double>* activity_offset) const {
+    const std::vector<double>* activity_offset, bool vectorized) const {
   size_t total_rows = 0;
   for (const Segment& seg : segments) {
     if (seg.table == nullptr || seg.rows == nullptr) {
@@ -596,17 +706,47 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
   lp::Model model;
   model.set_sense(maximize_ ? lp::Sense::kMaximize : lp::Sense::kMinimize);
 
+  // Coefficients of one linear expression over one segment, through the
+  // batch pipeline (chunked gather spans) when enabled and compiled, the
+  // per-row closures otherwise. Both orders are identical, so the model
+  // does not depend on the pipeline.
+  auto segment_coeffs = [vectorized](const LinearExpr& expr,
+                                     const Segment& seg, double* out) {
+    const std::vector<RowId>& rows = *seg.rows;
+    if (vectorized && expr.vectorizable()) {
+      for (size_t off = 0; off < rows.size(); off += relation::kChunkSize) {
+        relation::RowSpan span;
+        span.rows = rows.data() + off;
+        span.len = static_cast<uint32_t>(
+            std::min(relation::kChunkSize, rows.size() - off));
+        expr.CoeffBatch(*seg.table, span, out + off);
+      }
+    } else {
+      for (size_t k = 0; k < rows.size(); ++k) {
+        out[k] = expr.Coeff(*seg.table, rows[k]);
+      }
+    }
+  };
+
   // Tuple variables (integer), with objective coefficients; variable upper
   // bounds per segment.
+  std::vector<double> obj_coeffs;
+  if (has_objective_) {
+    obj_coeffs.resize(total_rows);
+    size_t k = 0;
+    for (const Segment& seg : segments) {
+      segment_coeffs(objective_, seg, obj_coeffs.data() + k);
+      k += seg.rows->size();
+    }
+  }
   std::vector<double> var_ub;
   var_ub.reserve(total_rows);
+  size_t var = 0;
   for (const Segment& seg : segments) {
-    for (size_t k = 0; k < seg.rows->size(); ++k) {
+    for (size_t k = 0; k < seg.rows->size(); ++k, ++var) {
       double ub = seg.ub_override != nullptr ? (*seg.ub_override)[k]
                                              : per_tuple_ub_;
-      double obj = has_objective_
-                       ? objective_.Coeff(*seg.table, (*seg.rows)[k])
-                       : 0.0;
+      double obj = has_objective_ ? obj_coeffs[var] : 0.0;
       model.AddVariable(0.0, ub, obj, /*is_integer=*/true);
       var_ub.push_back(ub);
     }
@@ -620,9 +760,8 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
   for (size_t li = 0; li < leaves_.size(); ++li) {
     size_t k = 0;
     for (const Segment& seg : segments) {
-      for (RowId r : *seg.rows) {
-        coeffs[li][k++] = leaves_[li].expr.Coeff(*seg.table, r);
-      }
+      segment_coeffs(leaves_[li].expr, seg, coeffs[li].data() + k);
+      k += seg.rows->size();
     }
   }
   auto leaf_bounds = [&](int li) {
@@ -731,6 +870,43 @@ std::vector<double> CompiledQuery::LeafActivities(
       if (multiplicity[k] == 0) continue;
       total += leaves_[li].expr.Coeff(table, rows[k]) *
                static_cast<double>(multiplicity[k]);
+    }
+    activities[li] = total;
+  }
+  return activities;
+}
+
+std::vector<double> CompiledQuery::LeafActivitiesVectorized(
+    const Table& table, const std::vector<RowId>& rows,
+    const std::vector<int64_t>& multiplicity) const {
+  PAQL_CHECK(rows.size() == multiplicity.size());
+  std::vector<double> activities(leaves_.size(), 0.0);
+  std::vector<double> coeff(relation::kChunkSize);
+  for (size_t li = 0; li < leaves_.size(); ++li) {
+    const LinearExpr& expr = leaves_[li].expr;
+    if (!expr.vectorizable()) {
+      // Scalar fallback for this leaf, same loop as LeafActivities.
+      double total = 0;
+      for (size_t k = 0; k < rows.size(); ++k) {
+        if (multiplicity[k] == 0) continue;
+        total += expr.Coeff(table, rows[k]) *
+                 static_cast<double>(multiplicity[k]);
+      }
+      activities[li] = total;
+      continue;
+    }
+    double total = 0;
+    for (size_t off = 0; off < rows.size(); off += relation::kChunkSize) {
+      relation::RowSpan span;
+      span.rows = rows.data() + off;
+      span.len = static_cast<uint32_t>(
+          std::min(relation::kChunkSize, rows.size() - off));
+      expr.CoeffBatch(table, span, coeff.data());
+      for (uint32_t i = 0; i < span.len; ++i) {
+        int64_t mult = multiplicity[off + i];
+        if (mult == 0) continue;
+        total += coeff[i] * static_cast<double>(mult);
+      }
     }
     activities[li] = total;
   }

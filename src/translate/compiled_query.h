@@ -65,6 +65,14 @@ struct LinearExpr {
 
   /// Per-tuple coefficient: sum_k scale_k * (filter_k ? value_k : 0).
   double Coeff(const relation::Table& table, relation::RowId row) const;
+
+  /// True when every term carries batch twins, so CoeffBatch is usable.
+  bool vectorizable() const;
+
+  /// Batch twin of Coeff: out[i] = Coeff(span.row(i)) for i < span.len,
+  /// accumulated term by term in the same order (bit-identical result).
+  void CoeffBatch(const relation::Table& table, const relation::RowSpan& span,
+                  double* out) const;
 };
 
 class CompiledQuery {
@@ -88,10 +96,29 @@ class CompiledQuery {
   std::vector<relation::RowId> ComputeBaseRows(
       const relation::Table& table) const;
 
+  /// Vectorized twin of ComputeBaseRows: scans the table in kChunkSize-row
+  /// batches through the compiled BatchPred. Falls back to the scalar path
+  /// when the WHERE clause has no batch compilation; the result is always
+  /// identical to ComputeBaseRows.
+  std::vector<relation::RowId> ComputeBaseRowsVectorized(
+      const relation::Table& table) const;
+
+  /// The subset of `rows` satisfying the WHERE clause (all of them when
+  /// the query has none), through the batch or scalar pipeline.
+  std::vector<relation::RowId> FilterBaseRows(
+      const relation::Table& table, const std::vector<relation::RowId>& rows,
+      bool vectorized) const;
+
   /// Per-row base-predicate test (true when the query has no WHERE).
   bool BaseAccepts(const relation::Table& table, relation::RowId row) const {
     return !base_pred_ || base_pred_(table, row);
   }
+
+  /// True when every compiled piece (WHERE, constraint leaves, objective)
+  /// has a batch twin, i.e. the whole evaluation can run vectorized. The
+  /// vectorized entry points degrade gracefully piece by piece when this
+  /// is false; strategies use it to report which pipeline actually ran.
+  bool fully_vectorizable() const { return fully_vectorizable_; }
 
   // --- ILP construction --------------------------------------------------
 
@@ -104,6 +131,11 @@ class CompiledQuery {
     /// the model (the refine query's p-bar aggregates). Row bounds are
     /// shifted by these amounts. Empty = all zeros.
     const std::vector<double>* activity_offset = nullptr;
+    /// Compute objective and constraint coefficients through the batch
+    /// kernels (chunk at a time) instead of per-row closures. Pieces
+    /// without batch twins fall back per leaf; the model is bit-identical
+    /// either way.
+    bool vectorized = false;
   };
 
   /// One block of candidate variables drawn from a table. The sketch query
@@ -121,10 +153,13 @@ class CompiledQuery {
 
   /// Build the ILP over the concatenated candidate segments. Variable k of
   /// the model corresponds to the k-th row across all segments in order.
-  /// `activity_offset` (may be nullptr) shifts each leaf's bounds.
+  /// `activity_offset` (may be nullptr) shifts each leaf's bounds;
+  /// `vectorized` selects the batch coefficient pipeline (the model is
+  /// bit-identical either way).
   Result<lp::Model> BuildModelSegments(
       const std::vector<Segment>& segments,
-      const std::vector<double>* activity_offset) const;
+      const std::vector<double>* activity_offset,
+      bool vectorized = false) const;
 
   /// Build the ILP over the candidate rows `rows` of `table`.
   Result<lp::Model> BuildModel(const relation::Table& table,
@@ -156,6 +191,14 @@ class CompiledQuery {
   /// Activity of every leaf constraint for the package given as parallel
   /// (row, multiplicity) arrays over `table`.
   std::vector<double> LeafActivities(
+      const relation::Table& table,
+      const std::vector<relation::RowId>& rows,
+      const std::vector<int64_t>& multiplicity) const;
+
+  /// Vectorized twin of LeafActivities (chunked gather through the batch
+  /// kernels, same accumulation order — bit-identical result). Leaves
+  /// without batch twins fall back to the scalar closures.
+  std::vector<double> LeafActivitiesVectorized(
       const relation::Table& table,
       const std::vector<relation::RowId>& rows,
       const std::vector<int64_t>& multiplicity) const;
@@ -245,6 +288,8 @@ class CompiledQuery {
   std::string package_name_;
   double per_tuple_ub_ = lp::kInf;
   RowPred base_pred_;                 // empty when no WHERE
+  BatchPred base_pred_batch_;         // batch twin; may be empty
+  bool fully_vectorizable_ = true;
   std::vector<Leaf> leaves_;
   std::unique_ptr<Node> root_;        // null when no SUCH THAT
   bool has_objective_ = false;

@@ -1,0 +1,62 @@
+// Shared string-operand resolution for the scalar and batch expression
+// compilers. Both pipelines must classify exactly the same expressions as
+// string-typed (the comparison dispatch depends on it), so the logic lives
+// here once instead of drifting apart between compile_expr.cc and
+// vector_expr.cc. Internal to the translate library.
+#ifndef PAQL_TRANSLATE_STRING_OPERAND_H_
+#define PAQL_TRANSLATE_STRING_OPERAND_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/str_util.h"
+#include "paql/ast.h"
+#include "relation/schema.h"
+
+namespace paql::translate {
+
+inline bool IsStringColumn(const relation::Schema& schema, size_t col) {
+  return schema.column(col).type == relation::DataType::kString;
+}
+
+/// True when the expression is string-typed against `schema` (a string
+/// literal or a string column reference).
+inline bool IsStringExpr(const lang::ScalarExpr& expr,
+                         const relation::Schema& schema) {
+  if (expr.kind == lang::ScalarKind::kLiteral) return expr.literal.is_string();
+  if (expr.kind == lang::ScalarKind::kColumn) {
+    auto col = schema.FindColumn(expr.column);
+    return col.has_value() && IsStringColumn(schema, *col);
+  }
+  return false;
+}
+
+/// Column-or-literal string accessor for string comparisons.
+struct StringOperand {
+  bool is_column = false;
+  size_t col = 0;
+  std::string literal;
+};
+
+inline Result<StringOperand> CompileStringOperand(
+    const lang::ScalarExpr& expr, const relation::Schema& schema) {
+  StringOperand op;
+  if (expr.kind == lang::ScalarKind::kLiteral && expr.literal.is_string()) {
+    op.literal = expr.literal.AsString();
+    return op;
+  }
+  if (expr.kind == lang::ScalarKind::kColumn) {
+    PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
+    if (IsStringColumn(schema, col)) {
+      op.is_column = true;
+      op.col = col;
+      return op;
+    }
+  }
+  return Status::InvalidArgument(
+      StrCat("expected string operand: ", lang::ToString(expr)));
+}
+
+}  // namespace paql::translate
+
+#endif  // PAQL_TRANSLATE_STRING_OPERAND_H_

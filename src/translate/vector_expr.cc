@@ -1,0 +1,483 @@
+#include "translate/vector_expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "translate/string_operand.h"
+
+namespace paql::translate {
+
+using lang::BoolExpr;
+using lang::BoolKind;
+using lang::CmpOp;
+using lang::ScalarExpr;
+using lang::ScalarKind;
+using relation::DataType;
+using relation::kChunkSize;
+using relation::NumericBatch;
+using relation::RowId;
+using relation::RowSpan;
+using relation::Schema;
+using relation::SelectionVector;
+using relation::Table;
+
+namespace {
+
+/// True when `expr` is a numeric literal; stores its value in `*v`.
+bool IsNumericLiteral(const ScalarExpr& expr, double* v) {
+  if (expr.kind != ScalarKind::kLiteral || !expr.literal.is_numeric()) {
+    return false;
+  }
+  *v = expr.literal.AsDouble();
+  return true;
+}
+
+/// Binary arithmetic kernel: evaluate both operands over the full span,
+/// combine lane-wise with `op` (a stateless functor, so the inner loop
+/// compiles to one tight pass per operator), OR the null bitmaps.
+template <typename Op>
+BatchFn MakeBinaryFn(BatchFn lhs, BatchFn rhs, Op op) {
+  return [lhs = std::move(lhs), rhs = std::move(rhs), op](
+             const Table& t, const RowSpan& span, NumericBatch* out) {
+    NumericBatch right;
+    lhs(t, span, out);
+    rhs(t, span, &right);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      out->values[i] = op(out->values[i], right.values[i]);
+    }
+    out->MergeNulls(right);
+  };
+}
+
+/// Constant-folded variants: one operand is a literal, so there is no
+/// second batch to materialize — the loop applies the constant directly
+/// (the same floating-point operation the scalar closure performs).
+template <typename Op>
+BatchFn MakeBinaryConstRhs(BatchFn lhs, double c, Op op) {
+  return [lhs = std::move(lhs), c, op](const Table& t, const RowSpan& span,
+                                       NumericBatch* out) {
+    lhs(t, span, out);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      out->values[i] = op(out->values[i], c);
+    }
+  };
+}
+
+template <typename Op>
+BatchFn MakeBinaryConstLhs(double c, BatchFn rhs, Op op) {
+  return [rhs = std::move(rhs), c, op](const Table& t, const RowSpan& span,
+                                       NumericBatch* out) {
+    rhs(t, span, out);
+    for (uint32_t i = 0; i < span.len; ++i) {
+      out->values[i] = op(c, out->values[i]);
+    }
+  };
+}
+
+template <typename Op>
+Result<BatchFn> CompileBinaryBatch(const ScalarExpr& expr,
+                                   const Schema& schema, Op op) {
+  double c;
+  if (IsNumericLiteral(*expr.rhs, &c)) {
+    PAQL_ASSIGN_OR_RETURN(BatchFn lhs, CompileScalarBatch(*expr.lhs, schema));
+    return MakeBinaryConstRhs(std::move(lhs), c, op);
+  }
+  if (IsNumericLiteral(*expr.lhs, &c)) {
+    PAQL_ASSIGN_OR_RETURN(BatchFn rhs, CompileScalarBatch(*expr.rhs, schema));
+    return MakeBinaryConstLhs(c, std::move(rhs), op);
+  }
+  PAQL_ASSIGN_OR_RETURN(BatchFn lhs, CompileScalarBatch(*expr.lhs, schema));
+  PAQL_ASSIGN_OR_RETURN(BatchFn rhs, CompileScalarBatch(*expr.rhs, schema));
+  return MakeBinaryFn(std::move(lhs), std::move(rhs), op);
+}
+
+/// Comparison predicate kernel: evaluate both operand batches over the
+/// full span, then keep the selected lanes where `cmp` holds. NaN (NULL)
+/// operands fail every comparison, matching the scalar pipeline.
+template <typename Cmp>
+BatchPred MakeCmpPred(BatchFn lhs, BatchFn rhs, Cmp cmp) {
+  return [lhs = std::move(lhs), rhs = std::move(rhs), cmp](
+             const Table& t, const RowSpan& span, SelectionVector* sel) {
+    if (sel->empty()) return;
+    NumericBatch a, b;
+    lhs(t, span, &a);
+    rhs(t, span, &b);
+    uint32_t kept = 0;
+    if (sel->count == span.len) {
+      for (uint32_t i = 0; i < span.len; ++i) {
+        sel->idx[kept] = static_cast<uint16_t>(i);
+        kept += static_cast<uint32_t>(cmp(a.values[i], b.values[i]));
+      }
+    } else {
+      for (uint32_t k = 0; k < sel->count; ++k) {
+        uint16_t i = sel->idx[k];
+        sel->idx[kept] = i;
+        kept += static_cast<uint32_t>(cmp(a.values[i], b.values[i]));
+      }
+    }
+    sel->count = kept;
+  };
+}
+
+/// Constant-folded comparison: one operand batch against a literal. The
+/// dense-selection case (every lane still active, the common shape for the
+/// first conjunct of a WHERE scan) skips the index indirection.
+template <typename Cmp>
+BatchPred MakeCmpConstPred(BatchFn lhs, double c, Cmp cmp) {
+  return [lhs = std::move(lhs), c, cmp](const Table& t, const RowSpan& span,
+                                        SelectionVector* sel) {
+    if (sel->empty()) return;
+    NumericBatch a;
+    lhs(t, span, &a);
+    uint32_t kept = 0;
+    if (sel->count == span.len) {
+      for (uint32_t i = 0; i < span.len; ++i) {
+        sel->idx[kept] = static_cast<uint16_t>(i);
+        kept += static_cast<uint32_t>(cmp(a.values[i], c));
+      }
+    } else {
+      for (uint32_t k = 0; k < sel->count; ++k) {
+        uint16_t i = sel->idx[k];
+        sel->idx[kept] = i;
+        kept += static_cast<uint32_t>(cmp(a.values[i], c));
+      }
+    }
+    sel->count = kept;
+  };
+}
+
+/// Dispatch a numeric comparison, folding a literal on either side into
+/// the constant variant (with the operands flipped for a literal lhs).
+template <typename Cmp, typename FlippedCmp>
+Result<BatchPred> CompileCmpBatch(const lang::BoolExpr& expr,
+                                  const Schema& schema, Cmp cmp,
+                                  FlippedCmp flipped) {
+  double c;
+  if (IsNumericLiteral(*expr.scalar_rhs, &c)) {
+    PAQL_ASSIGN_OR_RETURN(BatchFn lhs,
+                          CompileScalarBatch(*expr.scalar_lhs, schema));
+    return MakeCmpConstPred(std::move(lhs), c, cmp);
+  }
+  if (IsNumericLiteral(*expr.scalar_lhs, &c)) {
+    PAQL_ASSIGN_OR_RETURN(BatchFn rhs,
+                          CompileScalarBatch(*expr.scalar_rhs, schema));
+    return MakeCmpConstPred(std::move(rhs), c, flipped);
+  }
+  PAQL_ASSIGN_OR_RETURN(BatchFn lhs,
+                        CompileScalarBatch(*expr.scalar_lhs, schema));
+  PAQL_ASSIGN_OR_RETURN(BatchFn rhs,
+                        CompileScalarBatch(*expr.scalar_rhs, schema));
+  return MakeCmpPred(std::move(lhs), std::move(rhs), cmp);
+}
+
+/// Lanes of `sel` that are not in `sub` (both ascending; `sub` is a
+/// subsequence of `sel`, as produced by refining a copy of `sel`).
+void Subtract(const SelectionVector& sel, const SelectionVector& sub,
+              SelectionVector* out) {
+  uint32_t si = 0;
+  out->count = 0;
+  for (uint32_t k = 0; k < sel.count; ++k) {
+    uint16_t i = sel.idx[k];
+    if (si < sub.count && sub.idx[si] == i) {
+      ++si;
+      continue;
+    }
+    out->idx[out->count++] = i;
+  }
+}
+
+/// Ascending merge of two disjoint selections into `out`.
+void Merge(const SelectionVector& a, const SelectionVector& b,
+           SelectionVector* out) {
+  uint32_t ai = 0, bi = 0;
+  out->count = 0;
+  while (ai < a.count && bi < b.count) {
+    out->idx[out->count++] =
+        a.idx[ai] < b.idx[bi] ? a.idx[ai++] : b.idx[bi++];
+  }
+  while (ai < a.count) out->idx[out->count++] = a.idx[ai++];
+  while (bi < b.count) out->idx[out->count++] = b.idx[bi++];
+}
+
+}  // namespace
+
+Result<BatchFn> CompileScalarBatch(const ScalarExpr& expr,
+                                   const Schema& schema) {
+  switch (expr.kind) {
+    case ScalarKind::kColumn: {
+      PAQL_ASSIGN_OR_RETURN(size_t col, schema.ResolveColumn(expr.column));
+      if (IsStringColumn(schema, col)) {
+        return Status::InvalidArgument(
+            StrCat("string column '", expr.column,
+                   "' in numeric expression"));
+      }
+      return BatchFn([col](const Table& t, const RowSpan& span,
+                           NumericBatch* out) {
+        relation::LoadNumericChunk(t, col, span, out);
+      });
+    }
+    case ScalarKind::kLiteral: {
+      if (!expr.literal.is_numeric()) {
+        return Status::InvalidArgument(
+            StrCat("non-numeric literal in numeric expression: ",
+                   expr.literal.ToString()));
+      }
+      double v = expr.literal.AsDouble();
+      return BatchFn([v](const Table&, const RowSpan& span,
+                         NumericBatch* out) {
+        std::fill_n(out->values.data(), span.len, v);
+        out->ClearNulls();
+      });
+    }
+    case ScalarKind::kUnaryMinus: {
+      PAQL_ASSIGN_OR_RETURN(BatchFn inner,
+                            CompileScalarBatch(*expr.lhs, schema));
+      return BatchFn([inner](const Table& t, const RowSpan& span,
+                             NumericBatch* out) {
+        inner(t, span, out);
+        for (uint32_t i = 0; i < span.len; ++i) {
+          out->values[i] = -out->values[i];
+        }
+      });
+    }
+    case ScalarKind::kAdd:
+      return CompileBinaryBatch(expr, schema,
+                                [](double a, double b) { return a + b; });
+    case ScalarKind::kSub:
+      return CompileBinaryBatch(expr, schema,
+                                [](double a, double b) { return a - b; });
+    case ScalarKind::kMul:
+      return CompileBinaryBatch(expr, schema,
+                                [](double a, double b) { return a * b; });
+    case ScalarKind::kDiv:
+      return CompileBinaryBatch(expr, schema,
+                                [](double a, double b) { return a / b; });
+  }
+  return Status::Internal("unreachable scalar kind");
+}
+
+Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
+                                   const Schema& schema) {
+  switch (expr.kind) {
+    case BoolKind::kCmp: {
+      // String comparison path (equality only; enforced by the validator).
+      if (IsStringExpr(*expr.scalar_lhs, schema) ||
+          IsStringExpr(*expr.scalar_rhs, schema)) {
+        if (expr.cmp != CmpOp::kEq && expr.cmp != CmpOp::kNe) {
+          return Status::Unsupported("string ordering comparison");
+        }
+        PAQL_ASSIGN_OR_RETURN(StringOperand lhs,
+                              CompileStringOperand(*expr.scalar_lhs, schema));
+        PAQL_ASSIGN_OR_RETURN(StringOperand rhs,
+                              CompileStringOperand(*expr.scalar_rhs, schema));
+        bool negate = expr.cmp == CmpOp::kNe;
+        return BatchPred([lhs, rhs, negate](const Table& t, const RowSpan& span,
+                                            SelectionVector* sel) {
+          uint32_t kept = 0;
+          for (uint32_t k = 0; k < sel->count; ++k) {
+            uint16_t i = sel->idx[k];
+            RowId r = span.row(i);
+            if (lhs.is_column && t.IsNull(r, lhs.col)) continue;
+            if (rhs.is_column && t.IsNull(r, rhs.col)) continue;
+            const std::string& a =
+                lhs.is_column ? t.GetString(r, lhs.col) : lhs.literal;
+            const std::string& b =
+                rhs.is_column ? t.GetString(r, rhs.col) : rhs.literal;
+            if ((a == b) != negate) sel->idx[kept++] = i;
+          }
+          sel->count = kept;
+        });
+      }
+      // NaN (NULL) comparisons are false, matching SQL and the scalar
+      // pipeline; kNe additionally requires both sides non-NaN. The second
+      // functor handles a literal lhs (operands flipped).
+      switch (expr.cmp) {
+        case CmpOp::kEq:
+          return CompileCmpBatch(expr, schema,
+                                 [](double a, double b) { return a == b; },
+                                 [](double b, double a) { return a == b; });
+        case CmpOp::kNe: {
+          auto ne = [](double a, double b) {
+            return a != b && !std::isnan(a) && !std::isnan(b);
+          };
+          return CompileCmpBatch(expr, schema, ne, ne);
+        }
+        case CmpOp::kLt:
+          return CompileCmpBatch(expr, schema,
+                                 [](double a, double b) { return a < b; },
+                                 [](double b, double a) { return a < b; });
+        case CmpOp::kLe:
+          return CompileCmpBatch(expr, schema,
+                                 [](double a, double b) { return a <= b; },
+                                 [](double b, double a) { return a <= b; });
+        case CmpOp::kGt:
+          return CompileCmpBatch(expr, schema,
+                                 [](double a, double b) { return a > b; },
+                                 [](double b, double a) { return a > b; });
+        case CmpOp::kGe:
+          return CompileCmpBatch(expr, schema,
+                                 [](double a, double b) { return a >= b; },
+                                 [](double b, double a) { return a >= b; });
+      }
+      return Status::Internal("unreachable comparison op");
+    }
+    case BoolKind::kBetween: {
+      PAQL_ASSIGN_OR_RETURN(BatchFn subject,
+                            CompileScalarBatch(*expr.scalar_lhs, schema));
+      // The common literal-bounds form folds into one range test.
+      double lo_c, hi_c;
+      if (IsNumericLiteral(*expr.between_lo, &lo_c) &&
+          IsNumericLiteral(*expr.between_hi, &hi_c)) {
+        return BatchPred([subject, lo_c, hi_c](const Table& t,
+                                               const RowSpan& span,
+                                               SelectionVector* sel) {
+          if (sel->empty()) return;
+          NumericBatch v;
+          subject(t, span, &v);
+          uint32_t kept = 0;
+          if (sel->count == span.len) {
+            for (uint32_t i = 0; i < span.len; ++i) {
+              sel->idx[kept] = static_cast<uint16_t>(i);
+              // Bitwise & keeps the test branch-free on unsorted data.
+              kept += static_cast<uint32_t>(
+                  static_cast<int>(v.values[i] >= lo_c) &
+                  static_cast<int>(v.values[i] <= hi_c));
+            }
+          } else {
+            for (uint32_t k = 0; k < sel->count; ++k) {
+              uint16_t i = sel->idx[k];
+              sel->idx[kept] = i;
+              kept += static_cast<uint32_t>(
+                  static_cast<int>(v.values[i] >= lo_c) &
+                  static_cast<int>(v.values[i] <= hi_c));
+            }
+          }
+          sel->count = kept;
+        });
+      }
+      PAQL_ASSIGN_OR_RETURN(BatchFn lo,
+                            CompileScalarBatch(*expr.between_lo, schema));
+      PAQL_ASSIGN_OR_RETURN(BatchFn hi,
+                            CompileScalarBatch(*expr.between_hi, schema));
+      return BatchPred([subject, lo, hi](const Table& t, const RowSpan& span,
+                                         SelectionVector* sel) {
+        if (sel->empty()) return;
+        NumericBatch v, l, h;
+        subject(t, span, &v);
+        lo(t, span, &l);
+        hi(t, span, &h);
+        uint32_t kept = 0;
+        for (uint32_t k = 0; k < sel->count; ++k) {
+          uint16_t i = sel->idx[k];
+          sel->idx[kept] = i;
+          kept += (v.values[i] >= l.values[i] && v.values[i] <= h.values[i])
+                      ? 1
+                      : 0;
+        }
+        sel->count = kept;
+      });
+    }
+    case BoolKind::kAnd: {
+      PAQL_ASSIGN_OR_RETURN(BatchPred lhs, CompileBoolBatch(*expr.left, schema));
+      PAQL_ASSIGN_OR_RETURN(BatchPred rhs,
+                            CompileBoolBatch(*expr.right, schema));
+      return BatchPred([lhs, rhs](const Table& t, const RowSpan& span,
+                                  SelectionVector* sel) {
+        lhs(t, span, sel);
+        if (!sel->empty()) rhs(t, span, sel);
+      });
+    }
+    case BoolKind::kOr: {
+      PAQL_ASSIGN_OR_RETURN(BatchPred lhs, CompileBoolBatch(*expr.left, schema));
+      PAQL_ASSIGN_OR_RETURN(BatchPred rhs,
+                            CompileBoolBatch(*expr.right, schema));
+      return BatchPred([lhs, rhs](const Table& t, const RowSpan& span,
+                                  SelectionVector* sel) {
+        if (sel->empty()) return;
+        // Mirror scalar short-circuit: rhs only sees lanes lhs rejected.
+        SelectionVector passed_left = *sel;
+        lhs(t, span, &passed_left);
+        SelectionVector rest;
+        Subtract(*sel, passed_left, &rest);
+        rhs(t, span, &rest);
+        Merge(passed_left, rest, sel);
+      });
+    }
+    case BoolKind::kNot: {
+      PAQL_ASSIGN_OR_RETURN(BatchPred inner,
+                            CompileBoolBatch(*expr.left, schema));
+      return BatchPred([inner](const Table& t, const RowSpan& span,
+                               SelectionVector* sel) {
+        if (sel->empty()) return;
+        SelectionVector passed = *sel;
+        inner(t, span, &passed);
+        SelectionVector kept;
+        Subtract(*sel, passed, &kept);
+        std::copy_n(kept.idx.data(), kept.count, sel->idx.data());
+        sel->count = kept.count;
+      });
+    }
+    case BoolKind::kIsNull:
+    case BoolKind::kIsNotNull: {
+      if (expr.scalar_lhs->kind != ScalarKind::kColumn) {
+        return Status::Unsupported(
+            "IS NULL is only supported on column references");
+      }
+      PAQL_ASSIGN_OR_RETURN(size_t col,
+                            schema.ResolveColumn(expr.scalar_lhs->column));
+      bool want_null = expr.kind == BoolKind::kIsNull;
+      return BatchPred([col, want_null](const Table& t, const RowSpan& span,
+                                        SelectionVector* sel) {
+        uint32_t kept = 0;
+        for (uint32_t k = 0; k < sel->count; ++k) {
+          uint16_t i = sel->idx[k];
+          sel->idx[kept] = i;
+          kept += (t.IsNull(span.row(i), col) == want_null) ? 1 : 0;
+        }
+        sel->count = kept;
+      });
+    }
+  }
+  return Status::Internal("unreachable bool kind");
+}
+
+std::vector<RowId> FilterTableVectorized(const Table& table,
+                                         const BatchPred& pred) {
+  std::vector<RowId> out;
+  const size_t n = table.num_rows();
+  out.reserve(n);
+  SelectionVector sel;
+  for (size_t start = 0; start < n; start += kChunkSize) {
+    RowSpan span;
+    span.start = static_cast<RowId>(start);
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
+    sel.MakeDense(span.len);
+    pred(table, span, &sel);
+    for (uint32_t k = 0; k < sel.count; ++k) {
+      out.push_back(span.start + sel.idx[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<RowId> FilterRowsVectorized(const Table& table,
+                                        const std::vector<RowId>& rows,
+                                        const BatchPred& pred) {
+  std::vector<RowId> out;
+  out.reserve(rows.size());
+  SelectionVector sel;
+  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
+    RowSpan span;
+    span.rows = rows.data() + off;
+    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
+    sel.MakeDense(span.len);
+    pred(table, span, &sel);
+    for (uint32_t k = 0; k < sel.count; ++k) {
+      out.push_back(span.rows[sel.idx[k]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace paql::translate

@@ -1,0 +1,67 @@
+// Compilation of PaQL per-tuple expressions into vectorized batch kernels.
+//
+// The batch pipeline is the performance twin of compile_expr.h: the same
+// expressions, compiled onto kChunkSize-row chunks of the columnar Table
+// instead of one row at a time. A numeric kernel (BatchFn) fills a
+// NumericBatch for every lane of a RowSpan; a predicate kernel (BatchPred)
+// refines a SelectionVector in place, so AND chains narrow the surviving
+// lanes and OR/NOT recombine them. One indirect call per kernel per chunk
+// replaces one per kernel per row.
+//
+// Semantics are bit-for-bit identical to the scalar pipeline (the
+// differential test enforces this): NULL lanes carry NaN exactly like
+// RowFn, NaN comparisons are false, string comparisons and IS NULL read
+// the table directly, and accumulation orders match the scalar loops.
+// The scalar RowFn/RowPred closures remain the reference implementation;
+// callers fall back to them whenever batch compilation is unavailable.
+#ifndef PAQL_TRANSLATE_VECTOR_EXPR_H_
+#define PAQL_TRANSLATE_VECTOR_EXPR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "paql/ast.h"
+#include "relation/chunk.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace paql::translate {
+
+/// Batch numeric evaluator: fill `out` for every lane of `span`
+/// (lane i corresponds to span.row(i)). NULL evaluates to NaN.
+using BatchFn = std::function<void(
+    const relation::Table&, const relation::RowSpan&, relation::NumericBatch*)>;
+
+/// Batch predicate evaluator: keep only the selected lanes that satisfy
+/// the predicate (ascending lane order is preserved).
+using BatchPred = std::function<void(const relation::Table&,
+                                     const relation::RowSpan&,
+                                     relation::SelectionVector*)>;
+
+/// Compile a numeric scalar expression into a batch kernel. Fails on the
+/// same inputs CompileScalar fails on (string operands, non-numeric
+/// literals).
+Result<BatchFn> CompileScalarBatch(const lang::ScalarExpr& expr,
+                                   const relation::Schema& schema);
+
+/// Compile a boolean (WHERE-style) expression into a batch predicate.
+/// Supports the full scalar fragment: numeric comparisons, string
+/// equality/inequality, BETWEEN, AND/OR/NOT, IS [NOT] NULL.
+Result<BatchPred> CompileBoolBatch(const lang::BoolExpr& expr,
+                                   const relation::Schema& schema);
+
+/// All rows of `table` satisfying `pred`, scanned chunk at a time over
+/// contiguous spans. Equals Table::FilterRows over the scalar twin.
+std::vector<relation::RowId> FilterTableVectorized(const relation::Table& table,
+                                                   const BatchPred& pred);
+
+/// The subset of `rows` satisfying `pred`, evaluated over gather spans
+/// (order preserved, duplicates allowed).
+std::vector<relation::RowId> FilterRowsVectorized(
+    const relation::Table& table, const std::vector<relation::RowId>& rows,
+    const BatchPred& pred);
+
+}  // namespace paql::translate
+
+#endif  // PAQL_TRANSLATE_VECTOR_EXPR_H_
