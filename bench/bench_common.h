@@ -219,12 +219,17 @@ struct MicroSpeedup {
   double factor = 0;
 };
 
-/// Write the BENCH_micro.json perf-trajectory record: per-kernel ns/row
-/// plus scalar-over-vectorized speedup factors. The format is flat on
-/// purpose — one object, stable keys — so successive PRs diff cleanly.
-inline Status WriteBenchMicroJson(const std::string& path, size_t rows,
-                                  const std::vector<MicroMeasurement>& entries,
-                                  const std::vector<MicroSpeedup>& speedups) {
+/// Write the BENCH_micro.json perf-trajectory record: per-kernel ns/row for
+/// the expression pipelines, per-solve µs for the solver paths (their own
+/// section, since the unit and problem size differ), plus the speedup
+/// factors (unitless ratios, shared across both suites). The format is
+/// flat on purpose — stable keys — so successive PRs diff cleanly.
+inline Status WriteBenchMicroJson(
+    const std::string& path, size_t rows,
+    const std::vector<MicroMeasurement>& entries,
+    const std::vector<MicroSpeedup>& speedups,
+    const std::vector<MicroMeasurement>& solver_entries = {},
+    size_t solver_rows = 0) {
   std::ofstream os(path);
   if (!os) {
     return Status::InvalidArgument(StrCat("cannot write ", path));
@@ -240,6 +245,19 @@ inline Status WriteBenchMicroJson(const std::string& path, size_t rows,
        << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   os << "  },\n";
+  if (!solver_entries.empty()) {
+    os << "  \"solver\": {\n";
+    os << "    \"unit\": \"us_per_solve\",\n";
+    os << "    \"rows\": " << solver_rows << ",\n";
+    os << "    \"entries\": {\n";
+    for (size_t i = 0; i < solver_entries.size(); ++i) {
+      os << "      \"" << solver_entries[i].name
+         << "\": " << FormatDouble(solver_entries[i].ns_per_row, 3)
+         << (i + 1 < solver_entries.size() ? "," : "") << "\n";
+    }
+    os << "    }\n";
+    os << "  },\n";
+  }
   os << "  \"speedup\": {\n";
   for (size_t i = 0; i < speedups.size(); ++i) {
     os << "    \"" << speedups[i].name

@@ -18,6 +18,7 @@
 #include "ilp/branch_and_bound.h"
 #include "ilp/cuts.h"
 #include "lp/lp_format.h"
+#include "lp/simplex.h"
 #include "paql/parser.h"
 #include "partition/dynamic_update.h"
 #include "partition/partitioner.h"
@@ -339,9 +340,11 @@ double BestNsPerRow(size_t rows, int reps, Fn fn) {
 }  // namespace
 
 /// Measure the four pipeline kernels at `rows` rows, cross-check that both
-/// pipelines agree exactly, print a paper-style table, and record the
-/// trajectory in `json_path`.
-void RunVectorizedMicroSuite(size_t rows, const std::string& json_path) {
+/// pipelines agree exactly, print a paper-style table, and append the
+/// measurements to `entries`/`speedups`.
+void RunVectorizedMicroSuite(size_t rows,
+                             std::vector<MicroMeasurement>* out_entries,
+                             std::vector<MicroSpeedup>* out_speedups) {
   MicroKernels k = MakeMicroKernels(rows);
   const relation::Table& t = *k.table;
 
@@ -396,9 +399,189 @@ void RunVectorizedMicroSuite(size_t rows, const std::string& json_path) {
   std::cout << "== scalar vs vectorized pipelines (" << rows << " rows) ==\n";
   printer.Print(std::cout);
 
-  Status written = WriteBenchMicroJson(json_path, rows, entries, speedups);
-  PAQL_CHECK_MSG(written.ok(), written);
-  std::cout << "wrote " << json_path << "\n\n";
+  out_entries->insert(out_entries->end(), entries.begin(), entries.end());
+  out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
+}
+
+/// Cold vs warm solver paths, the other BENCH_micro.json suite:
+///
+///  * node re-solve — a branch-and-bound-style child evaluation: tighten
+///    one variable bound and re-solve the LP, either from the parent basis
+///    (dual simplex) or from scratch (primal phases);
+///  * refine loop — SKETCHREFINE's inner loop: re-solve one group's ILP
+///    under shifted activity offsets, either patching a cached model in
+///    place (CompiledQuery::UpdateModelOffsets + basis reuse) or rebuilding
+///    and cold-solving every time, as the evaluators did before warm
+///    starting existed.
+///
+/// Entry names carry their unit (µs per re-solve) since the suite measures
+/// per-solve latency, not per-row throughput. Warm and cold must agree: the
+/// node re-solve paths are cross-checked before timing, and every warm
+/// refine solve is checked against the recorded cold objective (one float
+/// compare inside the timed loop — negligible).
+void RunWarmStartMicroSuite(size_t rows,
+                            std::vector<MicroMeasurement>* out_entries,
+                            std::vector<MicroSpeedup>* out_speedups) {
+  const relation::Table& t = SharedGalaxy(rows);
+  auto q = lang::ParsePackageQuery(kQueryText);
+  PAQL_CHECK_MSG(q.ok(), q.status());
+  auto cq = translate::CompiledQuery::Compile(*q, t.schema());
+  PAQL_CHECK_MSG(cq.ok(), cq.status());
+  PAQL_CHECK_MSG(cq->CanUpdateOffsets(), "query lost offset updatability");
+
+  // --- Node re-solve over the full base-relation LP. ---
+  auto base_rows = cq->ComputeBaseRows(t);
+  auto model = cq->BuildModel(t, base_rows);
+  PAQL_CHECK_MSG(model.ok(), model.status());
+  constexpr int kResolves = 40;
+  Deadline deadline(60.0);
+
+  lp::SimplexOptions warm_opts, cold_opts;
+  cold_opts.warm_start = false;
+
+  // Correctness gate before timing: warm and cold node re-solves must agree
+  // on the objective for every bound change the timed loops will make.
+  {
+    lp::SimplexSolver warm(*model, warm_opts), cold(*model, cold_opts);
+    PAQL_CHECK(warm.Solve(deadline).status == lp::LpStatus::kOptimal);
+    lp::Basis root = warm.SnapshotBasis();
+    for (int i = 0; i < kResolves; ++i) {
+      int var = (i * 7919) % model->num_vars();
+      warm.RestoreBasis(root);
+      warm.SetVarBounds(var, 0, 0);
+      cold.SetVarBounds(var, 0, 0);
+      auto w = warm.Solve(deadline);
+      auto c = cold.Solve(deadline);
+      PAQL_CHECK_MSG(w.status == c.status && w.status == lp::LpStatus::kOptimal,
+                     "node re-solve status diverged at " << i);
+      PAQL_CHECK_MSG(std::abs(w.objective - c.objective) <=
+                         1e-7 * (1.0 + std::abs(c.objective)),
+                     "node re-solve diverged at " << i << ": " << w.objective
+                                                  << " vs " << c.objective);
+      warm.SetVarBounds(var, 0, cq->per_tuple_ub());
+      cold.SetVarBounds(var, 0, cq->per_tuple_ub());
+    }
+  }
+
+  double node_cold_s, node_warm_s;
+  {
+    lp::SimplexSolver cold(*model, cold_opts);
+    PAQL_CHECK(cold.Solve(deadline).status == lp::LpStatus::kOptimal);
+    Stopwatch watch;
+    for (int i = 0; i < kResolves; ++i) {
+      int var = (i * 7919) % model->num_vars();
+      cold.SetVarBounds(var, 0, 0);
+      auto r = cold.Solve(deadline);
+      PAQL_CHECK(r.status == lp::LpStatus::kOptimal);
+      cold.SetVarBounds(var, 0, cq->per_tuple_ub());
+    }
+    node_cold_s = watch.ElapsedSeconds();
+  }
+  {
+    lp::SimplexSolver warm(*model, warm_opts);
+    PAQL_CHECK(warm.Solve(deadline).status == lp::LpStatus::kOptimal);
+    lp::Basis root = warm.SnapshotBasis();
+    Stopwatch watch;
+    for (int i = 0; i < kResolves; ++i) {
+      int var = (i * 7919) % model->num_vars();
+      warm.RestoreBasis(root);
+      warm.SetVarBounds(var, 0, 0);
+      auto r = warm.Solve(deadline);
+      PAQL_CHECK(r.status == lp::LpStatus::kOptimal);
+      warm.SetVarBounds(var, 0, cq->per_tuple_ub());
+    }
+    node_warm_s = watch.ElapsedSeconds();
+  }
+
+  // --- Refine loop over one partitioning group. ---
+  partition::PartitionOptions popts;
+  popts.attributes = {"petroRad_r", "redshift", "expMag_r"};
+  popts.size_threshold = rows / 10;
+  auto partitioning = partition::PartitionTable(t, popts);
+  PAQL_CHECK_MSG(partitioning.ok(), partitioning.status());
+  // The largest group stands in for a refine subproblem Q[G_j].
+  const std::vector<relation::RowId>* group = &partitioning->groups[0];
+  for (const auto& g : partitioning->groups) {
+    if (g.size() > group->size()) group = &g;
+  }
+  constexpr int kRefines = 24;
+  auto offsets_for = [&](int i) {
+    // Leaf order for kQueryText: COUNT = 10, SUM(petroRad_r) <= 50,
+    // SUM(redshift) BETWEEN. Shift only the SUM bounds, slightly, the way
+    // consecutive refine queries differ by the rest of the package.
+    std::vector<double> offsets(cq->num_leaf_constraints(), 0.0);
+    offsets[1] = static_cast<double>(i % 5) * 0.5;
+    offsets[2] = static_cast<double>(i % 3) * 0.01;
+    return offsets;
+  };
+  ilp::BranchAndBoundOptions bnb_warm, bnb_cold;
+  bnb_cold.warm_start = false;
+
+  // The cold loop doubles as the reference: each warm solve is checked
+  // against the cold objective recorded at the same offsets.
+  std::vector<double> cold_objectives(kRefines);
+  double refine_cold_s, refine_warm_s;
+  {
+    Stopwatch watch;
+    for (int i = 0; i < kRefines; ++i) {
+      std::vector<double> offsets = offsets_for(i);
+      translate::CompiledQuery::BuildOptions build;
+      build.activity_offset = &offsets;
+      auto m = cq->BuildModel(t, *group, build);
+      PAQL_CHECK_MSG(m.ok(), m.status());
+      auto sol = ilp::SolveIlp(*m, {}, bnb_cold);
+      PAQL_CHECK_MSG(sol.ok(), sol.status());
+      cold_objectives[i] = sol->objective;
+    }
+    refine_cold_s = watch.ElapsedSeconds();
+  }
+  {
+    Stopwatch watch;
+    ilp::IlpWarmStart warm_ctx;
+    std::vector<double> first = offsets_for(0);
+    translate::CompiledQuery::BuildOptions build;
+    build.activity_offset = &first;
+    auto cached = cq->BuildModel(t, *group, build);
+    PAQL_CHECK_MSG(cached.ok(), cached.status());
+    for (int i = 0; i < kRefines; ++i) {
+      std::vector<double> offsets = offsets_for(i);
+      PAQL_CHECK(cq->UpdateModelOffsets(offsets, &*cached).ok());
+      auto sol = ilp::SolveIlp(*cached, {}, bnb_warm, &warm_ctx);
+      PAQL_CHECK_MSG(sol.ok(), sol.status());
+      PAQL_CHECK_MSG(
+          std::abs(sol->objective - cold_objectives[i]) <=
+              1e-6 * (1.0 + std::abs(cold_objectives[i])),
+          "warm refine solve diverged at " << i << ": " << sol->objective
+                                           << " vs " << cold_objectives[i]);
+    }
+    refine_warm_s = watch.ElapsedSeconds();
+  }
+
+  auto us_per = [](double seconds, int n) { return seconds * 1e6 / n; };
+  std::vector<MicroMeasurement> entries;
+  entries.push_back({"node_resolve_cold_us", us_per(node_cold_s, kResolves)});
+  entries.push_back({"node_resolve_warm_us", us_per(node_warm_s, kResolves)});
+  entries.push_back({"refine_loop_cold_us", us_per(refine_cold_s, kRefines)});
+  entries.push_back({"refine_loop_warm_us", us_per(refine_warm_s, kRefines)});
+  std::vector<MicroSpeedup> speedups;
+  speedups.push_back({"warm_node_resolve", node_cold_s / node_warm_s});
+  speedups.push_back({"warm_refine_loop", refine_cold_s / refine_warm_s});
+
+  TablePrinter printer({"solver path", "us/solve", "speedup"});
+  printer.AddRow({entries[0].name, FormatDouble(entries[0].ns_per_row, 1),
+                  "1.00"});
+  printer.AddRow({entries[1].name, FormatDouble(entries[1].ns_per_row, 1),
+                  FormatDouble(speedups[0].factor, 2)});
+  printer.AddRow({entries[2].name, FormatDouble(entries[2].ns_per_row, 1),
+                  "1.00"});
+  printer.AddRow({entries[3].name, FormatDouble(entries[3].ns_per_row, 1),
+                  FormatDouble(speedups[1].factor, 2)});
+  std::cout << "== cold vs warm solver (" << rows << " rows, "
+            << group->size() << "-row refine group) ==\n";
+  printer.Print(std::cout);
+
+  out_entries->insert(out_entries->end(), entries.begin(), entries.end());
+  out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
 }
 
 }  // namespace paql::bench
@@ -406,10 +589,20 @@ void RunVectorizedMicroSuite(size_t rows, const std::string& json_path) {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   paql::bench::BenchConfig config = paql::bench::ParseBenchArgs(argc, argv);
-  // The paper-trajectory suite runs first so every invocation — including
+  // The paper-trajectory suites run first so every invocation — including
   // `--benchmark_filter=none` smoke runs — refreshes BENCH_micro.json.
-  paql::bench::RunVectorizedMicroSuite(config.quick ? 200000 : 1000000,
-                                       "BENCH_micro.json");
+  std::vector<paql::bench::MicroMeasurement> entries, solver_entries;
+  std::vector<paql::bench::MicroSpeedup> speedups;
+  size_t pipeline_rows = config.quick ? 200000 : 1000000;
+  size_t solver_rows = config.quick ? 8000 : 20000;
+  paql::bench::RunVectorizedMicroSuite(pipeline_rows, &entries, &speedups);
+  paql::bench::RunWarmStartMicroSuite(solver_rows, &solver_entries,
+                                      &speedups);
+  paql::Status written = paql::bench::WriteBenchMicroJson(
+      "BENCH_micro.json", pipeline_rows, entries, speedups, solver_entries,
+      solver_rows);
+  PAQL_CHECK_MSG(written.ok(), written);
+  std::cout << "wrote BENCH_micro.json\n\n";
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -68,7 +68,7 @@ Result<EvalResult> DirectEvaluator::SolveCandidates(
 
   // Step 3 (paper): ILP execution by the black-box solver.
   auto solution = ilp::SolveIlp(model, options_.limits,
-                                options_.branch_and_bound);
+                                options_.EffectiveBranchAndBound());
   if (!solution.ok()) {
     return solution.status();
   }

@@ -51,10 +51,14 @@ Result<IncrementalResult> ReEvaluatePackage(
     }
   }
 
-  // Candidates: base-relation rows of the dirty groups.
+  // Candidates: base-relation rows of the dirty groups. Iterate the
+  // `is_dirty` mask, not `dirty_groups` — a duplicated id in the caller's
+  // list would otherwise create duplicate ILP variables for the same row
+  // and duplicated package entries.
   Stopwatch translate_watch;
   std::vector<RowId> candidates;
-  for (uint32_t g : dirty_groups) {
+  for (uint32_t g = 0; g < partitioning.num_groups(); ++g) {
+    if (!is_dirty[g]) continue;
     for (RowId r : partitioning.groups[g]) {
       if (query.BaseAccepts(table, r)) candidates.push_back(r);
     }
@@ -71,11 +75,12 @@ Result<IncrementalResult> ReEvaluatePackage(
   bopts.activity_offset = &offsets;
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(table, candidates, bopts));
+  double translate_seconds = translate_watch.ElapsedSeconds();
   auto sol = ilp::SolveIlp(model, options.sketch_refine.limits,
-                           options.sketch_refine.branch_and_bound);
+                           options.sketch_refine.EffectiveBranchAndBound());
   if (sol.ok()) {
     out.result.stats.Accumulate(sol->stats);
-    out.result.stats.translate_seconds = translate_watch.ElapsedSeconds();
+    out.result.stats.translate_seconds = translate_seconds;
     out.result.package.rows = fixed_rows;
     out.result.package.multiplicity = fixed_mults;
     for (size_t k = 0; k < candidates.size(); ++k) {
@@ -92,14 +97,17 @@ Result<IncrementalResult> ReEvaluatePackage(
     out.result.stats.wall_seconds = total.ElapsedSeconds();
     return out;
   }
-  if (!sol.ok() && !sol.status().IsInfeasible()) return sol.status();
+  if (!sol.status().IsInfeasible()) return sol.status();
 
   // The fixed part over-constrains the subproblem (e.g. the query changed
-  // since `previous` was computed): fall back to a full run.
+  // since `previous` was computed): fall back to a full run. The time spent
+  // translating the abandoned incremental subproblem is real work this call
+  // performed, so it rides along in the reported stats.
   SketchRefineEvaluator full(table, partitioning, options.sketch_refine);
   PAQL_ASSIGN_OR_RETURN(out.result, full.Evaluate(query));
   out.used_fallback = true;
   out.dirty_candidates = 0;
+  out.result.stats.translate_seconds += translate_seconds;
   out.result.stats.wall_seconds = total.ElapsedSeconds();
   return out;
 }

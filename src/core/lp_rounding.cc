@@ -142,7 +142,7 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
     PAQL_ASSIGN_OR_RETURN(
         ilp::IlpSolution sol,
         ilp::SolveIlp(repair_model, options_.limits,
-                      options_.branch_and_bound));
+                      options_.EffectiveBranchAndBound()));
     result.stats.Accumulate(sol.stats);
     std::vector<int64_t> mults(repair_set.size());
     for (size_t i = 0; i < repair_set.size(); ++i) {

@@ -88,6 +88,7 @@ void EvalStats::Accumulate(const ilp::IlpStats& ilp) {
   lp_iterations += ilp.lp_iterations;
   bnb_nodes += ilp.nodes;
   solve_seconds += ilp.wall_seconds;
+  warm_lp_solves += ilp.warm_lp_solves;
   peak_memory_bytes = std::max(peak_memory_bytes, ilp.peak_memory_bytes);
 }
 

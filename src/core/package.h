@@ -51,12 +51,18 @@ struct EvalStats {
   int64_t lp_iterations = 0;     // total simplex pivots
   int64_t bnb_nodes = 0;         // total branch-and-bound nodes
   size_t peak_memory_bytes = 0;  // per the SolverLimits accounting model
+  /// Node LPs re-optimized from a warm basis with the dual simplex (zero
+  /// when ExecContext::warm_start is off).
+  int64_t warm_lp_solves = 0;
 
   // SKETCHREFINE-specific counters (zero for other strategies).
   int64_t groups_refined = 0;
   int64_t backtracks = 0;
   bool used_hybrid_sketch = false;
   int64_t recursion_depth = 0;
+  /// Refine subproblems whose cached model was re-targeted in place
+  /// (CompiledQuery::UpdateModelOffsets) instead of rebuilt.
+  int64_t warm_model_reuses = 0;
 
   // Parallel-evaluation counters (core/parallel.h; zero elsewhere).
   int threads_used = 0;

@@ -150,12 +150,24 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
     const CompiledQuery& query) const {
   Stopwatch total;
   const int threads = ClampThreads(options_.num_threads);
+  EvalStats stats;
 
-  auto fall_back = [&]() -> Result<EvalResult> {
+  // The fallback inherits whatever the speculative attempt already paid for
+  // — the base scan and any sketch/refine ILP work — so the reported stats
+  // cover the whole call, not just the sequential rerun.
+  auto fall_back = [&](const EvalStats& partial) -> Result<EvalResult> {
     SketchRefineEvaluator sequential(*table_, *partitioning_,
                                      options_.sketch_refine);
     auto result = sequential.Evaluate(query);
     if (result.ok()) {
+      result->stats.translate_seconds += partial.translate_seconds;
+      result->stats.solve_seconds += partial.solve_seconds;
+      result->stats.ilp_solves += partial.ilp_solves;
+      result->stats.lp_iterations += partial.lp_iterations;
+      result->stats.bnb_nodes += partial.bnb_nodes;
+      result->stats.warm_lp_solves += partial.warm_lp_solves;
+      result->stats.peak_memory_bytes = std::max(
+          result->stats.peak_memory_bytes, partial.peak_memory_bytes);
       result->stats.parallel_fallback = true;
       result->stats.threads_used = threads;
       result->stats.wall_seconds = total.ElapsedSeconds();
@@ -166,6 +178,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   // Group the base relation by the offline partitioning (as the sequential
   // driver does).
   const bool vectorized = options_.sketch_refine.vectorized;
+  Stopwatch translate_watch;
   std::vector<std::vector<RowId>> group_rows(partitioning_->num_groups());
   std::vector<RowId> base = vectorized
                                 ? query.ComputeBaseRowsVectorized(*table_)
@@ -177,10 +190,10 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   for (size_t g = 0; g < group_rows.size(); ++g) {
     if (!group_rows[g].empty()) active.push_back(g);
   }
-  if (active.empty()) return fall_back();
+  stats.translate_seconds = translate_watch.ElapsedSeconds();
+  if (active.empty()) return fall_back(stats);
 
   // --- SKETCH (one ILP, not parallelized: it is small by design). ---
-  EvalStats stats;
   std::vector<RowId> rep_rows;
   std::vector<double> rep_ub;
   rep_rows.reserve(active.size());
@@ -197,12 +210,13 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   seg.ub_override = &rep_ub;
   PAQL_ASSIGN_OR_RETURN(lp::Model sketch_model,
                         query.BuildModelSegments({seg}, nullptr, vectorized));
-  auto sketch = ilp::SolveIlp(sketch_model, options_.sketch_refine.limits,
-                              options_.sketch_refine.branch_and_bound);
+  auto sketch =
+      ilp::SolveIlp(sketch_model, options_.sketch_refine.limits,
+                    options_.sketch_refine.EffectiveBranchAndBound());
   if (!sketch.ok()) {
     // Infeasible sketch: the sequential path owns the hybrid-sketch and
     // backtracking machinery.
-    if (sketch.status().IsInfeasible()) return fall_back();
+    if (sketch.status().IsInfeasible()) return fall_back(stats);
     return sketch.status();
   }
   stats.Accumulate(sketch->stats);
@@ -264,8 +278,9 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
         out.status = model.status();
         continue;  // keep draining the queue; assembly reports the failure
       }
-      auto sol = ilp::SolveIlp(*model, options_.sketch_refine.limits,
-                               options_.sketch_refine.branch_and_bound);
+      auto sol =
+          ilp::SolveIlp(*model, options_.sketch_refine.limits,
+                        options_.sketch_refine.EffectiveBranchAndBound());
       if (!sol.ok()) {
         out.status = sol.status();
         continue;  // other groups may still be useful for diagnostics
@@ -283,6 +298,12 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
 
+  // Charge every completed group solve to the stats first, so a failure in
+  // one group does not silently discard the others' solver work.
+  for (size_t job = 0; job < picked_groups.size(); ++job) {
+    if (outcomes[job].status.ok()) stats.Accumulate(outcomes[job].ilp);
+  }
+
   // Any per-group failure, or a combined package that misses the global
   // constraints, falls back to the sequential algorithm.
   EvalResult result;
@@ -290,11 +311,10 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
     const GroupOutcome& out = outcomes[job];
     if (!out.status.ok()) {
       if (out.status.IsInfeasible() || out.status.IsResourceExhausted()) {
-        return fall_back();
+        return fall_back(stats);
       }
       return out.status;
     }
-    stats.Accumulate(out.ilp);
     size_t g = active[picked_groups[job]];
     for (size_t k = 0; k < group_rows[g].size(); ++k) {
       if (out.mults[k] > 0) {
@@ -307,7 +327,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   if (!query.PackageSatisfiesGlobals(*table_, result.package.rows,
                                      result.package.multiplicity)) {
     // Local refinements conflicted — the failure mode §4.5 predicts.
-    return fall_back();
+    return fall_back(stats);
   }
   stats.groups_refined = static_cast<int64_t>(picked_groups.size());
   result.objective = query.ObjectiveValue(*table_, result.package.rows,

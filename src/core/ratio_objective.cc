@@ -100,6 +100,10 @@ Result<EvalResult> RatioObjectiveEvaluator::Evaluate(
   // parametric optimum reaches zero.
   double lambda = 0.0;
   std::vector<double> best_x;
+  // Dinkelbach iterations re-solve the same model with re-weighted
+  // objective coefficients: the previous root basis stays primal feasible,
+  // so each iteration warm-starts from it.
+  ilp::IlpWarmStart warm;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     if (options_.Cancelled()) {
       return Status::ResourceExhausted("evaluation cancelled");
@@ -109,7 +113,7 @@ Result<EvalResult> RatioObjectiveEvaluator::Evaluate(
                          numerator[k] - lambda * denominator[k]);
     }
     auto sol = ilp::SolveIlp(model, options_.limits,
-                             options_.branch_and_bound);
+                             options_.EffectiveBranchAndBound(), &warm);
     if (!sol.ok()) {
       if (sol.status().IsInfeasible()) {
         return Status::Infeasible(

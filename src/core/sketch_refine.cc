@@ -156,8 +156,10 @@ class Driver {
                            depth + 1);
   }
 
-  /// Budgeted ILP solve with stats accounting.
-  Result<ilp::IlpSolution> SolveModel(const lp::Model& model) {
+  /// Budgeted ILP solve with stats accounting. `warm` (optional) carries
+  /// the root basis across consecutive solves of the same column set.
+  Result<ilp::IlpSolution> SolveModel(const lp::Model& model,
+                                      ilp::IlpWarmStart* warm = nullptr) {
     if (options_.cancel != nullptr &&
         options_.cancel->load(std::memory_order_relaxed)) {
       return Status::ResourceExhausted("evaluation cancelled");
@@ -168,9 +170,69 @@ class Driver {
                  " subproblem solves (excessive backtracking)"));
     }
     auto sol = ilp::SolveIlp(model, options_.limits,
-                             options_.branch_and_bound);
+                             options_.EffectiveBranchAndBound(), warm);
     if (sol.ok()) stats_.Accumulate(sol->stats);
     return sol;
+  }
+
+  /// Cached refine-subproblem state for one group at one recursion level:
+  /// the built model (re-targeted in place between solves when the query
+  /// allows it) and the warm-start basis of the previous solve. Groups are
+  /// revisited during backtracking with the same column set and different
+  /// activity offsets — exactly the reuse this cache exploits.
+  struct SubCache {
+    lp::Model model;
+    bool built = false;
+    ilp::IlpWarmStart warm;
+  };
+
+  /// Solve group g's refine query Q[G_g] through the per-level cache. Falls
+  /// back to the uncached SolveNode path when the subproblem must recurse
+  /// or warm starting is off.
+  Result<std::vector<int64_t>> SolveGroupCached(
+      const NodeProblem& prob, const GroupsView& groups, size_t g,
+      const std::vector<double>& offsets, int depth, SubCache* cache) {
+    const size_t group_size = groups.members[g].size();
+    // Materialized only on the paths that need the candidate rows; a
+    // cache-hit revisit must stay O(#constraints), not O(#candidates).
+    auto make_sub = [&]() {
+      NodeProblem sub;
+      sub.table = prob.table;
+      sub.rows.reserve(group_size);
+      sub.ub.reserve(group_size);
+      for (RowId pos : groups.members[g]) {
+        sub.rows.push_back(prob.rows[pos]);
+        sub.ub.push_back(prob.ub[pos]);
+      }
+      return sub;
+    };
+    bool small = options_.max_subproblem_size == 0 ||
+                 group_size <= options_.max_subproblem_size;
+    if (!small || !options_.warm_start) {
+      return SolveNode(make_sub(), offsets, depth);
+    }
+    stats_.recursion_depth = std::max<int64_t>(stats_.recursion_depth, depth);
+    if (cache->built && query_.CanUpdateOffsets()) {
+      PAQL_RETURN_IF_ERROR(query_.UpdateModelOffsets(offsets, &cache->model));
+      ++stats_.warm_model_reuses;
+    } else {
+      // First visit, or an OR query whose big-M coefficients bake in the
+      // offsets: (re)build. The basis still carries over — the column set
+      // is identical.
+      NodeProblem sub = make_sub();
+      CompiledQuery::Segment seg;
+      seg.table = sub.table;
+      seg.rows = &sub.rows;
+      seg.ub_override = &sub.ub;
+      PAQL_ASSIGN_OR_RETURN(lp::Model model,
+                            query_.BuildModelSegments({seg}, &offsets,
+                                                      options_.vectorized));
+      cache->model = std::move(model);
+      cache->built = true;
+    }
+    PAQL_ASSIGN_OR_RETURN(ilp::IlpSolution sol,
+                          SolveModel(cache->model, &cache->warm));
+    return RoundMults(sol.x, group_size);
   }
 
   /// On-the-fly partitioning for recursion: materializes the candidate rows
@@ -298,9 +360,13 @@ class Driver {
     }
     rng_.Shuffle(unrefined);
     std::vector<size_t> failed;
+    // One model+basis cache per group for this level, shared across the
+    // whole backtracking recursion (a group keeps its column set however
+    // often it is revisited).
+    std::vector<SubCache> cache(m);
     PAQL_ASSIGN_OR_RETURN(
         bool ok, RefineRec(prob, groups, offsets, depth, state, unrefined,
-                           /*initial=*/true, &failed));
+                           /*initial=*/true, &failed, &cache));
     if (!ok) {
       return Status::Infeasible(
           "greedy backtracking failed to refine the sketch package "
@@ -363,7 +429,8 @@ class Driver {
                          const std::vector<double>& outer_offsets, int depth,
                          std::vector<GroupState>& state,
                          std::vector<size_t> pending, bool initial,
-                         std::vector<size_t>* failed) {
+                         std::vector<size_t>* failed,
+                         std::vector<SubCache>* cache) {
     if (pending.empty()) return true;
     std::deque<size_t> queue(pending.begin(), pending.end());
     std::vector<size_t> dequeued_failed;  // groups that failed at this level
@@ -379,15 +446,8 @@ class Driver {
       for (size_t i = 0; i < offsets.size(); ++i) {
         offsets[i] += outer_offsets[i];
       }
-      NodeProblem sub;
-      sub.table = prob.table;
-      sub.rows.reserve(groups.members[g].size());
-      sub.ub.reserve(groups.members[g].size());
-      for (RowId pos : groups.members[g]) {
-        sub.rows.push_back(prob.rows[pos]);
-        sub.ub.push_back(prob.ub[pos]);
-      }
-      auto mults = SolveNode(sub, offsets, depth);
+      auto mults =
+          SolveGroupCached(prob, groups, g, offsets, depth, &(*cache)[g]);
       if (!mults.ok()) {
         if (!mults.status().IsInfeasible()) return mults.status();
         // Q[G_g] infeasible (Algorithm 2, lines 13-17).
@@ -416,7 +476,7 @@ class Driver {
       PAQL_ASSIGN_OR_RETURN(
           bool ok, RefineRec(prob, groups, outer_offsets, depth, next_state,
                              std::move(rest), /*initial=*/false,
-                             &child_failed));
+                             &child_failed, cache));
       if (ok) {
         state = std::move(next_state);
         return true;

@@ -52,8 +52,8 @@ Result<std::vector<EvalResult>> EnumerateTopPackages(
       return Status::ResourceExhausted("enumeration cancelled");
     }
     Stopwatch watch;
-    auto solution =
-        ilp::SolveIlp(model, options.limits, options.branch_and_bound);
+    auto solution = ilp::SolveIlp(model, options.limits,
+                                  options.EffectiveBranchAndBound());
     if (!solution.ok()) {
       if (solution.status().IsInfeasible()) break;  // space ran dry
       return solution.status();

@@ -50,6 +50,16 @@ Result<Session> Engine::Open(std::shared_ptr<const relation::Table> table,
 
 namespace {
 
+/// Copies the ExecContext toggles every session entry point must report
+/// identically (Execute, ExecuteTopK, PlanQuery, Explain): the pipeline
+/// actually used and the solver warm-start mode.
+void FillPlanExecFlags(const ExecContext& exec, const CompiledQuery& compiled,
+                       Plan* plan) {
+  plan->vectorized = exec.vectorized && compiled.ilp.fully_vectorizable();
+  plan->warm_start = exec.warm_start;
+}
+
+
 std::string CsvBaseName(const std::string& path) {
   size_t slash = path.find_last_of("/\\");
   std::string name =
@@ -268,8 +278,7 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   out.plan = planner.Decide(*resolved.table, shape);
-  out.plan.vectorized =
-      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
+  FillPlanExecFlags(options_.exec, compiled, &out.plan);
   PAQL_ASSIGN_OR_RETURN(std::unique_ptr<engine::PackageEvaluator> strategy,
                         MakeStrategy(resolved, &out.plan));
   out.timings.plan_seconds = plan_watch.ElapsedSeconds();
@@ -318,8 +327,7 @@ Result<std::vector<QueryResult>> Session::ExecuteTopK(std::string_view paql,
   shape.topk = k;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
-  plan.vectorized =
-      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
+  FillPlanExecFlags(options_.exec, compiled, &plan);
   timings.plan_seconds = plan_watch.ElapsedSeconds();
 
   Stopwatch eval_watch;
@@ -357,8 +365,7 @@ Result<Plan> Session::PlanQuery(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
-  plan.vectorized =
-      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
+  FillPlanExecFlags(options_.exec, compiled, &plan);
   if (plan.uses_partitioning()) {
     PAQL_ASSIGN_OR_RETURN(auto partitioning,
                           PartitioningFor(resolved, &plan));
@@ -377,8 +384,7 @@ Result<std::string> Session::Explain(std::string_view paql) {
   shape.joined_from = resolved.joined_from;
   Planner planner(options_.planner);
   Plan plan = planner.Decide(*resolved.table, shape);
-  plan.vectorized =
-      options_.exec.vectorized && compiled.ilp.fully_vectorizable();
+  FillPlanExecFlags(options_.exec, compiled, &plan);
 
   std::ostringstream os;
   if (plan.uses_partitioning()) {

@@ -65,6 +65,25 @@ struct ExecContext {
   /// handle fall back to scalar per piece even when enabled.
   bool vectorized = true;
 
+  /// Warm-start the LP solver across branch-and-bound nodes and across
+  /// consecutive subproblem solves that share a column set: each node LP
+  /// re-optimizes from its parent's basis with the dual simplex, and the
+  /// SKETCHREFINE refine loop patches row bounds of a cached model
+  /// (CompiledQuery::UpdateModelOffsets) instead of rebuilding it. Results
+  /// are identical either way (the differential warm-vs-cold sweep enforces
+  /// it); like `vectorized`, this exists as a kill switch and for A/B
+  /// benchmarking. Overrides BranchAndBoundOptions::warm_start wherever a
+  /// strategy passes EffectiveBranchAndBound() to the solver.
+  bool warm_start = true;
+
+  /// Branch-and-bound options with the context-level warm_start applied —
+  /// what every strategy hands to ilp::SolveIlp.
+  ilp::BranchAndBoundOptions EffectiveBranchAndBound() const {
+    ilp::BranchAndBoundOptions bnb = branch_and_bound;
+    bnb.warm_start = warm_start;
+    return bnb;
+  }
+
   /// True once `cancel` has been set by another thread.
   bool Cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);

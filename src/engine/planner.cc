@@ -125,6 +125,10 @@ std::string Plan::Explain() const {
      << (vectorized ? "vectorized (1024-row batches)"
                     : "scalar (row-at-a-time)")
      << "\n";
+  os << "solver: "
+     << (warm_start ? "warm-started (dual simplex basis reuse)"
+                    : "cold (primal from scratch per node)")
+     << "\n";
   if (shape.ratio_objective) os << "ratio objective: yes\n";
   if (shape.joined_from) os << "joined FROM: materialized before planning\n";
   if (shape.topk > 0) os << "top-k: " << shape.topk << "\n";

@@ -75,6 +75,11 @@ struct Plan {
   /// from ExecContext::vectorized and the query's batch-compilability.
   bool vectorized = true;
 
+  /// Whether LP solves warm-start (dual-simplex re-optimization from the
+  /// parent/previous basis, cached refine models). Filled by the session
+  /// from ExecContext::warm_start.
+  bool warm_start = true;
+
   // Partitioning details, filled by the session for SKETCHREFINE plans.
   std::vector<std::string> partition_attributes;
   size_t partition_size_threshold = 0;  // tau

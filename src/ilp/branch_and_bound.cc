@@ -11,17 +11,27 @@
 namespace paql::ilp {
 namespace {
 
+/// The context-level warm_start toggle overrides the simplex-level one so
+/// one flag controls the whole solver stack (node LPs and the root-cut
+/// separation LP alike).
+lp::SimplexOptions SimplexOptionsFor(const BranchAndBoundOptions& options) {
+  lp::SimplexOptions simplex = options.simplex;
+  simplex.warm_start = options.warm_start;
+  return simplex;
+}
+
 /// Internal search driver. Works in "internal minimize" space: objectives
 /// are multiplied by `sign` (+1 minimize, -1 maximize) so that smaller is
 /// always better.
 class Searcher {
  public:
   Searcher(const lp::Model& model, const SolverLimits& limits,
-           const BranchAndBoundOptions& options)
+           const BranchAndBoundOptions& options, IlpWarmStart* warm)
       : model_(model),
         limits_(limits),
         options_(options),
-        solver_(model, options.simplex),
+        solver_(model, SimplexOptionsFor(options)),
+        warm_(options.warm_start ? warm : nullptr),
         deadline_(limits.time_limit_s),
         sign_(model.sense() == lp::Sense::kMaximize ? -1.0 : 1.0) {
     if (options_.branch_rule == BranchRule::kPseudoCost) {
@@ -70,6 +80,10 @@ class Searcher {
     double saved_ub = 0;
     double parent_bound = 0;  // LP bound inherited by both children
     double frac = 0.5;        // fractional part of the branch variable
+    // The basis the parent LP solved to; both children re-optimize from it
+    // with the dual simplex (they differ from the parent by one variable
+    // bound). Invalid when warm starting is off.
+    lp::Basis parent_basis;
   };
 
   /// Attribution of the node about to be evaluated to the branching that
@@ -200,6 +214,7 @@ class Searcher {
       solver_.SetVarBounds(j, target, target);
       lp::LpResult lp = solver_.Solve(deadline_);
       stats_.lp_iterations += lp.iterations;
+      if (lp.used_dual) ++stats_.warm_lp_solves;
       if (lp.status != lp::LpStatus::kOptimal) break;
       x = lp.x;
     }
@@ -223,8 +238,17 @@ class Searcher {
         ++stats_.nodes;
         stats_.max_depth =
             std::max<int64_t>(stats_.max_depth, static_cast<int64_t>(stack.size()));
+        if (root && warm_ != nullptr) {
+          // Seed the root LP from the previous solve's root basis (ignored
+          // on dimension mismatch — e.g. a different cut count).
+          solver_.RestoreBasis(warm_->root_basis);
+        }
         lp::LpResult lp = solver_.Solve(deadline_);
         stats_.lp_iterations += lp.iterations;
+        if (lp.used_dual) ++stats_.warm_lp_solves;
+        if (root && warm_ != nullptr) {
+          warm_->root_basis = solver_.SnapshotBasis();
+        }
         PendingBranch pending = pending_;
         pending_.active = false;  // attribution applies to this node only
         if (lp.status == lp::LpStatus::kTimeLimit) {
@@ -270,11 +294,16 @@ class Searcher {
             if (branch_var < 0) {
               OfferIncumbent(lp.x);
             } else {
+              // Expand: create a frame with two children, nearest-first.
+              // The basis snapshot must precede the dive, which pivots the
+              // solver away from this node's optimal basis.
+              Frame frame;
+              if (options_.warm_start) {
+                frame.parent_basis = solver_.SnapshotBasis();
+              }
               if (root && options_.enable_diving_heuristic) {
                 Dive(lp.x);
               }
-              // Expand: create a frame with two children, nearest-first.
-              Frame frame;
               frame.var = branch_var;
               frame.saved_lb = solver_.var_lb(branch_var);
               frame.saved_ub = solver_.var_ub(branch_var);
@@ -320,6 +349,12 @@ class Searcher {
       bool child_down = top.child_is_down[top.next_child];
       ++top.next_child;
       if (lb > ub) continue;  // empty child (branching at a bound)
+      if (options_.warm_start && top.parent_basis.valid) {
+        // Re-seed from the parent basis: the child differs from the parent
+        // by one variable bound, so the dual simplex re-optimizes in a few
+        // pivots. A failed restore just leaves the current basis in place.
+        solver_.RestoreBasis(top.parent_basis);
+      }
       solver_.SetVarBounds(top.var, lb, ub);
       pending_ = {true, top.var, child_down, top.frac, top.parent_bound};
       evaluate_current = true;
@@ -332,6 +367,7 @@ class Searcher {
   SolverLimits limits_;
   BranchAndBoundOptions options_;
   lp::SimplexSolver solver_;
+  IlpWarmStart* warm_;  // not owned; null when warm starting is off
   Deadline deadline_;
   double sign_;
 
@@ -368,11 +404,21 @@ namespace {
 lp::Model AddRootCuts(const lp::Model& model,
                       const BranchAndBoundOptions& options,
                       const Deadline& deadline, int64_t* cuts_added,
-                      int64_t* cut_rounds, int64_t* lp_iterations) {
+                      int64_t* cut_rounds, int64_t* lp_iterations,
+                      IlpWarmStart* warm) {
   lp::Model augmented = model;
   for (int round = 0; round < options.cuts.max_rounds; ++round) {
     if (deadline.Expired()) break;
-    lp::SimplexSolver solver(augmented, options.simplex);
+    lp::SimplexSolver solver(augmented, SimplexOptionsFor(options));
+    if (round == 0 && warm != nullptr && options.warm_start) {
+      // The separation LP is the same root LP the previous solve ended on
+      // whenever no cuts were added then; re-optimize from its basis.
+      // (Once cuts ARE added, the stored basis is sized for the augmented
+      // model and this restore degrades to a cold start — acceptable, since
+      // the Searcher's root restore still matches when consecutive solves
+      // separate the same number of cuts.)
+      solver.RestoreBasis(warm->root_basis);
+    }
     lp::LpResult lp = solver.Solve(deadline);
     *lp_iterations += lp.iterations;
     if (lp.status != lp::LpStatus::kOptimal) break;
@@ -397,24 +443,25 @@ lp::Model AddRootCuts(const lp::Model& model,
 }  // namespace
 
 Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
-                             const BranchAndBoundOptions& options) {
+                             const BranchAndBoundOptions& options,
+                             IlpWarmStart* warm) {
   if (!options.cuts.enable || model.num_integer_vars() == 0 ||
       model.num_rows() == 0) {
-    Searcher searcher(model, limits, options);
+    Searcher searcher(model, limits, options, warm);
     return searcher.Run();
   }
   Stopwatch cut_watch;
   Deadline deadline(limits.time_limit_s);
   int64_t cuts_added = 0, cut_rounds = 0, lp_iterations = 0;
   lp::Model augmented = AddRootCuts(model, options, deadline, &cuts_added,
-                                    &cut_rounds, &lp_iterations);
+                                    &cut_rounds, &lp_iterations, warm);
   double cut_seconds = cut_watch.ElapsedSeconds();
   SolverLimits search_limits = limits;
   if (search_limits.time_limit_s > 0) {
     search_limits.time_limit_s =
         std::max(1e-3, search_limits.time_limit_s - cut_seconds);
   }
-  Searcher searcher(augmented, search_limits, options);
+  Searcher searcher(augmented, search_limits, options, warm);
   auto solution = searcher.Run();
   if (solution.ok()) {
     solution->stats.cuts_added = cuts_added;

@@ -29,6 +29,9 @@ struct IlpStats {
   bool proven_optimal = false;
   int64_t cuts_added = 0;   // root cutting planes appended (cut-and-branch)
   int64_t cut_rounds = 0;   // separate-resolve rounds that produced cuts
+  /// Node LP solves that re-optimized from a warm basis with the dual
+  /// simplex instead of a from-scratch primal solve.
+  int64_t warm_lp_solves = 0;
 };
 
 /// A feasible (and, when stats.proven_optimal, optimal) integer solution.
@@ -61,10 +64,26 @@ struct BranchAndBoundOptions {
   bool enable_diving_heuristic = true;
   int dive_max_depth = 64;
   BranchRule branch_rule = BranchRule::kMostFractional;
+  /// Warm-start every node LP from its parent's basis (dual-simplex
+  /// re-optimization after the one-variable bound change) and accept a
+  /// caller-provided root basis via IlpWarmStart. false = every node LP is
+  /// a cold primal solve (the A/B baseline; results are identical either
+  /// way, only pivot counts change).
+  bool warm_start = true;
   lp::SimplexOptions simplex;
   /// Root cutting planes (cut-and-branch). Valid cuts never change the
   /// optimum; they tighten the relaxation before the search starts.
   CutOptions cuts;
+};
+
+/// Cross-solve warm-start state: the basis of the previous solve's root LP.
+/// Pass the same instance to consecutive SolveIlp calls over models that
+/// share a column set (e.g. the refine loop re-solving one group under
+/// shifted bounds): each solve seeds its root LP from the stored basis when
+/// the dimensions match (silently cold-starting otherwise) and overwrites
+/// it with its own root basis on the way out.
+struct IlpWarmStart {
+  lp::Basis root_basis;
 };
 
 /// Solve `model` to integer optimality under `limits`.
@@ -76,9 +95,13 @@ struct BranchAndBoundOptions {
 ///  * kResourceExhausted when a time/node/memory budget was exceeded before
 ///    an optimal solution was proven (the CPLEX-failure emulation — the
 ///    evaluators treat this as "the solver failed").
+///
+/// `warm` (optional) carries the root basis across consecutive solves; it
+/// is only consulted when options.warm_start is on.
 Result<IlpSolution> SolveIlp(const lp::Model& model,
                              const SolverLimits& limits = {},
-                             const BranchAndBoundOptions& options = {});
+                             const BranchAndBoundOptions& options = {},
+                             IlpWarmStart* warm = nullptr);
 
 /// Solve only the LP relaxation (used by tests and diagnostics).
 lp::LpResult SolveLpRelaxation(const lp::Model& model,

@@ -37,6 +37,20 @@ Status Model::AddRow(RowDef row) {
   return Status::OK();
 }
 
+Status Model::SetRowBounds(int row, double lo, double hi) {
+  if (row < 0 || row >= num_rows()) {
+    return Status::InvalidArgument(StrCat("no such row ", row));
+  }
+  if (lo > hi) {
+    return Status::InvalidArgument(
+        StrCat("row '", rows_[static_cast<size_t>(row)].name,
+               "' would get crossed bounds [", lo, ", ", hi, "]"));
+  }
+  rows_[static_cast<size_t>(row)].lo = lo;
+  rows_[static_cast<size_t>(row)].hi = hi;
+  return Status::OK();
+}
+
 int Model::num_integer_vars() const {
   int count = 0;
   for (bool b : integer_) count += b ? 1 : 0;

@@ -49,6 +49,12 @@ class Model {
   /// Add a range row. Variable indices must already exist.
   Status AddRow(RowDef row);
 
+  /// Re-target an existing row's bounds in place, keeping its coefficients.
+  /// Used by warm-started re-solves over the same column set (translate's
+  /// CompiledQuery::UpdateModelOffsets shifts leaf-constraint bounds per
+  /// refine subproblem instead of rebuilding the whole model).
+  Status SetRowBounds(int row, double lo, double hi);
+
   void set_sense(Sense sense) { sense_ = sense; }
   Sense sense() const { return sense_; }
 

@@ -113,6 +113,67 @@ void SimplexSolver::InitAllSlackBasis() {
   pivots_since_refactor_ = 0;
 }
 
+Basis SimplexSolver::SnapshotBasis() const {
+  Basis out;
+  out.valid = basis_valid_;
+  out.status.resize(static_cast<size_t>(total_));
+  for (int j = 0; j < total_; ++j) {
+    out.status[static_cast<size_t>(j)] = static_cast<uint8_t>(status_[j]);
+  }
+  out.rows.assign(basis_.begin(), basis_.end());
+  return out;
+}
+
+bool SimplexSolver::RestoreBasis(const Basis& basis) {
+  if (!basis.valid || basis.status.size() != static_cast<size_t>(total_) ||
+      basis.rows.size() != static_cast<size_t>(m_)) {
+    return false;
+  }
+  // Validate internal consistency before touching solver state: every row's
+  // basic variable must be in range, marked basic, and unique, and exactly
+  // m variables may be basic.
+  int basic_count = 0;
+  for (int j = 0; j < total_; ++j) {
+    uint8_t s = basis.status[static_cast<size_t>(j)];
+    if (s > static_cast<uint8_t>(VarStatus::kFree)) return false;
+    if (s == static_cast<uint8_t>(VarStatus::kBasic)) ++basic_count;
+  }
+  if (basic_count != m_) return false;
+  std::vector<bool> seen(static_cast<size_t>(total_), false);
+  for (int i = 0; i < m_; ++i) {
+    int b = basis.rows[static_cast<size_t>(i)];
+    if (b < 0 || b >= total_ || seen[static_cast<size_t>(b)] ||
+        basis.status[static_cast<size_t>(b)] !=
+            static_cast<uint8_t>(VarStatus::kBasic)) {
+      return false;
+    }
+    seen[static_cast<size_t>(b)] = true;
+  }
+
+  for (int j = 0; j < total_; ++j) {
+    status_[j] = static_cast<VarStatus>(basis.status[static_cast<size_t>(j)]);
+  }
+  std::copy(basis.rows.begin(), basis.rows.end(), basis_.begin());
+  // Renormalize nonbasic statuses onto bounds that exist under the current
+  // model (the snapshot may come from a solve with different bounds).
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    if (status_[j] == VarStatus::kAtLower && std::isinf(lb_[j])) {
+      status_[j] = std::isinf(ub_[j]) ? VarStatus::kFree : VarStatus::kAtUpper;
+    } else if (status_[j] == VarStatus::kAtUpper && std::isinf(ub_[j])) {
+      status_[j] = std::isinf(lb_[j]) ? VarStatus::kFree : VarStatus::kAtLower;
+    } else if (status_[j] == VarStatus::kFree && !std::isinf(lb_[j])) {
+      status_[j] = VarStatus::kAtLower;
+    }
+  }
+  if (!Refactorize()) {
+    basis_valid_ = false;
+    return false;
+  }
+  basis_valid_ = true;
+  return true;
+}
+
 bool SimplexSolver::Refactorize() {
   // Build the basis matrix B column-by-column and invert with Gauss-Jordan
   // (partial pivoting). m_ is tiny, so O(m^3) is negligible.
@@ -408,16 +469,230 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
   }
 }
 
+bool SimplexSolver::MakeDualFeasible() {
+  std::vector<double> y;
+  ComputeDuals(/*phase1=*/false, &y);
+  const double kTol = options_.opt_tol;
+  // Flips are rolled back on failure: status_ must stay consistent with the
+  // already-computed xb_ when the caller falls back to the primal phases.
+  std::vector<int> flipped;
+  auto fail = [&]() {
+    for (int v : flipped) {
+      status_[v] = status_[v] == VarStatus::kAtUpper ? VarStatus::kAtLower
+                                                     : VarStatus::kAtUpper;
+    }
+    return false;
+  };
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    double d;
+    if (j < n_) {
+      const double* col = cols_.data() + static_cast<size_t>(j) * m_;
+      double dot = 0;
+      for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
+      d = cost_[j] - dot;
+    } else {
+      d = cost_[j] + y[j - n_];
+    }
+    bool boxed = !std::isinf(lb_[j]) && !std::isinf(ub_[j]);
+    if (status_[j] == VarStatus::kAtLower && d < -kTol) {
+      if (!boxed) return fail();
+      status_[j] = VarStatus::kAtUpper;
+      flipped.push_back(j);
+    } else if (status_[j] == VarStatus::kAtUpper && d > kTol) {
+      if (!boxed) return fail();
+      status_[j] = VarStatus::kAtLower;
+      flipped.push_back(j);
+    } else if (status_[j] == VarStatus::kFree && std::abs(d) > kTol) {
+      return fail();
+    }
+  }
+  if (!flipped.empty()) ComputeBasicValues();
+  return true;
+}
+
+LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
+                                     bool* bailed) {
+  *bailed = false;
+  std::vector<double> y, w, rho(static_cast<size_t>(m_));
+  // Stall guard: a warm re-optimization should need few pivots; past this
+  // the primal phases are the better tool (and always correct).
+  const int dual_cap = *iterations + 50 * m_ + 200;
+
+  while (true) {
+    if (*iterations >= options_.max_iterations) {
+      return LpStatus::kIterationLimit;
+    }
+    if ((*iterations & 63) == 0 && deadline.Expired()) {
+      return LpStatus::kTimeLimit;
+    }
+    if (*iterations >= dual_cap) {
+      *bailed = true;
+      return LpStatus::kOptimal;  // ignored; caller runs the primal phases
+    }
+    if (pivots_since_refactor_ >= options_.refactor_every) {
+      if (!Refactorize()) {
+        InitAllSlackBasis();
+        ComputeBasicValues();
+        *bailed = true;
+        return LpStatus::kOptimal;
+      }
+      ComputeBasicValues();
+    }
+
+    // --- Leaving row: the most violated basic variable. ---
+    int leave_row = -1;
+    double best_viol = 0;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      int b = basis_[i];
+      double tol = options_.feas_tol * (1.0 + std::abs(xb_[i]));
+      if (xb_[i] < lb_[b] - tol) {
+        double viol = lb_[b] - xb_[i];
+        if (viol > best_viol) {
+          best_viol = viol;
+          leave_row = i;
+          below = true;
+        }
+      } else if (xb_[i] > ub_[b] + tol) {
+        double viol = xb_[i] - ub_[b];
+        if (viol > best_viol) {
+          best_viol = viol;
+          leave_row = i;
+          below = false;
+        }
+      }
+    }
+    if (leave_row < 0) return LpStatus::kOptimal;  // primal feasible
+
+    const double* brow = binv_.data() + static_cast<size_t>(leave_row) * m_;
+    std::copy(brow, brow + m_, rho.begin());
+    ComputeDuals(/*phase1=*/false, &y);
+
+    // --- Dual ratio test: entering column with the smallest |d|/|alpha|
+    // among columns that move the leaving variable toward its bound. ---
+    int enter = -1;
+    double best_ratio = kInf;
+    double best_alpha = 0;
+    for (int j = 0; j < total_; ++j) {
+      VarStatus st = status_[j];
+      if (st == VarStatus::kBasic) continue;
+      if (st != VarStatus::kFree && lb_[j] == ub_[j]) continue;  // fixed
+      double alpha;
+      if (j < n_) {
+        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
+        double dot = 0;
+        for (int i = 0; i < m_; ++i) dot += rho[i] * col[i];
+        alpha = dot;
+      } else {
+        alpha = -rho[j - n_];
+      }
+      if (std::abs(alpha) < options_.pivot_tol) continue;
+      // The leaving basic variable moves at rate -alpha per unit of the
+      // entering variable; x_b must rise when below its lower bound, fall
+      // when above its upper.
+      bool eligible;
+      if (st == VarStatus::kAtLower) {
+        eligible = below ? alpha < 0 : alpha > 0;
+      } else if (st == VarStatus::kAtUpper) {
+        eligible = below ? alpha > 0 : alpha < 0;
+      } else {
+        eligible = true;  // free
+      }
+      if (!eligible) continue;
+      double d;
+      if (j < n_) {
+        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
+        double dot = 0;
+        for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
+        d = cost_[j] - dot;
+      } else {
+        d = cost_[j] + y[j - n_];
+      }
+      double ratio = std::abs(d) / std::abs(alpha);
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           std::abs(alpha) > std::abs(best_alpha))) {
+        best_ratio = ratio;
+        enter = j;
+        best_alpha = alpha;
+      }
+    }
+    if (enter < 0) {
+      // A violated row with no way to fix it: the LP is infeasible (the
+      // caller's primal phase 1 re-confirms from this basis, cheaply).
+      return LpStatus::kInfeasible;
+    }
+
+    Ftran(enter, &w);
+    double pivot = w[leave_row];
+    if (std::abs(pivot) < options_.pivot_tol) {
+      // rho-based alpha and the fresh FTRAN disagree: numerical trouble.
+      if (!Refactorize()) InitAllSlackBasis();
+      ComputeBasicValues();
+      *bailed = true;
+      return LpStatus::kOptimal;
+    }
+
+    ++*iterations;
+    ++pivots_since_refactor_;
+
+    int leave_var = basis_[leave_row];
+    double target = below ? lb_[leave_var] : ub_[leave_var];
+    double delta = (xb_[leave_row] - target) / pivot;
+    double enter_value = NonbasicValue(enter) + delta;
+    for (int i = 0; i < m_; ++i) xb_[i] -= delta * w[i];
+    status_[leave_var] = below ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    basis_[leave_row] = enter;
+    status_[enter] = VarStatus::kBasic;
+    xb_[leave_row] = enter_value;
+
+    // Product-form update of B^{-1}: pivot on w[leave_row].
+    double* prow = binv_.data() + static_cast<size_t>(leave_row) * m_;
+    for (int c = 0; c < m_; ++c) prow[c] /= pivot;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave_row) continue;
+      double factor = w[i];
+      if (factor == 0.0) continue;
+      double* row = binv_.data() + static_cast<size_t>(i) * m_;
+      for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+    }
+  }
+}
+
 LpResult SimplexSolver::Solve(const Deadline& deadline) {
   LpResult result;
-  if (!basis_valid_) {
+  bool warm = options_.warm_start && basis_valid_;
+  if (!warm) {
     InitAllSlackBasis();
-  } else if (!Refactorize()) {
+  } else if (pivots_since_refactor_ > 0 && !Refactorize()) {
+    // pivots_since_refactor_ == 0 means B^-1 is exactly the last
+    // factorization (e.g. RestoreBasis just rebuilt it); bound changes do
+    // not invalidate it, so skip the redundant O(m^3) refactorization.
     InitAllSlackBasis();
+    warm = false;
   }
   ComputeBasicValues();
 
   int iterations = 0;
+  if (warm && MakeDualFeasible()) {
+    bool bailed = false;
+    LpStatus dual_st = RunDualPhase(deadline, &iterations, &bailed);
+    if (!bailed) {
+      result.used_dual = true;
+      if (dual_st == LpStatus::kIterationLimit ||
+          dual_st == LpStatus::kTimeLimit) {
+        result.iterations = iterations;
+        result.status = dual_st;
+        return result;
+      }
+    }
+    // Fall through in every other case: the primal phases below finish (and
+    // verify) the solve from wherever the dual phase left the basis. When
+    // the dual phase ended primal feasible, phase 1 exits immediately and
+    // phase 2 usually does zero pivots; when it claimed infeasibility,
+    // phase 1 re-proves it from a basis that is already near the proof.
+  }
   LpStatus st = RunPhase(/*phase1=*/true, deadline, &iterations);
   if (st == LpStatus::kOptimal) {
     st = RunPhase(/*phase1=*/false, deadline, &iterations);

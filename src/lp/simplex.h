@@ -13,9 +13,19 @@
 //  * variable bounds  lb <= x <= ub  with ub possibly +inf, and free
 //    variables (both bounds infinite)
 //  * warm starts: variable bounds can be tightened/relaxed between solves
-//    (used heavily by branch-and-bound) and the previous basis is reused
+//    (used heavily by branch-and-bound) and the previous basis is reused;
+//    a warm Solve() re-optimizes with the dual simplex (bound changes keep
+//    the basis dual feasible) instead of re-running primal phase 1
+//  * basis snapshot/restore (Basis): branch-and-bound keeps the parent
+//    basis per node and re-seeds both children from it; evaluators carry a
+//    basis across consecutive subproblem solves over the same column set
 //  * Dantzig pricing with automatic fallback to Bland's rule to break
 //    degenerate cycles; periodic refactorization for numerical stability
+//
+// The dual phase is a pure accelerator: Solve() always finishes with the
+// primal phases from wherever the dual phase left the basis, so warm and
+// cold solves agree on status and objective — warm starting can only change
+// the pivot count, never the answer.
 #ifndef PAQL_LP_SIMPLEX_H_
 #define PAQL_LP_SIMPLEX_H_
 
@@ -44,6 +54,9 @@ struct LpResult {
   /// Structural variable values (size model.num_vars(); valid when kOptimal).
   std::vector<double> x;
   int iterations = 0;
+  /// True when this solve re-optimized from a warm basis with the dual
+  /// simplex (rather than running primal phase 1 from scratch).
+  bool used_dual = false;
 };
 
 struct SimplexOptions {
@@ -53,6 +66,21 @@ struct SimplexOptions {
   int max_iterations = 500000;
   int refactor_every = 100; // rebuild B^-1 every this many pivots
   int stall_before_bland = 1000;  // degenerate pivots before Bland's rule
+  /// Reuse the basis across Solve() calls and re-optimize with the dual
+  /// simplex after bound changes. false = every Solve() starts from the
+  /// all-slack basis (the cold baseline for A/B benchmarking).
+  bool warm_start = true;
+};
+
+/// A saved simplex basis: the status of every variable (structural then
+/// slack) and the basic variable of each row. Snapshot after a solve and
+/// restore into any solver whose model has the same dimensions — working
+/// bounds, objective, and even coefficients may differ; the restore
+/// refactorizes against the current model and fails cleanly on singularity.
+struct Basis {
+  std::vector<uint8_t> status;  // VarStatus per variable, size n + m
+  std::vector<int> rows;        // basic variable per row, size m
+  bool valid = false;
 };
 
 /// Reusable simplex instance over one model. Not thread-safe.
@@ -73,6 +101,16 @@ class SimplexSolver {
   /// Solve from the current basis (first call starts from the all-slack
   /// basis). `deadline` bounds wall-clock time.
   LpResult Solve(const Deadline& deadline);
+
+  /// Save the current basis for later restoration (possibly into another
+  /// solver over a same-shaped model). Invalid until the first Solve().
+  Basis SnapshotBasis() const;
+
+  /// Adopt `basis` as the warm-start point for the next Solve(). Returns
+  /// false (and reverts to a cold start) when the basis has incompatible
+  /// dimensions, is internally inconsistent, or is singular against the
+  /// current model.
+  bool RestoreBasis(const Basis& basis);
 
   /// Bytes used by the densified columns and factorization workspace.
   size_t ApproximateBytes() const;
@@ -99,6 +137,20 @@ class SimplexSolver {
   // One simplex phase. phase1 == true minimizes total infeasibility of the
   // basic variables; phase1 == false minimizes cost_.
   LpStatus RunPhase(bool phase1, const Deadline& deadline, int* iterations);
+
+  // Dual simplex re-optimization from a dual-feasible basis: drives out
+  // primal bound violations while keeping the reduced costs optimal.
+  // Returns kOptimal when primal feasible, kInfeasible when a violated row
+  // admits no entering column (dual unbounded). Sets *bailed and returns
+  // early on numerical trouble; the caller falls back to the primal phases.
+  LpStatus RunDualPhase(const Deadline& deadline, int* iterations,
+                        bool* bailed);
+
+  // Make the current basis dual feasible for the phase-2 costs by flipping
+  // wrong-signed boxed nonbasic variables to their opposite bound. Returns
+  // false when a non-boxed variable violates dual feasibility (the dual
+  // phase cannot start).
+  bool MakeDualFeasible();
 
   // Basic-variable infeasibility (sum of bound violations).
   double TotalInfeasibility() const;

@@ -94,6 +94,10 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
     cq.fully_vectorizable_ =
         cq.fully_vectorizable_ && leaf.expr.vectorizable();
   }
+  cq.offsets_updatable_ = cq.root_ == nullptr || !ContainsOr(*cq.root_);
+  if (cq.root_ != nullptr && cq.offsets_updatable_) {
+    CollectLeafOrder(*cq.root_, &cq.leaf_row_order_);
+  }
   return cq;
 }
 
@@ -669,6 +673,40 @@ bool CompiledQuery::ContainsOr(const Node& node) {
   if (node.left && ContainsOr(*node.left)) return true;
   if (node.right && ContainsOr(*node.right)) return true;
   return false;
+}
+
+void CompiledQuery::CollectLeafOrder(const Node& node,
+                                     std::vector<int>* order) {
+  if (node.kind == Node::Kind::kLeaf) {
+    order->push_back(node.leaf);
+    return;
+  }
+  if (node.left) CollectLeafOrder(*node.left, order);
+  if (node.right) CollectLeafOrder(*node.right, order);
+}
+
+Status CompiledQuery::UpdateModelOffsets(
+    const std::vector<double>& activity_offset, lp::Model* model) const {
+  if (!offsets_updatable_) {
+    return Status::InvalidArgument(
+        "model has OR indicator rows whose big-M coefficients depend on the "
+        "offsets; rebuild it instead");
+  }
+  if (activity_offset.size() != leaves_.size()) {
+    return Status::InvalidArgument("activity_offset size mismatch");
+  }
+  if (model->num_rows() != static_cast<int>(leaf_row_order_.size())) {
+    return Status::InvalidArgument(
+        "model row count does not match this query's leaf constraints");
+  }
+  for (size_t k = 0; k < leaf_row_order_.size(); ++k) {
+    int li = leaf_row_order_[k];
+    double off = activity_offset[static_cast<size_t>(li)];
+    PAQL_RETURN_IF_ERROR(model->SetRowBounds(
+        static_cast<int>(k), leaves_[static_cast<size_t>(li)].lo - off,
+        leaves_[static_cast<size_t>(li)].hi - off));
+  }
+  return Status::OK();
 }
 
 Result<lp::Model> CompiledQuery::BuildModel(const Table& table,

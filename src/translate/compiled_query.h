@@ -161,6 +161,21 @@ class CompiledQuery {
       const std::vector<double>* activity_offset,
       bool vectorized = false) const;
 
+  /// True when activity offsets only move row bounds: the SUCH THAT tree
+  /// has no OR, so the model has exactly one row per leaf and no big-M
+  /// indicator rows (whose coefficients depend on the offsets). Only then
+  /// can UpdateModelOffsets patch a previously built model in place.
+  bool CanUpdateOffsets() const { return offsets_updatable_; }
+
+  /// Re-target the leaf-constraint row bounds of `model` — previously built
+  /// by BuildModel/BuildModelSegments over the same candidate segments —
+  /// for new activity offsets, without re-evaluating any coefficient. The
+  /// refine loop uses this to re-solve one group under shifted bounds at
+  /// O(#leaves) cost instead of rebuilding the model at O(#candidates ·
+  /// #leaves). Requires CanUpdateOffsets().
+  Status UpdateModelOffsets(const std::vector<double>& activity_offset,
+                            lp::Model* model) const;
+
   /// Build the ILP over the candidate rows `rows` of `table`.
   Result<lp::Model> BuildModel(const relation::Table& table,
                                const std::vector<relation::RowId>& rows,
@@ -285,6 +300,10 @@ class CompiledQuery {
   /// True when the node or a descendant is an OR (needs indicators).
   static bool ContainsOr(const Node& node);
 
+  /// Appends the leaf indices of the subtree in emission order (the order
+  /// BuildModelSegments adds their rows for OR-free trees).
+  static void CollectLeafOrder(const Node& node, std::vector<int>* order);
+
   std::string package_name_;
   double per_tuple_ub_ = lp::kInf;
   RowPred base_pred_;                 // empty when no WHERE
@@ -292,6 +311,8 @@ class CompiledQuery {
   bool fully_vectorizable_ = true;
   std::vector<Leaf> leaves_;
   std::unique_ptr<Node> root_;        // null when no SUCH THAT
+  bool offsets_updatable_ = true;     // no OR: offsets only move row bounds
+  std::vector<int> leaf_row_order_;   // model row -> leaf index (when no OR)
   bool has_objective_ = false;
   bool maximize_ = false;
   LinearExpr objective_;

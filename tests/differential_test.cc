@@ -9,6 +9,11 @@
 //       exhaustive self-join enumeration must agree on feasibility and on
 //       the optimal objective value.
 //
+//   (c) warm vs cold solver — with ExecContext::warm_start on and off, the
+//       DIRECT, SKETCHREFINE, and top-k paths must agree on feasibility and
+//       objective value: the dual-simplex warm start is an accelerator, not
+//       a different algorithm.
+//
 // Every case runs under a SCOPED_TRACE carrying the reproducing seed and
 // the generated query text, so a failure prints everything needed to
 // replay it.
@@ -20,7 +25,11 @@
 #include "common/str_util.h"
 #include "core/direct.h"
 #include "core/naive.h"
+#include "core/ratio_objective.h"
+#include "core/sketch_refine.h"
+#include "core/topk.h"
 #include "paql/ast.h"
+#include "partition/partitioner.h"
 #include "relation/table.h"
 #include "translate/compiled_query.h"
 
@@ -349,6 +358,160 @@ TEST(DifferentialTest, DirectMatchesNaiveOn200TinyInstances) {
   // Both outcomes must actually occur, or the harness proves nothing.
   EXPECT_GE(feasible, 25);
   EXPECT_GE(infeasible, 5);
+}
+
+// ---------------------------------------------------------------------------
+// (c) warm vs cold solver across DIRECT, SKETCHREFINE, and top-k
+// ---------------------------------------------------------------------------
+
+/// Assert two evaluation outcomes agree: same feasibility, and (when both
+/// succeeded) valid packages with the same objective value.
+void ExpectSameOutcome(const CompiledQuery& cq, const Table& table,
+                       const Result<core::EvalResult>& warm,
+                       const Result<core::EvalResult>& cold, int* feasible,
+                       int* infeasible) {
+  if (!cold.ok()) {
+    ASSERT_TRUE(cold.status().IsInfeasible()) << cold.status();
+    EXPECT_FALSE(warm.ok());
+    if (!warm.ok()) {
+      EXPECT_TRUE(warm.status().IsInfeasible()) << warm.status();
+    }
+    ++*infeasible;
+    return;
+  }
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ++*feasible;
+  EXPECT_TRUE(core::ValidatePackage(cq, table, warm->package).ok());
+  EXPECT_TRUE(core::ValidatePackage(cq, table, cold->package).ok());
+  EXPECT_LE(std::abs(warm->objective - cold->objective),
+            1e-6 * (1.0 + std::abs(cold->objective)))
+      << "warm " << warm->objective << " vs cold " << cold->objective;
+  // The kill switch must actually kill: a cold run may never take the
+  // dual-simplex path.
+  EXPECT_EQ(cold->stats.warm_lp_solves, 0);
+  EXPECT_EQ(cold->stats.warm_model_reuses, 0);
+}
+
+TEST(DifferentialTest, WarmMatchesColdOn200RandomQueries) {
+  constexpr int kQueries = 200;
+  int feasible = 0, infeasible = 0;
+  int64_t total_warm_lp_solves = 0;
+  for (int seed = 1; seed <= kQueries; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 6364136223u + 1442695040u);
+    // Rotate the evaluation path: DIRECT, SKETCHREFINE, and top-k exercise
+    // the node-level warm start; RATIO exercises basis reuse across
+    // Dinkelbach iterations, the one caller whose restored basis has
+    // *changed objective coefficients* (the dual-feasibility repair path).
+    enum { kDirect, kSketchRefine, kTopK, kRatio } arm =
+        static_cast<decltype(kDirect)>(seed % 4);
+
+    size_t rows = arm == kSketchRefine
+                      ? 150 + static_cast<size_t>(rng.UniformInt(0, 150))
+                      : 30 + static_cast<size_t>(rng.UniformInt(0, 50));
+    Table table = RandomTable(&rng, rows, /*null_p=*/0.1);
+    int cardinality = static_cast<int>(rng.UniformInt(1, 3));
+    PackageQuery query = RandomQueryB(&rng, cardinality);
+    if (arm == kTopK && !query.objective.has_value()) {
+      lang::Objective obj;  // enumeration requires a ranking objective
+      obj.sense = lang::ObjectiveSense::kMinimize;
+      obj.expr = SumOf(&rng, "P", false);
+      query.objective = std::move(obj);
+    }
+    if (arm == kRatio) {
+      auto call = std::make_unique<AggCall>();
+      call->func = relation::AggFunc::kAvg;
+      call->arg = RandomScalar(&rng, "P", 2);
+      lang::Objective obj;
+      obj.sense = rng.Bernoulli(0.5) ? lang::ObjectiveSense::kMinimize
+                                     : lang::ObjectiveSense::kMaximize;
+      obj.expr = GlobalExpr::Agg(std::move(call));
+      query.objective = std::move(obj);
+    }
+    SCOPED_TRACE(StrCat("seed ", seed, " arm ", static_cast<int>(arm),
+                        " rows ", rows, "\nquery:\n", lang::ToString(query)));
+
+    // The compiled artifact validates packages; AVG objectives have no
+    // linear translation, so the ratio arm compiles the constraints only
+    // (exactly what RatioObjectiveEvaluator itself does).
+    PackageQuery validate_query = query.Clone();
+    if (arm == kRatio) validate_query.objective.reset();
+    auto cq = CompiledQuery::Compile(validate_query, table.schema());
+    ASSERT_TRUE(cq.ok()) << cq.status();
+
+    switch (arm) {
+      case kDirect: {
+        DirectOptions warm_opts, cold_opts;
+        cold_opts.warm_start = false;
+        auto warm = DirectEvaluator(table, warm_opts).Evaluate(*cq);
+        auto cold = DirectEvaluator(table, cold_opts).Evaluate(*cq);
+        ExpectSameOutcome(*cq, table, warm, cold, &feasible, &infeasible);
+        if (warm.ok()) total_warm_lp_solves += warm->stats.warm_lp_solves;
+        break;
+      }
+      case kSketchRefine: {
+        partition::PartitionOptions popts;
+        popts.attributes = {"a", "b", "i"};
+        popts.size_threshold = 32;
+        auto partitioning = partition::PartitionTable(table, popts);
+        ASSERT_TRUE(partitioning.ok()) << partitioning.status();
+        core::SketchRefineOptions warm_opts, cold_opts;
+        cold_opts.warm_start = false;
+        auto warm = core::SketchRefineEvaluator(table, *partitioning,
+                                                warm_opts)
+                        .Evaluate(*cq);
+        auto cold = core::SketchRefineEvaluator(table, *partitioning,
+                                                cold_opts)
+                        .Evaluate(*cq);
+        ExpectSameOutcome(*cq, table, warm, cold, &feasible, &infeasible);
+        if (warm.ok()) total_warm_lp_solves += warm->stats.warm_lp_solves;
+        break;
+      }
+      case kRatio: {
+        core::RatioObjectiveOptions warm_opts, cold_opts;
+        cold_opts.warm_start = false;
+        auto warm =
+            core::RatioObjectiveEvaluator(table, warm_opts).Evaluate(query);
+        auto cold =
+            core::RatioObjectiveEvaluator(table, cold_opts).Evaluate(query);
+        ExpectSameOutcome(*cq, table, warm, cold, &feasible, &infeasible);
+        if (warm.ok()) total_warm_lp_solves += warm->stats.warm_lp_solves;
+        break;
+      }
+      case kTopK: {
+        core::TopKOptions warm_opts, cold_opts;
+        warm_opts.k = cold_opts.k = 3;
+        cold_opts.warm_start = false;
+        auto warm = core::EnumerateTopPackages(table, *cq, warm_opts);
+        auto cold = core::EnumerateTopPackages(table, *cq, cold_opts);
+        if (!cold.ok()) {
+          ASSERT_TRUE(cold.status().IsInfeasible()) << cold.status();
+          EXPECT_FALSE(warm.ok());
+          ++infeasible;
+          break;
+        }
+        ASSERT_TRUE(warm.ok()) << warm.status();
+        ++feasible;
+        ASSERT_EQ(warm->size(), cold->size());
+        for (size_t i = 0; i < warm->size(); ++i) {
+          const auto& w = (*warm)[i];
+          const auto& c = (*cold)[i];
+          EXPECT_TRUE(core::ValidatePackage(*cq, table, w.package).ok());
+          EXPECT_LE(std::abs(w.objective - c.objective),
+                    1e-6 * (1.0 + std::abs(c.objective)))
+              << "rank " << i << ": warm " << w.objective << " vs cold "
+              << c.objective;
+          EXPECT_EQ(c.stats.warm_lp_solves, 0);
+          total_warm_lp_solves += w.stats.warm_lp_solves;
+        }
+        break;
+      }
+    }
+  }
+  // Vacuity guards: both outcomes must occur, and the warm path must have
+  // actually engaged the dual simplex somewhere in the sweep.
+  EXPECT_GE(feasible, 25);
+  EXPECT_GE(infeasible, 5);
+  EXPECT_GT(total_warm_lp_solves, 0);
 }
 
 }  // namespace

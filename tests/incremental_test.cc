@@ -140,6 +140,47 @@ TEST(IncrementalTest, QueryChangeTriggersFallback) {
   }
 }
 
+TEST(IncrementalTest, RepeatedDirtyGroupIdsDoNotDuplicateCandidates) {
+  // Regression: ReEvaluatePackage used to iterate the caller's dirty_groups
+  // list directly when collecting candidates, so a duplicated group id
+  // created duplicate ILP variables for the same row and duplicated package
+  // entries. Candidates now come from the deduplicated is_dirty mask.
+  Table t = MakeItems(120, 9);
+  Partitioning p = MustPartition(t, 24);
+  CompiledQuery cq = MustCompile(kQuery, t);
+  SketchRefineEvaluator sr(t, p);
+  auto before = sr.Evaluate(cq);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  AppendItems(&t, 30, 10, 2.0, 6.0, /*gain_scale=*/3.0);
+  auto absorbed = AbsorbAppendedRows(t, p);
+  ASSERT_TRUE(absorbed.ok()) << absorbed.status();
+  ASSERT_FALSE(absorbed->dirty_groups.empty());
+
+  // The same dirty set, each id repeated three times.
+  std::vector<uint32_t> repeated;
+  for (uint32_t g : absorbed->dirty_groups) {
+    repeated.insert(repeated.end(), 3, g);
+  }
+  auto clean = ReEvaluatePackage(t, absorbed->partitioning, cq,
+                                 before->package, absorbed->dirty_groups);
+  auto dup = ReEvaluatePackage(t, absorbed->partitioning, cq,
+                               before->package, repeated);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(dup.ok()) << dup.status();
+  EXPECT_EQ(dup->dirty_candidates, clean->dirty_candidates);
+  EXPECT_EQ(dup->result.package.rows, clean->result.package.rows);
+  EXPECT_EQ(dup->result.package.multiplicity,
+            clean->result.package.multiplicity);
+  EXPECT_NEAR(dup->result.objective, clean->result.objective, 1e-9);
+  // No row may appear twice in the answer (REPEAT 0 forbids it; duplicate
+  // variables used to slip past the per-variable bound).
+  for (size_t i = 1; i < dup->result.package.rows.size(); ++i) {
+    EXPECT_LT(dup->result.package.rows[i - 1], dup->result.package.rows[i]);
+  }
+  EXPECT_TRUE(ValidatePackage(cq, t, dup->result.package).ok());
+}
+
 TEST(IncrementalTest, RejectsStalePartitioning) {
   Table t = MakeItems(60, 6);
   Partitioning p = MustPartition(t, 20);

@@ -291,5 +291,150 @@ TEST_P(LpDominanceTest, OptimumDominatesSampledFeasiblePoints) {
 INSTANTIATE_TEST_SUITE_P(RandomLps, LpDominanceTest,
                          ::testing::Range(1u, 26u));
 
+// ---------------------------------------------------------------------------
+// Warm starting: basis snapshot/restore and dual-simplex re-optimization
+// ---------------------------------------------------------------------------
+
+/// A small knapsack-shaped LP: maximize sum of values under a capacity row.
+Model MakeKnapsackLp(int n, uint64_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(1.0, 10.0), weight(1.0, 5.0);
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  RowDef cap;
+  for (int j = 0; j < n; ++j) {
+    m.AddVariable(0, 1, value(rng), false);
+    cap.vars.push_back(j);
+    cap.coefs.push_back(weight(rng));
+  }
+  cap.lo = -kInf;
+  cap.hi = static_cast<double>(n);
+  EXPECT_TRUE(m.AddRow(std::move(cap)).ok());
+  return m;
+}
+
+TEST(SimplexWarmStartTest, DualReoptimizationAfterBoundChangeMatchesCold) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Model m = MakeKnapsackLp(30, seed);
+    SimplexSolver warm(m);
+    LpResult first = warm.Solve(Deadline(10.0));
+    ASSERT_EQ(first.status, LpStatus::kOptimal);
+    EXPECT_FALSE(first.used_dual);  // nothing to warm-start from
+
+    // Branch-and-bound-style bound tightenings, re-optimized warm; a cold
+    // solver over the same bounds is the reference.
+    std::mt19937 rng(seed * 77);
+    std::uniform_int_distribution<int> pick(0, m.num_vars() - 1);
+    bool prev_optimal = true;
+    for (int step = 0; step < 10; ++step) {
+      int var = pick(rng);
+      double fix = step % 2 == 0 ? 0.0 : 1.0;
+      warm.SetVarBounds(var, fix, fix);
+      LpResult w = warm.Solve(Deadline(10.0));
+
+      SimplexSolver cold_solver(m);
+      for (int j = 0; j < m.num_vars(); ++j) {
+        cold_solver.SetVarBounds(j, warm.var_lb(j), warm.var_ub(j));
+      }
+      LpResult c = cold_solver.Solve(Deadline(10.0));
+      ASSERT_EQ(w.status, c.status) << "seed " << seed << " step " << step;
+      if (w.status == LpStatus::kOptimal) {
+        EXPECT_NEAR(w.objective, c.objective,
+                    1e-7 * (1.0 + std::abs(c.objective)))
+            << "seed " << seed << " step " << step;
+        // A bound change on an optimal basis keeps it dual feasible, so the
+        // dual phase must engage. (After an infeasible step the basis may
+        // legitimately fall back to the primal phases.)
+        if (prev_optimal) EXPECT_TRUE(w.used_dual) << "step " << step;
+      }
+      prev_optimal = w.status == LpStatus::kOptimal;
+    }
+  }
+}
+
+TEST(SimplexWarmStartTest, SnapshotRestoreRoundTrip) {
+  Model m = MakeKnapsackLp(20, 5);
+  SimplexSolver solver(m);
+  LpResult base = solver.Solve(Deadline(10.0));
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  Basis snapshot = solver.SnapshotBasis();
+  ASSERT_TRUE(snapshot.valid);
+
+  // Wander off: fix a few variables and re-solve.
+  solver.SetVarBounds(0, 1, 1);
+  solver.SetVarBounds(1, 0, 0);
+  ASSERT_EQ(solver.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+
+  // Restore bounds + basis: the original optimum comes back immediately.
+  solver.ResetVarBounds();
+  ASSERT_TRUE(solver.RestoreBasis(snapshot));
+  LpResult again = solver.Solve(Deadline(10.0));
+  ASSERT_EQ(again.status, LpStatus::kOptimal);
+  EXPECT_NEAR(again.objective, base.objective, 1e-9);
+  EXPECT_LE(again.iterations, base.iterations);
+
+  // A snapshot can seed a brand-new solver over the same model.
+  SimplexSolver fresh(m);
+  ASSERT_TRUE(fresh.RestoreBasis(snapshot));
+  LpResult seeded = fresh.Solve(Deadline(10.0));
+  ASSERT_EQ(seeded.status, LpStatus::kOptimal);
+  EXPECT_NEAR(seeded.objective, base.objective, 1e-9);
+}
+
+TEST(SimplexWarmStartTest, RestoreRejectsIncompatibleBasis) {
+  Model small = MakeKnapsackLp(5, 1);
+  Model big = MakeKnapsackLp(9, 1);
+  SimplexSolver solver(small);
+  ASSERT_EQ(solver.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+  Basis snapshot = solver.SnapshotBasis();
+
+  SimplexSolver other(big);
+  EXPECT_FALSE(other.RestoreBasis(snapshot));  // dimension mismatch
+  Basis invalid;
+  EXPECT_FALSE(other.RestoreBasis(invalid));   // never solved
+  // The rejected restores must not poison the solver.
+  EXPECT_EQ(other.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+}
+
+TEST(SimplexWarmStartTest, WarmInfeasibleMatchesCold) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Model m = MakeKnapsackLp(12, seed);
+    // A COUNT-style equality row makes over-tightening infeasible.
+    RowDef count;
+    for (int j = 0; j < m.num_vars(); ++j) {
+      count.vars.push_back(j);
+      count.coefs.push_back(1.0);
+    }
+    count.lo = count.hi = 3.0;
+    ASSERT_TRUE(m.AddRow(std::move(count)).ok());
+
+    SimplexSolver warm(m);
+    ASSERT_EQ(warm.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+    // Fix too many variables to 1: COUNT = 3 becomes unsatisfiable.
+    for (int j = 0; j < 5; ++j) warm.SetVarBounds(j, 1, 1);
+    LpResult w = warm.Solve(Deadline(10.0));
+
+    SimplexSolver cold(m);
+    for (int j = 0; j < 5; ++j) cold.SetVarBounds(j, 1, 1);
+    LpResult c = cold.Solve(Deadline(10.0));
+    EXPECT_EQ(w.status, c.status) << "seed " << seed;
+    EXPECT_EQ(w.status, LpStatus::kInfeasible) << "seed " << seed;
+  }
+}
+
+TEST(SimplexWarmStartTest, ColdKillSwitchDisablesBasisReuse) {
+  Model m = MakeKnapsackLp(25, 3);
+  SimplexOptions cold_opts;
+  cold_opts.warm_start = false;
+  SimplexSolver solver(m, cold_opts);
+  LpResult first = solver.Solve(Deadline(10.0));
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  solver.SetVarBounds(0, 0, 0);
+  LpResult second = solver.Solve(Deadline(10.0));
+  ASSERT_EQ(second.status, LpStatus::kOptimal);
+  EXPECT_FALSE(first.used_dual);
+  EXPECT_FALSE(second.used_dual);  // every solve is a cold primal run
+}
+
 }  // namespace
 }  // namespace paql::lp
