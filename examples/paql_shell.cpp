@@ -139,6 +139,12 @@ int RunStatement(Session& session, const ShellOptions& options,
             << " tuples, objective " << result->objective << ", "
             << paql::engine::StrategyName(result->plan.strategy) << ", "
             << result->timings.total_seconds << "s):\n";
+  std::cout << "-- solver: " << result->stats.bnb_nodes << " nodes, "
+            << result->stats.lp_iterations << " pivots, "
+            << result->stats.pricing_candidate_hits << " candidate hits, "
+            << result->stats.rc_fixed_vars << " reduced-cost-fixed, "
+            << result->stats.presolve_fixed_vars << " presolve-fixed, "
+            << result->stats.warm_lp_solves << " warm LP solves\n";
   std::cout << result->Materialize().ToString(50);
   return 0;
 }

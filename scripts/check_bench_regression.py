@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail when a fresh BENCH_micro.json regresses against the checked-in one.
+
+Usage: check_bench_regression.py BASELINE CURRENT [MAX_REGRESS] [--strict-absolute]
+
+Two families of checks, both bounded by MAX_REGRESS (default 0.25):
+
+  * speedup factors — unitless ratios (scalar/vectorized, cold/warm,
+    full/partial pricing, presolve off/on). These are the portable solver
+    entries: a CI runner is a different machine from wherever the baseline
+    was recorded, so absolute microseconds do not transfer, but the ratio
+    of two solves measured back-to-back on the same machine does. A factor
+    may not drop more than MAX_REGRESS below its baseline value, and the
+    comparison only runs when both files measured the same problem sizes
+    ("rows" in the solver section), since ratios drift with scale too.
+  * absolute solver timings — the us-per-solve / us-per-pivot entries,
+    compared only under --strict-absolute (same-machine A/B runs); never
+    in CI, where hardware differences would make the guard flaky.
+
+A missing entry in CURRENT fails: silently dropping a measurement is how
+perf regressions hide.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    strict_absolute = "--strict-absolute" in sys.argv
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    with open(args[0]) as f:
+        base = json.load(f)
+    with open(args[1]) as f:
+        cur = json.load(f)
+    tol = float(args[2]) if len(args) > 2 else 0.25
+
+    failures = []
+    base_solver = base.get("solver", {})
+    cur_solver = cur.get("solver", {})
+    sizes_match = base_solver.get("rows") == cur_solver.get("rows")
+
+    if sizes_match:
+        for name, b in base.get("speedup", {}).items():
+            c = cur.get("speedup", {}).get(name)
+            if c is None:
+                failures.append(f"speedup '{name}' missing from current run")
+            elif c < b * (1 - tol):
+                failures.append(
+                    f"speedup '{name}' regressed: {c:g} < {b:g} * (1 - {tol:g})")
+            else:
+                print(f"ok speedup {name}: {c:g} (baseline {b:g})")
+    else:
+        print(
+            f"skipping speedup comparison: baseline solver rows="
+            f"{base_solver.get('rows')} vs current rows="
+            f"{cur_solver.get('rows')} (ratios drift with problem size)")
+
+    if strict_absolute and sizes_match:
+        for name, b in base_solver.get("entries", {}).items():
+            c = cur_solver.get("entries", {}).get(name)
+            if c is None:
+                failures.append(f"solver entry '{name}' missing from current run")
+            elif c > b * (1 + tol):
+                failures.append(
+                    f"solver entry '{name}' regressed: {c:g} us > {b:g} us "
+                    f"* (1 + {tol:g})")
+            else:
+                print(f"ok solver {name}: {c:g} us (baseline {b:g} us)")
+    elif strict_absolute:
+        print("skipping absolute solver entries: problem sizes differ")
+    else:
+        print("skipping absolute solver entries (pass --strict-absolute on a "
+              "same-machine A/B run)")
+
+    if failures:
+        print("\nPERF REGRESSION GUARD FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nperf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,9 @@ void EvalStats::Accumulate(const ilp::IlpStats& ilp) {
   bnb_nodes += ilp.nodes;
   solve_seconds += ilp.wall_seconds;
   warm_lp_solves += ilp.warm_lp_solves;
+  pricing_candidate_hits += ilp.pricing_candidate_hits;
+  rc_fixed_vars += ilp.rc_fixed_vars;
+  presolve_fixed_vars += ilp.presolve_fixed_vars;
   peak_memory_bytes = std::max(peak_memory_bytes, ilp.peak_memory_bytes);
 }
 

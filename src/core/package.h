@@ -54,6 +54,15 @@ struct EvalStats {
   /// Node LPs re-optimized from a warm basis with the dual simplex (zero
   /// when ExecContext::warm_start is off).
   int64_t warm_lp_solves = 0;
+  /// Simplex pivots priced straight off the partial-pricing candidate list
+  /// (zero when ExecContext::pricing is off).
+  int64_t pricing_candidate_hits = 0;
+  /// Integer variables permanently fixed by root reduced-cost fixing
+  /// across all ILP solves (zero when ExecContext::pricing is off).
+  int64_t rc_fixed_vars = 0;
+  /// Columns removed by the ILP presolve pass across all solves (zero
+  /// when ExecContext::pricing is off).
+  int64_t presolve_fixed_vars = 0;
 
   // SKETCHREFINE-specific counters (zero for other strategies).
   int64_t groups_refined = 0;

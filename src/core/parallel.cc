@@ -166,6 +166,9 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
       result->stats.lp_iterations += partial.lp_iterations;
       result->stats.bnb_nodes += partial.bnb_nodes;
       result->stats.warm_lp_solves += partial.warm_lp_solves;
+      result->stats.pricing_candidate_hits += partial.pricing_candidate_hits;
+      result->stats.rc_fixed_vars += partial.rc_fixed_vars;
+      result->stats.presolve_fixed_vars += partial.presolve_fixed_vars;
       result->stats.peak_memory_bytes = std::max(
           result->stats.peak_memory_bytes, partial.peak_memory_bytes);
       result->stats.parallel_fallback = true;

@@ -57,6 +57,7 @@ void FillPlanExecFlags(const ExecContext& exec, const CompiledQuery& compiled,
                        Plan* plan) {
   plan->vectorized = exec.vectorized && compiled.ilp.fully_vectorizable();
   plan->warm_start = exec.warm_start;
+  plan->pricing = exec.pricing;
 }
 
 

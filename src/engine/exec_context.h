@@ -76,11 +76,22 @@ struct ExecContext {
   /// strategy passes EffectiveBranchAndBound() to the solver.
   bool warm_start = true;
 
-  /// Branch-and-bound options with the context-level warm_start applied —
-  /// what every strategy hands to ilp::SolveIlp.
+  /// The sparse solver core: candidate-list partial pricing with devex
+  /// weights in the simplex, presolve before each ILP solve, and root
+  /// reduced-cost fixing in branch-and-bound. Results are identical either
+  /// way (the partial-vs-full differential sweep enforces it); false
+  /// restores the pre-sparse full-Dantzig solver exactly — like
+  /// `vectorized` and `warm_start`, a kill switch and A/B baseline.
+  bool pricing = true;
+
+  /// Branch-and-bound options with the context-level warm_start and
+  /// pricing toggles applied — what every strategy hands to ilp::SolveIlp.
   ilp::BranchAndBoundOptions EffectiveBranchAndBound() const {
     ilp::BranchAndBoundOptions bnb = branch_and_bound;
     bnb.warm_start = warm_start;
+    bnb.simplex.partial_pricing = pricing;
+    bnb.presolve = pricing;
+    bnb.reduced_cost_fixing = pricing;
     return bnb;
   }
 

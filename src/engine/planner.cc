@@ -128,6 +128,10 @@ std::string Plan::Explain() const {
   os << "solver: "
      << (warm_start ? "warm-started (dual simplex basis reuse)"
                     : "cold (primal from scratch per node)")
+     << ", "
+     << (pricing ? "partial pricing (devex candidates + presolve + "
+                   "reduced-cost fixing)"
+                 : "full Dantzig pricing (presolve off)")
      << "\n";
   if (shape.ratio_objective) os << "ratio objective: yes\n";
   if (shape.joined_from) os << "joined FROM: materialized before planning\n";

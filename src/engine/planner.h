@@ -80,6 +80,11 @@ struct Plan {
   /// from ExecContext::warm_start.
   bool warm_start = true;
 
+  /// Whether the sparse solver core runs (partial pricing + presolve +
+  /// reduced-cost fixing) or the full-Dantzig baseline. Filled by the
+  /// session from ExecContext::pricing.
+  bool pricing = true;
+
   // Partitioning details, filled by the session for SKETCHREFINE plans.
   std::vector<std::string> partition_attributes;
   size_t partition_size_threshold = 0;  // tau

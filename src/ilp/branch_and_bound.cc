@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "lp/presolve.h"
 
 namespace paql::ilp {
 namespace {
@@ -214,6 +215,7 @@ class Searcher {
       solver_.SetVarBounds(j, target, target);
       lp::LpResult lp = solver_.Solve(deadline_);
       stats_.lp_iterations += lp.iterations;
+      stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
       if (lp.used_dual) ++stats_.warm_lp_solves;
       if (lp.status != lp::LpStatus::kOptimal) break;
       x = lp.x;
@@ -221,6 +223,47 @@ class Searcher {
     for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
       solver_.SetVarBounds(std::get<0>(*it), std::get<1>(*it),
                            std::get<2>(*it));
+    }
+  }
+
+  /// Root reduced-cost fixing: an integer variable nonbasic at a bound in
+  /// the root LP with reduced cost d can only reach its next integer value
+  /// at objective cost >= root_bound + |d|; when that already lands past
+  /// the incumbent cutoff, the variable can never flip in any improving
+  /// solution, so it is fixed at its bound permanently (shrinking every
+  /// child LP's active column set). Called only while the branching stack
+  /// is empty, so no frame's saved bounds can later undo a fix.
+  void ApplyReducedCostFixing() {
+    if (!options_.reduced_cost_fixing || !root_data_valid_ || !has_incumbent_) {
+      return;
+    }
+    double cutoff = incumbent_obj_ -
+                    options_.gap_tol * (1.0 + std::abs(incumbent_obj_));
+    double gap = cutoff - root_bound_internal_;
+    if (gap < 0) gap = 0;  // numerically tied incumbent and root bound
+    const double margin = 1e-9 * (1.0 + std::abs(root_bound_internal_));
+    using VarStatus = lp::SimplexSolver::VarStatus;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (!model_.is_integer()[j]) continue;
+      double lbj = solver_.var_lb(j), ubj = solver_.var_ub(j);
+      if (lbj == ubj) continue;  // already fixed
+      auto st = static_cast<VarStatus>(root_status_[static_cast<size_t>(j)]);
+      double d = root_reduced_costs_[static_cast<size_t>(j)];
+      // The d > gap test assumes the cheapest move away from the bound is
+      // a full unit step — true only when the bound itself is integral
+      // (fixing at a fractional bound would not even be integer-feasible,
+      // and the step to the nearest integer can be < 1, making the proof
+      // invalid). Presolve rounds integer bounds inward, so fractional
+      // bounds only appear with presolve off; skip those variables.
+      if (st == VarStatus::kAtLower && lbj == std::floor(lbj) &&
+          d > gap + margin) {
+        solver_.SetVarBounds(j, lbj, lbj);
+        ++stats_.rc_fixed_vars;
+      } else if (st == VarStatus::kAtUpper && ubj == std::floor(ubj) &&
+                 -d > gap + margin) {
+        solver_.SetVarBounds(j, ubj, ubj);
+        ++stats_.rc_fixed_vars;
+      }
     }
   }
 
@@ -245,9 +288,19 @@ class Searcher {
         }
         lp::LpResult lp = solver_.Solve(deadline_);
         stats_.lp_iterations += lp.iterations;
+        stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
         if (lp.used_dual) ++stats_.warm_lp_solves;
         if (root && warm_ != nullptr) {
           warm_->root_basis = solver_.SnapshotBasis();
+        }
+        if (root && lp.status == lp::LpStatus::kOptimal &&
+            options_.reduced_cost_fixing && model_.num_integer_vars() > 0) {
+          // Capture the root duals before any heuristic pivots the solver
+          // away from the root-optimal basis.
+          root_bound_internal_ = sign_ * lp.objective;
+          root_reduced_costs_ = solver_.ReducedCosts();
+          root_status_ = solver_.SnapshotBasis().status;
+          root_data_valid_ = true;
         }
         PendingBranch pending = pending_;
         pending_.active = false;  // attribution applies to this node only
@@ -284,6 +337,8 @@ class Searcher {
           if (root) {
             stats_.root_bound = sign_ * bound;
             if (options_.enable_rounding_heuristic) OfferIncumbent(lp.x);
+            // The rounding incumbent may already prove columns immovable.
+            ApplyReducedCostFixing();
           }
           bool pruned = has_incumbent_ &&
                         bound >= incumbent_obj_ -
@@ -303,6 +358,9 @@ class Searcher {
               }
               if (root && options_.enable_diving_heuristic) {
                 Dive(lp.x);
+                // A dive incumbent tightens the gap; the stack is still
+                // empty, so fixing here is as permanent as at the root.
+                ApplyReducedCostFixing();
               }
               frame.var = branch_var;
               frame.saved_lb = solver_.var_lb(branch_var);
@@ -377,6 +435,12 @@ class Searcher {
   std::vector<double> incumbent_;
   size_t base_bytes_ = 0;
 
+  // Root LP data for reduced-cost fixing (internal minimize space).
+  bool root_data_valid_ = false;
+  double root_bound_internal_ = 0;
+  std::vector<double> root_reduced_costs_;
+  std::vector<uint8_t> root_status_;
+
   // Pseudo-cost state (allocated only under BranchRule::kPseudoCost).
   std::vector<double> pc_down_, pc_up_;
   std::vector<int64_t> pc_count_down_, pc_count_up_;
@@ -405,7 +469,7 @@ lp::Model AddRootCuts(const lp::Model& model,
                       const BranchAndBoundOptions& options,
                       const Deadline& deadline, int64_t* cuts_added,
                       int64_t* cut_rounds, int64_t* lp_iterations,
-                      IlpWarmStart* warm) {
+                      int64_t* pricing_hits, IlpWarmStart* warm) {
   lp::Model augmented = model;
   for (int round = 0; round < options.cuts.max_rounds; ++round) {
     if (deadline.Expired()) break;
@@ -421,6 +485,7 @@ lp::Model AddRootCuts(const lp::Model& model,
     }
     lp::LpResult lp = solver.Solve(deadline);
     *lp_iterations += lp.iterations;
+    *pricing_hits += lp.pricing_candidate_hits;
     if (lp.status != lp::LpStatus::kOptimal) break;
     // Nothing to separate at an integral point.
     bool fractional = false;
@@ -440,11 +505,12 @@ lp::Model AddRootCuts(const lp::Model& model,
   return augmented;
 }
 
-}  // namespace
-
-Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
-                             const BranchAndBoundOptions& options,
-                             IlpWarmStart* warm) {
+/// Cut-and-branch over a (possibly presolved) model: the pre-presolve
+/// SolveIlp body, unchanged.
+Result<IlpSolution> SolveWithCuts(const lp::Model& model,
+                                  const SolverLimits& limits,
+                                  const BranchAndBoundOptions& options,
+                                  IlpWarmStart* warm) {
   if (!options.cuts.enable || model.num_integer_vars() == 0 ||
       model.num_rows() == 0) {
     Searcher searcher(model, limits, options, warm);
@@ -453,8 +519,10 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
   Stopwatch cut_watch;
   Deadline deadline(limits.time_limit_s);
   int64_t cuts_added = 0, cut_rounds = 0, lp_iterations = 0;
-  lp::Model augmented = AddRootCuts(model, options, deadline, &cuts_added,
-                                    &cut_rounds, &lp_iterations, warm);
+  int64_t pricing_hits = 0;
+  lp::Model augmented =
+      AddRootCuts(model, options, deadline, &cuts_added, &cut_rounds,
+                  &lp_iterations, &pricing_hits, warm);
   double cut_seconds = cut_watch.ElapsedSeconds();
   SolverLimits search_limits = limits;
   if (search_limits.time_limit_s > 0) {
@@ -467,8 +535,92 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
     solution->stats.cuts_added = cuts_added;
     solution->stats.cut_rounds = cut_rounds;
     solution->stats.lp_iterations += lp_iterations;
+    solution->stats.pricing_candidate_hits += pricing_hits;
     solution->stats.wall_seconds += cut_seconds;
   }
+  return solution;
+}
+
+}  // namespace
+
+Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
+                             const BranchAndBoundOptions& options,
+                             IlpWarmStart* warm) {
+  // A caller-supplied warm context means consecutive solves over one
+  // column set (the refine loop, top-k enumeration) reuse the stored root
+  // basis. Presolve would reshape the model per call — its reductions
+  // depend on the very bounds those callers keep shifting — so every
+  // RestoreBasis would fail on dimension mismatch and silently degrade the
+  // warm path to cold solves. Basis reuse wins there; presolve stays for
+  // the one-shot solves.
+  const bool warm_chain = warm != nullptr && options.warm_start;
+  if (!options.presolve || warm_chain || model.num_vars() == 0 ||
+      model.num_rows() == 0) {
+    return SolveWithCuts(model, limits, options, warm);
+  }
+  Stopwatch presolve_watch;
+  lp::PresolveInfo info;
+  lp::Model reduced = lp::PresolveModel(model, {}, &info);
+  if (info.infeasible) {
+    return Status::Infeasible("presolve proved the model infeasible");
+  }
+  // The presolve pass spent part of the caller's budget on every path.
+  auto deduct_presolve = [&](double seconds) {
+    SolverLimits out = limits;
+    if (out.time_limit_s > 0) {
+      // Keep the budget positive (0 would mean unlimited) but never
+      // extend an already-blown deadline.
+      out.time_limit_s = std::max(1e-9, out.time_limit_s - seconds);
+    }
+    return out;
+  };
+  if (info.identity || (info.vars_fixed == 0 && info.rows_dropped == 0)) {
+    // identity: presolve found nothing — solve the original model (which
+    // also keeps any attached CSC view). Otherwise bound tightening alone
+    // still helps: solve the tightened (same-shaped) model and copy the
+    // solution through.
+    const lp::Model& solve_model = info.identity ? model : reduced;
+    double presolve_seconds = presolve_watch.ElapsedSeconds();
+    auto solution =
+        SolveWithCuts(solve_model, deduct_presolve(presolve_seconds), options,
+                      warm);
+    if (solution.ok()) {
+      solution->stats.wall_seconds += presolve_seconds;
+    }
+    return solution;
+  }
+  // Objective contribution of the columns presolve removed (model sense).
+  double fixed_obj = 0;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (info.fixed[static_cast<size_t>(j)]) {
+      fixed_obj += model.obj()[j] * info.fixed_value[static_cast<size_t>(j)];
+    }
+  }
+  if (reduced.num_vars() == 0) {
+    // Every variable fixed: the model is a single point.
+    IlpSolution solution;
+    solution.x = lp::PostsolveSolution(info, {});
+    if (!model.IsFeasible(solution.x, 1e-6)) {
+      return Status::Infeasible("presolve fixed the model to an infeasible point");
+    }
+    solution.objective = model.ObjectiveValue(solution.x);
+    solution.stats.proven_optimal = true;
+    solution.stats.root_bound = solution.objective;
+    solution.stats.presolve_fixed_vars = info.vars_fixed;
+    solution.stats.presolve_dropped_rows = info.rows_dropped;
+    solution.stats.wall_seconds = presolve_watch.ElapsedSeconds();
+    return solution;
+  }
+  double presolve_seconds = presolve_watch.ElapsedSeconds();
+  auto solution =
+      SolveWithCuts(reduced, deduct_presolve(presolve_seconds), options, warm);
+  if (!solution.ok()) return solution;
+  solution->x = lp::PostsolveSolution(info, solution->x);
+  solution->objective = model.ObjectiveValue(solution->x);
+  solution->stats.root_bound += fixed_obj;
+  solution->stats.presolve_fixed_vars = info.vars_fixed;
+  solution->stats.presolve_dropped_rows = info.rows_dropped;
+  solution->stats.wall_seconds += presolve_seconds;
   return solution;
 }
 

@@ -32,6 +32,17 @@ struct IlpStats {
   /// Node LP solves that re-optimized from a warm basis with the dual
   /// simplex instead of a from-scratch primal solve.
   int64_t warm_lp_solves = 0;
+  /// Primal pivots whose entering variable came straight from the simplex
+  /// pricing candidate list (zero when partial pricing is off).
+  int64_t pricing_candidate_hits = 0;
+  /// Integer variables permanently fixed by root reduced-cost fixing: the
+  /// root LP's reduced cost proves they cannot leave their bound in any
+  /// solution better than the incumbent, so every child LP shrinks.
+  int64_t rc_fixed_vars = 0;
+  /// Columns removed (fixed) and rows dropped by the presolve pass before
+  /// the search started (zero when presolve is off or found nothing).
+  int64_t presolve_fixed_vars = 0;
+  int64_t presolve_dropped_rows = 0;
 };
 
 /// A feasible (and, when stats.proven_optimal, optimal) integer solution.
@@ -70,6 +81,17 @@ struct BranchAndBoundOptions {
   /// a cold primal solve (the A/B baseline; results are identical either
   /// way, only pivot counts change).
   bool warm_start = true;
+  /// Presolve the model before the search (lp/presolve.h): tighten bounds,
+  /// fix forced/empty columns, drop implied rows, and postsolve the
+  /// solution back to the full variable vector. Never changes the answer,
+  /// only the model size. false = solve the model as given (the A/B
+  /// baseline).
+  bool presolve = true;
+  /// Permanently fix integer variables whose root-LP reduced cost proves
+  /// they cannot leave their bound within the incumbent gap (every child
+  /// LP shrinks). Never changes the answer: a flip would land the node
+  /// past the incumbent cutoff, exactly where search pruning stops anyway.
+  bool reduced_cost_fixing = true;
   lp::SimplexOptions simplex;
   /// Root cutting planes (cut-and-branch). Valid cuts never change the
   /// optimum; they tighten the relaxation before the search starts.

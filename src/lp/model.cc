@@ -34,7 +34,16 @@ Status Model::AddRow(RowDef row) {
     }
   }
   rows_.push_back(std::move(row));
+  csc_.reset();  // the attached column view no longer matches the rows
   return Status::OK();
+}
+
+void Model::AttachColumns(SparseMatrix csc) {
+  PAQL_CHECK_MSG(csc.num_cols() == num_vars() && csc.num_rows() == num_rows(),
+                 "attached CSC is " << csc.num_rows() << "x" << csc.num_cols()
+                                    << " but the model is " << num_rows()
+                                    << "x" << num_vars());
+  csc_ = std::make_shared<const SparseMatrix>(std::move(csc));
 }
 
 Status Model::SetRowBounds(int row, double lo, double hi) {

@@ -8,10 +8,12 @@
 #define PAQL_LP_MODEL_H_
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "lp/sparse_matrix.h"
 
 namespace paql::lp {
 
@@ -84,6 +86,23 @@ class Model {
   /// Human-readable rendering (small models only; for tests/debugging).
   std::string ToString() const;
 
+  /// Attach a pre-built CSC view of the row coefficients, built once at
+  /// load by the translate layer directly from its column-major
+  /// coefficient arrays (so the solver never re-walks the rows). The view
+  /// must agree with rows() — translate's differential tests enforce it.
+  /// AddRow invalidates the attachment; SetRowBounds does not (bounds
+  /// live in RowDef, not in the matrix).
+  void AttachColumns(SparseMatrix csc);
+
+  /// The attached CSC view, or nullptr when none was attached (or a
+  /// later AddRow invalidated it). Never built lazily here: lazy caching
+  /// would race when multiple solver threads share one const Model.
+  const SparseMatrix* attached_columns() const { return csc_.get(); }
+
+  /// Co-owning handle on the attached view: the simplex solver holds one
+  /// so the matrix outlives even an AddRow on (a copy of) this model.
+  std::shared_ptr<const SparseMatrix> shared_columns() const { return csc_; }
+
  private:
   Sense sense_ = Sense::kMinimize;
   std::vector<double> obj_;
@@ -91,6 +110,9 @@ class Model {
   std::vector<double> ub_;
   std::vector<bool> integer_;
   std::vector<RowDef> rows_;
+  /// Shared so copying a Model (root cuts, cached refine models) shares
+  /// the immutable CSC instead of duplicating it.
+  std::shared_ptr<const SparseMatrix> csc_;
 };
 
 }  // namespace paql::lp

@@ -1,0 +1,347 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace paql::lp {
+namespace {
+
+/// Activity range of a row over the box [lb, ub]. `*ninf` / `*pinf` count
+/// contributions that are -inf (for the minimum) / +inf (for the maximum);
+/// the finite part accumulates separately so one unbounded variable does
+/// not poison the rest. Degenerate +inf-min / -inf-max contributions (a
+/// variable with an infinite *lower* bound crossed into its coefficient)
+/// set *degenerate and the caller skips the row.
+void ActivityRange(const RowDef& row, const std::vector<double>& lb,
+                   const std::vector<double>& ub, double* min_act,
+                   double* max_act, int* ninf, int* pinf, bool* degenerate) {
+  *min_act = 0;
+  *max_act = 0;
+  *ninf = 0;
+  *pinf = 0;
+  *degenerate = false;
+  for (size_t k = 0; k < row.vars.size(); ++k) {
+    double c = row.coefs[k];
+    if (c == 0) continue;
+    int v = row.vars[k];
+    double cmin = c > 0 ? c * lb[v] : c * ub[v];
+    double cmax = c > 0 ? c * ub[v] : c * lb[v];
+    if (std::isinf(cmin)) {
+      if (cmin > 0) {
+        *degenerate = true;
+        return;
+      }
+      ++*ninf;
+    } else {
+      *min_act += cmin;
+    }
+    if (std::isinf(cmax)) {
+      if (cmax < 0) {
+        *degenerate = true;
+        return;
+      }
+      ++*pinf;
+    } else {
+      *max_act += cmax;
+    }
+  }
+}
+
+double RelTol(double tol, double v) { return tol * (1.0 + std::abs(v)); }
+
+}  // namespace
+
+Model PresolveModel(const Model& model, const PresolveOptions& options,
+                    PresolveInfo* info) {
+  const int n = model.num_vars();
+  const int m = model.num_rows();
+  const double tol = options.tol;
+  *info = PresolveInfo();
+  info->original_num_vars = n;
+  info->fixed.assign(static_cast<size_t>(n), 0);
+  info->fixed_value.assign(static_cast<size_t>(n), 0.0);
+
+  std::vector<double> lb = model.lb();
+  std::vector<double> ub = model.ub();
+  const std::vector<bool>& integer = model.is_integer();
+
+  std::vector<int> occur(static_cast<size_t>(n), 0);
+  for (const RowDef& row : model.rows()) {
+    for (int v : row.vars) ++occur[static_cast<size_t>(v)];
+  }
+
+  auto pin = [&](int v, double value) {
+    if (lb[v] == ub[v]) return;
+    if (integer[v] && std::abs(value - std::round(value)) > tol) {
+      info->infeasible = true;
+      return;
+    }
+    lb[v] = ub[v] = value;
+    ++info->bounds_tightened;
+  };
+
+  // --- Tightening rounds: forcing rows + row-implied variable bounds. ---
+  for (int round = 0; round < options.max_rounds && !info->infeasible;
+       ++round) {
+    bool changed = false;
+    for (int i = 0; i < m && !info->infeasible; ++i) {
+      const RowDef& row = model.rows()[static_cast<size_t>(i)];
+      double min_act, max_act;
+      int ninf, pinf;
+      bool degenerate;
+      ActivityRange(row, lb, ub, &min_act, &max_act, &ninf, &pinf,
+                    &degenerate);
+      if (degenerate) continue;
+
+      // Provably violated row.
+      if (ninf == 0 && !std::isinf(row.hi) &&
+          min_act > row.hi + RelTol(tol, row.hi)) {
+        info->infeasible = true;
+        break;
+      }
+      if (pinf == 0 && !std::isinf(row.lo) &&
+          max_act < row.lo - RelTol(tol, row.lo)) {
+        info->infeasible = true;
+        break;
+      }
+
+      // Forcing row: the minimum possible activity already meets the upper
+      // bound (resp. the maximum meets the lower), so every participating
+      // variable sits at the bound achieving that extreme.
+      if (ninf == 0 && !std::isinf(row.hi) &&
+          min_act >= row.hi - RelTol(tol, row.hi)) {
+        for (size_t k = 0; k < row.vars.size(); ++k) {
+          double c = row.coefs[k];
+          if (c == 0) continue;
+          int v = row.vars[k];
+          if (lb[v] != ub[v]) {
+            pin(v, c > 0 ? lb[v] : ub[v]);
+            changed = true;
+          }
+        }
+        continue;
+      }
+      if (pinf == 0 && !std::isinf(row.lo) &&
+          max_act <= row.lo + RelTol(tol, row.lo)) {
+        for (size_t k = 0; k < row.vars.size(); ++k) {
+          double c = row.coefs[k];
+          if (c == 0) continue;
+          int v = row.vars[k];
+          if (lb[v] != ub[v]) {
+            pin(v, c > 0 ? ub[v] : lb[v]);
+            changed = true;
+          }
+        }
+        continue;
+      }
+
+      // Per-variable bound tightening against the residual activity of the
+      // rest of the row.
+      for (size_t k = 0; k < row.vars.size(); ++k) {
+        double c = row.coefs[k];
+        if (c == 0) continue;
+        int v = row.vars[k];
+        if (lb[v] == ub[v]) continue;
+        double cmin = c > 0 ? c * lb[v] : c * ub[v];
+        double cmax = c > 0 ? c * ub[v] : c * lb[v];
+        int rest_ninf = ninf - (std::isinf(cmin) ? 1 : 0);
+        int rest_pinf = pinf - (std::isinf(cmax) ? 1 : 0);
+        double rest_min = min_act - (std::isinf(cmin) ? 0.0 : cmin);
+        double rest_max = max_act - (std::isinf(cmax) ? 0.0 : cmax);
+
+        // c*x_v <= hi - rest_min.
+        if (rest_ninf == 0 && !std::isinf(row.hi)) {
+          double slack = row.hi - rest_min;
+          if (c > 0) {
+            double cap = slack / c;
+            if (integer[v]) cap = std::floor(cap + tol);
+            if (cap < ub[v] - RelTol(1e-12, ub[v])) {
+              ub[v] = cap;
+              ++info->bounds_tightened;
+              changed = true;
+            }
+          } else {
+            double floor_v = slack / c;  // dividing by c < 0 flips the side
+            if (integer[v]) floor_v = std::ceil(floor_v - tol);
+            if (floor_v > lb[v] + RelTol(1e-12, lb[v])) {
+              lb[v] = floor_v;
+              ++info->bounds_tightened;
+              changed = true;
+            }
+          }
+        }
+        // c*x_v >= lo - rest_max.
+        if (rest_pinf == 0 && !std::isinf(row.lo)) {
+          double need = row.lo - rest_max;
+          if (c > 0) {
+            double floor_v = need / c;
+            if (integer[v]) floor_v = std::ceil(floor_v - tol);
+            if (floor_v > lb[v] + RelTol(1e-12, lb[v])) {
+              lb[v] = floor_v;
+              ++info->bounds_tightened;
+              changed = true;
+            }
+          } else {
+            double cap = need / c;
+            if (integer[v]) cap = std::floor(cap + tol);
+            if (cap < ub[v] - RelTol(1e-12, ub[v])) {
+              ub[v] = cap;
+              ++info->bounds_tightened;
+              changed = true;
+            }
+          }
+        }
+        if (lb[v] > ub[v]) {
+          if (lb[v] - ub[v] <= RelTol(tol, lb[v]) && !integer[v]) {
+            ub[v] = lb[v];  // crossed by FP noise only
+          } else {
+            info->infeasible = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  if (info->infeasible) return Model();
+
+  // --- Column fixing: tightened-to-equality, and empty columns at their
+  // --- objective-best finite bound. ---
+  const double internal_sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+  for (int j = 0; j < n; ++j) {
+    if (lb[j] == ub[j]) {
+      if (integer[j] && std::abs(lb[j] - std::round(lb[j])) > tol) {
+        info->infeasible = true;
+        return Model();
+      }
+      info->fixed[static_cast<size_t>(j)] = 1;
+      info->fixed_value[static_cast<size_t>(j)] =
+          integer[j] ? std::round(lb[j]) : lb[j];
+      ++info->vars_fixed;
+      continue;
+    }
+    if (occur[static_cast<size_t>(j)] > 0) continue;
+    double c = internal_sign * model.obj()[j];
+    double at = lb[j];  // minimize pulls toward lb for c > 0
+    if (c < 0) {
+      at = ub[j];
+    } else if (c == 0) {
+      at = !std::isinf(lb[j]) ? lb[j] : (!std::isinf(ub[j]) ? ub[j] : 0.0);
+    }
+    if (std::isinf(at)) continue;  // unbounded pull: leave for the solver
+    if (integer[j]) {
+      // Round *inward*: a fractional bound must not push the fixed value
+      // outside the box (ub = 2.5 fixes at 2, never 3). An empty integer
+      // box (e.g. [2.2, 2.8]) makes the whole ILP infeasible.
+      if (at == ub[j]) {
+        at = std::floor(ub[j] + tol);
+      } else if (at == lb[j]) {
+        at = std::ceil(lb[j] - tol);
+      } else {
+        at = std::round(at);  // the free-variable 0.0 case
+      }
+      if (at < lb[j] - tol || at > ub[j] + tol) {
+        info->infeasible = true;
+        return Model();
+      }
+    }
+    info->fixed[static_cast<size_t>(j)] = 1;
+    info->fixed_value[static_cast<size_t>(j)] = at;
+    ++info->vars_fixed;
+  }
+
+  // Nothing fixed and no bound moved: skip constructing the reduced model
+  // entirely — the warm refine loop re-solves cached models many times per
+  // query, and an unconditional O(vars + nnz) copy here would undo exactly
+  // the rebuild-avoidance that loop exists for. (Pure redundant-row
+  // dropping is forfeited in this case; the solver handles redundant rows
+  // fine.) The caller must solve the original model.
+  if (info->vars_fixed == 0 && info->bounds_tightened == 0) {
+    info->identity = true;
+    return Model();
+  }
+
+  // --- Build the reduced model. ---
+  Model reduced;
+  reduced.set_sense(model.sense());
+  std::vector<int> new_index(static_cast<size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    if (info->fixed[static_cast<size_t>(j)]) continue;
+    new_index[static_cast<size_t>(j)] =
+        reduced.AddVariable(lb[j], ub[j], model.obj()[j], integer[j]);
+    info->orig_of.push_back(j);
+  }
+
+  for (int i = 0; i < m; ++i) {
+    const RowDef& row = model.rows()[static_cast<size_t>(i)];
+    RowDef out;
+    out.name = row.name;
+    double shift = 0;
+    for (size_t k = 0; k < row.vars.size(); ++k) {
+      int v = row.vars[k];
+      if (info->fixed[static_cast<size_t>(v)]) {
+        shift += row.coefs[k] * info->fixed_value[static_cast<size_t>(v)];
+      } else {
+        out.vars.push_back(new_index[static_cast<size_t>(v)]);
+        out.coefs.push_back(row.coefs[k]);
+      }
+    }
+    double lo = std::isinf(row.lo) ? row.lo : row.lo - shift;
+    double hi = std::isinf(row.hi) ? row.hi : row.hi - shift;
+    if (out.vars.empty()) {
+      // Constant row: 0 must lie within the shifted bounds.
+      if (lo > RelTol(tol, lo) || hi < -RelTol(tol, hi)) {
+        info->infeasible = true;
+        return Model();
+      }
+      ++info->rows_dropped;
+      continue;
+    }
+    // Redundant row: implied by the (tightened) box of its survivors.
+    double min_act, max_act;
+    int ninf, pinf;
+    bool degenerate;
+    ActivityRange(out, reduced.lb(), reduced.ub(), &min_act, &max_act, &ninf,
+                  &pinf, &degenerate);
+    // The lower bound is implied when even the minimum activity meets it,
+    // the upper when even the maximum stays under it.
+    bool lo_implied = std::isinf(lo) || (ninf == 0 && min_act >= lo);
+    bool hi_implied = std::isinf(hi) || (pinf == 0 && max_act <= hi);
+    if (!degenerate && lo_implied && hi_implied) {
+      ++info->rows_dropped;
+      continue;
+    }
+    if (lo > hi) {
+      if (lo - hi <= RelTol(tol, lo)) {
+        hi = lo;  // FP noise from the shift
+      } else {
+        info->infeasible = true;
+        return Model();
+      }
+    }
+    out.lo = lo;
+    out.hi = hi;
+    Status added = reduced.AddRow(std::move(out));
+    PAQL_CHECK_MSG(added.ok(), added);
+  }
+  return reduced;
+}
+
+std::vector<double> PostsolveSolution(const PresolveInfo& info,
+                                      const std::vector<double>& reduced_x) {
+  PAQL_CHECK(reduced_x.size() == info.orig_of.size());
+  std::vector<double> full(static_cast<size_t>(info.original_num_vars), 0.0);
+  for (int j = 0; j < info.original_num_vars; ++j) {
+    if (info.fixed[static_cast<size_t>(j)]) {
+      full[static_cast<size_t>(j)] = info.fixed_value[static_cast<size_t>(j)];
+    }
+  }
+  for (size_t k = 0; k < info.orig_of.size(); ++k) {
+    full[static_cast<size_t>(info.orig_of[k])] = reduced_x[k];
+  }
+  return full;
+}
+
+}  // namespace paql::lp

@@ -1,0 +1,85 @@
+// LP/ILP presolve: shrink a model before handing it to the solver.
+//
+// Package-query models arrive with plenty of removable structure: columns
+// fixed by branching or reduced-cost fixing (lb == ub), empty columns that
+// no constraint touches (tuples filtered out of every leaf), bounds that a
+// nearly-tight row forces, and rows the variable box already implies. The
+// presolve pass applies, in rounds until a fixpoint (or the round cap):
+//
+//   * bound tightening   — each row's activity range over the current box
+//                          implies bounds on every participating variable;
+//                          integer bounds are rounded inward
+//   * forced rows        — a row whose minimum activity already equals its
+//                          upper bound (or maximum equals lower) pins every
+//                          participating variable at the achieving bound
+//   * fixed columns      — variables with lb == ub leave the model; their
+//                          contribution folds into the row bounds
+//   * empty columns      — variables in no row fix at their objective-best
+//                          bound (when finite)
+//   * redundant rows     — rows implied by the box (or left with no
+//                          variables) are dropped; an unsatisfiable empty
+//                          or crossed row proves infeasibility
+//
+// The reductions are exact for the ILP: no optimal solution is cut off,
+// and PostsolveSolution maps a reduced solution back onto the full
+// variable vector. (Bound rounding uses integrality, so the reduced model
+// is only valid for the *integer* program when integer variables are
+// involved — exactly how ilp::SolveIlp uses it.)
+#ifndef PAQL_LP_PRESOLVE_H_
+#define PAQL_LP_PRESOLVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace paql::lp {
+
+struct PresolveOptions {
+  /// Tolerance for "already tight" detections (forcing, redundancy,
+  /// infeasibility). Deliberately far tighter than the solver's feas_tol:
+  /// presolve must never fix anything the solver would still move.
+  double tol = 1e-9;
+  /// Tightening rounds before giving up on a fixpoint.
+  int max_rounds = 4;
+};
+
+struct PresolveInfo {
+  /// Proven infeasible during presolve (the reduced model is meaningless).
+  bool infeasible = false;
+  /// Presolve found nothing to do: PresolveModel returned an *empty*
+  /// placeholder (no O(vars + nnz) copy is made just to hand back the
+  /// input) and the caller must solve the original model. All counters
+  /// are zero and PostsolveSolution must not be used.
+  bool identity = false;
+  /// Original variable index of each reduced-model variable.
+  std::vector<int> orig_of;
+  /// Per original variable: fixed (removed) and at which value.
+  std::vector<uint8_t> fixed;
+  std::vector<double> fixed_value;
+  int original_num_vars = 0;
+
+  // Reduction counters (for stats and tests).
+  int vars_fixed = 0;         // columns removed (fixed or empty)
+  int bounds_tightened = 0;   // bound-change operations applied
+  int rows_dropped = 0;       // redundant/empty rows removed
+
+  bool reduced_anything() const {
+    return vars_fixed > 0 || rows_dropped > 0 || bounds_tightened > 0;
+  }
+};
+
+/// Presolve `model` into a (possibly) smaller model, filling `info` with
+/// the postsolve mapping. When info->infeasible is set the returned model
+/// must not be solved.
+Model PresolveModel(const Model& model, const PresolveOptions& options,
+                    PresolveInfo* info);
+
+/// Expand a reduced-model solution back onto the original variable vector:
+/// fixed variables take their fixed value, the rest copy through orig_of.
+std::vector<double> PostsolveSolution(const PresolveInfo& info,
+                                      const std::vector<double>& reduced_x);
+
+}  // namespace paql::lp
+
+#endif  // PAQL_LP_PRESOLVE_H_

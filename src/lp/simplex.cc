@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/str_util.h"
 
 namespace paql::lp {
+
+namespace {
+
+/// Below this many cells the dense column-major fallback wins: no index
+/// indirection, and rebuilding it per solver is cheaper than a CSC pass.
+constexpr size_t kDenseColsLimit = 4096;
+
+/// Candidate-list pricing needs enough columns to amortize the list
+/// bookkeeping; tiny models full-sweep regardless of the toggle.
+constexpr int kPartialMinCols = 64;
+
+}  // namespace
 
 const char* LpStatusName(LpStatus status) {
   switch (status) {
@@ -25,13 +39,26 @@ SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
   total_ = n_ + m_;
   obj_sign_ = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
 
-  // Densify the sparse rows into column-major storage.
-  cols_.assign(static_cast<size_t>(n_) * m_, 0.0);
-  for (int i = 0; i < m_; ++i) {
-    const RowDef& row = model.rows()[i];
-    for (size_t k = 0; k < row.vars.size(); ++k) {
-      cols_[static_cast<size_t>(row.vars[k]) * m_ + i] += row.coefs[k];
+  // Column storage: dense column-major for small models; CSC otherwise
+  // (reusing the model's attached view when translate built one).
+  if (static_cast<size_t>(n_) * m_ <= kDenseColsLimit) {
+    dense_ = true;
+    dense_cols_.assign(static_cast<size_t>(n_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const RowDef& row = model.rows()[i];
+      for (size_t k = 0; k < row.vars.size(); ++k) {
+        dense_cols_[static_cast<size_t>(row.vars[k]) * m_ + i] += row.coefs[k];
+      }
     }
+  } else if (std::shared_ptr<const SparseMatrix> attached =
+                 model.shared_columns();
+             attached != nullptr && attached->num_cols() == n_ &&
+             attached->num_rows() == m_) {
+    attached_hold_ = std::move(attached);
+    csc_ = attached_hold_.get();
+  } else {
+    owned_csc_ = SparseMatrix::FromModel(model);
+    csc_ = &owned_csc_;
   }
 
   cost_.assign(total_, 0.0);
@@ -48,14 +75,38 @@ SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
   }
   status_.assign(total_, VarStatus::kAtLower);
   basis_.assign(m_, -1);
-  binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  binv0_.assign(static_cast<size_t>(m_) * m_, 0.0);
   xb_.assign(m_, 0.0);
+  devex_w_.assign(total_, 1.0);
 }
 
 size_t SimplexSolver::ApproximateBytes() const {
-  return cols_.size() * sizeof(double) + binv_.size() * sizeof(double) +
-         (cost_.size() + lb_.size() + ub_.size()) * sizeof(double) +
-         status_.size() + basis_.size() * sizeof(int);
+  size_t columns = dense_ ? dense_cols_.size() * sizeof(double)
+                          : csc_->ApproximateBytes();
+  return columns + binv0_.size() * sizeof(double) +
+         etas_.size() * (sizeof(Eta) + m_ * sizeof(double)) +
+         (cost_.size() + lb_.size() + ub_.size() + devex_w_.size()) *
+             sizeof(double) +
+         status_.size() + (basis_.size() + active_.size()) * sizeof(int);
+}
+
+double SimplexSolver::ColDot(const double* y, int j) const {
+  if (dense_) {
+    const double* col = dense_cols_.data() + static_cast<size_t>(j) * m_;
+    double dot = 0;
+    for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
+    return dot;
+  }
+  return csc_->ColumnDot(y, j);
+}
+
+void SimplexSolver::ScatterCol(int j, double scale, double* out) const {
+  if (dense_) {
+    const double* col = dense_cols_.data() + static_cast<size_t>(j) * m_;
+    for (int i = 0; i < m_; ++i) out[i] += scale * col[i];
+    return;
+  }
+  csc_->ScatterColumnScaled(j, scale, out);
 }
 
 void SimplexSolver::SetVarBounds(int var, double lb, double ub) {
@@ -63,6 +114,7 @@ void SimplexSolver::SetVarBounds(int var, double lb, double ub) {
   PAQL_CHECK_MSG(lb <= ub, "crossed bounds for x" << var);
   lb_[var] = lb;
   ub_[var] = ub;
+  active_dirty_ = true;
   if (status_[var] == VarStatus::kBasic) return;
   // Keep the nonbasic variable resting on a bound that still exists.
   if (status_[var] == VarStatus::kAtUpper && std::isinf(ub)) {
@@ -79,6 +131,20 @@ void SimplexSolver::ResetVarBounds() {
   for (int j = 0; j < n_; ++j) {
     SetVarBounds(j, model_->lb()[j], model_->ub()[j]);
   }
+}
+
+void SimplexSolver::RefreshActiveColumns() {
+  if (!active_dirty_) return;
+  active_.clear();
+  active_.reserve(static_cast<size_t>(total_));
+  for (int j = 0; j < total_; ++j) {
+    // A fixed variable (lb == ub: presolve leftovers, branching, reduced-
+    // cost fixing) can never move; drop it here once instead of re-testing
+    // it inside every pricing and dual-ratio-test sweep.
+    if (lb_[j] == ub_[j]) continue;
+    active_.push_back(j);
+  }
+  active_dirty_ = false;
 }
 
 double SimplexSolver::NonbasicValue(int j) const {
@@ -107,10 +173,16 @@ void SimplexSolver::InitAllSlackBasis() {
     status_[n_ + i] = VarStatus::kBasic;
   }
   // B = -I  =>  B^{-1} = -I.
-  std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int i = 0; i < m_; ++i) binv_[static_cast<size_t>(i) * m_ + i] = -1.0;
+  std::fill(binv0_.begin(), binv0_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) binv0_[static_cast<size_t>(i) * m_ + i] = -1.0;
+  etas_.clear();
   basis_valid_ = true;
   pivots_since_refactor_ = 0;
+  // Fresh basis geometry: restart the devex reference framework and drop
+  // any stale pricing candidates.
+  std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  cand_.clear();
+  pivots_since_rebuild_ = 0;
 }
 
 Basis SimplexSolver::SnapshotBasis() const {
@@ -171,6 +243,10 @@ bool SimplexSolver::RestoreBasis(const Basis& basis) {
     return false;
   }
   basis_valid_ = true;
+  // The restored basis came from elsewhere; its devex history is stale.
+  std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  cand_.clear();
+  pivots_since_rebuild_ = 0;
   return true;
 }
 
@@ -179,9 +255,16 @@ bool SimplexSolver::Refactorize() {
   // (partial pivoting). m_ is tiny, so O(m^3) is negligible.
   std::vector<double> work(static_cast<size_t>(m_) * 2 * m_, 0.0);
   auto at = [&](int r, int c) -> double& { return work[r * 2 * m_ + c]; };
+  std::vector<double> colbuf(static_cast<size_t>(m_));
   for (int c = 0; c < m_; ++c) {
     int j = basis_[c];
-    for (int r = 0; r < m_; ++r) at(r, c) = ColEntry(j, r);
+    if (j < n_) {
+      std::fill(colbuf.begin(), colbuf.end(), 0.0);
+      ScatterCol(j, 1.0, colbuf.data());
+      for (int r = 0; r < m_; ++r) at(r, c) = colbuf[r];
+    } else {
+      at(j - n_, c) = -1.0;
+    }
   }
   for (int r = 0; r < m_; ++r) at(r, m_ + r) = 1.0;
 
@@ -209,33 +292,85 @@ bool SimplexSolver::Refactorize() {
   }
   for (int r = 0; r < m_; ++r) {
     for (int c = 0; c < m_; ++c) {
-      binv_[static_cast<size_t>(r) * m_ + c] = at(r, m_ + c);
+      binv0_[static_cast<size_t>(r) * m_ + c] = at(r, m_ + c);
     }
   }
+  etas_.clear();
   pivots_since_refactor_ = 0;
   return true;
 }
 
+void SimplexSolver::ApplyEtas(std::vector<double>* v) const {
+  for (const Eta& e : etas_) {
+    double t = (*v)[e.row];
+    if (t == 0.0) continue;
+    for (int i = 0; i < m_; ++i) {
+      if (i == e.row) continue;
+      (*v)[i] += e.col[i] * t;
+    }
+    (*v)[e.row] = e.col[e.row] * t;
+  }
+}
+
+void SimplexSolver::FtranVec(std::vector<double>* v) const {
+  // v <- B0^{-1} v, then the eta factors in pivot order.
+  std::vector<double> tmp(static_cast<size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double* row = binv0_.data() + static_cast<size_t>(i) * m_;
+    double s = 0;
+    for (int k = 0; k < m_; ++k) s += row[k] * (*v)[k];
+    tmp[i] = s;
+  }
+  *v = std::move(tmp);
+  ApplyEtas(v);
+}
+
+void SimplexSolver::BtranVec(std::vector<double>* y) const {
+  // y^T B^{-1} = (((y^T E_k) E_{k-1}) ... E_1) B0^{-1}: etas in reverse,
+  // each replacing y[row] with dot(y, eta column), then the dense multiply.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double dot = 0;
+    for (int i = 0; i < m_; ++i) dot += (*y)[i] * it->col[i];
+    (*y)[it->row] = dot;
+  }
+  std::vector<double> tmp(static_cast<size_t>(m_), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    double yr = (*y)[r];
+    if (yr == 0.0) continue;
+    const double* row = binv0_.data() + static_cast<size_t>(r) * m_;
+    for (int c = 0; c < m_; ++c) tmp[c] += yr * row[c];
+  }
+  *y = std::move(tmp);
+}
+
+void SimplexSolver::PushEta(int leave_row, const std::vector<double>& w) {
+  double pivot = w[leave_row];
+  PAQL_CHECK_MSG(std::abs(pivot) >= options_.pivot_tol,
+                 "tiny pivot " << pivot);
+  Eta eta;
+  eta.row = leave_row;
+  eta.col.resize(static_cast<size_t>(m_));
+  for (int i = 0; i < m_; ++i) eta.col[i] = -w[i] / pivot;
+  eta.col[leave_row] = 1.0 / pivot;
+  etas_.push_back(std::move(eta));
+  ++pivots_since_refactor_;
+}
+
 void SimplexSolver::ComputeBasicValues() {
   // x_B = -B^{-1} (sum over nonbasic j of A_j x_j).
-  std::vector<double> r(m_, 0.0);
+  std::vector<double> r(static_cast<size_t>(m_), 0.0);
   for (int j = 0; j < total_; ++j) {
     if (status_[j] == VarStatus::kBasic) continue;
     double xj = NonbasicValue(j);
     if (xj == 0.0) continue;
     if (j < n_) {
-      const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-      for (int i = 0; i < m_; ++i) r[i] += col[i] * xj;
+      ScatterCol(j, xj, r.data());
     } else {
       r[j - n_] -= xj;
     }
   }
-  for (int i = 0; i < m_; ++i) {
-    double v = 0;
-    const double* row = binv_.data() + static_cast<size_t>(i) * m_;
-    for (int k = 0; k < m_; ++k) v += row[k] * r[k];
-    xb_[i] = -v;
-  }
+  FtranVec(&r);
+  for (int i = 0; i < m_; ++i) xb_[i] = -r[i];
 }
 
 double SimplexSolver::TotalInfeasibility() const {
@@ -250,50 +385,265 @@ double SimplexSolver::TotalInfeasibility() const {
 }
 
 void SimplexSolver::ComputeDuals(bool phase1, std::vector<double>* y) const {
-  std::vector<double> cb(m_, 0.0);
+  y->assign(static_cast<size_t>(m_), 0.0);
   for (int i = 0; i < m_; ++i) {
     int b = basis_[i];
     if (phase1) {
       double tol = options_.feas_tol * (1.0 + std::abs(xb_[i]));
-      if (xb_[i] < lb_[b] - tol) cb[i] = -1.0;
-      else if (xb_[i] > ub_[b] + tol) cb[i] = 1.0;
+      if (xb_[i] < lb_[b] - tol) (*y)[i] = -1.0;
+      else if (xb_[i] > ub_[b] + tol) (*y)[i] = 1.0;
     } else {
-      cb[i] = cost_[b];
+      (*y)[i] = cost_[b];
     }
   }
-  // y^T = c_B^T B^{-1}  =>  y[c] = sum_r cb[r] * binv[r][c].
-  y->assign(m_, 0.0);
-  for (int r = 0; r < m_; ++r) {
-    if (cb[r] == 0.0) continue;
-    const double* row = binv_.data() + static_cast<size_t>(r) * m_;
-    for (int c = 0; c < m_; ++c) (*y)[c] += cb[r] * row[c];
-  }
+  // y^T = c_B^T B^{-1}.
+  BtranVec(y);
 }
 
 void SimplexSolver::Ftran(int j, std::vector<double>* w) const {
-  w->assign(m_, 0.0);
+  w->assign(static_cast<size_t>(m_), 0.0);
   if (j < n_) {
-    const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-    for (int i = 0; i < m_; ++i) {
-      double v = 0;
-      const double* row = binv_.data() + static_cast<size_t>(i) * m_;
-      for (int k = 0; k < m_; ++k) v += row[k] * col[k];
-      (*w)[i] = v;
+    // w0 = B0^{-1} A_j, accumulated per nonzero of A_j (column k of the
+    // factorized inverse, scaled).
+    if (dense_) {
+      const double* col = dense_cols_.data() + static_cast<size_t>(j) * m_;
+      for (int i = 0; i < m_; ++i) {
+        double v = 0;
+        const double* row = binv0_.data() + static_cast<size_t>(i) * m_;
+        for (int k = 0; k < m_; ++k) v += row[k] * col[k];
+        (*w)[i] = v;
+      }
+    } else {
+      for (size_t k = csc_->begin(j), e = csc_->end(j); k < e; ++k) {
+        int r = csc_->entry_row(k);
+        double val = csc_->entry_value(k);
+        for (int i = 0; i < m_; ++i) {
+          (*w)[i] += binv0_[static_cast<size_t>(i) * m_ + r] * val;
+        }
+      }
     }
   } else {
     int slack_row = j - n_;
     for (int i = 0; i < m_; ++i) {
-      (*w)[i] = -binv_[static_cast<size_t>(i) * m_ + slack_row];
+      (*w)[i] = -binv0_[static_cast<size_t>(i) * m_ + slack_row];
     }
   }
+  ApplyEtas(w);
+}
+
+std::vector<double> SimplexSolver::ReducedCosts() const {
+  std::vector<double> y;
+  ComputeDuals(/*phase1=*/false, &y);
+  std::vector<double> d(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;  // zero by construction
+    d[static_cast<size_t>(j)] = cost_[j] - ColDot(y.data(), j);
+  }
+  return d;
+}
+
+double SimplexSolver::ReducedCost(bool phase1, const std::vector<double>& y,
+                                  int j) const {
+  double cj = phase1 ? 0.0 : cost_[j];
+  if (j < n_) return cj - ColDot(y.data(), j);
+  return cj + y[j - n_];
+}
+
+double SimplexSolver::PriceScore(int j, double d, double* sigma) const {
+  const double kTol = options_.opt_tol;
+  switch (status_[j]) {
+    case VarStatus::kAtLower:
+      if (d < -kTol) {
+        *sigma = +1;
+        return -d;
+      }
+      break;
+    case VarStatus::kAtUpper:
+      if (d > kTol) {
+        *sigma = -1;
+        return d;
+      }
+      break;
+    case VarStatus::kFree:
+      if (std::abs(d) > kTol) {
+        *sigma = d < 0 ? +1 : -1;
+        return std::abs(d);
+      }
+      break;
+    case VarStatus::kBasic:
+      break;
+  }
+  return 0;
+}
+
+int SimplexSolver::RebuildCandidates(bool phase1, const std::vector<double>& y,
+                                     double* sigma) {
+  // Sectional refill: price rotating windows of the active columns and
+  // stop at the first window that yields eligible candidates — entering
+  // any column with a favourable reduced cost makes progress, so only the
+  // *optimality* claim needs the exhaustive scan. Returning -1 therefore
+  // happens only after every active column was priced under the current
+  // duals at the standard tolerance: an exact full sweep, identical to
+  // what the full-Dantzig mode would conclude.
+  pivots_since_rebuild_ = 0;
+  cand_.clear();
+  const size_t active_count = active_.size();
+  if (active_count == 0) return -1;
+  const size_t list_size =
+      static_cast<size_t>(std::max(1, options_.pricing_list_size));
+  const size_t section_len =
+      std::max(list_size * 4, (active_count + 15) / 16);
+  if (section_cursor_ >= active_count) section_cursor_ = 0;
+
+  // Min-heap of (devex score, var) keeping the top `list_size` candidates.
+  std::vector<std::pair<double, int>> heap;
+  heap.reserve(list_size + 1);
+  int best = -1;
+  double best_score = 0;
+  double best_sigma = 0;
+  size_t scanned = 0;
+  while (scanned < active_count) {
+    size_t len = std::min(section_len, active_count - scanned);
+    for (size_t step = 0; step < len; ++step) {
+      int j = active_[section_cursor_];
+      section_cursor_ = section_cursor_ + 1 == active_count
+                            ? 0
+                            : section_cursor_ + 1;
+      if (status_[j] == VarStatus::kBasic) continue;
+      double d = ReducedCost(phase1, y, j);
+      double sig = 0;
+      double s = PriceScore(j, d, &sig);
+      if (s <= 0) continue;
+      double score = s * s / devex_w_[j];
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+        best_sigma = sig;
+      }
+      // One O(1) compare per eligible column once the heap is saturated —
+      // package-LP phase-1 windows see a flood of eligible columns, so the
+      // heap must only pay log(list) for genuine top-list improvements.
+      if (heap.size() >= list_size && score <= heap.front().first) continue;
+      heap.emplace_back(score, j);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+      if (heap.size() > list_size) {
+        std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+        heap.pop_back();
+      }
+    }
+    scanned += len;
+    if (best >= 0) break;  // this window feeds the next pivots
+  }
+  for (const auto& [score, j] : heap) cand_.push_back(j);
+  if (best >= 0) *sigma = best_sigma;
+  return best;
+}
+
+int SimplexSolver::PriceEntering(bool phase1, const std::vector<double>& y,
+                                 bool bland, double* sigma) {
+  if (bland) {
+    // Bland's rule: the first eligible index (active_ ascends), immune to
+    // devex weights and candidate staleness — the anti-cycling guarantee.
+    for (int j : active_) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      double d = ReducedCost(phase1, y, j);
+      double sig = 0;
+      if (PriceScore(j, d, &sig) > 0) {
+        *sigma = sig;
+        return j;
+      }
+    }
+    return -1;  // an exhaustive sweep found nothing: optimal
+  }
+  if (!options_.partial_pricing || total_ < kPartialMinCols) {
+    // Full Dantzig sweep: most negative reduced cost wins (the exact
+    // pre-sparse behaviour; first index wins ties, as before).
+    int enter = -1;
+    double enter_sigma = 0;
+    double best_score = options_.opt_tol;
+    for (int j : active_) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      double d = ReducedCost(phase1, y, j);
+      double sig = 0;
+      double s = PriceScore(j, d, &sig);
+      if (s > best_score) {
+        best_score = s;
+        enter = j;
+        enter_sigma = sig;
+      }
+    }
+    if (enter >= 0) *sigma = enter_sigma;
+    return enter;
+  }
+  // Candidate-list devex pricing: re-price only the list; fall back to the
+  // exact rebuild sweep on schedule or when the list runs dry.
+  if (cand_.empty() ||
+      pivots_since_rebuild_ >= options_.pricing_rebuild_every) {
+    return RebuildCandidates(phase1, y, sigma);
+  }
+  int best = -1;
+  double best_score = 0;
+  double best_sigma = 0;
+  size_t out = 0;
+  for (int j : cand_) {
+    if (status_[j] == VarStatus::kBasic) continue;  // entered: drop from list
+    cand_[out++] = j;
+    double d = ReducedCost(phase1, y, j);
+    double sig = 0;
+    double s = PriceScore(j, d, &sig);
+    if (s <= 0) continue;
+    double score = s * s / devex_w_[j];
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+      best_sigma = sig;
+    }
+  }
+  cand_.resize(out);
+  if (best >= 0) {
+    ++candidate_hits_;
+    *sigma = best_sigma;
+    return best;
+  }
+  // List exhausted: only a full sweep may declare optimality.
+  return RebuildCandidates(phase1, y, sigma);
+}
+
+void SimplexSolver::UpdateDevexWeights(int enter, int leave_row,
+                                       const std::vector<double>& w) {
+  if (!options_.partial_pricing || total_ < kPartialMinCols) return;
+  double alpha_q = w[leave_row];
+  if (std::abs(alpha_q) < options_.pivot_tol) return;
+  double wq = devex_w_[enter];
+  if (!cand_.empty()) {
+    // alpha_j = (B^{-1} A_j)[leave_row] via the pivot row of the current
+    // (pre-pivot) inverse; updated only for the candidate list — the
+    // classic devex recurrence restricted to the columns we re-price.
+    std::vector<double> rho(static_cast<size_t>(m_), 0.0);
+    rho[leave_row] = 1.0;
+    BtranVec(&rho);
+    for (int j : cand_) {
+      if (j == enter || status_[j] == VarStatus::kBasic) continue;
+      double aj = j < n_ ? ColDot(rho.data(), j) : -rho[j - n_];
+      double ratio = aj / alpha_q;
+      double candidate = ratio * ratio * wq;
+      if (candidate > devex_w_[j]) devex_w_[j] = candidate;
+    }
+  }
+  // The leaving variable re-enters the nonbasic pool with the weight the
+  // devex recurrence assigns it (never below the reference weight 1).
+  devex_w_[basis_[leave_row]] = std::max(wq / (alpha_q * alpha_q), 1.0);
 }
 
 LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
                                  int* iterations) {
-  const double kTol = options_.opt_tol;
   std::vector<double> y, w;
   int degenerate_streak = 0;
   bool bland = false;
+  // Phase boundaries change the costs, so the previous phase's candidate
+  // reduced costs are meaningless: start from a fresh sweep.
+  cand_.clear();
+  pivots_since_rebuild_ = 0;
 
   while (true) {
     if (*iterations >= options_.max_iterations) {
@@ -315,49 +665,8 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
     ComputeDuals(phase1, &y);
 
     // --- Pricing: choose the entering variable. ---
-    int enter = -1;
     double enter_sigma = 0;
-    double best_score = kTol;
-    for (int j = 0; j < total_; ++j) {
-      VarStatus st = status_[j];
-      if (st == VarStatus::kBasic) continue;
-      // A degenerate nonbasic variable (lb == ub) can never move.
-      if (st != VarStatus::kFree && lb_[j] == ub_[j]) continue;
-      double cj = phase1 ? 0.0 : cost_[j];
-      double d;
-      if (j < n_) {
-        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-        double dot = 0;
-        for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
-        d = cj - dot;
-      } else {
-        d = cj + y[j - n_];
-      }
-      double score = 0;
-      double sigma = 0;
-      if (st == VarStatus::kAtLower && d < -kTol) {
-        score = -d;
-        sigma = +1;
-      } else if (st == VarStatus::kAtUpper && d > kTol) {
-        score = d;
-        sigma = -1;
-      } else if (st == VarStatus::kFree && std::abs(d) > kTol) {
-        score = std::abs(d);
-        sigma = d < 0 ? +1 : -1;
-      } else {
-        continue;
-      }
-      if (bland) {  // Bland's rule: first eligible index
-        enter = j;
-        enter_sigma = sigma;
-        break;
-      }
-      if (score > best_score) {
-        best_score = score;
-        enter = j;
-        enter_sigma = sigma;
-      }
-    }
+    int enter = PriceEntering(phase1, y, bland, &enter_sigma);
     if (enter < 0) {
       if (phase1) {
         return TotalInfeasibility() <= options_.feas_tol * m_
@@ -431,10 +740,10 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
     }
 
     ++*iterations;
-    ++pivots_since_refactor_;
 
     if (leave_row < 0) {
-      // Bound flip: the entering variable runs to its opposite bound.
+      // Bound flip: the entering variable runs to its opposite bound. The
+      // basis is untouched, so no eta and no rebuild-clock tick.
       for (int i = 0; i < m_; ++i) xb_[i] -= enter_sigma * t_best * w[i];
       status_[enter] = status_[enter] == VarStatus::kAtLower
                            ? VarStatus::kAtUpper
@@ -442,7 +751,8 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
       continue;
     }
 
-    // Regular pivot.
+    // Regular pivot. Devex weights update against the pre-pivot inverse.
+    UpdateDevexWeights(enter, leave_row, w);
     double enter_value = NonbasicValue(enter) + enter_sigma * t_best;
     for (int i = 0; i < m_; ++i) xb_[i] -= enter_sigma * t_best * w[i];
     int leave_var = basis_[leave_row];
@@ -453,19 +763,10 @@ LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
     basis_[leave_row] = enter;
     status_[enter] = VarStatus::kBasic;
 
-    // Product-form update of B^{-1}: pivot on w[leave_row].
-    double pivot = w[leave_row];
-    PAQL_CHECK_MSG(std::abs(pivot) >= options_.pivot_tol,
-                   "tiny pivot " << pivot);
-    double* prow = binv_.data() + static_cast<size_t>(leave_row) * m_;
-    for (int c = 0; c < m_; ++c) prow[c] /= pivot;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leave_row) continue;
-      double factor = w[i];
-      if (factor == 0.0) continue;
-      double* row = binv_.data() + static_cast<size_t>(i) * m_;
-      for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
-    }
+    // Product-form update: one O(m) eta factor instead of refreshing the
+    // m x m inverse.
+    PushEta(leave_row, w);
+    ++pivots_since_rebuild_;
   }
 }
 
@@ -485,15 +786,7 @@ bool SimplexSolver::MakeDualFeasible() {
   };
   for (int j = 0; j < total_; ++j) {
     if (status_[j] == VarStatus::kBasic) continue;
-    double d;
-    if (j < n_) {
-      const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-      double dot = 0;
-      for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
-      d = cost_[j] - dot;
-    } else {
-      d = cost_[j] + y[j - n_];
-    }
+    double d = ReducedCost(/*phase1=*/false, y, j);
     bool boxed = !std::isinf(lb_[j]) && !std::isinf(ub_[j]);
     if (status_[j] == VarStatus::kAtLower && d < -kTol) {
       if (!boxed) return fail();
@@ -514,7 +807,7 @@ bool SimplexSolver::MakeDualFeasible() {
 LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
                                      bool* bailed) {
   *bailed = false;
-  std::vector<double> y, w, rho(static_cast<size_t>(m_));
+  std::vector<double> y, w, rho;
   // Stall guard: a warm re-optimization should need few pivots; past this
   // the primal phases are the better tool (and always correct).
   const int dual_cap = *iterations + 50 * m_ + 200;
@@ -565,28 +858,25 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
     }
     if (leave_row < 0) return LpStatus::kOptimal;  // primal feasible
 
-    const double* brow = binv_.data() + static_cast<size_t>(leave_row) * m_;
-    std::copy(brow, brow + m_, rho.begin());
+    // rho = pivot row of B^{-1} (e_r^T B^{-1} through the eta file).
+    rho.assign(static_cast<size_t>(m_), 0.0);
+    rho[leave_row] = 1.0;
+    BtranVec(&rho);
     ComputeDuals(/*phase1=*/false, &y);
 
     // --- Dual ratio test: entering column with the smallest |d|/|alpha|
-    // among columns that move the leaving variable toward its bound. ---
+    // among columns that move the leaving variable toward its bound. The
+    // scan covers every active column (a min-ratio over a subset could
+    // pick an invalid pivot) but walks only the non-fixed list with sparse
+    // dots — fixed columns are never re-evaluated here. ---
     int enter = -1;
     double best_ratio = kInf;
     double best_alpha = 0;
-    for (int j = 0; j < total_; ++j) {
+    for (int j : active_) {
       VarStatus st = status_[j];
       if (st == VarStatus::kBasic) continue;
-      if (st != VarStatus::kFree && lb_[j] == ub_[j]) continue;  // fixed
-      double alpha;
-      if (j < n_) {
-        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-        double dot = 0;
-        for (int i = 0; i < m_; ++i) dot += rho[i] * col[i];
-        alpha = dot;
-      } else {
-        alpha = -rho[j - n_];
-      }
+      double alpha =
+          j < n_ ? ColDot(rho.data(), j) : -rho[j - n_];
       if (std::abs(alpha) < options_.pivot_tol) continue;
       // The leaving basic variable moves at rate -alpha per unit of the
       // entering variable; x_b must rise when below its lower bound, fall
@@ -600,15 +890,7 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
         eligible = true;  // free
       }
       if (!eligible) continue;
-      double d;
-      if (j < n_) {
-        const double* col = cols_.data() + static_cast<size_t>(j) * m_;
-        double dot = 0;
-        for (int i = 0; i < m_; ++i) dot += y[i] * col[i];
-        d = cost_[j] - dot;
-      } else {
-        d = cost_[j] + y[j - n_];
-      }
+      double d = ReducedCost(/*phase1=*/false, y, j);
       double ratio = std::abs(d) / std::abs(alpha);
       if (ratio < best_ratio - 1e-12 ||
           (ratio < best_ratio + 1e-12 &&
@@ -635,7 +917,6 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
     }
 
     ++*iterations;
-    ++pivots_since_refactor_;
 
     int leave_var = basis_[leave_row];
     double target = below ? lb_[leave_var] : ub_[leave_var];
@@ -647,28 +928,23 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
     status_[enter] = VarStatus::kBasic;
     xb_[leave_row] = enter_value;
 
-    // Product-form update of B^{-1}: pivot on w[leave_row].
-    double* prow = binv_.data() + static_cast<size_t>(leave_row) * m_;
-    for (int c = 0; c < m_; ++c) prow[c] /= pivot;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leave_row) continue;
-      double factor = w[i];
-      if (factor == 0.0) continue;
-      double* row = binv_.data() + static_cast<size_t>(i) * m_;
-      for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
-    }
+    // Product-form update of B^{-1}: one eta factor.
+    PushEta(leave_row, w);
   }
 }
 
 LpResult SimplexSolver::Solve(const Deadline& deadline) {
   LpResult result;
+  InitSolveCounters();
+  RefreshActiveColumns();
   bool warm = options_.warm_start && basis_valid_;
   if (!warm) {
     InitAllSlackBasis();
   } else if (pivots_since_refactor_ > 0 && !Refactorize()) {
-    // pivots_since_refactor_ == 0 means B^-1 is exactly the last
-    // factorization (e.g. RestoreBasis just rebuilt it); bound changes do
-    // not invalidate it, so skip the redundant O(m^3) refactorization.
+    // pivots_since_refactor_ == 0 means the eta file is empty and binv0_
+    // is exactly the last factorization (e.g. RestoreBasis just rebuilt
+    // it); bound changes do not invalidate it, so skip the redundant
+    // O(m^3) refactorization.
     InitAllSlackBasis();
     warm = false;
   }
@@ -684,6 +960,7 @@ LpResult SimplexSolver::Solve(const Deadline& deadline) {
           dual_st == LpStatus::kTimeLimit) {
         result.iterations = iterations;
         result.status = dual_st;
+        result.pricing_candidate_hits = candidate_hits_;
         return result;
       }
     }
@@ -699,6 +976,7 @@ LpResult SimplexSolver::Solve(const Deadline& deadline) {
   }
   result.iterations = iterations;
   result.status = st;
+  result.pricing_candidate_hits = candidate_hits_;
   if (st != LpStatus::kOptimal) return result;
 
   result.x.assign(n_, 0.0);

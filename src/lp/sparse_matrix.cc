@@ -1,0 +1,39 @@
+#include "lp/sparse_matrix.h"
+
+#include "lp/model.h"
+
+namespace paql::lp {
+
+SparseMatrix SparseMatrix::FromModel(const Model& model) {
+  const int n = model.num_vars();
+  const int m = model.num_rows();
+  // Counting pass: nonzeros per column.
+  std::vector<size_t> counts(static_cast<size_t>(n), 0);
+  for (const RowDef& row : model.rows()) {
+    for (int v : row.vars) ++counts[static_cast<size_t>(v)];
+  }
+  SparseMatrix out;
+  out.num_rows_ = m;
+  out.starts_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    out.starts_[static_cast<size_t>(j) + 1] =
+        out.starts_[static_cast<size_t>(j)] + counts[static_cast<size_t>(j)];
+  }
+  out.rows_.resize(out.starts_.back());
+  out.vals_.resize(out.starts_.back());
+  // Fill pass: scanning rows in index order keeps each column's row
+  // indices ascending.
+  std::vector<size_t> cursor(out.starts_.begin(), out.starts_.end() - 1);
+  for (int i = 0; i < m; ++i) {
+    const RowDef& row = model.rows()[static_cast<size_t>(i)];
+    for (size_t k = 0; k < row.vars.size(); ++k) {
+      size_t& at = cursor[static_cast<size_t>(row.vars[k])];
+      out.rows_[at] = i;
+      out.vals_[at] = row.coefs[k];
+      ++at;
+    }
+  }
+  return out;
+}
+
+}  // namespace paql::lp

@@ -1,0 +1,115 @@
+// Compressed sparse column (CSC) storage for the LP constraint matrix.
+//
+// Package-query LPs have one column per tuple and a handful of rows, but
+// many of those rows touch only a fraction of the columns (threshold-count
+// leaves from MIN/MAX predicates, subquery-filtered SUMs, root cuts, big-M
+// indicator rows). The simplex solver's hot loops — pricing dots, Ftran,
+// the dual ratio test — walk columns, so the matrix is stored column-major
+// with only the nonzeros materialized: `starts[j] .. starts[j+1]` indexes
+// the (row, value) pairs of column j, rows ascending within a column.
+//
+// Duplicate (row, value) entries within one column are allowed and mean
+// summation, mirroring how RowDef rows may repeat a variable; every kernel
+// accumulates entry by entry, so duplicates behave exactly like the
+// pre-CSC dense `+=` densification.
+#ifndef PAQL_LP_SPARSE_MATRIX_H_
+#define PAQL_LP_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paql::lp {
+
+class Model;
+
+/// Column-major sparse matrix over the structural variables of a Model.
+/// Immutable once built; build with FromModel or a SparseMatrixBuilder.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from a model's sparse rows (one counting pass + one fill pass,
+  /// O(nnz)). Rows appear in ascending order within each column because
+  /// rows are scanned in index order.
+  static SparseMatrix FromModel(const Model& model);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(starts_.size()) - 1; }
+  size_t num_nonzeros() const { return rows_.size(); }
+
+  /// Nonzeros of column j: iterate k in [begin(j), end(j)) over
+  /// entry_row(k) / entry_value(k).
+  size_t begin(int j) const { return starts_[static_cast<size_t>(j)]; }
+  size_t end(int j) const { return starts_[static_cast<size_t>(j) + 1]; }
+  int entry_row(size_t k) const { return rows_[k]; }
+  double entry_value(size_t k) const { return vals_[k]; }
+
+  /// dot(y, column j) over the nonzeros.
+  double ColumnDot(const double* y, int j) const {
+    double dot = 0;
+    for (size_t k = begin(j), e = end(j); k < e; ++k) {
+      dot += y[rows_[k]] * vals_[k];
+    }
+    return dot;
+  }
+
+  /// out[row] += value for every nonzero of column j (out size num_rows).
+  void ScatterColumn(int j, double* out) const {
+    for (size_t k = begin(j), e = end(j); k < e; ++k) {
+      out[rows_[k]] += vals_[k];
+    }
+  }
+
+  /// out[row] += scale * value for every nonzero of column j.
+  void ScatterColumnScaled(int j, double scale, double* out) const {
+    for (size_t k = begin(j), e = end(j); k < e; ++k) {
+      out[rows_[k]] += scale * vals_[k];
+    }
+  }
+
+  size_t ApproximateBytes() const {
+    return starts_.size() * sizeof(size_t) + rows_.size() * sizeof(int) +
+           vals_.size() * sizeof(double);
+  }
+
+ private:
+  friend class SparseMatrixBuilder;
+
+  int num_rows_ = 0;
+  std::vector<size_t> starts_{0};  // size num_cols + 1
+  std::vector<int> rows_;          // row index per nonzero
+  std::vector<double> vals_;       // value per nonzero
+};
+
+/// Column-by-column CSC construction, for callers that already hold
+/// column-major coefficients (translate's vectorized leaf-activity arrays).
+class SparseMatrixBuilder {
+ public:
+  explicit SparseMatrixBuilder(int num_rows) { m_.num_rows_ = num_rows; }
+
+  /// Reserve for an expected nonzero count (optional).
+  void Reserve(size_t nnz) {
+    m_.rows_.reserve(nnz);
+    m_.vals_.reserve(nnz);
+  }
+
+  /// Append one entry to the column currently being built. Rows must be
+  /// pushed in ascending order within the column.
+  void PushEntry(int row, double value) {
+    m_.rows_.push_back(row);
+    m_.vals_.push_back(value);
+  }
+
+  /// Close the current column (call once per column, in column order).
+  void FinishColumn() { m_.starts_.push_back(m_.rows_.size()); }
+
+  SparseMatrix Build() { return std::move(m_); }
+
+ private:
+  SparseMatrix m_;
+};
+
+}  // namespace paql::lp
+
+#endif  // PAQL_LP_SPARSE_MATRIX_H_

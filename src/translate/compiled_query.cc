@@ -894,6 +894,31 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
     return Status::Internal("unreachable node kind");
   };
   PAQL_RETURN_IF_ERROR(emit(*root_, -1));
+
+  // OR-free trees add exactly one row per leaf (in leaf_row_order_) and no
+  // indicator columns, so the CSC column view the simplex solver needs can
+  // be assembled here, straight from the per-leaf coefficient vectors the
+  // (vectorized) pipeline just produced — the solver then never re-walks
+  // the rows. Row bounds live in RowDef, so UpdateModelOffsets keeps
+  // working against the attached view unchanged. OR trees grow big-M
+  // indicator columns whose layout only the emitter knows; the solver
+  // falls back to building its own CSC for those.
+  if (offsets_updatable_ && !leaf_row_order_.empty()) {
+    size_t nnz = 0;
+    for (const auto& leaf_coeffs : coeffs) {
+      for (double c : leaf_coeffs) nnz += c != 0.0 ? 1 : 0;
+    }
+    lp::SparseMatrixBuilder builder(model.num_rows());
+    builder.Reserve(nnz);
+    for (size_t k = 0; k < total_rows; ++k) {
+      for (size_t r = 0; r < leaf_row_order_.size(); ++r) {
+        double c = coeffs[static_cast<size_t>(leaf_row_order_[r])][k];
+        if (c != 0.0) builder.PushEntry(static_cast<int>(r), c);
+      }
+      builder.FinishColumn();
+    }
+    model.AttachColumns(builder.Build());
+  }
   return model;
 }
 

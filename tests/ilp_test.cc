@@ -255,6 +255,157 @@ TEST(IlpTest, LpRelaxationHelper) {
 }
 
 // ---------------------------------------------------------------------------
+// Presolve integration and reduced-cost fixing
+// ---------------------------------------------------------------------------
+
+TEST(IlpPresolveTest, EmptyAndForcedColumnsShrinkTheSearch) {
+  // COUNT == 3 over 5 cheap items, plus 4 columns no constraint touches.
+  // Presolve removes the empty columns (fixing them at their objective-
+  // best bound) before the search sees them.
+  Model m;
+  RowDef count;
+  double costs[] = {5, 1, 4, 2, 8};
+  for (int j = 0; j < 5; ++j) {
+    m.AddVariable(0, 1, costs[j], true);
+    count.vars.push_back(j);
+    count.coefs.push_back(1.0);
+  }
+  for (int j = 0; j < 4; ++j) m.AddVariable(0, 1, 1.0, true);  // empty cols
+  count.lo = count.hi = 3;
+  ASSERT_TRUE(m.AddRow(std::move(count)).ok());
+
+  auto on = SolveIlp(m);
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_GT(on->stats.presolve_fixed_vars, 0);
+  EXPECT_NEAR(on->objective, 1 + 2 + 4, 1e-9);
+  ASSERT_EQ(on->x.size(), 9u);  // postsolve restored the full vector
+  for (int j = 5; j < 9; ++j) EXPECT_DOUBLE_EQ(on->x[j], 0.0);
+
+  BranchAndBoundOptions off;
+  off.presolve = false;
+  auto baseline = SolveIlp(m, SolverLimits{}, off);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->stats.presolve_fixed_vars, 0);
+  EXPECT_NEAR(baseline->objective, on->objective, 1e-9);
+}
+
+TEST(IlpPresolveTest, PresolveProvesInfeasibility) {
+  Model m;
+  m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 1, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 5, kInf, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInfeasible());
+}
+
+TEST(IlpPresolveTest, FullyFixedModelSolvesWithoutSearch) {
+  // x + y >= 4 with x,y in [0,2]: presolve pins both at 2; no search runs.
+  Model m;
+  m.AddVariable(0, 2, 1.0, true);
+  m.AddVariable(0, 2, 3.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 4, kInf, ""}).ok());
+  auto r = SolveIlp(m);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->stats.nodes, 0);
+  EXPECT_TRUE(r->stats.proven_optimal);
+  EXPECT_NEAR(r->objective, 2 + 6, 1e-9);
+  EXPECT_DOUBLE_EQ(r->x[0], 2.0);
+  EXPECT_DOUBLE_EQ(r->x[1], 2.0);
+}
+
+TEST(IlpReducedCostFixingTest, ExpensiveColumnsAreFixedAtTheRoot) {
+  // min cost with COUNT == 2: the rounding heuristic lands the incumbent
+  // at the LP optimum, and every expensive column's reduced cost exceeds
+  // the (zero) gap — they can never enter an improving solution.
+  Model m;
+  RowDef count;
+  for (int j = 0; j < 20; ++j) {
+    m.AddVariable(0, 1, j < 2 ? 1.0 : 100.0 + j, true);
+    count.vars.push_back(j);
+    count.coefs.push_back(1.0);
+  }
+  count.lo = count.hi = 2;
+  ASSERT_TRUE(m.AddRow(std::move(count)).ok());
+
+  // Presolve off isolates the reduced-cost fixing counter (presolve would
+  // not fix these columns anyway, but keep the test single-purpose).
+  BranchAndBoundOptions rc_on, rc_off;
+  rc_on.presolve = rc_off.presolve = false;
+  rc_off.reduced_cost_fixing = false;
+  auto on = SolveIlp(m, SolverLimits{}, rc_on);
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_GT(on->stats.rc_fixed_vars, 0);
+  EXPECT_NEAR(on->objective, 2.0, 1e-9);
+
+  auto off = SolveIlp(m, SolverLimits{}, rc_off);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->stats.rc_fixed_vars, 0);
+  EXPECT_NEAR(off->objective, on->objective, 1e-9);
+}
+
+TEST(IlpReducedCostFixingTest, FractionalBoundsAreNeverFixed) {
+  // An integer variable resting on a *fractional* bound breaks the unit-
+  // step assumption behind d > gap (the move to the nearest integer can
+  // cost less than one reduced-cost unit), and fixing at the bound would
+  // not even be integer-feasible — such variables must be skipped.
+  // min 5*x0 + x1, integer x0 in [0.5, 10], integer x1 in [0, 10],
+  // x0 + x1 >= 2: optimum is x0=1, x1=1 with objective 6.
+  Model m;
+  m.AddVariable(0.5, 10, 5.0, true);
+  m.AddVariable(0, 10, 1.0, true);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 2, kInf, ""}).ok());
+  BranchAndBoundOptions no_presolve;  // keep the fractional bound visible
+  no_presolve.presolve = false;
+  auto r = SolveIlp(m, SolverLimits{}, no_presolve);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->objective, 6.0, 1e-9);
+  EXPECT_NEAR(r->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r->x[1], 1.0, 1e-9);
+}
+
+TEST(IlpReducedCostFixingTest, FixingNeverChangesTheOptimumOnRandomIlps) {
+  // A/B over random knapsack-with-cardinality models: identical objective
+  // with the whole sparse core on vs the pre-sparse baseline.
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> value(1.0, 10.0), weight(1.0, 5.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 10 + static_cast<int>(rng() % 20);
+    Model m;
+    m.set_sense(Sense::kMaximize);
+    RowDef cap, cnt;
+    for (int j = 0; j < n; ++j) {
+      m.AddVariable(0, 1, value(rng), true);
+      cap.vars.push_back(j);
+      cap.coefs.push_back(weight(rng));
+      cnt.vars.push_back(j);
+      cnt.coefs.push_back(1.0);
+    }
+    cap.lo = -kInf;
+    cap.hi = n / 2.0 + 0.25;  // fractional capacity forces branching
+    cnt.lo = 2;
+    cnt.hi = n / 3 + 2;
+    ASSERT_TRUE(m.AddRow(std::move(cap)).ok());
+    ASSERT_TRUE(m.AddRow(std::move(cnt)).ok());
+
+    BranchAndBoundOptions baseline;
+    baseline.presolve = false;
+    baseline.reduced_cost_fixing = false;
+    baseline.simplex.partial_pricing = false;
+    auto fast = SolveIlp(m);
+    auto slow = SolveIlp(m, SolverLimits{}, baseline);
+    ASSERT_EQ(fast.ok(), slow.ok()) << "trial " << trial;
+    if (!fast.ok()) continue;
+    EXPECT_NEAR(fast->objective, slow->objective,
+                1e-6 * (1.0 + std::abs(slow->objective)))
+        << "trial " << trial;
+    EXPECT_EQ(slow->stats.rc_fixed_vars, 0);
+    EXPECT_EQ(slow->stats.presolve_fixed_vars, 0);
+    EXPECT_EQ(slow->stats.pricing_candidate_hits, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Property test: branch-and-bound matches exhaustive enumeration on random
 // small ILPs (the ground-truth oracle).
 // ---------------------------------------------------------------------------

@@ -5,7 +5,9 @@
 
 #include "common/stopwatch.h"
 #include "lp/model.h"
+#include "lp/presolve.h"
 #include "lp/simplex.h"
+#include "lp/sparse_matrix.h"
 
 namespace paql::lp {
 namespace {
@@ -419,6 +421,276 @@ TEST(SimplexWarmStartTest, WarmInfeasibleMatchesCold) {
     LpResult c = cold.Solve(Deadline(10.0));
     EXPECT_EQ(w.status, c.status) << "seed " << seed;
     EXPECT_EQ(w.status, LpStatus::kInfeasible) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-column storage (CSC) and the attached-view fast path
+// ---------------------------------------------------------------------------
+
+TEST(SparseMatrixTest, FromModelMatchesRows) {
+  Model m;
+  for (int j = 0; j < 5; ++j) m.AddVariable(0, 1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{0, 2, 4}, {1.0, -2.0, 3.0}, 0, 5, "a"}).ok());
+  ASSERT_TRUE(m.AddRow({{1, 2}, {4.0, 5.0}, -kInf, 7, "b"}).ok());
+  SparseMatrix csc = SparseMatrix::FromModel(m);
+  EXPECT_EQ(csc.num_rows(), 2);
+  EXPECT_EQ(csc.num_cols(), 5);
+  EXPECT_EQ(csc.num_nonzeros(), 5u);
+  // Column 2 appears in both rows, ascending row order.
+  ASSERT_EQ(csc.end(2) - csc.begin(2), 2u);
+  EXPECT_EQ(csc.entry_row(csc.begin(2)), 0);
+  EXPECT_DOUBLE_EQ(csc.entry_value(csc.begin(2)), -2.0);
+  EXPECT_EQ(csc.entry_row(csc.begin(2) + 1), 1);
+  EXPECT_DOUBLE_EQ(csc.entry_value(csc.begin(2) + 1), 5.0);
+  // Column 3 is empty.
+  EXPECT_EQ(csc.begin(3), csc.end(3));
+  // Dots walk only nonzeros but agree with the dense product.
+  double y[2] = {2.0, -1.0};
+  EXPECT_DOUBLE_EQ(csc.ColumnDot(y, 2), 2.0 * -2.0 + -1.0 * 5.0);
+  EXPECT_DOUBLE_EQ(csc.ColumnDot(y, 3), 0.0);
+}
+
+TEST(SparseMatrixTest, AttachedColumnsSurviveSetRowBoundsNotAddRow) {
+  Model m;
+  for (int j = 0; j < 3; ++j) m.AddVariable(0, 1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{0, 1, 2}, {1.0, 1.0, 1.0}, 0, 2, ""}).ok());
+  m.AttachColumns(SparseMatrix::FromModel(m));
+  ASSERT_NE(m.attached_columns(), nullptr);
+  ASSERT_TRUE(m.SetRowBounds(0, 1, 2).ok());
+  EXPECT_NE(m.attached_columns(), nullptr);  // bounds live in RowDef
+  ASSERT_TRUE(m.AddRow({{0}, {1.0}, 0, 1, ""}).ok());
+  EXPECT_EQ(m.attached_columns(), nullptr);  // rows changed: view invalid
+}
+
+// ---------------------------------------------------------------------------
+// Presolve / postsolve round trips
+// ---------------------------------------------------------------------------
+
+TEST(PresolveTest, EmptyColumnsFixAtObjectiveBestBound) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int used = m.AddVariable(0, 4, 1.0, false);
+  m.AddVariable(0, 3, 2.0, false);   // empty, maximize pulls to ub
+  m.AddVariable(-1, 3, -2.0, false); // empty, maximize pulls to lb
+  m.AddVariable(0, kInf, 0.0, false);  // empty, no pull: lands on lb
+  ASSERT_TRUE(m.AddRow({{used}, {1.0}, -kInf, 2, ""}).ok());
+  PresolveInfo info;
+  Model reduced = PresolveModel(m, {}, &info);
+  ASSERT_FALSE(info.infeasible);
+  EXPECT_EQ(info.vars_fixed, 3);
+  ASSERT_EQ(reduced.num_vars(), 1);
+  SimplexSolver solver(reduced);
+  LpResult r = solver.Solve(Deadline(10.0));
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  std::vector<double> full = PostsolveSolution(info, r.x);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_DOUBLE_EQ(full[0], 2.0);
+  EXPECT_DOUBLE_EQ(full[1], 3.0);   // at ub
+  EXPECT_DOUBLE_EQ(full[2], -1.0);  // at lb
+  EXPECT_DOUBLE_EQ(full[3], 0.0);
+  EXPECT_TRUE(m.IsFeasible(full));
+  EXPECT_NEAR(m.ObjectiveValue(full), 2 + 6 + 2, 1e-9);
+}
+
+TEST(PresolveTest, EmptyIntegerColumnsRoundInward) {
+  // An empty integer column pulled to a fractional bound must round
+  // *inward* (ub = 2.5 fixes at 2, never round(2.5) = 3), and an integer
+  // box containing no integer at all proves infeasibility.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  int used = m.AddVariable(0, 1, 1.0, true);
+  m.AddVariable(0, 2.5, 1.0, true);    // empty, pulled to fractional ub
+  m.AddVariable(-1.5, 4, -1.0, true);  // empty, pulled to fractional lb
+  ASSERT_TRUE(m.AddRow({{used}, {1.0}, -kInf, 1, ""}).ok());
+  PresolveInfo info;
+  Model reduced = PresolveModel(m, {}, &info);
+  ASSERT_FALSE(info.infeasible);
+  std::vector<double> full =
+      PostsolveSolution(info, std::vector<double>(
+                                  static_cast<size_t>(reduced.num_vars()), 1.0));
+  EXPECT_DOUBLE_EQ(full[1], 2.0);   // floor(2.5), inside the box
+  EXPECT_DOUBLE_EQ(full[2], -1.0);  // ceil(-1.5), inside the box
+  EXPECT_TRUE(m.IsFeasible(full));
+
+  Model empty_box;
+  empty_box.set_sense(Sense::kMaximize);
+  empty_box.AddVariable(2.2, 2.8, 1.0, true);  // no integer in [2.2, 2.8]
+  PresolveInfo empty_info;
+  PresolveModel(empty_box, {}, &empty_info);
+  EXPECT_TRUE(empty_info.infeasible);
+}
+
+TEST(PresolveTest, ForcedRowPinsParticipants) {
+  // x + y >= 4 with x,y in [0,2]: the maximum activity equals the lower
+  // bound, so both variables pin at their upper bounds.
+  Model m;
+  m.AddVariable(0, 2, 1.0, false);
+  m.AddVariable(0, 2, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 4, kInf, ""}).ok());
+  PresolveInfo info;
+  Model reduced = PresolveModel(m, {}, &info);
+  ASSERT_FALSE(info.infeasible);
+  EXPECT_EQ(info.vars_fixed, 2);
+  EXPECT_EQ(reduced.num_vars(), 0);
+  std::vector<double> full = PostsolveSolution(info, {});
+  EXPECT_DOUBLE_EQ(full[0], 2.0);
+  EXPECT_DOUBLE_EQ(full[1], 2.0);
+  EXPECT_TRUE(m.IsFeasible(full));
+}
+
+TEST(PresolveTest, SingletonRowTightensIntegerBounds) {
+  // 2x <= 7 over integer x in [0, 10]: presolve rounds the implied bound
+  // down to 3 and drops the now-redundant row.
+  Model m;
+  m.AddVariable(0, 10, -1.0, true);
+  ASSERT_TRUE(m.AddRow({{0}, {2.0}, -kInf, 7, ""}).ok());
+  PresolveInfo info;
+  Model reduced = PresolveModel(m, {}, &info);
+  ASSERT_FALSE(info.infeasible);
+  ASSERT_EQ(reduced.num_vars(), 1);
+  EXPECT_DOUBLE_EQ(reduced.ub()[0], 3.0);
+  EXPECT_GT(info.bounds_tightened, 0);
+  EXPECT_EQ(info.rows_dropped, 1);
+  EXPECT_EQ(reduced.num_rows(), 0);
+}
+
+TEST(PresolveTest, ProvablyViolatedRowIsInfeasible) {
+  Model m;
+  m.AddVariable(0, 1, 1.0, false);
+  m.AddVariable(0, 1, 1.0, false);
+  ASSERT_TRUE(m.AddRow({{0, 1}, {1.0, 1.0}, 5, kInf, ""}).ok());
+  PresolveInfo info;
+  PresolveModel(m, {}, &info);
+  EXPECT_TRUE(info.infeasible);
+}
+
+class PresolveRoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PresolveRoundTripTest, PresolvedSolveMatchesDirectSolve) {
+  // Random bounded LPs with deliberately removable structure: some columns
+  // appear in no row, some rows are loose enough to be redundant, some
+  // tight enough to force. The presolved solve + postsolve must agree with
+  // solving the original model directly.
+  std::mt19937 rng(GetParam() * 7919u + 3);
+  std::uniform_int_distribution<int> nvars(3, 9), nrows(1, 4);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::bernoulli_distribution in_row(0.6), maximize(0.5);
+
+  int n = nvars(rng), k = nrows(rng);
+  Model m;
+  m.set_sense(maximize(rng) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < n; ++j) m.AddVariable(0, 2.0, coef(rng), false);
+  for (int i = 0; i < k; ++i) {
+    RowDef row;
+    for (int j = 0; j < n; ++j) {
+      if (!in_row(rng)) continue;
+      row.vars.push_back(j);
+      row.coefs.push_back(coef(rng));
+    }
+    row.lo = -kInf;
+    row.hi = 1.0 + std::abs(coef(rng));  // always allows x = 0
+    ASSERT_TRUE(m.AddRow(std::move(row)).ok());
+  }
+
+  SimplexSolver direct(m);
+  LpResult expected = direct.Solve(Deadline(10.0));
+  ASSERT_EQ(expected.status, LpStatus::kOptimal);  // x = 0 is feasible
+
+  PresolveInfo info;
+  Model reduced = PresolveModel(m, {}, &info);
+  ASSERT_FALSE(info.infeasible);
+  std::vector<double> full;
+  if (info.identity) {
+    // Nothing reducible: the caller solves the original model.
+    SimplexSolver solver(m);
+    LpResult r = solver.Solve(Deadline(10.0));
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    full = r.x;
+  } else if (reduced.num_vars() == 0) {
+    full = PostsolveSolution(info, {});
+  } else {
+    SimplexSolver solver(reduced);
+    LpResult r = solver.Solve(Deadline(10.0));
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    full = PostsolveSolution(info, r.x);
+  }
+  ASSERT_EQ(static_cast<int>(full.size()), n);
+  EXPECT_TRUE(m.IsFeasible(full, 1e-6));
+  EXPECT_NEAR(m.ObjectiveValue(full), expected.objective,
+              1e-6 * (1.0 + std::abs(expected.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, PresolveRoundTripTest,
+                         ::testing::Range(1u, 41u));
+
+// ---------------------------------------------------------------------------
+// Partial pricing: candidate-list devex vs the full-Dantzig baseline
+// ---------------------------------------------------------------------------
+
+TEST(SimplexPricingTest, PartialMatchesFullDantzigOnRandomLps) {
+  int64_t total_hits = 0;
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Model m = MakeKnapsackLp(600, seed);
+    SimplexOptions partial_opts, full_opts;
+    full_opts.partial_pricing = false;
+    SimplexSolver partial(m, partial_opts), full(m, full_opts);
+    LpResult p = partial.Solve(Deadline(10.0));
+    LpResult f = full.Solve(Deadline(10.0));
+    ASSERT_EQ(p.status, LpStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(f.status, LpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(p.objective, f.objective, 1e-7 * (1.0 + std::abs(f.objective)))
+        << "seed " << seed;
+    // The kill switch must actually kill.
+    EXPECT_EQ(f.pricing_candidate_hits, 0) << "seed " << seed;
+    total_hits += p.pricing_candidate_hits;
+  }
+  // Vacuity guard: the candidate list must have priced real pivots.
+  EXPECT_GT(total_hits, 0);
+}
+
+TEST(SimplexPricingTest, PartialPricingSurvivesWarmRestarts) {
+  // Bound changes + basis restores must not leave the candidate list or
+  // the devex weights pointing at a stale basis.
+  Model m = MakeKnapsackLp(400, 9);
+  SimplexSolver warm(m);
+  ASSERT_EQ(warm.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+  Basis root = warm.SnapshotBasis();
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> pick(0, m.num_vars() - 1);
+  for (int step = 0; step < 8; ++step) {
+    int var = pick(rng);
+    ASSERT_TRUE(warm.RestoreBasis(root));
+    warm.SetVarBounds(var, 0, 0);
+    LpResult w = warm.Solve(Deadline(10.0));
+    SimplexSolver cold(m, SimplexOptions{.warm_start = false,
+                                         .partial_pricing = false});
+    cold.SetVarBounds(var, 0, 0);
+    LpResult c = cold.Solve(Deadline(10.0));
+    ASSERT_EQ(w.status, c.status) << "step " << step;
+    ASSERT_EQ(w.status, LpStatus::kOptimal) << "step " << step;
+    EXPECT_NEAR(w.objective, c.objective, 1e-7 * (1.0 + std::abs(c.objective)))
+        << "step " << step;
+    warm.SetVarBounds(var, 0, 1);
+  }
+}
+
+TEST(SimplexPricingTest, EtaFileMatchesEagerRefactorization) {
+  // refactor_every = 1 collapses the eta file after every pivot (the
+  // pre-eta behaviour up to factorization); a long eta file must reach the
+  // same optimum.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Model m = MakeKnapsackLp(120, seed * 13);
+    SimplexOptions eager, lazy;
+    eager.refactor_every = 1;
+    lazy.refactor_every = 1 << 20;  // never collapse mid-solve
+    LpResult a = SimplexSolver(m, eager).Solve(Deadline(10.0));
+    LpResult b = SimplexSolver(m, lazy).Solve(Deadline(10.0));
+    ASSERT_EQ(a.status, LpStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(b.status, LpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-7 * (1.0 + std::abs(a.objective)))
+        << "seed " << seed;
   }
 }
 

@@ -411,5 +411,50 @@ TEST(CompiledQueryTest, TranslatedBudgetRowsYieldCoverCuts) {
   EXPECT_FALSE(cuts.empty());
 }
 
+TEST(CompiledQueryTest, BuildModelAttachesCscMatchingRows) {
+  // OR-free trees attach a CSC column view built straight from the leaf
+  // coefficient vectors; it must agree entry-for-entry with rebuilding the
+  // view from the emitted rows (the simplex solver's fallback path).
+  Table t = MakeRecipes();
+  CompiledQuery cq = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM T R REPEAT 1 "
+      "SUCH THAT COUNT(P.*) BETWEEN 1 AND 3 "
+      "AND (SELECT SUM(kcal) FROM P WHERE fat > 1) <= 2 "
+      "AND MIN(P.carbs) >= 0 "
+      "MINIMIZE SUM(P.fat)",
+      t);
+  std::vector<RowId> rows = cq.ComputeBaseRows(t);
+  for (bool vectorized : {false, true}) {
+    CompiledQuery::BuildOptions opts;
+    opts.vectorized = vectorized;
+    auto model = cq.BuildModel(t, rows, opts);
+    ASSERT_TRUE(model.ok()) << model.status();
+    const lp::SparseMatrix* attached = model->attached_columns();
+    ASSERT_NE(attached, nullptr) << "vectorized=" << vectorized;
+    lp::SparseMatrix rebuilt = lp::SparseMatrix::FromModel(*model);
+    ASSERT_EQ(attached->num_rows(), rebuilt.num_rows());
+    ASSERT_EQ(attached->num_cols(), rebuilt.num_cols());
+    ASSERT_EQ(attached->num_nonzeros(), rebuilt.num_nonzeros());
+    for (int j = 0; j < rebuilt.num_cols(); ++j) {
+      ASSERT_EQ(attached->begin(j), rebuilt.begin(j)) << "col " << j;
+      for (size_t k = rebuilt.begin(j); k < rebuilt.end(j); ++k) {
+        EXPECT_EQ(attached->entry_row(k), rebuilt.entry_row(k))
+            << "col " << j;
+        EXPECT_EQ(attached->entry_value(k), rebuilt.entry_value(k))
+            << "col " << j;
+      }
+    }
+  }
+
+  // OR queries grow big-M indicator columns: no attached view.
+  CompiledQuery or_query = MustCompile(
+      "SELECT PACKAGE(R) AS P FROM T R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) <= 1 OR SUM(P.kcal) >= 2",
+      t);
+  auto or_model = or_query.BuildModel(t, rows);
+  ASSERT_TRUE(or_model.ok()) << or_model.status();
+  EXPECT_EQ(or_model->attached_columns(), nullptr);
+}
+
 }  // namespace
 }  // namespace paql::translate
