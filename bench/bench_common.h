@@ -219,6 +219,20 @@ struct MicroSpeedup {
   double factor = 0;
 };
 
+/// The morsel-parallel suite's own BENCH_micro.json section. Parallel
+/// speedups scale with the core count, so they carry the worker count and
+/// the machine's hardware threads; the regression guard only compares two
+/// files whose hardware matches (a 1-core container measuring ~1x is not
+/// a regression against a 8-core baseline's 4x).
+struct ParallelBenchSection {
+  int workers = 0;
+  int hardware_threads = 0;
+  size_t scan_rows = 0;
+  int64_t bnb_nodes = 0;
+  std::vector<MicroMeasurement> entries;
+  std::vector<MicroSpeedup> speedups;
+};
+
 /// Write the BENCH_micro.json perf-trajectory record: per-kernel ns/row for
 /// the expression pipelines, per-solve µs for the solver paths (their own
 /// section, since the unit and problem size differ), plus the speedup
@@ -229,7 +243,7 @@ inline Status WriteBenchMicroJson(
     const std::vector<MicroMeasurement>& entries,
     const std::vector<MicroSpeedup>& speedups,
     const std::vector<MicroMeasurement>& solver_entries = {},
-    size_t solver_rows = 0) {
+    size_t solver_rows = 0, const ParallelBenchSection* parallel = nullptr) {
   std::ofstream os(path);
   if (!os) {
     return Status::InvalidArgument(StrCat("cannot write ", path));
@@ -254,6 +268,29 @@ inline Status WriteBenchMicroJson(
       os << "      \"" << solver_entries[i].name
          << "\": " << FormatDouble(solver_entries[i].ns_per_row, 3)
          << (i + 1 < solver_entries.size() ? "," : "") << "\n";
+    }
+    os << "    }\n";
+    os << "  },\n";
+  }
+  if (parallel != nullptr) {
+    os << "  \"parallel\": {\n";
+    os << "    \"workers\": " << parallel->workers << ",\n";
+    os << "    \"hardware_threads\": " << parallel->hardware_threads
+       << ",\n";
+    os << "    \"scan_rows\": " << parallel->scan_rows << ",\n";
+    os << "    \"bnb_nodes\": " << parallel->bnb_nodes << ",\n";
+    os << "    \"entries\": {\n";
+    for (size_t i = 0; i < parallel->entries.size(); ++i) {
+      os << "      \"" << parallel->entries[i].name
+         << "\": " << FormatDouble(parallel->entries[i].ns_per_row, 3)
+         << (i + 1 < parallel->entries.size() ? "," : "") << "\n";
+    }
+    os << "    },\n";
+    os << "    \"speedup\": {\n";
+    for (size_t i = 0; i < parallel->speedups.size(); ++i) {
+      os << "      \"" << parallel->speedups[i].name
+         << "\": " << FormatDouble(parallel->speedups[i].factor, 2)
+         << (i + 1 < parallel->speedups.size() ? "," : "") << "\n";
     }
     os << "    }\n";
     os << "  },\n";

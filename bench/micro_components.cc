@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/direct.h"
 #include "core/ratio_objective.h"
 #include "core/sketch_refine.h"
@@ -765,6 +766,143 @@ void RunSparseSolverMicroSuite(size_t pricing_rows, size_t presolve_cols,
   out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
 }
 
+/// Morsel-parallel suite, the fourth BENCH_micro.json section:
+///
+///  * parallel scan — the 1M-row predicate scan (the same kernel as the
+///    vectorized suite) at 1 worker vs `kWorkers`, through
+///    FilterTableVectorized's morsel-parallel path; results are asserted
+///    bit-identical before timing;
+///  * parallel branch-and-bound — a >= 1k-node knapsack search
+///    (cardinality + tight capacity, near-tied value/weight ratios) at
+///    threads = 1 (the exact serial search) vs threads = kWorkers (the
+///    shared-deque concurrent search); objectives are asserted equal.
+///
+/// The speedups are recorded in their own "parallel" JSON section carrying
+/// the worker count and the machine's hardware threads: unlike the solver
+/// ratios, these numbers scale with the core count (a single-core
+/// container measures ~1x — the workers timeslice), so the regression
+/// guard only compares files whose hardware matches.
+void RunParallelMicroSuite(size_t scan_rows, ParallelBenchSection* out) {
+  constexpr int kWorkers = 4;
+  out->workers = kWorkers;
+  out->hardware_threads = HardwareThreads();
+  out->scan_rows = scan_rows;
+
+  // --- Parallel scan over the shared Galaxy table. ---
+  MicroKernels k = MakeMicroKernels(scan_rows);
+  const relation::Table& t = *k.table;
+  std::vector<relation::RowId> serial_rows =
+      translate::FilterTableVectorized(t, k.batch_pred, 1);
+  std::vector<relation::RowId> parallel_rows =
+      translate::FilterTableVectorized(t, k.batch_pred, kWorkers);
+  PAQL_CHECK_MSG(serial_rows == parallel_rows,
+                 "parallel scan diverged: " << serial_rows.size() << " vs "
+                                            << parallel_rows.size()
+                                            << " surviving rows");
+  constexpr int kReps = 5;
+  double scan_serial_ns = BestNsPerRow(scan_rows, kReps, [&] {
+    benchmark::DoNotOptimize(translate::FilterTableVectorized(t, k.batch_pred, 1));
+  });
+  double scan_parallel_ns = BestNsPerRow(scan_rows, kReps, [&] {
+    benchmark::DoNotOptimize(
+        translate::FilterTableVectorized(t, k.batch_pred, kWorkers));
+  });
+
+  // --- Parallel branch-and-bound over a >= 1k-node knapsack. ---
+  // Near-tied value/weight ratios around a tight capacity keep the LP
+  // bound uninformative, so the search has to branch deep; the heuristics
+  // are off so the tree (and the serial/parallel work) stays the search
+  // itself.
+  std::mt19937_64 rng(20260727);
+  std::uniform_real_distribution<double> weight(1.0, 5.0);
+  std::uniform_real_distribution<double> jitter(0.95, 1.05);
+  lp::Model knapsack;
+  knapsack.set_sense(lp::Sense::kMaximize);
+  lp::RowDef count, cap;
+  constexpr int kCols = 120;
+  constexpr int kPick = 12;
+  double total_weight = 0;
+  for (int j = 0; j < kCols; ++j) {
+    double w = weight(rng);
+    int var = knapsack.AddVariable(0, 1, w * jitter(rng), true);
+    count.vars.push_back(var);
+    count.coefs.push_back(1.0);
+    cap.vars.push_back(var);
+    cap.coefs.push_back(w);
+    total_weight += w;
+  }
+  count.lo = count.hi = kPick;
+  cap.lo = -lp::kInf;
+  cap.hi = total_weight * kPick / (2.0 * kCols);
+  PAQL_CHECK(knapsack.AddRow(std::move(count)).ok());
+  PAQL_CHECK(knapsack.AddRow(std::move(cap)).ok());
+
+  ilp::BranchAndBoundOptions serial_opts, parallel_opts;
+  serial_opts.enable_rounding_heuristic = false;
+  serial_opts.enable_diving_heuristic = false;
+  parallel_opts = serial_opts;
+  serial_opts.threads = 1;
+  parallel_opts.threads = kWorkers;
+
+  auto serial_ref = ilp::SolveIlp(knapsack, {}, serial_opts);
+  auto parallel_ref = ilp::SolveIlp(knapsack, {}, parallel_opts);
+  PAQL_CHECK_MSG(serial_ref.ok() && parallel_ref.ok(),
+                 "parallel B&B suite did not solve");
+  PAQL_CHECK_MSG(std::abs(serial_ref->objective - parallel_ref->objective) <=
+                     1e-7 * (1.0 + std::abs(serial_ref->objective)),
+                 "parallel B&B diverged: " << serial_ref->objective << " vs "
+                                           << parallel_ref->objective);
+  PAQL_CHECK_MSG(serial_ref->stats.nodes >= 1000,
+                 "B&B suite explored only " << serial_ref->stats.nodes
+                                            << " nodes; not a real search");
+  PAQL_CHECK_MSG(parallel_ref->stats.parallel_nodes > 0,
+                 "the concurrent searcher never engaged");
+  out->bnb_nodes = serial_ref->stats.nodes;
+
+  constexpr int kBnbReps = 3;
+  double bnb_serial_s = std::numeric_limits<double>::infinity();
+  double bnb_parallel_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kBnbReps; ++rep) {
+    {
+      Stopwatch watch;
+      auto r = ilp::SolveIlp(knapsack, {}, serial_opts);
+      bnb_serial_s = std::min(bnb_serial_s, watch.ElapsedSeconds());
+      PAQL_CHECK(r.ok());
+    }
+    {
+      Stopwatch watch;
+      auto r = ilp::SolveIlp(knapsack, {}, parallel_opts);
+      bnb_parallel_s = std::min(bnb_parallel_s, watch.ElapsedSeconds());
+      PAQL_CHECK(r.ok());
+    }
+  }
+
+  out->entries.push_back({"parallel_scan_serial_ns_per_row", scan_serial_ns});
+  out->entries.push_back({"parallel_scan_4w_ns_per_row", scan_parallel_ns});
+  out->entries.push_back({"parallel_bnb_serial_us", bnb_serial_s * 1e6});
+  out->entries.push_back({"parallel_bnb_4w_us", bnb_parallel_s * 1e6});
+  out->speedups.push_back(
+      {"parallel_scan_1_vs_N", scan_serial_ns / scan_parallel_ns});
+  out->speedups.push_back(
+      {"parallel_bnb_1_vs_N", bnb_serial_s / bnb_parallel_s});
+
+  TablePrinter printer({"parallel path", "value", "speedup"});
+  printer.AddRow({out->entries[0].name,
+                  FormatDouble(out->entries[0].ns_per_row, 2), "1.00"});
+  printer.AddRow({out->entries[1].name,
+                  FormatDouble(out->entries[1].ns_per_row, 2),
+                  FormatDouble(out->speedups[0].factor, 2)});
+  printer.AddRow({out->entries[2].name,
+                  FormatDouble(out->entries[2].ns_per_row, 1), "1.00"});
+  printer.AddRow({out->entries[3].name,
+                  FormatDouble(out->entries[3].ns_per_row, 1),
+                  FormatDouble(out->speedups[1].factor, 2)});
+  std::cout << "== serial vs morsel-parallel (x" << kWorkers << " workers, "
+            << out->hardware_threads << " hardware threads, " << scan_rows
+            << "-row scan, " << out->bnb_nodes << "-node B&B) ==\n";
+  printer.Print(std::cout);
+}
+
 }  // namespace paql::bench
 
 int main(int argc, char** argv) {
@@ -786,9 +924,14 @@ int main(int argc, char** argv) {
                                       &speedups);
   paql::bench::RunSparseSolverMicroSuite(pricing_rows, presolve_cols,
                                          &solver_entries, &speedups);
+  // The parallel scan keeps its 1M rows even under --quick, like the
+  // pricing LP: the 1-vs-N ratio is the acceptance number and morsel
+  // overheads only amortize at scale.
+  paql::bench::ParallelBenchSection parallel;
+  paql::bench::RunParallelMicroSuite(1000000, &parallel);
   paql::Status written = paql::bench::WriteBenchMicroJson(
       "BENCH_micro.json", pipeline_rows, entries, speedups, solver_entries,
-      solver_rows);
+      solver_rows, &parallel);
   PAQL_CHECK_MSG(written.ok(), written);
   std::cout << "wrote BENCH_micro.json\n\n";
   benchmark::RunSpecifiedBenchmarks();

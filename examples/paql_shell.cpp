@@ -155,8 +155,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " <table.csv> [more.csv ...] [--sketchrefine tau]"
-                 " [--direct] [--parallel threads] [--threshold rows]"
-                 " [--topk k] [--explain] [--dump-lp] [--query 'PAQL']\n";
+                 " [--direct] [--parallel threads] [--threads n]"
+                 " [--threshold rows] [--topk k] [--explain] [--dump-lp]"
+                 " [--query 'PAQL']\n";
     return 2;
   }
 
@@ -199,6 +200,10 @@ int main(int argc, char** argv) {
       live.options().planner.force = Strategy::kDirect;
     } else if (arg == "--parallel" && i + 1 < argc) {
       live.options().planner.parallel_threads = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      // Engine-wide morsel parallelism (0 = hardware, 1 = serial): scans,
+      // partitioning statistics, and the branch-and-bound search.
+      live.options().exec.threads = std::atoi(argv[++i]);
     } else if (arg == "--threshold" && i + 1 < argc) {
       live.options().planner.direct_row_threshold =
           static_cast<size_t>(std::stoul(argv[++i]));

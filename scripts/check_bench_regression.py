@@ -16,6 +16,11 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
   * absolute solver timings — the us-per-solve / us-per-pivot entries,
     compared only under --strict-absolute (same-machine A/B runs); never
     in CI, where hardware differences would make the guard flaky.
+  * parallel speedups — the serial-vs-N-worker ratios in the "parallel"
+    section. These scale with the core count, so they are only compared
+    when both files were measured with the same worker count on the same
+    hardware_threads (a 1-core container measuring ~1x is not a
+    regression against an 8-core baseline's 4x, and vice versa).
 
 A missing entry in CURRENT fails: silently dropping a measurement is how
 perf regressions hide.
@@ -56,6 +61,34 @@ def main() -> int:
             f"skipping speedup comparison: baseline solver rows="
             f"{base_solver.get('rows')} vs current rows="
             f"{cur_solver.get('rows')} (ratios drift with problem size)")
+
+    base_parallel = base.get("parallel", {})
+    cur_parallel = cur.get("parallel", {})
+    hardware_match = (
+        base_parallel.get("hardware_threads") == cur_parallel.get("hardware_threads")
+        and base_parallel.get("workers") == cur_parallel.get("workers")
+        and base_parallel.get("scan_rows") == cur_parallel.get("scan_rows"))
+    if base_parallel and not cur_parallel:
+        failures.append("\"parallel\" section missing from current run")
+    elif base_parallel and hardware_match:
+        for name, b in base_parallel.get("speedup", {}).items():
+            c = cur_parallel.get("speedup", {}).get(name)
+            if c is None:
+                failures.append(f"parallel speedup '{name}' missing from current run")
+            elif c < b * (1 - tol):
+                failures.append(
+                    f"parallel speedup '{name}' regressed: {c:g} < {b:g} "
+                    f"* (1 - {tol:g})")
+            else:
+                print(f"ok parallel speedup {name}: {c:g} (baseline {b:g})")
+    elif base_parallel:
+        print(
+            f"skipping parallel speedups: baseline measured "
+            f"{base_parallel.get('workers')} workers on "
+            f"{base_parallel.get('hardware_threads')} hardware threads vs "
+            f"current {cur_parallel.get('workers')} on "
+            f"{cur_parallel.get('hardware_threads')} (core-count-dependent "
+            f"ratios do not transfer)")
 
     if strict_absolute and sizes_match:
         for name, b in base_solver.get("entries", {}).items():

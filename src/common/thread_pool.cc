@@ -1,0 +1,195 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace paql {
+
+namespace {
+/// Which pool (if any) the current thread is a worker of, and its index.
+/// Lets Submit push to the submitting worker's own deque (the LIFO fast
+/// path) and keeps nested ParallelFor calls from waiting on themselves.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  int n = std::max(1, workers);
+  deques_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain-then-stop: workers only exit once every queued task has run.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker_index;  // own deque: popped LIFO, cache-hot
+  } else {
+    target = round_robin_.fetch_add(1, std::memory_order_relaxed) %
+             deques_.size();
+  }
+  // The pending count rises before the task becomes poppable: the
+  // opposite order would let a fast TryPop+fetch_sub underflow the
+  // counter to SIZE_MAX and keep idle workers spinning.
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(fn));
+  }
+  // The empty critical section pairs with the worker's check-then-wait
+  // under sleep_mu_: a worker between its pending check and its wait
+  // cannot miss this notification.
+  { std::lock_guard<std::mutex> lock(sleep_mu_); }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t index, std::function<void()>* out) {
+  // Own deque, newest first.
+  {
+    Deque& own = *deques_[index];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal, oldest first, scanning from the next worker around the ring.
+  for (size_t k = 1; k < deques_.size(); ++k) {
+    Deque& victim = *deques_[(index + k) % deques_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  std::function<void()> task;
+  for (;;) {
+    if (TryPop(index, &task)) {
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+/// Shared state of one ParallelFor: workers claim the next morsel with one
+/// atomic increment; the caller waits until every claimed morsel finished.
+struct ThreadPool::ForState {
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t morsels = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Claim and run morsels until none are left. Every claimed morsel is
+  /// counted in `done` (skipped ones too) so the caller's wait terminates.
+  /// The claim happens before anything caller-owned (`cancel`, `fn`) is
+  /// touched: a straggler helper that fires after the caller already
+  /// returned claims m >= morsels and exits without dereferencing either
+  /// (the caller's stack may be gone by then); a valid claim, conversely,
+  /// holds up the caller's done-count until it completes, keeping both
+  /// pointers alive.
+  void Drain() {
+    for (;;) {
+      size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels) return;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        size_t begin = m * grain;
+        size_t end = std::min(n, begin + grain);
+        (*fn)(begin, end);
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == morsels) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+bool ThreadPool::ParallelFor(size_t n, size_t grain, int workers,
+                             const std::function<void(size_t, size_t)>& fn,
+                             const std::atomic<bool>* cancel) {
+  if (n == 0) return true;
+  if (grain == 0) grain = 1;
+  size_t morsels = (n + grain - 1) / grain;
+  // Serial fast path: one morsel, one permitted worker, or nothing to gain.
+  if (workers <= 1 || morsels == 1) {
+    for (size_t m = 0; m < morsels; ++m) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return false;
+      }
+      fn(m * grain, std::min(n, (m + 1) * grain));
+    }
+    return true;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->cancel = cancel;
+  state->n = n;
+  state->grain = grain;
+  state->morsels = morsels;
+
+  // Helpers beyond the caller; no point queuing more than there are
+  // morsels left to claim or workers to run them.
+  size_t helpers = std::min<size_t>(
+      {static_cast<size_t>(workers) - 1, morsels - 1, deques_.size()});
+  for (size_t i = 0; i < helpers; ++i) {
+    // The shared_ptr keeps the state alive for helpers that fire after the
+    // caller already returned (they find no morsels and exit immediately).
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->morsels;
+    });
+  }
+  return !state->cancelled.load(std::memory_order_relaxed);
+}
+
+}  // namespace paql

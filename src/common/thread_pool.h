@@ -1,0 +1,123 @@
+// Process-wide morsel-driven thread pool (the parallel execution layer).
+//
+// Every parallel path in the system — chunked predicate scans, model
+// coefficient fills, per-group partitioning statistics, speculative group
+// refinement, and the concurrent branch-and-bound search — draws its
+// workers from one shared, lazily-started pool instead of spawning raw
+// std::threads per call. Two primitives cover all of them:
+//
+//  * Submit(fn)   — enqueue one task onto the work-stealing deques. Each
+//    worker owns a deque: it pushes and pops its own back (LIFO, keeps a
+//    task's children cache-hot) and steals from other workers' fronts
+//    (FIFO, takes the oldest — largest — pending work). External threads
+//    submit round-robin.
+//
+//  * ParallelFor(n, grain, workers, fn, cancel) — morsel-driven data
+//    parallelism: [0, n) is cut into fixed morsels of `grain` items and
+//    idle workers claim the next morsel with one atomic increment (the
+//    scheme of Leis et al.'s morsel-driven query execution). The calling
+//    thread participates, so the primitive needs no free worker to make
+//    progress: it degrades to a serial loop under load, nests safely
+//    (a pool worker may call ParallelFor), and never deadlocks.
+//
+// Determinism: morsel boundaries depend only on (n, grain), never on the
+// worker count or claim timing. Callers keep results bit-for-bit identical
+// to a serial run by writing to disjoint per-morsel slots and merging in
+// ascending morsel order; order-sensitive float accumulation stays inside
+// a single morsel. `threads = 1` bypasses the pool entirely.
+//
+// Cancellation: ParallelFor checks `cancel` before claiming each morsel
+// and returns false once it trips; already-running morsels finish (they
+// are short by construction), unclaimed ones are skipped.
+#ifndef PAQL_COMMON_THREAD_POOL_H_
+#define PAQL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paql {
+
+/// Hardware concurrency with the conventional fallback when the runtime
+/// cannot report it (std::thread::hardware_concurrency() may return 0).
+inline int HardwareThreads() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
+/// The one place a requested thread count becomes an effective one:
+/// <= 0 means "use the hardware" (the ExecContext::threads default);
+/// explicit requests are honored up to a sanity cap — oversubscribing a
+/// small machine is legitimate (the OS timeslices; correctness tests and
+/// races need real concurrency even on single-core CI runners).
+inline int ClampThreads(int requested) {
+  constexpr int kMaxThreads = 256;
+  if (requested <= 0) return HardwareThreads();
+  return requested < kMaxThreads ? requested : kMaxThreads;
+}
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, started on first use with HardwareThreads()
+  /// workers. Never destroyed (workers park on a condition variable when
+  /// idle), so no static-destruction-order hazards.
+  static ThreadPool& Global();
+
+  /// A private pool (tests, isolation). `workers` is clamped to >= 1.
+  explicit ThreadPool(int workers);
+
+  /// Drains every queued task, then stops and joins the workers. Tasks
+  /// submitted before destruction always run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task. Runs on some pool worker, eventually.
+  void Submit(std::function<void()> fn);
+
+  /// Run `fn(begin, end)` over every morsel [i*grain, min(n, (i+1)*grain))
+  /// of [0, n). At most `workers` threads touch the loop (the caller plus
+  /// up to workers-1 pool workers); workers <= 1 or a single morsel runs
+  /// serially inline. Blocks until every morsel has run (or been skipped
+  /// by cancellation). Returns false iff `cancel` tripped before all
+  /// morsels ran.
+  bool ParallelFor(size_t n, size_t grain, int workers,
+                   const std::function<void(size_t, size_t)>& fn,
+                   const std::atomic<bool>* cancel = nullptr);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop(size_t index);
+  /// Pop a task: own back first, then steal other fronts. Returns false
+  /// when every deque is empty.
+  bool TryPop(size_t index, std::function<void()>* out);
+
+  std::vector<std::thread> workers_;
+  // One mutex-guarded deque per worker. The problem sizes here (tens of
+  // tasks, morsel claims going through an atomic counter instead of the
+  // deques) never make these mutexes hot; a lock-free Chase-Lev deque
+  // would buy nothing but risk.
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<size_t> pending_{0};    // queued, not yet started
+  std::atomic<size_t> round_robin_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_THREAD_POOL_H_

@@ -28,8 +28,10 @@ Result<EvalResult> DirectEvaluator::Evaluate(
   // chunked scan on the vectorized pipeline, a row-at-a-time loop on the
   // scalar one (identical result either way).
   std::vector<relation::RowId> candidates =
-      options_.vectorized ? query.ComputeBaseRowsVectorized(*table_)
-                          : query.ComputeBaseRows(*table_);
+      options_.vectorized
+          ? query.ComputeBaseRowsVectorized(*table_,
+                                            options_.EffectiveThreads())
+          : query.ComputeBaseRows(*table_);
   return SolveCandidates(query, candidates,
                          translate_watch.ElapsedSeconds());
 }
@@ -41,8 +43,8 @@ Result<EvalResult> DirectEvaluator::EvaluateOnRows(
     return Status::ResourceExhausted("evaluation cancelled");
   }
   Stopwatch translate_watch;
-  std::vector<relation::RowId> candidates =
-      query.FilterBaseRows(*table_, rows, options_.vectorized);
+  std::vector<relation::RowId> candidates = query.FilterBaseRows(
+      *table_, rows, options_.vectorized, options_.EffectiveThreads());
   return SolveCandidates(query, candidates,
                          translate_watch.ElapsedSeconds());
 }
@@ -61,6 +63,7 @@ Result<EvalResult> DirectEvaluator::SolveCandidates(
   Stopwatch translate_watch;
   translate::CompiledQuery::BuildOptions build;
   build.vectorized = options_.vectorized;
+  build.threads = options_.EffectiveThreads();
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(*table_, candidates, build));
   result.stats.translate_seconds =

@@ -47,11 +47,14 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
   }
 
   Stopwatch translate_watch;
-  std::vector<RowId> candidates = options_.vectorized
-                                      ? query.ComputeBaseRowsVectorized(*table_)
-                                      : query.ComputeBaseRows(*table_);
+  std::vector<RowId> candidates =
+      options_.vectorized
+          ? query.ComputeBaseRowsVectorized(*table_,
+                                            options_.EffectiveThreads())
+          : query.ComputeBaseRows(*table_);
   CompiledQuery::BuildOptions base_build;
   base_build.vectorized = options_.vectorized;
+  base_build.threads = options_.EffectiveThreads();
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(*table_, candidates, base_build));
   result.stats.translate_seconds = translate_watch.ElapsedSeconds();
@@ -137,6 +140,7 @@ Result<EvalResult> LpRoundingEvaluator::EvaluateWithInfo(
     CompiledQuery::BuildOptions build;
     build.activity_offset = &offsets;
     build.vectorized = options_.vectorized;
+    build.threads = options_.EffectiveThreads();
     PAQL_ASSIGN_OR_RETURN(lp::Model repair_model,
                           query.BuildModel(*table_, repair_rows, build));
     PAQL_ASSIGN_OR_RETURN(

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace paql::core {
 
@@ -35,9 +36,11 @@ Result<EvalResult> NaiveSelfJoinEvaluator::Evaluate(
   EvalResult result;
   Deadline deadline(options_.time_limit_s);
 
-  std::vector<RowId> base = options_.vectorized
-                                ? query.ComputeBaseRowsVectorized(*table_)
-                                : query.ComputeBaseRows(*table_);
+  std::vector<RowId> base =
+      options_.vectorized
+          ? query.ComputeBaseRowsVectorized(*table_,
+                                            ClampThreads(options_.threads))
+          : query.ComputeBaseRows(*table_);
   size_t n = base.size();
   if (static_cast<size_t>(cardinality) > n) {
     return Status::Infeasible(

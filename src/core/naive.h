@@ -31,6 +31,11 @@ struct NaiveOptions {
   /// WHERE scan is this evaluator's only per-tuple loop over the table;
   /// the combination enumeration itself is inherently row-at-a-time).
   bool vectorized = true;
+
+  /// Workers for that base scan (morsel-parallel off the shared pool when
+  /// > 1; 0 = hardware concurrency). The enumeration stays serial — it is
+  /// the deliberately naive baseline.
+  int threads = 1;
 };
 
 /// Exhaustive self-join-style evaluator for fixed-cardinality queries with

@@ -92,6 +92,7 @@ void EvalStats::Accumulate(const ilp::IlpStats& ilp) {
   pricing_candidate_hits += ilp.pricing_candidate_hits;
   rc_fixed_vars += ilp.rc_fixed_vars;
   presolve_fixed_vars += ilp.presolve_fixed_vars;
+  parallel_bnb_nodes += ilp.parallel_nodes;
   peak_memory_bytes = std::max(peak_memory_bytes, ilp.peak_memory_bytes);
 }
 

@@ -73,6 +73,10 @@ struct EvalStats {
   /// (CompiledQuery::UpdateModelOffsets) instead of rebuilt.
   int64_t warm_model_reuses = 0;
 
+  /// Branch-and-bound nodes explored by the concurrent (threads > 1)
+  /// search across all ILP solves (zero when every search ran serially).
+  int64_t parallel_bnb_nodes = 0;
+
   // Parallel-evaluation counters (core/parallel.h; zero elsewhere).
   int threads_used = 0;
   /// Speculative parallel refinement conflicted and the evaluator fell

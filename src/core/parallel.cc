@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace paql::core {
 
@@ -20,10 +21,23 @@ using translate::CompiledQuery;
 
 namespace {
 
-int ClampThreads(int requested) {
-  int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw <= 0) hw = 4;
-  return std::clamp(requested, 1, hw);
+/// The evaluator's fan-out: the explicit num_threads override when set,
+/// otherwise the engine-level ExecContext::threads knob (satellite of the
+/// morsel-parallelism work: one setting controls the whole stack).
+int ResolveWorkers(const ParallelOptions& options) {
+  int requested = options.num_threads > 0 ? options.num_threads
+                                          : options.sketch_refine.threads;
+  return ClampThreads(requested);
+}
+
+/// Per-worker solver settings: each racer / group subproblem is one unit
+/// of the fan-out, so nested morsel parallelism and the concurrent
+/// branch-and-bound stay off inside it (the thread budget is already
+/// spent at this level).
+SketchRefineOptions SerialInner(const SketchRefineOptions& base) {
+  SketchRefineOptions opts = base;
+  opts.threads = 1;
+  return opts;
 }
 
 }  // namespace
@@ -71,7 +85,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::Evaluate(
 Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
     const CompiledQuery& query) const {
   Stopwatch total;
-  const int threads = ClampThreads(options_.num_threads);
+  const int threads = ResolveWorkers(options_);
   // The race needs its own cancel flag (the winner stops the losers), but
   // the caller may have supplied one too; a monitor bridges it so external
   // cancellation still stops every racer.
@@ -83,7 +97,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
   int infeasible_count = 0;
 
   auto racer = [&](int i) {
-    SketchRefineOptions opts = options_.sketch_refine;
+    SketchRefineOptions opts = SerialInner(options_.sketch_refine);
     opts.seed = options_.sketch_refine.seed + static_cast<uint64_t>(i);
     opts.cancel = &cancel;
     SketchRefineEvaluator evaluator(*table_, *partitioning_, opts);
@@ -106,9 +120,9 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) pool.emplace_back(racer, i);
+  // Racers borrow shared-pool workers (the calling thread participates);
+  // the only raw thread left is the cancellation monitor, a sleeping
+  // poller that bridges the caller's flag into the race.
   std::atomic<bool> race_done{false};
   std::thread monitor;
   if (external != nullptr) {
@@ -122,7 +136,11 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
       }
     });
   }
-  for (auto& t : pool) t.join();
+  ThreadPool::Global().ParallelFor(
+      static_cast<size_t>(threads), 1, threads,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) racer(static_cast<int>(i));
+      });
   race_done.store(true, std::memory_order_relaxed);
   if (monitor.joinable()) monitor.join();
 
@@ -149,7 +167,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateOrderingRace(
 Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
     const CompiledQuery& query) const {
   Stopwatch total;
-  const int threads = ClampThreads(options_.num_threads);
+  const int threads = ResolveWorkers(options_);
   EvalStats stats;
 
   // The fallback inherits whatever the speculative attempt already paid for
@@ -169,6 +187,7 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
       result->stats.pricing_candidate_hits += partial.pricing_candidate_hits;
       result->stats.rc_fixed_vars += partial.rc_fixed_vars;
       result->stats.presolve_fixed_vars += partial.presolve_fixed_vars;
+      result->stats.parallel_bnb_nodes += partial.parallel_bnb_nodes;
       result->stats.peak_memory_bytes = std::max(
           result->stats.peak_memory_bytes, partial.peak_memory_bytes);
       result->stats.parallel_fallback = true;
@@ -183,9 +202,9 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
   const bool vectorized = options_.sketch_refine.vectorized;
   Stopwatch translate_watch;
   std::vector<std::vector<RowId>> group_rows(partitioning_->num_groups());
-  std::vector<RowId> base = vectorized
-                                ? query.ComputeBaseRowsVectorized(*table_)
-                                : query.ComputeBaseRows(*table_);
+  std::vector<RowId> base =
+      vectorized ? query.ComputeBaseRowsVectorized(*table_, threads)
+                 : query.ComputeBaseRows(*table_);
   for (RowId r : base) {
     group_rows[partitioning_->gid[r]].push_back(r);
   }
@@ -253,53 +272,49 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
     if (rep_mult[i] > 0) picked_groups.push_back(i);
   }
   std::vector<GroupOutcome> outcomes(picked_groups.size());
-  std::atomic<size_t> next{0};
 
-  auto worker = [&]() {
-    for (;;) {
-      size_t job = next.fetch_add(1, std::memory_order_relaxed);
-      if (job >= picked_groups.size()) return;
-      if (options_.sketch_refine.Cancelled()) {
-        outcomes[job].status =
-            Status::ResourceExhausted("evaluation cancelled");
-        continue;
-      }
-      size_t i = picked_groups[job];
-      size_t g = active[i];
-      GroupOutcome& out = outcomes[job];
-      // Offsets: everything in the sketch except this group's rep.
-      std::vector<double> offsets = query.LeafActivities(
-          partitioning_->representatives, {rep_rows[i]}, {rep_mult[i]});
-      for (size_t k = 0; k < offsets.size(); ++k) {
-        offsets[k] = total_acts[k] - offsets[k];
-      }
-      CompiledQuery::BuildOptions build;
-      build.activity_offset = &offsets;
-      build.vectorized = vectorized;
-      auto model = query.BuildModel(*table_, group_rows[g], build);
-      if (!model.ok()) {
-        out.status = model.status();
-        continue;  // keep draining the queue; assembly reports the failure
-      }
-      auto sol =
-          ilp::SolveIlp(*model, options_.sketch_refine.limits,
-                        options_.sketch_refine.EffectiveBranchAndBound());
-      if (!sol.ok()) {
-        out.status = sol.status();
-        continue;  // other groups may still be useful for diagnostics
-      }
-      out.ilp = sol->stats;
-      out.mults.resize(group_rows[g].size());
-      for (size_t k = 0; k < group_rows[g].size(); ++k) {
-        out.mults[k] = std::llround(sol->x[k]);
-      }
+  // Per-group refine subproblems are the units of the fan-out: one morsel
+  // each, claimed off the shared pool (the calling thread participates),
+  // with morsel parallelism and the concurrent search disabled inside.
+  const SketchRefineOptions inner = SerialInner(options_.sketch_refine);
+  auto run_job = [&](size_t job) {
+    if (options_.sketch_refine.Cancelled()) {
+      outcomes[job].status = Status::ResourceExhausted("evaluation cancelled");
+      return;
+    }
+    size_t i = picked_groups[job];
+    size_t g = active[i];
+    GroupOutcome& out = outcomes[job];
+    // Offsets: everything in the sketch except this group's rep.
+    std::vector<double> offsets = query.LeafActivities(
+        partitioning_->representatives, {rep_rows[i]}, {rep_mult[i]});
+    for (size_t k = 0; k < offsets.size(); ++k) {
+      offsets[k] = total_acts[k] - offsets[k];
+    }
+    CompiledQuery::BuildOptions build;
+    build.activity_offset = &offsets;
+    build.vectorized = vectorized;
+    auto model = query.BuildModel(*table_, group_rows[g], build);
+    if (!model.ok()) {
+      out.status = model.status();
+      return;  // keep draining the queue; assembly reports the failure
+    }
+    auto sol = ilp::SolveIlp(*model, inner.limits,
+                             inner.EffectiveBranchAndBound());
+    if (!sol.ok()) {
+      out.status = sol.status();
+      return;  // other groups may still be useful for diagnostics
+    }
+    out.ilp = sol->stats;
+    out.mults.resize(group_rows[g].size());
+    for (size_t k = 0; k < group_rows[g].size(); ++k) {
+      out.mults[k] = std::llround(sol->x[k]);
     }
   };
-  std::vector<std::thread> pool;
-  int workers = std::min<int>(threads, static_cast<int>(picked_groups.size()));
-  pool.reserve(static_cast<size_t>(workers));
-  for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  ThreadPool::Global().ParallelFor(
+      picked_groups.size(), 1, threads, [&](size_t begin, size_t end) {
+        for (size_t job = begin; job < end; ++job) run_job(job);
+      });
 
   // Charge every completed group solve to the stats first, so a failure in
   // one group does not silently discard the others' solver work.

@@ -49,9 +49,14 @@ struct ParallelOptions {
 
   ParallelMode mode = ParallelMode::kGroupParallel;
 
-  /// Worker threads (clamped to 1..hardware_concurrency). For
-  /// kOrderingRace this is also the number of orderings raced.
-  int num_threads = 4;
+  /// Worker count override. 0 (the default) inherits the engine-level
+  /// knob — `sketch_refine.threads`, i.e. ExecContext::threads — so one
+  /// setting controls the whole stack; a positive value pins this
+  /// evaluator's fan-out regardless of the context (the planner's
+  /// parallel_threads escape hatch). For kOrderingRace the resolved count
+  /// is also the number of orderings raced. Workers are borrowed from the
+  /// shared process-wide pool (common/thread_pool.h), not spawned.
+  int num_threads = 0;
 };
 
 /// Parallel package evaluation over a fixed table + offline partitioning.

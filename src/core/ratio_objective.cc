@@ -55,11 +55,14 @@ Result<EvalResult> RatioObjectiveEvaluator::Evaluate(
 
   EvalResult result;
   Stopwatch translate_watch;
-  std::vector<RowId> rows = options_.vectorized
-                                ? cq.ComputeBaseRowsVectorized(*table_)
-                                : cq.ComputeBaseRows(*table_);
+  std::vector<RowId> rows =
+      options_.vectorized
+          ? cq.ComputeBaseRowsVectorized(*table_,
+                                         options_.EffectiveThreads())
+          : cq.ComputeBaseRows(*table_);
   CompiledQuery::BuildOptions build;
   build.vectorized = options_.vectorized;
+  build.threads = options_.EffectiveThreads();
   PAQL_ASSIGN_OR_RETURN(lp::Model model, cq.BuildModel(*table_, rows, build));
 
   std::vector<double> numerator(rows.size(), 0.0);

@@ -51,9 +51,11 @@ class Driver {
     // runs chunked through the batch pipeline when enabled.
     Stopwatch translate_watch;
     std::vector<std::vector<RowId>> group_rows(partitioning_.num_groups());
-    std::vector<RowId> base = options_.vectorized
-                                  ? query_.ComputeBaseRowsVectorized(table_)
-                                  : query_.ComputeBaseRows(table_);
+    std::vector<RowId> base =
+        options_.vectorized
+            ? query_.ComputeBaseRowsVectorized(table_,
+                                               options_.EffectiveThreads())
+            : query_.ComputeBaseRows(table_);
     for (RowId r : base) {
       group_rows[partitioning_.gid[r]].push_back(r);
     }
@@ -145,7 +147,8 @@ class Driver {
       seg.ub_override = &prob.ub;
       PAQL_ASSIGN_OR_RETURN(lp::Model model,
                             query_.BuildModelSegments({seg}, &offsets,
-                                                      options_.vectorized));
+                                                      options_.vectorized,
+                                                      options_.EffectiveThreads()));
       PAQL_ASSIGN_OR_RETURN(ilp::IlpSolution sol, SolveModel(model));
       return RoundMults(sol.x, prob.rows.size());
     }
@@ -226,7 +229,8 @@ class Driver {
       seg.ub_override = &sub.ub;
       PAQL_ASSIGN_OR_RETURN(lp::Model model,
                             query_.BuildModelSegments({seg}, &offsets,
-                                                      options_.vectorized));
+                                                      options_.vectorized,
+                                                      options_.EffectiveThreads()));
       cache->model = std::move(model);
       cache->built = true;
     }
@@ -410,7 +414,8 @@ class Driver {
     std::vector<double> acts =
         options_.vectorized
             ? query_.LeafActivitiesVectorized(*prob.table, orig_rows,
-                                              orig_mults)
+                                              orig_mults,
+                                              options_.EffectiveThreads())
             : query_.LeafActivities(*prob.table, orig_rows, orig_mults);
     std::vector<double> rep_acts =
         query_.LeafActivities(*groups.rep_table, rep_rows, rep_mults);
@@ -538,7 +543,8 @@ class Driver {
     PAQL_ASSIGN_OR_RETURN(
         lp::Model model,
         query_.BuildModelSegments({seg_orig, seg_rep}, &offsets,
-                                  options_.vectorized));
+                                  options_.vectorized,
+                                  options_.EffectiveThreads()));
     PAQL_ASSIGN_OR_RETURN(ilp::IlpSolution sol, SolveModel(model));
     HybridResult out;
     out.group_mults = RoundMults(sol.x, orig_rows.size());

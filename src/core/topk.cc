@@ -38,11 +38,14 @@ Result<std::vector<EvalResult>> EnumerateTopPackages(
     return Status::InvalidArgument("min_difference must be at least 1");
   }
 
-  std::vector<RowId> candidates = options.vectorized
-                                      ? query.ComputeBaseRowsVectorized(table)
-                                      : query.ComputeBaseRows(table);
+  std::vector<RowId> candidates =
+      options.vectorized
+          ? query.ComputeBaseRowsVectorized(table,
+                                            options.EffectiveThreads())
+          : query.ComputeBaseRows(table);
   translate::CompiledQuery::BuildOptions build;
   build.vectorized = options.vectorized;
+  build.threads = options.EffectiveThreads();
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(table, candidates, build));
 

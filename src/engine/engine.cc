@@ -58,6 +58,7 @@ void FillPlanExecFlags(const ExecContext& exec, const CompiledQuery& compiled,
   plan->vectorized = exec.vectorized && compiled.ilp.fully_vectorizable();
   plan->warm_start = exec.warm_start;
   plan->pricing = exec.pricing;
+  plan->exec_threads = exec.EffectiveThreads();
 }
 
 
@@ -214,6 +215,7 @@ Session::PartitioningFor(const ResolvedQuery& resolved, Plan* plan) {
   partition::PartitionOptions popts;
   popts.attributes = attributes;
   popts.size_threshold = tau;
+  popts.threads = options_.exec.EffectiveThreads();
   auto built = partition::PartitionTable(*resolved.table, popts);
   if (!built.ok()) return built.status();
   auto partitioning =
@@ -250,8 +252,12 @@ Result<std::unique_ptr<engine::PackageEvaluator>> Session::MakeStrategy(
     case Strategy::kParallelSketchRefine: {
       PAQL_ASSIGN_OR_RETURN(auto partitioning,
                             PartitioningFor(resolved, plan));
-      int threads = std::max(2, plan->threads);
-      plan->threads = threads;
+      // An explicit planner grant pins the fan-out; 0 lets the evaluator
+      // inherit ExecContext::threads (the plan reports the resolved count
+      // either way).
+      int threads = std::max(0, plan->threads);
+      plan->threads =
+          threads > 0 ? threads : options_.exec.EffectiveThreads();
       return std::unique_ptr<engine::PackageEvaluator>(
           new ParallelSketchRefineStrategy(resolved.table,
                                            std::move(partitioning), threads));

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_pool.h"
 #include "ilp/branch_and_bound.h"
 #include "ilp/solver_limits.h"
 
@@ -84,14 +85,31 @@ struct ExecContext {
   /// `vectorized` and `warm_start`, a kill switch and A/B baseline.
   bool pricing = true;
 
-  /// Branch-and-bound options with the context-level warm_start and
-  /// pricing toggles applied — what every strategy hands to ilp::SolveIlp.
+  /// Worker threads for intra-query parallelism: the morsel-driven chunk
+  /// pipeline (parallel scans, coefficient fills, per-group partitioning
+  /// statistics) and the concurrent branch-and-bound search all draw this
+  /// many workers from the shared process-wide pool. 0 = hardware
+  /// concurrency (the default), 1 = the serial behaviour of earlier
+  /// releases, reproduced exactly (same scans, same search order, same
+  /// bits). Results for threads=N are identical to threads=1 up to
+  /// branch-and-bound tie-breaking among equally-optimal incumbents (the
+  /// differential sweep enforces feasibility + objective equality).
+  int threads = 0;
+
+  /// The resolved worker count (>= 1): `threads`, with 0 mapped to the
+  /// hardware concurrency.
+  int EffectiveThreads() const { return ClampThreads(threads); }
+
+  /// Branch-and-bound options with the context-level warm_start, pricing,
+  /// and threads knobs applied — what every strategy hands to
+  /// ilp::SolveIlp.
   ilp::BranchAndBoundOptions EffectiveBranchAndBound() const {
     ilp::BranchAndBoundOptions bnb = branch_and_bound;
     bnb.warm_start = warm_start;
     bnb.simplex.partial_pricing = pricing;
     bnb.presolve = pricing;
     bnb.reduced_cost_fixing = pricing;
+    bnb.threads = EffectiveThreads();
     return bnb;
   }
 

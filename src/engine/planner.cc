@@ -57,7 +57,9 @@ Plan Planner::Decide(const relation::Table& table,
     plan.reason = StrCat("explicit override: strategy forced to ",
                          StrategyName(options_.force));
     if (plan.strategy == Strategy::kParallelSketchRefine) {
-      plan.threads = std::max(2, options_.parallel_threads);
+      // 0 = no explicit grant: the evaluator inherits ExecContext::threads
+      // (the engine reports the resolved count on the plan).
+      plan.threads = std::max(0, options_.parallel_threads);
     }
     return plan;
   }
@@ -123,8 +125,11 @@ std::string Plan::Explain() const {
   os << "direct row threshold: " << direct_row_threshold << "\n";
   os << "pipeline: "
      << (vectorized ? "vectorized (1024-row batches)"
-                    : "scalar (row-at-a-time)")
-     << "\n";
+                    : "scalar (row-at-a-time)");
+  if (vectorized && exec_threads > 1) {
+    os << ", morsel-parallel x" << exec_threads;
+  }
+  os << "\n";
   os << "solver: "
      << (warm_start ? "warm-started (dual simplex basis reuse)"
                     : "cold (primal from scratch per node)")
@@ -132,6 +137,10 @@ std::string Plan::Explain() const {
      << (pricing ? "partial pricing (devex candidates + presolve + "
                    "reduced-cost fixing)"
                  : "full Dantzig pricing (presolve off)")
+     << ", "
+     << (exec_threads > 1
+             ? StrCat("concurrent branch-and-bound x", exec_threads)
+             : "serial branch-and-bound")
      << "\n";
   if (shape.ratio_objective) os << "ratio objective: yes\n";
   if (shape.joined_from) os << "joined FROM: materialized before planning\n";

@@ -85,6 +85,11 @@ struct Plan {
   /// session from ExecContext::pricing.
   bool pricing = true;
 
+  /// Effective degree of parallelism: the resolved ExecContext::threads
+  /// worker count the morsel-driven pipeline and the concurrent
+  /// branch-and-bound run with (1 = serial). Filled by the session.
+  int exec_threads = 1;
+
   // Partitioning details, filled by the session for SKETCHREFINE plans.
   std::vector<std::string> partition_attributes;
   size_t partition_size_threshold = 0;  // tau

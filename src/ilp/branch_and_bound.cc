@@ -1,12 +1,20 @@
 #include "ilp/branch_and_bound.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "lp/presolve.h"
 
 namespace paql::ilp {
@@ -447,6 +455,561 @@ class Searcher {
   PendingBranch pending_;
 };
 
+// ---------------------------------------------------------------------------
+// Concurrent branch-and-bound (BranchAndBoundOptions::threads > 1)
+// ---------------------------------------------------------------------------
+
+/// Trees smaller than this many integer columns are searched serially even
+/// when threads are granted: sharing a two-level tree across workers costs
+/// more in solver construction and queue traffic than the search itself.
+constexpr int kMinVarsForParallelSearch = 64;
+
+/// Branch variable for the stateless rules (most-/first-fractional); the
+/// pseudo-cost rule needs per-variable history and stays serial.
+int PickBranchVarStateless(const lp::Model& model, const std::vector<double>& x,
+                           double tol, BranchRule rule) {
+  int best = -1;
+  double best_dist = tol;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (!model.is_integer()[j]) continue;
+    double frac = x[j] - std::floor(x[j]);
+    double dist = std::min(frac, 1.0 - frac);
+    if (dist <= tol) continue;
+    if (rule == BranchRule::kFirstFractional) return j;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Shared-deque concurrent search. The root (LP solve, rounding and diving
+/// heuristics, reduced-cost fixing) runs serially on the calling thread,
+/// exactly as the serial Searcher's root does; the open children then go
+/// onto a shared work deque that `threads` workers — each with its own
+/// SimplexSolver — drain concurrently. Workers pop newest-first (the
+/// depth-first, warm-basis-friendly order) and prune against an atomic
+/// shared incumbent. Every frame carries the bound changes on its path
+/// from the root plus its parent's basis, so any worker can evaluate any
+/// frame: it resets its solver to the (post-fixing) root bounds, applies
+/// the path, restores the parent basis, and re-optimizes with the dual
+/// simplex — the same warm start the serial search does, made
+/// worker-local.
+class ParallelSearcher {
+ public:
+  ParallelSearcher(const lp::Model& model, const SolverLimits& limits,
+                   const BranchAndBoundOptions& options, IlpWarmStart* warm,
+                   int threads)
+      : model_(model),
+        limits_(limits),
+        options_(options),
+        warm_(options.warm_start ? warm : nullptr),
+        threads_(threads),
+        deadline_(limits.time_limit_s),
+        sign_(model.sense() == lp::Sense::kMaximize ? -1.0 : 1.0),
+        incumbent_obj_atomic_(std::numeric_limits<double>::infinity()) {}
+
+  Result<IlpSolution> Run() {
+    Stopwatch watch;
+    Status status = Search();
+    stats_.wall_seconds = watch.ElapsedSeconds();
+    stats_.peak_memory_bytes = EstimatedBytes();
+    if (!status.ok() && !status.IsResourceExhausted()) return status;
+    if (!has_incumbent_) {
+      if (status.IsResourceExhausted()) return status;
+      return Status::Infeasible("no feasible package assignment exists");
+    }
+    // Same budget semantics as the serial searcher: an overrun fails the
+    // solve unless optimality was proven before the budget tripped.
+    if (status.IsResourceExhausted() && !stats_.proven_optimal) {
+      return status;
+    }
+    IlpSolution solution;
+    solution.x = incumbent_;
+    solution.objective = sign_ * incumbent_obj_;
+    solution.stats = FinalStats();
+    return solution;
+  }
+
+  IlpStats FinalStats() const {
+    IlpStats out;
+    out.nodes = stats_.nodes.load(std::memory_order_relaxed);
+    out.lp_iterations = stats_.lp_iterations;
+    out.max_depth = stats_.max_depth;
+    out.wall_seconds = stats_.wall_seconds;
+    out.peak_memory_bytes = stats_.peak_memory_bytes;
+    out.root_bound = stats_.root_bound;
+    out.proven_optimal = stats_.proven_optimal;
+    out.warm_lp_solves = stats_.warm_lp_solves;
+    out.pricing_candidate_hits = stats_.pricing_candidate_hits;
+    out.rc_fixed_vars = stats_.rc_fixed_vars;
+    out.parallel_nodes = out.nodes;
+    return out;
+  }
+
+ private:
+  struct BoundChange {
+    int var;
+    double lb, ub;
+  };
+
+  /// One open node: the bound changes on its root path and the basis its
+  /// parent LP solved to (shared between siblings).
+  struct Frame {
+    std::vector<BoundChange> path;
+    std::shared_ptr<const lp::Basis> parent_basis;
+    double parent_bound = 0;  // internal-minimize LP bound of the parent
+    uint64_t seq = 0;         // creation order, the incumbent tie-break
+  };
+
+  size_t EstimatedBytes() const {
+    return base_bytes_ +
+           static_cast<size_t>(stats_.nodes.load(std::memory_order_relaxed)) *
+               (SolverLimits::kBytesPerOpenNode / 2);
+  }
+
+  Status CheckBudgets() const {
+    if (limits_.time_limit_s > 0 && deadline_.Expired()) {
+      return Status::ResourceExhausted(
+          StrCat("ILP time limit of ", limits_.time_limit_s, "s exceeded"));
+    }
+    int64_t nodes = stats_.nodes.load(std::memory_order_relaxed);
+    if (limits_.max_nodes > 0 && nodes >= limits_.max_nodes) {
+      return Status::ResourceExhausted(
+          StrCat("ILP node limit of ", limits_.max_nodes, " exceeded"));
+    }
+    if (limits_.memory_budget_bytes > 0 &&
+        EstimatedBytes() > limits_.memory_budget_bytes) {
+      return Status::ResourceExhausted(
+          StrCat("ILP memory budget of ",
+                 FormatBytes(limits_.memory_budget_bytes), " exceeded (",
+                 FormatBytes(EstimatedBytes()), " in use; solver thrashing)"));
+    }
+    return Status::OK();
+  }
+
+  double IncumbentCutoff(double obj) const {
+    return obj - options_.gap_tol * (1.0 + std::abs(obj));
+  }
+
+  /// Try to install `x` (snapped to integers) as the shared incumbent.
+  /// Acceptance is strict improvement by 1e-12 — the serial rule — with
+  /// the frame sequence number breaking near-ties deterministically, so
+  /// which of two equally-good solutions wins does not depend on which
+  /// worker got there first.
+  void OfferIncumbent(const std::vector<double>& x, uint64_t seq) {
+    std::vector<double> snapped = x;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (model_.is_integer()[j]) snapped[j] = std::round(snapped[j]);
+    }
+    if (!model_.IsFeasible(snapped, 1e-6)) return;
+    double obj = sign_ * model_.ObjectiveValue(snapped);
+    std::lock_guard<std::mutex> lock(incumbent_mu_);
+    bool better = !has_incumbent_ || obj < incumbent_obj_ - 1e-12;
+    bool tied_earlier = has_incumbent_ && !better &&
+                        obj < incumbent_obj_ + 1e-12 && seq < incumbent_seq_;
+    if (better || tied_earlier) {
+      has_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_seq_ = seq;
+      incumbent_ = std::move(snapped);
+      incumbent_obj_atomic_.store(obj, std::memory_order_relaxed);
+    }
+  }
+
+  /// Thread-local view of the shared counters one worker accumulates
+  /// between merges (merged under stats_mu_ when the worker exits).
+  struct WorkerStats {
+    int64_t lp_iterations = 0;
+    int64_t warm_lp_solves = 0;
+    int64_t pricing_candidate_hits = 0;
+    int64_t max_depth = 0;
+  };
+
+  /// Record a failure (first one wins) and wake every waiting worker.
+  void Abort(Status status) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (abort_status_.ok()) abort_status_ = status;
+    aborted_.store(true, std::memory_order_relaxed);
+    queue_cv_.notify_all();
+  }
+
+  void PushChildren(Frame&& far_child, Frame&& near_child) {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    // Newest-first pops: push far then near so the nearest child — the
+    // serial search's first choice — is evaluated first.
+    outstanding_ += 2;
+    queue_.push_back(std::move(far_child));
+    queue_.push_back(std::move(near_child));
+    queue_cv_.notify_all();
+  }
+
+  /// Mark one popped frame fully processed; wakes everyone when the last
+  /// one finishes so idle workers can exit.
+  void FinishFrame() {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (--outstanding_ == 0) queue_cv_.notify_all();
+  }
+
+  /// Pop the next frame, waiting while the deque is empty but other
+  /// workers may still produce children. Returns false when the search is
+  /// over (drained or aborted).
+  bool PopFrame(Frame* out) {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    for (;;) {
+      if (aborted_.load(std::memory_order_relaxed)) return false;
+      if (!queue_.empty()) {
+        *out = std::move(queue_.back());
+        queue_.pop_back();
+        return true;
+      }
+      if (outstanding_ == 0) return false;
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+  }
+
+  /// One worker: drain frames until the tree is exhausted or a budget
+  /// trips. `solver` starts at the post-fixing root bounds.
+  void WorkerLoop(lp::SimplexSolver* solver) {
+    WorkerStats local;
+    std::vector<int> applied;  // vars whose bounds differ from the root
+    Frame frame;
+    while (PopFrame(&frame)) {
+      Status budget = CheckBudgets();
+      if (!budget.ok()) {
+        FinishFrame();
+        Abort(budget);
+        break;
+      }
+      // No incumbent yet = +inf sentinel; the cutoff arithmetic would turn
+      // that into NaN, so the prune tests are guarded on finiteness.
+      double inc = incumbent_obj_atomic_.load(std::memory_order_relaxed);
+      if (std::isfinite(inc) && frame.parent_bound >= IncumbentCutoff(inc)) {
+        FinishFrame();
+        continue;
+      }
+      stats_.nodes.fetch_add(1, std::memory_order_relaxed);
+      local.max_depth = std::max<int64_t>(
+          local.max_depth, static_cast<int64_t>(frame.path.size()));
+      // Rebase the solver onto this frame: undo the previous frame's
+      // bound changes, apply this one's path, re-seed the parent basis.
+      for (int var : applied) {
+        solver->SetVarBounds(var, root_lb_[static_cast<size_t>(var)],
+                             root_ub_[static_cast<size_t>(var)]);
+      }
+      applied.clear();
+      for (const BoundChange& bc : frame.path) {
+        solver->SetVarBounds(bc.var, bc.lb, bc.ub);
+        applied.push_back(bc.var);
+      }
+      if (options_.warm_start && frame.parent_basis != nullptr &&
+          frame.parent_basis->valid) {
+        solver->RestoreBasis(*frame.parent_basis);
+      }
+      lp::LpResult lp = solver->Solve(deadline_);
+      local.lp_iterations += lp.iterations;
+      local.pricing_candidate_hits += lp.pricing_candidate_hits;
+      if (lp.used_dual) ++local.warm_lp_solves;
+      if (lp.status == lp::LpStatus::kTimeLimit) {
+        FinishFrame();
+        Abort(Status::ResourceExhausted("LP time limit during node solve"));
+        break;
+      }
+      if (lp.status == lp::LpStatus::kIterationLimit) {
+        FinishFrame();
+        Abort(Status::ResourceExhausted("LP iteration limit"));
+        break;
+      }
+      // kInfeasible and (defensively) kUnbounded children are pruned.
+      if (lp.status == lp::LpStatus::kOptimal) {
+        double bound = sign_ * lp.objective;
+        inc = incumbent_obj_atomic_.load(std::memory_order_relaxed);
+        if (!std::isfinite(inc) || bound < IncumbentCutoff(inc)) {
+          int branch_var = PickBranchVarStateless(
+              model_, lp.x, options_.integrality_tol, options_.branch_rule);
+          if (branch_var < 0) {
+            OfferIncumbent(lp.x, frame.seq);
+          } else {
+            auto basis = options_.warm_start
+                             ? std::make_shared<const lp::Basis>(
+                                   solver->SnapshotBasis())
+                             : nullptr;
+            double v = lp.x[branch_var];
+            double floor_v = std::floor(v);
+            double lb = solver->var_lb(branch_var);
+            double ub = solver->var_ub(branch_var);
+            bool down_first = (v - floor_v) <= 0.5;
+            Frame down, up;
+            down.path = frame.path;
+            down.path.push_back({branch_var, lb, floor_v});
+            up.path = frame.path;
+            up.path.push_back({branch_var, floor_v + 1.0, ub});
+            down.parent_basis = up.parent_basis = basis;
+            down.parent_bound = up.parent_bound = bound;
+            down.seq = next_seq_.fetch_add(2, std::memory_order_relaxed);
+            up.seq = down.seq + 1;
+            bool down_ok = lb <= floor_v;
+            bool up_ok = floor_v + 1.0 <= ub;
+            if (down_ok && up_ok) {
+              if (down_first) {
+                PushChildren(std::move(up), std::move(down));
+              } else {
+                PushChildren(std::move(down), std::move(up));
+              }
+            } else if (down_ok || up_ok) {
+              std::lock_guard<std::mutex> lock(queue_mu_);
+              ++outstanding_;
+              queue_.push_back(down_ok ? std::move(down) : std::move(up));
+              queue_cv_.notify_all();
+            }
+          }
+        }
+      }
+      FinishFrame();
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.lp_iterations += local.lp_iterations;
+    stats_.warm_lp_solves += local.warm_lp_solves;
+    stats_.pricing_candidate_hits += local.pricing_candidate_hits;
+    stats_.max_depth = std::max(stats_.max_depth, local.max_depth);
+  }
+
+  /// Root reduced-cost fixing against `solver` (the root worker's), the
+  /// serial searcher's proof verbatim: only called before any frame is
+  /// queued, so the fixes are permanent for every worker (each copies the
+  /// post-fixing bounds as its root state).
+  void ApplyReducedCostFixing(lp::SimplexSolver* solver) {
+    if (!options_.reduced_cost_fixing || !root_data_valid_ || !has_incumbent_) {
+      return;
+    }
+    double gap = IncumbentCutoff(incumbent_obj_) - root_bound_internal_;
+    if (gap < 0) gap = 0;
+    const double margin = 1e-9 * (1.0 + std::abs(root_bound_internal_));
+    using VarStatus = lp::SimplexSolver::VarStatus;
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      if (!model_.is_integer()[j]) continue;
+      double lbj = solver->var_lb(j), ubj = solver->var_ub(j);
+      if (lbj == ubj) continue;
+      auto st = static_cast<VarStatus>(root_status_[static_cast<size_t>(j)]);
+      double d = root_reduced_costs_[static_cast<size_t>(j)];
+      if (st == VarStatus::kAtLower && lbj == std::floor(lbj) &&
+          d > gap + margin) {
+        solver->SetVarBounds(j, lbj, lbj);
+        ++stats_.rc_fixed_vars;
+      } else if (st == VarStatus::kAtUpper && ubj == std::floor(ubj) &&
+                 -d > gap + margin) {
+        solver->SetVarBounds(j, ubj, ubj);
+        ++stats_.rc_fixed_vars;
+      }
+    }
+  }
+
+  /// Root diving heuristic on the root worker's solver (bounds rolled
+  /// back), as in the serial search.
+  void Dive(lp::SimplexSolver* solver, const std::vector<double>& root_x) {
+    std::vector<std::tuple<int, double, double>> undo;
+    std::vector<double> x = root_x;
+    for (int depth = 0; depth < options_.dive_max_depth; ++depth) {
+      int j = PickBranchVarStateless(model_, x, options_.integrality_tol,
+                                     options_.branch_rule);
+      if (j < 0) {
+        OfferIncumbent(x, 0);
+        break;
+      }
+      double target = std::round(x[j]);
+      target = std::clamp(target, solver->var_lb(j), solver->var_ub(j));
+      undo.emplace_back(j, solver->var_lb(j), solver->var_ub(j));
+      solver->SetVarBounds(j, target, target);
+      lp::LpResult lp = solver->Solve(deadline_);
+      stats_.lp_iterations += lp.iterations;
+      stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+      if (lp.used_dual) ++stats_.warm_lp_solves;
+      if (lp.status != lp::LpStatus::kOptimal) break;
+      x = lp.x;
+    }
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      solver->SetVarBounds(std::get<0>(*it), std::get<1>(*it),
+                           std::get<2>(*it));
+    }
+  }
+
+  Status Search() {
+    // --- Root phase, serial (mirrors the serial searcher's root). ---
+    lp::SimplexSolver root_solver(model_, SimplexOptionsFor(options_));
+    base_bytes_ = root_solver.ApproximateBytes() *
+                      static_cast<size_t>(threads_) +
+                  model_.ApproximateBytes();
+    PAQL_RETURN_IF_ERROR(CheckBudgets());
+    stats_.nodes.fetch_add(1, std::memory_order_relaxed);
+    if (warm_ != nullptr) root_solver.RestoreBasis(warm_->root_basis);
+    lp::LpResult lp = root_solver.Solve(deadline_);
+    stats_.lp_iterations += lp.iterations;
+    stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+    if (lp.used_dual) ++stats_.warm_lp_solves;
+    if (warm_ != nullptr) warm_->root_basis = root_solver.SnapshotBasis();
+    if (lp.status == lp::LpStatus::kTimeLimit) {
+      return Status::ResourceExhausted("LP time limit during root solve");
+    }
+    if (lp.status == lp::LpStatus::kIterationLimit) {
+      return Status::ResourceExhausted("LP iteration limit");
+    }
+    if (lp.status == lp::LpStatus::kUnbounded) {
+      return Status::Unbounded("ILP relaxation is unbounded");
+    }
+    if (lp.status != lp::LpStatus::kOptimal) {
+      stats_.proven_optimal = has_incumbent_;
+      return Status::OK();  // infeasible root: no package exists
+    }
+    double bound = sign_ * lp.objective;
+    stats_.root_bound = lp.objective;
+    if (options_.reduced_cost_fixing && model_.num_integer_vars() > 0) {
+      root_bound_internal_ = bound;
+      root_reduced_costs_ = root_solver.ReducedCosts();
+      root_status_ = root_solver.SnapshotBasis().status;
+      root_data_valid_ = true;
+    }
+    if (options_.enable_rounding_heuristic) OfferIncumbent(lp.x, 0);
+    ApplyReducedCostFixing(&root_solver);
+    bool pruned =
+        has_incumbent_ && bound >= IncumbentCutoff(incumbent_obj_);
+    int branch_var =
+        pruned ? -1
+               : PickBranchVarStateless(model_, lp.x, options_.integrality_tol,
+                                        options_.branch_rule);
+    if (!pruned && branch_var < 0) OfferIncumbent(lp.x, 0);
+    if (pruned || branch_var < 0) {
+      stats_.proven_optimal = has_incumbent_;
+      return Status::OK();
+    }
+    auto root_basis = options_.warm_start
+                          ? std::make_shared<const lp::Basis>(
+                                root_solver.SnapshotBasis())
+                          : nullptr;
+    if (options_.enable_diving_heuristic) {
+      Dive(&root_solver, lp.x);
+      ApplyReducedCostFixing(&root_solver);
+    }
+    // The post-fixing bounds are the root state every worker rebases onto.
+    root_lb_.resize(static_cast<size_t>(model_.num_vars()));
+    root_ub_.resize(static_cast<size_t>(model_.num_vars()));
+    for (int j = 0; j < model_.num_vars(); ++j) {
+      root_lb_[static_cast<size_t>(j)] = root_solver.var_lb(j);
+      root_ub_[static_cast<size_t>(j)] = root_solver.var_ub(j);
+    }
+    double v = lp.x[branch_var];
+    double floor_v = std::floor(v);
+    Frame down, up;
+    down.path.push_back({branch_var, root_lb_[static_cast<size_t>(branch_var)],
+                         floor_v});
+    up.path.push_back({branch_var, floor_v + 1.0,
+                       root_ub_[static_cast<size_t>(branch_var)]});
+    down.parent_basis = up.parent_basis = root_basis;
+    down.parent_bound = up.parent_bound = bound;
+    down.seq = 1;
+    up.seq = 2;
+    next_seq_.store(3, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      bool down_first = (v - floor_v) <= 0.5;
+      if (down.path.back().lb <= down.path.back().ub) ++outstanding_;
+      if (up.path.back().lb <= up.path.back().ub) ++outstanding_;
+      auto push = [&](Frame&& f) {
+        if (f.path.back().lb <= f.path.back().ub) queue_.push_back(std::move(f));
+      };
+      if (down_first) {
+        push(std::move(up));
+        push(std::move(down));
+      } else {
+        push(std::move(down));
+        push(std::move(up));
+      }
+    }
+
+    // --- Concurrent drain: `threads_` workers off the shared pool, each
+    // --- with its own simplex instance rebased to the root bounds.
+    ThreadPool::Global().ParallelFor(
+        static_cast<size_t>(threads_), 1, threads_,
+        [&](size_t begin, size_t end) {
+          for (size_t w = begin; w < end; ++w) {
+            if (w == 0) {
+              // The root worker reuses the root solver (and its basis).
+              WorkerLoop(&root_solver);
+            } else {
+              lp::SimplexSolver solver(model_, SimplexOptionsFor(options_));
+              for (int j = 0; j < model_.num_vars(); ++j) {
+                solver.SetVarBounds(j, root_lb_[static_cast<size_t>(j)],
+                                    root_ub_[static_cast<size_t>(j)]);
+              }
+              WorkerLoop(&solver);
+            }
+          }
+        });
+
+    if (aborted_.load(std::memory_order_relaxed)) {
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        status = abort_status_;
+      }
+      return status.ok() ? Status::ResourceExhausted("search aborted") : status;
+    }
+    stats_.proven_optimal = has_incumbent_;
+    return Status::OK();
+  }
+
+  /// IlpStats twin whose hot counters are atomics (merged into the real
+  /// struct at the end of Run).
+  struct AtomicStats {
+    std::atomic<int64_t> nodes{0};
+    int64_t lp_iterations = 0;
+    int64_t max_depth = 0;
+    int64_t warm_lp_solves = 0;
+    int64_t pricing_candidate_hits = 0;
+    int64_t rc_fixed_vars = 0;
+    double root_bound = 0;
+    bool proven_optimal = false;
+    double wall_seconds = 0;
+    size_t peak_memory_bytes = 0;
+  } stats_;
+
+  const lp::Model& model_;
+  SolverLimits limits_;
+  BranchAndBoundOptions options_;
+  IlpWarmStart* warm_;
+  int threads_;
+  Deadline deadline_;
+  double sign_;
+  size_t base_bytes_ = 0;
+
+  // Shared incumbent.
+  std::mutex incumbent_mu_;
+  bool has_incumbent_ = false;
+  double incumbent_obj_ = 0;
+  uint64_t incumbent_seq_ = 0;
+  std::vector<double> incumbent_;
+  std::atomic<double> incumbent_obj_atomic_;
+
+  // Shared work deque.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Frame> queue_;
+  size_t outstanding_ = 0;  // popped-or-queued frames not yet finished
+  std::atomic<bool> aborted_{false};
+  Status abort_status_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::mutex stats_mu_;
+
+  // Post-fixing root bounds (per-variable), the worker rebase target.
+  std::vector<double> root_lb_, root_ub_;
+
+  // Root LP data for reduced-cost fixing (internal minimize space).
+  bool root_data_valid_ = false;
+  double root_bound_internal_ = 0;
+  std::vector<double> root_reduced_costs_;
+  std::vector<uint8_t> root_status_;
+};
+
 }  // namespace
 
 const char* BranchRuleName(BranchRule rule) {
@@ -505,6 +1068,24 @@ lp::Model AddRootCuts(const lp::Model& model,
   return augmented;
 }
 
+/// Run the branch-and-bound search over `model`: the concurrent searcher
+/// when the caller granted threads, the search is big enough to share,
+/// and the branch rule is stateless; the exact serial search otherwise
+/// (threads = 1 therefore reproduces the historical search to the pivot).
+Result<IlpSolution> RunSearch(const lp::Model& model,
+                              const SolverLimits& limits,
+                              const BranchAndBoundOptions& options,
+                              IlpWarmStart* warm) {
+  int threads = ClampThreads(options.threads);
+  if (threads > 1 && model.num_integer_vars() >= kMinVarsForParallelSearch &&
+      options.branch_rule != BranchRule::kPseudoCost) {
+    ParallelSearcher searcher(model, limits, options, warm, threads);
+    return searcher.Run();
+  }
+  Searcher searcher(model, limits, options, warm);
+  return searcher.Run();
+}
+
 /// Cut-and-branch over a (possibly presolved) model: the pre-presolve
 /// SolveIlp body, unchanged.
 Result<IlpSolution> SolveWithCuts(const lp::Model& model,
@@ -513,8 +1094,7 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
                                   IlpWarmStart* warm) {
   if (!options.cuts.enable || model.num_integer_vars() == 0 ||
       model.num_rows() == 0) {
-    Searcher searcher(model, limits, options, warm);
-    return searcher.Run();
+    return RunSearch(model, limits, options, warm);
   }
   Stopwatch cut_watch;
   Deadline deadline(limits.time_limit_s);
@@ -529,8 +1109,7 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
     search_limits.time_limit_s =
         std::max(1e-3, search_limits.time_limit_s - cut_seconds);
   }
-  Searcher searcher(augmented, search_limits, options, warm);
-  auto solution = searcher.Run();
+  auto solution = RunSearch(augmented, search_limits, options, warm);
   if (solution.ok()) {
     solution->stats.cuts_added = cuts_added;
     solution->stats.cut_rounds = cut_rounds;

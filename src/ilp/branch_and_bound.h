@@ -43,6 +43,10 @@ struct IlpStats {
   /// the search started (zero when presolve is off or found nothing).
   int64_t presolve_fixed_vars = 0;
   int64_t presolve_dropped_rows = 0;
+  /// Nodes explored by the concurrent (threads > 1) search; zero when the
+  /// serial depth-first search ran — the observable that says whether the
+  /// shared-deque machinery actually engaged.
+  int64_t parallel_nodes = 0;
 };
 
 /// A feasible (and, when stats.proven_optimal, optimal) integer solution.
@@ -96,6 +100,19 @@ struct BranchAndBoundOptions {
   /// Root cutting planes (cut-and-branch). Valid cuts never change the
   /// optimum; they tighten the relaxation before the search starts.
   CutOptions cuts;
+  /// Worker threads for the branch-and-bound search (0 = hardware
+  /// concurrency). 1 runs the exact serial depth-first search of earlier
+  /// releases. > 1 searches a shared work deque of frames concurrently:
+  /// the root (solve, rounding, dive, reduced-cost fixing) runs serially,
+  /// then per-worker simplex solvers evaluate frames against an atomic
+  /// shared incumbent, each re-optimizing from its frame's parent basis
+  /// (the PR-3 warm start) when warm_start is on. Parallel search engages
+  /// only past a model-size floor (tiny trees cost more to share than to
+  /// solve) and for deterministic branch rules; pseudo-cost branching
+  /// keeps its serial history and falls back to one worker. The optimum
+  /// found is the same; only which equally-optimal solution is returned
+  /// may differ with the interleaving.
+  int threads = 1;
 };
 
 /// Cross-solve warm-start state: the basis of the previous solve's root LP.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "relation/chunk.h"
 #include "relation/csv.h"
 
@@ -25,15 +26,50 @@ double ColumnMean(const Table& table, const std::vector<RowId>& rows,
   return relation::GatherMean(table, col, rows);
 }
 
+/// Run fn(i) for i in [0, n), in parallel off the shared pool when
+/// `threads` > 1. Every i writes its own slot, so results never depend on
+/// the worker count; the float work inside each i is serial.
+template <typename Fn>
+void ParallelIndexFor(size_t n, int threads, const Fn& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Global().ParallelFor(n, 1, threads,
+                                   [&](size_t begin, size_t end) {
+                                     for (size_t i = begin; i < end; ++i) {
+                                       fn(i);
+                                     }
+                                   });
+}
+
+/// Per-attribute means over `rows` (the group centroid), computed in
+/// parallel across attributes: each mean's accumulation stays serial, so
+/// the centroid is bit-identical for any worker count.
+std::vector<double> GroupCentroid(const Table& table,
+                                  const std::vector<RowId>& rows,
+                                  const std::vector<size_t>& cols,
+                                  int threads) {
+  std::vector<double> centroid(cols.size());
+  ParallelIndexFor(cols.size(), threads, [&](size_t k) {
+    centroid[k] = ColumnMean(table, rows, cols[k]);
+  });
+  return centroid;
+}
+
 /// Max |centroid - value| over `rows` across the partitioning columns.
+/// The per-attribute max folds run morsel-parallel (max is exactly
+/// associative, so the result is unchanged).
 double GroupRadius(const Table& table, const std::vector<RowId>& rows,
                    const std::vector<size_t>& cols,
-                   const std::vector<double>& centroid) {
+                   const std::vector<double>& centroid, int threads = 1) {
+  std::vector<double> per_attr(cols.size(), 0.0);
+  ParallelIndexFor(cols.size(), threads, [&](size_t k) {
+    per_attr[k] =
+        relation::GatherMaxAbsDeviation(table, cols[k], rows, centroid[k]);
+  });
   double radius = 0;
-  for (size_t k = 0; k < cols.size(); ++k) {
-    radius = std::max(radius, relation::GatherMaxAbsDeviation(
-                                  table, cols[k], rows, centroid[k]));
-  }
+  for (double r : per_attr) radius = std::max(radius, r);
   return radius;
 }
 
@@ -44,10 +80,11 @@ class QuadTreeBuilder {
                   std::vector<size_t> part_cols)
       : table_(table), options_(options), part_cols_(std::move(part_cols)) {
     // Full-table value range per attribute (split-score normalization),
-    // scanned chunk at a time.
+    // scanned chunk at a time; the min/max folds run morsel-parallel.
     attr_scale_.assign(part_cols_.size(), 0.0);
     for (size_t k = 0; k < part_cols_.size(); ++k) {
-      auto [lo, hi] = relation::ColumnMinMax(table, part_cols_[k]);
+      auto [lo, hi] =
+          relation::ColumnMinMax(table, part_cols_[k], options.threads);
       attr_scale_[k] = table.num_rows() > 0 ? hi - lo : 0.0;
     }
   }
@@ -60,11 +97,10 @@ class QuadTreeBuilder {
  private:
   Status Split(std::vector<RowId> rows, int depth, Partitioning* out) {
     if (rows.empty()) return Status::OK();
-    std::vector<double> centroid(part_cols_.size());
-    for (size_t k = 0; k < part_cols_.size(); ++k) {
-      centroid[k] = ColumnMean(table_, rows, part_cols_[k]);
-    }
-    double radius = GroupRadius(table_, rows, part_cols_, centroid);
+    std::vector<double> centroid =
+        GroupCentroid(table_, rows, part_cols_, options_.threads);
+    double radius =
+        GroupRadius(table_, rows, part_cols_, centroid, options_.threads);
     bool size_ok = rows.size() <= options_.size_threshold;
     bool radius_ok = radius <= options_.radius_limit;
     if ((size_ok && radius_ok) || depth >= options_.max_depth) {
@@ -127,14 +163,14 @@ class QuadTreeBuilder {
     // narrow ones (redshift near zero) of splits; for radius violations the
     // raw radius is the binding quantity.
     std::vector<std::pair<double, size_t>> scored(part_cols_.size());
-    for (size_t k = 0; k < part_cols_.size(); ++k) {
+    ParallelIndexFor(part_cols_.size(), options_.threads, [&](size_t k) {
       double radius = relation::GatherMaxAbsDeviation(table_, part_cols_[k],
                                                       rows, centroid[k]);
       double score = size_ok ? radius
                              : (attr_scale_[k] > 0 ? radius / attr_scale_[k]
                                                    : 0.0);
       scored[k] = {score, k};
-    }
+    });
     std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
       if (a.first != b.first) return a.first > b.first;
       return a.second < b.second;  // deterministic tie-break
@@ -174,9 +210,12 @@ class QuadTreeBuilder {
 };
 
 /// Build the representative relation: centroid over every numeric column of
-/// each group (strings become NULL) plus a trailing gid column.
+/// each group (strings become NULL) plus a trailing gid column. The
+/// (group, column) means are independent, so they fill a per-group value
+/// grid in parallel; rows are appended serially in group order.
 Result<Table> BuildRepresentatives(const Table& table,
-                                   const Partitioning& partitioning) {
+                                   const Partitioning& partitioning,
+                                   int threads = 1) {
   std::vector<ColumnDef> defs = table.schema().columns();
   // The trailing group-id column is conventionally "gid"; when the source
   // already has one (e.g. partitioning a representative relation during
@@ -188,10 +227,13 @@ Result<Table> BuildRepresentatives(const Table& table,
   }
   defs.push_back({gid_name, DataType::kInt64});
   Table reps{Schema(std::move(defs))};
-  reps.Reserve(partitioning.groups.size());
-  std::vector<Value> row(table.num_columns() + 1);
-  for (size_t g = 0; g < partitioning.groups.size(); ++g) {
+  const size_t num_groups = partitioning.groups.size();
+  reps.Reserve(num_groups);
+  std::vector<std::vector<Value>> grid(num_groups);
+  ParallelIndexFor(num_groups, threads, [&](size_t g) {
     const auto& rows = partitioning.groups[g];
+    std::vector<Value>& row = grid[g];
+    row.resize(table.num_columns() + 1);
     for (size_t c = 0; c < table.num_columns(); ++c) {
       if (table.schema().column(c).type == DataType::kString) {
         row[c] = Value::Null();
@@ -202,7 +244,9 @@ Result<Table> BuildRepresentatives(const Table& table,
       }
     }
     row[table.num_columns()] = Value(static_cast<int64_t>(g));
-    reps.AppendRowUnchecked(row);
+  });
+  for (size_t g = 0; g < num_groups; ++g) {
+    reps.AppendRowUnchecked(grid[g]);
   }
   return reps;
 }
@@ -259,14 +303,15 @@ Result<Partitioning> PartitionTable(const Table& table,
   for (RowId r = 0; r < table.num_rows(); ++r) all[r] = r;
   QuadTreeBuilder builder(table, options, cols);
   PAQL_RETURN_IF_ERROR(builder.Build(std::move(all), &out));
-  PAQL_ASSIGN_OR_RETURN(out.representatives, BuildRepresentatives(table, out));
+  PAQL_ASSIGN_OR_RETURN(out.representatives,
+                        BuildRepresentatives(table, out, options.threads));
   return out;
 }
 
 Result<Partitioning> MakePartitioningFromGroups(
     const Table& table, const std::vector<std::string>& attributes,
     size_t size_threshold, double radius_limit,
-    std::vector<std::vector<RowId>> groups) {
+    std::vector<std::vector<RowId>> groups, int threads) {
   Status status;
   std::vector<size_t> cols = ResolveNumericColumns(table, attributes, &status);
   PAQL_RETURN_IF_ERROR(status);
@@ -291,25 +336,29 @@ Result<Partitioning> MakePartitioningFromGroups(
       }
       out.gid[r] = static_cast<uint32_t>(g);
     }
-    std::vector<double> centroid(cols.size());
-    for (size_t k = 0; k < cols.size(); ++k) {
-      centroid[k] = ColumnMean(table, out.groups[g], cols[k]);
-    }
-    out.radius[g] = GroupRadius(table, out.groups[g], cols, centroid);
   }
+  // Per-group radii, one group per worker (each group's float accumulation
+  // stays serial, so the artifact is identical for any worker count).
+  ParallelIndexFor(out.groups.size(), threads, [&](size_t g) {
+    std::vector<double> centroid =
+        GroupCentroid(table, out.groups[g], cols, 1);
+    out.radius[g] = GroupRadius(table, out.groups[g], cols, centroid);
+  });
   for (RowId r = 0; r < table.num_rows(); ++r) {
     if (out.gid[r] == UINT32_MAX) {
       return Status::InvalidArgument(
           StrCat("row ", r, " not covered by any group"));
     }
   }
-  PAQL_ASSIGN_OR_RETURN(out.representatives, BuildRepresentatives(table, out));
+  PAQL_ASSIGN_OR_RETURN(out.representatives,
+                        BuildRepresentatives(table, out, threads));
   return out;
 }
 
 Result<Partitioning> ShrinkToSubset(const Table& table,
                                     const Partitioning& partitioning,
-                                    const std::vector<RowId>& subset) {
+                                    const std::vector<RowId>& subset,
+                                    int threads) {
   for (RowId old_row : subset) {
     if (old_row >= partitioning.gid.size()) {
       return Status::InvalidArgument("subset row out of range");
@@ -342,14 +391,14 @@ Result<Partitioning> ShrinkToSubset(const Table& table,
       ResolveNumericColumns(sub, out.attributes, &status);
   PAQL_RETURN_IF_ERROR(status);
   out.radius.resize(out.groups.size());
-  for (size_t g = 0; g < out.groups.size(); ++g) {
-    std::vector<double> centroid(cols.size());
-    for (size_t k = 0; k < cols.size(); ++k) {
-      centroid[k] = ColumnMean(sub, out.groups[g], cols[k]);
-    }
+  // One group per worker, serial float work within each (see
+  // MakePartitioningFromGroups).
+  ParallelIndexFor(out.groups.size(), threads, [&](size_t g) {
+    std::vector<double> centroid = GroupCentroid(sub, out.groups[g], cols, 1);
     out.radius[g] = GroupRadius(sub, out.groups[g], cols, centroid);
-  }
-  PAQL_ASSIGN_OR_RETURN(out.representatives, BuildRepresentatives(sub, out));
+  });
+  PAQL_ASSIGN_OR_RETURN(out.representatives,
+                        BuildRepresentatives(sub, out, threads));
   return out;
 }
 

@@ -39,6 +39,15 @@ struct PartitionOptions {
 
   /// Safety valve against pathological recursion.
   int max_depth = 64;
+
+  /// Workers for the offline statistics (per-attribute centroids and
+  /// radii, per-group representative rows, full-column min/max scans),
+  /// drawn from the shared pool. <= 1 = serial. Parallelism is across
+  /// independent statistics and across morsels of exactly-associative
+  /// (min/max) folds only — order-sensitive float sums stay inside one
+  /// worker — so the partitioning is bit-for-bit identical for any
+  /// worker count.
+  int threads = 1;
 };
 
 /// The partitioning artifact P = {(G_j, t~_j)}.
@@ -79,7 +88,7 @@ Result<Partitioning> PartitionTable(const relation::Table& table,
 Result<Partitioning> MakePartitioningFromGroups(
     const relation::Table& table, const std::vector<std::string>& attributes,
     size_t size_threshold, double radius_limit,
-    std::vector<std::vector<relation::RowId>> groups);
+    std::vector<std::vector<relation::RowId>> groups, int threads = 1);
 
 /// Restrict a partitioning to a row subset of the same table (used by the
 /// scalability experiments, which shrink datasets to 10%..100%). Group
@@ -88,7 +97,8 @@ Result<Partitioning> MakePartitioningFromGroups(
 /// ids to old ones: new table row k == old table row subset[k].
 Result<Partitioning> ShrinkToSubset(const relation::Table& table,
                                     const Partitioning& partitioning,
-                                    const std::vector<relation::RowId>& subset);
+                                    const std::vector<relation::RowId>& subset,
+                                    int threads = 1);
 
 /// Conservative radius limit for a target approximation factor epsilon
 /// (Theorem 3, Eq. 1): omega = gamma * min over representatives and

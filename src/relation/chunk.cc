@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace paql::relation {
 
 namespace {
+
+/// Run `fold(begin, end)` over kMorselRows-sized morsels of [0, n):
+/// serially in ascending order when `threads` <= 1 or the input is a
+/// single morsel, off the shared pool otherwise. The morsel grid depends
+/// on n alone, never on the worker count; folds write to disjoint
+/// per-morsel slots, so the caller's ascending-order merge is
+/// deterministic.
+template <typename Fold>
+void ForEachMorsel(size_t n, int threads, const Fold& fold) {
+  if (threads <= 1 || n <= kMorselRows) {
+    for (size_t begin = 0; begin < n; begin += kMorselRows) {
+      fold(begin, std::min(n, begin + kMorselRows));
+    }
+    return;
+  }
+  ThreadPool::Global().ParallelFor(
+      n, kMorselRows, threads,
+      [&](size_t begin, size_t end) { fold(begin, end); });
+}
 
 /// Copy the value lanes of `span` out of a typed column with the type
 /// dispatch hoisted out of the row loop.
@@ -70,52 +91,79 @@ double GatherMean(const Table& table, size_t col,
 }
 
 double GatherMaxAbsDeviation(const Table& table, size_t col,
-                             const std::vector<RowId>& rows, double center) {
-  NumericBatch batch;
-  double radius = 0.0;
-  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
-    RowSpan span;
-    span.rows = rows.data() + off;
-    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
-    LoadNumericChunkRaw(table, col, span, &batch);
-    for (uint32_t i = 0; i < span.len; ++i) {
-      radius = std::max(radius, std::abs(batch.values[i] - center));
+                             const std::vector<RowId>& rows, double center,
+                             int threads) {
+  const size_t n = rows.size();
+  std::vector<double> partial((n + kMorselRows - 1) / kMorselRows, 0.0);
+  ForEachMorsel(n, threads, [&](size_t begin, size_t end) {
+    NumericBatch batch;
+    double radius = 0.0;
+    for (size_t off = begin; off < end; off += kChunkSize) {
+      RowSpan span;
+      span.rows = rows.data() + off;
+      span.len = static_cast<uint32_t>(std::min(kChunkSize, end - off));
+      LoadNumericChunkRaw(table, col, span, &batch);
+      for (uint32_t i = 0; i < span.len; ++i) {
+        radius = std::max(radius, std::abs(batch.values[i] - center));
+      }
     }
-  }
+    partial[begin / kMorselRows] = radius;
+  });
+  double radius = 0.0;
+  for (double p : partial) radius = std::max(radius, p);
   return radius;
 }
 
-std::pair<double, double> ColumnMinMax(const Table& table, size_t col) {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -lo;
-  NumericBatch batch;
+std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
+                                       int threads) {
+  const double inf = std::numeric_limits<double>::infinity();
   const size_t n = table.num_rows();
-  for (size_t start = 0; start < n; start += kChunkSize) {
-    RowSpan span;
-    span.start = static_cast<RowId>(start);
-    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
-    LoadNumericChunkRaw(table, col, span, &batch);
-    for (uint32_t i = 0; i < span.len; ++i) {
-      lo = std::min(lo, batch.values[i]);
-      hi = std::max(hi, batch.values[i]);
+  const size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<double> lo_partial(morsels, inf), hi_partial(morsels, -inf);
+  ForEachMorsel(n, threads, [&](size_t begin, size_t end) {
+    NumericBatch batch;
+    double lo = inf, hi = -inf;
+    for (size_t start = begin; start < end; start += kChunkSize) {
+      RowSpan span;
+      span.start = static_cast<RowId>(start);
+      span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
+      LoadNumericChunkRaw(table, col, span, &batch);
+      for (uint32_t i = 0; i < span.len; ++i) {
+        lo = std::min(lo, batch.values[i]);
+        hi = std::max(hi, batch.values[i]);
+      }
     }
+    lo_partial[begin / kMorselRows] = lo;
+    hi_partial[begin / kMorselRows] = hi;
+  });
+  double lo = inf, hi = -inf;
+  for (size_t m = 0; m < morsels; ++m) {
+    lo = std::min(lo, lo_partial[m]);
+    hi = std::max(hi, hi_partial[m]);
   }
   return {lo, hi};
 }
 
-double ColumnMinAbs(const Table& table, size_t col) {
-  double best = std::numeric_limits<double>::infinity();
-  NumericBatch batch;
+double ColumnMinAbs(const Table& table, size_t col, int threads) {
+  const double inf = std::numeric_limits<double>::infinity();
   const size_t n = table.num_rows();
-  for (size_t start = 0; start < n; start += kChunkSize) {
-    RowSpan span;
-    span.start = static_cast<RowId>(start);
-    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
-    LoadNumericChunkRaw(table, col, span, &batch);
-    for (uint32_t i = 0; i < span.len; ++i) {
-      best = std::min(best, std::abs(batch.values[i]));
+  std::vector<double> partial((n + kMorselRows - 1) / kMorselRows, inf);
+  ForEachMorsel(n, threads, [&](size_t begin, size_t end) {
+    NumericBatch batch;
+    double best = inf;
+    for (size_t start = begin; start < end; start += kChunkSize) {
+      RowSpan span;
+      span.start = static_cast<RowId>(start);
+      span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
+      LoadNumericChunkRaw(table, col, span, &batch);
+      for (uint32_t i = 0; i < span.len; ++i) {
+        best = std::min(best, std::abs(batch.values[i]));
+      }
     }
-  }
+    partial[begin / kMorselRows] = best;
+  });
+  double best = inf;
+  for (double p : partial) best = std::min(best, p);
   return best;
 }
 

@@ -29,6 +29,16 @@ namespace paql::relation {
 /// to amortize one indirect call per kernel to ~1/1024 per row.
 inline constexpr size_t kChunkSize = 1024;
 
+/// Rows per parallel morsel: the unit workers claim from the shared pool
+/// when a chunked loop runs with threads > 1. Sixteen chunks is large
+/// enough that the claim (one atomic add) disappears against the scan
+/// work, and small enough that a 1M-row scan still yields ~60 morsels to
+/// balance across workers. Morsel boundaries are fixed by the row count
+/// alone — never by the worker count — which is what keeps parallel
+/// results bit-for-bit identical to serial ones (see docs/architecture.md,
+/// "Parallel execution").
+inline constexpr size_t kMorselRows = 16 * kChunkSize;
+
 /// One batch worth of input rows: either a contiguous range starting at
 /// `start` (rows == nullptr, the full-table scan case) or an explicit
 /// gather list of `len` row ids (the candidate-subset case).
@@ -109,6 +119,15 @@ void LoadNumericChunkRaw(const Table& table, size_t col, const RowSpan& span,
 
 // --- Raw chunked reductions (bit-identical to the scalar loops they
 // --- replace: same accumulation order, raw storage reads).
+//
+// The min/max reductions take an optional worker count: with threads > 1
+// they fold per-morsel partials claimed off the shared pool and merge
+// them in ascending morsel order. min/max folds are exactly associative
+// and commutative over the NaN-free raw storage these read, so the
+// parallel result is bit-for-bit the serial one. GatherMean deliberately
+// has no threads parameter: a float SUM is order-sensitive, so it always
+// runs inside one worker (callers parallelize across columns or groups
+// instead — see partition/partitioner.cc).
 
 /// Mean of `col` over `rows` (0.0 when rows is empty).
 double GatherMean(const Table& table, size_t col,
@@ -116,13 +135,15 @@ double GatherMean(const Table& table, size_t col,
 
 /// max_i |value(rows[i]) - center| over `rows` (0.0 when rows is empty).
 double GatherMaxAbsDeviation(const Table& table, size_t col,
-                             const std::vector<RowId>& rows, double center);
+                             const std::vector<RowId>& rows, double center,
+                             int threads = 1);
 
 /// (min, max) of the whole column; (+inf, -inf) on an empty table.
-std::pair<double, double> ColumnMinMax(const Table& table, size_t col);
+std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
+                                       int threads = 1);
 
 /// min |value| over the whole column; +inf on an empty table.
-double ColumnMinAbs(const Table& table, size_t col);
+double ColumnMinAbs(const Table& table, size_t col, int threads = 1);
 
 }  // namespace paql::relation
 

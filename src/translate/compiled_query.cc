@@ -5,6 +5,7 @@
 #include <initializer_list>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "paql/validator.h"
 
 namespace paql::translate {
@@ -111,17 +112,17 @@ std::vector<RowId> CompiledQuery::ComputeBaseRows(const Table& table) const {
 }
 
 std::vector<RowId> CompiledQuery::ComputeBaseRowsVectorized(
-    const Table& table) const {
+    const Table& table, int threads) const {
   if (!base_pred_batch_) return ComputeBaseRows(table);
-  return FilterTableVectorized(table, base_pred_batch_);
+  return FilterTableVectorized(table, base_pred_batch_, threads);
 }
 
 std::vector<RowId> CompiledQuery::FilterBaseRows(
-    const Table& table, const std::vector<RowId>& rows,
-    bool vectorized) const {
+    const Table& table, const std::vector<RowId>& rows, bool vectorized,
+    int threads) const {
   if (!base_pred_) return rows;
   if (vectorized && base_pred_batch_) {
-    return FilterRowsVectorized(table, rows, base_pred_batch_);
+    return FilterRowsVectorized(table, rows, base_pred_batch_, threads);
   }
   std::vector<RowId> out;
   out.reserve(rows.size());
@@ -721,12 +722,13 @@ Result<lp::Model> CompiledQuery::BuildModel(const Table& table,
   segment.rows = &rows;
   segment.ub_override = options.ub_override;
   return BuildModelSegments({segment}, options.activity_offset,
-                            options.vectorized);
+                            options.vectorized, options.threads);
 }
 
 Result<lp::Model> CompiledQuery::BuildModelSegments(
     const std::vector<Segment>& segments,
-    const std::vector<double>* activity_offset, bool vectorized) const {
+    const std::vector<double>* activity_offset, bool vectorized,
+    int threads) const {
   size_t total_rows = 0;
   for (const Segment& seg : segments) {
     if (seg.table == nullptr || seg.rows == nullptr) {
@@ -747,22 +749,32 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
   // Coefficients of one linear expression over one segment, through the
   // batch pipeline (chunked gather spans) when enabled and compiled, the
   // per-row closures otherwise. Both orders are identical, so the model
-  // does not depend on the pipeline.
-  auto segment_coeffs = [vectorized](const LinearExpr& expr,
-                                     const Segment& seg, double* out) {
+  // does not depend on the pipeline — and every coefficient lands in its
+  // own slot, so the morsel-parallel fill (threads > 1) is bit-identical
+  // to the serial one for either pipeline.
+  auto segment_coeffs = [vectorized, threads](const LinearExpr& expr,
+                                              const Segment& seg, double* out) {
     const std::vector<RowId>& rows = *seg.rows;
-    if (vectorized && expr.vectorizable()) {
-      for (size_t off = 0; off < rows.size(); off += relation::kChunkSize) {
-        relation::RowSpan span;
-        span.rows = rows.data() + off;
-        span.len = static_cast<uint32_t>(
-            std::min(relation::kChunkSize, rows.size() - off));
-        expr.CoeffBatch(*seg.table, span, out + off);
+    auto fill = [&](size_t begin, size_t end) {
+      if (vectorized && expr.vectorizable()) {
+        for (size_t off = begin; off < end; off += relation::kChunkSize) {
+          relation::RowSpan span;
+          span.rows = rows.data() + off;
+          span.len = static_cast<uint32_t>(
+              std::min(relation::kChunkSize, end - off));
+          expr.CoeffBatch(*seg.table, span, out + off);
+        }
+      } else {
+        for (size_t k = begin; k < end; ++k) {
+          out[k] = expr.Coeff(*seg.table, rows[k]);
+        }
       }
+    };
+    if (threads > 1 && rows.size() > relation::kMorselRows) {
+      ThreadPool::Global().ParallelFor(rows.size(), relation::kMorselRows,
+                                       threads, fill);
     } else {
-      for (size_t k = 0; k < rows.size(); ++k) {
-        out[k] = expr.Coeff(*seg.table, rows[k]);
-      }
+      fill(0, rows.size());
     }
   };
 
@@ -941,11 +953,13 @@ std::vector<double> CompiledQuery::LeafActivities(
 
 std::vector<double> CompiledQuery::LeafActivitiesVectorized(
     const Table& table, const std::vector<RowId>& rows,
-    const std::vector<int64_t>& multiplicity) const {
+    const std::vector<int64_t>& multiplicity, int threads) const {
   PAQL_CHECK(rows.size() == multiplicity.size());
   std::vector<double> activities(leaves_.size(), 0.0);
-  std::vector<double> coeff(relation::kChunkSize);
-  for (size_t li = 0; li < leaves_.size(); ++li) {
+  // One leaf's activity, with the leaf's full accumulation inside a single
+  // call: a float SUM is order-sensitive, so parallelism is across leaves
+  // only — each leaf's bits match the serial evaluation exactly.
+  auto leaf_activity = [&](size_t li) {
     const LinearExpr& expr = leaves_[li].expr;
     if (!expr.vectorizable()) {
       // Scalar fallback for this leaf, same loop as LeafActivities.
@@ -955,9 +969,9 @@ std::vector<double> CompiledQuery::LeafActivitiesVectorized(
         total += expr.Coeff(table, rows[k]) *
                  static_cast<double>(multiplicity[k]);
       }
-      activities[li] = total;
-      continue;
+      return total;
     }
+    std::vector<double> coeff(relation::kChunkSize);
     double total = 0;
     for (size_t off = 0; off < rows.size(); off += relation::kChunkSize) {
       relation::RowSpan span;
@@ -971,7 +985,20 @@ std::vector<double> CompiledQuery::LeafActivitiesVectorized(
         total += coeff[i] * static_cast<double>(mult);
       }
     }
-    activities[li] = total;
+    return total;
+  };
+  if (threads > 1 && leaves_.size() > 1 &&
+      rows.size() >= relation::kChunkSize) {
+    ThreadPool::Global().ParallelFor(
+        leaves_.size(), 1, threads, [&](size_t begin, size_t end) {
+          for (size_t li = begin; li < end; ++li) {
+            activities[li] = leaf_activity(li);
+          }
+        });
+  } else {
+    for (size_t li = 0; li < leaves_.size(); ++li) {
+      activities[li] = leaf_activity(li);
+    }
   }
   return activities;
 }

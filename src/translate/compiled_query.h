@@ -99,15 +99,17 @@ class CompiledQuery {
   /// Vectorized twin of ComputeBaseRows: scans the table in kChunkSize-row
   /// batches through the compiled BatchPred. Falls back to the scalar path
   /// when the WHERE clause has no batch compilation; the result is always
-  /// identical to ComputeBaseRows.
+  /// identical to ComputeBaseRows. `threads` > 1 scans morsels in
+  /// parallel off the shared pool (same result bit for bit; the batch
+  /// fallback-to-scalar path stays serial).
   std::vector<relation::RowId> ComputeBaseRowsVectorized(
-      const relation::Table& table) const;
+      const relation::Table& table, int threads = 1) const;
 
   /// The subset of `rows` satisfying the WHERE clause (all of them when
   /// the query has none), through the batch or scalar pipeline.
   std::vector<relation::RowId> FilterBaseRows(
       const relation::Table& table, const std::vector<relation::RowId>& rows,
-      bool vectorized) const;
+      bool vectorized, int threads = 1) const;
 
   /// Per-row base-predicate test (true when the query has no WHERE).
   bool BaseAccepts(const relation::Table& table, relation::RowId row) const {
@@ -136,6 +138,10 @@ class CompiledQuery {
     /// without batch twins fall back per leaf; the model is bit-identical
     /// either way.
     bool vectorized = false;
+    /// Workers for the coefficient fills (> 1 = morsel-parallel off the
+    /// shared pool). Every coefficient lands in its own slot, so the
+    /// model is bit-identical for any worker count.
+    int threads = 1;
   };
 
   /// One block of candidate variables drawn from a table. The sketch query
@@ -158,8 +164,8 @@ class CompiledQuery {
   /// bit-identical either way).
   Result<lp::Model> BuildModelSegments(
       const std::vector<Segment>& segments,
-      const std::vector<double>* activity_offset,
-      bool vectorized = false) const;
+      const std::vector<double>* activity_offset, bool vectorized = false,
+      int threads = 1) const;
 
   /// True when activity offsets only move row bounds: the SUCH THAT tree
   /// has no OR, so the model has exactly one row per leaf and no big-M
@@ -212,11 +218,14 @@ class CompiledQuery {
 
   /// Vectorized twin of LeafActivities (chunked gather through the batch
   /// kernels, same accumulation order — bit-identical result). Leaves
-  /// without batch twins fall back to the scalar closures.
+  /// without batch twins fall back to the scalar closures. `threads` > 1
+  /// evaluates the leaves in parallel (each leaf's order-sensitive float
+  /// accumulation stays inside one worker, so the activities are
+  /// bit-identical for any worker count).
   std::vector<double> LeafActivitiesVectorized(
       const relation::Table& table,
       const std::vector<relation::RowId>& rows,
-      const std::vector<int64_t>& multiplicity) const;
+      const std::vector<int64_t>& multiplicity, int threads = 1) const;
 
   /// Logical satisfaction of the SUCH THAT tree given leaf activities
   /// (handles AND/OR; `tol` is a relative feasibility tolerance).

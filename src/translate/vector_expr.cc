@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "translate/string_operand.h"
 
 namespace paql::translate {
@@ -442,42 +443,74 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
   return Status::Internal("unreachable bool kind");
 }
 
-std::vector<RowId> FilterTableVectorized(const Table& table,
-                                         const BatchPred& pred) {
-  std::vector<RowId> out;
-  const size_t n = table.num_rows();
-  out.reserve(n);
-  SelectionVector sel;
-  for (size_t start = 0; start < n; start += kChunkSize) {
-    RowSpan span;
-    span.start = static_cast<RowId>(start);
-    span.len = static_cast<uint32_t>(std::min(kChunkSize, n - start));
-    sel.MakeDense(span.len);
-    pred(table, span, &sel);
-    for (uint32_t k = 0; k < sel.count; ++k) {
-      out.push_back(span.start + sel.idx[k]);
-    }
+namespace {
+
+/// Shared morsel-parallel filter driver: scan [0, n) in kMorselRows-sized
+/// morsels, each collecting survivors into its own slot via
+/// `scan(begin, end, &slot)`, and concatenate the slots in ascending
+/// morsel order. The morsel grid depends on n alone, so the output is
+/// identical to the serial scan for any worker count.
+template <typename Scan>
+std::vector<RowId> MorselFilter(size_t n, int threads, const Scan& scan) {
+  const size_t morsels = (n + relation::kMorselRows - 1) / relation::kMorselRows;
+  if (threads <= 1 || morsels <= 1) {
+    std::vector<RowId> out;
+    out.reserve(n);
+    scan(0, n, &out);
+    return out;
   }
+  std::vector<std::vector<RowId>> parts(morsels);
+  ThreadPool::Global().ParallelFor(
+      n, relation::kMorselRows, threads, [&](size_t begin, size_t end) {
+        scan(begin, end, &parts[begin / relation::kMorselRows]);
+      });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<RowId> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
   return out;
+}
+
+}  // namespace
+
+std::vector<RowId> FilterTableVectorized(const Table& table,
+                                         const BatchPred& pred, int threads) {
+  return MorselFilter(
+      table.num_rows(), threads,
+      [&](size_t begin, size_t end, std::vector<RowId>* out) {
+        SelectionVector sel;
+        for (size_t start = begin; start < end; start += kChunkSize) {
+          RowSpan span;
+          span.start = static_cast<RowId>(start);
+          span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
+          sel.MakeDense(span.len);
+          pred(table, span, &sel);
+          for (uint32_t k = 0; k < sel.count; ++k) {
+            out->push_back(span.start + sel.idx[k]);
+          }
+        }
+      });
 }
 
 std::vector<RowId> FilterRowsVectorized(const Table& table,
                                         const std::vector<RowId>& rows,
-                                        const BatchPred& pred) {
-  std::vector<RowId> out;
-  out.reserve(rows.size());
-  SelectionVector sel;
-  for (size_t off = 0; off < rows.size(); off += kChunkSize) {
-    RowSpan span;
-    span.rows = rows.data() + off;
-    span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
-    sel.MakeDense(span.len);
-    pred(table, span, &sel);
-    for (uint32_t k = 0; k < sel.count; ++k) {
-      out.push_back(span.rows[sel.idx[k]]);
-    }
-  }
-  return out;
+                                        const BatchPred& pred, int threads) {
+  return MorselFilter(
+      rows.size(), threads,
+      [&](size_t begin, size_t end, std::vector<RowId>* out) {
+        SelectionVector sel;
+        for (size_t off = begin; off < end; off += kChunkSize) {
+          RowSpan span;
+          span.rows = rows.data() + off;
+          span.len = static_cast<uint32_t>(std::min(kChunkSize, end - off));
+          sel.MakeDense(span.len);
+          pred(table, span, &sel);
+          for (uint32_t k = 0; k < sel.count; ++k) {
+            out->push_back(span.rows[sel.idx[k]]);
+          }
+        }
+      });
 }
 
 }  // namespace paql::translate

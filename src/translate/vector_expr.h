@@ -53,14 +53,20 @@ Result<BatchPred> CompileBoolBatch(const lang::BoolExpr& expr,
 
 /// All rows of `table` satisfying `pred`, scanned chunk at a time over
 /// contiguous spans. Equals Table::FilterRows over the scalar twin.
+/// `threads` > 1 scans kMorselRows-sized morsels in parallel off the
+/// shared pool; each morsel collects its survivors into its own slot and
+/// the slots concatenate in ascending morsel order, so the result is
+/// bit-for-bit the serial scan's.
 std::vector<relation::RowId> FilterTableVectorized(const relation::Table& table,
-                                                   const BatchPred& pred);
+                                                   const BatchPred& pred,
+                                                   int threads = 1);
 
 /// The subset of `rows` satisfying `pred`, evaluated over gather spans
-/// (order preserved, duplicates allowed).
+/// (order preserved, duplicates allowed). Parallelizes like
+/// FilterTableVectorized when `threads` > 1.
 std::vector<relation::RowId> FilterRowsVectorized(
     const relation::Table& table, const std::vector<relation::RowId>& rows,
-    const BatchPred& pred);
+    const BatchPred& pred, int threads = 1);
 
 }  // namespace paql::translate
 

@@ -192,5 +192,27 @@ TEST(ParallelRaceTest, MatchesSequentialWithOneThread) {
   EXPECT_DOUBLE_EQ(pr->objective, sr->objective);
 }
 
+TEST(ParallelThreadsKnobTest, DefaultNumThreadsInheritsExecContext) {
+  // num_threads = 0 (the default) must follow the engine-level
+  // ExecContext::threads knob instead of silently diverging from it.
+  Table t = ClusteredWorkload(150, 7);
+  Partitioning p = MakePartitioning(t, 30);
+  auto cq = Compile(t, kKnapsack);
+  ParallelOptions opts;
+  opts.mode = ParallelMode::kGroupParallel;
+  ASSERT_EQ(opts.num_threads, 0);
+  opts.sketch_refine.threads = 3;
+  ParallelSketchRefineEvaluator inherited(t, p, opts);
+  auto result = inherited.Evaluate(cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.threads_used, 3);
+  // An explicit num_threads still overrides the context.
+  opts.num_threads = 2;
+  ParallelSketchRefineEvaluator pinned(t, p, opts);
+  auto pinned_result = pinned.Evaluate(cq);
+  ASSERT_TRUE(pinned_result.ok()) << pinned_result.status();
+  EXPECT_EQ(pinned_result->stats.threads_used, 2);
+}
+
 }  // namespace
 }  // namespace paql::core

@@ -1,0 +1,149 @@
+// The morsel-driven thread pool (common/thread_pool.h): ParallelFor
+// correctness and determinism, nesting, per-task cancellation, shutdown
+// draining, and the thread-count resolution helpers. Runs under the
+// `parallel` ctest label, which the ThreadSanitizer CI job executes.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace paql {
+namespace {
+
+TEST(ClampThreadsTest, ZeroAndNegativeResolveToHardware) {
+  EXPECT_EQ(ClampThreads(0), HardwareThreads());
+  EXPECT_EQ(ClampThreads(-3), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ClampThreadsTest, ExplicitCountsAreHonored) {
+  // Explicit requests may oversubscribe small machines: correctness tests
+  // need real concurrency even on a single-core CI runner.
+  EXPECT_EQ(ClampThreads(1), 1);
+  EXPECT_EQ(ClampThreads(4), 4);
+  EXPECT_EQ(ClampThreads(37), 37);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  bool complete = ThreadPool::Global().ParallelFor(
+      kN, 1024, 4, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  EXPECT_TRUE(complete);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MorselBoundariesDependOnSizeNotWorkerCount) {
+  // The determinism contract: per-morsel partials merged in ascending
+  // order give the same result for any worker count.
+  constexpr size_t kN = 50000;
+  constexpr size_t kGrain = 777;
+  std::vector<double> values(kN);
+  for (size_t i = 0; i < kN; ++i) values[i] = 1.0 / (1.0 + static_cast<double>(i));
+  auto run = [&](int workers) {
+    const size_t morsels = (kN + kGrain - 1) / kGrain;
+    std::vector<double> partial(morsels, 0.0);
+    ThreadPool::Global().ParallelFor(
+        kN, kGrain, workers, [&](size_t begin, size_t end) {
+          double sum = 0;
+          for (size_t i = begin; i < end; ++i) sum += values[i];
+          partial[begin / kGrain] = sum;
+        });
+    double total = 0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(13));
+}
+
+TEST(ThreadPoolTest, NestedParallelForMakesProgress) {
+  // A morsel body may itself fan out; the caller always participates, so
+  // nesting can never deadlock even when every pool worker is busy.
+  std::atomic<int64_t> total{0};
+  bool complete = ThreadPool::Global().ParallelFor(
+      8, 1, 4, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          ThreadPool::Global().ParallelFor(
+              1000, 100, 4, [&](size_t b, size_t e) {
+                total.fetch_add(static_cast<int64_t>(e - b),
+                                std::memory_order_relaxed);
+              });
+        }
+      });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(total.load(), 8000);
+}
+
+TEST(ThreadPoolTest, PreCancelledParallelForRunsNothing) {
+  std::atomic<bool> cancel{true};
+  std::atomic<int> ran{0};
+  bool complete = ThreadPool::Global().ParallelFor(
+      1000, 10, 4,
+      [&](size_t, size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &cancel);
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, CancellationMidParallelForSkipsRemainingMorsels) {
+  constexpr int kMorsels = 200;
+  std::atomic<bool> cancel{false};
+  std::atomic<int> ran{0};
+  bool complete = ThreadPool::Global().ParallelFor(
+      kMorsels, 1, 4,
+      [&](size_t, size_t) {
+        if (ran.fetch_add(1, std::memory_order_relaxed) + 1 == 3) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+      },
+      &cancel);
+  EXPECT_FALSE(complete);
+  // Morsels already claimed when the flag flipped may finish (at most one
+  // per worker); everything else must be skipped.
+  EXPECT_LT(ran.load(), kMorsels);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must wait for all 100, not drop the queue.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, PrivatePoolRunsSubmittedTasksConcurrentlyWithGlobal) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3);
+  std::atomic<int> ran{0};
+  bool complete = pool.ParallelFor(64, 1, 3, [&](size_t, size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  bool complete = ThreadPool::Global().ParallelFor(
+      0, 16, 4, [&](size_t, size_t) { FAIL() << "no morsels expected"; });
+  EXPECT_TRUE(complete);
+}
+
+}  // namespace
+}  // namespace paql
