@@ -1,0 +1,418 @@
+// Multi-tenant serving throughput: N closed-loop clients against one
+// paql_server speaking the line protocol over loopback TCP.
+//
+// What it measures (BENCH_serve.json):
+//   * qps and client-observed latency P50/P99 for a mixed interactive
+//     workload (DIRECT + SKETCHREFINE + constrained + infeasible
+//     statements over two catalog tables);
+//   * isolation: the same interactive mix re-run while a batch client
+//     hammers a long branch-and-bound query — the P99 gap between the two
+//     phases is the cost of sharing the machine with analytical work,
+//     which the priority gate is there to bound;
+//   * cross-query cache traffic (hits/misses) and priority-gate yields.
+//
+// Correctness first, timing second: every response is compared
+// byte-for-byte against a serial single-session run of the same statement
+// (identical packages, identical infeasibility messages) before any number
+// is reported. A throughput bench that returns different answers under
+// concurrency is not a faster server, it is a broken one.
+//
+// Usage: serve_throughput [--clients N] [--iters M] [--quick] [--scale f]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/catalog.h"
+#include "service/server.h"
+
+namespace paql::bench {
+namespace {
+
+struct ServeConfig {
+  int clients = 8;
+  int iters = 12;  // statements per client per phase
+  BenchConfig base;
+};
+
+ServeConfig ParseServeArgs(int argc, char** argv) {
+  ServeConfig config;
+  if (const char* env = std::getenv("PAQL_BENCH_SCALE")) {
+    config.base.scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      config.clients = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--iters" && i + 1 < argc) {
+      config.iters = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--scale" && i + 1 < argc) {
+      config.base.scale = std::atof(argv[++i]);
+    } else if (arg == "--quick") {
+      config.base.quick = true;
+    } else {
+      std::cerr << "ignoring unknown bench argument: " << arg << "\n";
+    }
+  }
+  if (config.base.scale <= 0) config.base.scale = 1.0;
+  if (config.base.quick) config.iters = std::max(1, config.iters / 3);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// A minimal blocking line-protocol client.
+// ---------------------------------------------------------------------------
+
+class LineClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string data = line + "\n";
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    *line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+
+  /// One request/response round trip. Returns the payload line ("PKG ..."
+  /// or "ERR ...") — the trailing "OK <micros>" line is consumed here.
+  bool RoundTrip(const std::string& request, std::string* payload) {
+    if (!SendLine(request)) return false;
+    if (!ReadLine(payload)) return false;
+    if (payload->rfind("PKG", 0) == 0) {
+      std::string ok_line;
+      if (!ReadLine(&ok_line)) return false;
+      if (ok_line.rfind("OK", 0) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Workload: mixed statements over a two-table catalog.
+// ---------------------------------------------------------------------------
+
+/// The canonical payload ("PKG ..." / "ERR ...") the protocol produces for
+/// one result — what both the serial baseline and the clients compare.
+std::string CanonicalPayload(const Result<QueryResult>& result) {
+  if (result.ok()) {
+    std::string lines = service::FormatResultLines(*result, 0);
+    return lines.substr(0, lines.find('\n'));
+  }
+  std::string message(result.status().message());
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return StrCat("ERR ", message);
+}
+
+struct ServeWorkload {
+  std::vector<std::string> interactive;  // the short mixed statements
+  std::string batch;                     // the long analytical statement
+  std::map<std::string, std::string> expected;  // statement -> payload
+};
+
+ServeWorkload MakeWorkload(const service::Catalog& catalog,
+                           const EngineOptions& options) {
+  ServeWorkload w;
+  // galaxy (large) routes to SKETCHREFINE under the bench threshold;
+  // stars (small clone) routes to DIRECT. The redshift column is
+  // non-negative, so the <= -1 bound is a guaranteed-infeasible statement
+  // (error paths must stay cheap and correct under concurrency too).
+  w.interactive = {
+      "SELECT PACKAGE(S) AS P FROM stars S REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.r)",
+      "SELECT PACKAGE(S) AS P FROM stars S REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 MAXIMIZE SUM(P.redshift)",
+      "SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.petroRad_r)",
+      "SELECT PACKAGE(S) AS P FROM stars S REPEAT 0 SUCH THAT "
+      "COUNT(P.*) = 2 AND SUM(P.redshift) <= -1.0 MINIMIZE SUM(P.r)",
+      "SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 MAXIMIZE SUM(P.petroFlux_r)",
+  };
+  w.batch =
+      "SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 12 MINIMIZE SUM(P.petroRad_r)";
+
+  // Serial baseline: one session with a *private* cache (so the serial run
+  // neither warms nor reads the server's), same options the scheduler
+  // gives every served query. Two passes so the baseline also covers the
+  // cache-hit path the server will take on repeats.
+  auto session = catalog.OpenSession(options);
+  PAQL_CHECK_MSG(session.ok(), session.status());
+  session->set_query_cache(std::make_shared<engine::QueryCache>());
+  std::vector<std::string> all = w.interactive;
+  all.push_back(w.batch);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& stmt : all) {
+      std::string payload = CanonicalPayload(session->Execute(stmt));
+      auto it = w.expected.find(stmt);
+      if (it == w.expected.end()) {
+        w.expected.emplace(stmt, std::move(payload));
+      } else {
+        PAQL_CHECK_MSG(it->second == payload,
+                       "serial run is itself unstable for: " << stmt);
+      }
+    }
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop phases.
+// ---------------------------------------------------------------------------
+
+struct PhaseResult {
+  std::vector<double> latencies_us;  // every interactive round trip
+  double wall_seconds = 0;
+  int64_t queries = 0;
+  int64_t mismatches = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+/// `with_batch` adds one extra connection looping the long BATCH statement
+/// for the duration of the phase.
+PhaseResult RunPhase(uint16_t port, const ServeWorkload& workload,
+                     int clients, int iters, bool with_batch) {
+  PhaseResult out;
+  std::mutex mu;
+  std::atomic<bool> batch_stop{false};
+  std::atomic<int64_t> mismatches{0};
+
+  std::thread batch_thread;
+  if (with_batch) {
+    batch_thread = std::thread([&] {
+      LineClient client;
+      if (!client.Connect(port)) return;
+      std::string payload;
+      while (!batch_stop.load(std::memory_order_relaxed)) {
+        if (!client.RoundTrip(StrCat("BATCH ", workload.batch), &payload)) {
+          return;
+        }
+        if (payload != workload.expected.at(workload.batch)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      client.SendLine("QUIT");
+    });
+  }
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.Connect(port)) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::vector<double> local;
+      const auto& statements = workload.interactive;
+      for (int i = 0; i < iters; ++i) {
+        // Rotate the mix per client so concurrent requests differ.
+        const std::string& stmt =
+            statements[(static_cast<size_t>(c) + static_cast<size_t>(i)) %
+                       statements.size()];
+        Stopwatch rt;
+        std::string payload;
+        if (!client.RoundTrip(StrCat("RUN ", stmt), &payload)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        local.push_back(rt.ElapsedSeconds() * 1e6);
+        if (payload != workload.expected.at(stmt)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      client.SendLine("QUIT");
+      std::lock_guard<std::mutex> lock(mu);
+      out.latencies_us.insert(out.latencies_us.end(), local.begin(),
+                              local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.wall_seconds = wall.ElapsedSeconds();
+  batch_stop.store(true);
+  if (batch_thread.joinable()) batch_thread.join();
+
+  out.queries = static_cast<int64_t>(out.latencies_us.size());
+  out.mismatches = mismatches.load();
+  return out;
+}
+
+Status WriteBenchServeJson(const std::string& path, const ServeConfig& config,
+                           const PhaseResult& alone,
+                           const PhaseResult& with_batch,
+                           const service::SchedulerStats& sched,
+                           const engine::QueryCacheStats& cache) {
+  std::ofstream os(path);
+  if (!os) return Status::InvalidArgument(StrCat("cannot write ", path));
+  double qps = alone.wall_seconds > 0
+                   ? static_cast<double>(alone.queries) / alone.wall_seconds
+                   : 0;
+  os << "{\n";
+  os << "  \"bench\": \"serve_throughput\",\n";
+  os << "  \"clients\": " << config.clients << ",\n";
+  os << "  \"hardware_threads\": " << HardwareThreads() << ",\n";
+  os << "  \"iters_per_client\": " << config.iters << ",\n";
+  os << "  \"queries\": " << alone.queries << ",\n";
+  os << "  \"qps\": " << FormatDouble(qps, 3) << ",\n";
+  os << "  \"latency_us\": {\n";
+  os << "    \"p50\": " << FormatDouble(Percentile(alone.latencies_us, 0.5), 3)
+     << ",\n";
+  os << "    \"p99\": " << FormatDouble(Percentile(alone.latencies_us, 0.99), 3)
+     << "\n  },\n";
+  os << "  \"isolation\": {\n";
+  os << "    \"interactive_p50_with_batch_us\": "
+     << FormatDouble(Percentile(with_batch.latencies_us, 0.5), 3) << ",\n";
+  os << "    \"interactive_p99_with_batch_us\": "
+     << FormatDouble(Percentile(with_batch.latencies_us, 0.99), 3) << ",\n";
+  os << "    \"gate_yields\": " << sched.gate_yields << "\n  },\n";
+  os << "  \"cache\": {\n";
+  os << "    \"hits\": " << cache.hits << ",\n";
+  os << "    \"misses\": " << cache.misses << ",\n";
+  os << "    \"partition_hits\": " << cache.partition_hits << "\n  }\n";
+  os << "}\n";
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  ServeConfig config = ParseServeArgs(argc, argv);
+
+  std::cout << "== Multi-tenant serving: " << config.clients
+            << " closed-loop clients, " << config.iters
+            << " statements each ==\n\n";
+
+  // galaxy must stay >= the planner threshold below even in quick mode,
+  // so both strategies are always exercised.
+  const size_t galaxy_rows = config.base.quick ? 3600 : 6000;
+  const size_t stars_rows = 1200;
+  service::Catalog catalog;
+  PAQL_CHECK_MSG(
+      catalog
+          .AddTable("galaxy", workload::MakeGalaxyTable(galaxy_rows, 20161))
+          .ok(),
+      "galaxy");
+  PAQL_CHECK_MSG(
+      catalog.AddTable("stars", workload::MakeGalaxyTable(stars_rows, 977))
+          .ok(),
+      "stars");
+
+  service::ServerOptions options;
+  EngineOptions& eo = options.scheduler.engine;
+  eo.exec.limits = config.base.solver_limits();
+  eo.exec.branch_and_bound.gap_tol = kCplexDefaultGap;
+  // threads=1 pins the intra-query search order so every response is
+  // byte-comparable to the serial baseline; concurrency in this bench is
+  // *inter*-query (connections), which is the serving workload's shape.
+  eo.exec.threads = 1;
+  // galaxy above, stars below: both strategies are exercised on every lap.
+  eo.planner.direct_row_threshold = 3000;
+
+  ServeWorkload workload = MakeWorkload(catalog, eo);
+
+  service::Server server(catalog, options);
+  PAQL_CHECK_MSG(server.Start().ok(), "server failed to start");
+
+  // Phase 1: interactive clients only.
+  PhaseResult alone =
+      RunPhase(server.port(), workload, config.clients, config.iters, false);
+  // Phase 2: same mix with a long-running batch tenant in the background.
+  PhaseResult contended =
+      RunPhase(server.port(), workload, config.clients, config.iters, true);
+
+  service::SchedulerStats sched = server.scheduler().stats();
+  engine::QueryCacheStats cache = server.scheduler().cache_stats();
+  server.Stop();
+
+  PAQL_CHECK_MSG(alone.mismatches == 0 && contended.mismatches == 0,
+                 "served responses diverged from the serial baseline: "
+                     << alone.mismatches << " + " << contended.mismatches
+                     << " mismatches");
+
+  double qps = alone.wall_seconds > 0
+                   ? static_cast<double>(alone.queries) / alone.wall_seconds
+                   : 0;
+  TablePrinter table({"phase", "queries", "qps", "p50 (ms)", "p99 (ms)"});
+  table.AddRow({"interactive only", StrCat(alone.queries),
+                FormatDouble(qps, 1),
+                FormatDouble(Percentile(alone.latencies_us, 0.5) / 1e3, 2),
+                FormatDouble(Percentile(alone.latencies_us, 0.99) / 1e3, 2)});
+  double qps2 =
+      contended.wall_seconds > 0
+          ? static_cast<double>(contended.queries) / contended.wall_seconds
+          : 0;
+  table.AddRow(
+      {"with batch tenant", StrCat(contended.queries), FormatDouble(qps2, 1),
+       FormatDouble(Percentile(contended.latencies_us, 0.5) / 1e3, 2),
+       FormatDouble(Percentile(contended.latencies_us, 0.99) / 1e3, 2)});
+  table.Print(std::cout);
+  std::cout << "\n";
+  std::cout << "every response verified byte-identical to the serial "
+               "baseline\n";
+  std::cout << "scheduler: admitted " << sched.admitted << ", gate yields "
+            << sched.gate_yields << "; cache: " << cache.hits << " hits / "
+            << cache.misses << " misses, " << cache.partition_hits
+            << " partition hits\n";
+
+  Status written = WriteBenchServeJson("BENCH_serve.json", config, alone,
+                                       contended, sched, cache);
+  PAQL_CHECK_MSG(written.ok(), written);
+  std::cout << "wrote BENCH_serve.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace paql::bench
+
+int main(int argc, char** argv) { return paql::bench::Run(argc, argv); }

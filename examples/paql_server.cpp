@@ -1,0 +1,104 @@
+// paql_server: serve PaQL package queries over a TCP line protocol.
+//
+// Usage:
+//   paql_server <table.csv> [more.csv ...] [options]
+//
+// Options:
+//   --port <n>             listen on 127.0.0.1:<n> (default: an ephemeral
+//                          port, printed on startup)
+//   --max-concurrent <n>   queries executing at once (default: hardware
+//                          concurrency, min 2); excess requests queue,
+//                          interactive before batch
+//   --threshold <rows>     planner DIRECT vs SKETCHREFINE threshold
+//
+// Protocol (one request per line; try it with `nc 127.0.0.1 <port>`):
+//   RUN <paql>      evaluate with interactive priority
+//   BATCH <paql>    evaluate as batch work (yields to interactive queries
+//                   at morsel and branch-and-bound node boundaries)
+//   STATS           scheduler + cross-query cache counters, one line
+//   QUIT            close the connection
+//
+// Responses:
+//   PKG <count> <objective> <row:mult> ...   then   OK <micros>
+//   ERR <message>
+//
+// Every connection shares one catalog (tables loaded once) and one
+// cross-query artifact cache: repeating a statement — from any connection
+// — reuses its plan, partitioning, and warm-start root basis.
+//
+// Example:
+//   ./build/examples/paql_server recipes.csv --port 7781 &
+//   printf 'RUN SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0 SUCH THAT
+//     COUNT(P.*) = 3 MINIMIZE SUM(P.kcal)\nQUIT\n' | nc 127.0.0.1 7781
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/catalog.h"
+#include "service/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> csvs;
+  paql::service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--max-concurrent" && i + 1 < argc) {
+      options.scheduler.max_concurrent = std::atoi(argv[++i]);
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      options.scheduler.engine.planner.direct_row_threshold =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      csvs.push_back(arg);
+    }
+  }
+  if (csvs.empty()) {
+    std::cerr << "usage: paql_server <table.csv> [more.csv ...] "
+                 "[--port n] [--max-concurrent n] [--threshold rows]\n";
+    return 2;
+  }
+
+  paql::service::Catalog catalog;
+  for (const std::string& path : csvs) {
+    paql::Status status = catalog.AddTableFromCsv(path);
+    if (!status.ok()) {
+      std::cerr << path << ": " << status << "\n";
+      return 1;
+    }
+  }
+  for (const auto& name : catalog.table_names()) {
+    std::cout << "loaded table " << name << "\n";
+  }
+
+  paql::service::Server server(catalog, options);
+  paql::Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  std::cout << "listening on 127.0.0.1:" << server.port()
+            << " (RUN/BATCH/STATS/QUIT; Ctrl-C to stop)\n";
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    struct timespec ts {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Stop();
+  std::cout << "stopped\n";
+  return 0;
+}

@@ -26,6 +26,8 @@
 //                          strategy, reason, partitioning, thresholds —
 //                          without solving it
 //   \tables;               list the registered relations
+//   \cache;                cross-query cache statistics (plans,
+//                          partitionings, warm-start bases)
 //   \help;                 this list
 //
 // Each CSV becomes a catalog relation named after its basename (without
@@ -62,6 +64,7 @@ void PrintHelp() {
   std::cout << "statements end with ';'. Meta-commands:\n"
                "  \\plan <PAQL...>;  show the planner's choice, don't solve\n"
                "  \\tables;          list registered relations\n"
+               "  \\cache;           cross-query cache statistics\n"
                "  \\help;            this list\n";
 }
 
@@ -86,6 +89,17 @@ int RunStatement(Session& session, const ShellOptions& options,
       for (const auto& name : session.table_names()) {
         std::cout << name << "\n";
       }
+      return 0;
+    }
+    if (text == "\\cache") {
+      paql::engine::QueryCacheStats stats = session.query_cache()->stats();
+      std::cout << "statement artifacts: " << stats.entries << " entries, "
+                << stats.hits << " hits, " << stats.misses << " misses, "
+                << stats.insertions << " insertions, " << stats.evictions
+                << " evictions\n"
+                << "partitionings:       " << stats.partition_entries
+                << " entries, " << stats.partition_hits << " hits, "
+                << stats.partition_misses << " misses\n";
       return 0;
     }
     if (text == "\\help") {

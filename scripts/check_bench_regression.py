@@ -21,6 +21,12 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
     when both files were measured with the same worker count on the same
     hardware_threads (a 1-core container measuring ~1x is not a
     regression against an 8-core baseline's 4x, and vice versa).
+  * serving throughput — BENCH_serve.json files (bench ==
+    "serve_throughput").
+    Throughput (qps, lower bound) and tail latency (latency_us.p99, upper
+    bound) are absolute, so they are only compared when baseline and
+    current ran the same closed-loop workload (clients, iters_per_client)
+    on the same hardware_threads.
 
 A missing entry in CURRENT fails: silently dropping a measurement is how
 perf regressions hide.
@@ -89,6 +95,43 @@ def main() -> int:
             f"current {cur_parallel.get('workers')} on "
             f"{cur_parallel.get('hardware_threads')} (core-count-dependent "
             f"ratios do not transfer)")
+
+    if base.get("bench") == "serve_throughput":
+        if cur.get("bench") != "serve_throughput":
+            failures.append("current run is not a serve bench result")
+        serve_match = (
+            base.get("hardware_threads") == cur.get("hardware_threads")
+            and base.get("clients") == cur.get("clients")
+            and base.get("iters_per_client") == cur.get("iters_per_client"))
+        if serve_match:
+            b_qps, c_qps = base.get("qps"), cur.get("qps")
+            if c_qps is None:
+                failures.append("serve qps missing from current run")
+            elif c_qps < b_qps * (1 - tol):
+                failures.append(
+                    f"serve throughput regressed: {c_qps:g} qps < {b_qps:g} "
+                    f"* (1 - {tol:g})")
+            else:
+                print(f"ok serve qps: {c_qps:g} (baseline {b_qps:g})")
+            b_p99 = base.get("latency_us", {}).get("p99")
+            c_p99 = cur.get("latency_us", {}).get("p99")
+            if c_p99 is None:
+                failures.append("serve latency p99 missing from current run")
+            elif c_p99 > b_p99 * (1 + tol):
+                failures.append(
+                    f"serve p99 latency regressed: {c_p99:g} us > {b_p99:g} "
+                    f"us * (1 + {tol:g})")
+            else:
+                print(f"ok serve p99: {c_p99:g} us (baseline {b_p99:g} us)")
+        else:
+            print(
+                f"skipping serve comparison: baseline ran "
+                f"{base.get('clients')} clients x "
+                f"{base.get('iters_per_client')} iters on "
+                f"{base.get('hardware_threads')} hardware threads vs current "
+                f"{cur.get('clients')} x {cur.get('iters_per_client')} on "
+                f"{cur.get('hardware_threads')} (absolute throughput and "
+                f"latency do not transfer across machines or workloads)")
 
     if strict_absolute and sizes_match:
         for name, b in base_solver.get("entries", {}).items():

@@ -10,7 +10,52 @@ namespace {
 /// path) and keeps nested ParallelFor calls from waiting on themselves.
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local size_t tls_worker_index = 0;
+
+/// The work class of whatever the current thread is executing. Interactive
+/// by default: plain library users never yield.
+thread_local WorkClass tls_work_class = WorkClass::kInteractive;
 }  // namespace
+
+WorkClass CurrentWorkClass() { return tls_work_class; }
+
+ScopedWorkClass::ScopedWorkClass(WorkClass work_class)
+    : previous_(tls_work_class) {
+  tls_work_class = work_class;
+}
+
+ScopedWorkClass::~ScopedWorkClass() { tls_work_class = previous_; }
+
+PriorityGate& PriorityGate::Global() {
+  static PriorityGate* gate = new PriorityGate();
+  return *gate;
+}
+
+void PriorityGate::BeginInteractive() {
+  // The count changes under the mutex so a batch waiter between its
+  // predicate check and its wait cannot miss the transition back to zero.
+  std::lock_guard<std::mutex> lock(mu_);
+  interactive_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PriorityGate::EndInteractive() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    interactive_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+void PriorityGate::YieldIfContended() {
+  if (tls_work_class != WorkClass::kBatch || !Contended()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!Contended()) return;
+  yields_.fetch_add(1, std::memory_order_relaxed);
+  // Bounded wait: batch work is throttled while interactive queries run,
+  // but a continuous interactive stream cannot wedge it forever — each
+  // yield surrenders at most one slice, then one unit of batch work (a
+  // morsel, a node) proceeds.
+  cv_.wait_for(lock, kMaxWaitSlice, [&] { return !Contended(); });
+}
 
 ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = new ThreadPool(HardwareThreads());
@@ -115,6 +160,7 @@ struct ThreadPool::ForState {
   size_t n = 0;
   size_t grain = 0;
   size_t morsels = 0;
+  WorkClass work_class = WorkClass::kInteractive;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::atomic<bool> cancelled{false};
@@ -129,8 +175,19 @@ struct ThreadPool::ForState {
   /// (the caller's stack may be gone by then); a valid claim, conversely,
   /// holds up the caller's done-count until it completes, keeping both
   /// pointers alive.
-  void Drain() {
+  void Drain(bool is_caller) {
     for (;;) {
+      // Priority preemption at the morsel boundary: while an interactive
+      // query is in flight, batch helpers hand their pool worker back
+      // (the interactive query's own ParallelFor can then use it) and the
+      // batch caller waits a bounded slice before claiming the next
+      // morsel. The caller always finishes the loop, so ParallelFor's
+      // completion guarantee is untouched.
+      if (work_class == WorkClass::kBatch &&
+          PriorityGate::Global().Contended()) {
+        if (!is_caller) return;
+        PriorityGate::Global().YieldIfContended();
+      }
       size_t m = next.fetch_add(1, std::memory_order_relaxed);
       if (m >= morsels) return;
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -161,6 +218,7 @@ bool ThreadPool::ParallelFor(size_t n, size_t grain, int workers,
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         return false;
       }
+      PriorityGate::Global().YieldIfContended();
       fn(m * grain, std::min(n, (m + 1) * grain));
     }
     return true;
@@ -172,6 +230,7 @@ bool ThreadPool::ParallelFor(size_t n, size_t grain, int workers,
   state->n = n;
   state->grain = grain;
   state->morsels = morsels;
+  state->work_class = CurrentWorkClass();
 
   // Helpers beyond the caller; no point queuing more than there are
   // morsels left to claim or workers to run them.
@@ -180,9 +239,14 @@ bool ThreadPool::ParallelFor(size_t n, size_t grain, int workers,
   for (size_t i = 0; i < helpers; ++i) {
     // The shared_ptr keeps the state alive for helpers that fire after the
     // caller already returned (they find no morsels and exit immediately).
-    Submit([state] { state->Drain(); });
+    // Helpers run under the caller's work class so a batch query's morsels
+    // (and any yield points inside them) stay batch on pool workers.
+    Submit([state] {
+      ScopedWorkClass scope(state->work_class);
+      state->Drain(/*is_caller=*/false);
+    });
   }
-  state->Drain();
+  state->Drain(/*is_caller=*/true);
   {
     std::unique_lock<std::mutex> lock(state->mu);
     state->cv.wait(lock, [&] {

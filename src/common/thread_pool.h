@@ -33,6 +33,7 @@
 #define PAQL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,6 +61,87 @@ inline int ClampThreads(int requested) {
   if (requested <= 0) return HardwareThreads();
   return requested < kMaxThreads ? requested : kMaxThreads;
 }
+
+/// Priority class of the work the current thread is executing, used by the
+/// service layer's two-level scheduler. kInteractive is the default: work
+/// that should run as soon as possible. kBatch marks long-running analytical
+/// work (a big branch-and-bound solve) that must not starve interactive
+/// queries sharing the pool: batch work checks PriorityGate at its natural
+/// preemption points — morsel claims and branch-and-bound node boundaries —
+/// and steps aside while interactive queries are in flight.
+enum class WorkClass { kInteractive, kBatch };
+
+/// The calling thread's work class (thread-local; kInteractive by default).
+WorkClass CurrentWorkClass();
+
+/// RAII work-class override for the current thread. ThreadPool::ParallelFor
+/// propagates the caller's class into its helper tasks, so a batch query's
+/// morsels stay batch even when a pool worker runs them.
+class ScopedWorkClass {
+ public:
+  explicit ScopedWorkClass(WorkClass work_class);
+  ~ScopedWorkClass();
+  ScopedWorkClass(const ScopedWorkClass&) = delete;
+  ScopedWorkClass& operator=(const ScopedWorkClass&) = delete;
+
+ private:
+  WorkClass previous_;
+};
+
+/// Process-wide two-level priority gate: interactive queries raise it for
+/// their duration; batch work polls YieldIfContended() at morsel and
+/// branch-and-bound node boundaries and waits (in bounded slices, so batch
+/// progress is throttled, never deadlocked) while the gate is raised.
+///
+/// The preemption unit is cooperative and coarse — one morsel or one B&B
+/// node — which is exactly the isolation granularity the service layer
+/// needs: a short interactive query never waits behind more than one
+/// in-flight morsel of a long analytical solve.
+class PriorityGate {
+ public:
+  static PriorityGate& Global();
+
+  /// An interactive query entered/left execution. Calls must pair; prefer
+  /// ScopedInteractive.
+  void BeginInteractive();
+  void EndInteractive();
+
+  /// True while at least one interactive query is executing.
+  bool Contended() const {
+    return interactive_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Batch-class callers wait here while the gate is raised, at most
+  /// `kMaxWaitSlice` per call (interactive callers return immediately).
+  /// The fast path is one relaxed atomic load.
+  void YieldIfContended();
+
+  /// Times YieldIfContended actually waited (observability for tests and
+  /// the scheduler's fairness accounting).
+  int64_t yields() const { return yields_.load(std::memory_order_relaxed); }
+
+  static constexpr std::chrono::milliseconds kMaxWaitSlice{100};
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<int> interactive_{0};
+  std::atomic<int64_t> yields_{0};
+};
+
+/// RAII BeginInteractive/EndInteractive.
+class ScopedInteractive {
+ public:
+  explicit ScopedInteractive(PriorityGate& gate) : gate_(gate) {
+    gate_.BeginInteractive();
+  }
+  ~ScopedInteractive() { gate_.EndInteractive(); }
+  ScopedInteractive(const ScopedInteractive&) = delete;
+  ScopedInteractive& operator=(const ScopedInteractive&) = delete;
+
+ private:
+  PriorityGate& gate_;
+};
 
 class ThreadPool {
  public:

@@ -69,9 +69,12 @@ Result<EvalResult> DirectEvaluator::SolveCandidates(
   result.stats.translate_seconds =
       filter_seconds + translate_watch.ElapsedSeconds();
 
-  // Step 3 (paper): ILP execution by the black-box solver.
-  auto solution = ilp::SolveIlp(model, options_.limits,
-                                options_.EffectiveBranchAndBound());
+  // Step 3 (paper): ILP execution by the black-box solver. The optional
+  // warm carrier seeds the root LP from the previous identical
+  // statement's basis (cross-query cache) and collects this solve's.
+  auto solution =
+      ilp::SolveIlp(model, options_.limits, options_.EffectiveBranchAndBound(),
+                    options_.warm_start ? options_.warm_basis : nullptr);
   if (!solution.ok()) {
     return solution.status();
   }

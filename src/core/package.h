@@ -77,6 +77,16 @@ struct EvalStats {
   /// search across all ILP solves (zero when every search ran serially).
   int64_t parallel_bnb_nodes = 0;
 
+  // Cross-query artifact cache counters (engine/query_cache.h), filled by
+  // Session::Execute; zero when the session has no cache or the low-level
+  // evaluators are driven directly.
+  /// This statement's artifacts (plan / partitioning / warm basis) were
+  /// served from the cross-query cache.
+  int64_t cache_hits = 0;
+  /// This statement missed the cross-query cache (its artifacts were
+  /// stored for the next identical statement).
+  int64_t cache_misses = 0;
+
   // Parallel-evaluation counters (core/parallel.h; zero elsewhere).
   int threads_used = 0;
   /// Speculative parallel refinement conflicted and the evaluator fell

@@ -10,6 +10,7 @@
 #include "core/topk.h"
 #include "engine/evaluators.h"
 #include "lp/lp_format.h"
+#include "paql/normalize.h"
 #include "paql/parser.h"
 #include "partition/partitioner.h"
 #include "relation/csv.h"
@@ -84,12 +85,19 @@ Result<Session> Engine::OpenCsv(const std::string& path,
 // ---------------------------------------------------------------------------
 
 Status Session::AddTable(std::string name, relation::Table table) {
+  return AddTable(std::move(name), std::make_shared<const relation::Table>(
+                                       std::move(table)));
+}
+
+Status Session::AddTable(std::string name,
+                         std::shared_ptr<const relation::Table> table) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
-  auto [it, inserted] = tables_.emplace(
-      std::move(name),
-      std::make_shared<const relation::Table>(std::move(table)));
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
   if (!inserted) {
     return Status::InvalidArgument(
         StrCat("table '", it->first, "' is already registered"));
@@ -119,6 +127,7 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
 
   Stopwatch resolve_watch;
   ResolvedQuery out;
+  out.normalized_text = lang::NormalizeQueryText(paql);
   if (parsed->more_relations.empty()) {
     // Single-relation query: bind the table without copying it. Name
     // resolution is forgiving on purpose — the paper's examples write
@@ -143,28 +152,39 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
     out.ast = std::move(*parsed);
     out.table = it->second;
     out.table_name = it->first;
-  } else if (join_cache_.has_value() && join_cache_->query_text == paql) {
-    // Same multi-relation statement as last time (the shell's interactive
-    // loop, repeated Execute calls): reuse the materialized join instead
-    // of re-running it. Session tables are immutable, so the cached result
-    // cannot go stale.
-    out.ast = join_cache_->ast.Clone();
-    out.table = join_cache_->table;
-    out.joined_from = true;
   } else {
-    // Multi-relation query: materialize the join (paper §4.5) and rewrite
-    // the query against the join result.
-    core::Catalog catalog;
-    for (const auto& [name, table] : tables_) catalog[name] = table.get();
-    auto materialized =
-        core::MaterializeFromClause(*parsed, catalog, options_.from_clause);
-    if (!materialized.ok()) return materialized.status();
-    out.ast = std::move(materialized->query);
-    out.table = std::make_shared<const relation::Table>(
-        std::move(materialized->table));
-    out.joined_from = true;
-    join_cache_ = JoinCacheEntry{std::string(paql), out.ast.Clone(),
-                                 out.table};
+    // The join cache is keyed by the *normalized* statement, so any
+    // re-spelling of the same join (case, whitespace) reuses the
+    // materialized result. Session tables are immutable, so a cached
+    // result cannot go stale; the mutex makes repeat-statement storms
+    // from concurrent Execute calls safe.
+    bool join_hit = false;
+    {
+      std::lock_guard<std::mutex> lock(sync_->mu);
+      if (sync_->join_cache.has_value() &&
+          sync_->join_cache->normalized_text == out.normalized_text) {
+        out.ast = sync_->join_cache->ast.Clone();
+        out.table = sync_->join_cache->table;
+        out.joined_from = true;
+        join_hit = true;
+      }
+    }
+    if (!join_hit) {
+      // Multi-relation query: materialize the join (paper §4.5) and
+      // rewrite the query against the join result.
+      core::Catalog catalog;
+      for (const auto& [name, table] : tables_) catalog[name] = table.get();
+      auto materialized =
+          core::MaterializeFromClause(*parsed, catalog, options_.from_clause);
+      if (!materialized.ok()) return materialized.status();
+      out.ast = std::move(materialized->query);
+      out.table = std::make_shared<const relation::Table>(
+          std::move(materialized->table));
+      out.joined_from = true;
+      std::lock_guard<std::mutex> lock(sync_->mu);
+      sync_->join_cache =
+          JoinCacheEntry{out.normalized_text, out.ast.Clone(), out.table};
+    }
   }
   if (timings) timings->resolve_seconds += resolve_watch.ElapsedSeconds();
   return out;
@@ -198,17 +218,18 @@ Session::PartitioningFor(const ResolvedQuery& resolved, Plan* plan) {
   plan->partition_size_threshold = tau;
 
   // Joined tables are per-query; only named session tables are cacheable.
+  // The registry lives in the (possibly process-wide) QueryCache, so every
+  // session sharing the cache shares one partition tree per policy.
   std::string key;
   if (!resolved.joined_from) {
     std::ostringstream key_os;
     key_os << resolved.table_name << "|" << tau;
     for (const auto& attr : attributes) key_os << "|" << attr;
     key = key_os.str();
-    auto hit = partition_cache_.find(key);
-    if (hit != partition_cache_.end()) {
+    if (auto hit = cache_->LookupPartitioning(key)) {
       plan->partitioning_reused = true;
-      plan->partition_groups = hit->second->num_groups();
-      return hit->second;
+      plan->partition_groups = hit->num_groups();
+      return hit;
     }
   }
 
@@ -221,12 +242,26 @@ Session::PartitioningFor(const ResolvedQuery& resolved, Plan* plan) {
   auto partitioning =
       std::make_shared<const partition::Partitioning>(std::move(*built));
   plan->partition_groups = partitioning->num_groups();
-  if (!key.empty()) partition_cache_.emplace(std::move(key), partitioning);
+  if (!key.empty()) cache_->StorePartitioning(key, partitioning);
   return partitioning;
 }
 
+std::string Session::ArtifactKey(const ResolvedQuery& resolved) const {
+  const engine::PlannerOptions& p = options_.planner;
+  std::ostringstream os;
+  // '\x1F' (unit separator) cannot appear in table names or query text, so
+  // the three sections can never collide by concatenation.
+  os << resolved.table_name << '\x1F' << resolved.normalized_text << '\x1F'
+     << engine::StrategyName(p.force) << '|' << p.direct_row_threshold << '|'
+     << p.parallel_threads << '|' << p.partition_size_threshold;
+  for (const auto& attr : p.partition_attributes) os << '|' << attr;
+  return os.str();
+}
+
 Result<std::unique_ptr<engine::PackageEvaluator>> Session::MakeStrategy(
-    const ResolvedQuery& resolved, Plan* plan) {
+    const ResolvedQuery& resolved, Plan* plan,
+    std::shared_ptr<const partition::Partitioning> reuse_partitioning,
+    std::shared_ptr<const partition::Partitioning>* used_partitioning) {
   using engine::DirectStrategy;
   using engine::LpRoundingStrategy;
   using engine::ParallelSketchRefineStrategy;
@@ -244,14 +279,28 @@ Result<std::unique_ptr<engine::PackageEvaluator>> Session::MakeStrategy(
       return std::unique_ptr<engine::PackageEvaluator>(
           new RatioObjectiveStrategy(resolved.table));
     case Strategy::kSketchRefine: {
-      PAQL_ASSIGN_OR_RETURN(auto partitioning,
-                            PartitioningFor(resolved, plan));
+      std::shared_ptr<const partition::Partitioning> partitioning =
+          std::move(reuse_partitioning);
+      if (partitioning != nullptr) {
+        plan->partitioning_reused = true;
+        plan->partition_groups = partitioning->num_groups();
+      } else {
+        PAQL_ASSIGN_OR_RETURN(partitioning, PartitioningFor(resolved, plan));
+      }
+      if (used_partitioning != nullptr) *used_partitioning = partitioning;
       return std::unique_ptr<engine::PackageEvaluator>(
           new SketchRefineStrategy(resolved.table, std::move(partitioning)));
     }
     case Strategy::kParallelSketchRefine: {
-      PAQL_ASSIGN_OR_RETURN(auto partitioning,
-                            PartitioningFor(resolved, plan));
+      std::shared_ptr<const partition::Partitioning> partitioning =
+          std::move(reuse_partitioning);
+      if (partitioning != nullptr) {
+        plan->partitioning_reused = true;
+        plan->partition_groups = partitioning->num_groups();
+      } else {
+        PAQL_ASSIGN_OR_RETURN(partitioning, PartitioningFor(resolved, plan));
+      }
+      if (used_partitioning != nullptr) *used_partitioning = partitioning;
       // An explicit planner grant pins the fan-out; 0 lets the evaluator
       // inherit ExecContext::threads (the plan reports the resolved count
       // either way).
@@ -280,24 +329,62 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
                         CompileResolved(resolved, &out.timings));
 
   Stopwatch plan_watch;
+  // Cross-query cache probe: a prior execution of this exact normalized
+  // statement (same table instance, same planner options — both are in the
+  // key/lookup) donates its plan, partitioning, and warm-start root basis.
+  // Joined FROMs materialize a per-query table, so they never participate.
+  const std::string artifact_key = ArtifactKey(resolved);
+  std::optional<engine::QueryCache::Artifacts> cached;
+  if (!resolved.joined_from) {
+    cached = cache_->Lookup(artifact_key, resolved.table);
+  }
+
   QueryShape shape;
   shape.ratio_objective = compiled.ratio_objective;
   shape.joined_from = resolved.joined_from;
-  Planner planner(options_.planner);
-  out.plan = planner.Decide(*resolved.table, shape);
+  if (cached.has_value() && cached->plan.has_value()) {
+    out.plan = *cached->plan;
+    out.plan.plan_cached = true;
+  } else {
+    Planner planner(options_.planner);
+    out.plan = planner.Decide(*resolved.table, shape);
+  }
   FillPlanExecFlags(options_.exec, compiled, &out.plan);
-  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<engine::PackageEvaluator> strategy,
-                        MakeStrategy(resolved, &out.plan));
+  std::shared_ptr<const partition::Partitioning> used_partitioning;
+  PAQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<engine::PackageEvaluator> strategy,
+      MakeStrategy(resolved, &out.plan,
+                   cached.has_value() ? cached->partitioning : nullptr,
+                   &used_partitioning));
   out.timings.plan_seconds = plan_watch.ElapsedSeconds();
 
+  // The warm carrier: seeded from the cache on a hit, and — hit or miss —
+  // it collects this solve's root basis for the next identical statement.
+  // chain=false is the cross-query contract (presolve stays on; see
+  // IlpWarmStart). A dimension mismatch inside the solver silently cold
+  // starts, so a stale basis can slow a solve but never corrupt one.
+  ExecContext exec = options_.exec;
+  ilp::IlpWarmStart warm_local;
+  warm_local.chain = false;
+  if (exec.warm_start && cached.has_value() &&
+      cached->warm_basis.has_value()) {
+    warm_local.root_basis = *cached->warm_basis;
+    out.plan.warm_cached = true;
+  }
+  exec.warm_basis = &warm_local;
+
   Stopwatch eval_watch;
-  auto result = strategy->Evaluate(compiled, options_.exec);
+  auto result = strategy->Evaluate(compiled, exec);
   out.timings.evaluate_seconds = eval_watch.ElapsedSeconds();
   if (!result.ok()) return result.status();
 
   out.package = std::move(result->package);
   out.objective = result->objective;
   out.stats = result->stats;
+  if (!resolved.joined_from) {
+    out.stats.cache_hits = cached.has_value() ? 1 : 0;
+    out.stats.cache_misses = cached.has_value() ? 0 : 1;
+  }
   out.table = resolved.table;
 
   // Belt and braces for every strategy: the facade only returns packages
@@ -310,6 +397,22 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
                                    engine::StrategyName(out.plan.strategy),
                                    " returned an invalid package: ",
                                    valid.message()));
+  }
+
+  // Deposit this execution's artifacts (only after validation: a strategy
+  // bug must not poison the cache). The stored plan drops the cache marks
+  // so a later hit reports its own provenance.
+  if (!resolved.joined_from) {
+    engine::QueryCache::Artifacts artifacts;
+    artifacts.table = resolved.table;
+    artifacts.plan = out.plan;
+    artifacts.plan->plan_cached = false;
+    artifacts.plan->warm_cached = false;
+    artifacts.partitioning = used_partitioning;
+    if (warm_local.root_basis.valid) {
+      artifacts.warm_basis = std::move(warm_local.root_basis);
+    }
+    cache_->Store(artifact_key, std::move(artifacts));
   }
   out.timings.total_seconds = total.ElapsedSeconds();
   return out;

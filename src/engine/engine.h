@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -30,6 +31,7 @@
 #include "engine/evaluator.h"
 #include "engine/exec_context.h"
 #include "engine/planner.h"
+#include "engine/query_cache.h"
 #include "paql/validator.h"
 #include "partition/partitioner.h"
 #include "relation/table.h"
@@ -68,6 +70,14 @@ struct QueryResult {
 
 /// A session: an open catalog of tables plus cached partitionings and
 /// per-session options. Create with Engine::Open, then Execute PaQL text.
+///
+/// Thread safety: once a session is set up (tables registered, options
+/// configured), Execute / ExecuteTopK / PlanQuery / Explain / DumpLp may
+/// run concurrently from many threads — the join cache is internally
+/// synchronized and the artifact cache is a thread-safe QueryCache. Setup
+/// itself is not synchronized: AddTable and options() must not run
+/// concurrently with query execution (the service scheduler clones
+/// per-query sessions precisely so each query can carry its own options).
 class Session {
  public:
   /// Run one PaQL query end to end (parse -> validate -> compile -> plan
@@ -100,6 +110,11 @@ class Session {
   /// kInvalidArgument when the name is already taken.
   Status AddTable(std::string name, relation::Table table);
 
+  /// Same, sharing an externally-owned table instead of copying it (how
+  /// the service catalog hands one table instance to every session).
+  Status AddTable(std::string name,
+                  std::shared_ptr<const relation::Table> table);
+
   /// Read a CSV file and register it under its basename (sans extension).
   Status AddTableFromCsv(const std::string& path);
 
@@ -110,6 +125,21 @@ class Session {
   /// Names of the registered tables (sorted).
   std::vector<std::string> table_names() const;
 
+  /// The cross-query artifact cache this session reads and feeds:
+  /// partitionings (keyed by table/policy) and per-statement artifacts —
+  /// plan, partition tree, warm-start root basis — keyed by normalized
+  /// query text. Engine::Open gives every session a private cache; the
+  /// service catalog replaces it with one process-wide instance so
+  /// sessions warm each other. Replacing the cache mid-stream is safe
+  /// (entries are self-validating), but do it before sharing the session
+  /// across threads.
+  const std::shared_ptr<engine::QueryCache>& query_cache() const {
+    return cache_;
+  }
+  void set_query_cache(std::shared_ptr<engine::QueryCache> cache) {
+    if (cache != nullptr) cache_ = std::move(cache);
+  }
+
  private:
   friend class Engine;
 
@@ -117,6 +147,7 @@ class Session {
     lang::PackageQuery ast;    // single-relation (joins materialized)
     std::shared_ptr<const relation::Table> table;
     std::string table_name;    // registered name; empty for join results
+    std::string normalized_text;  // canonical statement (cache keying)
     bool joined_from = false;
   };
 
@@ -133,23 +164,42 @@ class Session {
   Result<std::shared_ptr<const partition::Partitioning>> PartitioningFor(
       const ResolvedQuery& resolved, engine::Plan* plan);
 
-  /// Construct the strategy adapter `plan` names.
+  /// Construct the strategy adapter `plan` names. `reuse_partitioning`
+  /// (may be null) short-circuits the partitioning lookup — the cross-query
+  /// cache hit path; `used_partitioning` (may be null) receives whichever
+  /// partitioning the strategy was built over, for storing back.
   Result<std::unique_ptr<engine::PackageEvaluator>> MakeStrategy(
-      const ResolvedQuery& resolved, engine::Plan* plan);
+      const ResolvedQuery& resolved, engine::Plan* plan,
+      std::shared_ptr<const partition::Partitioning> reuse_partitioning =
+          nullptr,
+      std::shared_ptr<const partition::Partitioning>* used_partitioning =
+          nullptr);
 
-  /// The last materialized multi-relation join, keyed by the exact query
-  /// text (size-1 cache: it serves the repeat-same-statement pattern
+  /// The cross-query cache key for one resolved statement: table identity,
+  /// canonical text, and a planner-options fingerprint (two sessions that
+  /// plan differently must not trade plans).
+  std::string ArtifactKey(const ResolvedQuery& resolved) const;
+
+  /// The last materialized multi-relation join, keyed by the normalized
+  /// query text (size-1 cache: it serves the repeat-same-statement pattern
   /// without holding many large join results alive).
   struct JoinCacheEntry {
-    std::string query_text;
+    std::string normalized_text;
     lang::PackageQuery ast;
     std::shared_ptr<const relation::Table> table;
   };
 
+  /// Mutable state that concurrent Execute calls share, behind one mutex
+  /// (a pointer so Session stays movable).
+  struct SyncState {
+    std::mutex mu;
+    std::optional<JoinCacheEntry> join_cache;
+  };
+
   std::map<std::string, std::shared_ptr<const relation::Table>> tables_;
-  std::map<std::string, std::shared_ptr<const partition::Partitioning>>
-      partition_cache_;
-  std::optional<JoinCacheEntry> join_cache_;
+  std::shared_ptr<engine::QueryCache> cache_ =
+      std::make_shared<engine::QueryCache>();
+  std::shared_ptr<SyncState> sync_ = std::make_shared<SyncState>();
   EngineOptions options_;
 };
 

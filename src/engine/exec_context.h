@@ -54,6 +54,14 @@ struct ExecContext {
   /// kResourceExhausted. Not owned; may be null.
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Optional cross-solve warm-start carrier for the strategy's main ILP
+  /// solve (DIRECT today). The session points this at a local seeded from
+  /// the cross-query cache: the solve restores the previous identical
+  /// statement's root basis and deposits its own on the way out. Not
+  /// owned; may be null (every solve then starts from scratch as before).
+  /// Only consulted when `warm_start` is on.
+  ilp::IlpWarmStart* warm_basis = nullptr;
+
   /// Seed for any randomized choice a strategy makes (e.g. SKETCHREFINE's
   /// initial refinement order, the parallel ordering race's racer seeds).
   uint64_t seed = 42;

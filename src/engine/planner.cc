@@ -129,6 +129,7 @@ std::string Plan::Explain() const {
   if (vectorized && exec_threads > 1) {
     os << ", morsel-parallel x" << exec_threads;
   }
+  if (plan_cached) os << ", plan from cross-query cache";
   os << "\n";
   os << "solver: "
      << (warm_start ? "warm-started (dual simplex basis reuse)"
@@ -140,8 +141,9 @@ std::string Plan::Explain() const {
      << ", "
      << (exec_threads > 1
              ? StrCat("concurrent branch-and-bound x", exec_threads)
-             : "serial branch-and-bound")
-     << "\n";
+             : "serial branch-and-bound");
+  if (warm_cached) os << ", root basis from cross-query cache";
+  os << "\n";
   if (shape.ratio_objective) os << "ratio objective: yes\n";
   if (shape.joined_from) os << "joined FROM: materialized before planning\n";
   if (shape.topk > 0) os << "top-k: " << shape.topk << "\n";

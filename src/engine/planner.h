@@ -90,6 +90,16 @@ struct Plan {
   /// branch-and-bound run with (1 = serial). Filled by the session.
   int exec_threads = 1;
 
+  /// This plan was served from the cross-query artifact cache (the same
+  /// normalized statement ran before against the same table). Filled by
+  /// the session; reported on Explain's pipeline: line.
+  bool plan_cached = false;
+
+  /// The final ILP solve was seeded with the cached root basis of the
+  /// previous identical statement. Filled by the session; reported on
+  /// Explain's solver: line.
+  bool warm_cached = false;
+
   // Partitioning details, filled by the session for SKETCHREFINE plans.
   std::vector<std::string> partition_attributes;
   size_t partition_size_threshold = 0;  // tau

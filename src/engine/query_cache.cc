@@ -1,0 +1,69 @@
+#include "engine/query_cache.h"
+
+namespace paql::engine {
+
+QueryCache::QueryCache() : QueryCache(Options()) {}
+
+QueryCache::QueryCache(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.partition_capacity == 0) options_.partition_capacity = 1;
+}
+
+std::optional<QueryCache::Artifacts> QueryCache::Lookup(
+    const std::string& key,
+    const std::shared_ptr<const relation::Table>& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Artifacts* entry = artifacts_.Touch(key);
+  if (entry == nullptr || entry->table != table) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return *entry;  // copy out: the caller mutates its copy lock-free
+}
+
+void QueryCache::Store(const std::string& key, Artifacts artifacts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (artifacts_.Put(key, std::move(artifacts), options_.capacity,
+                     &stats_.evictions)) {
+    ++stats_.insertions;
+  }
+}
+
+std::shared_ptr<const partition::Partitioning> QueryCache::LookupPartitioning(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* entry = partitions_.Touch(key);
+  if (entry == nullptr) {
+    ++stats_.partition_misses;
+    return nullptr;
+  }
+  ++stats_.partition_hits;
+  return *entry;
+}
+
+void QueryCache::StorePartitioning(
+    const std::string& key,
+    std::shared_ptr<const partition::Partitioning> partitioning) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.Put(key, std::move(partitioning), options_.partition_capacity,
+                  &stats_.evictions);
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats out = stats_;
+  out.entries = artifacts_.order.size();
+  out.partition_entries = partitions_.order.size();
+  return out;
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  artifacts_.order.clear();
+  artifacts_.index.clear();
+  partitions_.order.clear();
+  partitions_.index.clear();
+}
+
+}  // namespace paql::engine

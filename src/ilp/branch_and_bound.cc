@@ -282,6 +282,9 @@ class Searcher {
     bool evaluate_current = true;  // root pending
     bool root = true;
     while (true) {
+      // Node boundary = the cooperative preemption point: a batch-class
+      // solve steps aside here while interactive queries are in flight.
+      PriorityGate::Global().YieldIfContended();
       PAQL_RETURN_IF_ERROR(CheckBudgets());
 
       if (evaluate_current) {
@@ -676,6 +679,9 @@ class ParallelSearcher {
     std::vector<int> applied;  // vars whose bounds differ from the root
     Frame frame;
     while (PopFrame(&frame)) {
+      // Same cooperative preemption point as the serial search. PopFrame
+      // released the queue lock, so waiting here blocks only this worker.
+      PriorityGate::Global().YieldIfContended();
       Status budget = CheckBudgets();
       if (!budget.ok()) {
         FinishFrame();
@@ -1132,7 +1138,7 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
   // RestoreBasis would fail on dimension mismatch and silently degrade the
   // warm path to cold solves. Basis reuse wins there; presolve stays for
   // the one-shot solves.
-  const bool warm_chain = warm != nullptr && options.warm_start;
+  const bool warm_chain = warm != nullptr && warm->chain && options.warm_start;
   if (!options.presolve || warm_chain || model.num_vars() == 0 ||
       model.num_rows() == 0) {
     return SolveWithCuts(model, limits, options, warm);

@@ -123,6 +123,15 @@ struct BranchAndBoundOptions {
 /// it with its own root basis on the way out.
 struct IlpWarmStart {
   lp::Basis root_basis;
+  /// true (the refine-loop/top-k contract): consecutive solves share one
+  /// column set whose bounds keep shifting, so presolve — whose reductions
+  /// would reshape the model differently per call — is skipped in favor of
+  /// basis reuse. false (the cross-query cache contract): each call is the
+  /// *identical* model, presolve runs as usual (its reductions are
+  /// deterministic, so the stored basis matches the reduced model of the
+  /// next identical solve), and the basis is restored/deposited on the
+  /// reduced-model search.
+  bool chain = true;
 };
 
 /// Solve `model` to integer optimality under `limits`.

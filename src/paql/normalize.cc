@@ -1,0 +1,87 @@
+#include "paql/normalize.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+#include "paql/token.h"
+
+namespace paql::lang {
+
+namespace {
+
+/// Fixed rendering for punctuation/operator tokens (their `text` field is
+/// not part of the lexer contract; the type is).
+const char* PunctuationText(TokenType type) {
+  switch (type) {
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    default: return nullptr;
+  }
+}
+
+std::string CollapseWhitespace(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeQueryText(std::string_view paql) {
+  auto tokens = Tokenize(paql);
+  if (!tokens.ok()) return CollapseWhitespace(paql);
+
+  std::string out;
+  for (const Token& tok : *tokens) {
+    if (tok.type == TokenType::kEnd) break;
+    std::string piece;
+    switch (tok.type) {
+      case TokenType::kIdentifier:
+      case TokenType::kNumber:
+        piece = tok.text;
+        break;
+      case TokenType::kString:
+        piece = StrCat("'", tok.text, "'");
+        break;
+      default: {
+        const char* punct = PunctuationText(tok.type);
+        // Everything else is a keyword, recognized case-insensitively by
+        // the lexer: canonicalize to upper case.
+        piece = punct != nullptr ? punct : ToUpper(tok.text);
+        break;
+      }
+    }
+    if (!out.empty()) out += ' ';
+    out += piece;
+  }
+  // Statement terminators are shell syntax, not query identity.
+  while (out.size() >= 2 && out.compare(out.size() - 2, 2, " ;") == 0) {
+    out.erase(out.size() - 2);
+  }
+  return out;
+}
+
+}  // namespace paql::lang

@@ -1,0 +1,27 @@
+// Canonical PaQL query text, for caches keyed on "the same statement".
+//
+// Two spellings of one statement — `SELECT  PACKAGE(R)` vs
+// `select package(r)` with different whitespace — must hit the same cache
+// entry (the engine's join cache, the service layer's cross-query artifact
+// cache). NormalizeQueryText produces that shared key: it re-renders the
+// token stream with single spaces, upper-cases keywords, and strips
+// comments and trailing semicolons. Identifiers and literals keep their
+// exact spelling — name resolution is the session's job, and `1.0` vs
+// `1.00` staying distinct only costs a cache miss, never a wrong hit.
+#ifndef PAQL_PAQL_NORMALIZE_H_
+#define PAQL_PAQL_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace paql::lang {
+
+/// The canonical single-line form of `paql`: tokens joined by one space,
+/// keywords upper-cased, `--` comments and trailing semicolons dropped.
+/// Text that does not lex falls back to whitespace-collapsed trimming (a
+/// stable key is still needed for statements that will fail to parse).
+std::string NormalizeQueryText(std::string_view paql);
+
+}  // namespace paql::lang
+
+#endif  // PAQL_PAQL_NORMALIZE_H_

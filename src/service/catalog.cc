@@ -1,0 +1,91 @@
+#include "service/catalog.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "relation/csv.h"
+
+namespace paql::service {
+
+namespace {
+
+std::string CsvBaseName(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
+}  // namespace
+
+Catalog::Catalog() : Catalog(engine::QueryCache::Options()) {}
+
+Catalog::Catalog(engine::QueryCache::Options cache_options)
+    : tables_(std::make_shared<const TableMap>()),
+      cache_(std::make_shared<engine::QueryCache>(cache_options)) {}
+
+Status Catalog::AddTable(std::string name, relation::Table table) {
+  return AddTable(std::move(name), std::make_shared<const relation::Table>(
+                                       std::move(table)));
+}
+
+Status Catalog::AddTable(std::string name,
+                         std::shared_ptr<const relation::Table> table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_->count(name) > 0) {
+    return Status::InvalidArgument(
+        StrCat("table '", name, "' is already registered"));
+  }
+  // Copy-on-write: in-flight queries keep their snapshot, new sessions see
+  // the published one.
+  auto next = std::make_shared<TableMap>(*tables_);
+  next->emplace(std::move(name), std::move(table));
+  tables_ = std::move(next);
+  return Status::OK();
+}
+
+Status Catalog::AddTableFromCsv(const std::string& path) {
+  auto table = relation::ReadCsv(path);
+  if (!table.ok()) return table.status();
+  return AddTable(CsvBaseName(path), std::move(*table));
+}
+
+std::shared_ptr<const Catalog::TableMap> Catalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_;
+}
+
+std::vector<std::string> Catalog::table_names() const {
+  auto snapshot = Snapshot();
+  std::vector<std::string> names;
+  names.reserve(snapshot->size());
+  for (const auto& [name, table] : *snapshot) names.push_back(name);
+  return names;
+}
+
+Result<Session> Catalog::OpenSession(EngineOptions options) const {
+  auto snapshot = Snapshot();
+  if (snapshot->empty()) {
+    return Status::InvalidArgument(
+        "catalog has no tables: register one before opening sessions");
+  }
+  auto first = snapshot->begin();
+  PAQL_ASSIGN_OR_RETURN(
+      Session session,
+      Engine::Open(first->second, first->first, std::move(options)));
+  for (auto it = std::next(first); it != snapshot->end(); ++it) {
+    PAQL_RETURN_IF_ERROR(session.AddTable(it->first, it->second));
+  }
+  session.set_query_cache(cache_);
+  return session;
+}
+
+}  // namespace paql::service

@@ -1,0 +1,80 @@
+// service::Catalog — the shared, read-only table registry of the query
+// service.
+//
+// A standalone Session owns its tables; a multi-tenant service cannot
+// afford that (every connection re-loading the same CSVs) and must not
+// allow it (two connections mutating one Session concurrently). The
+// catalog inverts the ownership: tables are registered once, process-wide,
+// and every per-query Session opened through OpenSession *shares* the same
+// immutable table instances plus one process-wide QueryCache — so sessions
+// warm each other's plans, partitionings, and root bases.
+//
+// Concurrency model: copy-on-write snapshots. The table map lives behind a
+// shared_ptr<const TableMap>; readers (OpenSession, Snapshot) grab the
+// pointer under a short lock and then work lock-free on an immutable map,
+// while writers (AddTable*) copy the map, insert, and publish the new
+// snapshot. Registration during live traffic is therefore safe: in-flight
+// queries keep executing against the snapshot they started with.
+#ifndef PAQL_SERVICE_CATALOG_H_
+#define PAQL_SERVICE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query_cache.h"
+#include "relation/table.h"
+
+namespace paql::service {
+
+class Catalog {
+ public:
+  /// The immutable registry snapshot: name -> shared table instance.
+  using TableMap =
+      std::map<std::string, std::shared_ptr<const relation::Table>>;
+
+  Catalog();
+  explicit Catalog(engine::QueryCache::Options cache_options);
+
+  /// Register a table (copied into shared ownership). Fails with
+  /// kInvalidArgument on empty/duplicate names.
+  Status AddTable(std::string name, relation::Table table);
+
+  /// Same, sharing an externally-owned instance instead of copying.
+  Status AddTable(std::string name,
+                  std::shared_ptr<const relation::Table> table);
+
+  /// Read a CSV file and register it under its basename (sans extension).
+  Status AddTableFromCsv(const std::string& path);
+
+  /// The current registry snapshot (immutable; cheap pointer copy).
+  std::shared_ptr<const TableMap> Snapshot() const;
+
+  /// Names of the registered tables (sorted).
+  std::vector<std::string> table_names() const;
+
+  /// Open a session over the current snapshot: every registered table is
+  /// shared (no copies) and the session's artifact cache is replaced by
+  /// the catalog's process-wide one. Fails with kInvalidArgument on an
+  /// empty catalog. The returned session is independent — callers own its
+  /// options — which is how the scheduler gives each query its own budget
+  /// without racing on a shared options struct.
+  Result<Session> OpenSession(EngineOptions options = {}) const;
+
+  /// The process-wide cross-query cache every OpenSession result shares.
+  const std::shared_ptr<engine::QueryCache>& query_cache() const {
+    return cache_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const TableMap> tables_;
+  std::shared_ptr<engine::QueryCache> cache_;
+};
+
+}  // namespace paql::service
+
+#endif  // PAQL_SERVICE_CATALOG_H_

@@ -1,0 +1,122 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace paql::service {
+
+QueryScheduler::QueryScheduler(const Catalog& catalog,
+                               SchedulerOptions options)
+    : catalog_(&catalog), options_(std::move(options)) {
+  max_concurrent_ = options_.max_concurrent > 0
+                        ? options_.max_concurrent
+                        : std::max(2, HardwareThreads());
+}
+
+Result<int> QueryScheduler::Admit(QueryClass query_class,
+                                  const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool interactive = query_class == QueryClass::kInteractive;
+  int& waiting = interactive ? waiting_interactive_ : waiting_batch_;
+  ++waiting;
+  // Interactive admits once a slot frees; batch additionally defers to any
+  // waiting interactive request (the admission-level half of the priority
+  // scheme — the PriorityGate handles already-running batch work). The
+  // bounded wait keeps the cancel flag responsive without a second cv.
+  auto admissible = [&] {
+    if (active_ >= max_concurrent_) return false;
+    return interactive || waiting_interactive_ == 0;
+  };
+  while (!admissible()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      --waiting;
+      ++rejected_;
+      return Status::ResourceExhausted("request cancelled while queued");
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  --waiting;
+  ++active_;
+  ++admitted_;
+  return active_;
+}
+
+void QueryScheduler::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    ++completed_;
+  }
+  cv_.notify_all();
+}
+
+template <typename T, typename Fn>
+Result<T> QueryScheduler::RunAdmitted(const QueryRequest& request, Fn&& fn) {
+  PAQL_ASSIGN_OR_RETURN(int active, Admit(request.query_class, request.cancel));
+
+  struct Releaser {
+    QueryScheduler* scheduler;
+    ~Releaser() { scheduler->Release(); }
+  } releaser{this};
+
+  // Per-query session: shared tables + shared artifact cache (from the
+  // catalog), private options (budget, threads, cancel) for this request.
+  EngineOptions eo = options_.engine;
+  if (request.budget.deadline_seconds > 0) {
+    eo.exec.limits.time_limit_s = request.budget.deadline_seconds;
+  }
+  if (request.budget.max_nodes > 0) {
+    eo.exec.limits.max_nodes = request.budget.max_nodes;
+  }
+  if (request.budget.memory_budget_bytes > 0) {
+    eo.exec.limits.memory_budget_bytes = request.budget.memory_budget_bytes;
+  }
+  eo.exec.cancel = request.cancel;
+  if (eo.exec.threads <= 0) {
+    // Fair share of the process-wide morsel pool among the queries active
+    // at admission time (including this one).
+    eo.exec.threads = std::max(1, HardwareThreads() / std::max(1, active));
+  }
+  PAQL_ASSIGN_OR_RETURN(Session session, catalog_->OpenSession(std::move(eo)));
+
+  if (request.query_class == QueryClass::kInteractive) {
+    // Interactive: raise the gate so running batch solves step aside at
+    // their next morsel claim / branch-and-bound node.
+    ScopedInteractive boost(PriorityGate::Global());
+    return fn(session);
+  }
+  // Batch: mark the thread so every morsel and node this query executes —
+  // on this thread and on the pool helpers ParallelFor spawns for it —
+  // polls the gate.
+  ScopedWorkClass batch(WorkClass::kBatch);
+  return fn(session);
+}
+
+Result<QueryResult> QueryScheduler::Execute(const QueryRequest& request) {
+  return RunAdmitted<QueryResult>(
+      request, [&](Session& session) { return session.Execute(request.paql); });
+}
+
+Result<std::vector<QueryResult>> QueryScheduler::ExecuteTopK(
+    const QueryRequest& request, size_t k) {
+  return RunAdmitted<std::vector<QueryResult>>(request, [&](Session& session) {
+    return session.ExecuteTopK(request.paql, k);
+  });
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats out;
+  out.admitted = admitted_;
+  out.completed = completed_;
+  out.rejected = rejected_;
+  out.active = active_;
+  out.waiting = waiting_interactive_ + waiting_batch_;
+  out.gate_yields = PriorityGate::Global().yields();
+  return out;
+}
+
+}  // namespace paql::service

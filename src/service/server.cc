@@ -1,0 +1,223 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+
+namespace paql::service {
+
+namespace {
+
+/// Protocol messages are single lines; fold any embedded newlines from an
+/// error message into spaces so the framing survives.
+std::string OneLine(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatResultLines(const QueryResult& result, int64_t micros) {
+  std::ostringstream os;
+  os << "PKG " << result.package.rows.size() << " " << result.objective;
+  for (size_t i = 0; i < result.package.rows.size(); ++i) {
+    os << " " << result.package.rows[i] << ":"
+       << result.package.multiplicity[i];
+  }
+  os << "\nOK " << micros << "\n";
+  return os.str();
+}
+
+Server::Server(const Catalog& catalog, ServerOptions options)
+    : scheduler_(catalog, options.scheduler), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::OK();
+
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    return Status::IoError(
+        StrCat("socket() failed: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IoError(
+        StrCat("bind(127.0.0.1:", options_.port,
+               ") failed: ", std::strerror(errno)));
+    ::close(lfd);
+    return status;
+  }
+  if (::listen(lfd, options_.listen_backlog) < 0) {
+    Status status =
+        Status::IoError(StrCat("listen() failed: ", std::strerror(errno)));
+    ::close(lfd);
+    return status;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  listen_fd_.store(lfd);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  // shutdown() unblocks the accept(); close() alone does not on all
+  // platforms.
+  int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::close(fd);
+  conn_fds_.clear();
+}
+
+void Server::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && running_.load()) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::string response;
+      open = HandleLine(line, &response);
+      if (!response.empty() && !SendAll(fd, response)) open = false;
+    }
+  }
+  // The fd stays registered in conn_fds_ for Stop() to close; a double
+  // shutdown is harmless.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+bool Server::HandleLine(const std::string& line, std::string* response) {
+  size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    return true;  // blank line: ignore
+  }
+  size_t end = line.find_first_of(" \t", start);
+  std::string verb = line.substr(start, end - start);
+  for (char& c : verb) c = static_cast<char>(std::toupper(c));
+  std::string rest =
+      end == std::string::npos ? std::string() : line.substr(end + 1);
+
+  if (verb == "QUIT") return false;
+
+  if (verb == "STATS") {
+    SchedulerStats s = scheduler_.stats();
+    engine::QueryCacheStats c = scheduler_.cache_stats();
+    std::ostringstream os;
+    os << "STATS active=" << s.active << " waiting=" << s.waiting
+       << " admitted=" << s.admitted << " completed=" << s.completed
+       << " rejected=" << s.rejected << " gate_yields=" << s.gate_yields
+       << " cache_hits=" << c.hits << " cache_misses=" << c.misses
+       << " cache_entries=" << c.entries
+       << " partition_hits=" << c.partition_hits
+       << " partition_entries=" << c.partition_entries << "\n";
+    *response = os.str();
+    return true;
+  }
+
+  if (verb == "RUN" || verb == "BATCH") {
+    if (rest.find_first_not_of(" \t") == std::string::npos) {
+      *response = StrCat("ERR ", verb, " needs a PaQL statement\n");
+      return true;
+    }
+    QueryRequest request;
+    request.paql = rest;
+    request.query_class =
+        verb == "BATCH" ? QueryClass::kBatch : QueryClass::kInteractive;
+    Stopwatch watch;
+    auto result = scheduler_.Execute(request);
+    int64_t micros = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+    if (!result.ok()) {
+      *response = StrCat("ERR ", OneLine(result.status().message()), "\n");
+      return true;
+    }
+    *response = FormatResultLines(*result, micros);
+    return true;
+  }
+
+  *response = StrCat("ERR unknown command '", OneLine(verb),
+                     "' (RUN, BATCH, STATS, QUIT)\n");
+  return true;
+}
+
+}  // namespace paql::service

@@ -1,0 +1,97 @@
+// service::Server — a line-protocol TCP front end over the QueryScheduler.
+//
+// One listener on loopback, one thread per connection, one request per
+// line. The protocol is deliberately tiny (telnet/netcat-debuggable) and
+// synchronous per connection; concurrency comes from connections, which is
+// exactly the closed-loop shape of the serve bench and of the paper's
+// interactive use case.
+//
+//   client -> server                    server -> client
+//   ---------------------------------  ----------------------------------
+//   RUN <paql>      (interactive)      PKG <count> <objective> <id:mult...>
+//                                      OK <micros>
+//   BATCH <paql>    (batch class)      (same as RUN)
+//   STATS                              STATS active=... hits=... ...
+//   QUIT                               (connection closes)
+//   <anything else / failed query>     ERR <one-line message>
+//
+// `id:mult` pairs are the package rows (ascending row id) with their
+// multiplicities — enough for a client to verify bit-identical results
+// against a serial run, which the service tests and bench do.
+#ifndef PAQL_SERVICE_SERVER_H_
+#define PAQL_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/catalog.h"
+#include "service/scheduler.h"
+
+namespace paql::service {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  /// port() — the tests and bench run that way).
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  SchedulerOptions scheduler;
+};
+
+/// Formats one successful result as the two protocol lines
+/// ("PKG ...\nOK <micros>\n"); shared by the server and the in-process
+/// bench so "what the client would see" has exactly one definition.
+std::string FormatResultLines(const QueryResult& result, int64_t micros);
+
+class Server {
+ public:
+  /// `catalog` must outlive the server.
+  Server(const Catalog& catalog, ServerOptions options = {});
+
+  /// Stops and joins everything (equivalent to Stop()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on 127.0.0.1 and start the accept thread. Fails with
+  /// kIoError when the port cannot be bound.
+  Status Start();
+
+  /// Close the listener and every live connection, join all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+
+  QueryScheduler& scheduler() { return scheduler_; }
+  const QueryScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// One protocol line in, the response lines out. Returns false on QUIT.
+  bool HandleLine(const std::string& line, std::string* response);
+
+  QueryScheduler scheduler_;
+  ServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  /// Atomic: Stop() invalidates it while AcceptLoop is blocked in accept().
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace paql::service
+
+#endif  // PAQL_SERVICE_SERVER_H_

@@ -1,0 +1,87 @@
+// Query-text normalization (paql/normalize.h): the shared cache key of the
+// join cache and the cross-query artifact cache. The contract under test:
+// re-spellings of one statement (whitespace, keyword case, comments,
+// trailing semicolons) normalize identically; semantically distinct
+// statements (different identifiers, literals, operators) never collide.
+#include "paql/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace paql::lang {
+namespace {
+
+constexpr const char* kCanonical =
+    "SELECT PACKAGE ( R ) AS P FROM Recipes R REPEAT 0 WHERE R . gluten = "
+    "'free' SUCH THAT COUNT ( P . * ) = 3 MINIMIZE SUM ( P . kcal )";
+
+TEST(NormalizeQueryText, WhitespaceAndNewlinesCollapse) {
+  std::string multi_line = R"(
+      SELECT PACKAGE(R) AS P
+      FROM   Recipes R REPEAT 0
+      WHERE  R.gluten = 'free'
+      SUCH THAT COUNT(P.*) = 3
+      MINIMIZE SUM(P.kcal)
+  )";
+  std::string single_line =
+      "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 WHERE R.gluten = "
+      "'free' SUCH THAT COUNT(P.*) = 3 MINIMIZE SUM(P.kcal)";
+  EXPECT_EQ(NormalizeQueryText(multi_line), NormalizeQueryText(single_line));
+  EXPECT_EQ(NormalizeQueryText(multi_line), kCanonical);
+}
+
+TEST(NormalizeQueryText, KeywordsUppercasedIdentifiersPreserved) {
+  EXPECT_EQ(
+      NormalizeQueryText("select package(Recipes) as P from Recipes "
+                         "repeat 0 such that count(P.*) = 1"),
+      NormalizeQueryText("SELECT PACKAGE(Recipes) AS P FROM Recipes "
+                         "REPEAT 0 SUCH THAT COUNT(P.*) = 1"));
+  // Identifier spelling is identity: `Recipes` and `recipes` may resolve
+  // to the same table, but they are different cache keys (a miss is safe,
+  // a wrong hit is not).
+  EXPECT_NE(NormalizeQueryText("SELECT PACKAGE(R) AS P FROM Recipes R "
+                               "REPEAT 0 SUCH THAT COUNT(P.*) = 1"),
+            NormalizeQueryText("SELECT PACKAGE(R) AS P FROM recipes R "
+                               "REPEAT 0 SUCH THAT COUNT(P.*) = 1"));
+}
+
+TEST(NormalizeQueryText, PunctuationSpacingIrrelevant) {
+  EXPECT_EQ(NormalizeQueryText("COUNT(P.*)<=3"),
+            NormalizeQueryText("COUNT ( P . * ) <= 3"));
+}
+
+TEST(NormalizeQueryText, TrailingSemicolonsStripped) {
+  std::string base = "SELECT PACKAGE(R) AS P FROM R REPEAT 0";
+  EXPECT_EQ(NormalizeQueryText(base + ";"), NormalizeQueryText(base));
+  EXPECT_EQ(NormalizeQueryText(base + " ; ;"), NormalizeQueryText(base));
+}
+
+TEST(NormalizeQueryText, CommentsDropped) {
+  EXPECT_EQ(NormalizeQueryText("SELECT PACKAGE(R) AS P -- a comment\n"
+                               "FROM R REPEAT 0"),
+            NormalizeQueryText("SELECT PACKAGE(R) AS P FROM R REPEAT 0"));
+}
+
+TEST(NormalizeQueryText, LiteralsAreIdentity) {
+  EXPECT_NE(NormalizeQueryText("WHERE R.gluten = 'free'"),
+            NormalizeQueryText("WHERE R.gluten = 'Free'"));
+  EXPECT_NE(NormalizeQueryText("SUCH THAT COUNT(P.*) = 3"),
+            NormalizeQueryText("SUCH THAT COUNT(P.*) = 4"));
+  EXPECT_NE(NormalizeQueryText("SUCH THAT SUM(P.kcal) <= 2.0"),
+            NormalizeQueryText("SUCH THAT SUM(P.kcal) < 2.0"));
+}
+
+TEST(NormalizeQueryText, UnlexableFallsBackToCollapsedText) {
+  // '@' never lexes; the fallback still yields a stable, collapsed key.
+  EXPECT_EQ(NormalizeQueryText("  @@   broken \n query  "),
+            "@@ broken query");
+  EXPECT_EQ(NormalizeQueryText("@@ broken query"),
+            NormalizeQueryText("   @@  broken\tquery "));
+}
+
+TEST(NormalizeQueryText, StringsKeepQuotes) {
+  EXPECT_EQ(NormalizeQueryText("WHERE R.gluten='free'"),
+            "WHERE R . gluten = 'free'");
+}
+
+}  // namespace
+}  // namespace paql::lang

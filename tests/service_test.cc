@@ -1,0 +1,646 @@
+// The service layer end to end: catalog snapshots, the process-wide
+// cross-query cache, the priority-aware scheduler, Session thread safety,
+// and the line-protocol server.
+//
+// The concurrency suites here carry the "parallel" ctest label, so the
+// ThreadSanitizer CI job runs them — the shared-session hammer and the
+// scheduler sweep are the regression tests for the Session races fixed in
+// this layer (join cache, partition cache, per-query options).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "engine/query_cache.h"
+#include "service/catalog.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "workload/galaxy.h"
+
+namespace paql::service {
+namespace {
+
+using relation::DataType;
+using relation::Schema;
+using relation::Table;
+using relation::Value;
+
+Table MakeRecipes() {
+  Table recipes{Schema({{"name", DataType::kString},
+                        {"gluten", DataType::kString},
+                        {"kcal", DataType::kDouble},
+                        {"fat", DataType::kDouble}})};
+  struct Row {
+    const char* name;
+    const char* gluten;
+    double kcal, fat;
+  };
+  const Row kRows[] = {
+      {"lentil soup", "free", 0.55, 1.2}, {"salmon", "free", 0.80, 3.1},
+      {"carbonara", "full", 1.10, 12.4},  {"rice bowl", "free", 0.95, 2.0},
+      {"quinoa", "free", 0.60, 0.9},      {"steak", "free", 1.20, 9.5},
+      {"pudding", "full", 0.85, 6.2},     {"parfait", "free", 0.45, 2.5},
+      {"omelette", "free", 0.70, 4.8},    {"tofu", "free", 0.75, 1.6},
+  };
+  for (const Row& r : kRows) {
+    PAQL_CHECK(recipes
+                   .AppendRow({Value(r.name), Value(r.gluten), Value(r.kcal),
+                               Value(r.fat)})
+                   .ok());
+  }
+  return recipes;
+}
+
+/// Populates `catalog` with one DIRECT-sized table ("recipes") and one
+/// table big enough to route to SKETCHREFINE under the options below
+/// ("galaxy"). In-place because Catalog owns a mutex and is immovable.
+void PopulateServiceCatalog(Catalog* catalog) {
+  PAQL_CHECK(catalog->AddTable("recipes", MakeRecipes()).ok());
+  PAQL_CHECK(
+      catalog->AddTable("galaxy", workload::MakeGalaxyTable(2500, 20161)).ok());
+}
+
+/// Deterministic per-query options for bit-identical comparisons: one
+/// worker thread pins the search order; the low threshold routes galaxy to
+/// SKETCHREFINE while recipes stays DIRECT.
+EngineOptions DeterministicOptions() {
+  EngineOptions options;
+  options.exec.threads = 1;
+  options.planner.direct_row_threshold = 1000;
+  return options;
+}
+
+const char* kRecipesQuery =
+    "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0 WHERE R.gluten = 'free' "
+    "SUCH THAT COUNT(P.*) = 3 MINIMIZE SUM(P.fat)";
+const char* kGalaxyQuery =
+    "SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0 "
+    "SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.petroRad_r)";
+const char* kInfeasibleQuery =
+    "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0 SUCH THAT "
+    "COUNT(P.*) = 2 AND SUM(P.kcal) <= -1.0 MINIMIZE SUM(P.fat)";
+
+/// Canonical comparable form of one outcome (package rows/multiplicities +
+/// objective on success, status text on failure).
+std::string CanonicalOne(const QueryResult& result) {
+  std::string out = StrCat("objective: ", result.objective, " rows:");
+  for (size_t i = 0; i < result.package.rows.size(); ++i) {
+    out += StrCat(" ", result.package.rows[i], ":",
+                  result.package.multiplicity[i]);
+  }
+  return out;
+}
+
+std::string Canonical(const Result<QueryResult>& result) {
+  if (!result.ok()) return StrCat("status: ", result.status().message());
+  return CanonicalOne(*result);
+}
+
+/// Canonical form of a top-k enumeration, best first.
+std::string CanonicalTopK(const Result<std::vector<QueryResult>>& result) {
+  if (!result.ok()) return StrCat("status: ", result.status().message());
+  std::string out;
+  for (const QueryResult& r : *result) out += CanonicalOne(r) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, SnapshotsAreCopyOnWrite) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("recipes", MakeRecipes()).ok());
+  auto before = catalog.Snapshot();
+  ASSERT_TRUE(catalog.AddTable("more", MakeRecipes()).ok());
+  auto after = catalog.Snapshot();
+  // The old snapshot is untouched; the new one sees both tables.
+  EXPECT_EQ(before->size(), 1u);
+  EXPECT_EQ(after->size(), 2u);
+  EXPECT_EQ(before->count("more"), 0u);
+  // The shared table instance is identical across snapshots (no copy).
+  EXPECT_EQ(before->at("recipes").get(), after->at("recipes").get());
+}
+
+TEST(CatalogTest, RejectsEmptyAndDuplicateNames) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.AddTable("", MakeRecipes()).ok());
+  ASSERT_TRUE(catalog.AddTable("recipes", MakeRecipes()).ok());
+  EXPECT_FALSE(catalog.AddTable("recipes", MakeRecipes()).ok());
+  Catalog empty;
+  EXPECT_FALSE(empty.OpenSession().ok());
+}
+
+TEST(CatalogTest, SessionsShareTablesAndCache) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  auto s1 = catalog.OpenSession(DeterministicOptions());
+  auto s2 = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1->query_cache().get(), s2->query_cache().get());
+  EXPECT_EQ(s1->query_cache().get(), catalog.query_cache().get());
+
+  auto r1 = s1->Execute(kRecipesQuery);
+  auto r2 = s2->Execute(kRecipesQuery);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // Same table instance end to end (shared, never copied per session) and
+  // the second session's identical statement hits the shared cache.
+  EXPECT_EQ(r1->table.get(), r2->table.get());
+  EXPECT_EQ(r1->stats.cache_misses, 1);
+  EXPECT_EQ(r2->stats.cache_hits, 1);
+  EXPECT_TRUE(r2->plan.plan_cached);
+  EXPECT_EQ(Canonical(r1), Canonical(r2));
+}
+
+// ---------------------------------------------------------------------------
+// QueryCache
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheTest, LruEvictionAndCounters) {
+  engine::QueryCache::Options options;
+  options.capacity = 2;
+  engine::QueryCache cache(options);
+  auto table = std::make_shared<const Table>(MakeRecipes());
+
+  engine::QueryCache::Artifacts artifacts;
+  artifacts.table = table;
+  cache.Store("a", artifacts);
+  cache.Store("b", artifacts);
+  EXPECT_TRUE(cache.Lookup("a", table).has_value());  // "a" becomes MRU
+  cache.Store("c", artifacts);                        // evicts "b" (LRU)
+  EXPECT_FALSE(cache.Lookup("b", table).has_value());
+  EXPECT_TRUE(cache.Lookup("a", table).has_value());
+  EXPECT_TRUE(cache.Lookup("c", table).has_value());
+
+  engine::QueryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(QueryCacheTest, HitRequiresTableIdentity) {
+  engine::QueryCache cache;
+  auto table = std::make_shared<const Table>(MakeRecipes());
+  auto impostor = std::make_shared<const Table>(MakeRecipes());
+  engine::QueryCache::Artifacts artifacts;
+  artifacts.table = table;
+  cache.Store("key", artifacts);
+  // Same key, different table instance (a re-registered name, another
+  // catalog): must miss, never serve the stale entry.
+  EXPECT_FALSE(cache.Lookup("key", impostor).has_value());
+  EXPECT_TRUE(cache.Lookup("key", table).has_value());
+}
+
+TEST(QueryCacheTest, RepeatStatementReusesPlanAndBasis) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  auto session = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(session.ok());
+
+  auto first = session->Execute(kRecipesQuery);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->plan.plan_cached);
+  EXPECT_EQ(first->stats.cache_hits, 0);
+
+  auto second = session->Execute(kRecipesQuery);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->plan.plan_cached);
+  EXPECT_TRUE(second->plan.warm_cached);
+  EXPECT_EQ(second->stats.cache_hits, 1);
+  EXPECT_EQ(Canonical(first), Canonical(second));
+  // Explain surfaces the provenance on the pipeline/solver lines.
+  EXPECT_NE(second->plan.Explain().find("plan from cross-query cache"),
+            std::string::npos);
+  EXPECT_NE(second->plan.Explain().find("root basis from cross-query cache"),
+            std::string::npos);
+}
+
+TEST(QueryCacheTest, RespellingHitsTheSameEntry) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  auto session = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Execute(kRecipesQuery).ok());
+  // Same statement, different keyword case and whitespace: same key.
+  auto respelled = session->Execute(
+      "select package(R) as P\n  from recipes R repeat 0\n  where "
+      "R.gluten = 'free'\n  such that count(P.*) = 3\n  minimize "
+      "sum(P.fat);");
+  ASSERT_TRUE(respelled.ok()) << respelled.status();
+  EXPECT_EQ(respelled->stats.cache_hits, 1);
+  EXPECT_TRUE(respelled->plan.plan_cached);
+}
+
+TEST(QueryCacheTest, SketchRefinePartitioningIsShared) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  auto s1 = catalog.OpenSession(DeterministicOptions());
+  auto s2 = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto r1 = s1->Execute(kGalaxyQuery);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_EQ(r1->plan.strategy, engine::Strategy::kSketchRefine);
+  EXPECT_FALSE(r1->plan.partitioning_reused);
+  // A *different* galaxy statement from another session misses the
+  // statement cache but reuses the shared partition registry.
+  auto r2 = s2->Execute(
+      "SELECT PACKAGE(G) AS P FROM galaxy G REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 3 MAXIMIZE SUM(P.petroFlux_r)");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_TRUE(r2->plan.partitioning_reused);
+  EXPECT_GE(catalog.query_cache()->stats().partition_hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, MixedConcurrentSweepMatchesSerialExecution) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  EngineOptions options = DeterministicOptions();
+
+  // Serial ground truth from a session with a private cache (the serial
+  // run must not warm the scheduler's).
+  std::vector<std::string> statements = {kRecipesQuery, kGalaxyQuery,
+                                         kInfeasibleQuery};
+  std::map<std::string, std::string> expected;
+  std::string expected_topk;
+  {
+    auto serial = catalog.OpenSession(options);
+    ASSERT_TRUE(serial.ok());
+    serial->set_query_cache(std::make_shared<engine::QueryCache>());
+    for (const std::string& stmt : statements) {
+      expected[stmt] = Canonical(serial->Execute(stmt));
+    }
+    expected_topk = CanonicalTopK(serial->ExecuteTopK(kRecipesQuery, 2));
+  }
+
+  SchedulerOptions sopts;
+  sopts.engine = options;
+  sopts.max_concurrent = 4;
+  QueryScheduler scheduler(catalog, sopts);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        QueryRequest request;
+        // Alternate priority classes so both admission paths run.
+        request.query_class =
+            (t % 2 == 0) ? QueryClass::kInteractive : QueryClass::kBatch;
+        const int pick = (t + i) % 4;
+        if (pick == 3) {
+          // The top-k element of the mix enumerates alternatives under the
+          // same admission slot.
+          request.paql = kRecipesQuery;
+          if (CanonicalTopK(scheduler.ExecuteTopK(request, 2)) !=
+              expected_topk) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        const std::string& stmt = statements[static_cast<size_t>(pick)];
+        request.paql = stmt;
+        if (Canonical(scheduler.Execute(request)) != expected[stmt]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent results diverged from serial execution";
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.admitted, kThreads * kItersPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kItersPerThread);
+  EXPECT_EQ(stats.active, 0);
+  // Vacuity guards: the sweep repeats statements, so the shared cache MUST
+  // have produced hits — a silently disengaged cache fails here.
+  engine::QueryCacheStats cache = scheduler.cache_stats();
+  EXPECT_GT(cache.hits, 0);
+  EXPECT_GT(cache.misses, 0);
+}
+
+TEST(SchedulerTest, BudgetsMapToSolverLimits) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  SchedulerOptions sopts;
+  sopts.engine = DeterministicOptions();
+  QueryScheduler scheduler(catalog, sopts);
+
+  QueryRequest request;
+  request.paql = kGalaxyQuery;
+  request.budget.max_nodes = 1;  // no interesting solve finishes in 1 node
+  auto result = scheduler.Execute(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+
+  // The same query without the budget succeeds.
+  QueryRequest unbounded;
+  unbounded.paql = kGalaxyQuery;
+  EXPECT_TRUE(scheduler.Execute(unbounded).ok());
+}
+
+TEST(SchedulerTest, CancellationIsCooperative) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  SchedulerOptions sopts;
+  sopts.engine = DeterministicOptions();
+  QueryScheduler scheduler(catalog, sopts);
+
+  std::atomic<bool> cancel{true};  // already tripped
+  QueryRequest request;
+  request.paql = kGalaxyQuery;
+  request.cancel = &cancel;
+  auto result = scheduler.Execute(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+}
+
+// ---------------------------------------------------------------------------
+// Session thread safety (the TSan regression suite)
+// ---------------------------------------------------------------------------
+
+TEST(SessionConcurrencyTest, SharedSessionHammer) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  auto opened = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(opened.ok());
+  Session& session = *opened;
+
+  // Two spellings of one join statement hammer the normalized-text join
+  // cache; the single-relation statements hammer the artifact cache; the
+  // top-k call exercises the enumeration path concurrently.
+  const std::string join_a =
+      "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 0, galaxy G "
+      "WHERE R.kcal <= G.redshift SUCH THAT COUNT(P.*) = 1 "
+      "MINIMIZE SUM(P.fat)";
+  const std::string join_b =
+      "select package(R) as P from recipes R repeat 0, galaxy G "
+      "where R.kcal <= G.redshift such that count(P.*) = 1 "
+      "minimize sum(P.fat)";
+
+  std::string expected_recipes = Canonical(session.Execute(kRecipesQuery));
+  std::string expected_join = Canonical(session.Execute(join_a));
+  std::string expected_topk = CanonicalTopK(session.ExecuteTopK(kRecipesQuery, 2));
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        switch ((t + i) % 4) {
+          case 0: {
+            if (Canonical(session.Execute(kRecipesQuery)) !=
+                expected_recipes) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 1: {
+            const std::string& join = (i % 2 == 0) ? join_a : join_b;
+            if (Canonical(session.Execute(join)) != expected_join) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 2: {
+            if (CanonicalTopK(session.ExecuteTopK(kRecipesQuery, 2)) !=
+                expected_topk) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 3: {
+            auto r = session.Execute(kInfeasibleQuery);
+            if (r.ok() || !r.status().IsInfeasible()) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// PriorityGate
+// ---------------------------------------------------------------------------
+
+TEST(PriorityGateTest, BatchYieldsOnlyUnderContention) {
+  PriorityGate& gate = PriorityGate::Global();
+  int64_t before = gate.yields();
+
+  {
+    // Batch work with no interactive query in flight: the fast path, no
+    // yield recorded.
+    ScopedWorkClass batch(WorkClass::kBatch);
+    gate.YieldIfContended();
+    EXPECT_EQ(gate.yields(), before);
+
+    // Raise the gate: the batch thread now waits (bounded) and records.
+    ScopedInteractive interactive(gate);
+    gate.YieldIfContended();
+    EXPECT_EQ(gate.yields(), before + 1);
+  }
+
+  // Interactive work never yields, contended or not.
+  ScopedInteractive interactive(gate);
+  gate.YieldIfContended();
+  EXPECT_EQ(gate.yields(), before + 1);
+}
+
+TEST(PriorityGateTest, WaitIsBoundedAndWakesOnRelease) {
+  PriorityGate& gate = PriorityGate::Global();
+  gate.BeginInteractive();
+  std::atomic<bool> released{false};
+  std::thread batch([&] {
+    ScopedWorkClass cls(WorkClass::kBatch);
+    // Each call waits at most kMaxWaitSlice; the loop exits promptly once
+    // the interactive query ends (cv notify), not after a full slice.
+    while (gate.Contended()) gate.YieldIfContended();
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  gate.EndInteractive();
+  batch.join();
+  EXPECT_TRUE(released.load());
+}
+
+// ---------------------------------------------------------------------------
+// Server (line protocol over loopback TCP)
+// ---------------------------------------------------------------------------
+
+/// Minimal blocking test client.
+class TestClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool SendLine(const std::string& line) {
+    std::string data = line + "\n";
+    return ::send(fd_, data.data(), data.size(), 0) ==
+           static_cast<ssize_t>(data.size());
+  }
+  bool ReadLine(std::string* line) {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    *line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+  bool AtEof() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) <= 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(ServerTest, SpeaksTheLineProtocol) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  ServerOptions options;
+  options.scheduler.engine = DeterministicOptions();
+  Server server(catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // What the protocol must return for the statement.
+  auto session = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(session.ok());
+  session->set_query_cache(std::make_shared<engine::QueryCache>());
+  auto direct = session->Execute(kRecipesQuery);
+  ASSERT_TRUE(direct.ok());
+  std::string expected_pkg = FormatResultLines(*direct, 0);
+  expected_pkg = expected_pkg.substr(0, expected_pkg.find('\n'));
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  std::string line;
+  ASSERT_TRUE(client.SendLine(StrCat("RUN ", kRecipesQuery)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, expected_pkg);
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+
+  // BATCH runs the same statement at batch priority — same answer.
+  ASSERT_TRUE(client.SendLine(StrCat("BATCH ", kRecipesQuery)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, expected_pkg);
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+
+  // Infeasible statements and unknown verbs come back as ERR lines.
+  ASSERT_TRUE(client.SendLine(StrCat("RUN ", kInfeasibleQuery)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  ASSERT_TRUE(client.SendLine("FROB x"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR unknown command", 0), 0u) << line;
+  ASSERT_TRUE(client.SendLine("RUN"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+
+  // STATS reports scheduler and cache counters.
+  ASSERT_TRUE(client.SendLine("STATS"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("STATS ", 0), 0u) << line;
+  EXPECT_NE(line.find("cache_hits="), std::string::npos) << line;
+
+  // QUIT closes the connection.
+  ASSERT_TRUE(client.SendLine("QUIT"));
+  EXPECT_TRUE(client.AtEof());
+  server.Stop();
+}
+
+TEST(ServerTest, ConcurrentClientsGetBitIdenticalAnswers) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  ServerOptions options;
+  options.scheduler.engine = DeterministicOptions();
+  Server server(catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto session = catalog.OpenSession(DeterministicOptions());
+  ASSERT_TRUE(session.ok());
+  session->set_query_cache(std::make_shared<engine::QueryCache>());
+  std::map<std::string, std::string> expected;
+  for (const std::string stmt : {kRecipesQuery, kGalaxyQuery}) {
+    auto result = session->Execute(stmt);
+    ASSERT_TRUE(result.ok());
+    std::string lines = FormatResultLines(*result, 0);
+    expected[stmt] = lines.substr(0, lines.find('\n'));
+  }
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client;
+      if (!client.Connect(server.port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 4; ++i) {
+        const std::string stmt =
+            (c + i) % 2 == 0 ? kRecipesQuery : kGalaxyQuery;
+        std::string line;
+        if (!client.SendLine(StrCat("RUN ", stmt)) ||
+            !client.ReadLine(&line) || line != expected[stmt] ||
+            !client.ReadLine(&line) || line.rfind("OK ", 0) != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      client.SendLine("QUIT");
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace paql::service
