@@ -1,7 +1,11 @@
 // paql_server: serve PaQL package queries over a TCP line protocol.
 //
 // Usage:
-//   paql_server <table.csv> [more.csv ...] [options]
+//   paql_server <table.csv|table.pqb> [more ...] [options]
+//
+// CSV tables are loaded into memory; .pqb block stores (see paql_shell's
+// \store command) are served out of core through the catalog's shared
+// block cache.
 //
 // Options:
 //   --port <n>             listen on 127.0.0.1:<n> (default: an ephemeral
@@ -44,6 +48,10 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
 
+bool IsBlockStorePath(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".pqb") == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,14 +74,16 @@ int main(int argc, char** argv) {
     }
   }
   if (csvs.empty()) {
-    std::cerr << "usage: paql_server <table.csv> [more.csv ...] "
+    std::cerr << "usage: paql_server <table.csv|table.pqb> [more ...] "
                  "[--port n] [--max-concurrent n] [--threshold rows]\n";
     return 2;
   }
 
   paql::service::Catalog catalog;
   for (const std::string& path : csvs) {
-    paql::Status status = catalog.AddTableFromCsv(path);
+    paql::Status status = IsBlockStorePath(path)
+                              ? catalog.AddTableFromDisk(path)
+                              : catalog.AddTableFromCsv(path);
     if (!status.ok()) {
       std::cerr << path << ": " << status << "\n";
       return 1;

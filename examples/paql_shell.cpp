@@ -18,6 +18,8 @@
 //                          translated ILP / partitioning shape), no solve
 //   --dump-lp              print the translated ILP in CPLEX LP format and
 //                          exit (pipe it to an external solver)
+//   --cache-mb <mb>        decoded-block cache budget for out-of-core
+//                          tables registered via \store (default 256)
 //   --query 'PAQL'         evaluate one query and exit (otherwise read
 //                          ';'-terminated queries from stdin)
 //
@@ -27,12 +29,18 @@
 //                          without solving it
 //   \tables;               list the registered relations
 //   \cache;                cross-query cache statistics (plans,
-//                          partitionings, warm-start bases)
+//                          partitionings, warm-start bases) plus the block
+//                          cache of any out-of-core tables
+//   \store <csv> [out];    convert a CSV to a compressed block store
+//                          (default out: the CSV path with a .pqb
+//                          extension) and register it as an out-of-core
+//                          relation read through the session block cache
 //   \help;                 this list
 //
 // Each CSV becomes a catalog relation named after its basename (without
-// extension); multi-relation FROM clauses are joined by the session per
-// paper §4.5. A single-table session answers any FROM name.
+// extension); a .pqb file (see \store) is opened out of core instead of
+// loaded into memory. Multi-relation FROM clauses are joined by the
+// session per paper §4.5. A single-table session answers any FROM name.
 //
 // Example:
 //   ./build/examples/paql_shell recipes.csv --query "
@@ -46,6 +54,7 @@
 
 #include "common/str_util.h"
 #include "engine/engine.h"
+#include "relation/block_store.h"
 
 using paql::Engine;
 using paql::QueryResult;
@@ -64,8 +73,72 @@ void PrintHelp() {
   std::cout << "statements end with ';'. Meta-commands:\n"
                "  \\plan <PAQL...>;  show the planner's choice, don't solve\n"
                "  \\tables;          list registered relations\n"
-               "  \\cache;           cross-query cache statistics\n"
+               "  \\cache;           cross-query + block cache statistics\n"
+               "  \\store <csv> [out]; convert a CSV to a block store and\n"
+               "                    register it as an out-of-core relation\n"
                "  \\help;            this list\n";
+}
+
+/// Whitespace-split `text` into at most 3 tokens (command + operands).
+std::vector<std::string> SplitMeta(const std::string& text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size() && tokens.size() < 3) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool HasPqbExtension(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".pqb") == 0;
+}
+
+/// \store <csv> [out]: CSV -> block store conversion + registration.
+int RunStore(Session& session, const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    std::cerr << "usage: \\store <table.csv> [out.pqb];\n";
+    return 1;
+  }
+  const std::string& csv = tokens[1];
+  std::string out = tokens.size() > 2 ? tokens[2] : csv;
+  if (tokens.size() <= 2) {
+    size_t dot = out.find_last_of('.');
+    if (dot != std::string::npos && out.find('/', dot) == std::string::npos) {
+      out = out.substr(0, dot);
+    }
+    out += ".pqb";
+  }
+  auto status = paql::relation::ConvertCsvToBlockStore(csv, out);
+  if (!status.ok()) {
+    std::cerr << "conversion failed: " << status << "\n";
+    return 1;
+  }
+  auto added = session.AddTableFromDisk(out);
+  if (!added.ok()) {
+    std::cerr << out << ": " << added << "\n";
+    return 1;
+  }
+  auto reader = paql::relation::BlockStoreReader::Open(out);
+  if (reader.ok()) {
+    const auto& r = **reader;
+    const size_t raw = r.num_rows() * r.schema().num_columns() * 8;
+    std::cout << "stored " << r.num_rows() << " rows x "
+              << r.schema().num_columns() << " columns as " << out << " ("
+              << r.stored_bytes() << " stored bytes, "
+              << 100.0 * static_cast<double>(r.stored_bytes()) /
+                     static_cast<double>(raw > 0 ? raw : 1)
+              << "% of raw)\n";
+  }
+  return 0;
 }
 
 int RunStatement(Session& session, const ShellOptions& options,
@@ -100,7 +173,21 @@ int RunStatement(Session& session, const ShellOptions& options,
                 << "partitionings:       " << stats.partition_entries
                 << " entries, " << stats.partition_hits << " hits, "
                 << stats.partition_misses << " misses\n";
+      if (session.block_cache() != nullptr) {
+        paql::relation::BlockCacheStats bstats =
+            session.block_cache()->stats();
+        std::cout << "block cache:         " << bstats.resident_blocks
+                  << " blocks / " << bstats.resident_bytes << " bytes of "
+                  << session.block_cache()->capacity_bytes()
+                  << " resident, " << bstats.hits << " hits, "
+                  << bstats.misses << " misses ("
+                  << 100.0 * bstats.hit_rate() << "% hit rate), "
+                  << bstats.evictions << " evictions\n";
+      }
       return 0;
+    }
+    if (paql::StartsWith(text, "\\store")) {
+      return RunStore(session, SplitMeta(text));
     }
     if (text == "\\help") {
       PrintHelp();
@@ -159,6 +246,11 @@ int RunStatement(Session& session, const ShellOptions& options,
             << result->stats.rc_fixed_vars << " reduced-cost-fixed, "
             << result->stats.presolve_fixed_vars << " presolve-fixed, "
             << result->stats.warm_lp_solves << " warm LP solves\n";
+  if (result->stats.blocks_scanned > 0 || result->stats.blocks_pruned > 0) {
+    std::cout << "-- storage: " << result->stats.blocks_scanned
+              << " blocks scanned, " << result->stats.blocks_pruned
+              << " zone-map pruned\n";
+  }
   std::cout << result->Materialize().ToString(50);
   return 0;
 }
@@ -168,29 +260,34 @@ int RunStatement(Session& session, const ShellOptions& options,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
-              << " <table.csv> [more.csv ...] [--sketchrefine tau]"
+              << " <table.csv|table.pqb> [more ...] [--sketchrefine tau]"
                  " [--direct] [--parallel threads] [--threads n]"
-                 " [--threshold rows] [--topk k] [--explain] [--dump-lp]"
-                 " [--query 'PAQL']\n";
+                 " [--threshold rows] [--topk k] [--cache-mb mb]"
+                 " [--explain] [--dump-lp] [--query 'PAQL']\n";
     return 2;
   }
 
-  // Positional arguments before the first option are catalog CSVs.
+  // Positional arguments before the first option are catalog tables: CSVs
+  // are loaded into memory, .pqb block stores are opened out of core.
   std::optional<paql::Result<Session>> session;
   ShellOptions options;
   std::optional<std::string> query_text;
   int i = 1;
   for (; i < argc && argv[i][0] != '-'; ++i) {
+    const std::string path = argv[i];
     if (!session.has_value()) {
-      session = Engine::OpenCsv(argv[i]);
+      session = HasPqbExtension(path) ? Engine::OpenDisk(path)
+                                      : Engine::OpenCsv(path);
       if (!session->ok()) {
-        std::cerr << argv[i] << ": " << session->status() << "\n";
+        std::cerr << path << ": " << session->status() << "\n";
         return 1;
       }
     } else {
-      auto added = session->value().AddTableFromCsv(argv[i]);
+      auto added = HasPqbExtension(path)
+                       ? session->value().AddTableFromDisk(path)
+                       : session->value().AddTableFromCsv(path);
       if (!added.ok()) {
-        std::cerr << argv[i] << ": " << added << "\n";
+        std::cerr << path << ": " << added << "\n";
         return 1;
       }
     }
@@ -218,6 +315,11 @@ int main(int argc, char** argv) {
       // Engine-wide morsel parallelism (0 = hardware, 1 = serial): scans,
       // partitioning statistics, and the branch-and-bound search.
       live.options().exec.threads = std::atoi(argv[++i]);
+    } else if (arg == "--cache-mb" && i + 1 < argc) {
+      // Decoded-block budget for out-of-core tables opened after this
+      // point (the \store command and .pqb positional args honor it).
+      live.options().block_cache_bytes =
+          static_cast<size_t>(std::stoul(argv[++i])) << 20;
     } else if (arg == "--threshold" && i + 1 < argc) {
       live.options().planner.direct_row_threshold =
           static_cast<size_t>(std::stoul(argv[++i]));

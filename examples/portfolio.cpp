@@ -72,7 +72,7 @@ int main() {
     std::cerr << "evaluation failed: " << result.status() << "\n";
     return 1;
   }
-  const Table& table = *result->table;
+  const paql::relation::ColumnSource& table = *result->table;
   std::printf("Portfolio via %s: expected return $%.2f\n",
               paql::engine::StrategyName(result->plan.strategy),
               result->objective);

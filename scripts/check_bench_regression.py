@@ -27,6 +27,14 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
     bound) are absolute, so they are only compared when baseline and
     current ran the same closed-loop workload (clients, iters_per_client)
     on the same hardware_threads.
+  * out-of-core storage — BENCH_scan.json files (bench == "scan_oocore").
+    The correctness invariants (disk results bit-identical to memory,
+    zone maps pruning blocks, on-disk <= 50% of raw) are enforced on the
+    CURRENT run unconditionally — they hold at any scale. The
+    scale-dependent numbers (compression ratio, cache hit rate, pruned
+    block counts) are compared only when both runs used the same row
+    count, and scan throughput additionally requires matching
+    hardware_threads.
 
 A missing entry in CURRENT fails: silently dropping a measurement is how
 perf regressions hide.
@@ -132,6 +140,87 @@ def main() -> int:
                 f"{cur.get('clients')} x {cur.get('iters_per_client')} on "
                 f"{cur.get('hardware_threads')} (absolute throughput and "
                 f"latency do not transfer across machines or workloads)")
+
+    if base.get("bench") == "scan_oocore":
+        if cur.get("bench") != "scan_oocore":
+            failures.append("current run is not a scan_oocore bench result")
+        else:
+            # Correctness invariants hold at any scale: the bench itself
+            # aborts when they fail, so a well-formed current file should
+            # always pass these — checking them here catches a bench that
+            # silently stopped recording them.
+            cur_scan = cur.get("scan", {})
+            cur_queries = cur.get("queries", {})
+            if cur_scan.get("identical_scans") is not True:
+                failures.append("scan: disk scans not identical to memory")
+            if cur_queries.get("identical_packages") is not True:
+                failures.append("scan: disk packages not identical to memory")
+            if not cur_scan.get("selective_blocks_pruned", 0) > 0:
+                failures.append("scan: zone maps pruned no blocks")
+            cur_ratio = cur.get("on_disk_ratio")
+            if cur_ratio is None:
+                failures.append("scan: on_disk_ratio missing from current run")
+            elif cur_ratio > 0.5:
+                failures.append(
+                    f"scan: on-disk ratio {cur_ratio:g} exceeds the 50% target")
+            else:
+                print(f"ok scan invariants: identical results, "
+                      f"{cur_scan.get('selective_blocks_pruned')} blocks pruned, "
+                      f"on-disk ratio {cur_ratio:g}")
+
+            rows_match = base.get("rows") == cur.get("rows")
+            if rows_match:
+                b_ratio = base.get("on_disk_ratio")
+                if cur_ratio is not None and b_ratio is not None and \
+                        cur_ratio > b_ratio * (1 + tol):
+                    failures.append(
+                        f"scan: on-disk ratio regressed: {cur_ratio:g} > "
+                        f"{b_ratio:g} * (1 + {tol:g})")
+                b_hit = base.get("scan", {}).get("warm_hit_rate")
+                c_hit = cur_scan.get("warm_hit_rate")
+                if c_hit is None:
+                    failures.append("scan: warm_hit_rate missing from current run")
+                elif b_hit is not None and c_hit < b_hit * (1 - tol):
+                    failures.append(
+                        f"scan: warm hit rate regressed: {c_hit:g} < "
+                        f"{b_hit:g} * (1 - {tol:g})")
+                else:
+                    print(f"ok scan warm hit rate: {c_hit:g} "
+                          f"(baseline {b_hit:g})")
+                b_pruned = base.get("scan", {}).get("selective_blocks_pruned")
+                c_pruned = cur_scan.get("selective_blocks_pruned")
+                if b_pruned is not None and c_pruned is not None and \
+                        c_pruned < b_pruned:
+                    # Same data, same query, same block grid: the pruned
+                    # count is deterministic, so any drop is a pruning bug.
+                    failures.append(
+                        f"scan: pruned blocks dropped: {c_pruned} < "
+                        f"baseline {b_pruned} at identical scale")
+                hardware_match = (base.get("hardware_threads")
+                                  == cur.get("hardware_threads"))
+                if hardware_match:
+                    for key in ("cold_mrows_per_sec", "warm_mrows_per_sec"):
+                        b_tp = base.get("scan", {}).get(key)
+                        c_tp = cur_scan.get(key)
+                        if c_tp is None:
+                            failures.append(
+                                f"scan: {key} missing from current run")
+                        elif b_tp is not None and c_tp < b_tp * (1 - tol):
+                            failures.append(
+                                f"scan: {key} regressed: {c_tp:g} < "
+                                f"{b_tp:g} * (1 - {tol:g})")
+                        else:
+                            print(f"ok scan {key}: {c_tp:g} "
+                                  f"(baseline {b_tp:g})")
+                else:
+                    print("skipping scan throughput: hardware_threads differ "
+                          "(absolute Mrows/s does not transfer across machines)")
+            else:
+                print(
+                    f"skipping scan scale comparisons: baseline rows="
+                    f"{base.get('rows')} vs current rows={cur.get('rows')} "
+                    f"(compression, hit rates, and block counts drift with "
+                    f"scale)")
 
     if strict_absolute and sizes_match:
         for name, b in base_solver.get("entries", {}).items():

@@ -6,7 +6,7 @@
 
 namespace paql::core {
 
-DirectEvaluator::DirectEvaluator(const relation::Table& table,
+DirectEvaluator::DirectEvaluator(const relation::ColumnSource& table,
                                  DirectOptions options)
     : table_(&table), options_(std::move(options)) {}
 
@@ -26,14 +26,21 @@ Result<EvalResult> DirectEvaluator::Evaluate(
   Stopwatch translate_watch;
   // Step 2 (paper): the base relation over the whole table — a contiguous
   // chunked scan on the vectorized pipeline, a row-at-a-time loop on the
-  // scalar one (identical result either way).
+  // scalar one (identical result either way). Over a DiskTable the scan
+  // consults zone maps and skips blocks the WHERE clause rules out.
+  translate::ScanCounters scan;
   std::vector<relation::RowId> candidates =
       options_.vectorized
           ? query.ComputeBaseRowsVectorized(*table_,
-                                            options_.EffectiveThreads())
+                                            options_.EffectiveThreads(), &scan)
           : query.ComputeBaseRows(*table_);
-  return SolveCandidates(query, candidates,
-                         translate_watch.ElapsedSeconds());
+  auto result = SolveCandidates(query, candidates,
+                                translate_watch.ElapsedSeconds());
+  if (result.ok()) {
+    result->stats.blocks_scanned = scan.blocks_scanned.load();
+    result->stats.blocks_pruned = scan.blocks_pruned.load();
+  }
+  return result;
 }
 
 Result<EvalResult> DirectEvaluator::EvaluateOnRows(

@@ -22,7 +22,7 @@ struct DirectOptions : engine::ExecContext {};
 /// Evaluates package queries by solving one ILP over the full base relation.
 class DirectEvaluator {
  public:
-  explicit DirectEvaluator(const relation::Table& table,
+  explicit DirectEvaluator(const relation::ColumnSource& table,
                            DirectOptions options = {});
 
   /// Parse-compile-and-evaluate convenience entry point.
@@ -38,7 +38,7 @@ class DirectEvaluator {
       const translate::CompiledQuery& query,
       const std::vector<relation::RowId>& rows) const;
 
-  const relation::Table& table() const { return *table_; }
+  const relation::ColumnSource& table() const { return *table_; }
 
  private:
   /// Steps 1+3 over an already-filtered candidate set. `filter_seconds`
@@ -48,7 +48,7 @@ class DirectEvaluator {
       const std::vector<relation::RowId>& candidates,
       double filter_seconds) const;
 
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   DirectOptions options_;
 };
 

@@ -10,6 +10,7 @@
 namespace paql::core {
 
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
@@ -29,7 +30,7 @@ Spread ComputeSpread(std::vector<double> values) {
   return s;
 }
 
-void DescribeIlp(const CompiledQuery& query, const Table& table,
+void DescribeIlp(const CompiledQuery& query, const ColumnSource& table,
                  const std::vector<RowId>& rows, std::ostringstream& out) {
   auto model = query.BuildModel(table, rows);
   if (!model.ok()) {
@@ -60,7 +61,7 @@ void DescribeIlp(const CompiledQuery& query, const Table& table,
 
 }  // namespace
 
-std::string ExplainDirect(const CompiledQuery& query, const Table& table) {
+std::string ExplainDirect(const CompiledQuery& query, const ColumnSource& table) {
   std::ostringstream out;
   out << "DIRECT plan (paper Section 3.2)\n";
   out << "  input relation: " << table.num_rows() << " rows\n";
@@ -84,7 +85,7 @@ std::string ExplainDirect(const CompiledQuery& query, const Table& table) {
   return out.str();
 }
 
-std::string ExplainSketchRefine(const CompiledQuery& query, const Table& table,
+std::string ExplainSketchRefine(const CompiledQuery& query, const ColumnSource& table,
                                 const partition::Partitioning& partitioning) {
   std::ostringstream out;
   out << "SKETCHREFINE plan (paper Section 4)\n";

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "partition/partitioner.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 #include "translate/compiled_query.h"
 
@@ -29,12 +30,12 @@ namespace paql::core {
 
 /// Render the DIRECT evaluation plan of `query` over `table`.
 std::string ExplainDirect(const translate::CompiledQuery& query,
-                          const relation::Table& table);
+                          const relation::ColumnSource& table);
 
 /// Render the SKETCHREFINE evaluation plan of `query` over `table` with the
 /// offline `partitioning`.
 std::string ExplainSketchRefine(const translate::CompiledQuery& query,
-                                const relation::Table& table,
+                                const relation::ColumnSource& table,
                                 const partition::Partitioning& partitioning);
 
 }  // namespace paql::core

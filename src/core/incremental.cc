@@ -11,11 +11,12 @@ namespace paql::core {
 
 using partition::Partitioning;
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
 Result<IncrementalResult> ReEvaluatePackage(
-    const Table& table, const Partitioning& partitioning,
+    const ColumnSource& table, const Partitioning& partitioning,
     const CompiledQuery& query, const Package& previous,
     const std::vector<uint32_t>& dirty_groups,
     const IncrementalOptions& options) {

@@ -26,6 +26,7 @@
 #include "core/package.h"
 #include "core/sketch_refine.h"
 #include "partition/partitioner.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 #include "translate/compiled_query.h"
 
@@ -54,7 +55,7 @@ struct IncrementalResult {
 /// invalidate them). Rows of `previous` that fall in dirty groups are
 /// released and re-chosen.
 Result<IncrementalResult> ReEvaluatePackage(
-    const relation::Table& table,
+    const relation::ColumnSource& table,
     const partition::Partitioning& partitioning,
     const translate::CompiledQuery& query, const Package& previous,
     const std::vector<uint32_t>& dirty_groups,

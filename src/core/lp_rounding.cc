@@ -9,6 +9,7 @@
 namespace paql::core {
 
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
@@ -20,7 +21,7 @@ bool IsIntegral(double v) { return std::abs(v - std::llround(v)) <= kIntTol; }
 
 }  // namespace
 
-LpRoundingEvaluator::LpRoundingEvaluator(const Table& table,
+LpRoundingEvaluator::LpRoundingEvaluator(const ColumnSource& table,
                                          LpRoundingOptions options)
     : table_(&table), options_(std::move(options)) {}
 

@@ -49,7 +49,7 @@ struct LpRoundingInfo {
 /// Evaluates package queries by LP relaxation + rounding + ILP repair.
 class LpRoundingEvaluator {
  public:
-  explicit LpRoundingEvaluator(const relation::Table& table,
+  explicit LpRoundingEvaluator(const relation::ColumnSource& table,
                                LpRoundingOptions options = {});
 
   Result<EvalResult> Evaluate(const lang::PackageQuery& query) const;
@@ -60,7 +60,7 @@ class LpRoundingEvaluator {
                                       LpRoundingInfo* info) const;
 
  private:
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   LpRoundingOptions options_;
 };
 

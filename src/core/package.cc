@@ -14,13 +14,13 @@ int64_t Package::TotalCount() const {
                          int64_t{0});
 }
 
-relation::Table Package::Materialize(const relation::Table& source) const {
+relation::Table Package::Materialize(const relation::ColumnSource& source) const {
   std::vector<relation::RowId> expanded;
   expanded.reserve(static_cast<size_t>(TotalCount()));
   for (size_t k = 0; k < rows.size(); ++k) {
     for (int64_t i = 0; i < multiplicity[k]; ++i) expanded.push_back(rows[k]);
   }
-  return source.SelectRows(expanded);
+  return relation::MaterializeRows(source, expanded);
 }
 
 void Package::Normalize() {
@@ -51,7 +51,7 @@ std::string Package::ToString() const {
 }
 
 Status ValidatePackage(const translate::CompiledQuery& query,
-                       const relation::Table& table, const Package& package,
+                       const relation::ColumnSource& table, const Package& package,
                        double tol) {
   if (package.rows.size() != package.multiplicity.size()) {
     return Status::InvalidArgument("package rows/multiplicity mismatch");

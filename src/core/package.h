@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "ilp/branch_and_bound.h"
 #include "ilp/solver_limits.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 #include "translate/compiled_query.h"
 
@@ -28,7 +29,7 @@ struct Package {
 
   /// Expand the multiset into a relational table (the paper materializes
   /// packages as standard relations with the input schema).
-  relation::Table Materialize(const relation::Table& source) const;
+  relation::Table Materialize(const relation::ColumnSource& source) const;
 
   /// Sort entries by row id (canonical form for comparisons in tests).
   void Normalize();
@@ -39,7 +40,7 @@ struct Package {
 /// Validate a package against a compiled query: base predicate, repetition
 /// bound, and all global predicates. Returns OK or an explanatory error.
 Status ValidatePackage(const translate::CompiledQuery& query,
-                       const relation::Table& table, const Package& package,
+                       const relation::ColumnSource& table, const Package& package,
                        double tol = 1e-6);
 
 /// Statistics shared by all evaluation strategies.
@@ -76,6 +77,15 @@ struct EvalStats {
   /// Branch-and-bound nodes explored by the concurrent (threads > 1)
   /// search across all ILP solves (zero when every search ran serially).
   int64_t parallel_bnb_nodes = 0;
+
+  // Out-of-core storage counters (relation/block_store.h), filled by the
+  // base-relation scan; zero over sources without block statistics (the
+  // in-memory Table) or on the scalar pipeline.
+  /// Storage blocks whose zone maps were consulted and scanned.
+  int64_t blocks_scanned = 0;
+  /// Storage blocks skipped whole: their zone maps were disjoint from a
+  /// WHERE-implied range, so no row in them could pass the predicate.
+  int64_t blocks_pruned = 0;
 
   // Cross-query artifact cache counters (engine/query_cache.h), filled by
   // Session::Execute; zero when the session has no cache or the low-level

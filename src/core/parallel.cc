@@ -16,6 +16,7 @@ namespace paql::core {
 
 using partition::Partitioning;
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
@@ -51,7 +52,7 @@ const char* ParallelModeName(ParallelMode mode) {
 }
 
 ParallelSketchRefineEvaluator::ParallelSketchRefineEvaluator(
-    const Table& table, const Partitioning& partitioning,
+    const ColumnSource& table, const Partitioning& partitioning,
     ParallelOptions options)
     : table_(&table),
       partitioning_(&partitioning),

@@ -62,7 +62,7 @@ struct ParallelOptions {
 /// Parallel package evaluation over a fixed table + offline partitioning.
 class ParallelSketchRefineEvaluator {
  public:
-  ParallelSketchRefineEvaluator(const relation::Table& table,
+  ParallelSketchRefineEvaluator(const relation::ColumnSource& table,
                                 const partition::Partitioning& partitioning,
                                 ParallelOptions options = {});
 
@@ -75,7 +75,7 @@ class ParallelSketchRefineEvaluator {
   Result<EvalResult> EvaluateOrderingRace(
       const translate::CompiledQuery& query) const;
 
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   const partition::Partitioning* partitioning_;
   ParallelOptions options_;
 };

@@ -11,10 +11,11 @@
 namespace paql::core {
 
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
-RatioObjectiveEvaluator::RatioObjectiveEvaluator(const Table& table,
+RatioObjectiveEvaluator::RatioObjectiveEvaluator(const ColumnSource& table,
                                                  RatioObjectiveOptions options)
     : table_(&table), options_(std::move(options)) {}
 

@@ -35,6 +35,7 @@
 #include "core/package.h"
 #include "engine/exec_context.h"
 #include "paql/ast.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::core {
@@ -54,7 +55,7 @@ struct RatioObjectiveOptions : engine::ExecContext {
 /// within PaQL's linear fragment.
 class RatioObjectiveEvaluator {
  public:
-  explicit RatioObjectiveEvaluator(const relation::Table& table,
+  explicit RatioObjectiveEvaluator(const relation::ColumnSource& table,
                                    RatioObjectiveOptions options = {});
 
   /// Returns the optimal package and its AVG objective value. Fails with
@@ -63,10 +64,10 @@ class RatioObjectiveEvaluator {
   /// constraints.
   Result<EvalResult> Evaluate(const lang::PackageQuery& query) const;
 
-  const relation::Table& table() const { return *table_; }
+  const relation::ColumnSource& table() const { return *table_; }
 
  private:
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   RatioObjectiveOptions options_;
 };
 

@@ -13,13 +13,14 @@ namespace paql::core {
 
 using partition::Partitioning;
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
 namespace {
 
 /// Evaluate with SKETCHREFINE over an ad-hoc partitioning.
-Result<EvalResult> RunSketchRefine(const Table& table, const Partitioning& p,
+Result<EvalResult> RunSketchRefine(const ColumnSource& table, const Partitioning& p,
                                    const SketchRefineOptions& options,
                                    const CompiledQuery& query) {
   SketchRefineEvaluator evaluator(table, p, options);
@@ -41,7 +42,7 @@ const char* RemedyName(InfeasibilityRemedy remedy) {
 }
 
 RobustSketchRefineEvaluator::RobustSketchRefineEvaluator(
-    const Table& table, const Partitioning& partitioning,
+    const ColumnSource& table, const Partitioning& partitioning,
     RemedyOptions options)
     : table_(&table),
       partitioning_(&partitioning),

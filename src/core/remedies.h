@@ -76,7 +76,7 @@ struct RemedyReport {
 /// SKETCHREFINE with the Section 4.4 remedy chain behind it.
 class RobustSketchRefineEvaluator {
  public:
-  RobustSketchRefineEvaluator(const relation::Table& table,
+  RobustSketchRefineEvaluator(const relation::ColumnSource& table,
                               const partition::Partitioning& partitioning,
                               RemedyOptions options = {});
 
@@ -96,7 +96,7 @@ class RobustSketchRefineEvaluator {
   Result<std::vector<std::string>> IisAttributes(
       const translate::CompiledQuery& query) const;
 
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   const partition::Partitioning* partitioning_;
   RemedyOptions options_;
 };

@@ -13,6 +13,7 @@ namespace paql::core {
 
 using partition::Partitioning;
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 using translate::CompiledQuery;
 
@@ -35,7 +36,7 @@ std::vector<int64_t> RoundMults(const std::vector<double>& x, size_t n) {
 /// repetition bounds).
 class Driver {
  public:
-  Driver(const Table& table, const Partitioning& partitioning,
+  Driver(const ColumnSource& table, const Partitioning& partitioning,
          const CompiledQuery& query, const SketchRefineOptions& options)
       : table_(table),
         partitioning_(partitioning),
@@ -51,11 +52,15 @@ class Driver {
     // runs chunked through the batch pipeline when enabled.
     Stopwatch translate_watch;
     std::vector<std::vector<RowId>> group_rows(partitioning_.num_groups());
+    translate::ScanCounters scan;
     std::vector<RowId> base =
         options_.vectorized
             ? query_.ComputeBaseRowsVectorized(table_,
-                                               options_.EffectiveThreads())
+                                               options_.EffectiveThreads(),
+                                               &scan)
             : query_.ComputeBaseRows(table_);
+    stats_.blocks_scanned = scan.blocks_scanned.load();
+    stats_.blocks_pruned = scan.blocks_pruned.load();
     for (RowId r : base) {
       group_rows[partitioning_.gid[r]].push_back(r);
     }
@@ -108,7 +113,7 @@ class Driver {
  private:
   /// Candidate rows of some table with per-row repetition upper bounds.
   struct NodeProblem {
-    const Table* table = nullptr;
+    const ColumnSource* table = nullptr;
     std::vector<RowId> rows;
     std::vector<double> ub;
   };
@@ -117,7 +122,7 @@ class Driver {
   /// *positions into prob.rows*; `rep_rows[g]` is the representative's row
   /// in `rep_table`.
   struct GroupsView {
-    const Table* rep_table = nullptr;
+    const ColumnSource* rep_table = nullptr;
     std::vector<std::vector<RowId>> members;
     std::vector<RowId> rep_rows;
   };
@@ -249,7 +254,8 @@ class Driver {
   };
   Result<NestedGroups> MakeNestedGroups(const NodeProblem& prob) {
     NestedGroups out;
-    out.sub_table = std::make_unique<Table>(prob.table->SelectRows(prob.rows));
+    out.sub_table = std::make_unique<Table>(
+        relation::MaterializeRows(*prob.table, prob.rows));
     partition::PartitionOptions popts;
     popts.attributes = partitioning_.attributes;
     popts.size_threshold = options_.max_subproblem_size;
@@ -558,7 +564,7 @@ class Driver {
     return out;
   }
 
-  const Table& table_;
+  const ColumnSource& table_;
   const Partitioning& partitioning_;
   const CompiledQuery& query_;
   const SketchRefineOptions& options_;
@@ -570,7 +576,7 @@ class Driver {
 
 }  // namespace
 
-SketchRefineEvaluator::SketchRefineEvaluator(const Table& table,
+SketchRefineEvaluator::SketchRefineEvaluator(const ColumnSource& table,
                                              const Partitioning& partitioning,
                                              SketchRefineOptions options)
     : table_(&table),

@@ -60,18 +60,18 @@ struct SketchRefineOptions : engine::ExecContext {
 /// table + offline partitioning.
 class SketchRefineEvaluator {
  public:
-  SketchRefineEvaluator(const relation::Table& table,
+  SketchRefineEvaluator(const relation::ColumnSource& table,
                         const partition::Partitioning& partitioning,
                         SketchRefineOptions options = {});
 
   Result<EvalResult> Evaluate(const lang::PackageQuery& query) const;
   Result<EvalResult> Evaluate(const translate::CompiledQuery& query) const;
 
-  const relation::Table& table() const { return *table_; }
+  const relation::ColumnSource& table() const { return *table_; }
   const partition::Partitioning& partitioning() const { return *partitioning_; }
 
  private:
-  const relation::Table* table_;
+  const relation::ColumnSource* table_;
   const partition::Partitioning* partitioning_;
   SketchRefineOptions options_;
 };

@@ -14,6 +14,7 @@
 #include "paql/parser.h"
 #include "partition/partitioner.h"
 #include "relation/csv.h"
+#include "relation/disk_table.h"
 
 namespace paql {
 
@@ -35,7 +36,7 @@ Result<Session> Engine::Open(relation::Table table, std::string name,
               std::move(name), std::move(options));
 }
 
-Result<Session> Engine::Open(std::shared_ptr<const relation::Table> table,
+Result<Session> Engine::Open(std::shared_ptr<const relation::ColumnSource> table,
                              std::string name, EngineOptions options) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
@@ -80,6 +81,21 @@ Result<Session> Engine::OpenCsv(const std::string& path,
   return Open(std::move(table), CsvBaseName(path), std::move(options));
 }
 
+Result<Session> Engine::OpenDisk(const std::string& path,
+                                 EngineOptions options) {
+  relation::BlockCache::Options copts;
+  copts.capacity_bytes = options.block_cache_bytes;
+  auto cache = std::make_shared<relation::BlockCache>(copts);
+  PAQL_ASSIGN_OR_RETURN(std::shared_ptr<relation::DiskTable> table,
+                        relation::DiskTable::Open(path, cache));
+  PAQL_ASSIGN_OR_RETURN(
+      Session session,
+      Open(std::move(table), CsvBaseName(path), std::move(options)));
+  // Subsequent AddTableFromDisk calls share this cache.
+  session.block_cache_ = std::move(cache);
+  return session;
+}
+
 // ---------------------------------------------------------------------------
 // Session: FROM resolution + compilation
 // ---------------------------------------------------------------------------
@@ -90,7 +106,7 @@ Status Session::AddTable(std::string name, relation::Table table) {
 }
 
 Status Session::AddTable(std::string name,
-                         std::shared_ptr<const relation::Table> table) {
+                         std::shared_ptr<const relation::ColumnSource> table) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
@@ -107,6 +123,17 @@ Status Session::AddTable(std::string name,
 
 Status Session::AddTableFromCsv(const std::string& path) {
   auto table = relation::ReadCsv(path);
+  if (!table.ok()) return table.status();
+  return AddTable(CsvBaseName(path), std::move(*table));
+}
+
+Status Session::AddTableFromDisk(const std::string& path) {
+  if (block_cache_ == nullptr) {
+    relation::BlockCache::Options copts;
+    copts.capacity_bytes = options_.block_cache_bytes;
+    block_cache_ = std::make_shared<relation::BlockCache>(copts);
+  }
+  auto table = relation::DiskTable::Open(path, block_cache_);
   if (!table.ok()) return table.status();
   return AddTable(CsvBaseName(path), std::move(*table));
 }
@@ -173,7 +200,18 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
       // Multi-relation query: materialize the join (paper §4.5) and
       // rewrite the query against the join result.
       core::Catalog catalog;
-      for (const auto& [name, table] : tables_) catalog[name] = table.get();
+      for (const auto& [name, table] : tables_) {
+        // The join materializer builds hash tables over concrete in-memory
+        // columns; out-of-core tables are not joinable (yet).
+        const auto* in_memory =
+            dynamic_cast<const relation::Table*>(table.get());
+        if (in_memory == nullptr) {
+          return Status::Unsupported(
+              StrCat("multi-relation FROM: table '", name,
+                     "' is out-of-core; joins need in-memory tables"));
+        }
+        catalog[name] = in_memory;
+      }
       auto materialized =
           core::MaterializeFromClause(*parsed, catalog, options_.from_clause);
       if (!materialized.ok()) return materialized.status();
@@ -440,13 +478,21 @@ Result<std::vector<QueryResult>> Session::ExecuteTopK(std::string_view paql,
   FillPlanExecFlags(options_.exec, compiled, &plan);
   timings.plan_seconds = plan_watch.ElapsedSeconds();
 
+  const auto* in_memory =
+      dynamic_cast<const relation::Table*>(resolved.table.get());
+  if (in_memory == nullptr) {
+    return Status::Unsupported(
+        "top-k enumeration needs an in-memory table (out-of-core tables "
+        "are limited to single-package strategies)");
+  }
+
   Stopwatch eval_watch;
   core::TopKOptions topts;
   static_cast<ExecContext&>(topts) = options_.exec;
   topts.k = k;
   topts.min_difference = min_difference;
   auto enumerated =
-      core::EnumerateTopPackages(*resolved.table, compiled.ilp, topts);
+      core::EnumerateTopPackages(*in_memory, compiled.ilp, topts);
   timings.evaluate_seconds = eval_watch.ElapsedSeconds();
   if (!enumerated.ok()) return enumerated.status();
   timings.total_seconds = total.ElapsedSeconds();

@@ -34,6 +34,8 @@
 #include "engine/query_cache.h"
 #include "paql/validator.h"
 #include "partition/partitioner.h"
+#include "relation/block_cache.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql {
@@ -51,6 +53,9 @@ struct EngineOptions {
   core::FromClauseOptions from_clause;
   /// Language-fragment switches.
   lang::ValidateOptions validate;
+  /// Decoded-block budget for out-of-core tables registered through
+  /// AddTableFromDisk (shared across every disk table of the session).
+  size_t block_cache_bytes = 256ull << 20;
 };
 
 /// The answer to one Execute call: the package, the plan that produced it,
@@ -62,7 +67,7 @@ struct QueryResult {
   core::EvalStats stats;        // strategy-level statistics
   engine::Plan plan;            // what the planner chose and why
   engine::PhaseTimings timings; // parse/validate/compile/plan/evaluate
-  std::shared_ptr<const relation::Table> table;
+  std::shared_ptr<const relation::ColumnSource> table;
 
   /// The package as a relation with the input schema.
   relation::Table Materialize() const { return package.Materialize(*table); }
@@ -113,10 +118,22 @@ class Session {
   /// Same, sharing an externally-owned table instead of copying it (how
   /// the service catalog hands one table instance to every session).
   Status AddTable(std::string name,
-                  std::shared_ptr<const relation::Table> table);
+                  std::shared_ptr<const relation::ColumnSource> table);
 
   /// Read a CSV file and register it under its basename (sans extension).
   Status AddTableFromCsv(const std::string& path);
+
+  /// Open a block-store file (relation/block_store.h) and register it as
+  /// an out-of-core table under its basename. Scans read through the
+  /// session's shared block cache (options().block_cache_bytes), so the
+  /// decoded working set stays bounded regardless of the table size.
+  Status AddTableFromDisk(const std::string& path);
+
+  /// The session's shared block cache (created on first AddTableFromDisk;
+  /// null until then). Exposed for cache hit/miss reporting.
+  const std::shared_ptr<relation::BlockCache>& block_cache() const {
+    return block_cache_;
+  }
 
   /// Mutable session options; changes apply to subsequent Execute calls.
   EngineOptions& options() { return options_; }
@@ -145,7 +162,7 @@ class Session {
 
   struct ResolvedQuery {
     lang::PackageQuery ast;    // single-relation (joins materialized)
-    std::shared_ptr<const relation::Table> table;
+    std::shared_ptr<const relation::ColumnSource> table;
     std::string table_name;    // registered name; empty for join results
     std::string normalized_text;  // canonical statement (cache keying)
     bool joined_from = false;
@@ -186,7 +203,7 @@ class Session {
   struct JoinCacheEntry {
     std::string normalized_text;
     lang::PackageQuery ast;
-    std::shared_ptr<const relation::Table> table;
+    std::shared_ptr<const relation::ColumnSource> table;
   };
 
   /// Mutable state that concurrent Execute calls share, behind one mutex
@@ -196,7 +213,8 @@ class Session {
     std::optional<JoinCacheEntry> join_cache;
   };
 
-  std::map<std::string, std::shared_ptr<const relation::Table>> tables_;
+  std::map<std::string, std::shared_ptr<const relation::ColumnSource>> tables_;
+  std::shared_ptr<relation::BlockCache> block_cache_;
   std::shared_ptr<engine::QueryCache> cache_ =
       std::make_shared<engine::QueryCache>();
   std::shared_ptr<SyncState> sync_ = std::make_shared<SyncState>();
@@ -214,7 +232,7 @@ class Engine {
 
   /// Same, sharing an externally-owned table instead of copying it (used
   /// by the benches, whose tables are large and outlive the session).
-  static Result<Session> Open(std::shared_ptr<const relation::Table> table,
+  static Result<Session> Open(std::shared_ptr<const relation::ColumnSource> table,
                               std::string name = "R",
                               EngineOptions options = {});
 
@@ -222,6 +240,13 @@ class Engine {
   /// basename without extension.
   static Result<Session> OpenCsv(const std::string& path,
                                  EngineOptions options = {});
+
+  /// Open a session over a block-store file (relation/block_store.h): the
+  /// relation is an out-of-core DiskTable reading through the session's
+  /// block cache (options.block_cache_bytes), named after the file
+  /// basename without extension.
+  static Result<Session> OpenDisk(const std::string& path,
+                                  EngineOptions options = {});
 };
 
 }  // namespace paql

@@ -51,7 +51,7 @@ Options FromContext(const ExecContext& ctx) {
 
 // --- DIRECT ----------------------------------------------------------------
 
-DirectStrategy::DirectStrategy(std::shared_ptr<const relation::Table> table)
+DirectStrategy::DirectStrategy(std::shared_ptr<const relation::ColumnSource> table)
     : table_(std::move(table)) {}
 
 Result<core::EvalResult> DirectStrategy::Evaluate(
@@ -64,7 +64,7 @@ Result<core::EvalResult> DirectStrategy::Evaluate(
 // --- SKETCHREFINE ----------------------------------------------------------
 
 SketchRefineStrategy::SketchRefineStrategy(
-    std::shared_ptr<const relation::Table> table,
+    std::shared_ptr<const relation::ColumnSource> table,
     std::shared_ptr<const partition::Partitioning> partitioning)
     : table_(std::move(table)), partitioning_(std::move(partitioning)) {}
 
@@ -78,7 +78,7 @@ Result<core::EvalResult> SketchRefineStrategy::Evaluate(
 // --- Parallel SKETCHREFINE -------------------------------------------------
 
 ParallelSketchRefineStrategy::ParallelSketchRefineStrategy(
-    std::shared_ptr<const relation::Table> table,
+    std::shared_ptr<const relation::ColumnSource> table,
     std::shared_ptr<const partition::Partitioning> partitioning,
     int num_threads, core::ParallelMode mode)
     : table_(std::move(table)),
@@ -100,7 +100,7 @@ Result<core::EvalResult> ParallelSketchRefineStrategy::Evaluate(
 // --- LP rounding -----------------------------------------------------------
 
 LpRoundingStrategy::LpRoundingStrategy(
-    std::shared_ptr<const relation::Table> table)
+    std::shared_ptr<const relation::ColumnSource> table)
     : table_(std::move(table)) {}
 
 Result<core::EvalResult> LpRoundingStrategy::Evaluate(
@@ -113,7 +113,7 @@ Result<core::EvalResult> LpRoundingStrategy::Evaluate(
 // --- Ratio objective -------------------------------------------------------
 
 RatioObjectiveStrategy::RatioObjectiveStrategy(
-    std::shared_ptr<const relation::Table> table)
+    std::shared_ptr<const relation::ColumnSource> table)
     : table_(std::move(table)) {}
 
 Result<core::EvalResult> RatioObjectiveStrategy::Evaluate(

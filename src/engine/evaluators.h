@@ -14,6 +14,7 @@
 #include "core/parallel.h"
 #include "engine/evaluator.h"
 #include "partition/partitioner.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::engine {
@@ -21,27 +22,27 @@ namespace paql::engine {
 /// DIRECT (paper §3.2): one exact ILP over the full base relation.
 class DirectStrategy : public PackageEvaluator {
  public:
-  explicit DirectStrategy(std::shared_ptr<const relation::Table> table);
+  explicit DirectStrategy(std::shared_ptr<const relation::ColumnSource> table);
   std::string_view name() const override { return "DIRECT"; }
   Result<core::EvalResult> Evaluate(const CompiledQuery& query,
                                     const ExecContext& ctx) const override;
 
  private:
-  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const relation::ColumnSource> table_;
 };
 
 /// SKETCHREFINE (paper §4): sketch over representatives, greedy refine.
 class SketchRefineStrategy : public PackageEvaluator {
  public:
   SketchRefineStrategy(
-      std::shared_ptr<const relation::Table> table,
+      std::shared_ptr<const relation::ColumnSource> table,
       std::shared_ptr<const partition::Partitioning> partitioning);
   std::string_view name() const override { return "SKETCHREFINE"; }
   Result<core::EvalResult> Evaluate(const CompiledQuery& query,
                                     const ExecContext& ctx) const override;
 
  private:
-  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const relation::ColumnSource> table_;
   std::shared_ptr<const partition::Partitioning> partitioning_;
 };
 
@@ -50,7 +51,7 @@ class SketchRefineStrategy : public PackageEvaluator {
 class ParallelSketchRefineStrategy : public PackageEvaluator {
  public:
   ParallelSketchRefineStrategy(
-      std::shared_ptr<const relation::Table> table,
+      std::shared_ptr<const relation::ColumnSource> table,
       std::shared_ptr<const partition::Partitioning> partitioning,
       int num_threads,
       core::ParallelMode mode = core::ParallelMode::kGroupParallel);
@@ -59,7 +60,7 @@ class ParallelSketchRefineStrategy : public PackageEvaluator {
                                     const ExecContext& ctx) const override;
 
  private:
-  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const relation::ColumnSource> table_;
   std::shared_ptr<const partition::Partitioning> partitioning_;
   int num_threads_;
   core::ParallelMode mode_;
@@ -68,26 +69,26 @@ class ParallelSketchRefineStrategy : public PackageEvaluator {
 /// LP relaxation + rounding + repair (related-work baseline, paper §6).
 class LpRoundingStrategy : public PackageEvaluator {
  public:
-  explicit LpRoundingStrategy(std::shared_ptr<const relation::Table> table);
+  explicit LpRoundingStrategy(std::shared_ptr<const relation::ColumnSource> table);
   std::string_view name() const override { return "LP_ROUNDING"; }
   Result<core::EvalResult> Evaluate(const CompiledQuery& query,
                                     const ExecContext& ctx) const override;
 
  private:
-  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const relation::ColumnSource> table_;
 };
 
 /// Dinkelbach parametric evaluation for MINIMIZE/MAXIMIZE AVG objectives.
 class RatioObjectiveStrategy : public PackageEvaluator {
  public:
   explicit RatioObjectiveStrategy(
-      std::shared_ptr<const relation::Table> table);
+      std::shared_ptr<const relation::ColumnSource> table);
   std::string_view name() const override { return "RATIO_OBJECTIVE"; }
   Result<core::EvalResult> Evaluate(const CompiledQuery& query,
                                     const ExecContext& ctx) const override;
 
  private:
-  std::shared_ptr<const relation::Table> table_;
+  std::shared_ptr<const relation::ColumnSource> table_;
 };
 
 }  // namespace paql::engine

@@ -22,7 +22,7 @@ const char* StrategyName(Strategy strategy) {
 
 Planner::Planner(PlannerOptions options) : options_(std::move(options)) {}
 
-Plan Planner::Decide(const relation::Table& table,
+Plan Planner::Decide(const relation::ColumnSource& table,
                      const QueryShape& shape) const {
   Plan plan;
   plan.table_rows = table.num_rows();
@@ -97,7 +97,7 @@ Plan Planner::Decide(const relation::Table& table,
 }
 
 std::vector<std::string> Planner::PartitionAttributes(
-    const relation::Table& table) const {
+    const relation::ColumnSource& table) const {
   if (!options_.partition_attributes.empty()) {
     return options_.partition_attributes;
   }
@@ -110,7 +110,7 @@ std::vector<std::string> Planner::PartitionAttributes(
   return attributes;
 }
 
-size_t Planner::PartitionSizeThreshold(const relation::Table& table) const {
+size_t Planner::PartitionSizeThreshold(const relation::ColumnSource& table) const {
   if (options_.partition_size_threshold > 0) {
     return options_.partition_size_threshold;
   }

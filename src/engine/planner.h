@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::engine {
@@ -124,16 +125,16 @@ class Planner {
   /// Choose a strategy for a query of shape `shape` over `table`. Pure
   /// decision: building or looking up the partitioning a SKETCHREFINE
   /// plan needs is the session's job (see Session::Execute).
-  Plan Decide(const relation::Table& table, const QueryShape& shape) const;
+  Plan Decide(const relation::ColumnSource& table, const QueryShape& shape) const;
 
   /// Resolved partitioning attributes for `table`: the configured list,
   /// or all numeric columns when none was configured.
   std::vector<std::string> PartitionAttributes(
-      const relation::Table& table) const;
+      const relation::ColumnSource& table) const;
 
   /// Resolved size threshold tau for `table`: the configured value, or
   /// max(rows/10, 64).
-  size_t PartitionSizeThreshold(const relation::Table& table) const;
+  size_t PartitionSizeThreshold(const relation::ColumnSource& table) const;
 
   const PlannerOptions& options() const { return options_; }
 

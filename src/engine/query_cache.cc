@@ -11,7 +11,7 @@ QueryCache::QueryCache(Options options) : options_(options) {
 
 std::optional<QueryCache::Artifacts> QueryCache::Lookup(
     const std::string& key,
-    const std::shared_ptr<const relation::Table>& table) {
+    const std::shared_ptr<const relation::ColumnSource>& table) {
   std::lock_guard<std::mutex> lock(mu_);
   Artifacts* entry = artifacts_.Touch(key);
   if (entry == nullptr || entry->table != table) {

@@ -38,6 +38,7 @@
 #include "engine/planner.h"
 #include "lp/simplex.h"
 #include "partition/partitioner.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::engine {
@@ -68,7 +69,7 @@ class QueryCache {
   struct Artifacts {
     /// Identity of the table the statement ran against; a lookup only
     /// hits when the caller's table is this exact instance.
-    std::shared_ptr<const relation::Table> table;
+    std::shared_ptr<const relation::ColumnSource> table;
     /// The planner's decision (strategy, partitioning policy, reason).
     std::optional<Plan> plan;
     /// The partitioning a SKETCHREFINE plan used (null for DIRECT plans).
@@ -87,7 +88,7 @@ class QueryCache {
   /// catalogs is a miss, never a wrong hit.
   std::optional<Artifacts> Lookup(
       const std::string& key,
-      const std::shared_ptr<const relation::Table>& table);
+      const std::shared_ptr<const relation::ColumnSource>& table);
 
   /// Insert or refresh the artifacts for `key`, becoming most recent.
   void Store(const std::string& key, Artifacts artifacts);

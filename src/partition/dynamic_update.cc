@@ -10,13 +10,14 @@
 namespace paql::partition {
 
 using relation::RowId;
+using relation::ColumnSource;
 using relation::Table;
 
 namespace {
 
 /// L-infinity distance between row `r` of `table` and `centroid` over
 /// `cols` (the metric of Definition 2's radius).
-double LInfDistance(const Table& table, RowId r,
+double LInfDistance(const ColumnSource& table, RowId r,
                     const std::vector<size_t>& cols,
                     const std::vector<double>& centroid) {
   double d = 0;
@@ -28,7 +29,7 @@ double LInfDistance(const Table& table, RowId r,
 
 }  // namespace
 
-Result<AbsorbResult> AbsorbAppendedRows(const Table& table,
+Result<AbsorbResult> AbsorbAppendedRows(const ColumnSource& table,
                                         const Partitioning& old) {
   size_t n_old = old.gid.size();
   size_t n_new = table.num_rows();
@@ -116,7 +117,7 @@ Result<AbsorbResult> AbsorbAppendedRows(const Table& table,
       continue;
     }
     // Re-partition the group's rows in isolation and map back.
-    Table sub = table.SelectRows(groups[g]);
+    Table sub = relation::MaterializeRows(table, groups[g]);
     PartitionOptions popts;
     popts.attributes = old.attributes;
     // A zero threshold means "no size condition": split on radius only.

@@ -47,7 +47,7 @@ struct AbsorbResult {
 /// old partitioning was built on, in the same order. Fails when `table` has
 /// fewer rows than the old partitioning covers (deletions are expressed by
 /// rebuilding from scratch or via ShrinkToSubset).
-Result<AbsorbResult> AbsorbAppendedRows(const relation::Table& table,
+Result<AbsorbResult> AbsorbAppendedRows(const relation::ColumnSource& table,
                                         const Partitioning& old_partitioning);
 
 }  // namespace paql::partition

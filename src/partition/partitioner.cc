@@ -15,13 +15,14 @@ using relation::ColumnDef;
 using relation::DataType;
 using relation::RowId;
 using relation::Schema;
+using relation::ColumnSource;
 using relation::Table;
 using relation::Value;
 
 namespace {
 
 /// Mean of `col` over `rows` (chunked gather, relation/chunk.h).
-double ColumnMean(const Table& table, const std::vector<RowId>& rows,
+double ColumnMean(const ColumnSource& table, const std::vector<RowId>& rows,
                   size_t col) {
   return relation::GatherMean(table, col, rows);
 }
@@ -46,7 +47,7 @@ void ParallelIndexFor(size_t n, int threads, const Fn& fn) {
 /// Per-attribute means over `rows` (the group centroid), computed in
 /// parallel across attributes: each mean's accumulation stays serial, so
 /// the centroid is bit-identical for any worker count.
-std::vector<double> GroupCentroid(const Table& table,
+std::vector<double> GroupCentroid(const ColumnSource& table,
                                   const std::vector<RowId>& rows,
                                   const std::vector<size_t>& cols,
                                   int threads) {
@@ -60,7 +61,7 @@ std::vector<double> GroupCentroid(const Table& table,
 /// Max |centroid - value| over `rows` across the partitioning columns.
 /// The per-attribute max folds run morsel-parallel (max is exactly
 /// associative, so the result is unchanged).
-double GroupRadius(const Table& table, const std::vector<RowId>& rows,
+double GroupRadius(const ColumnSource& table, const std::vector<RowId>& rows,
                    const std::vector<size_t>& cols,
                    const std::vector<double>& centroid, int threads = 1) {
   std::vector<double> per_attr(cols.size(), 0.0);
@@ -76,7 +77,7 @@ double GroupRadius(const Table& table, const std::vector<RowId>& rows,
 /// Recursive quad-tree splitter.
 class QuadTreeBuilder {
  public:
-  QuadTreeBuilder(const Table& table, const PartitionOptions& options,
+  QuadTreeBuilder(const ColumnSource& table, const PartitionOptions& options,
                   std::vector<size_t> part_cols)
       : table_(table), options_(options), part_cols_(std::move(part_cols)) {
     // Full-table value range per attribute (split-score normalization),
@@ -203,7 +204,7 @@ class QuadTreeBuilder {
     out->radius.push_back(radius);
   }
 
-  const Table& table_;
+  const ColumnSource& table_;
   const PartitionOptions& options_;
   std::vector<size_t> part_cols_;
   std::vector<double> attr_scale_;
@@ -213,7 +214,7 @@ class QuadTreeBuilder {
 /// each group (strings become NULL) plus a trailing gid column. The
 /// (group, column) means are independent, so they fill a per-group value
 /// grid in parallel; rows are appended serially in group order.
-Result<Table> BuildRepresentatives(const Table& table,
+Result<Table> BuildRepresentatives(const ColumnSource& table,
                                    const Partitioning& partitioning,
                                    int threads = 1) {
   std::vector<ColumnDef> defs = table.schema().columns();
@@ -230,28 +231,35 @@ Result<Table> BuildRepresentatives(const Table& table,
   const size_t num_groups = partitioning.groups.size();
   reps.Reserve(num_groups);
   std::vector<std::vector<Value>> grid(num_groups);
-  ParallelIndexFor(num_groups, threads, [&](size_t g) {
-    const auto& rows = partitioning.groups[g];
-    std::vector<Value>& row = grid[g];
-    row.resize(table.num_columns() + 1);
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (table.schema().column(c).type == DataType::kString) {
-        row[c] = Value::Null();
-      } else {
-        // Averaging ignores NULLs? For simplicity, NULLs read as 0 here; the
-        // benchmark workloads pre-filter NULL rows per the paper's setup.
-        row[c] = Value(ColumnMean(table, rows, c));
-      }
+  for (size_t g = 0; g < num_groups; ++g) {
+    grid[g].resize(table.num_columns() + 1);
+    grid[g][table.num_columns()] = Value(static_cast<int64_t>(g));
+  }
+  // Column-major over the grid: every group's mean for one column before
+  // the next column. Each (group, column) cell is the same ColumnMean call
+  // in either loop order, but an out-of-core source decodes one column's
+  // blocks per pass — a working set an LRU block cache actually holds —
+  // whereas group-major re-decodes nearly the whole table per group (the
+  // groups' row lists are value-clustered, so each one touches most
+  // blocks of every column).
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.schema().column(c).type == DataType::kString) {
+      for (size_t g = 0; g < num_groups; ++g) grid[g][c] = Value::Null();
+      continue;
     }
-    row[table.num_columns()] = Value(static_cast<int64_t>(g));
-  });
+    ParallelIndexFor(num_groups, threads, [&](size_t g) {
+      // Averaging ignores NULLs? For simplicity, NULLs read as 0 here; the
+      // benchmark workloads pre-filter NULL rows per the paper's setup.
+      grid[g][c] = Value(ColumnMean(table, partitioning.groups[g], c));
+    });
+  }
   for (size_t g = 0; g < num_groups; ++g) {
     reps.AppendRowUnchecked(grid[g]);
   }
   return reps;
 }
 
-std::vector<size_t> ResolveNumericColumns(const Table& table,
+std::vector<size_t> ResolveNumericColumns(const ColumnSource& table,
                                           const std::vector<std::string>& names,
                                           Status* status) {
   std::vector<size_t> cols;
@@ -280,7 +288,7 @@ size_t Partitioning::max_group_size() const {
   return best;
 }
 
-Result<Partitioning> PartitionTable(const Table& table,
+Result<Partitioning> PartitionTable(const ColumnSource& table,
                                     const PartitionOptions& options) {
   if (options.size_threshold == 0) {
     return Status::InvalidArgument("size_threshold must be positive");
@@ -309,7 +317,7 @@ Result<Partitioning> PartitionTable(const Table& table,
 }
 
 Result<Partitioning> MakePartitioningFromGroups(
-    const Table& table, const std::vector<std::string>& attributes,
+    const ColumnSource& table, const std::vector<std::string>& attributes,
     size_t size_threshold, double radius_limit,
     std::vector<std::vector<RowId>> groups, int threads) {
   Status status;
@@ -355,7 +363,7 @@ Result<Partitioning> MakePartitioningFromGroups(
   return out;
 }
 
-Result<Partitioning> ShrinkToSubset(const Table& table,
+Result<Partitioning> ShrinkToSubset(const ColumnSource& table,
                                     const Partitioning& partitioning,
                                     const std::vector<RowId>& subset,
                                     int threads) {
@@ -364,7 +372,7 @@ Result<Partitioning> ShrinkToSubset(const Table& table,
       return Status::InvalidArgument("subset row out of range");
     }
   }
-  Table sub = table.SelectRows(subset);
+  Table sub = relation::MaterializeRows(table, subset);
   // Remap groups onto the subset, dropping emptied groups.
   std::vector<std::vector<RowId>> new_groups;
   std::vector<uint32_t> dense_id(partitioning.num_groups(), UINT32_MAX);
@@ -402,7 +410,7 @@ Result<Partitioning> ShrinkToSubset(const Table& table,
   return out;
 }
 
-Result<double> RadiusLimitForEpsilon(const Table& table,
+Result<double> RadiusLimitForEpsilon(const ColumnSource& table,
                                      const std::vector<std::string>& attributes,
                                      double epsilon, bool maximize) {
   if (epsilon < 0 || (maximize && epsilon >= 1)) {
@@ -437,7 +445,7 @@ Status SavePartitioning(const Partitioning& partitioning,
                             path_prefix + ".reps.csv");
 }
 
-Result<Partitioning> LoadPartitioning(const Table& table,
+Result<Partitioning> LoadPartitioning(const ColumnSource& table,
                                       const std::string& path_prefix) {
   PAQL_ASSIGN_OR_RETURN(Table gid_table,
                         relation::ReadCsv(path_prefix + ".gid.csv"));

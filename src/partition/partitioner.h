@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::partition {
@@ -77,7 +78,7 @@ struct Partitioning {
 };
 
 /// Partition `table` per `options`.
-Result<Partitioning> PartitionTable(const relation::Table& table,
+Result<Partitioning> PartitionTable(const relation::ColumnSource& table,
                                     const PartitionOptions& options);
 
 /// Assemble a Partitioning artifact from an explicit group assignment:
@@ -86,7 +87,7 @@ Result<Partitioning> PartitionTable(const relation::Table& table,
 /// partitioning methods (quad tree, k-means, k-d tree, grid) so that they
 /// produce interchangeable artifacts.
 Result<Partitioning> MakePartitioningFromGroups(
-    const relation::Table& table, const std::vector<std::string>& attributes,
+    const relation::ColumnSource& table, const std::vector<std::string>& attributes,
     size_t size_threshold, double radius_limit,
     std::vector<std::vector<relation::RowId>> groups, int threads = 1);
 
@@ -95,7 +96,7 @@ Result<Partitioning> MakePartitioningFromGroups(
 /// boundaries are preserved; centroids, radii, and sizes are recomputed on
 /// the surviving rows; emptied groups are dropped. `subset` maps new row
 /// ids to old ones: new table row k == old table row subset[k].
-Result<Partitioning> ShrinkToSubset(const relation::Table& table,
+Result<Partitioning> ShrinkToSubset(const relation::ColumnSource& table,
                                     const Partitioning& partitioning,
                                     const std::vector<relation::RowId>& subset,
                                     int threads = 1);
@@ -107,14 +108,14 @@ Result<Partitioning> ShrinkToSubset(const relation::Table& table,
 /// absolute attribute value over the *tuples* (valid when each attribute
 /// keeps a constant sign, which the guarantee-test workloads ensure).
 /// gamma = epsilon for maximization, epsilon / (1 + epsilon) otherwise.
-Result<double> RadiusLimitForEpsilon(const relation::Table& table,
+Result<double> RadiusLimitForEpsilon(const relation::ColumnSource& table,
                                      const std::vector<std::string>& attributes,
                                      double epsilon, bool maximize);
 
 /// Persistence: gid assignment + representatives, as two CSV files.
 Status SavePartitioning(const Partitioning& partitioning,
                         const std::string& path_prefix);
-Result<Partitioning> LoadPartitioning(const relation::Table& table,
+Result<Partitioning> LoadPartitioning(const relation::ColumnSource& table,
                                       const std::string& path_prefix);
 
 }  // namespace paql::partition

@@ -1,0 +1,855 @@
+#include "relation/block_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "relation/csv.h"
+
+namespace paql::relation {
+namespace {
+
+constexpr char kHeaderMagic[4] = {'P', 'Q', 'B', '1'};
+constexpr char kFooterMagic[4] = {'P', 'Q', 'B', 'F'};
+
+// --- Little-endian scalar serialization --------------------------------
+
+template <typename T>
+void PutScalar(std::vector<uint8_t>* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const uint8_t* data, size_t size, size_t* at, T* v) {
+  if (*at + sizeof(T) > size) return false;
+  std::memcpy(v, data + *at, sizeof(T));
+  *at += sizeof(T);
+  return true;
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t* data, size_t size, size_t* at, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*at < size && shift < 64) {
+    uint8_t byte = data[(*at)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// --- Bit packing --------------------------------------------------------
+
+int BitsFor(uint64_t range) {
+  int bits = 0;
+  while (range != 0) {
+    ++bits;
+    range >>= 1;
+  }
+  return bits;
+}
+
+void PackBits(const std::vector<uint64_t>& values, int width,
+              std::vector<uint8_t>* out) {
+  if (width == 0) return;
+  const size_t at = out->size();
+  out->resize(at + (values.size() * width + 7) / 8, 0);
+  uint8_t* dst = out->data() + at;
+  size_t bitpos = 0;
+  for (uint64_t v : values) {
+    for (int b = 0; b < width; ++b, ++bitpos) {
+      if ((v >> b) & 1) dst[bitpos >> 3] |= uint8_t{1} << (bitpos & 7);
+    }
+  }
+}
+
+bool UnpackBits(const uint8_t* data, size_t size, size_t* at, size_t count,
+                int width, std::vector<uint64_t>* out) {
+  out->assign(count, 0);
+  if (width == 0) return true;
+  const size_t bytes = (count * width + 7) / 8;
+  if (*at + bytes > size) return false;
+  const uint8_t* src = data + *at;
+  size_t bitpos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < width; ++b, ++bitpos) {
+      v |= static_cast<uint64_t>((src[bitpos >> 3] >> (bitpos & 7)) & 1)
+           << b;
+    }
+    (*out)[i] = v;
+  }
+  *at += bytes;
+  return true;
+}
+
+// --- Block encoding -----------------------------------------------------
+
+/// Powers of ten tried by the decimal frame-of-reference encoding.
+constexpr int kMaxDecimalScale = 9;
+
+double DecimalScale(int exp) {
+  static const double kScales[] = {1e0, 1e1, 1e2, 1e3, 1e4,
+                                   1e5, 1e6, 1e7, 1e8, 1e9};
+  return kScales[exp];
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Frame-of-reference pack `ints` into `payload` (min + width + packed
+/// offsets). Returns false when the value range needs >= 64 bits.
+bool ForPack(const std::vector<int64_t>& ints, std::vector<uint8_t>* payload) {
+  int64_t vmin = ints[0], vmax = ints[0];
+  for (int64_t v : ints) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  const uint64_t range =
+      static_cast<uint64_t>(vmax) - static_cast<uint64_t>(vmin);
+  const int width = BitsFor(range);
+  if (width >= 64) return false;
+  PutScalar<int64_t>(payload, vmin);
+  PutScalar<uint8_t>(payload, static_cast<uint8_t>(width));
+  std::vector<uint64_t> offsets(ints.size());
+  for (size_t i = 0; i < ints.size(); ++i) {
+    offsets[i] = static_cast<uint64_t>(ints[i]) - static_cast<uint64_t>(vmin);
+  }
+  PackBits(offsets, width, payload);
+  return true;
+}
+
+bool ForUnpack(const uint8_t* data, size_t size, size_t* at, size_t count,
+               std::vector<int64_t>* out) {
+  int64_t vmin = 0;
+  uint8_t width = 0;
+  if (!GetScalar(data, size, at, &vmin)) return false;
+  if (!GetScalar(data, size, at, &width)) return false;
+  std::vector<uint64_t> offsets;
+  if (!UnpackBits(data, size, at, count, width, &offsets)) return false;
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    (*out)[i] =
+        static_cast<int64_t>(static_cast<uint64_t>(vmin) + offsets[i]);
+  }
+  return true;
+}
+
+/// Append the per-row null bytes (only called when the block has NULLs).
+void AppendNulls(const std::vector<uint8_t>& nulls, size_t begin, size_t rows,
+                 std::vector<uint8_t>* payload) {
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t r = begin + i;
+    payload->push_back(r < nulls.size() && nulls[r] != 0 ? 1 : 0);
+  }
+}
+
+struct EncodedBlock {
+  BlockEncoding encoding = BlockEncoding::kPlain;
+  std::vector<uint8_t> payload;
+  uint32_t null_count = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Conservative double bounds for an int64 zone (an int64 above 2^53 may
+/// round when cast; widen one ulp outward so pruning stays safe).
+double LowerBoundDouble(int64_t v) {
+  double d = static_cast<double>(v);
+  if (static_cast<long double>(d) > static_cast<long double>(v)) {
+    d = std::nextafter(d, -std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+double UpperBoundDouble(int64_t v) {
+  double d = static_cast<double>(v);
+  if (static_cast<long double>(d) < static_cast<long double>(v)) {
+    d = std::nextafter(d, std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+
+EncodedBlock EncodeNumericBlock(const Table& table, size_t col, size_t begin,
+                                size_t rows) {
+  const DataType type = table.schema().column(col).type;
+  const std::vector<uint8_t>& nulls = table.NullBitmap(col);
+  EncodedBlock out;
+
+  size_t null_count = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t r = begin + i;
+    if (r < nulls.size() && nulls[r] != 0) ++null_count;
+  }
+  out.null_count = static_cast<uint32_t>(null_count);
+
+  if (type == DataType::kInt64) {
+    const int64_t* src = table.Int64Column(col).data() + begin;
+    // Zone over non-NULL values.
+    bool zone_init = false;
+    int64_t zmin = 0, zmax = 0;
+    bool all_zero = true, all_same = true;
+    for (size_t i = 0; i < rows; ++i) {
+      if (src[i] != 0) all_zero = false;
+      if (src[i] != src[0]) all_same = false;
+      const size_t r = begin + i;
+      if (r < nulls.size() && nulls[r] != 0) continue;
+      if (!zone_init) {
+        zmin = zmax = src[i];
+        zone_init = true;
+      } else {
+        zmin = std::min(zmin, src[i]);
+        zmax = std::max(zmax, src[i]);
+      }
+    }
+    if (zone_init) {
+      out.min = LowerBoundDouble(zmin);
+      out.max = UpperBoundDouble(zmax);
+    }
+    if (null_count == rows && all_zero) {
+      out.encoding = BlockEncoding::kAllNull;
+      return out;
+    }
+    if (all_same) {
+      out.encoding = BlockEncoding::kConstant;
+      PutScalar<int64_t>(&out.payload, src[0]);
+    } else {
+      std::vector<int64_t> ints(src, src + rows);
+      std::vector<uint8_t> packed;
+      if (ForPack(ints, &packed) && packed.size() < rows * sizeof(int64_t)) {
+        out.encoding = BlockEncoding::kForInt;
+        out.payload = std::move(packed);
+      } else {
+        out.encoding = BlockEncoding::kPlain;
+        const size_t at = out.payload.size();
+        out.payload.resize(at + rows * sizeof(int64_t));
+        std::memcpy(out.payload.data() + at, src, rows * sizeof(int64_t));
+      }
+    }
+    if (null_count > 0) AppendNulls(nulls, begin, rows, &out.payload);
+    return out;
+  }
+
+  // kDouble
+  const double* src = table.DoubleColumn(col).data() + begin;
+  bool zone_init = false;
+  bool all_zero = true, all_same = true;
+  for (size_t i = 0; i < rows; ++i) {
+    if (!BitEqual(src[i], 0.0)) all_zero = false;
+    if (!BitEqual(src[i], src[0])) all_same = false;
+    const size_t r = begin + i;
+    if (r < nulls.size() && nulls[r] != 0) continue;
+    if (!zone_init) {
+      out.min = out.max = src[i];
+      zone_init = true;
+    } else {
+      out.min = std::min(out.min, src[i]);
+      out.max = std::max(out.max, src[i]);
+    }
+  }
+  if (null_count == rows && all_zero) {
+    out.encoding = BlockEncoding::kAllNull;
+    return out;
+  }
+  if (all_same) {
+    out.encoding = BlockEncoding::kConstant;
+    PutScalar<double>(&out.payload, src[0]);
+    if (null_count > 0) AppendNulls(nulls, begin, rows, &out.payload);
+    return out;
+  }
+  // Decimal frame of reference: find the smallest power of ten whose
+  // scaled integers reconstruct every lane bit-exactly (the decoder runs
+  // the same (double)i / scale expression the verification runs here).
+  for (int exp = 0; exp <= kMaxDecimalScale; ++exp) {
+    const double scale = DecimalScale(exp);
+    std::vector<int64_t> ints(rows);
+    bool exact = true;
+    for (size_t i = 0; i < rows; ++i) {
+      const double v = src[i];
+      if (!std::isfinite(v) || std::abs(v) >= 9.0e15 / scale) {
+        exact = false;
+        break;
+      }
+      const int64_t scaled = std::llround(v * scale);
+      if (!BitEqual(static_cast<double>(scaled) / scale, v)) {
+        exact = false;
+        break;
+      }
+      ints[i] = scaled;
+    }
+    if (!exact) continue;
+    std::vector<uint8_t> packed;
+    PutScalar<uint8_t>(&packed, static_cast<uint8_t>(exp));
+    if (ForPack(ints, &packed) && packed.size() < rows * sizeof(double)) {
+      out.encoding = BlockEncoding::kForDecimal;
+      out.payload = std::move(packed);
+      if (null_count > 0) AppendNulls(nulls, begin, rows, &out.payload);
+      return out;
+    }
+    break;  // a coarser scale cannot succeed where this one represented all
+  }
+  out.encoding = BlockEncoding::kPlain;
+  const size_t at = out.payload.size();
+  out.payload.resize(at + rows * sizeof(double));
+  std::memcpy(out.payload.data() + at, src, rows * sizeof(double));
+  if (null_count > 0) AppendNulls(nulls, begin, rows, &out.payload);
+  return out;
+}
+
+EncodedBlock EncodeStringBlock(const Table& table, size_t col, size_t begin,
+                               size_t rows) {
+  const std::vector<uint8_t>& nulls = table.NullBitmap(col);
+  EncodedBlock out;
+  size_t null_count = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t r = begin + i;
+    if (r < nulls.size() && nulls[r] != 0) ++null_count;
+  }
+  out.null_count = static_cast<uint32_t>(null_count);
+
+  bool all_empty = true;
+  for (size_t i = 0; i < rows && all_empty; ++i) {
+    if (!table.GetString(static_cast<RowId>(begin + i), col).empty()) {
+      all_empty = false;
+    }
+  }
+  if (null_count == rows && all_empty) {
+    out.encoding = BlockEncoding::kAllNull;
+    return out;
+  }
+
+  // Dictionary: distinct values in first-appearance order + packed codes.
+  std::unordered_map<std::string_view, uint32_t> dict_index;
+  std::vector<const std::string*> dict;
+  std::vector<uint64_t> codes(rows);
+  size_t plain_bytes = 0;
+  auto varint_len = [](uint64_t v) {
+    size_t n = 1;
+    while (v >= 0x80) {
+      ++n;
+      v >>= 7;
+    }
+    return n;
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    const std::string& s = table.GetString(static_cast<RowId>(begin + i), col);
+    // Exactly what the kPlainStr payload below would cost — "smallest
+    // wins" needs the true size, or unique-heavy blocks mis-select kDict.
+    plain_bytes += varint_len(s.size()) + s.size();
+    auto [it, inserted] =
+        dict_index.emplace(std::string_view(s),
+                           static_cast<uint32_t>(dict.size()));
+    if (inserted) dict.push_back(&s);
+    codes[i] = it->second;
+  }
+
+  std::vector<uint8_t> dict_payload;
+  PutVarint(&dict_payload, dict.size());
+  for (const std::string* s : dict) {
+    PutVarint(&dict_payload, s->size());
+    dict_payload.insert(dict_payload.end(), s->begin(), s->end());
+  }
+  const int width = dict.size() <= 1 ? 0 : BitsFor(dict.size() - 1);
+  PutScalar<uint8_t>(&dict_payload, static_cast<uint8_t>(width));
+  PackBits(codes, width, &dict_payload);
+
+  if (dict_payload.size() < plain_bytes) {
+    out.encoding = BlockEncoding::kDict;
+    out.payload = std::move(dict_payload);
+  } else {
+    out.encoding = BlockEncoding::kPlainStr;
+    for (size_t i = 0; i < rows; ++i) {
+      const std::string& s =
+          table.GetString(static_cast<RowId>(begin + i), col);
+      PutVarint(&out.payload, s.size());
+      out.payload.insert(out.payload.end(), s.begin(), s.end());
+    }
+  }
+  if (null_count > 0) AppendNulls(nulls, begin, rows, &out.payload);
+  return out;
+}
+
+Status DecodeNulls(const uint8_t* data, size_t size, size_t* at, size_t rows,
+                   uint32_t null_count, std::vector<uint8_t>* nulls) {
+  if (null_count == 0) {
+    nulls->clear();
+    return Status::OK();
+  }
+  if (*at + rows > size) {
+    return Status::IoError("block store: truncated null bitmap");
+  }
+  nulls->assign(data + *at, data + *at + rows);
+  *at += rows;
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- Byte codec ---------------------------------------------------------
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  constexpr size_t kHashBits = 13;
+  constexpr size_t kMinMatch = 4;
+  constexpr size_t kMaxDistance = 65535;
+  std::vector<uint32_t> head(size_t{1} << kHashBits, 0xFFFFFFFFu);
+  auto hash4 = [&](size_t pos) {
+    uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  };
+  size_t lit_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end == lit_start) return;
+    out.push_back(0x00);
+    PutVarint(&out, end - lit_start);
+    out.insert(out.end(), data + lit_start, data + end);
+  };
+  size_t pos = 0;
+  while (size >= kMinMatch && pos + kMinMatch <= size) {
+    const uint32_t h = hash4(pos);
+    const uint32_t cand = head[h];
+    head[h] = static_cast<uint32_t>(pos);
+    if (cand != 0xFFFFFFFFu && pos - cand <= kMaxDistance &&
+        std::memcmp(data + cand, data + pos, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      while (pos + len < size && data[cand + len] == data[pos + len]) ++len;
+      flush_literals(pos);
+      out.push_back(0x01);
+      PutVarint(&out, len);
+      PutScalar<uint16_t>(&out, static_cast<uint16_t>(pos - cand));
+      // Seed the hash table through the match so later data can refer
+      // into it (sparsely, to keep the encoder cheap).
+      const size_t stop = std::min(pos + len, size - kMinMatch);
+      for (size_t p = pos + 1; p < stop; p += 3) head[hash4(p)] = p;
+      pos += len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(size);
+  return out;
+}
+
+Status LzDecompress(const uint8_t* data, size_t size, uint8_t* out,
+                    size_t out_size) {
+  size_t at = 0;
+  size_t written = 0;
+  while (at < size) {
+    const uint8_t tag = data[at++];
+    uint64_t len = 0;
+    if (!GetVarint(data, size, &at, &len)) {
+      return Status::IoError("block codec: truncated run length");
+    }
+    if (tag == 0x00) {
+      if (at + len > size || written + len > out_size) {
+        return Status::IoError("block codec: literal run out of range");
+      }
+      std::memcpy(out + written, data + at, len);
+      at += len;
+      written += len;
+    } else if (tag == 0x01) {
+      uint16_t distance = 0;
+      if (!GetScalar(data, size, &at, &distance)) {
+        return Status::IoError("block codec: truncated match");
+      }
+      if (distance == 0 || distance > written ||
+          written + len > out_size) {
+        return Status::IoError("block codec: match out of range");
+      }
+      // Overlapping copy (distance < len is legal), byte by byte.
+      for (uint64_t i = 0; i < len; ++i, ++written) {
+        out[written] = out[written - distance];
+      }
+    } else {
+      return Status::IoError("block codec: unknown run tag");
+    }
+  }
+  if (written != out_size) {
+    return Status::IoError(
+        StrCat("block codec: expected ", out_size, " bytes, got ", written));
+  }
+  return Status::OK();
+}
+
+// --- Writer -------------------------------------------------------------
+
+Status WriteBlockStore(const Table& table, const std::string& path,
+                       const BlockStoreOptions& options) {
+  if (table.num_rows() > std::numeric_limits<RowId>::max()) {
+    return Status::InvalidArgument("block store: too many rows for RowId");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
+  out.write(kHeaderMagic, sizeof(kHeaderMagic));
+
+  const size_t num_rows = table.num_rows();
+  const size_t num_cols = table.num_columns();
+  const size_t num_blocks = (num_rows + kBlockRows - 1) / kBlockRows;
+  std::vector<std::vector<BlockMeta>> metas(
+      num_cols, std::vector<BlockMeta>(num_blocks));
+
+  uint64_t offset = sizeof(kHeaderMagic);
+  for (size_t c = 0; c < num_cols; ++c) {
+    const bool is_string =
+        table.schema().column(c).type == DataType::kString;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t begin = b * kBlockRows;
+      const size_t rows = std::min(kBlockRows, num_rows - begin);
+      EncodedBlock enc = is_string
+                             ? EncodeStringBlock(table, c, begin, rows)
+                             : EncodeNumericBlock(table, c, begin, rows);
+      BlockMeta& meta = metas[c][b];
+      meta.num_rows = static_cast<uint32_t>(rows);
+      meta.null_count = enc.null_count;
+      meta.encoding = static_cast<uint8_t>(enc.encoding);
+      meta.min = enc.min;
+      meta.max = enc.max;
+      meta.payload_bytes = static_cast<uint32_t>(enc.payload.size());
+      const std::vector<uint8_t>* stored = &enc.payload;
+      std::vector<uint8_t> compressed;
+      if (options.compress && !enc.payload.empty()) {
+        compressed = LzCompress(enc.payload.data(), enc.payload.size());
+        if (compressed.size() < enc.payload.size()) {
+          stored = &compressed;
+          meta.compressed = 1;
+        }
+      }
+      meta.offset = offset;
+      meta.stored_bytes = static_cast<uint32_t>(stored->size());
+      out.write(reinterpret_cast<const char*>(stored->data()),
+                static_cast<std::streamsize>(stored->size()));
+      offset += stored->size();
+    }
+  }
+
+  // Footer: schema, row/block counts, then every BlockMeta.
+  std::vector<uint8_t> footer;
+  PutScalar<uint32_t>(&footer, static_cast<uint32_t>(num_cols));
+  for (size_t c = 0; c < num_cols; ++c) {
+    const ColumnDef& def = table.schema().column(c);
+    PutVarint(&footer, def.name.size());
+    footer.insert(footer.end(), def.name.begin(), def.name.end());
+    PutScalar<uint8_t>(&footer, static_cast<uint8_t>(def.type));
+  }
+  PutScalar<uint64_t>(&footer, num_rows);
+  PutScalar<uint64_t>(&footer, num_blocks);
+  for (size_t c = 0; c < num_cols; ++c) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const BlockMeta& m = metas[c][b];
+      PutScalar<uint64_t>(&footer, m.offset);
+      PutScalar<uint32_t>(&footer, m.stored_bytes);
+      PutScalar<uint32_t>(&footer, m.payload_bytes);
+      PutScalar<uint32_t>(&footer, m.num_rows);
+      PutScalar<uint32_t>(&footer, m.null_count);
+      PutScalar<uint8_t>(&footer, m.encoding);
+      PutScalar<uint8_t>(&footer, m.compressed);
+      PutScalar<double>(&footer, m.min);
+      PutScalar<double>(&footer, m.max);
+    }
+  }
+  out.write(reinterpret_cast<const char*>(footer.data()),
+            static_cast<std::streamsize>(footer.size()));
+  uint64_t footer_offset = offset;
+  out.write(reinterpret_cast<const char*>(&footer_offset),
+            sizeof(footer_offset));
+  out.write(kFooterMagic, sizeof(kFooterMagic));
+  out.flush();
+  if (!out) return Status::IoError(StrCat("write failed: ", path));
+  return Status::OK();
+}
+
+Status ConvertCsvToBlockStore(const std::string& csv_path,
+                              const std::string& out_path,
+                              const BlockStoreOptions& options) {
+  PAQL_ASSIGN_OR_RETURN(Table table, ReadCsv(csv_path));
+  return WriteBlockStore(table, out_path, options);
+}
+
+// --- Reader -------------------------------------------------------------
+
+BlockStoreReader::~BlockStoreReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::shared_ptr<BlockStoreReader>> BlockStoreReader::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(StrCat("cannot open block store: ", path));
+  }
+  auto fail = [&](const std::string& msg) -> Status {
+    ::close(fd);
+    return Status::IoError(StrCat("block store ", path, ": ", msg));
+  };
+  const off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < static_cast<off_t>(sizeof(kHeaderMagic) + 12)) {
+    return fail("file too small");
+  }
+  char head[4];
+  if (::pread(fd, head, 4, 0) != 4 ||
+      std::memcmp(head, kHeaderMagic, 4) != 0) {
+    return fail("bad header magic");
+  }
+  uint8_t tail[12];
+  if (::pread(fd, tail, 12, file_size - 12) != 12) return fail("bad tail");
+  if (std::memcmp(tail + 8, kFooterMagic, 4) != 0) {
+    return fail("bad footer magic");
+  }
+  uint64_t footer_offset = 0;
+  std::memcpy(&footer_offset, tail, sizeof(footer_offset));
+  if (footer_offset >= static_cast<uint64_t>(file_size) - 12) {
+    return fail("bad footer offset");
+  }
+  const size_t footer_size =
+      static_cast<size_t>(file_size) - 12 - footer_offset;
+  std::vector<uint8_t> footer(footer_size);
+  if (::pread(fd, footer.data(), footer_size,
+              static_cast<off_t>(footer_offset)) !=
+      static_cast<ssize_t>(footer_size)) {
+    return fail("truncated footer");
+  }
+
+  auto reader = std::shared_ptr<BlockStoreReader>(new BlockStoreReader());
+  reader->path_ = path;
+  reader->fd_ = fd;
+
+  size_t at = 0;
+  uint32_t num_cols = 0;
+  if (!GetScalar(footer.data(), footer.size(), &at, &num_cols)) {
+    return fail("truncated schema");
+  }
+  std::vector<ColumnDef> defs;
+  defs.reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    uint64_t name_len = 0;
+    if (!GetVarint(footer.data(), footer.size(), &at, &name_len) ||
+        at + name_len > footer.size()) {
+      return fail("truncated column name");
+    }
+    std::string name(reinterpret_cast<const char*>(footer.data() + at),
+                     name_len);
+    at += name_len;
+    uint8_t type = 0;
+    if (!GetScalar(footer.data(), footer.size(), &at, &type) || type > 2) {
+      return fail("bad column type");
+    }
+    defs.push_back({std::move(name), static_cast<DataType>(type)});
+  }
+  reader->schema_ = Schema(std::move(defs));
+  uint64_t num_rows = 0, num_blocks = 0;
+  if (!GetScalar(footer.data(), footer.size(), &at, &num_rows) ||
+      !GetScalar(footer.data(), footer.size(), &at, &num_blocks)) {
+    return fail("truncated counts");
+  }
+  reader->num_rows_ = num_rows;
+  reader->num_blocks_ = num_blocks;
+  reader->metas_.assign(num_cols, std::vector<BlockMeta>(num_blocks));
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      BlockMeta& m = reader->metas_[c][b];
+      bool ok = GetScalar(footer.data(), footer.size(), &at, &m.offset) &&
+                GetScalar(footer.data(), footer.size(), &at,
+                          &m.stored_bytes) &&
+                GetScalar(footer.data(), footer.size(), &at,
+                          &m.payload_bytes) &&
+                GetScalar(footer.data(), footer.size(), &at, &m.num_rows) &&
+                GetScalar(footer.data(), footer.size(), &at,
+                          &m.null_count) &&
+                GetScalar(footer.data(), footer.size(), &at, &m.encoding) &&
+                GetScalar(footer.data(), footer.size(), &at,
+                          &m.compressed) &&
+                GetScalar(footer.data(), footer.size(), &at, &m.min) &&
+                GetScalar(footer.data(), footer.size(), &at, &m.max);
+      if (!ok) return fail("truncated block index");
+      reader->stored_bytes_ += m.stored_bytes;
+    }
+  }
+  return reader;
+}
+
+Result<DecodedBlock> BlockStoreReader::DecodeBlock(size_t col,
+                                                   size_t block) const {
+  PAQL_CHECK(col < metas_.size() && block < num_blocks_);
+  const BlockMeta& meta = metas_[col][block];
+  const DataType type = schema_.column(col).type;
+  const size_t rows = meta.num_rows;
+
+  std::vector<uint8_t> stored(meta.stored_bytes);
+  if (meta.stored_bytes > 0 &&
+      ::pread(fd_, stored.data(), meta.stored_bytes,
+              static_cast<off_t>(meta.offset)) !=
+          static_cast<ssize_t>(meta.stored_bytes)) {
+    return Status::IoError(StrCat("block store ", path_, ": short read at ",
+                                  meta.offset));
+  }
+  std::vector<uint8_t> payload;
+  if (meta.compressed != 0) {
+    payload.resize(meta.payload_bytes);
+    PAQL_RETURN_IF_ERROR(LzDecompress(stored.data(), stored.size(),
+                                      payload.data(), payload.size()));
+  } else {
+    payload = std::move(stored);
+  }
+
+  DecodedBlock out;
+  out.type = type;
+  const uint8_t* data = payload.data();
+  const size_t size = payload.size();
+  size_t at = 0;
+  const auto enc = static_cast<BlockEncoding>(meta.encoding);
+  auto bad = [&](const char* what) -> Status {
+    return Status::IoError(StrCat("block store ", path_, ": ", what,
+                                  " (col ", col, " block ", block, ")"));
+  };
+
+  switch (type) {
+    case DataType::kInt64: {
+      switch (enc) {
+        case BlockEncoding::kAllNull:
+          out.ints.assign(rows, 0);
+          out.nulls.assign(rows, 1);
+          return out;
+        case BlockEncoding::kConstant: {
+          int64_t v = 0;
+          if (!GetScalar(data, size, &at, &v)) return bad("bad constant");
+          out.ints.assign(rows, v);
+          break;
+        }
+        case BlockEncoding::kForInt:
+          if (!ForUnpack(data, size, &at, rows, &out.ints)) {
+            return bad("bad FOR block");
+          }
+          break;
+        case BlockEncoding::kPlain:
+          if (at + rows * sizeof(int64_t) > size) return bad("short block");
+          out.ints.resize(rows);
+          std::memcpy(out.ints.data(), data + at, rows * sizeof(int64_t));
+          at += rows * sizeof(int64_t);
+          break;
+        default:
+          return bad("unexpected int encoding");
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      switch (enc) {
+        case BlockEncoding::kAllNull:
+          out.doubles.assign(rows, 0.0);
+          out.nulls.assign(rows, 1);
+          return out;
+        case BlockEncoding::kConstant: {
+          double v = 0;
+          if (!GetScalar(data, size, &at, &v)) return bad("bad constant");
+          out.doubles.assign(rows, v);
+          break;
+        }
+        case BlockEncoding::kForDecimal: {
+          uint8_t exp = 0;
+          if (!GetScalar(data, size, &at, &exp) || exp > kMaxDecimalScale) {
+            return bad("bad decimal scale");
+          }
+          std::vector<int64_t> ints;
+          if (!ForUnpack(data, size, &at, rows, &ints)) {
+            return bad("bad FOR block");
+          }
+          const double scale = DecimalScale(exp);
+          out.doubles.resize(rows);
+          for (size_t i = 0; i < rows; ++i) {
+            out.doubles[i] = static_cast<double>(ints[i]) / scale;
+          }
+          break;
+        }
+        case BlockEncoding::kPlain:
+          if (at + rows * sizeof(double) > size) return bad("short block");
+          out.doubles.resize(rows);
+          std::memcpy(out.doubles.data(), data + at, rows * sizeof(double));
+          at += rows * sizeof(double);
+          break;
+        default:
+          return bad("unexpected double encoding");
+      }
+      break;
+    }
+    case DataType::kString: {
+      switch (enc) {
+        case BlockEncoding::kAllNull:
+          out.strings.assign(rows, std::string());
+          out.nulls.assign(rows, 1);
+          return out;
+        case BlockEncoding::kDict: {
+          uint64_t dict_size = 0;
+          if (!GetVarint(data, size, &at, &dict_size) || dict_size == 0) {
+            return bad("bad dictionary size");
+          }
+          std::vector<std::string> dict(dict_size);
+          for (uint64_t d = 0; d < dict_size; ++d) {
+            uint64_t len = 0;
+            if (!GetVarint(data, size, &at, &len) || at + len > size) {
+              return bad("bad dictionary entry");
+            }
+            dict[d].assign(reinterpret_cast<const char*>(data + at), len);
+            at += len;
+          }
+          uint8_t width = 0;
+          if (!GetScalar(data, size, &at, &width)) return bad("bad width");
+          std::vector<uint64_t> codes;
+          if (!UnpackBits(data, size, &at, rows, width, &codes)) {
+            return bad("bad codes");
+          }
+          out.strings.resize(rows);
+          for (size_t i = 0; i < rows; ++i) {
+            if (codes[i] >= dict_size) return bad("code out of range");
+            out.strings[i] = dict[codes[i]];
+          }
+          break;
+        }
+        case BlockEncoding::kPlainStr: {
+          out.strings.resize(rows);
+          for (size_t i = 0; i < rows; ++i) {
+            uint64_t len = 0;
+            if (!GetVarint(data, size, &at, &len) || at + len > size) {
+              return bad("bad string");
+            }
+            out.strings[i].assign(
+                reinterpret_cast<const char*>(data + at), len);
+            at += len;
+          }
+          break;
+        }
+        default:
+          return bad("unexpected string encoding");
+      }
+      break;
+    }
+  }
+  PAQL_RETURN_IF_ERROR(
+      DecodeNulls(data, size, &at, rows, meta.null_count, &out.nulls));
+  return out;
+}
+
+}  // namespace paql::relation

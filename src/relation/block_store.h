@@ -1,0 +1,144 @@
+// On-disk columnar block store: the persistent format behind DiskTable.
+//
+// Layout (single file):
+//
+//   +--------+----------------------------------+----------------+------+
+//   | "PQB1" | column blocks (any order)        | footer         | tail |
+//   +--------+----------------------------------+----------------+------+
+//
+//   * Each block holds the values of ONE column for kMorselRows
+//     consecutive rows (the morsel grid of the vectorized pipeline, so a
+//     zone-map-pruned block is exactly a skipped morsel).
+//   * A block is encoded (see BlockEncoding), then optionally compressed
+//     with the byte-oriented LZ codec below when that shrinks it.
+//   * The footer indexes every block: file offset, sizes, encoding, and
+//     the zone map (min/max over non-NULL values + null count).
+//   * The tail is the footer offset (u64) + "PQBF", so a reader seeks to
+//     the end, loads the footer, and reads blocks on demand.
+//
+// Encodings (chosen per block, smallest wins; every one is LOSSLESS so
+// out-of-core scans are bit-identical to in-memory ones — the raw stored
+// lanes round-trip exactly, NULL bitmaps ride separately):
+//
+//   kPlain       raw 8-byte values (doubles or int64), the fallback
+//   kConstant    every stored lane bit-identical: one value
+//   kAllNull     every row NULL with stored lane 0: empty payload
+//   kForInt      int64 frame-of-reference: min + bit-packed offsets
+//   kForDecimal  doubles that are exactly i / 10^p: p + FOR-packed i
+//                (each lane verified to reconstruct bit-exactly at encode
+//                time; any mismatch falls back to kPlain)
+//   kDict        strings: distinct-value dictionary + bit-packed codes
+//   kPlainStr    strings: length-prefixed values, the string fallback
+//
+// All integers little-endian (the repo targets x86-64/ARM64 Linux).
+#ifndef PAQL_RELATION_BLOCK_STORE_H_
+#define PAQL_RELATION_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/block_cache.h"
+#include "relation/chunk_types.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+
+namespace paql::relation {
+
+/// Rows per block == rows per parallel morsel (see chunk_types.h).
+inline constexpr size_t kBlockRows = kMorselRows;
+
+enum class BlockEncoding : uint8_t {
+  kPlain = 0,
+  kConstant = 1,
+  kAllNull = 2,
+  kForInt = 3,
+  kForDecimal = 4,
+  kDict = 5,
+  kPlainStr = 6,
+};
+
+/// Footer index entry for one (column, block).
+struct BlockMeta {
+  uint64_t offset = 0;        // file offset of the stored bytes
+  uint32_t stored_bytes = 0;  // bytes on disk (post-codec)
+  uint32_t payload_bytes = 0; // encoded bytes (pre-codec)
+  uint32_t num_rows = 0;
+  uint32_t null_count = 0;
+  uint8_t encoding = 0;       // BlockEncoding
+  uint8_t compressed = 0;     // 1 = LZ codec applied
+  // Zone map over the block's non-NULL values (numeric columns only;
+  // meaningless when null_count == num_rows or the column is a string).
+  double min = 0;
+  double max = 0;
+};
+
+struct BlockStoreOptions {
+  /// Apply the byte codec on top of each encoded block when it shrinks.
+  bool compress = true;
+};
+
+/// Write `table` to `path` in block-store format.
+Status WriteBlockStore(const Table& table, const std::string& path,
+                       const BlockStoreOptions& options = {});
+
+/// ReadCsv-to-blocks conversion tooling: parse the CSV at `csv_path`
+/// (typed header, see relation/csv.h) and write it as a block store.
+Status ConvertCsvToBlockStore(const std::string& csv_path,
+                              const std::string& out_path,
+                              const BlockStoreOptions& options = {});
+
+/// Metadata + on-demand block decoding for one block-store file. Holds
+/// the open file descriptor; reads use pread, so concurrent DecodeBlock
+/// calls from morsel-parallel scans are safe.
+class BlockStoreReader {
+ public:
+  static Result<std::shared_ptr<BlockStoreReader>> Open(
+      const std::string& path);
+  ~BlockStoreReader();
+
+  BlockStoreReader(const BlockStoreReader&) = delete;
+  BlockStoreReader& operator=(const BlockStoreReader&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_blocks() const { return num_blocks_; }
+  const std::string& path() const { return path_; }
+  const BlockMeta& meta(size_t col, size_t block) const {
+    return metas_[col][block];
+  }
+  /// Total stored bytes across all blocks (the on-disk data size).
+  size_t stored_bytes() const { return stored_bytes_; }
+
+  /// Read + decompress + decode one block.
+  Result<DecodedBlock> DecodeBlock(size_t col, size_t block) const;
+
+ private:
+  BlockStoreReader() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  Schema schema_;
+  size_t num_rows_ = 0;
+  size_t num_blocks_ = 0;
+  size_t stored_bytes_ = 0;
+  std::vector<std::vector<BlockMeta>> metas_;  // [col][block]
+};
+
+// --- Byte-oriented block codec (exposed for the unit tests) ---
+//
+// A greedy LZ with explicit runs: tag 0x00 = literal run (varint length +
+// bytes), tag 0x01 = match (varint length >= 4 + u16 distance). Simple,
+// allocation-light, and lossless; typical bit-packed or dictionary
+// payloads shrink further, high-entropy payloads are stored raw by the
+// writer (the codec is only applied when it wins).
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t size);
+Status LzDecompress(const uint8_t* data, size_t size, uint8_t* out,
+                    size_t out_size);
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_BLOCK_STORE_H_

@@ -27,55 +27,19 @@ void ForEachMorsel(size_t n, int threads, const Fold& fold) {
       [&](size_t begin, size_t end) { fold(begin, end); });
 }
 
-/// Copy the value lanes of `span` out of a typed column with the type
-/// dispatch hoisted out of the row loop.
-void LoadValues(const Table& table, size_t col, const RowSpan& span,
-                NumericBatch* out) {
-  const DataType type = table.schema().column(col).type;
-  PAQL_CHECK_MSG(type != DataType::kString,
-                 "LoadNumericChunk on string column "
-                     << table.schema().column(col).name);
-  if (type == DataType::kDouble) {
-    const double* src = table.DoubleColumn(col).data();
-    if (span.contiguous()) {
-      std::memcpy(out->values.data(), src + span.start,
-                  span.len * sizeof(double));
-    } else {
-      for (uint32_t i = 0; i < span.len; ++i) {
-        out->values[i] = src[span.rows[i]];
-      }
-    }
-  } else {
-    const int64_t* src = table.Int64Column(col).data();
-    for (uint32_t i = 0; i < span.len; ++i) {
-      out->values[i] = static_cast<double>(src[span.row(i)]);
-    }
-  }
-}
-
 }  // namespace
 
-void LoadNumericChunk(const Table& table, size_t col, const RowSpan& span,
-                      NumericBatch* out) {
-  LoadValues(table, col, span, out);
-  out->ClearNulls();
-  // The bitmap is grown lazily: an empty bitmap means no NULLs at all, and
-  // rows past its end are non-NULL (see Table::IsNull).
-  const std::vector<uint8_t>& bitmap = table.NullBitmap(col);
-  if (bitmap.empty()) return;
-  for (uint32_t i = 0; i < span.len; ++i) {
-    RowId r = span.row(i);
-    if (r < bitmap.size() && bitmap[r] != 0) out->SetNull(i);
-  }
+void LoadNumericChunk(const ColumnSource& source, size_t col,
+                      const RowSpan& span, NumericBatch* out) {
+  source.LoadChunk(col, span, out);
 }
 
-void LoadNumericChunkRaw(const Table& table, size_t col, const RowSpan& span,
-                         NumericBatch* out) {
-  LoadValues(table, col, span, out);
-  out->ClearNulls();
+void LoadNumericChunkRaw(const ColumnSource& source, size_t col,
+                         const RowSpan& span, NumericBatch* out) {
+  source.LoadChunkRaw(col, span, out);
 }
 
-double GatherMean(const Table& table, size_t col,
+double GatherMean(const ColumnSource& source, size_t col,
                   const std::vector<RowId>& rows) {
   if (rows.empty()) return 0.0;
   NumericBatch batch;
@@ -84,13 +48,13 @@ double GatherMean(const Table& table, size_t col,
     RowSpan span;
     span.rows = rows.data() + off;
     span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
-    LoadNumericChunkRaw(table, col, span, &batch);
+    source.LoadChunkRaw(col, span, &batch);
     for (uint32_t i = 0; i < span.len; ++i) sum += batch.values[i];
   }
   return sum / static_cast<double>(rows.size());
 }
 
-double GatherMaxAbsDeviation(const Table& table, size_t col,
+double GatherMaxAbsDeviation(const ColumnSource& source, size_t col,
                              const std::vector<RowId>& rows, double center,
                              int threads) {
   const size_t n = rows.size();
@@ -102,7 +66,7 @@ double GatherMaxAbsDeviation(const Table& table, size_t col,
       RowSpan span;
       span.rows = rows.data() + off;
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - off));
-      LoadNumericChunkRaw(table, col, span, &batch);
+      source.LoadChunkRaw(col, span, &batch);
       for (uint32_t i = 0; i < span.len; ++i) {
         radius = std::max(radius, std::abs(batch.values[i] - center));
       }
@@ -114,10 +78,10 @@ double GatherMaxAbsDeviation(const Table& table, size_t col,
   return radius;
 }
 
-std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
+std::pair<double, double> ColumnMinMax(const ColumnSource& source, size_t col,
                                        int threads) {
   const double inf = std::numeric_limits<double>::infinity();
-  const size_t n = table.num_rows();
+  const size_t n = source.num_rows();
   const size_t morsels = (n + kMorselRows - 1) / kMorselRows;
   std::vector<double> lo_partial(morsels, inf), hi_partial(morsels, -inf);
   ForEachMorsel(n, threads, [&](size_t begin, size_t end) {
@@ -127,7 +91,7 @@ std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
       RowSpan span;
       span.start = static_cast<RowId>(start);
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
-      LoadNumericChunkRaw(table, col, span, &batch);
+      source.LoadChunkRaw(col, span, &batch);
       for (uint32_t i = 0; i < span.len; ++i) {
         lo = std::min(lo, batch.values[i]);
         hi = std::max(hi, batch.values[i]);
@@ -144,9 +108,9 @@ std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
   return {lo, hi};
 }
 
-double ColumnMinAbs(const Table& table, size_t col, int threads) {
+double ColumnMinAbs(const ColumnSource& source, size_t col, int threads) {
   const double inf = std::numeric_limits<double>::infinity();
-  const size_t n = table.num_rows();
+  const size_t n = source.num_rows();
   std::vector<double> partial((n + kMorselRows - 1) / kMorselRows, inf);
   ForEachMorsel(n, threads, [&](size_t begin, size_t end) {
     NumericBatch batch;
@@ -155,7 +119,7 @@ double ColumnMinAbs(const Table& table, size_t col, int threads) {
       RowSpan span;
       span.start = static_cast<RowId>(start);
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
-      LoadNumericChunkRaw(table, col, span, &batch);
+      source.LoadChunkRaw(col, span, &batch);
       for (uint32_t i = 0; i < span.len; ++i) {
         best = std::min(best, std::abs(batch.values[i]));
       }

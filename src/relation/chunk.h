@@ -1,4 +1,4 @@
-// Chunked (vectorized) access primitives over the columnar Table.
+// Chunked (vectorized) access primitives over any ColumnSource.
 //
 // The scalar hot paths evaluate expressions one row at a time through
 // std::function closures; at millions of rows the per-row indirect calls
@@ -7,115 +7,37 @@
 // chunk, with the type dispatch hoisted out), predicates refine a
 // SelectionVector of surviving lane indices, and aggregates fold whole
 // batches. translate/vector_expr.h compiles PaQL expressions onto these
-// types; this header owns the data layout plus the raw gather/scan helpers
-// the partitioner and AggregateRows fast paths share.
+// types; this header owns the raw gather/scan helpers the partitioner and
+// AggregateRows fast paths share. The data layout types themselves live in
+// relation/chunk_types.h (re-exported here).
+//
+// Every helper reads through the ColumnSource interface, so the same
+// reductions run over the in-memory Table and the out-of-core DiskTable
+// with bit-identical results (one virtual call per chunk, not per row).
 #ifndef PAQL_RELATION_CHUNK_H_
 #define PAQL_RELATION_CHUNK_H_
 
-#include <array>
-#include <cmath>
-#include <cstdint>
-#include <cstring>
-#include <limits>
 #include <utility>
 #include <vector>
 
+#include "relation/chunk_types.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::relation {
 
-/// Rows processed per batch. 1024 doubles = 8KB per operand batch: small
-/// enough to stay cache-resident through an expression tree, large enough
-/// to amortize one indirect call per kernel to ~1/1024 per row.
-inline constexpr size_t kChunkSize = 1024;
-
-/// Rows per parallel morsel: the unit workers claim from the shared pool
-/// when a chunked loop runs with threads > 1. Sixteen chunks is large
-/// enough that the claim (one atomic add) disappears against the scan
-/// work, and small enough that a 1M-row scan still yields ~60 morsels to
-/// balance across workers. Morsel boundaries are fixed by the row count
-/// alone — never by the worker count — which is what keeps parallel
-/// results bit-for-bit identical to serial ones (see docs/architecture.md,
-/// "Parallel execution").
-inline constexpr size_t kMorselRows = 16 * kChunkSize;
-
-/// One batch worth of input rows: either a contiguous range starting at
-/// `start` (rows == nullptr, the full-table scan case) or an explicit
-/// gather list of `len` row ids (the candidate-subset case).
-struct RowSpan {
-  RowId start = 0;              // first row id (contiguous spans)
-  const RowId* rows = nullptr;  // non-null: explicit gather list
-  uint32_t len = 0;             // lanes in this span; <= kChunkSize
-
-  bool contiguous() const { return rows == nullptr; }
-  RowId row(size_t i) const {
-    return rows != nullptr ? rows[i] : start + static_cast<RowId>(i);
-  }
-};
-
-/// Numeric lanes for one chunk. NULL is encoded the same way the scalar
-/// RowFn pipeline encodes it — a quiet NaN in the value lane — so batch and
-/// scalar evaluation agree bit for bit (NaN comparisons are false, SQL
-/// aggregates skip NaN). The per-chunk null bitmap additionally records
-/// which lanes were NULL *at column-load time*; arithmetic kernels OR their
-/// operands' bitmaps as a conservative summary, but the NaN lane value is
-/// the canonical marker (an expression like 0/0 can introduce NaN lanes the
-/// bitmap does not know about, exactly as in the scalar pipeline).
-struct NumericBatch {
-  static constexpr size_t kNullWords = kChunkSize / 64;
-
-  alignas(64) std::array<double, kChunkSize> values;
-  std::array<uint64_t, kNullWords> nulls;
-  bool any_null = false;
-
-  void ClearNulls() {
-    nulls.fill(0);
-    any_null = false;
-  }
-  void SetNull(size_t i) {
-    nulls[i >> 6] |= uint64_t{1} << (i & 63);
-    values[i] = std::numeric_limits<double>::quiet_NaN();
-    any_null = true;
-  }
-  bool IsNull(size_t i) const {
-    return (nulls[i >> 6] >> (i & 63)) & 1;
-  }
-  /// OR another batch's null bitmap into this one (binary arithmetic).
-  void MergeNulls(const NumericBatch& other) {
-    if (!other.any_null) return;
-    for (size_t w = 0; w < kNullWords; ++w) nulls[w] |= other.nulls[w];
-    any_null = true;
-  }
-};
-
-/// Indices (ascending, < span.len) of the lanes still active in a chunk.
-/// Predicates refine it in place, so an AND chain narrows the work each
-/// kernel touches.
-struct SelectionVector {
-  std::array<uint16_t, kChunkSize> idx;
-  uint32_t count = 0;
-
-  /// Select every lane of a `len`-row chunk.
-  void MakeDense(uint32_t len) {
-    for (uint32_t i = 0; i < len; ++i) idx[i] = static_cast<uint16_t>(i);
-    count = len;
-  }
-  bool empty() const { return count == 0; }
-};
-
 /// Materialize a numeric column slice into `out` with int64 -> double
 /// coercion; NULL lanes become NaN with the null bit set. The column must
 /// not be a string column (PAQL_CHECKed, mirroring Table::DoubleColumn).
-void LoadNumericChunk(const Table& table, size_t col, const RowSpan& span,
-                      NumericBatch* out);
+void LoadNumericChunk(const ColumnSource& source, size_t col,
+                      const RowSpan& span, NumericBatch* out);
 
 /// Like LoadNumericChunk but reads the raw stored values with no NULL
 /// handling (NULL lanes read as the 0 the storage holds) — the batch
-/// counterpart of calling Table::GetDouble in a loop. Used by the
-/// partitioner and aggregate fast paths, which historically read raw
-/// storage.
-void LoadNumericChunkRaw(const Table& table, size_t col, const RowSpan& span,
-                         NumericBatch* out);
+/// counterpart of calling GetDouble in a loop. Used by the partitioner
+/// and aggregate fast paths, which historically read raw storage.
+void LoadNumericChunkRaw(const ColumnSource& source, size_t col,
+                         const RowSpan& span, NumericBatch* out);
 
 // --- Raw chunked reductions (bit-identical to the scalar loops they
 // --- replace: same accumulation order, raw storage reads).
@@ -130,20 +52,20 @@ void LoadNumericChunkRaw(const Table& table, size_t col, const RowSpan& span,
 // instead — see partition/partitioner.cc).
 
 /// Mean of `col` over `rows` (0.0 when rows is empty).
-double GatherMean(const Table& table, size_t col,
+double GatherMean(const ColumnSource& source, size_t col,
                   const std::vector<RowId>& rows);
 
 /// max_i |value(rows[i]) - center| over `rows` (0.0 when rows is empty).
-double GatherMaxAbsDeviation(const Table& table, size_t col,
+double GatherMaxAbsDeviation(const ColumnSource& source, size_t col,
                              const std::vector<RowId>& rows, double center,
                              int threads = 1);
 
 /// (min, max) of the whole column; (+inf, -inf) on an empty table.
-std::pair<double, double> ColumnMinMax(const Table& table, size_t col,
+std::pair<double, double> ColumnMinMax(const ColumnSource& source, size_t col,
                                        int threads = 1);
 
 /// min |value| over the whole column; +inf on an empty table.
-double ColumnMinAbs(const Table& table, size_t col, int threads = 1);
+double ColumnMinAbs(const ColumnSource& source, size_t col, int threads = 1);
 
 }  // namespace paql::relation
 

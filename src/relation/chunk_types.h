@@ -1,0 +1,104 @@
+// Data layout of the chunked (vectorized) pipeline: batch sizes, row
+// spans, numeric batches, and selection vectors.
+//
+// Split out of relation/chunk.h so that the ColumnSource interface (which
+// Table and DiskTable both implement) can speak these types without a
+// circular dependency on Table. relation/chunk.h re-exports everything
+// here, so existing includes keep working.
+#ifndef PAQL_RELATION_CHUNK_TYPES_H_
+#define PAQL_RELATION_CHUNK_TYPES_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace paql::relation {
+
+/// Row index type. Tables are append-only; a RowId is stable forever.
+using RowId = uint32_t;
+
+/// Rows processed per batch. 1024 doubles = 8KB per operand batch: small
+/// enough to stay cache-resident through an expression tree, large enough
+/// to amortize one indirect call per kernel to ~1/1024 per row.
+inline constexpr size_t kChunkSize = 1024;
+
+/// Rows per parallel morsel: the unit workers claim from the shared pool
+/// when a chunked loop runs with threads > 1. Sixteen chunks is large
+/// enough that the claim (one atomic add) disappears against the scan
+/// work, and small enough that a 1M-row scan still yields ~60 morsels to
+/// balance across workers. Morsel boundaries are fixed by the row count
+/// alone — never by the worker count — which is what keeps parallel
+/// results bit-for-bit identical to serial ones (see docs/architecture.md,
+/// "Parallel execution"). The on-disk block store uses the same grid
+/// (one block per morsel), so zone maps can skip whole morsels.
+inline constexpr size_t kMorselRows = 16 * kChunkSize;
+
+/// One batch worth of input rows: either a contiguous range starting at
+/// `start` (rows == nullptr, the full-table scan case) or an explicit
+/// gather list of `len` row ids (the candidate-subset case).
+struct RowSpan {
+  RowId start = 0;              // first row id (contiguous spans)
+  const RowId* rows = nullptr;  // non-null: explicit gather list
+  uint32_t len = 0;             // lanes in this span; <= kChunkSize
+
+  bool contiguous() const { return rows == nullptr; }
+  RowId row(size_t i) const {
+    return rows != nullptr ? rows[i] : start + static_cast<RowId>(i);
+  }
+};
+
+/// Numeric lanes for one chunk. NULL is encoded the same way the scalar
+/// RowFn pipeline encodes it — a quiet NaN in the value lane — so batch and
+/// scalar evaluation agree bit for bit (NaN comparisons are false, SQL
+/// aggregates skip NaN). The per-chunk null bitmap additionally records
+/// which lanes were NULL *at column-load time*; arithmetic kernels OR their
+/// operands' bitmaps as a conservative summary, but the NaN lane value is
+/// the canonical marker (an expression like 0/0 can introduce NaN lanes the
+/// bitmap does not know about, exactly as in the scalar pipeline).
+struct NumericBatch {
+  static constexpr size_t kNullWords = kChunkSize / 64;
+
+  alignas(64) std::array<double, kChunkSize> values;
+  std::array<uint64_t, kNullWords> nulls;
+  bool any_null = false;
+
+  void ClearNulls() {
+    nulls.fill(0);
+    any_null = false;
+  }
+  void SetNull(size_t i) {
+    nulls[i >> 6] |= uint64_t{1} << (i & 63);
+    values[i] = std::numeric_limits<double>::quiet_NaN();
+    any_null = true;
+  }
+  bool IsNull(size_t i) const {
+    return (nulls[i >> 6] >> (i & 63)) & 1;
+  }
+  /// OR another batch's null bitmap into this one (binary arithmetic).
+  void MergeNulls(const NumericBatch& other) {
+    if (!other.any_null) return;
+    for (size_t w = 0; w < kNullWords; ++w) nulls[w] |= other.nulls[w];
+    any_null = true;
+  }
+};
+
+/// Indices (ascending, < span.len) of the lanes still active in a chunk.
+/// Predicates refine it in place, so an AND chain narrows the work each
+/// kernel touches.
+struct SelectionVector {
+  std::array<uint16_t, kChunkSize> idx;
+  uint32_t count = 0;
+
+  /// Select every lane of a `len`-row chunk.
+  void MakeDense(uint32_t len) {
+    for (uint32_t i = 0; i < len; ++i) idx[i] = static_cast<uint16_t>(i);
+    count = len;
+  }
+  bool empty() const { return count == 0; }
+};
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_CHUNK_TYPES_H_

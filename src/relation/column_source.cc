@@ -1,0 +1,49 @@
+#include "relation/column_source.h"
+
+#include "relation/table.h"
+
+namespace paql::relation {
+
+Value ColumnSource::GetValue(RowId row, size_t col) const {
+  if (IsNull(row, col)) return Value::Null();
+  switch (schema().column(col).type) {
+    case DataType::kInt64: return Value(GetInt64(row, col));
+    case DataType::kDouble: return Value(GetDouble(row, col));
+    case DataType::kString: return Value(GetString(row, col));
+  }
+  return Value::Null();
+}
+
+std::vector<RowId> ColumnSource::NonNullRows(
+    const std::vector<size_t>& cols) const {
+  std::vector<RowId> out;
+  const size_t n = num_rows();
+  out.reserve(n);
+  for (RowId r = 0; r < n; ++r) {
+    bool keep = true;
+    for (size_t c : cols) {
+      if (IsNull(r, c)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(r);
+  }
+  return out;
+}
+
+Table MaterializeRows(const ColumnSource& source,
+                      const std::vector<RowId>& rows) {
+  Table out(source.schema());
+  out.Reserve(rows.size());
+  std::vector<Value> row_values(source.num_columns());
+  for (RowId r : rows) {
+    for (size_t c = 0; c < source.num_columns(); ++c) {
+      row_values[c] = source.GetValue(r, c);
+    }
+    out.AppendRowUnchecked(row_values);
+  }
+  return out;
+}
+
+}  // namespace paql::relation

@@ -21,35 +21,65 @@ std::string EscapeField(const std::string& s) {
   return out;
 }
 
-// Split one CSV line honoring quotes.
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> fields;
+// Read one CSV record into `*fields`: split on unquoted commas with
+// doubled-quote escapes, exactly the format EscapeField writes. Two
+// wrinkles a per-line getline split gets wrong:
+//   * a quoted field may contain newlines (EscapeField quotes them), so
+//     the reader keeps consuming physical lines until quotes balance,
+//     re-inserting the '\n' getline swallowed;
+//   * CRLF input leaves a '\r' before each newline, which used to end up
+//     glued onto the last field ("42\r" -> bad INT64); it is stripped
+//     before splitting (a literal '\r' inside a quoted field survives,
+//     since only the line-terminating one is removed).
+// Returns false when the input is exhausted. `*line_no` advances by the
+// number of physical lines consumed.
+bool ReadCsvRecord(std::istream& is, std::vector<std::string>* fields,
+                   size_t* line_no) {
+  fields->clear();
   std::string cur;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          cur += '"';
-          ++i;
+  bool any = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++*line_no;
+    any = true;
+    bool stripped_cr = false;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+      stripped_cr = true;
+    }
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cur += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
         } else {
-          in_quotes = false;
+          cur += c;
         }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields->push_back(std::move(cur));
+        cur.clear();
       } else {
         cur += c;
       }
-    } else if (c == '"') {
-      in_quotes = true;
-    } else if (c == ',') {
-      fields.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur += c;
     }
+    if (!in_quotes) break;
+    // The open quoted field continues on the next line: the newline (and
+    // any '\r' before it — data when quoted, not a CRLF terminator) is
+    // part of the field value.
+    if (stripped_cr) cur += '\r';
+    cur += '\n';
   }
-  fields.push_back(std::move(cur));
-  return fields;
+  if (!any) return false;
+  fields->push_back(std::move(cur));
+  return true;
 }
 
 void AppendTableAsCsv(const Table& table, std::ostream& os) {
@@ -77,12 +107,13 @@ void AppendTableAsCsv(const Table& table, std::ostream& os) {
 }
 
 Result<Table> ParseCsv(std::istream& is, const std::string& origin) {
-  std::string line;
-  if (!std::getline(is, line)) {
+  size_t line_no = 0;
+  std::vector<std::string> fields;
+  if (!ReadCsvRecord(is, &fields, &line_no)) {
     return Status::IoError(StrCat("empty CSV input: ", origin));
   }
   std::vector<ColumnDef> defs;
-  for (const auto& field : SplitCsvLine(line)) {
+  for (const auto& field : fields) {
     auto parts = Split(field, ':');
     if (parts.size() != 2) {
       return Status::ParseError(
@@ -99,11 +130,8 @@ Result<Table> ParseCsv(std::istream& is, const std::string& origin) {
   Table table{Schema(std::move(defs))};
   const Schema& schema = table.schema();
   std::vector<Value> row(schema.num_columns());
-  size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    auto fields = SplitCsvLine(line);
+  while (ReadCsvRecord(is, &fields, &line_no)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
     if (fields.size() != schema.num_columns()) {
       return Status::ParseError(StrCat(origin, ":", line_no, ": expected ",
                                        schema.num_columns(), " fields, got ",

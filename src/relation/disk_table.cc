@@ -1,0 +1,162 @@
+#include "relation/disk_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+Result<std::shared_ptr<DiskTable>> DiskTable::Open(
+    const std::string& path, std::shared_ptr<BlockCache> cache) {
+  PAQL_ASSIGN_OR_RETURN(std::shared_ptr<BlockStoreReader> reader,
+                        BlockStoreReader::Open(path));
+  if (cache == nullptr) cache = std::make_shared<BlockCache>();
+  return std::shared_ptr<DiskTable>(
+      new DiskTable(std::move(reader), std::move(cache)));
+}
+
+DiskTable::DiskTable(std::shared_ptr<BlockStoreReader> reader,
+                     std::shared_ptr<BlockCache> cache)
+    : reader_(std::move(reader)),
+      cache_(std::move(cache)),
+      store_id_(BlockCache::NewStoreId()) {}
+
+DiskTable::~DiskTable() { cache_->EraseStore(store_id_); }
+
+BlockCache::Handle DiskTable::Block(size_t col, size_t block) const {
+  BlockKey key{store_id_, static_cast<uint32_t>(col),
+               static_cast<uint32_t>(block)};
+  return cache_->GetOrLoad(key, [&]() -> BlockCache::Handle {
+    Result<DecodedBlock> decoded = reader_->DecodeBlock(col, block);
+    // Read-path accessors (GetDouble, LoadChunk) have no error channel —
+    // exactly like Table, whose reads cannot fail. A decode failure here
+    // means the file was truncated or corrupted after Open validated the
+    // footer, which is a crashing invariant violation, not a user error.
+    PAQL_CHECK_MSG(decoded.ok(),
+                   StrCat("block decode failed: ", decoded.status().message()));
+    return std::make_shared<const DecodedBlock>(std::move(*decoded));
+  });
+}
+
+BlockCache::Handle DiskTable::StringBlock(size_t col, size_t block) const {
+  const uint64_t key = (static_cast<uint64_t>(col) << 32) | block;
+  std::lock_guard<std::mutex> lock(string_mu_);
+  auto it = string_blocks_.find(key);
+  if (it != string_blocks_.end()) return it->second;
+  BlockCache::Handle handle = Block(col, block);
+  string_blocks_.emplace(key, handle);
+  return handle;
+}
+
+bool DiskTable::IsNull(RowId row, size_t col) const {
+  BlockCache::Handle h = Block(col, row / kBlockRows);
+  const size_t lane = row % kBlockRows;
+  return !h->nulls.empty() && h->nulls[lane] != 0;
+}
+
+double DiskTable::GetDouble(RowId row, size_t col) const {
+  BlockCache::Handle h = Block(col, row / kBlockRows);
+  const size_t lane = row % kBlockRows;
+  if (h->type == DataType::kInt64) {
+    return static_cast<double>(h->ints[lane]);
+  }
+  return h->doubles[lane];
+}
+
+int64_t DiskTable::GetInt64(RowId row, size_t col) const {
+  BlockCache::Handle h = Block(col, row / kBlockRows);
+  return h->ints[row % kBlockRows];
+}
+
+const std::string& DiskTable::GetString(RowId row, size_t col) const {
+  BlockCache::Handle h = StringBlock(col, row / kBlockRows);
+  return h->strings[row % kBlockRows];
+}
+
+void DiskTable::LoadChunkRaw(size_t col, const RowSpan& span,
+                             NumericBatch* out) const {
+  const DataType type = schema().column(col).type;
+  PAQL_CHECK_MSG(type != DataType::kString,
+                 "numeric chunk load on a string column");
+  if (span.contiguous()) {
+    size_t i = 0;
+    while (i < span.len) {
+      const RowId row = span.start + static_cast<RowId>(i);
+      const size_t block = row / kBlockRows;
+      const size_t lane = row % kBlockRows;
+      BlockCache::Handle h = Block(col, block);
+      const size_t take =
+          std::min<size_t>(span.len - i, h->num_rows() - lane);
+      if (type == DataType::kDouble) {
+        std::memcpy(out->values.data() + i, h->doubles.data() + lane,
+                    take * sizeof(double));
+      } else {
+        const int64_t* src = h->ints.data() + lane;
+        for (size_t k = 0; k < take; ++k) {
+          out->values[i + k] = static_cast<double>(src[k]);
+        }
+      }
+      i += take;
+    }
+  } else {
+    BlockCache::Handle h;
+    size_t held = static_cast<size_t>(-1);
+    for (size_t i = 0; i < span.len; ++i) {
+      const RowId row = span.rows[i];
+      const size_t block = row / kBlockRows;
+      if (block != held) {
+        h = Block(col, block);
+        held = block;
+      }
+      const size_t lane = row % kBlockRows;
+      out->values[i] = h->type == DataType::kInt64
+                           ? static_cast<double>(h->ints[lane])
+                           : h->doubles[lane];
+    }
+  }
+  out->ClearNulls();
+}
+
+void DiskTable::LoadChunk(size_t col, const RowSpan& span,
+                          NumericBatch* out) const {
+  LoadChunkRaw(col, span, out);
+  // Second pass for NULL lanes: the blocks are still cache-resident.
+  BlockCache::Handle h;
+  size_t held = static_cast<size_t>(-1);
+  for (size_t i = 0; i < span.len; ++i) {
+    const RowId row = span.row(i);
+    const size_t block = row / kBlockRows;
+    if (block != held) {
+      h = Block(col, block);
+      held = block;
+    }
+    if (!h->nulls.empty() && h->nulls[row % kBlockRows] != 0) {
+      out->SetNull(i);
+    }
+  }
+}
+
+bool DiskTable::ZoneFor(size_t col, size_t block, BlockZone* zone) const {
+  if (schema().column(col).type == DataType::kString) return false;
+  const BlockMeta& meta = reader_->meta(col, block);
+  if (meta.null_count == meta.num_rows) {
+    // All-NULL block: no value satisfies any comparison. Report an empty
+    // range so every predicate zone prunes it.
+    zone->min = std::numeric_limits<double>::infinity();
+    zone->max = -std::numeric_limits<double>::infinity();
+    zone->null_count = meta.null_count;
+    return true;
+  }
+  zone->min = meta.min;
+  zone->max = meta.max;
+  zone->null_count = meta.null_count;
+  return true;
+}
+
+size_t DiskTable::ApproximateBytes() const {
+  return cache_->capacity_bytes();
+}
+
+}  // namespace paql::relation

@@ -1,0 +1,87 @@
+// DiskTable — the out-of-core ColumnSource over a block-store file.
+//
+// A DiskTable owns a BlockStoreReader (file descriptor + footer index)
+// and reads through a shared BlockCache: every block access is a cache
+// lookup that decodes the block on a miss, so the decoded working set of
+// a scan is bounded by the cache budget, not by the table size. Results
+// are bit-identical to an in-memory Table of the same data (the block
+// encodings are lossless and the NULL convention matches).
+//
+// String columns: GetString returns a reference, so decoded string blocks
+// are pinned for the lifetime of the table (held in a member map). Tables
+// whose string columns exceed memory should project them away before
+// scanning; the numeric path never pins.
+//
+// Thread safety: const methods are safe to call concurrently (pread +
+// sharded cache); this matches Table's read-side contract for
+// morsel-parallel scans.
+#ifndef PAQL_RELATION_DISK_TABLE_H_
+#define PAQL_RELATION_DISK_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/block_cache.h"
+#include "relation/block_store.h"
+#include "relation/column_source.h"
+
+namespace paql::relation {
+
+class DiskTable final : public ColumnSource {
+ public:
+  /// Open the block store at `path`, reading through `cache` (shared
+  /// across tables; null makes a private cache with default options).
+  static Result<std::shared_ptr<DiskTable>> Open(
+      const std::string& path, std::shared_ptr<BlockCache> cache);
+
+  ~DiskTable() override;
+
+  DiskTable(const DiskTable&) = delete;
+  DiskTable& operator=(const DiskTable&) = delete;
+
+  // --- ColumnSource ---
+  const Schema& schema() const override { return reader_->schema(); }
+  size_t num_rows() const override { return reader_->num_rows(); }
+  bool IsNull(RowId row, size_t col) const override;
+  double GetDouble(RowId row, size_t col) const override;
+  int64_t GetInt64(RowId row, size_t col) const override;
+  const std::string& GetString(RowId row, size_t col) const override;
+  void LoadChunk(size_t col, const RowSpan& span,
+                 NumericBatch* out) const override;
+  void LoadChunkRaw(size_t col, const RowSpan& span,
+                    NumericBatch* out) const override;
+  bool ZoneFor(size_t col, size_t block, BlockZone* zone) const override;
+  /// The cache budget: the resident footprint a scan is bounded by
+  /// (deliberately not the file size — that is what out-of-core means).
+  size_t ApproximateBytes() const override;
+
+  // --- Out-of-core specifics ---
+  const BlockStoreReader& reader() const { return *reader_; }
+  const std::shared_ptr<BlockCache>& cache() const { return cache_; }
+  uint64_t store_id() const { return store_id_; }
+  size_t num_blocks() const { return reader_->num_blocks(); }
+
+ private:
+  DiskTable(std::shared_ptr<BlockStoreReader> reader,
+            std::shared_ptr<BlockCache> cache);
+
+  /// The decoded block for (col, block) via the cache.
+  BlockCache::Handle Block(size_t col, size_t block) const;
+  /// Same, but pinned in `string_blocks_` so references stay valid.
+  BlockCache::Handle StringBlock(size_t col, size_t block) const;
+
+  std::shared_ptr<BlockStoreReader> reader_;
+  std::shared_ptr<BlockCache> cache_;
+  uint64_t store_id_ = 0;
+
+  mutable std::mutex string_mu_;
+  mutable std::unordered_map<uint64_t, BlockCache::Handle> string_blocks_;
+};
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_DISK_TABLE_H_

@@ -1,5 +1,6 @@
 #include "relation/table.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -85,6 +86,43 @@ void Table::SetValue(RowId row, size_t col, const Value& value) {
     case DataType::kInt64: c.ints[row] = value.AsInt64(); break;
     case DataType::kDouble: c.doubles[row] = value.AsDouble(); break;
     case DataType::kString: c.strings[row] = value.AsString(); break;
+  }
+}
+
+void Table::LoadChunkRaw(size_t col, const RowSpan& span,
+                         NumericBatch* out) const {
+  const DataType type = schema_.column(col).type;
+  PAQL_CHECK_MSG(type != DataType::kString,
+                 "LoadChunk on string column " << schema_.column(col).name);
+  if (type == DataType::kDouble) {
+    const double* src = columns_[col].doubles.data();
+    if (span.contiguous()) {
+      std::memcpy(out->values.data(), src + span.start,
+                  span.len * sizeof(double));
+    } else {
+      for (uint32_t i = 0; i < span.len; ++i) {
+        out->values[i] = src[span.rows[i]];
+      }
+    }
+  } else {
+    const int64_t* src = columns_[col].ints.data();
+    for (uint32_t i = 0; i < span.len; ++i) {
+      out->values[i] = static_cast<double>(src[span.row(i)]);
+    }
+  }
+  out->ClearNulls();
+}
+
+void Table::LoadChunk(size_t col, const RowSpan& span,
+                      NumericBatch* out) const {
+  LoadChunkRaw(col, span, out);
+  // The bitmap is grown lazily: an empty bitmap means no NULLs at all, and
+  // rows past its end are non-NULL (see Table::IsNull).
+  const std::vector<uint8_t>& bitmap = nulls_[col];
+  if (bitmap.empty()) return;
+  for (uint32_t i = 0; i < span.len; ++i) {
+    RowId r = span.row(i);
+    if (r < bitmap.size() && bitmap[r] != 0) out->SetNull(i);
   }
 }
 

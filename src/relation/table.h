@@ -13,22 +13,23 @@
 #include <vector>
 
 #include "common/status.h"
+#include "relation/column_source.h"
 #include "relation/schema.h"
 #include "relation/value.h"
 
 namespace paql::relation {
 
-/// Row index type. Tables are append-only; a RowId is stable forever.
-using RowId = uint32_t;
-
-/// Columnar table: one typed vector per column plus a null bitmap.
-class Table {
+/// Columnar table: one typed vector per column plus a null bitmap. One of
+/// the two ColumnSource implementations (the other is the out-of-core
+/// DiskTable); `final` so that Table-typed call sites devirtualize the
+/// hot accessors.
+class Table final : public ColumnSource {
  public:
   Table() = default;
   explicit Table(Schema schema);
 
-  const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return num_rows_; }
+  const Schema& schema() const override { return schema_; }
+  size_t num_rows() const override { return num_rows_; }
   size_t num_columns() const { return schema_.num_columns(); }
 
   /// Append a row of values; must match the schema arity and types
@@ -41,32 +42,39 @@ class Table {
 
   // --- Typed element access (hot paths; no bounds checks in release) ---
 
-  bool IsNull(RowId row, size_t col) const {
+  bool IsNull(RowId row, size_t col) const override {
     // The bitmap is grown lazily: rows past its end are non-NULL.
     const auto& bitmap = nulls_[col];
     return row < bitmap.size() && bitmap[row] != 0;
   }
 
   /// Numeric read with int64->double coercion. Must not be NULL or string.
-  double GetDouble(RowId row, size_t col) const {
+  double GetDouble(RowId row, size_t col) const override {
     const ColumnData& c = columns_[col];
     return c.type == DataType::kDouble
                ? c.doubles[row]
                : static_cast<double>(c.ints[row]);
   }
 
-  int64_t GetInt64(RowId row, size_t col) const {
+  int64_t GetInt64(RowId row, size_t col) const override {
     const ColumnData& c = columns_[col];
     return c.type == DataType::kInt64 ? c.ints[row]
                                       : static_cast<int64_t>(c.doubles[row]);
   }
 
-  const std::string& GetString(RowId row, size_t col) const {
+  const std::string& GetString(RowId row, size_t col) const override {
     return columns_[col].strings[row];
   }
 
   /// Generic (boxed) element access for non-hot paths.
-  Value GetValue(RowId row, size_t col) const;
+  Value GetValue(RowId row, size_t col) const override;
+
+  /// Chunked column loads (see ColumnSource): one tight loop per chunk
+  /// straight off the column vectors.
+  void LoadChunk(size_t col, const RowSpan& span,
+                 NumericBatch* out) const override;
+  void LoadChunkRaw(size_t col, const RowSpan& span,
+                    NumericBatch* out) const override;
 
   /// Overwrite one element (used by the partitioner to assign group ids).
   void SetValue(RowId row, size_t col, const Value& value);
@@ -99,13 +107,14 @@ class Table {
   Result<size_t> AddColumn(const ColumnDef& def, const Value& fill);
 
   /// Rows with non-NULL values in all the given columns.
-  std::vector<RowId> NonNullRows(const std::vector<size_t>& cols) const;
+  std::vector<RowId> NonNullRows(
+      const std::vector<size_t>& cols) const override;
 
   /// Debug rendering of the first `max_rows` rows.
   std::string ToString(size_t max_rows = 10) const;
 
   /// Approximate heap footprint in bytes (for solver budget accounting).
-  size_t ApproximateBytes() const;
+  size_t ApproximateBytes() const override;
 
   void Reserve(size_t rows);
 

@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "relation/csv.h"
+#include "relation/disk_table.h"
 
 namespace paql::service {
 
@@ -32,7 +33,7 @@ Status Catalog::AddTable(std::string name, relation::Table table) {
 }
 
 Status Catalog::AddTable(std::string name,
-                         std::shared_ptr<const relation::Table> table) {
+                         std::shared_ptr<const relation::ColumnSource> table) {
   if (name.empty()) {
     return Status::InvalidArgument("table name must not be empty");
   }
@@ -54,6 +55,23 @@ Status Catalog::AddTable(std::string name,
 
 Status Catalog::AddTableFromCsv(const std::string& path) {
   auto table = relation::ReadCsv(path);
+  if (!table.ok()) return table.status();
+  return AddTable(CsvBaseName(path), std::move(*table));
+}
+
+Status Catalog::AddTableFromDisk(const std::string& path,
+                                 size_t block_cache_bytes) {
+  std::shared_ptr<relation::BlockCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (block_cache_ == nullptr) {
+      relation::BlockCache::Options copts;
+      if (block_cache_bytes > 0) copts.capacity_bytes = block_cache_bytes;
+      block_cache_ = std::make_shared<relation::BlockCache>(copts);
+    }
+    cache = block_cache_;
+  }
+  auto table = relation::DiskTable::Open(path, std::move(cache));
   if (!table.ok()) return table.status();
   return AddTable(CsvBaseName(path), std::move(*table));
 }

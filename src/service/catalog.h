@@ -26,15 +26,18 @@
 
 #include "engine/engine.h"
 #include "engine/query_cache.h"
+#include "relation/block_cache.h"
 #include "relation/table.h"
 
 namespace paql::service {
 
 class Catalog {
  public:
-  /// The immutable registry snapshot: name -> shared table instance.
+  /// The immutable registry snapshot: name -> shared table instance (an
+  /// in-memory Table or an out-of-core DiskTable behind the same
+  /// ColumnSource interface).
   using TableMap =
-      std::map<std::string, std::shared_ptr<const relation::Table>>;
+      std::map<std::string, std::shared_ptr<const relation::ColumnSource>>;
 
   Catalog();
   explicit Catalog(engine::QueryCache::Options cache_options);
@@ -45,10 +48,25 @@ class Catalog {
 
   /// Same, sharing an externally-owned instance instead of copying.
   Status AddTable(std::string name,
-                  std::shared_ptr<const relation::Table> table);
+                  std::shared_ptr<const relation::ColumnSource> table);
 
   /// Read a CSV file and register it under its basename (sans extension).
   Status AddTableFromCsv(const std::string& path);
+
+  /// Open a block-store file (relation/block_store.h) and register it as
+  /// an out-of-core table under its basename. Every disk table of the
+  /// catalog reads through one shared block cache, so the decoded working
+  /// set of the whole service is bounded by `block_cache_bytes` (the first
+  /// call fixes the budget; pass 0 to use the default).
+  Status AddTableFromDisk(const std::string& path,
+                          size_t block_cache_bytes = 0);
+
+  /// The shared block cache (null until the first AddTableFromDisk).
+  /// Exposed for cache hit/miss reporting.
+  std::shared_ptr<relation::BlockCache> block_cache() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return block_cache_;
+  }
 
   /// The current registry snapshot (immutable; cheap pointer copy).
   std::shared_ptr<const TableMap> Snapshot() const;
@@ -73,6 +91,7 @@ class Catalog {
   mutable std::mutex mu_;
   std::shared_ptr<const TableMap> tables_;
   std::shared_ptr<engine::QueryCache> cache_;
+  std::shared_ptr<relation::BlockCache> block_cache_;
 };
 
 }  // namespace paql::service

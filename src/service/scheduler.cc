@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/str_util.h"
 #include "common/thread_pool.h"
 
 namespace paql::service {
@@ -17,18 +18,32 @@ QueryScheduler::QueryScheduler(const Catalog& catalog,
 }
 
 Result<int> QueryScheduler::Admit(QueryClass query_class,
-                                  const std::atomic<bool>* cancel) {
+                                  const std::atomic<bool>* cancel,
+                                  double deadline_seconds,
+                                  double* queue_wait_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point enqueued = Clock::now();
+  auto waited_s = [&enqueued] {
+    return std::chrono::duration<double>(Clock::now() - enqueued).count();
+  };
   std::unique_lock<std::mutex> lock(mu_);
   const bool interactive = query_class == QueryClass::kInteractive;
   int& waiting = interactive ? waiting_interactive_ : waiting_batch_;
   ++waiting;
   // Interactive admits once a slot frees; batch additionally defers to any
   // waiting interactive request (the admission-level half of the priority
-  // scheme — the PriorityGate handles already-running batch work). The
-  // bounded wait keeps the cancel flag responsive without a second cv.
+  // scheme — the PriorityGate handles already-running batch work), unless
+  // it has already waited out the starvation window: a continuous stream
+  // of interactive arrivals must not hold batch work back forever. The
+  // bounded wait keeps the cancel flag, the deadline, and the aging window
+  // responsive without a second cv.
+  bool aged = false;
+  const double window = options_.batch_starvation_window_s;
   auto admissible = [&] {
     if (active_ >= max_concurrent_) return false;
-    return interactive || waiting_interactive_ == 0;
+    if (interactive || waiting_interactive_ == 0) return true;
+    aged = window > 0 && waited_s() >= window;
+    return aged;
   };
   while (!admissible()) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -36,11 +51,31 @@ Result<int> QueryScheduler::Admit(QueryClass query_class,
       ++rejected_;
       return Status::ResourceExhausted("request cancelled while queued");
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    double now = waited_s();
+    if (deadline_seconds > 0 && now >= deadline_seconds) {
+      --waiting;
+      ++rejected_;
+      return Status::ResourceExhausted(
+          StrCat("deadline of ", deadline_seconds,
+                 "s expired while queued for admission (waited ", now, "s)"));
+    }
+    // Sleep no longer than the nearest of: the 50ms responsiveness bound,
+    // the request's remaining deadline, the batch aging window.
+    double sleep_s = 0.05;
+    if (deadline_seconds > 0) {
+      sleep_s = std::min(sleep_s, deadline_seconds - now);
+    }
+    if (!interactive && window > 0 && waiting_interactive_ > 0) {
+      sleep_s = std::min(sleep_s, window - now);
+    }
+    sleep_s = std::max(sleep_s, 1e-4);
+    cv_.wait_for(lock, std::chrono::duration<double>(sleep_s));
   }
   --waiting;
   ++active_;
   ++admitted_;
+  if (aged) ++aged_batch_admits_;
+  if (queue_wait_seconds != nullptr) *queue_wait_seconds = waited_s();
   return active_;
 }
 
@@ -55,7 +90,10 @@ void QueryScheduler::Release() {
 
 template <typename T, typename Fn>
 Result<T> QueryScheduler::RunAdmitted(const QueryRequest& request, Fn&& fn) {
-  PAQL_ASSIGN_OR_RETURN(int active, Admit(request.query_class, request.cancel));
+  double queue_wait_s = 0;
+  PAQL_ASSIGN_OR_RETURN(
+      int active, Admit(request.query_class, request.cancel,
+                        request.budget.deadline_seconds, &queue_wait_s));
 
   struct Releaser {
     QueryScheduler* scheduler;
@@ -66,7 +104,11 @@ Result<T> QueryScheduler::RunAdmitted(const QueryRequest& request, Fn&& fn) {
   // catalog), private options (budget, threads, cancel) for this request.
   EngineOptions eo = options_.engine;
   if (request.budget.deadline_seconds > 0) {
-    eo.exec.limits.time_limit_s = request.budget.deadline_seconds;
+    // The deadline is end-to-end: time spent queued for admission already
+    // consumed part of it, so the solver gets only the remainder (Admit
+    // rejects outright when nothing remains).
+    eo.exec.limits.time_limit_s =
+        std::max(1e-6, request.budget.deadline_seconds - queue_wait_s);
   }
   if (request.budget.max_nodes > 0) {
     eo.exec.limits.max_nodes = request.budget.max_nodes;
@@ -116,6 +158,7 @@ SchedulerStats QueryScheduler::stats() const {
   out.active = active_;
   out.waiting = waiting_interactive_ + waiting_batch_;
   out.gate_yields = PriorityGate::Global().yields();
+  out.aged_batch_admits = aged_batch_admits_;
   return out;
 }
 

@@ -67,6 +67,12 @@ struct SchedulerOptions {
   /// single-core machine still overlaps one interactive with one batch
   /// query — the whole point of the priority gate).
   int max_concurrent = 0;
+  /// Anti-starvation aging: a batch request that has waited this long is
+  /// admitted into the next free slot even while interactive requests are
+  /// queued (without it, a continuous interactive stream would hold batch
+  /// work back forever). Bounds batch admission latency at roughly
+  /// window + one interactive service time; <= 0 disables aging.
+  double batch_starvation_window_s = 0.25;
   /// Base options for every per-query session. exec.threads == 0 (auto)
   /// enables the fair-share grant; an explicit count is honored as-is.
   /// exec.limits and exec.cancel are per-request and always overridden.
@@ -77,10 +83,13 @@ struct SchedulerOptions {
 struct SchedulerStats {
   int64_t admitted = 0;     // requests that started executing
   int64_t completed = 0;    // finished with any Status (ok or error)
-  int64_t rejected = 0;     // cancelled while waiting for admission
+  int64_t rejected = 0;     // cancelled or deadline-expired while queued
   int active = 0;           // executing right now
   int waiting = 0;          // queued for admission right now
   int64_t gate_yields = 0;  // PriorityGate waits observed process-wide
+  /// Batch requests admitted past waiting interactive ones because their
+  /// wait exceeded batch_starvation_window_s.
+  int64_t aged_batch_admits = 0;
 };
 
 class QueryScheduler {
@@ -113,10 +122,19 @@ class QueryScheduler {
   int max_concurrent() const { return max_concurrent_; }
 
  private:
+  /// Test-only backdoor (tests/service_test.cc): holds admission slots
+  /// open deterministically so queue behavior (deadlines, aging) can be
+  /// exercised without timing-dependent long-running queries.
+  friend struct SchedulerTestAccess;
+
   /// Blocks until a slot is free (and, for batch, until no interactive
-  /// request is waiting). Returns the number of active queries including
-  /// this one, or kResourceExhausted if `cancel` tripped while queued.
-  Result<int> Admit(QueryClass query_class, const std::atomic<bool>* cancel);
+  /// request is waiting or the starvation window has elapsed). Returns
+  /// the number of active queries including this one, and the time spent
+  /// queued in `*queue_wait_seconds`; fails with kResourceExhausted if
+  /// `cancel` tripped or `deadline_seconds` (> 0) expired while queued —
+  /// time in the queue counts against the request's deadline.
+  Result<int> Admit(QueryClass query_class, const std::atomic<bool>* cancel,
+                    double deadline_seconds, double* queue_wait_seconds);
   void Release();
 
   /// Admit → open a budgeted session → run `fn(session)` under the
@@ -137,6 +155,7 @@ class QueryScheduler {
   int64_t admitted_ = 0;
   int64_t completed_ = 0;
   int64_t rejected_ = 0;
+  int64_t aged_batch_admits_ = 0;
 };
 
 }  // namespace paql::service

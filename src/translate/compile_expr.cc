@@ -16,6 +16,7 @@ using lang::ScalarKind;
 using relation::DataType;
 using relation::RowId;
 using relation::Schema;
+using relation::ColumnSource;
 using relation::Table;
 
 namespace {
@@ -33,7 +34,7 @@ Result<RowFn> CompileScalar(const ScalarExpr& expr, const Schema& schema) {
             StrCat("string column '", expr.column,
                    "' in numeric expression"));
       }
-      return RowFn([col](const Table& t, RowId r) {
+      return RowFn([col](const ColumnSource& t, RowId r) {
         return t.IsNull(r, col) ? kNan : t.GetDouble(r, col);
       });
     }
@@ -44,11 +45,11 @@ Result<RowFn> CompileScalar(const ScalarExpr& expr, const Schema& schema) {
                    expr.literal.ToString()));
       }
       double v = expr.literal.AsDouble();
-      return RowFn([v](const Table&, RowId) { return v; });
+      return RowFn([v](const ColumnSource&, RowId) { return v; });
     }
     case ScalarKind::kUnaryMinus: {
       PAQL_ASSIGN_OR_RETURN(RowFn inner, CompileScalar(*expr.lhs, schema));
-      return RowFn([inner](const Table& t, RowId r) { return -inner(t, r); });
+      return RowFn([inner](const ColumnSource& t, RowId r) { return -inner(t, r); });
     }
     case ScalarKind::kAdd:
     case ScalarKind::kSub:
@@ -58,19 +59,19 @@ Result<RowFn> CompileScalar(const ScalarExpr& expr, const Schema& schema) {
       PAQL_ASSIGN_OR_RETURN(RowFn rhs, CompileScalar(*expr.rhs, schema));
       switch (expr.kind) {
         case ScalarKind::kAdd:
-          return RowFn([lhs, rhs](const Table& t, RowId r) {
+          return RowFn([lhs, rhs](const ColumnSource& t, RowId r) {
             return lhs(t, r) + rhs(t, r);
           });
         case ScalarKind::kSub:
-          return RowFn([lhs, rhs](const Table& t, RowId r) {
+          return RowFn([lhs, rhs](const ColumnSource& t, RowId r) {
             return lhs(t, r) - rhs(t, r);
           });
         case ScalarKind::kMul:
-          return RowFn([lhs, rhs](const Table& t, RowId r) {
+          return RowFn([lhs, rhs](const ColumnSource& t, RowId r) {
             return lhs(t, r) * rhs(t, r);
           });
         default:
-          return RowFn([lhs, rhs](const Table& t, RowId r) {
+          return RowFn([lhs, rhs](const ColumnSource& t, RowId r) {
             return lhs(t, r) / rhs(t, r);
           });
       }
@@ -93,7 +94,7 @@ Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
         PAQL_ASSIGN_OR_RETURN(StringOperand rhs,
                               CompileStringOperand(*expr.scalar_rhs, schema));
         bool negate = expr.cmp == CmpOp::kNe;
-        return RowPred([lhs, rhs, negate](const Table& t, RowId r) {
+        return RowPred([lhs, rhs, negate](const ColumnSource& t, RowId r) {
           if (lhs.is_column && t.IsNull(r, lhs.col)) return false;
           if (rhs.is_column && t.IsNull(r, rhs.col)) return false;
           const std::string& a =
@@ -106,7 +107,7 @@ Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
       PAQL_ASSIGN_OR_RETURN(RowFn lhs, CompileScalar(*expr.scalar_lhs, schema));
       PAQL_ASSIGN_OR_RETURN(RowFn rhs, CompileScalar(*expr.scalar_rhs, schema));
       CmpOp op = expr.cmp;
-      return RowPred([lhs, rhs, op](const Table& t, RowId r) {
+      return RowPred([lhs, rhs, op](const ColumnSource& t, RowId r) {
         double a = lhs(t, r), b = rhs(t, r);
         // NaN (NULL) comparisons are false, matching SQL.
         switch (op) {
@@ -125,7 +126,7 @@ Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
                             CompileScalar(*expr.scalar_lhs, schema));
       PAQL_ASSIGN_OR_RETURN(RowFn lo, CompileScalar(*expr.between_lo, schema));
       PAQL_ASSIGN_OR_RETURN(RowFn hi, CompileScalar(*expr.between_hi, schema));
-      return RowPred([subject, lo, hi](const Table& t, RowId r) {
+      return RowPred([subject, lo, hi](const ColumnSource& t, RowId r) {
         double v = subject(t, r);
         return v >= lo(t, r) && v <= hi(t, r);
       });
@@ -133,21 +134,21 @@ Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
     case BoolKind::kAnd: {
       PAQL_ASSIGN_OR_RETURN(RowPred lhs, CompileBool(*expr.left, schema));
       PAQL_ASSIGN_OR_RETURN(RowPred rhs, CompileBool(*expr.right, schema));
-      return RowPred([lhs, rhs](const Table& t, RowId r) {
+      return RowPred([lhs, rhs](const ColumnSource& t, RowId r) {
         return lhs(t, r) && rhs(t, r);
       });
     }
     case BoolKind::kOr: {
       PAQL_ASSIGN_OR_RETURN(RowPred lhs, CompileBool(*expr.left, schema));
       PAQL_ASSIGN_OR_RETURN(RowPred rhs, CompileBool(*expr.right, schema));
-      return RowPred([lhs, rhs](const Table& t, RowId r) {
+      return RowPred([lhs, rhs](const ColumnSource& t, RowId r) {
         return lhs(t, r) || rhs(t, r);
       });
     }
     case BoolKind::kNot: {
       PAQL_ASSIGN_OR_RETURN(RowPred inner, CompileBool(*expr.left, schema));
       return RowPred(
-          [inner](const Table& t, RowId r) { return !inner(t, r); });
+          [inner](const ColumnSource& t, RowId r) { return !inner(t, r); });
     }
     case BoolKind::kIsNull:
     case BoolKind::kIsNotNull: {
@@ -158,7 +159,7 @@ Result<RowPred> CompileBool(const BoolExpr& expr, const Schema& schema) {
       PAQL_ASSIGN_OR_RETURN(size_t col,
                             schema.ResolveColumn(expr.scalar_lhs->column));
       bool want_null = expr.kind == BoolKind::kIsNull;
-      return RowPred([col, want_null](const Table& t, RowId r) {
+      return RowPred([col, want_null](const ColumnSource& t, RowId r) {
         return t.IsNull(r, col) == want_null;
       });
     }
@@ -170,8 +171,8 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
                                      const Schema& schema) {
   CompiledAggArg out;
   if (call.is_count_star || call.func == relation::AggFunc::kCount) {
-    out.value = [](const Table&, RowId) { return 1.0; };
-    out.batch_value = [](const Table&, const relation::RowSpan& span,
+    out.value = [](const ColumnSource&, RowId) { return 1.0; };
+    out.batch_value = [](const ColumnSource&, const relation::RowSpan& span,
                          relation::NumericBatch* batch) {
       std::fill_n(batch->values.data(), span.len, 1.0);
       batch->ClearNulls();
@@ -179,7 +180,7 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
   } else {
     PAQL_ASSIGN_OR_RETURN(RowFn fn, CompileScalar(*call.arg, schema));
     // SQL aggregates skip NULLs; a NULL argument contributes nothing.
-    out.value = [fn](const Table& t, RowId r) {
+    out.value = [fn](const ColumnSource& t, RowId r) {
       double v = fn(t, r);
       return std::isnan(v) ? 0.0 : v;
     };
@@ -189,7 +190,7 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
     auto batch = CompileScalarBatch(*call.arg, schema);
     if (batch.ok()) {
       BatchFn inner = std::move(*batch);
-      out.batch_value = [inner](const Table& t, const relation::RowSpan& span,
+      out.batch_value = [inner](const ColumnSource& t, const relation::RowSpan& span,
                                 relation::NumericBatch* b) {
         inner(t, span, b);
         for (uint32_t i = 0; i < span.len; ++i) {
@@ -210,7 +211,7 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
   return out;
 }
 
-double AggregateSumScalar(const Table& table, const CompiledAggArg& arg) {
+double AggregateSumScalar(const ColumnSource& table, const CompiledAggArg& arg) {
   double total = 0;
   for (RowId r = 0; r < table.num_rows(); ++r) {
     if (arg.filter && !arg.filter(table, r)) continue;
@@ -219,7 +220,7 @@ double AggregateSumScalar(const Table& table, const CompiledAggArg& arg) {
   return total;
 }
 
-double AggregateSumVectorized(const Table& table, const CompiledAggArg& arg) {
+double AggregateSumVectorized(const ColumnSource& table, const CompiledAggArg& arg) {
   PAQL_CHECK_MSG(arg.vectorized(),
                  "AggregateSumVectorized on a non-vectorized aggregate");
   double total = 0;

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "paql/ast.h"
 #include "relation/schema.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 #include "translate/vector_expr.h"
 
@@ -20,11 +21,11 @@ namespace paql::translate {
 /// Per-tuple numeric evaluator. Returns NaN when any referenced column is
 /// NULL for the row (SQL three-valued logic: comparisons on NaN are false).
 using RowFn =
-    std::function<double(const relation::Table&, relation::RowId)>;
+    std::function<double(const relation::ColumnSource&, relation::RowId)>;
 
 /// Per-tuple predicate evaluator.
 using RowPred =
-    std::function<bool(const relation::Table&, relation::RowId)>;
+    std::function<bool(const relation::ColumnSource&, relation::RowId)>;
 
 /// Compile a numeric scalar expression. Fails on string-typed operands
 /// (validated queries never reach that path).
@@ -66,12 +67,12 @@ Result<CompiledAggArg> CompileAggArg(const lang::AggCall& call,
 
 /// SUM of `arg` over every row of `table` passing its filter — the scalar
 /// reference loop (one RowFn/RowPred call per row).
-double AggregateSumScalar(const relation::Table& table,
+double AggregateSumScalar(const relation::ColumnSource& table,
                           const CompiledAggArg& arg);
 
 /// Vectorized twin of AggregateSumScalar, accumulating chunk at a time in
 /// the same row order (bit-identical result). Requires arg.vectorized().
-double AggregateSumVectorized(const relation::Table& table,
+double AggregateSumVectorized(const relation::ColumnSource& table,
                               const CompiledAggArg& arg);
 
 }  // namespace paql::translate

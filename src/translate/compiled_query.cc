@@ -18,9 +18,10 @@ using lang::GlobalPredKind;
 using relation::AggFunc;
 using relation::RowId;
 using relation::Schema;
+using relation::ColumnSource;
 using relation::Table;
 
-double LinearExpr::Coeff(const Table& table, RowId row) const {
+double LinearExpr::Coeff(const ColumnSource& table, RowId row) const {
   double total = 0;
   for (const Term& term : terms) {
     if (term.agg.filter && !term.agg.filter(table, row)) continue;
@@ -36,7 +37,7 @@ bool LinearExpr::vectorizable() const {
   return true;
 }
 
-void LinearExpr::CoeffBatch(const Table& table, const relation::RowSpan& span,
+void LinearExpr::CoeffBatch(const ColumnSource& table, const relation::RowSpan& span,
                             double* out) const {
   std::fill_n(out, span.len, 0.0);
   relation::NumericBatch batch;
@@ -70,6 +71,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
     PAQL_ASSIGN_OR_RETURN(cq.base_pred_, CompileBool(*query.where, schema));
     auto batch = CompileBoolBatch(*query.where, schema);
     if (batch.ok()) cq.base_pred_batch_ = std::move(*batch);
+    cq.base_zone_ranges_ = ExtractZoneRanges(*query.where, schema);
   }
   // Rule 3: global predicates.
   if (query.such_that) {
@@ -102,7 +104,7 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
   return cq;
 }
 
-std::vector<RowId> CompiledQuery::ComputeBaseRows(const Table& table) const {
+std::vector<RowId> CompiledQuery::ComputeBaseRows(const ColumnSource& table) const {
   std::vector<RowId> rows;
   rows.reserve(table.num_rows());
   for (RowId r = 0; r < table.num_rows(); ++r) {
@@ -112,13 +114,14 @@ std::vector<RowId> CompiledQuery::ComputeBaseRows(const Table& table) const {
 }
 
 std::vector<RowId> CompiledQuery::ComputeBaseRowsVectorized(
-    const Table& table, int threads) const {
+    const ColumnSource& table, int threads, ScanCounters* counters) const {
   if (!base_pred_batch_) return ComputeBaseRows(table);
-  return FilterTableVectorized(table, base_pred_batch_, threads);
+  return FilterTableVectorized(table, base_pred_batch_, threads,
+                               &base_zone_ranges_, counters);
 }
 
 std::vector<RowId> CompiledQuery::FilterBaseRows(
-    const Table& table, const std::vector<RowId>& rows, bool vectorized,
+    const ColumnSource& table, const std::vector<RowId>& rows, bool vectorized,
     int threads) const {
   if (!base_pred_) return rows;
   if (vectorized && base_pred_batch_) {
@@ -269,12 +272,12 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeComparisonLeaf(
     PAQL_ASSIGN_OR_RETURN(term.agg, CompileAggArg(*lhs.agg, schema));
     // Rebind the per-tuple value to (e_i - v); the filter is unchanged.
     RowFn base = term.agg.value;
-    term.agg.value = [base, v](const Table& t, RowId r) {
+    term.agg.value = [base, v](const ColumnSource& t, RowId r) {
       return base(t, r) - v;
     };
     if (term.agg.batch_value) {
       BatchFn batch_base = term.agg.batch_value;
-      term.agg.batch_value = [batch_base, v](const Table& t,
+      term.agg.batch_value = [batch_base, v](const ColumnSource& t,
                                              const relation::RowSpan& span,
                                              relation::NumericBatch* b) {
         batch_base(t, span, b);
@@ -528,8 +531,8 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeThresholdCountLeaf(
     PAQL_ASSIGN_OR_RETURN(base_filter, CompileBool(*call.filter, schema));
   }
   LinearExpr::Term term;
-  term.agg.value = [](const Table&, RowId) { return 1.0; };
-  term.agg.filter = [value, base_filter, thresh, v](const Table& t,
+  term.agg.value = [](const ColumnSource&, RowId) { return 1.0; };
+  term.agg.filter = [value, base_filter, thresh, v](const ColumnSource& t,
                                                     RowId r) -> bool {
     if (base_filter && !base_filter(t, r)) return false;
     double a = value(t, r);
@@ -552,7 +555,7 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeThresholdCountLeaf(
       call.filter ? CompileBoolBatch(*call.filter, schema)
                   : Result<BatchPred>(BatchPred());
   if (batch_arg.ok() && batch_base.ok()) {
-    term.agg.batch_value = [](const Table&, const relation::RowSpan& span,
+    term.agg.batch_value = [](const ColumnSource&, const relation::RowSpan& span,
                               relation::NumericBatch* b) {
       std::fill_n(b->values.data(), span.len, 1.0);
       b->ClearNulls();
@@ -560,7 +563,7 @@ Result<CompiledQuery::Leaf> CompiledQuery::MakeThresholdCountLeaf(
     BatchFn arg_fn = std::move(*batch_arg);
     BatchPred base_fn = std::move(*batch_base);
     term.agg.batch_filter = [arg_fn, base_fn, thresh, v](
-                                const Table& t, const relation::RowSpan& span,
+                                const ColumnSource& t, const relation::RowSpan& span,
                                 relation::SelectionVector* sel) {
       if (base_fn) base_fn(t, span, sel);
       if (sel->empty()) return;
@@ -710,7 +713,7 @@ Status CompiledQuery::UpdateModelOffsets(
   return Status::OK();
 }
 
-Result<lp::Model> CompiledQuery::BuildModel(const Table& table,
+Result<lp::Model> CompiledQuery::BuildModel(const ColumnSource& table,
                                             const std::vector<RowId>& rows,
                                             const BuildOptions& options) const {
   if (options.ub_override != nullptr &&
@@ -935,7 +938,7 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
 }
 
 std::vector<double> CompiledQuery::LeafActivities(
-    const Table& table, const std::vector<RowId>& rows,
+    const ColumnSource& table, const std::vector<RowId>& rows,
     const std::vector<int64_t>& multiplicity) const {
   PAQL_CHECK(rows.size() == multiplicity.size());
   std::vector<double> activities(leaves_.size(), 0.0);
@@ -952,7 +955,7 @@ std::vector<double> CompiledQuery::LeafActivities(
 }
 
 std::vector<double> CompiledQuery::LeafActivitiesVectorized(
-    const Table& table, const std::vector<RowId>& rows,
+    const ColumnSource& table, const std::vector<RowId>& rows,
     const std::vector<int64_t>& multiplicity, int threads) const {
   PAQL_CHECK(rows.size() == multiplicity.size());
   std::vector<double> activities(leaves_.size(), 0.0);
@@ -1030,13 +1033,13 @@ bool CompiledQuery::GlobalsSatisfied(const std::vector<double>& activities,
 }
 
 bool CompiledQuery::PackageSatisfiesGlobals(
-    const Table& table, const std::vector<RowId>& rows,
+    const ColumnSource& table, const std::vector<RowId>& rows,
     const std::vector<int64_t>& multiplicity, double tol) const {
   return GlobalsSatisfied(LeafActivities(table, rows, multiplicity), tol);
 }
 
 double CompiledQuery::ObjectiveValue(
-    const Table& table, const std::vector<RowId>& rows,
+    const ColumnSource& table, const std::vector<RowId>& rows,
     const std::vector<int64_t>& multiplicity) const {
   if (!has_objective_) return 0;
   PAQL_CHECK(rows.size() == multiplicity.size());

@@ -64,14 +64,14 @@ struct LinearExpr {
   bool integral = false;
 
   /// Per-tuple coefficient: sum_k scale_k * (filter_k ? value_k : 0).
-  double Coeff(const relation::Table& table, relation::RowId row) const;
+  double Coeff(const relation::ColumnSource& table, relation::RowId row) const;
 
   /// True when every term carries batch twins, so CoeffBatch is usable.
   bool vectorizable() const;
 
   /// Batch twin of Coeff: out[i] = Coeff(span.row(i)) for i < span.len,
   /// accumulated term by term in the same order (bit-identical result).
-  void CoeffBatch(const relation::Table& table, const relation::RowSpan& span,
+  void CoeffBatch(const relation::ColumnSource& table, const relation::RowSpan& span,
                   double* out) const;
 };
 
@@ -94,25 +94,36 @@ class CompiledQuery {
 
   /// Rows of `table` satisfying the WHERE clause (the base relation R_beta).
   std::vector<relation::RowId> ComputeBaseRows(
-      const relation::Table& table) const;
+      const relation::ColumnSource& table) const;
 
   /// Vectorized twin of ComputeBaseRows: scans the table in kChunkSize-row
   /// batches through the compiled BatchPred. Falls back to the scalar path
   /// when the WHERE clause has no batch compilation; the result is always
   /// identical to ComputeBaseRows. `threads` > 1 scans morsels in
   /// parallel off the shared pool (same result bit for bit; the batch
-  /// fallback-to-scalar path stays serial).
+  /// fallback-to-scalar path stays serial). Sources with block statistics
+  /// (relation::DiskTable) skip whole blocks whose zone maps are disjoint
+  /// from the WHERE clause's extracted ranges; `counters` (may be null)
+  /// receives the scanned/pruned block counts.
   std::vector<relation::RowId> ComputeBaseRowsVectorized(
-      const relation::Table& table, int threads = 1) const;
+      const relation::ColumnSource& table, int threads = 1,
+      ScanCounters* counters = nullptr) const;
+
+  /// The conservative per-column ranges extracted from the WHERE clause at
+  /// compile time (empty when there is no WHERE or nothing extractable).
+  /// SketchRefine seeds partition-level pruning from these as well.
+  const std::vector<ZoneRange>& base_zone_ranges() const {
+    return base_zone_ranges_;
+  }
 
   /// The subset of `rows` satisfying the WHERE clause (all of them when
   /// the query has none), through the batch or scalar pipeline.
   std::vector<relation::RowId> FilterBaseRows(
-      const relation::Table& table, const std::vector<relation::RowId>& rows,
+      const relation::ColumnSource& table, const std::vector<relation::RowId>& rows,
       bool vectorized, int threads = 1) const;
 
   /// Per-row base-predicate test (true when the query has no WHERE).
-  bool BaseAccepts(const relation::Table& table, relation::RowId row) const {
+  bool BaseAccepts(const relation::ColumnSource& table, relation::RowId row) const {
     return !base_pred_ || base_pred_(table, row);
   }
 
@@ -150,7 +161,7 @@ class CompiledQuery {
   /// §4.4 remedy 1) one original-tuple segment plus one representative
   /// segment.
   struct Segment {
-    const relation::Table* table = nullptr;
+    const relation::ColumnSource* table = nullptr;
     const std::vector<relation::RowId>* rows = nullptr;
     /// Optional per-row upper bounds (parallel to `rows`); nullptr = use
     /// per_tuple_ub().
@@ -183,10 +194,10 @@ class CompiledQuery {
                             lp::Model* model) const;
 
   /// Build the ILP over the candidate rows `rows` of `table`.
-  Result<lp::Model> BuildModel(const relation::Table& table,
+  Result<lp::Model> BuildModel(const relation::ColumnSource& table,
                                const std::vector<relation::RowId>& rows,
                                const BuildOptions& options) const;
-  Result<lp::Model> BuildModel(const relation::Table& table,
+  Result<lp::Model> BuildModel(const relation::ColumnSource& table,
                                const std::vector<relation::RowId>& rows) const {
     return BuildModel(table, rows, BuildOptions());
   }
@@ -212,7 +223,7 @@ class CompiledQuery {
   /// Activity of every leaf constraint for the package given as parallel
   /// (row, multiplicity) arrays over `table`.
   std::vector<double> LeafActivities(
-      const relation::Table& table,
+      const relation::ColumnSource& table,
       const std::vector<relation::RowId>& rows,
       const std::vector<int64_t>& multiplicity) const;
 
@@ -223,7 +234,7 @@ class CompiledQuery {
   /// accumulation stays inside one worker, so the activities are
   /// bit-identical for any worker count).
   std::vector<double> LeafActivitiesVectorized(
-      const relation::Table& table,
+      const relation::ColumnSource& table,
       const std::vector<relation::RowId>& rows,
       const std::vector<int64_t>& multiplicity, int threads = 1) const;
 
@@ -233,13 +244,13 @@ class CompiledQuery {
                         double tol = 1e-6) const;
 
   /// Convenience: activities + GlobalsSatisfied in one call.
-  bool PackageSatisfiesGlobals(const relation::Table& table,
+  bool PackageSatisfiesGlobals(const relation::ColumnSource& table,
                                const std::vector<relation::RowId>& rows,
                                const std::vector<int64_t>& multiplicity,
                                double tol = 1e-6) const;
 
   /// Objective value of a package (0 when the query has no objective).
-  double ObjectiveValue(const relation::Table& table,
+  double ObjectiveValue(const relation::ColumnSource& table,
                         const std::vector<relation::RowId>& rows,
                         const std::vector<int64_t>& multiplicity) const;
 
@@ -317,6 +328,7 @@ class CompiledQuery {
   double per_tuple_ub_ = lp::kInf;
   RowPred base_pred_;                 // empty when no WHERE
   BatchPred base_pred_batch_;         // batch twin; may be empty
+  std::vector<ZoneRange> base_zone_ranges_;  // WHERE-implied block ranges
   bool fully_vectorizable_ = true;
   std::vector<Leaf> leaves_;
   std::unique_ptr<Node> root_;        // null when no SUCH THAT

@@ -21,12 +21,20 @@ using relation::RowId;
 using relation::RowSpan;
 using relation::Schema;
 using relation::SelectionVector;
+using relation::ColumnSource;
 using relation::Table;
 
 namespace {
 
-/// True when `expr` is a numeric literal; stores its value in `*v`.
+/// True when `expr` is a numeric literal, folding unary minus chains
+/// (the parser spells `-53` as kUnaryMinus(kLiteral 53)); stores the
+/// value in `*v`.
 bool IsNumericLiteral(const ScalarExpr& expr, double* v) {
+  if (expr.kind == ScalarKind::kUnaryMinus) {
+    if (!IsNumericLiteral(*expr.lhs, v)) return false;
+    *v = -*v;
+    return true;
+  }
   if (expr.kind != ScalarKind::kLiteral || !expr.literal.is_numeric()) {
     return false;
   }
@@ -40,7 +48,7 @@ bool IsNumericLiteral(const ScalarExpr& expr, double* v) {
 template <typename Op>
 BatchFn MakeBinaryFn(BatchFn lhs, BatchFn rhs, Op op) {
   return [lhs = std::move(lhs), rhs = std::move(rhs), op](
-             const Table& t, const RowSpan& span, NumericBatch* out) {
+             const ColumnSource& t, const RowSpan& span, NumericBatch* out) {
     NumericBatch right;
     lhs(t, span, out);
     rhs(t, span, &right);
@@ -56,7 +64,7 @@ BatchFn MakeBinaryFn(BatchFn lhs, BatchFn rhs, Op op) {
 /// (the same floating-point operation the scalar closure performs).
 template <typename Op>
 BatchFn MakeBinaryConstRhs(BatchFn lhs, double c, Op op) {
-  return [lhs = std::move(lhs), c, op](const Table& t, const RowSpan& span,
+  return [lhs = std::move(lhs), c, op](const ColumnSource& t, const RowSpan& span,
                                        NumericBatch* out) {
     lhs(t, span, out);
     for (uint32_t i = 0; i < span.len; ++i) {
@@ -67,7 +75,7 @@ BatchFn MakeBinaryConstRhs(BatchFn lhs, double c, Op op) {
 
 template <typename Op>
 BatchFn MakeBinaryConstLhs(double c, BatchFn rhs, Op op) {
-  return [rhs = std::move(rhs), c, op](const Table& t, const RowSpan& span,
+  return [rhs = std::move(rhs), c, op](const ColumnSource& t, const RowSpan& span,
                                        NumericBatch* out) {
     rhs(t, span, out);
     for (uint32_t i = 0; i < span.len; ++i) {
@@ -99,7 +107,7 @@ Result<BatchFn> CompileBinaryBatch(const ScalarExpr& expr,
 template <typename Cmp>
 BatchPred MakeCmpPred(BatchFn lhs, BatchFn rhs, Cmp cmp) {
   return [lhs = std::move(lhs), rhs = std::move(rhs), cmp](
-             const Table& t, const RowSpan& span, SelectionVector* sel) {
+             const ColumnSource& t, const RowSpan& span, SelectionVector* sel) {
     if (sel->empty()) return;
     NumericBatch a, b;
     lhs(t, span, &a);
@@ -126,7 +134,7 @@ BatchPred MakeCmpPred(BatchFn lhs, BatchFn rhs, Cmp cmp) {
 /// first conjunct of a WHERE scan) skips the index indirection.
 template <typename Cmp>
 BatchPred MakeCmpConstPred(BatchFn lhs, double c, Cmp cmp) {
-  return [lhs = std::move(lhs), c, cmp](const Table& t, const RowSpan& span,
+  return [lhs = std::move(lhs), c, cmp](const ColumnSource& t, const RowSpan& span,
                                         SelectionVector* sel) {
     if (sel->empty()) return;
     NumericBatch a;
@@ -213,7 +221,7 @@ Result<BatchFn> CompileScalarBatch(const ScalarExpr& expr,
             StrCat("string column '", expr.column,
                    "' in numeric expression"));
       }
-      return BatchFn([col](const Table& t, const RowSpan& span,
+      return BatchFn([col](const ColumnSource& t, const RowSpan& span,
                            NumericBatch* out) {
         relation::LoadNumericChunk(t, col, span, out);
       });
@@ -225,7 +233,7 @@ Result<BatchFn> CompileScalarBatch(const ScalarExpr& expr,
                    expr.literal.ToString()));
       }
       double v = expr.literal.AsDouble();
-      return BatchFn([v](const Table&, const RowSpan& span,
+      return BatchFn([v](const ColumnSource&, const RowSpan& span,
                          NumericBatch* out) {
         std::fill_n(out->values.data(), span.len, v);
         out->ClearNulls();
@@ -234,7 +242,7 @@ Result<BatchFn> CompileScalarBatch(const ScalarExpr& expr,
     case ScalarKind::kUnaryMinus: {
       PAQL_ASSIGN_OR_RETURN(BatchFn inner,
                             CompileScalarBatch(*expr.lhs, schema));
-      return BatchFn([inner](const Table& t, const RowSpan& span,
+      return BatchFn([inner](const ColumnSource& t, const RowSpan& span,
                              NumericBatch* out) {
         inner(t, span, out);
         for (uint32_t i = 0; i < span.len; ++i) {
@@ -273,7 +281,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
         PAQL_ASSIGN_OR_RETURN(StringOperand rhs,
                               CompileStringOperand(*expr.scalar_rhs, schema));
         bool negate = expr.cmp == CmpOp::kNe;
-        return BatchPred([lhs, rhs, negate](const Table& t, const RowSpan& span,
+        return BatchPred([lhs, rhs, negate](const ColumnSource& t, const RowSpan& span,
                                             SelectionVector* sel) {
           uint32_t kept = 0;
           for (uint32_t k = 0; k < sel->count; ++k) {
@@ -330,7 +338,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
       double lo_c, hi_c;
       if (IsNumericLiteral(*expr.between_lo, &lo_c) &&
           IsNumericLiteral(*expr.between_hi, &hi_c)) {
-        return BatchPred([subject, lo_c, hi_c](const Table& t,
+        return BatchPred([subject, lo_c, hi_c](const ColumnSource& t,
                                                const RowSpan& span,
                                                SelectionVector* sel) {
           if (sel->empty()) return;
@@ -361,7 +369,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
                             CompileScalarBatch(*expr.between_lo, schema));
       PAQL_ASSIGN_OR_RETURN(BatchFn hi,
                             CompileScalarBatch(*expr.between_hi, schema));
-      return BatchPred([subject, lo, hi](const Table& t, const RowSpan& span,
+      return BatchPred([subject, lo, hi](const ColumnSource& t, const RowSpan& span,
                                          SelectionVector* sel) {
         if (sel->empty()) return;
         NumericBatch v, l, h;
@@ -383,7 +391,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
       PAQL_ASSIGN_OR_RETURN(BatchPred lhs, CompileBoolBatch(*expr.left, schema));
       PAQL_ASSIGN_OR_RETURN(BatchPred rhs,
                             CompileBoolBatch(*expr.right, schema));
-      return BatchPred([lhs, rhs](const Table& t, const RowSpan& span,
+      return BatchPred([lhs, rhs](const ColumnSource& t, const RowSpan& span,
                                   SelectionVector* sel) {
         lhs(t, span, sel);
         if (!sel->empty()) rhs(t, span, sel);
@@ -393,7 +401,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
       PAQL_ASSIGN_OR_RETURN(BatchPred lhs, CompileBoolBatch(*expr.left, schema));
       PAQL_ASSIGN_OR_RETURN(BatchPred rhs,
                             CompileBoolBatch(*expr.right, schema));
-      return BatchPred([lhs, rhs](const Table& t, const RowSpan& span,
+      return BatchPred([lhs, rhs](const ColumnSource& t, const RowSpan& span,
                                   SelectionVector* sel) {
         if (sel->empty()) return;
         // Mirror scalar short-circuit: rhs only sees lanes lhs rejected.
@@ -408,7 +416,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
     case BoolKind::kNot: {
       PAQL_ASSIGN_OR_RETURN(BatchPred inner,
                             CompileBoolBatch(*expr.left, schema));
-      return BatchPred([inner](const Table& t, const RowSpan& span,
+      return BatchPred([inner](const ColumnSource& t, const RowSpan& span,
                                SelectionVector* sel) {
         if (sel->empty()) return;
         SelectionVector passed = *sel;
@@ -428,7 +436,7 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
       PAQL_ASSIGN_OR_RETURN(size_t col,
                             schema.ResolveColumn(expr.scalar_lhs->column));
       bool want_null = expr.kind == BoolKind::kIsNull;
-      return BatchPred([col, want_null](const Table& t, const RowSpan& span,
+      return BatchPred([col, want_null](const ColumnSource& t, const RowSpan& span,
                                         SelectionVector* sel) {
         uint32_t kept = 0;
         for (uint32_t k = 0; k < sel->count; ++k) {
@@ -444,6 +452,107 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
 }
 
 namespace {
+
+/// True when `expr` is a bare reference to a numeric column; stores the
+/// resolved column index in `*col`. Zone extraction only looks at these —
+/// arithmetic over a column would need interval propagation to stay
+/// conservative, so it contributes nothing instead.
+bool IsNumericColumn(const ScalarExpr& expr, const Schema& schema,
+                     size_t* col) {
+  if (expr.kind != ScalarKind::kColumn) return false;
+  auto resolved = schema.ResolveColumn(expr.column);
+  if (!resolved.ok()) return false;
+  if (schema.column(*resolved).type == DataType::kString) return false;
+  *col = *resolved;
+  return true;
+}
+
+void CollectZoneRanges(const BoolExpr& expr, const Schema& schema,
+                       std::vector<ZoneRange>* out) {
+  switch (expr.kind) {
+    case BoolKind::kAnd:
+      CollectZoneRanges(*expr.left, schema, out);
+      CollectZoneRanges(*expr.right, schema, out);
+      return;
+    case BoolKind::kCmp: {
+      size_t col;
+      double v;
+      CmpOp cmp = expr.cmp;
+      if (IsNumericColumn(*expr.scalar_lhs, schema, &col) &&
+          IsNumericLiteral(*expr.scalar_rhs, &v)) {
+        // col cmp v: fall through with cmp as is.
+      } else if (IsNumericColumn(*expr.scalar_rhs, schema, &col) &&
+                 IsNumericLiteral(*expr.scalar_lhs, &v)) {
+        cmp = lang::FlipCmpOp(cmp);  // v cmp col  ==  col flip(cmp) v
+      } else {
+        return;
+      }
+      ZoneRange r;
+      r.col = col;
+      switch (cmp) {
+        case CmpOp::kEq: r.lo = v; r.hi = v; break;
+        // Strict bounds are kept closed: the zone test only decides block
+        // disjointness, and [min,max] touching v still may hold no
+        // strictly-satisfying row — scanning such a block is correct,
+        // skipping it would not be for kEq/kLe/kGe, so closed is the
+        // uniformly conservative choice.
+        case CmpOp::kLt:
+        case CmpOp::kLe: r.hi = v; break;
+        case CmpOp::kGt:
+        case CmpOp::kGe: r.lo = v; break;
+        case CmpOp::kNe: return;  // excludes one point: no usable range
+      }
+      out->push_back(r);
+      return;
+    }
+    case BoolKind::kBetween: {
+      size_t col;
+      double lo, hi;
+      if (!IsNumericColumn(*expr.scalar_lhs, schema, &col)) return;
+      if (!IsNumericLiteral(*expr.between_lo, &lo)) return;
+      if (!IsNumericLiteral(*expr.between_hi, &hi)) return;
+      ZoneRange r;
+      r.col = col;
+      r.lo = lo;
+      r.hi = hi;
+      out->push_back(r);
+      return;
+    }
+    case BoolKind::kOr:
+    case BoolKind::kNot:
+    case BoolKind::kIsNull:
+    case BoolKind::kIsNotNull:
+      // OR/NOT would need disjunctive zone logic; IS NULL rows have no
+      // value to range over. All conservative no-ops.
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<ZoneRange> ExtractZoneRanges(const lang::BoolExpr& expr,
+                                         const relation::Schema& schema) {
+  std::vector<ZoneRange> out;
+  CollectZoneRanges(expr, schema, &out);
+  return out;
+}
+
+namespace {
+
+/// True when block `block`'s zone maps prove no row can satisfy every
+/// range: some range's [lo, hi] is disjoint from the block's non-NULL
+/// [min, max] (an all-NULL block reports the empty interval, so any
+/// range prunes it — NULL comparisons are false). Sources without
+/// statistics for a column simply never prune on it.
+bool BlockPruned(const ColumnSource& table, const std::vector<ZoneRange>& zones,
+                 size_t block) {
+  ColumnSource::BlockZone z;
+  for (const ZoneRange& r : zones) {
+    if (!table.ZoneFor(r.col, block, &z)) continue;
+    if (z.max < r.lo || z.min > r.hi) return true;
+  }
+  return false;
+}
 
 /// Shared morsel-parallel filter driver: scan [0, n) in kMorselRows-sized
 /// morsels, each collecting survivors into its own slot via
@@ -474,13 +583,34 @@ std::vector<RowId> MorselFilter(size_t n, int threads, const Scan& scan) {
 
 }  // namespace
 
-std::vector<RowId> FilterTableVectorized(const Table& table,
-                                         const BatchPred& pred, int threads) {
+std::vector<RowId> FilterTableVectorized(const ColumnSource& table,
+                                         const BatchPred& pred, int threads,
+                                         const std::vector<ZoneRange>* zones,
+                                         ScanCounters* counters) {
+  const bool prune = zones != nullptr && !zones->empty();
   return MorselFilter(
       table.num_rows(), threads,
       [&](size_t begin, size_t end, std::vector<RowId>* out) {
+        // `begin` is always a morsel (== storage block) boundary: 0 on the
+        // serial path, a ParallelFor grain boundary otherwise. Chunks of
+        // kChunkSize keep the loop aligned, so each block's zone maps are
+        // consulted exactly once, right before its first chunk.
         SelectionVector sel;
-        for (size_t start = begin; start < end; start += kChunkSize) {
+        size_t start = begin;
+        while (start < end) {
+          if (start % relation::kMorselRows == 0) {
+            const size_t block = start / relation::kMorselRows;
+            if (prune && BlockPruned(table, *zones, block)) {
+              if (counters != nullptr) {
+                counters->blocks_pruned.fetch_add(1, std::memory_order_relaxed);
+              }
+              start = std::min(end, start + relation::kMorselRows);
+              continue;
+            }
+            if (counters != nullptr) {
+              counters->blocks_scanned.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
           RowSpan span;
           span.start = static_cast<RowId>(start);
           span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
@@ -489,11 +619,12 @@ std::vector<RowId> FilterTableVectorized(const Table& table,
           for (uint32_t k = 0; k < sel.count; ++k) {
             out->push_back(span.start + sel.idx[k]);
           }
+          start += span.len;
         }
       });
 }
 
-std::vector<RowId> FilterRowsVectorized(const Table& table,
+std::vector<RowId> FilterRowsVectorized(const ColumnSource& table,
                                         const std::vector<RowId>& rows,
                                         const BatchPred& pred, int threads) {
   return MorselFilter(

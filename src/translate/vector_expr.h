@@ -17,6 +17,8 @@
 #ifndef PAQL_TRANSLATE_VECTOR_EXPR_H_
 #define PAQL_TRANSLATE_VECTOR_EXPR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "paql/ast.h"
 #include "relation/chunk.h"
 #include "relation/schema.h"
+#include "relation/column_source.h"
 #include "relation/table.h"
 
 namespace paql::translate {
@@ -31,11 +34,11 @@ namespace paql::translate {
 /// Batch numeric evaluator: fill `out` for every lane of `span`
 /// (lane i corresponds to span.row(i)). NULL evaluates to NaN.
 using BatchFn = std::function<void(
-    const relation::Table&, const relation::RowSpan&, relation::NumericBatch*)>;
+    const relation::ColumnSource&, const relation::RowSpan&, relation::NumericBatch*)>;
 
 /// Batch predicate evaluator: keep only the selected lanes that satisfy
 /// the predicate (ascending lane order is preserved).
-using BatchPred = std::function<void(const relation::Table&,
+using BatchPred = std::function<void(const relation::ColumnSource&,
                                      const relation::RowSpan&,
                                      relation::SelectionVector*)>;
 
@@ -51,21 +54,50 @@ Result<BatchFn> CompileScalarBatch(const lang::ScalarExpr& expr,
 Result<BatchPred> CompileBoolBatch(const lang::BoolExpr& expr,
                                    const relation::Schema& schema);
 
+/// A conservative per-column requirement extracted from a WHERE tree: any
+/// satisfying row has `lo <= value(col) <= hi` (and is non-NULL, since
+/// NULL comparisons are false). A storage block whose zone map is disjoint
+/// from every range cannot contribute a row, so the scan skips it whole.
+struct ZoneRange {
+  size_t col = 0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+};
+
+/// Zone-pruning statistics of one scan (atomics: morsels run in parallel).
+struct ScanCounters {
+  std::atomic<int64_t> blocks_scanned{0};
+  std::atomic<int64_t> blocks_pruned{0};
+};
+
+/// Extract every ZoneRange implied by `expr`: numeric column-vs-literal
+/// comparisons and BETWEENs on the top-level AND spine. Best effort —
+/// anything else (OR, NOT, arithmetic, strings) contributes nothing and
+/// an empty result just means no pruning.
+std::vector<ZoneRange> ExtractZoneRanges(const lang::BoolExpr& expr,
+                                         const relation::Schema& schema);
+
 /// All rows of `table` satisfying `pred`, scanned chunk at a time over
 /// contiguous spans. Equals Table::FilterRows over the scalar twin.
 /// `threads` > 1 scans kMorselRows-sized morsels in parallel off the
 /// shared pool; each morsel collects its survivors into its own slot and
 /// the slots concatenate in ascending morsel order, so the result is
 /// bit-for-bit the serial scan's.
-std::vector<relation::RowId> FilterTableVectorized(const relation::Table& table,
-                                                   const BatchPred& pred,
-                                                   int threads = 1);
+///
+/// `zones` (may be null/empty) lets sources with block statistics
+/// (DiskTable) skip whole morsels whose zone maps are disjoint from a
+/// required range — pruning never changes the result, only the work.
+/// `counters` (may be null) receives scanned/pruned block counts.
+std::vector<relation::RowId> FilterTableVectorized(
+    const relation::ColumnSource& table, const BatchPred& pred,
+    int threads = 1, const std::vector<ZoneRange>* zones = nullptr,
+    ScanCounters* counters = nullptr);
 
 /// The subset of `rows` satisfying `pred`, evaluated over gather spans
 /// (order preserved, duplicates allowed). Parallelizes like
 /// FilterTableVectorized when `threads` > 1.
 std::vector<relation::RowId> FilterRowsVectorized(
-    const relation::Table& table, const std::vector<relation::RowId>& rows,
+    const relation::ColumnSource& table, const std::vector<relation::RowId>& rows,
     const BatchPred& pred, int threads = 1);
 
 }  // namespace paql::translate

@@ -71,6 +71,58 @@ TEST(CsvTest, RejectsBadNumbers) {
   EXPECT_FALSE(FromCsvString("a:DOUBLE\n1.2.3\n").ok());
 }
 
+// Regression: EscapeField legally quotes embedded newlines, but the old
+// getline-per-record reader split such fields across records (spurious
+// arity errors or truncated strings). The record reader must continue
+// across newlines inside quotes and round-trip bit-identical.
+TEST(CsvTest, RoundTripEmbeddedNewlines) {
+  Table t{Schema({{"id", DataType::kInt64}, {"note", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value(1), Value("line one\nline two")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2), Value("trailing newline\n")}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value(3), Value("mix,of \"quotes\"\nand,commas")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(4), Value("\n\nleading blanks")}).ok());
+  std::string text = ToCsvString(t);
+  auto back = FromCsvString(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(back->GetInt64(r, 0), t.GetInt64(r, 0));
+    EXPECT_EQ(back->GetString(r, 1), t.GetString(r, 1)) << "row " << r;
+  }
+  // And the re-serialization is byte-identical (stable canonical form).
+  EXPECT_EQ(ToCsvString(*back), text);
+}
+
+// Regression: CRLF line endings left a '\r' glued onto the last field of
+// every record ("42\r" -> bad INT64) including the header's type name.
+TEST(CsvTest, ParsesCrlfInput) {
+  auto back = FromCsvString(
+      "id:INT64,score:DOUBLE,name:STRING\r\n"
+      "1,2.5,alpha\r\n"
+      "42,,\"beta,gamma\"\r\n");
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->GetInt64(0, 0), 1);
+  EXPECT_DOUBLE_EQ(back->GetDouble(0, 1), 2.5);
+  EXPECT_EQ(back->GetString(0, 2), "alpha");
+  EXPECT_EQ(back->GetInt64(1, 0), 42);
+  EXPECT_TRUE(back->IsNull(1, 1));
+  EXPECT_EQ(back->GetString(1, 2), "beta,gamma");
+}
+
+// A '\r' inside a quoted field is data, not a line ending: only the
+// terminating one is stripped.
+TEST(CsvTest, QuotedCarriageReturnSurvives) {
+  Table t{Schema({{"s", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value("a\rb\nc")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("crlf\r\ninside")}).ok());
+  auto back = FromCsvString(ToCsvString(t));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->GetString(0, 0), "a\rb\nc");
+  EXPECT_EQ(back->GetString(1, 0), "crlf\r\ninside");
+}
+
 TEST(CsvTest, FileRoundTrip) {
   Table t = MakeTable();
   std::string path =
