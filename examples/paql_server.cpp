@@ -19,11 +19,20 @@
 //   RUN <paql>      evaluate with interactive priority
 //   BATCH <paql>    evaluate as batch work (yields to interactive queries
 //                   at morsel and branch-and-bound node boundaries)
-//   STATS           scheduler + cross-query cache counters, one line
+//   INSERT <table> <v,v,..>[;<v,..>]  append rows (schema order; NULL or
+//                   an empty field for NULL), publish a new table version
+//   DELETE <table> <id>[,<id>...]     delete rows by id (ids stay stable)
+//   WATCH <paql>    register a standing query: re-evaluated after every
+//                   INSERT/DELETE batch (incrementally where possible);
+//                   WATCH <id> prints its current package
+//   STATS           scheduler + cache + update counters, one line
 //   QUIT            close the connection
 //
 // Responses:
 //   PKG <count> <objective> <row:mult> ...   then   OK <micros>
+//   UPD inserted=.. deleted=.. version=.. dirty=.. repaired=..
+//       incremental=..                       then   OK <micros>
+//   WATCH <id> valid=<0|1>  [PKG ...]        then   OK <micros>
 //   ERR <message>
 //
 // Every connection shares one catalog (tables loaded once) and one
@@ -100,7 +109,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "listening on 127.0.0.1:" << server.port()
-            << " (RUN/BATCH/STATS/QUIT; Ctrl-C to stop)\n";
+            << " (RUN/BATCH/INSERT/DELETE/WATCH/STATS/QUIT; Ctrl-C to "
+               "stop)\n";
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

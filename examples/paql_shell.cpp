@@ -35,6 +35,18 @@
 //                          (default out: the CSV path with a .pqb
 //                          extension) and register it as an out-of-core
 //                          relation read through the session block cache
+//   \insert <table> <v,v,..>[|<v,..>];
+//                          append rows (comma-separated fields in schema
+//                          order, NULL or empty for NULL; '|' separates
+//                          rows since ';' ends the statement) and publish
+//                          a new table version — standing queries repair
+//   \delete <table> <id>[,<id>...];
+//                          delete rows by id (row ids are stable across
+//                          versions; \watch output and package listings
+//                          print them)
+//   \watch <PAQL...>;      register a standing package query, kept fresh
+//                          after every \insert/\delete batch; \watch <id>;
+//                          reprints one, \watch; lists them all
 //   \help;                 this list
 //
 // Each CSV becomes a catalog relation named after its basename (without
@@ -76,6 +88,12 @@ void PrintHelp() {
                "  \\cache;           cross-query + block cache statistics\n"
                "  \\store <csv> [out]; convert a CSV to a block store and\n"
                "                    register it as an out-of-core relation\n"
+               "  \\insert <table> <v,v,..>[|<v,..>]; append rows ('|'\n"
+               "                    separates rows; ';' ends the statement)\n"
+               "  \\delete <table> <id>[,<id>...]; delete rows by id\n"
+               "  \\watch <PAQL...>; keep a package query fresh across\n"
+               "                    \\insert/\\delete batches; \\watch <id>;\n"
+               "                    reprints one, \\watch; lists all\n"
                "  \\help;            this list\n";
 }
 
@@ -100,6 +118,133 @@ std::vector<std::string> SplitMeta(const std::string& text) {
 
 bool HasPqbExtension(const std::string& path) {
   return path.size() > 4 && path.compare(path.size() - 4, 4, ".pqb") == 0;
+}
+
+/// Split "\cmd <name> <rest...>" after the command word into the first
+/// token and everything after it (whitespace-trimmed, spaces preserved) —
+/// \insert and \delete payloads may contain spaces inside field values.
+void SplitNameAndPayload(const std::string& text, size_t command_len,
+                         std::string* name, std::string* payload) {
+  std::string tail{paql::StripWhitespace(text.substr(command_len))};
+  size_t split = tail.find_first_of(" \t");
+  if (split == std::string::npos) {
+    *name = tail;
+    payload->clear();
+    return;
+  }
+  *name = tail.substr(0, split);
+  *payload = std::string{paql::StripWhitespace(tail.substr(split + 1))};
+}
+
+void PrintStandingQuery(const paql::StandingQuery& sq) {
+  std::cout << "-- watch " << sq.id << " [" << sq.table_name << " v"
+            << sq.version << ", " << sq.repairs << " repairs ("
+            << sq.incremental_repairs << " incremental)] ";
+  if (!sq.valid) {
+    std::cout << "invalid: " << sq.error << "\n";
+    return;
+  }
+  std::cout << "objective " << sq.objective << ",";
+  for (size_t i = 0; i < sq.package.rows.size(); ++i) {
+    std::cout << " " << sq.package.rows[i] << ":" << sq.package.multiplicity[i];
+  }
+  std::cout << "\n";
+}
+
+/// \insert / \delete: parse the batch, apply it through the session (one
+/// version advance + dirty-group absorption + standing-query repair), and
+/// report what happened.
+int RunUpdate(Session& session, bool is_insert, const std::string& text,
+              size_t command_len) {
+  std::string table, payload;
+  SplitNameAndPayload(text, command_len, &table, &payload);
+  if (table.empty() || payload.empty()) {
+    std::cerr << (is_insert
+                      ? "usage: \\insert <table> <v,v,..>[|<v,..>];"
+                      : "usage: \\delete <table> <id>[,<id>...];")
+              << "\n";
+    return 1;
+  }
+
+  paql::relation::TableDelta delta;
+  if (is_insert) {
+    auto resolved = session.GetTable(table);
+    if (!resolved.ok()) {
+      std::cerr << resolved.status() << "\n";
+      return 1;
+    }
+    // ';' terminates shell statements, so rows arrive '|'-separated here;
+    // ParseInsertRows (shared with the server's INSERT verb) wants ';'.
+    for (char& c : payload) {
+      if (c == '|') c = ';';
+    }
+    auto parsed = paql::relation::ParseInsertRows((*resolved)->schema(),
+                                                  payload, &delta);
+    if (!parsed.ok()) {
+      std::cerr << parsed << "\n";
+      return 1;
+    }
+  } else {
+    auto parsed = paql::relation::ParseDeleteRows(payload, &delta);
+    if (!parsed.ok()) {
+      std::cerr << parsed << "\n";
+      return 1;
+    }
+  }
+
+  auto result = session.ApplyUpdates(table, delta);
+  if (!result.ok()) {
+    std::cerr << "update failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "-- " << result->table_name << " v" << result->version << ": +"
+            << result->rows_inserted << " rows, -" << result->rows_deleted
+            << " rows, " << result->partitionings_updated
+            << " partitionings updated (" << result->dirty_groups
+            << " dirty groups), " << result->standing_repaired
+            << " standing queries repaired (" << result->standing_incremental
+            << " incrementally), " << result->seconds << "s\n";
+  for (const auto& sq : session.standing_queries()) {
+    if (sq.table_name == result->table_name) PrintStandingQuery(sq);
+  }
+  return 0;
+}
+
+/// \watch: no argument lists registrations, an integer reprints one, and
+/// anything else registers a new standing query.
+int RunWatch(Session& session, const std::string& text) {
+  std::string arg{paql::StripWhitespace(text.substr(6))};
+  if (arg.empty()) {
+    auto all = session.standing_queries();
+    if (all.empty()) {
+      std::cout << "-- no standing queries (register with \\watch "
+                   "<PAQL...>;)\n";
+      return 0;
+    }
+    for (const auto& sq : all) PrintStandingQuery(sq);
+    return 0;
+  }
+  if (arg.find_first_not_of("0123456789") == std::string::npos) {
+    auto sq = session.GetStandingQuery(std::stoull(arg));
+    if (!sq.ok()) {
+      std::cerr << sq.status() << "\n";
+      return 1;
+    }
+    PrintStandingQuery(*sq);
+    return 0;
+  }
+  auto id = session.Watch(arg);
+  if (!id.ok()) {
+    std::cerr << "watch failed: " << id.status() << "\n";
+    return 1;
+  }
+  auto sq = session.GetStandingQuery(*id);
+  if (!sq.ok()) {
+    std::cerr << sq.status() << "\n";
+    return 1;
+  }
+  PrintStandingQuery(*sq);
+  return 0;
 }
 
 /// \store <csv> [out]: CSV -> block store conversion + registration.
@@ -188,6 +333,19 @@ int RunStatement(Session& session, const ShellOptions& options,
     }
     if (paql::StartsWith(text, "\\store")) {
       return RunStore(session, SplitMeta(text));
+    }
+    if (paql::StartsWith(text, "\\insert") && text.size() > 7 &&
+        std::isspace(static_cast<unsigned char>(text[7]))) {
+      return RunUpdate(session, /*is_insert=*/true, text, 7);
+    }
+    if (paql::StartsWith(text, "\\delete") && text.size() > 7 &&
+        std::isspace(static_cast<unsigned char>(text[7]))) {
+      return RunUpdate(session, /*is_insert=*/false, text, 7);
+    }
+    if (paql::StartsWith(text, "\\watch") &&
+        (text.size() == 6 ||
+         std::isspace(static_cast<unsigned char>(text[6])))) {
+      return RunWatch(session, text);
     }
     if (text == "\\help") {
       PrintHelp();

@@ -27,6 +27,13 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
     bound) are absolute, so they are only compared when baseline and
     current ran the same closed-loop workload (clients, iters_per_client)
     on the same hardware_threads.
+  * streaming updates — BENCH_update.json files (bench == "update_stream").
+    The correctness invariants (incremental repair agrees with a full
+    re-run on feasibility, objectives never regress on pure-insert
+    batches) are enforced on the CURRENT run unconditionally. The
+    incremental-vs-full speedup is compared only when both runs used the
+    same rows/tau/batches; at 1M rows and above the paper's promise itself
+    is enforced — the incremental path must be at least 5x faster.
   * out-of-core storage — BENCH_scan.json files (bench == "scan_oocore").
     The correctness invariants (disk results bit-identical to memory,
     zone maps pruning blocks, on-disk <= 50% of raw) are enforced on the
@@ -221,6 +228,72 @@ def main() -> int:
                     f"{base.get('rows')} vs current rows={cur.get('rows')} "
                     f"(compression, hit rates, and block counts drift with "
                     f"scale)")
+
+    if base.get("bench") == "update_stream":
+        if cur.get("bench") != "update_stream":
+            failures.append("current run is not an update_stream bench result")
+        else:
+            # Correctness invariants hold at any scale; the bench aborts
+            # when they fail, so a well-formed current file should always
+            # pass — checking them here catches a bench that silently
+            # stopped recording them.
+            cur_update = cur.get("update", {})
+            cur_standing = cur.get("standing", {})
+            if cur_update.get("feasibility_identical") is not True:
+                failures.append(
+                    "update: incremental and full repair disagreed on "
+                    "feasibility")
+            if cur_update.get("objective_no_worse") is not True:
+                failures.append(
+                    "update: incremental repair regressed an objective")
+            if not cur_standing.get("repairs", 0) > 0:
+                failures.append("update: no standing-query repairs ran")
+            if not cur_standing.get("incremental_repairs", 0) > 0:
+                failures.append(
+                    "update: every standing-query repair fell back to a "
+                    "full re-execution")
+            print(f"ok update invariants: feasibility identical, objectives "
+                  f"no worse, {cur_standing.get('incremental_repairs')}/"
+                  f"{cur_standing.get('repairs')} repairs incremental")
+
+            cur_speedup = cur_update.get("speedup_incremental_vs_full")
+            scale_match = (
+                base.get("rows") == cur.get("rows")
+                and base.get("tau") == cur.get("tau")
+                and base.get("batches") == cur.get("batches"))
+            if scale_match:
+                b_speedup = base.get("update", {}).get(
+                    "speedup_incremental_vs_full")
+                if cur_speedup is None:
+                    failures.append(
+                        "update: speedup_incremental_vs_full missing from "
+                        "current run")
+                elif b_speedup is not None and \
+                        cur_speedup < b_speedup * (1 - tol):
+                    failures.append(
+                        f"update: incremental speedup regressed: "
+                        f"{cur_speedup:g} < {b_speedup:g} * (1 - {tol:g})")
+                else:
+                    print(f"ok update speedup: {cur_speedup:g}x "
+                          f"(baseline {b_speedup:g}x)")
+            else:
+                print(
+                    f"skipping update speedup comparison: baseline "
+                    f"rows={base.get('rows')} tau={base.get('tau')} "
+                    f"batches={base.get('batches')} vs current "
+                    f"rows={cur.get('rows')} tau={cur.get('tau')} "
+                    f"batches={cur.get('batches')} (dirty fractions and "
+                    f"fixed costs drift with scale)")
+            # The PR's acceptance floor: at 1M rows a <=1%-dirty batch must
+            # repair at least 5x faster than a full re-evaluation.
+            if cur.get("rows", 0) >= 1_000_000:
+                if cur_speedup is None or cur_speedup < 5.0:
+                    failures.append(
+                        f"update: incremental speedup {cur_speedup} below "
+                        f"the 5x floor at {cur.get('rows')} rows")
+                else:
+                    print(f"ok update 5x floor: {cur_speedup:g}x at "
+                          f"{cur.get('rows')} rows")
 
     if strict_absolute and sizes_match:
         for name, b in base_solver.get("entries", {}).items():

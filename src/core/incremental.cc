@@ -36,7 +36,9 @@ Result<IncrementalResult> ReEvaluatePackage(
   }
 
   // Split the previous package into the fixed (clean-group) part and the
-  // released (dirty-group) part.
+  // released (dirty-group) part. Deleted rows are dropped outright: the
+  // batch that deleted them dirtied their group (AbsorbBatch's contract),
+  // so the subproblem below re-chooses their replacements.
   IncrementalResult out;
   std::vector<RowId> fixed_rows;
   std::vector<int64_t> fixed_mults;
@@ -45,6 +47,10 @@ Result<IncrementalResult> ReEvaluatePackage(
     if (r >= table.num_rows()) {
       return Status::InvalidArgument(
           StrCat("previous package row ", r, " out of range"));
+    }
+    if (table.RowDeleted(r) || partitioning.gid[r] == partition::kNoGroup) {
+      ++out.previous_rows_deleted;
+      continue;
     }
     if (!is_dirty[partitioning.gid[r]]) {
       fixed_rows.push_back(r);
@@ -77,8 +83,10 @@ Result<IncrementalResult> ReEvaluatePackage(
   PAQL_ASSIGN_OR_RETURN(lp::Model model,
                         query.BuildModel(table, candidates, bopts));
   double translate_seconds = translate_watch.ElapsedSeconds();
+  ilp::IlpStats subproblem_stats;
   auto sol = ilp::SolveIlp(model, options.sketch_refine.limits,
-                           options.sketch_refine.EffectiveBranchAndBound());
+                           options.sketch_refine.EffectiveBranchAndBound(),
+                           /*warm=*/nullptr, &subproblem_stats);
   if (sol.ok()) {
     out.result.stats.Accumulate(sol->stats);
     out.result.stats.translate_seconds = translate_seconds;
@@ -101,13 +109,16 @@ Result<IncrementalResult> ReEvaluatePackage(
   if (!sol.status().IsInfeasible()) return sol.status();
 
   // The fixed part over-constrains the subproblem (e.g. the query changed
-  // since `previous` was computed): fall back to a full run. The time spent
-  // translating the abandoned incremental subproblem is real work this call
-  // performed, so it rides along in the reported stats.
+  // since `previous` was computed, or the batch deleted a tuple the rest of
+  // the package depended on): fall back to a full run. The translate time
+  // and solver effort spent on the abandoned incremental subproblem are
+  // real work this call performed, so they ride along in the reported
+  // stats, and dirty_candidates keeps describing the subproblem that was
+  // attempted.
   SketchRefineEvaluator full(table, partitioning, options.sketch_refine);
   PAQL_ASSIGN_OR_RETURN(out.result, full.Evaluate(query));
   out.used_fallback = true;
-  out.dirty_candidates = 0;
+  out.result.stats.Accumulate(subproblem_stats);
   out.result.stats.translate_seconds += translate_seconds;
   out.result.stats.wall_seconds = total.ElapsedSeconds();
   return out;

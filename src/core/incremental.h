@@ -3,12 +3,15 @@
 // SKETCHREFINE's divide-and-conquer structure (Section 4.2) has a useful
 // corollary the paper does not exploit: a previously computed package stays
 // locally optimal on groups whose membership did not change. After a batch
-// of appends is absorbed into the partitioning
+// of appends and deletions is absorbed into the partitioning
 // (partition/dynamic_update.h), only the "dirty" groups — the ones that
-// gained rows or were split — can offer better tuples, so it suffices to
-// re-run one refine-style subproblem over the dirty groups' candidates with
-// the clean groups' contributions folded into the constraint bounds,
-// exactly like Algorithm 2's refine query Q[G_j].
+// gained rows, lost rows, absorbed a dissolved neighbor, or were split —
+// can change the answer, so it suffices to re-run one refine-style
+// subproblem over the dirty groups' candidates with the clean groups'
+// contributions folded into the constraint bounds, exactly like
+// Algorithm 2's refine query Q[G_j]. Previous-package tuples the batch
+// deleted are dropped before the split (their group is dirty by
+// construction, so replacements are re-chosen).
 //
 // Guarantees mirror REFINE's: the returned package is always feasible for
 // the query (it is validated), and its objective is at least as good as the
@@ -40,10 +43,16 @@ struct IncrementalOptions {
 struct IncrementalResult {
   EvalResult result;
   /// The dirty-group subproblem was infeasible and a full SKETCHREFINE run
-  /// produced the answer instead.
+  /// produced the answer instead. The result's stats still include the
+  /// abandoned subproblem's translate time and solver effort (the work was
+  /// performed either way).
   bool used_fallback = false;
-  /// Candidate tuples in the dirty-group subproblem (0 when fallback).
+  /// Candidate tuples in the dirty-group subproblem (also populated on
+  /// fallback runs — it describes the subproblem that was attempted).
   size_t dirty_candidates = 0;
+  /// Previous-package tuples dropped because their row was deleted by the
+  /// batch (their groups are dirty, so replacements are re-chosen).
+  size_t previous_rows_deleted = 0;
 };
 
 /// Re-evaluates `query` over `table` + `partitioning` starting from
@@ -51,9 +60,12 @@ struct IncrementalResult {
 /// groups are re-solved. `dirty_groups` lists group ids of `partitioning`
 /// considered stale (from partition::AbsorbResult::dirty_groups).
 ///
-/// `previous` row ids must be valid rows of `table` (appends never
-/// invalidate them). Rows of `previous` that fall in dirty groups are
-/// released and re-chosen.
+/// `previous` row ids must be valid rows of `table` (row ids are stable:
+/// appends never invalidate them and deletions only mark them). Rows of
+/// `previous` that fall in dirty groups are released and re-chosen; rows
+/// the batch deleted (table.RowDeleted, or left without a group) are
+/// dropped from the package — their group is necessarily dirty, so the
+/// subproblem picks replacements.
 Result<IncrementalResult> ReEvaluatePackage(
     const relation::ColumnSource& table,
     const partition::Partitioning& partitioning,

@@ -71,6 +71,10 @@ Status ValidatePackage(const translate::CompiledQuery& query,
                  " times, exceeding the REPEAT bound ",
                  query.per_tuple_ub()));
     }
+    if (table.RowDeleted(r)) {
+      return Status::InvalidArgument(
+          StrCat("package row ", r, " has been deleted"));
+    }
     if (!query.BaseAccepts(table, r)) {
       return Status::InvalidArgument(
           StrCat("package row ", r, " violates the base predicate"));

@@ -1,12 +1,15 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "core/explain.h"
+#include "core/incremental.h"
+#include "partition/dynamic_update.h"
 #include "core/topk.h"
 #include "engine/evaluators.h"
 #include "lp/lp_format.h"
@@ -64,6 +67,40 @@ void FillPlanExecFlags(const ExecContext& exec, const CompiledQuery& compiled,
 }
 
 
+/// The partition-registry cache key for one (table, policy): shared by the
+/// read path (PartitioningFor) and the update path (ApplyUpdates,
+/// standing-query repair), which must agree on it byte for byte.
+std::string PartitionRegistryKey(const std::string& table_name, size_t tau,
+                                 const std::vector<std::string>& attributes) {
+  std::ostringstream os;
+  os << table_name << "|" << tau;
+  for (const auto& attr : attributes) os << "|" << attr;
+  return os.str();
+}
+
+/// True when `key` is PartitionRegistryKey(table_name, t, attributes) for
+/// *some* size threshold t. Standing-query repair matches absorbed
+/// partitionings this way: the default tau policy (rows/10) drifts with
+/// every batch that changes the row count, so the key recomputed against
+/// the new version would never hit the one the partitioning was cached
+/// under — and tau only decides how a fresh partitioning would be built,
+/// not whether the absorbed one can host the repair.
+bool KeyMatchesPolicy(const std::string& key, const std::string& table_name,
+                      const std::vector<std::string>& attributes) {
+  std::string prefix = table_name + "|";
+  std::string suffix;
+  for (const auto& attr : attributes) suffix += "|" + attr;
+  if (key.size() <= prefix.size() + suffix.size()) return false;
+  if (key.compare(0, prefix.size(), prefix) != 0) return false;
+  if (key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  for (size_t i = prefix.size(); i < key.size() - suffix.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(key[i]))) return false;
+  }
+  return true;
+}
+
 std::string CsvBaseName(const std::string& path) {
   size_t slash = path.find_last_of("/\\");
   std::string name =
@@ -113,6 +150,7 @@ Status Session::AddTable(std::string name,
   if (table == nullptr) {
     return Status::InvalidArgument("table must not be null");
   }
+  std::lock_guard<std::mutex> lock(sync_->mu);
   auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
   if (!inserted) {
     return Status::InvalidArgument(
@@ -139,6 +177,7 @@ Status Session::AddTableFromDisk(const std::string& path) {
 }
 
 std::vector<std::string> Session::table_names() const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -160,7 +199,10 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
     // resolution is forgiving on purpose — the paper's examples write
     // `FROM Recipes R` against whatever the caller registered — so: exact
     // match, then case-insensitive match, then the only table of a
-    // single-table session.
+    // single-table session. The lock pins one consistent snapshot: a
+    // concurrent ApplyUpdates publishes a new version by swapping the map
+    // entry, and this query keeps the shared_ptr it copied here.
+    std::lock_guard<std::mutex> lock(sync_->mu);
     auto it = tables_.find(parsed->relation_name);
     if (it == tables_.end()) {
       for (auto probe = tables_.begin(); probe != tables_.end(); ++probe) {
@@ -182,9 +224,9 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
   } else {
     // The join cache is keyed by the *normalized* statement, so any
     // re-spelling of the same join (case, whitespace) reuses the
-    // materialized result. Session tables are immutable, so a cached
-    // result cannot go stale; the mutex makes repeat-statement storms
-    // from concurrent Execute calls safe.
+    // materialized result. ApplyUpdates clears the cache when it publishes
+    // a new table version, so a cached result cannot go stale; the mutex
+    // makes repeat-statement storms from concurrent Execute calls safe.
     bool join_hit = false;
     {
       std::lock_guard<std::mutex> lock(sync_->mu);
@@ -198,9 +240,17 @@ Result<Session::ResolvedQuery> Session::Resolve(std::string_view paql,
     }
     if (!join_hit) {
       // Multi-relation query: materialize the join (paper §4.5) and
-      // rewrite the query against the join result.
+      // rewrite the query against the join result. The snapshot copy keeps
+      // every joined table alive (and consistent) even if a concurrent
+      // ApplyUpdates swaps a map entry mid-materialization.
+      std::map<std::string, std::shared_ptr<const relation::ColumnSource>>
+          snapshot;
+      {
+        std::lock_guard<std::mutex> lock(sync_->mu);
+        snapshot = tables_;
+      }
       core::Catalog catalog;
-      for (const auto& [name, table] : tables_) {
+      for (const auto& [name, table] : snapshot) {
         // The join materializer builds hash tables over concrete in-memory
         // columns; out-of-core tables are not joinable (yet).
         const auto* in_memory =
@@ -260,14 +310,17 @@ Session::PartitioningFor(const ResolvedQuery& resolved, Plan* plan) {
   // session sharing the cache shares one partition tree per policy.
   std::string key;
   if (!resolved.joined_from) {
-    std::ostringstream key_os;
-    key_os << resolved.table_name << "|" << tau;
-    for (const auto& attr : attributes) key_os << "|" << attr;
-    key = key_os.str();
+    key = PartitionRegistryKey(resolved.table_name, tau, attributes);
     if (auto hit = cache_->LookupPartitioning(key)) {
-      plan->partitioning_reused = true;
-      plan->partition_groups = hit->num_groups();
-      return hit;
+      // A cached partitioning is only reusable for the row space this
+      // query resolved: a session holding an older snapshot must not read
+      // a partitioning that ApplyUpdates already advanced (its groups
+      // would reference rows past this snapshot's end), and vice versa.
+      if (hit->gid.size() == resolved.table->num_rows()) {
+        plan->partitioning_reused = true;
+        plan->partition_groups = hit->num_groups();
+        return hit;
+      }
     }
   }
 
@@ -553,6 +606,272 @@ Result<std::string> Session::Explain(std::string_view paql) {
        << core::ExplainDirect(compiled.ilp, *resolved.table);
   }
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Session: streaming updates + standing queries
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const relation::ColumnSource>> Session::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    for (auto probe = tables_.begin(); probe != tables_.end(); ++probe) {
+      if (EqualsIgnoreCase(probe->first, name)) {
+        it = probe;
+        break;
+      }
+    }
+  }
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StrCat("table '", name, "' is not registered in this session"));
+  }
+  return it->second;
+}
+
+Result<UpdateResult> Session::ApplyUpdates(const std::string& table_name,
+                                           const relation::TableDelta& delta) {
+  Stopwatch total;
+  // Writers serialize with each other; readers are never blocked — they
+  // keep the snapshot shared_ptr they copied out of tables_ in Resolve.
+  std::lock_guard<std::mutex> writers(sync_->update_mu);
+
+  std::string name;
+  std::shared_ptr<const relation::ColumnSource> current;
+  {
+    std::lock_guard<std::mutex> lock(sync_->mu);
+    auto it = tables_.find(table_name);
+    if (it == tables_.end()) {
+      for (auto probe = tables_.begin(); probe != tables_.end(); ++probe) {
+        if (EqualsIgnoreCase(probe->first, table_name)) {
+          it = probe;
+          break;
+        }
+      }
+    }
+    if (it == tables_.end()) {
+      return Status::NotFound(StrCat("table '", table_name,
+                                     "' is not registered in this session"));
+    }
+    name = it->first;
+    current = it->second;
+  }
+
+  // Wrap-or-advance the version chain, validating the whole batch before
+  // anything becomes visible (a bad row or double delete mutates nothing).
+  std::shared_ptr<const relation::TableVersion> base_version =
+      std::dynamic_pointer_cast<const relation::TableVersion>(current);
+  if (base_version == nullptr) {
+    PAQL_ASSIGN_OR_RETURN(base_version, relation::TableVersion::Wrap(current));
+  }
+  PAQL_ASSIGN_OR_RETURN(std::shared_ptr<const relation::TableVersion> next,
+                        base_version->Apply(delta));
+
+  UpdateResult out;
+  out.table = next;
+  out.table_name = name;
+  out.version = next->version();
+  out.rows_inserted = delta.inserts.size();
+  out.rows_deleted = delta.deletes.size();
+
+  // Absorb the batch into every cached partitioning of the table — all of
+  // them before any is stored, so a failure publishes nothing. A cached
+  // partitioning lagging behind this batch's base (a concurrent query
+  // deposited one built against an older snapshot) sees the extra rows as
+  // plain appends; deletes past its row space are simply not in any group.
+  std::map<std::string, std::vector<uint32_t>> dirty_by_key;
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const partition::Partitioning>>>
+      absorbed;
+  for (auto& [key, partitioning] : cache_->PartitioningsFor(name)) {
+    std::vector<relation::RowId> deletes_in_range;
+    for (relation::RowId r : delta.deletes) {
+      if (r < partitioning->gid.size()) deletes_in_range.push_back(r);
+    }
+    PAQL_ASSIGN_OR_RETURN(
+        partition::AbsorbResult ar,
+        partition::AbsorbBatch(*next, *partitioning, deletes_in_range));
+    out.dirty_groups += ar.dirty_groups.size();
+    dirty_by_key[key] = std::move(ar.dirty_groups);
+    absorbed.emplace_back(key,
+                          std::make_shared<const partition::Partitioning>(
+                              std::move(ar.partitioning)));
+  }
+
+  // Publish: swap the snapshot, refresh the partition registry, drop the
+  // statement artifacts (their plans and warm bases described the old
+  // snapshot) and the join cache (joined results embed the old rows).
+  cache_->EvictStatements(name);
+  for (auto& [key, partitioning] : absorbed) {
+    cache_->StorePartitioning(key, std::move(partitioning));
+    ++out.partitionings_updated;
+  }
+  std::vector<StandingQuery> to_repair;
+  {
+    std::lock_guard<std::mutex> lock(sync_->mu);
+    tables_[name] = next;
+    sync_->join_cache.reset();
+    for (const auto& [id, sq] : sync_->standing) {
+      if (sq.table_name == name) to_repair.push_back(sq);
+    }
+  }
+
+  // Keep the standing queries fresh. Repairs run on copies outside the
+  // registry lock (a repair executes queries); results are written back by
+  // id, so a concurrent Unwatch simply wins.
+  for (StandingQuery& sq : to_repair) {
+    RepairStandingQuery(&sq, out.version, dirty_by_key, &out);
+  }
+  if (!to_repair.empty()) {
+    std::lock_guard<std::mutex> lock(sync_->mu);
+    for (StandingQuery& sq : to_repair) {
+      auto it = sync_->standing.find(sq.id);
+      if (it != sync_->standing.end()) it->second = std::move(sq);
+    }
+  }
+  out.seconds = total.ElapsedSeconds();
+  return out;
+}
+
+void Session::RepairStandingQuery(
+    StandingQuery* sq, uint64_t version,
+    const std::map<std::string, std::vector<uint32_t>>& dirty,
+    UpdateResult* report) {
+  ++report->standing_repaired;
+  ++sq->repairs;
+  sq->version = version;
+
+  // The incremental path: a valid previous answer, a single-relation
+  // non-ratio query the planner still sends to SKETCHREFINE, and a cached
+  // partitioning that just absorbed the batch. Everything else (first
+  // feasible answer after an infeasible stretch, DIRECT-planned tables,
+  // ratio objectives) re-executes in full.
+  if (sq->valid) {
+    auto incremental = [&]() -> Result<bool> {
+      PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(sq->text, nullptr));
+      if (resolved.joined_from) return false;
+      PAQL_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                            CompileResolved(resolved, nullptr));
+      if (compiled.ratio_objective) return false;
+      QueryShape shape;
+      shape.ratio_objective = compiled.ratio_objective;
+      Planner planner(options_.planner);
+      Plan plan = planner.Decide(*resolved.table, shape);
+      if (!plan.uses_partitioning()) return false;
+      std::vector<std::string> attributes =
+          planner.PartitionAttributes(*resolved.table);
+      const std::vector<uint32_t>* dirty_groups = nullptr;
+      std::shared_ptr<const partition::Partitioning> partitioning;
+      for (const auto& [key, groups] : dirty) {
+        if (!KeyMatchesPolicy(key, resolved.table_name, attributes)) continue;
+        auto hit = cache_->LookupPartitioning(key);
+        if (hit == nullptr ||
+            hit->gid.size() != resolved.table->num_rows()) {
+          continue;
+        }
+        dirty_groups = &groups;
+        partitioning = std::move(hit);
+        break;
+      }
+      if (partitioning == nullptr) return false;
+      core::IncrementalOptions iopts;
+      static_cast<ExecContext&>(iopts.sketch_refine) = options_.exec;
+      iopts.sketch_refine.warm_basis = nullptr;
+      PAQL_ASSIGN_OR_RETURN(
+          core::IncrementalResult inc,
+          core::ReEvaluatePackage(*resolved.table, *partitioning,
+                                  compiled.ilp, sq->package,
+                                  *dirty_groups, iopts));
+      sq->package = std::move(inc.result.package);
+      sq->objective = inc.result.objective;
+      sq->valid = true;
+      sq->error.clear();
+      if (!inc.used_fallback) {
+        ++sq->incremental_repairs;
+        ++report->standing_incremental;
+      }
+      return true;
+    };
+    auto ran = incremental();
+    if (ran.ok() && *ran) return;
+    if (!ran.ok() && ran.status().IsInfeasible()) {
+      sq->valid = false;
+      sq->error = ran.status().message();
+      return;
+    }
+    // Fall through to a full re-execution on `false` or non-infeasible
+    // errors (e.g. a budget the incremental subproblem blew).
+  }
+
+  auto full = Execute(sq->text);
+  if (full.ok()) {
+    sq->package = std::move(full->package);
+    sq->objective = full->objective;
+    sq->valid = true;
+    sq->error.clear();
+  } else {
+    sq->valid = false;
+    sq->error = full.status().message();
+  }
+}
+
+Result<uint64_t> Session::Watch(std::string_view paql) {
+  PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, nullptr));
+  if (resolved.joined_from) {
+    return Status::Unsupported(
+        "standing queries watch a single relation (multi-relation FROM is "
+        "not repairable incrementally)");
+  }
+  StandingQuery sq;
+  sq.text = std::string(paql);
+  sq.table_name = resolved.table_name;
+  if (auto v = std::dynamic_pointer_cast<const relation::TableVersion>(
+          resolved.table)) {
+    sq.version = v->version();
+  }
+  // Seed the answer now. Infeasibility and budget exhaustion still
+  // register (the stream may make the query feasible later); hard errors
+  // (parse, validation) reject the registration.
+  auto result = Execute(paql);
+  if (result.ok()) {
+    sq.package = std::move(result->package);
+    sq.objective = result->objective;
+    sq.valid = true;
+  } else if (result.status().IsInfeasible() ||
+             result.status().IsResourceExhausted()) {
+    sq.error = result.status().message();
+  } else {
+    return result.status();
+  }
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  sq.id = sync_->next_watch_id++;
+  uint64_t id = sq.id;
+  sync_->standing.emplace(id, std::move(sq));
+  return id;
+}
+
+bool Session::Unwatch(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  return sync_->standing.erase(id) > 0;
+}
+
+Result<StandingQuery> Session::GetStandingQuery(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  auto it = sync_->standing.find(id);
+  if (it == sync_->standing.end()) {
+    return Status::NotFound(StrCat("no standing query with id ", id));
+  }
+  return it->second;
+}
+
+std::vector<StandingQuery> Session::standing_queries() const {
+  std::lock_guard<std::mutex> lock(sync_->mu);
+  std::vector<StandingQuery> out;
+  out.reserve(sync_->standing.size());
+  for (const auto& [id, sq] : sync_->standing) out.push_back(sq);
+  return out;
 }
 
 Status Session::DumpLp(std::string_view paql, std::ostream& os) {

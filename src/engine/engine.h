@@ -17,6 +17,7 @@
 #ifndef PAQL_ENGINE_ENGINE_H_
 #define PAQL_ENGINE_ENGINE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,7 @@
 #include "relation/block_cache.h"
 #include "relation/column_source.h"
 #include "relation/table.h"
+#include "relation/table_version.h"
 
 namespace paql {
 
@@ -73,16 +75,54 @@ struct QueryResult {
   relation::Table Materialize() const { return package.Materialize(*table); }
 };
 
+/// The outcome of one Session::ApplyUpdates call.
+struct UpdateResult {
+  /// The published snapshot (a relation::TableVersion); queries started
+  /// before the update keep reading the previous snapshot.
+  std::shared_ptr<const relation::ColumnSource> table;
+  std::string table_name;     // the registered name the update resolved to
+  uint64_t version = 0;       // the new snapshot's version number
+  size_t rows_inserted = 0;
+  size_t rows_deleted = 0;
+  /// Cached partitionings of the table that absorbed the batch in place
+  /// (vs being dropped and rebuilt on next use).
+  size_t partitionings_updated = 0;
+  /// Dirty groups across the updated partitionings (what incremental
+  /// standing-query repair re-solves).
+  size_t dirty_groups = 0;
+  size_t standing_repaired = 0;     // standing queries refreshed
+  size_t standing_incremental = 0;  // ... of which via ReEvaluatePackage
+  double seconds = 0;
+};
+
+/// One registered standing query's current state (a snapshot; see
+/// Session::Watch).
+struct StandingQuery {
+  uint64_t id = 0;
+  std::string text;          // the registered PaQL statement
+  std::string table_name;    // the FROM relation it watches
+  core::Package package;     // latest answer (valid only when `valid`)
+  double objective = 0;
+  bool valid = false;
+  std::string error;         // why `valid` is false (e.g. infeasible)
+  uint64_t version = 0;      // table version the answer reflects
+  size_t repairs = 0;        // batches that refreshed this query
+  size_t incremental_repairs = 0;  // ... repaired via ReEvaluatePackage
+};
+
 /// A session: an open catalog of tables plus cached partitionings and
 /// per-session options. Create with Engine::Open, then Execute PaQL text.
 ///
 /// Thread safety: once a session is set up (tables registered, options
 /// configured), Execute / ExecuteTopK / PlanQuery / Explain / DumpLp may
-/// run concurrently from many threads — the join cache is internally
-/// synchronized and the artifact cache is a thread-safe QueryCache. Setup
-/// itself is not synchronized: AddTable and options() must not run
-/// concurrently with query execution (the service scheduler clones
-/// per-query sessions precisely so each query can carry its own options).
+/// run concurrently from many threads — the table map and join cache are
+/// internally synchronized and the artifact cache is a thread-safe
+/// QueryCache. ApplyUpdates may also run concurrently with queries: it
+/// publishes a new copy-on-write snapshot, so an in-flight Execute keeps
+/// reading the version it resolved (writers serialize with each other).
+/// options() mutation is not synchronized: configure before sharing the
+/// session across threads (the service scheduler clones per-query sessions
+/// precisely so each query can carry its own options).
 class Session {
  public:
   /// Run one PaQL query end to end (parse -> validate -> compile -> plan
@@ -134,6 +174,42 @@ class Session {
   const std::shared_ptr<relation::BlockCache>& block_cache() const {
     return block_cache_;
   }
+
+  /// Apply one batch of inserts/deletes/updates to a registered table and
+  /// publish the result as a new copy-on-write snapshot. Queries already
+  /// executing keep reading the snapshot they resolved; queries that start
+  /// after this returns see the new version. The call also
+  ///  * absorbs the batch into every cached partitioning of the table
+  ///    (partition::AbsorbBatch), keeping SKETCHREFINE's offline artifact
+  ///    warm instead of invalidating it;
+  ///  * evicts the table's per-statement artifacts (their plans and warm
+  ///    bases described the replaced snapshot);
+  ///  * repairs every standing query watching the table (incrementally,
+  ///    via core::ReEvaluatePackage over the dirty groups, when the plan
+  ///    and cached partitioning allow it; by full re-execution otherwise).
+  /// Writers are serialized with each other; concurrent Execute calls are
+  /// safe and never observe a half-applied batch.
+  Result<UpdateResult> ApplyUpdates(const std::string& table_name,
+                                    const relation::TableDelta& delta);
+
+  /// Register `paql` as a standing query: it is executed immediately and
+  /// re-evaluated after every ApplyUpdates batch touching its table.
+  /// Returns the watch id. An initially infeasible query is still
+  /// registered (valid=false until data makes it feasible).
+  Result<uint64_t> Watch(std::string_view paql);
+
+  /// Remove a standing query. Returns false when the id is unknown.
+  bool Unwatch(uint64_t id);
+
+  /// Snapshot of one / all registered standing queries.
+  Result<StandingQuery> GetStandingQuery(uint64_t id) const;
+  std::vector<StandingQuery> standing_queries() const;
+
+  /// The current snapshot of a registered table — the same forgiving
+  /// lookup queries use (exact name, then case-insensitive). Callers that
+  /// build a TableDelta (paql_shell's \insert) read the schema from it.
+  Result<std::shared_ptr<const relation::ColumnSource>> GetTable(
+      const std::string& name) const;
 
   /// Mutable session options; changes apply to subsequent Execute calls.
   EngineOptions& options() { return options_; }
@@ -209,9 +285,26 @@ class Session {
   /// Mutable state that concurrent Execute calls share, behind one mutex
   /// (a pointer so Session stays movable).
   struct SyncState {
+    /// Guards tables_, join_cache, and the standing-query registry. Held
+    /// only for map/registry access, never across a solve.
     std::mutex mu;
+    /// Serializes ApplyUpdates writers with each other (readers keep
+    /// running under snapshot isolation). Ordered before `mu`: an updater
+    /// holds update_mu for the whole batch and takes mu briefly around
+    /// each shared-state access.
+    std::mutex update_mu;
     std::optional<JoinCacheEntry> join_cache;
+    std::map<uint64_t, StandingQuery> standing;
+    uint64_t next_watch_id = 1;
   };
+
+  /// Re-execute or incrementally repair one standing query after a batch
+  /// (called with update_mu held, mu released). `dirty` maps partition
+  /// cache keys to the batch's dirty group ids for that partitioning.
+  void RepairStandingQuery(StandingQuery* sq, uint64_t version,
+                           const std::map<std::string,
+                                          std::vector<uint32_t>>& dirty,
+                           UpdateResult* report);
 
   std::map<std::string, std::shared_ptr<const relation::ColumnSource>> tables_;
   std::shared_ptr<relation::BlockCache> block_cache_;

@@ -50,6 +50,32 @@ void QueryCache::StorePartitioning(
                   &stats_.evictions);
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const partition::Partitioning>>>
+QueryCache::PartitioningsFor(const std::string& table_name) {
+  std::string prefix = table_name + "|";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const partition::Partitioning>>>
+      out;
+  for (const auto& node : partitions_.order) {
+    if (node.key.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace_back(node.key, node.value);
+    }
+  }
+  return out;
+}
+
+size_t QueryCache::EvictTable(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return artifacts_.ErasePrefix(table_name + "\x1F") +
+         partitions_.ErasePrefix(table_name + "|");
+}
+
+size_t QueryCache::EvictStatements(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return artifacts_.ErasePrefix(table_name + "\x1F");
+}
+
 QueryCacheStats QueryCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryCacheStats out = stats_;

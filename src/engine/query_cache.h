@@ -34,6 +34,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "engine/planner.h"
 #include "lp/simplex.h"
@@ -101,6 +103,27 @@ class QueryCache {
       const std::string& key,
       std::shared_ptr<const partition::Partitioning> partitioning);
 
+  /// Every cached partitioning built for `table_name`, with its key: the
+  /// registry entries whose key starts with "table_name|". How the update
+  /// path (Session::ApplyUpdates) finds the partitionings to absorb a
+  /// batch into, so it can store the rebuilt artifacts back under the same
+  /// keys.
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const partition::Partitioning>>>
+  PartitioningsFor(const std::string& table_name);
+
+  /// Drop every entry touching `table_name`: per-statement artifacts
+  /// (their plan and warm basis described the replaced table instance) and
+  /// cached partitionings. Called when a catalog re-registers the name and
+  /// by the update path before it deposits freshly-absorbed partitionings.
+  /// Returns the number of entries dropped.
+  size_t EvictTable(const std::string& table_name);
+
+  /// Drop only the per-statement artifacts for `table_name`, keeping the
+  /// partition registry (whose entries the update path refreshes in
+  /// place). Returns the number of entries dropped.
+  size_t EvictStatements(const std::string& table_name);
+
   QueryCacheStats stats() const;
 
   /// Drop every entry (counters are kept; `entries` snapshots go to 0).
@@ -121,6 +144,19 @@ class QueryCache {
       if (it == index.end()) return nullptr;
       order.splice(order.begin(), order, it->second);
       return &order.front().value;
+    }
+    size_t ErasePrefix(const std::string& prefix) {
+      size_t dropped = 0;
+      for (auto it = order.begin(); it != order.end();) {
+        if (it->key.compare(0, prefix.size(), prefix) == 0) {
+          index.erase(it->key);
+          it = order.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+      return dropped;
     }
     /// Returns true when the key was new (an insertion, not a refresh).
     bool Put(const std::string& key, Value value, size_t capacity,

@@ -77,6 +77,10 @@ class Searcher {
     return solution;
   }
 
+  /// Statistics of the search so far; meaningful after Run() even when it
+  /// returned a failure status (infeasible / budget exceeded).
+  const IlpStats& stats() const { return stats_; }
+
  private:
   struct Frame {
     int var = -1;
@@ -1081,15 +1085,23 @@ lp::Model AddRootCuts(const lp::Model& model,
 Result<IlpSolution> RunSearch(const lp::Model& model,
                               const SolverLimits& limits,
                               const BranchAndBoundOptions& options,
-                              IlpWarmStart* warm) {
+                              IlpWarmStart* warm, IlpStats* stats_out) {
   int threads = ClampThreads(options.threads);
   if (threads > 1 && model.num_integer_vars() >= kMinVarsForParallelSearch &&
       options.branch_rule != BranchRule::kPseudoCost) {
     ParallelSearcher searcher(model, limits, options, warm, threads);
-    return searcher.Run();
+    auto solution = searcher.Run();
+    if (stats_out) {
+      *stats_out = solution.ok() ? solution->stats : searcher.FinalStats();
+    }
+    return solution;
   }
   Searcher searcher(model, limits, options, warm);
-  return searcher.Run();
+  auto solution = searcher.Run();
+  if (stats_out) {
+    *stats_out = solution.ok() ? solution->stats : searcher.stats();
+  }
+  return solution;
 }
 
 /// Cut-and-branch over a (possibly presolved) model: the pre-presolve
@@ -1097,10 +1109,10 @@ Result<IlpSolution> RunSearch(const lp::Model& model,
 Result<IlpSolution> SolveWithCuts(const lp::Model& model,
                                   const SolverLimits& limits,
                                   const BranchAndBoundOptions& options,
-                                  IlpWarmStart* warm) {
+                                  IlpWarmStart* warm, IlpStats* stats_out) {
   if (!options.cuts.enable || model.num_integer_vars() == 0 ||
       model.num_rows() == 0) {
-    return RunSearch(model, limits, options, warm);
+    return RunSearch(model, limits, options, warm, stats_out);
   }
   Stopwatch cut_watch;
   Deadline deadline(limits.time_limit_s);
@@ -1115,13 +1127,20 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
     search_limits.time_limit_s =
         std::max(1e-3, search_limits.time_limit_s - cut_seconds);
   }
-  auto solution = RunSearch(augmented, search_limits, options, warm);
+  auto solution = RunSearch(augmented, search_limits, options, warm, stats_out);
   if (solution.ok()) {
     solution->stats.cuts_added = cuts_added;
     solution->stats.cut_rounds = cut_rounds;
     solution->stats.lp_iterations += lp_iterations;
     solution->stats.pricing_candidate_hits += pricing_hits;
     solution->stats.wall_seconds += cut_seconds;
+  }
+  if (stats_out) {
+    stats_out->cuts_added = cuts_added;
+    stats_out->cut_rounds = cut_rounds;
+    stats_out->lp_iterations += lp_iterations;
+    stats_out->pricing_candidate_hits += pricing_hits;
+    stats_out->wall_seconds += cut_seconds;
   }
   return solution;
 }
@@ -1130,7 +1149,8 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
 
 Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
                              const BranchAndBoundOptions& options,
-                             IlpWarmStart* warm) {
+                             IlpWarmStart* warm, IlpStats* stats_out) {
+  if (stats_out) *stats_out = IlpStats{};
   // A caller-supplied warm context means consecutive solves over one
   // column set (the refine loop, top-k enumeration) reuse the stored root
   // basis. Presolve would reshape the model per call — its reductions
@@ -1141,12 +1161,17 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
   const bool warm_chain = warm != nullptr && warm->chain && options.warm_start;
   if (!options.presolve || warm_chain || model.num_vars() == 0 ||
       model.num_rows() == 0) {
-    return SolveWithCuts(model, limits, options, warm);
+    return SolveWithCuts(model, limits, options, warm, stats_out);
   }
   Stopwatch presolve_watch;
   lp::PresolveInfo info;
   lp::Model reduced = lp::PresolveModel(model, {}, &info);
   if (info.infeasible) {
+    if (stats_out) {
+      stats_out->presolve_fixed_vars = info.vars_fixed;
+      stats_out->presolve_dropped_rows = info.rows_dropped;
+      stats_out->wall_seconds = presolve_watch.ElapsedSeconds();
+    }
     return Status::Infeasible("presolve proved the model infeasible");
   }
   // The presolve pass spent part of the caller's budget on every path.
@@ -1168,10 +1193,11 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
     double presolve_seconds = presolve_watch.ElapsedSeconds();
     auto solution =
         SolveWithCuts(solve_model, deduct_presolve(presolve_seconds), options,
-                      warm);
+                      warm, stats_out);
     if (solution.ok()) {
       solution->stats.wall_seconds += presolve_seconds;
     }
+    if (stats_out) stats_out->wall_seconds += presolve_seconds;
     return solution;
   }
   // Objective contribution of the columns presolve removed (model sense).
@@ -1186,6 +1212,11 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
     IlpSolution solution;
     solution.x = lp::PostsolveSolution(info, {});
     if (!model.IsFeasible(solution.x, 1e-6)) {
+      if (stats_out) {
+        stats_out->presolve_fixed_vars = info.vars_fixed;
+        stats_out->presolve_dropped_rows = info.rows_dropped;
+        stats_out->wall_seconds = presolve_watch.ElapsedSeconds();
+      }
       return Status::Infeasible("presolve fixed the model to an infeasible point");
     }
     solution.objective = model.ObjectiveValue(solution.x);
@@ -1194,11 +1225,18 @@ Result<IlpSolution> SolveIlp(const lp::Model& model, const SolverLimits& limits,
     solution.stats.presolve_fixed_vars = info.vars_fixed;
     solution.stats.presolve_dropped_rows = info.rows_dropped;
     solution.stats.wall_seconds = presolve_watch.ElapsedSeconds();
+    if (stats_out) *stats_out = solution.stats;
     return solution;
   }
   double presolve_seconds = presolve_watch.ElapsedSeconds();
   auto solution =
-      SolveWithCuts(reduced, deduct_presolve(presolve_seconds), options, warm);
+      SolveWithCuts(reduced, deduct_presolve(presolve_seconds), options, warm,
+                    stats_out);
+  if (stats_out) {
+    stats_out->presolve_fixed_vars = info.vars_fixed;
+    stats_out->presolve_dropped_rows = info.rows_dropped;
+    stats_out->wall_seconds += presolve_seconds;
+  }
   if (!solution.ok()) return solution;
   solution->x = lp::PostsolveSolution(info, solution->x);
   solution->objective = model.ObjectiveValue(solution->x);

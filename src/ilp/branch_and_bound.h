@@ -146,10 +146,18 @@ struct IlpWarmStart {
 ///
 /// `warm` (optional) carries the root basis across consecutive solves; it
 /// is only consulted when options.warm_start is on.
+///
+/// `stats_out` (optional) receives the search statistics on every outcome,
+/// including kInfeasible and kResourceExhausted — the work the solver
+/// performed before concluding is real even when there is no solution to
+/// attach it to (incremental re-evaluation reports the abandoned
+/// subproblem's effort this way). On success it equals the returned
+/// solution's stats.
 Result<IlpSolution> SolveIlp(const lp::Model& model,
                              const SolverLimits& limits = {},
                              const BranchAndBoundOptions& options = {},
-                             IlpWarmStart* warm = nullptr);
+                             IlpWarmStart* warm = nullptr,
+                             IlpStats* stats_out = nullptr);
 
 /// Solve only the LP relaxation (used by tests and diagnostics).
 lp::LpResult SolveLpRelaxation(const lp::Model& model,

@@ -328,7 +328,7 @@ Result<Partitioning> MakePartitioningFromGroups(
   out.attributes = attributes;
   out.size_threshold = size_threshold;
   out.radius_limit = radius_limit;
-  out.gid.assign(table.num_rows(), UINT32_MAX);
+  out.gid.assign(table.num_rows(), kNoGroup);
   out.groups = std::move(groups);
   out.radius.resize(out.groups.size());
   for (size_t g = 0; g < out.groups.size(); ++g) {
@@ -339,7 +339,7 @@ Result<Partitioning> MakePartitioningFromGroups(
       if (r >= table.num_rows()) {
         return Status::InvalidArgument(StrCat("row ", r, " out of range"));
       }
-      if (out.gid[r] != UINT32_MAX) {
+      if (out.gid[r] != kNoGroup) {
         return Status::InvalidArgument(StrCat("row ", r, " in two groups"));
       }
       out.gid[r] = static_cast<uint32_t>(g);
@@ -353,9 +353,9 @@ Result<Partitioning> MakePartitioningFromGroups(
     out.radius[g] = GroupRadius(table, out.groups[g], cols, centroid);
   });
   for (RowId r = 0; r < table.num_rows(); ++r) {
-    if (out.gid[r] == UINT32_MAX) {
+    if (out.gid[r] == kNoGroup && !table.RowDeleted(r)) {
       return Status::InvalidArgument(
-          StrCat("row ", r, " not covered by any group"));
+          StrCat("live row ", r, " not covered by any group"));
     }
   }
   PAQL_ASSIGN_OR_RETURN(out.representatives,

@@ -51,13 +51,19 @@ struct PartitionOptions {
   int threads = 1;
 };
 
+/// Sentinel gid for rows outside every group. Only deleted rows of a
+/// versioned table (relation/table_version.h) may carry it: live rows are
+/// always covered (MakePartitioningFromGroups enforces this).
+inline constexpr uint32_t kNoGroup = UINT32_MAX;
+
 /// The partitioning artifact P = {(G_j, t~_j)}.
 struct Partitioning {
   std::vector<std::string> attributes;  // copy of the partitioning attrs
   size_t size_threshold = 0;
   double radius_limit = 0;
 
-  /// Per-row group id, dense in [0, num_groups()).
+  /// Per-row group id, dense in [0, num_groups()); kNoGroup for deleted
+  /// rows of a versioned table.
   std::vector<uint32_t> gid;
 
   /// Rows of each group.
@@ -83,9 +89,10 @@ Result<Partitioning> PartitionTable(const relation::ColumnSource& table,
 
 /// Assemble a Partitioning artifact from an explicit group assignment:
 /// computes gids, centroids, radii, and the representative relation. Groups
-/// must be disjoint and cover every row of `table`. Shared by all
-/// partitioning methods (quad tree, k-means, k-d tree, grid) so that they
-/// produce interchangeable artifacts.
+/// must be disjoint and cover every live row of `table` (deleted rows of a
+/// versioned table may be left out; they get gid == kNoGroup). Shared by
+/// all partitioning methods (quad tree, k-means, k-d tree, grid) so that
+/// they produce interchangeable artifacts.
 Result<Partitioning> MakePartitioningFromGroups(
     const relation::ColumnSource& table, const std::vector<std::string>& attributes,
     size_t size_threshold, double radius_limit,

@@ -96,6 +96,21 @@ class ColumnSource {
     return false;
   }
 
+  // --- Delete visibility (versioned sources; see relation/table_version.h) ---
+
+  /// True when `row` has been deleted in this snapshot. Deleted rows keep
+  /// their row id (ids are never reused) but are invisible to query
+  /// evaluation: the base-relation scans and package validation skip them.
+  /// Plain sources (Table, DiskTable) have no deletes.
+  virtual bool RowDeleted(RowId row) const {
+    (void)row;
+    return false;
+  }
+
+  /// Cheap guard for the scan paths: false means no RowDeleted call can
+  /// return true, so scans skip the per-row check entirely.
+  virtual bool has_deleted_rows() const { return false; }
+
   /// Rows with non-NULL values in all the given columns.
   virtual std::vector<RowId> NonNullRows(const std::vector<size_t>& cols) const;
 

@@ -1,0 +1,336 @@
+#include "relation/table_version.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace paql::relation {
+
+TableVersion::TableVersion(std::shared_ptr<const ColumnSource> base,
+                           Table appended, std::vector<uint8_t> deleted,
+                           size_t num_deleted, uint64_t version)
+    : base_(std::move(base)),
+      base_rows_(base_->num_rows()),
+      appended_(std::move(appended)),
+      deleted_(std::move(deleted)),
+      num_deleted_(num_deleted),
+      version_(version) {}
+
+Result<std::shared_ptr<const TableVersion>> TableVersion::Wrap(
+    std::shared_ptr<const ColumnSource> base) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("TableVersion::Wrap: base must not be null");
+  }
+  Table empty(base->schema());
+  return std::shared_ptr<const TableVersion>(new TableVersion(
+      std::move(base), std::move(empty), /*deleted=*/{}, 0, /*version=*/0));
+}
+
+Result<std::shared_ptr<const TableVersion>> TableVersion::Apply(
+    const TableDelta& delta) const {
+  // Validate + apply the deletes against a copy of the bitmap first, so a
+  // bad batch changes nothing. The bitmap only needs to cover this
+  // version's row space: appended rows of the *next* version are live by
+  // construction (RowDeleted reads rows past the end as live).
+  std::vector<uint8_t> deleted = deleted_;
+  size_t num_deleted = num_deleted_;
+  for (RowId r : delta.deletes) {
+    if (r >= num_rows()) {
+      return Status::InvalidArgument(
+          StrCat("DELETE row ", r, " out of range (table has ", num_rows(),
+                 " rows)"));
+    }
+    if (r < deleted.size() && deleted[r] != 0) {
+      return Status::InvalidArgument(
+          StrCat("DELETE row ", r, " is already deleted"));
+    }
+    if (deleted.size() <= r) deleted.resize(num_rows(), 0);
+    deleted[r] = 1;
+    ++num_deleted;
+  }
+
+  Table appended = appended_;
+  appended.Reserve(appended.num_rows() + delta.inserts.size());
+  for (const std::vector<Value>& row : delta.inserts) {
+    PAQL_RETURN_IF_ERROR(appended.AppendRow(row));
+  }
+
+  return std::shared_ptr<const TableVersion>(
+      new TableVersion(base_, std::move(appended), std::move(deleted),
+                       num_deleted, version_ + 1));
+}
+
+namespace {
+
+/// Scalar fill for the spans the base/append split cannot delegate whole
+/// (a chunk straddling the boundary, or a gather list touching both
+/// sides). At most one contiguous chunk per scan straddles, so this path
+/// is cold.
+void ScalarLoad(const TableVersion& v, size_t col, const RowSpan& span,
+                bool null_mask, NumericBatch* out) {
+  out->ClearNulls();
+  for (uint32_t i = 0; i < span.len; ++i) {
+    RowId r = span.row(i);
+    if (null_mask && v.IsNull(r, col)) {
+      out->SetNull(i);
+    } else {
+      out->values[i] = v.GetDouble(r, col);
+    }
+  }
+}
+
+/// Classify a gather list against the base/append boundary. Gather lists
+/// carry no ordering contract (RowSpan allows any permutation — the refine
+/// loop's activity sweeps concatenate groups out of row order), so every
+/// lane is inspected.
+enum class GatherSide { kAllBase, kAllAppend, kMixed };
+
+GatherSide ClassifyGather(const RowSpan& span, size_t base_rows) {
+  bool any_base = false, any_append = false;
+  for (uint32_t i = 0; i < span.len; ++i) {
+    if (span.rows[i] < base_rows) {
+      any_base = true;
+    } else {
+      any_append = true;
+    }
+  }
+  if (any_base && any_append) return GatherSide::kMixed;
+  return any_append ? GatherSide::kAllAppend : GatherSide::kAllBase;
+}
+
+}  // namespace
+
+void TableVersion::LoadChunk(size_t col, const RowSpan& span,
+                             NumericBatch* out) const {
+  if (span.len == 0) {
+    out->ClearNulls();
+    return;
+  }
+  if (span.contiguous()) {
+    if (span.start + span.len <= base_rows_) {
+      base_->LoadChunk(col, span, out);
+      return;
+    }
+    if (span.start >= base_rows_) {
+      RowSpan shifted = span;
+      shifted.start = span.start - static_cast<RowId>(base_rows_);
+      appended_.LoadChunk(col, shifted, out);
+      return;
+    }
+  } else {
+    switch (ClassifyGather(span, base_rows_)) {
+      case GatherSide::kAllBase:
+        base_->LoadChunk(col, span, out);
+        return;
+      case GatherSide::kAllAppend: {
+        std::array<RowId, kChunkSize> shifted;
+        for (uint32_t i = 0; i < span.len; ++i) {
+          shifted[i] = span.rows[i] - static_cast<RowId>(base_rows_);
+        }
+        RowSpan sub;
+        sub.rows = shifted.data();
+        sub.len = span.len;
+        appended_.LoadChunk(col, sub, out);
+        return;
+      }
+      case GatherSide::kMixed:
+        break;
+    }
+  }
+  ScalarLoad(*this, col, span, /*null_mask=*/true, out);
+}
+
+void TableVersion::LoadChunkRaw(size_t col, const RowSpan& span,
+                                NumericBatch* out) const {
+  if (span.len == 0) {
+    out->ClearNulls();
+    return;
+  }
+  if (span.contiguous()) {
+    if (span.start + span.len <= base_rows_) {
+      base_->LoadChunkRaw(col, span, out);
+      return;
+    }
+    if (span.start >= base_rows_) {
+      RowSpan shifted = span;
+      shifted.start = span.start - static_cast<RowId>(base_rows_);
+      appended_.LoadChunkRaw(col, shifted, out);
+      return;
+    }
+  } else {
+    switch (ClassifyGather(span, base_rows_)) {
+      case GatherSide::kAllBase:
+        base_->LoadChunkRaw(col, span, out);
+        return;
+      case GatherSide::kAllAppend: {
+        std::array<RowId, kChunkSize> shifted;
+        for (uint32_t i = 0; i < span.len; ++i) {
+          shifted[i] = span.rows[i] - static_cast<RowId>(base_rows_);
+        }
+        RowSpan sub;
+        sub.rows = shifted.data();
+        sub.len = span.len;
+        appended_.LoadChunkRaw(col, sub, out);
+        return;
+      }
+      case GatherSide::kMixed:
+        break;
+    }
+  }
+  ScalarLoad(*this, col, span, /*null_mask=*/false, out);
+}
+
+bool TableVersion::ZoneFor(size_t col, size_t block, BlockZone* zone) const {
+  // Only blocks wholly inside the base have (the base's) statistics. They
+  // describe a superset of the live rows — deletes can only narrow the
+  // true min/max — so pruning against them stays conservative.
+  if ((block + 1) * kMorselRows <= base_rows_) {
+    return base_->ZoneFor(col, block, zone);
+  }
+  return false;
+}
+
+std::vector<RowId> TableVersion::NonNullRows(
+    const std::vector<size_t>& cols) const {
+  std::vector<RowId> out;
+  const size_t n = num_rows();
+  out.reserve(n - num_deleted_);
+  for (RowId r = 0; r < n; ++r) {
+    if (RowDeleted(r)) continue;
+    bool keep = true;
+    for (size_t c : cols) {
+      if (IsNull(r, c)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(r);
+  }
+  return out;
+}
+
+size_t TableVersion::ApproximateBytes() const {
+  return base_->ApproximateBytes() + appended_.ApproximateBytes() +
+         deleted_.capacity();
+}
+
+// ---------------------------------------------------------------------------
+// Delta text parsing (shared by paql_shell \insert and the INSERT verb)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<Value> ParseField(std::string_view field, const ColumnDef& col) {
+  field = Trim(field);
+  if (field.empty() || field == "NULL" || field == "null") {
+    return Value::Null();
+  }
+  std::string text(field);
+  switch (col.type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("column '", col.name, "': '", text,
+                   "' is not an integer"));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrCat("column '", col.name, "': '", text, "' is not a number"));
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(std::move(text));
+  }
+  return Status::InvalidArgument("unknown column type");
+}
+
+}  // namespace
+
+Status ParseInsertRows(const Schema& schema, std::string_view text,
+                       TableDelta* delta) {
+  if (Trim(text).empty()) {
+    return Status::InvalidArgument(
+        "no rows given (expected v1,v2,...[;v1,v2,...])");
+  }
+  for (std::string_view row_text : Split(text, ';')) {
+    row_text = Trim(row_text);
+    if (row_text.empty()) continue;
+    std::vector<std::string_view> fields = Split(row_text, ',');
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrCat("row '", std::string(row_text), "' has ", fields.size(),
+                 " fields, schema has ", schema.num_columns(), " columns"));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      PAQL_ASSIGN_OR_RETURN(Value v, ParseField(fields[c], schema.column(c)));
+      row.push_back(std::move(v));
+    }
+    delta->Insert(std::move(row));
+  }
+  if (delta->inserts.empty()) {
+    return Status::InvalidArgument("no rows given");
+  }
+  return Status::OK();
+}
+
+Status ParseDeleteRows(std::string_view text, TableDelta* delta) {
+  bool any = false;
+  for (std::string_view id_text : Split(text, ',')) {
+    id_text = Trim(id_text);
+    if (id_text.empty()) continue;
+    uint32_t row = 0;
+    auto [ptr, ec] =
+        std::from_chars(id_text.data(), id_text.data() + id_text.size(), row);
+    if (ec != std::errc() || ptr != id_text.data() + id_text.size()) {
+      return Status::InvalidArgument(
+          StrCat("'", std::string(id_text), "' is not a row id"));
+    }
+    delta->Delete(row);
+    any = true;
+  }
+  if (!any) {
+    return Status::InvalidArgument("no row ids given (expected id[,id...])");
+  }
+  return Status::OK();
+}
+
+}  // namespace paql::relation

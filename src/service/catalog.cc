@@ -53,6 +53,46 @@ Status Catalog::AddTable(std::string name,
   return Status::OK();
 }
 
+Status Catalog::ReplaceTable(
+    std::string name, std::shared_ptr<const relation::ColumnSource> table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  bool replaced = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto next = std::make_shared<TableMap>(*tables_);
+    replaced = next->count(name) > 0;
+    (*next)[name] = std::move(table);
+    tables_ = std::move(next);
+  }
+  // A re-registered name is a different table: plans, warm bases, and
+  // partitionings cached for it describe data that no longer exists under
+  // the name.
+  if (replaced) cache_->EvictTable(name);
+  return Status::OK();
+}
+
+Status Catalog::PublishVersion(
+    const std::string& name,
+    std::shared_ptr<const relation::ColumnSource> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_->count(name) == 0) {
+    return Status::NotFound(
+        StrCat("table '", name, "' is not registered in the catalog"));
+  }
+  auto next = std::make_shared<TableMap>(*tables_);
+  (*next)[name] = std::move(table);
+  tables_ = std::move(next);
+  return Status::OK();
+}
+
 Status Catalog::AddTableFromCsv(const std::string& path) {
   auto table = relation::ReadCsv(path);
   if (!table.ok()) return table.status();

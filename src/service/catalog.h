@@ -50,6 +50,25 @@ class Catalog {
   Status AddTable(std::string name,
                   std::shared_ptr<const relation::ColumnSource> table);
 
+  /// Register-or-replace: publish `table` under `name`, replacing any
+  /// previous registration. In-flight queries keep their snapshot; new
+  /// sessions see the replacement. Replacing proactively evicts every
+  /// QueryCache entry for the name — per-statement artifacts AND cached
+  /// partitionings — because a re-registered name is an unrelated table
+  /// (pointer-identity checks would make stale artifact entries dead
+  /// weight, and stale partitionings must not be absorbed into).
+  Status ReplaceTable(std::string name,
+                      std::shared_ptr<const relation::ColumnSource> table);
+
+  /// Publish a new *version* of an already-registered table (the update
+  /// path: Session::ApplyUpdates produced `table` from the current
+  /// registration). Unlike ReplaceTable this does NOT touch the
+  /// QueryCache — the caller just refreshed the partition registry by
+  /// absorbing the batch, and evicted the statement artifacts itself.
+  /// Fails with kNotFound when `name` was never registered.
+  Status PublishVersion(const std::string& name,
+                        std::shared_ptr<const relation::ColumnSource> table);
+
   /// Read a CSV file and register it under its basename (sans extension).
   Status AddTableFromCsv(const std::string& path);
 

@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -43,19 +44,32 @@ bool SendAll(int fd, const std::string& data) {
 
 }  // namespace
 
-std::string FormatResultLines(const QueryResult& result, int64_t micros) {
+namespace {
+
+std::string FormatPackageLine(const core::Package& package,
+                              double objective) {
   std::ostringstream os;
-  os << "PKG " << result.package.rows.size() << " " << result.objective;
-  for (size_t i = 0; i < result.package.rows.size(); ++i) {
-    os << " " << result.package.rows[i] << ":"
-       << result.package.multiplicity[i];
+  os << "PKG " << package.rows.size() << " " << objective;
+  for (size_t i = 0; i < package.rows.size(); ++i) {
+    os << " " << package.rows[i] << ":" << package.multiplicity[i];
   }
-  os << "\nOK " << micros << "\n";
   return os.str();
 }
 
-Server::Server(const Catalog& catalog, ServerOptions options)
-    : scheduler_(catalog, options.scheduler), options_(std::move(options)) {}
+}  // namespace
+
+std::string FormatResultLines(const QueryResult& result, int64_t micros) {
+  std::ostringstream os;
+  os << FormatPackageLine(result.package, result.objective) << "\nOK "
+     << micros << "\n";
+  return os.str();
+}
+
+Server::Server(Catalog& catalog, ServerOptions options)
+    : catalog_(&catalog),
+      scheduler_(catalog, options.scheduler),
+      registry_(&catalog, options.scheduler.engine),
+      options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
@@ -183,6 +197,7 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
   if (verb == "STATS") {
     SchedulerStats s = scheduler_.stats();
     engine::QueryCacheStats c = scheduler_.cache_stats();
+    StandingQueryStats u = registry_.stats();
     std::ostringstream os;
     os << "STATS active=" << s.active << " waiting=" << s.waiting
        << " admitted=" << s.admitted << " completed=" << s.completed
@@ -190,8 +205,23 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
        << " cache_hits=" << c.hits << " cache_misses=" << c.misses
        << " cache_entries=" << c.entries
        << " partition_hits=" << c.partition_hits
-       << " partition_entries=" << c.partition_entries << "\n";
+       << " partition_entries=" << c.partition_entries
+       << " update_batches=" << u.batches
+       << " rows_inserted=" << u.rows_inserted
+       << " rows_deleted=" << u.rows_deleted << " watches=" << u.watches
+       << " repairs=" << u.repairs
+       << " incremental_repairs=" << u.incremental << "\n";
     *response = os.str();
+    return true;
+  }
+
+  if (verb == "INSERT" || verb == "DELETE") {
+    HandleUpdate(verb == "INSERT", rest, response);
+    return true;
+  }
+
+  if (verb == "WATCH") {
+    HandleWatch(rest, response);
     return true;
   }
 
@@ -216,8 +246,109 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
   }
 
   *response = StrCat("ERR unknown command '", OneLine(verb),
-                     "' (RUN, BATCH, STATS, QUIT)\n");
+                     "' (RUN, BATCH, INSERT, DELETE, WATCH, STATS, QUIT)\n");
   return true;
+}
+
+void Server::HandleUpdate(bool is_insert, const std::string& rest,
+                          std::string* response) {
+  size_t name_start = rest.find_first_not_of(" \t");
+  if (name_start == std::string::npos) {
+    *response = StrCat("ERR ", is_insert ? "INSERT" : "DELETE",
+                       " needs a table name\n");
+    return;
+  }
+  size_t name_end = rest.find_first_of(" \t", name_start);
+  std::string table = rest.substr(name_start, name_end - name_start);
+  std::string payload =
+      name_end == std::string::npos ? std::string() : rest.substr(name_end + 1);
+  if (payload.find_first_not_of(" \t") == std::string::npos) {
+    *response = StrCat("ERR ", is_insert ? "INSERT needs rows" : "DELETE needs row ids",
+                       "\n");
+    return;
+  }
+
+  relation::TableDelta delta;
+  if (is_insert) {
+    auto snapshot = catalog_->Snapshot();
+    auto it = snapshot->find(table);
+    if (it == snapshot->end()) {
+      *response = StrCat("ERR table '", OneLine(table),
+                         "' is not registered\n");
+      return;
+    }
+    Status parsed =
+        relation::ParseInsertRows(it->second->schema(), payload, &delta);
+    if (!parsed.ok()) {
+      *response = StrCat("ERR ", OneLine(parsed.message()), "\n");
+      return;
+    }
+  } else {
+    Status parsed = relation::ParseDeleteRows(payload, &delta);
+    if (!parsed.ok()) {
+      *response = StrCat("ERR ", OneLine(parsed.message()), "\n");
+      return;
+    }
+  }
+
+  Stopwatch watch;
+  auto result = registry_.ApplyUpdates(table, delta);
+  int64_t micros = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+  if (!result.ok()) {
+    *response = StrCat("ERR ", OneLine(result.status().message()), "\n");
+    return;
+  }
+  std::ostringstream os;
+  os << "UPD inserted=" << result->rows_inserted
+     << " deleted=" << result->rows_deleted
+     << " version=" << result->version << " dirty=" << result->dirty_groups
+     << " repaired=" << result->standing_repaired
+     << " incremental=" << result->standing_incremental << "\nOK " << micros
+     << "\n";
+  *response = os.str();
+}
+
+void Server::HandleWatch(const std::string& rest, std::string* response) {
+  std::string trimmed = rest;
+  size_t start = trimmed.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    *response = "ERR WATCH needs a PaQL statement or a watch id\n";
+    return;
+  }
+  size_t end = trimmed.find_last_not_of(" \t");
+  trimmed = trimmed.substr(start, end - start + 1);
+
+  Stopwatch watch;
+  StandingQuery sq;
+  if (trimmed.find_first_not_of("0123456789") == std::string::npos) {
+    // WATCH <id>: look up the standing query's current package.
+    auto got = registry_.Get(std::strtoull(trimmed.c_str(), nullptr, 10));
+    if (!got.ok()) {
+      *response = StrCat("ERR ", OneLine(got.status().message()), "\n");
+      return;
+    }
+    sq = std::move(*got);
+  } else {
+    auto id = registry_.Watch(trimmed);
+    if (!id.ok()) {
+      *response = StrCat("ERR ", OneLine(id.status().message()), "\n");
+      return;
+    }
+    auto got = registry_.Get(*id);
+    if (!got.ok()) {
+      *response = StrCat("ERR ", OneLine(got.status().message()), "\n");
+      return;
+    }
+    sq = std::move(*got);
+  }
+  int64_t micros = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
+  std::ostringstream os;
+  os << "WATCH " << sq.id << " valid=" << (sq.valid ? 1 : 0) << "\n";
+  if (sq.valid) {
+    os << FormatPackageLine(sq.package, sq.objective) << "\n";
+  }
+  os << "OK " << micros << "\n";
+  *response = os.str();
 }
 
 }  // namespace paql::service

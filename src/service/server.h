@@ -11,6 +11,14 @@
 //   RUN <paql>      (interactive)      PKG <count> <objective> <id:mult...>
 //                                      OK <micros>
 //   BATCH <paql>    (batch class)      (same as RUN)
+//   INSERT <table> <v,v,..>[;<v,..>]   UPD inserted=.. deleted=.. version=..
+//                                          dirty=.. repaired=.. incremental=..
+//                                      OK <micros>
+//   DELETE <table> <id>[,<id>...]      (same as INSERT)
+//   WATCH <paql>                       WATCH <id> valid=<0|1>
+//                                      PKG ... (when valid)
+//                                      OK <micros>
+//   WATCH <id>      (look up)          (same as WATCH <paql>)
 //   STATS                              STATS active=... hits=... ...
 //   QUIT                               (connection closes)
 //   <anything else / failed query>     ERR <one-line message>
@@ -18,6 +26,15 @@
 // `id:mult` pairs are the package rows (ascending row id) with their
 // multiplicities — enough for a client to verify bit-identical results
 // against a serial run, which the service tests and bench do.
+//
+// INSERT/DELETE flow through the server's StandingQueryRegistry: one
+// serialized writer advances the table's version chain, keeps every
+// WATCHed package query fresh (incrementally over the dirty partition
+// groups where the plan allows), and publishes the new snapshot to the
+// catalog — queries racing the update read a consistent version either
+// way. INSERT rows are comma-separated field lists in schema order
+// (`NULL` or an empty field for NULL); multiple rows are separated by
+// semicolons. DELETE takes comma-separated row ids.
 #ifndef PAQL_SERVICE_SERVER_H_
 #define PAQL_SERVICE_SERVER_H_
 
@@ -31,6 +48,7 @@
 
 #include "service/catalog.h"
 #include "service/scheduler.h"
+#include "service/standing_query.h"
 
 namespace paql::service {
 
@@ -49,8 +67,9 @@ std::string FormatResultLines(const QueryResult& result, int64_t micros);
 
 class Server {
  public:
-  /// `catalog` must outlive the server.
-  Server(const Catalog& catalog, ServerOptions options = {});
+  /// `catalog` must outlive the server. Mutable because INSERT/DELETE
+  /// publish new table versions back to it.
+  Server(Catalog& catalog, ServerOptions options = {});
 
   /// Stops and joins everything (equivalent to Stop()).
   ~Server();
@@ -72,13 +91,23 @@ class Server {
   QueryScheduler& scheduler() { return scheduler_; }
   const QueryScheduler& scheduler() const { return scheduler_; }
 
+  StandingQueryRegistry& registry() { return registry_; }
+  const StandingQueryRegistry& registry() const { return registry_; }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
   /// One protocol line in, the response lines out. Returns false on QUIT.
   bool HandleLine(const std::string& line, std::string* response);
+  /// INSERT/DELETE: parse the batch against the catalog schema, apply it
+  /// through the registry, format the UPD/OK (or ERR) response.
+  void HandleUpdate(bool is_insert, const std::string& rest,
+                    std::string* response);
+  void HandleWatch(const std::string& rest, std::string* response);
 
+  Catalog* catalog_;
   QueryScheduler scheduler_;
+  StandingQueryRegistry registry_;
   ServerOptions options_;
 
   std::atomic<bool> running_{false};

@@ -1,0 +1,93 @@
+#include "service/standing_query.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+
+namespace paql::service {
+
+StandingQueryRegistry::StandingQueryRegistry(Catalog* catalog,
+                                             EngineOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+Status StandingQueryRegistry::EnsureSessionLocked() {
+  if (!session_.has_value()) {
+    PAQL_ASSIGN_OR_RETURN(Session session, catalog_->OpenSession(options_));
+    session_.emplace(std::move(session));
+    return Status::OK();
+  }
+  // Tables registered with the catalog after the session opened: adopt
+  // them. Tables the session already has keep their session-side version
+  // chain (the catalog snapshot is republished from it, never the other
+  // way around), so an AddTable failure on a duplicate name is expected
+  // and fine — only genuinely new names insert.
+  auto snapshot = catalog_->Snapshot();
+  for (const auto& [name, table] : *snapshot) {
+    (void)session_->AddTable(name, table);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> StandingQueryRegistry::Watch(const std::string& paql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAQL_RETURN_IF_ERROR(EnsureSessionLocked());
+  PAQL_ASSIGN_OR_RETURN(uint64_t id, session_->Watch(paql));
+  stats_.watches = session_->standing_queries().size();
+  return id;
+}
+
+bool StandingQueryRegistry::Unwatch(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!session_.has_value()) return false;
+  bool removed = session_->Unwatch(id);
+  stats_.watches = session_->standing_queries().size();
+  return removed;
+}
+
+Result<StandingQuery> StandingQueryRegistry::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!session_.has_value()) {
+    return Status::NotFound(StrCat("no standing query with id ", id));
+  }
+  return session_->GetStandingQuery(id);
+}
+
+std::vector<StandingQuery> StandingQueryRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!session_.has_value()) return {};
+  return session_->standing_queries();
+}
+
+Result<UpdateResult> StandingQueryRegistry::ApplyUpdates(
+    const std::string& table_name, const relation::TableDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAQL_RETURN_IF_ERROR(EnsureSessionLocked());
+  // The batch — absorption and standing-query repair included — runs as
+  // batch-class work: interactive queries preempt it at morsel and
+  // branch-and-bound node boundaries.
+  UpdateResult result;
+  {
+    ScopedWorkClass batch_class(WorkClass::kBatch);
+    PAQL_ASSIGN_OR_RETURN(result,
+                          session_->ApplyUpdates(table_name, delta));
+  }
+  // Publish the snapshot so every session opened from now on reads the new
+  // version. (Statement artifacts were evicted and partitionings refreshed
+  // by Session::ApplyUpdates on the shared process-wide QueryCache.)
+  PAQL_RETURN_IF_ERROR(
+      catalog_->PublishVersion(result.table_name, result.table));
+  ++stats_.batches;
+  stats_.rows_inserted += static_cast<int64_t>(result.rows_inserted);
+  stats_.rows_deleted += static_cast<int64_t>(result.rows_deleted);
+  stats_.repairs += static_cast<int64_t>(result.standing_repaired);
+  stats_.incremental += static_cast<int64_t>(result.standing_incremental);
+  return result;
+}
+
+StandingQueryStats StandingQueryRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace paql::service

@@ -1,0 +1,91 @@
+// service::StandingQueryRegistry — the service's streaming-update front
+// door: one long-lived writer session that applies update batches, keeps K
+// registered package queries fresh after each batch, and publishes each new
+// table version back to the shared catalog.
+//
+// Why a registry instead of letting every connection call ApplyUpdates on
+// its own session: the catalog hands every session the *same* table
+// instances and one process-wide QueryCache, so the update path must be a
+// single writer too — otherwise two connections would fork the version
+// chain (each applying its batch to the version it last saw) and the
+// catalog would publish whichever finished last. The registry serializes
+// batches, applies them on its private session (whose table map tracks the
+// catalog), repairs the standing queries incrementally (dirty groups only,
+// via core::ReEvaluatePackage) where the plan allows, and then publishes
+// the new snapshot with Catalog::PublishVersion so subsequent OpenSession
+// calls see it.
+//
+// Repairs run as batch-class work (common/thread_pool.h's WorkClass):
+// every morsel claim and branch-and-bound node of a repair solve is a
+// preemption point, so an interactive query arriving mid-repair starts
+// immediately and the repair steps aside in bounded slices — updates never
+// add tail latency to point queries.
+#ifndef PAQL_SERVICE_STANDING_QUERY_H_
+#define PAQL_SERVICE_STANDING_QUERY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "relation/table_version.h"
+#include "service/catalog.h"
+
+namespace paql::service {
+
+/// Registry counters (a consistent snapshot).
+struct StandingQueryStats {
+  int64_t batches = 0;         // ApplyUpdates calls that published
+  int64_t rows_inserted = 0;
+  int64_t rows_deleted = 0;
+  int64_t repairs = 0;          // standing-query refreshes performed
+  int64_t incremental = 0;      // ... of which via ReEvaluatePackage
+  size_t watches = 0;           // currently registered standing queries
+};
+
+class StandingQueryRegistry {
+ public:
+  /// `catalog` must outlive the registry. `options` configures the writer
+  /// session (planner thresholds, solver budgets for repairs).
+  explicit StandingQueryRegistry(Catalog* catalog,
+                                 EngineOptions options = {});
+
+  /// Register a PaQL statement as a standing query: executed once now,
+  /// re-evaluated after every batch touching its table. Returns the watch
+  /// id (process-unique within this registry).
+  Result<uint64_t> Watch(const std::string& paql);
+
+  /// Remove a standing query. Returns false when the id is unknown.
+  bool Unwatch(uint64_t id);
+
+  /// Current state of one / all standing queries.
+  Result<StandingQuery> Get(uint64_t id) const;
+  std::vector<StandingQuery> List() const;
+
+  /// Apply one batch to `table_name`: advance the version chain, absorb
+  /// the batch into the cached partitionings, repair the standing queries
+  /// (incrementally where possible), and publish the new snapshot to the
+  /// catalog. Batches are serialized; queries keep running concurrently
+  /// under snapshot isolation.
+  Result<UpdateResult> ApplyUpdates(const std::string& table_name,
+                                    const relation::TableDelta& delta);
+
+  StandingQueryStats stats() const;
+
+ private:
+  /// Open the writer session on first use and sync any tables registered
+  /// with the catalog after the previous call. Requires mu_.
+  Status EnsureSessionLocked();
+
+  Catalog* catalog_;
+  EngineOptions options_;
+  mutable std::mutex mu_;
+  std::optional<Session> session_;
+  StandingQueryStats stats_;
+};
+
+}  // namespace paql::service
+
+#endif  // PAQL_SERVICE_STANDING_QUERY_H_

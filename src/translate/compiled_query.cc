@@ -104,10 +104,25 @@ Result<CompiledQuery> CompiledQuery::Compile(const lang::PackageQuery& query,
   return cq;
 }
 
+namespace {
+
+/// Strip a versioned table's deleted rows from a scan result. The batch
+/// pipeline scans the full row space (delete bits are not a column, so the
+/// kernels cannot see them); this post-pass restores the live-rows-only
+/// contract of the scalar path.
+void EraseDeletedRows(const ColumnSource& table, std::vector<RowId>* rows) {
+  if (!table.has_deleted_rows()) return;
+  std::erase_if(*rows, [&](RowId r) { return table.RowDeleted(r); });
+}
+
+}  // namespace
+
 std::vector<RowId> CompiledQuery::ComputeBaseRows(const ColumnSource& table) const {
   std::vector<RowId> rows;
   rows.reserve(table.num_rows());
+  const bool check_deleted = table.has_deleted_rows();
   for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (check_deleted && table.RowDeleted(r)) continue;
     if (!base_pred_ || base_pred_(table, r)) rows.push_back(r);
   }
   return rows;
@@ -116,20 +131,31 @@ std::vector<RowId> CompiledQuery::ComputeBaseRows(const ColumnSource& table) con
 std::vector<RowId> CompiledQuery::ComputeBaseRowsVectorized(
     const ColumnSource& table, int threads, ScanCounters* counters) const {
   if (!base_pred_batch_) return ComputeBaseRows(table);
-  return FilterTableVectorized(table, base_pred_batch_, threads,
-                               &base_zone_ranges_, counters);
+  std::vector<RowId> rows = FilterTableVectorized(
+      table, base_pred_batch_, threads, &base_zone_ranges_, counters);
+  EraseDeletedRows(table, &rows);
+  return rows;
 }
 
 std::vector<RowId> CompiledQuery::FilterBaseRows(
     const ColumnSource& table, const std::vector<RowId>& rows, bool vectorized,
     int threads) const {
-  if (!base_pred_) return rows;
+  if (!base_pred_) {
+    std::vector<RowId> out = rows;
+    EraseDeletedRows(table, &out);
+    return out;
+  }
   if (vectorized && base_pred_batch_) {
-    return FilterRowsVectorized(table, rows, base_pred_batch_, threads);
+    std::vector<RowId> out =
+        FilterRowsVectorized(table, rows, base_pred_batch_, threads);
+    EraseDeletedRows(table, &out);
+    return out;
   }
   std::vector<RowId> out;
   out.reserve(rows.size());
+  const bool check_deleted = table.has_deleted_rows();
   for (RowId r : rows) {
+    if (check_deleted && table.RowDeleted(r)) continue;
     if (base_pred_(table, r)) out.push_back(r);
   }
   return out;

@@ -123,7 +123,10 @@ class CompiledQuery {
       bool vectorized, int threads = 1) const;
 
   /// Per-row base-predicate test (true when the query has no WHERE).
+  /// Deleted rows of a versioned table never qualify: the base relation
+  /// R_beta is defined over the live rows of the snapshot.
   bool BaseAccepts(const relation::ColumnSource& table, relation::RowId row) const {
+    if (table.has_deleted_rows() && table.RowDeleted(row)) return false;
     return !base_pred_ || base_pred_(table, row);
   }
 

@@ -156,6 +156,245 @@ TEST(AbsorbTest, ShrunkTableRejected) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// AbsorbBatch: deletions (and mixed insert+delete batches)
+// ---------------------------------------------------------------------------
+
+/// Invariants for a partitioning over a table with deleted rows: every
+/// live row in exactly one group, every deleted row at kNoGroup.
+void CheckInvariantsWithDeletes(const relation::ColumnSource& t,
+                                const Partitioning& p) {
+  ASSERT_EQ(p.gid.size(), t.num_rows());
+  std::set<RowId> seen;
+  size_t live = 0;
+  for (size_t g = 0; g < p.num_groups(); ++g) {
+    EXPECT_FALSE(p.groups[g].empty()) << "group " << g;
+    if (p.size_threshold > 0) {
+      EXPECT_LE(p.groups[g].size(), p.size_threshold) << "group " << g;
+    }
+    for (RowId r : p.groups[g]) {
+      EXPECT_FALSE(t.RowDeleted(r)) << "deleted row " << r << " in group";
+      EXPECT_EQ(p.gid[r], g);
+      EXPECT_TRUE(seen.insert(r).second) << "row " << r << " duplicated";
+    }
+  }
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (!t.RowDeleted(r)) ++live;
+    if (t.RowDeleted(r) && p.gid[r] != kNoGroup) {
+      // A deleted row may only carry kNoGroup.
+      ADD_FAILURE() << "deleted row " << r << " still mapped to group "
+                    << p.gid[r];
+    }
+  }
+  EXPECT_EQ(seen.size(), live);
+  EXPECT_EQ(p.representatives.num_rows(), p.num_groups());
+}
+
+/// A Table plus a delete bitmap — the minimal ColumnSource AbsorbBatch
+/// sees when the engine hands it a relation::TableVersion.
+class DeletableTable : public relation::ColumnSource {
+ public:
+  DeletableTable(Table table, std::vector<RowId> deleted)
+      : table_(std::move(table)), deleted_(table_.num_rows(), 0) {
+    for (RowId r : deleted) deleted_[r] = 1;
+  }
+  const relation::Schema& schema() const override { return table_.schema(); }
+  size_t num_rows() const override { return table_.num_rows(); }
+  bool IsNull(RowId r, size_t c) const override { return table_.IsNull(r, c); }
+  double GetDouble(RowId r, size_t c) const override {
+    return table_.GetDouble(r, c);
+  }
+  int64_t GetInt64(RowId r, size_t c) const override {
+    return table_.GetInt64(r, c);
+  }
+  const std::string& GetString(RowId r, size_t c) const override {
+    return table_.GetString(r, c);
+  }
+  relation::Value GetValue(RowId r, size_t c) const override {
+    return table_.GetValue(r, c);
+  }
+  void LoadChunk(size_t c, const relation::RowSpan& s,
+                 relation::NumericBatch* out) const override {
+    table_.LoadChunk(c, s, out);
+  }
+  void LoadChunkRaw(size_t c, const relation::RowSpan& s,
+                    relation::NumericBatch* out) const override {
+    table_.LoadChunkRaw(c, s, out);
+  }
+  bool ZoneFor(size_t c, size_t b, BlockZone* z) const override {
+    return table_.ZoneFor(c, b, z);
+  }
+  std::vector<RowId> NonNullRows(
+      const std::vector<size_t>& cols) const override {
+    std::vector<RowId> rows = table_.NonNullRows(cols);
+    std::erase_if(rows, [this](RowId r) { return deleted_[r] != 0; });
+    return rows;
+  }
+  size_t ApproximateBytes() const override {
+    return table_.ApproximateBytes();
+  }
+  bool RowDeleted(RowId r) const override {
+    return r < deleted_.size() && deleted_[r] != 0;
+  }
+  bool has_deleted_rows() const override {
+    return std::find(deleted_.begin(), deleted_.end(), uint8_t{1}) !=
+           deleted_.end();
+  }
+
+ private:
+  Table table_;
+  std::vector<uint8_t> deleted_;
+};
+
+TEST(AbsorbBatchTest, DeletedRowsLeaveTheirGroupsAndMarkThemDirty) {
+  Table t = MakePoints(100, 21);
+  Partitioning p = MustPartition(t, 30);
+  std::vector<RowId> deletes = {3, 40, 77};
+  DeletableTable dt(std::move(t), deletes);
+  auto r = AbsorbBatch(dt, p, deletes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows_removed, 3u);
+  CheckInvariantsWithDeletes(dt, r->partitioning);
+  std::set<uint32_t> dirty(r->dirty_groups.begin(), r->dirty_groups.end());
+  EXPECT_FALSE(dirty.empty());
+  // Clean groups kept an exact old membership (possibly under a new id).
+  std::set<std::vector<RowId>> old_memberships(p.groups.begin(),
+                                               p.groups.end());
+  for (size_t g = 0; g < r->partitioning.num_groups(); ++g) {
+    if (dirty.count(static_cast<uint32_t>(g))) continue;
+    EXPECT_TRUE(old_memberships.count(r->partitioning.groups[g]))
+        << "clean group " << g << " changed membership";
+  }
+}
+
+TEST(AbsorbBatchTest, UnderfullGroupsDissolveIntoNeighbors) {
+  // Two tight clusters partitioned with tau = 25: deleting most of one
+  // cluster leaves its group below tau/4, so it dissolves and its
+  // survivors join the other cluster's group.
+  Table t = MakePoints(25, 22, 0.0, 10.0);
+  AppendPoints(&t, 25, 23, 90.0, 100.0);
+  Partitioning p = MustPartition(t, 25);
+  ASSERT_GE(p.num_groups(), 2u);
+  // Delete all but 2 rows of the first cluster.
+  std::vector<RowId> deletes;
+  for (RowId r = 0; r < 23; ++r) deletes.push_back(r);
+  DeletableTable dt(std::move(t), deletes);
+  auto r = AbsorbBatch(dt, p, deletes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows_removed, 23u);
+  EXPECT_GT(r->groups_merged, 0u);
+  CheckInvariantsWithDeletes(dt, r->partitioning);
+}
+
+TEST(AbsorbBatchTest, FullyDeletedGroupsAreDropped) {
+  Table t = MakePoints(60, 24);
+  Partitioning p = MustPartition(t, 20);
+  size_t groups_before = p.num_groups();
+  ASSERT_GE(groups_before, 2u);
+  // Wipe out group 0 entirely.
+  std::vector<RowId> deletes(p.groups[0].begin(), p.groups[0].end());
+  DeletableTable dt(std::move(t), deletes);
+  auto r = AbsorbBatch(dt, p, deletes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->groups_dropped + r->groups_merged, 0u);
+  EXPECT_LT(r->partitioning.num_groups(), groups_before);
+  CheckInvariantsWithDeletes(dt, r->partitioning);
+}
+
+TEST(AbsorbBatchTest, MixedBatchAbsorbsAndRemovesInOnePass) {
+  Table t = MakePoints(90, 25);
+  Partitioning p = MustPartition(t, 30);
+  std::vector<RowId> deletes = {10, 11, 55};
+  AppendPoints(&t, 12, 26, 20.0, 60.0);
+  DeletableTable dt(std::move(t), deletes);
+  auto r = AbsorbBatch(dt, p, deletes);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows_absorbed, 12u);
+  EXPECT_EQ(r->rows_removed, 3u);
+  CheckInvariantsWithDeletes(dt, r->partitioning);
+  // Appended rows landed in dirty groups only.
+  std::set<uint32_t> dirty(r->dirty_groups.begin(), r->dirty_groups.end());
+  for (RowId row = 90; row < dt.num_rows(); ++row) {
+    EXPECT_TRUE(dirty.count(r->partitioning.gid[row])) << "row " << row;
+  }
+}
+
+TEST(AbsorbBatchTest, InvalidDeletesRejectTheWholeBatch) {
+  Table t = MakePoints(40, 27);
+  Partitioning p = MustPartition(t, 15);
+  {
+    auto r = AbsorbBatch(t, p, {static_cast<RowId>(t.num_rows())});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto r = AbsorbBatch(t, p, {5, 5});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(AbsorbBatchTest, AbsorbedArtifactAbsorbsAgain) {
+  // Artifact reuse across rounds: the rebuilt partitioning (with kNoGroup
+  // holes from round 1) must absorb a second batch cleanly.
+  Table t = MakePoints(80, 28);
+  Partitioning p = MustPartition(t, 25);
+  std::vector<RowId> round1 = {1, 2, 3, 30};
+  AppendPoints(&t, 8, 29, 10.0, 90.0);
+  DeletableTable dt1(t, round1);
+  auto r1 = AbsorbBatch(dt1, p, round1);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  CheckInvariantsWithDeletes(dt1, r1->partitioning);
+
+  std::vector<RowId> round2 = {40, 41, 85};
+  AppendPoints(&t, 6, 30, 0.0, 100.0);
+  std::vector<RowId> all_deleted = round1;
+  all_deleted.insert(all_deleted.end(), round2.begin(), round2.end());
+  DeletableTable dt2(std::move(t), all_deleted);
+  auto r2 = AbsorbBatch(dt2, r1->partitioning, round2);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->rows_removed, 3u);
+  EXPECT_EQ(r2->rows_absorbed, 6u);
+  CheckInvariantsWithDeletes(dt2, r2->partitioning);
+}
+
+class AbsorbBatchSeedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbsorbBatchSeedTest, InvariantsHoldUnderRandomMixedBatches) {
+  unsigned seed = GetParam();
+  Rng rng(seed * 104729);
+  Table t = MakePoints(50 + static_cast<int>(rng.UniformInt(0, 80)),
+                       seed * 19 + 3);
+  Partitioning p = MustPartition(t, 12 + seed % 21);
+  std::vector<RowId> all_deleted;
+  std::set<RowId> deleted_set;
+  for (int round = 0; round < 3; ++round) {
+    // Random deletes among still-live old rows.
+    std::vector<RowId> batch_deletes;
+    size_t old_rows = p.gid.size();
+    int want = static_cast<int>(rng.UniformInt(0, 12));
+    for (int i = 0; i < want; ++i) {
+      RowId r = static_cast<RowId>(
+          rng.UniformInt(0, static_cast<int64_t>(old_rows) - 1));
+      if (deleted_set.insert(r).second) batch_deletes.push_back(r);
+    }
+    double lo = rng.Uniform(0.0, 80.0);
+    AppendPoints(&t, static_cast<int>(rng.UniformInt(0, 20)),
+                 seed * 37 + static_cast<uint64_t>(round), lo, lo + 20.0);
+    all_deleted.insert(all_deleted.end(), batch_deletes.begin(),
+                       batch_deletes.end());
+    DeletableTable dt(t, all_deleted);
+    auto r = AbsorbBatch(dt, p, batch_deletes);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << " round " << round << ": "
+                        << r.status();
+    CheckInvariantsWithDeletes(dt, r->partitioning);
+    EXPECT_EQ(r->rows_removed, batch_deletes.size());
+    p = std::move(r->partitioning);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbBatchSeedTest, ::testing::Range(1u, 11u));
+
 class AbsorbSeedTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(AbsorbSeedTest, InvariantsHoldUnderRandomAppendBatches) {

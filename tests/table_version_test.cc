@@ -1,0 +1,246 @@
+#include "relation/table_version.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "relation/column_source.h"
+#include "relation/table.h"
+
+namespace paql::relation {
+namespace {
+
+Table MakeBase(int n) {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"x", DataType::kDouble},
+                  {"tag", DataType::kString}})};
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        t.AppendRow({Value(i), Value(i * 1.5), Value(std::string("t"))}).ok());
+  }
+  return t;
+}
+
+std::shared_ptr<const TableVersion> MustWrap(int n) {
+  auto base = std::make_shared<Table>(MakeBase(n));
+  auto v = TableVersion::Wrap(base);
+  EXPECT_TRUE(v.ok()) << v.status();
+  return *v;
+}
+
+std::shared_ptr<const TableVersion> MustApply(
+    const std::shared_ptr<const TableVersion>& v, const TableDelta& delta) {
+  auto next = v->Apply(delta);
+  EXPECT_TRUE(next.ok()) << next.status();
+  return *next;
+}
+
+TEST(TableVersionTest, WrapIsVersionZeroWithIdenticalRows) {
+  auto v0 = MustWrap(10);
+  EXPECT_EQ(v0->version(), 0u);
+  EXPECT_EQ(v0->num_rows(), 10u);
+  EXPECT_EQ(v0->num_live_rows(), 10u);
+  EXPECT_FALSE(v0->has_deleted_rows());
+  for (RowId r = 0; r < 10; ++r) {
+    EXPECT_FALSE(v0->RowDeleted(r));
+    EXPECT_EQ(v0->GetInt64(r, 0), static_cast<int64_t>(r));
+    EXPECT_DOUBLE_EQ(v0->GetDouble(r, 1), r * 1.5);
+  }
+}
+
+TEST(TableVersionTest, AppendedRowsGetFreshStableIds) {
+  auto v0 = MustWrap(5);
+  TableDelta delta;
+  delta.Insert({Value(int64_t{100}), Value(7.0), Value(std::string("new"))});
+  delta.Insert({Value(int64_t{101}), Value(8.0), Value(std::string("new"))});
+  auto v1 = MustApply(v0, delta);
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_EQ(v1->num_rows(), 7u);
+  EXPECT_EQ(v1->base_rows(), 5u);
+  EXPECT_EQ(v1->appended_rows(), 2u);
+  EXPECT_EQ(v1->GetInt64(5, 0), 100);
+  EXPECT_EQ(v1->GetInt64(6, 0), 101);
+  EXPECT_EQ(v1->GetString(6, 2), "new");
+  // The prior snapshot is untouched.
+  EXPECT_EQ(v0->num_rows(), 5u);
+}
+
+TEST(TableVersionTest, DeletesAreBitmapOnlyAndSnapshotIsolated) {
+  auto v0 = MustWrap(8);
+  TableDelta delta;
+  delta.Delete(2);
+  delta.Delete(5);
+  auto v1 = MustApply(v0, delta);
+  EXPECT_EQ(v1->num_rows(), 8u);  // ids keep their positions
+  EXPECT_EQ(v1->num_live_rows(), 6u);
+  EXPECT_TRUE(v1->has_deleted_rows());
+  EXPECT_TRUE(v1->RowDeleted(2));
+  EXPECT_TRUE(v1->RowDeleted(5));
+  EXPECT_FALSE(v1->RowDeleted(4));
+  // Deleted rows still answer point reads (callers filter by RowDeleted).
+  EXPECT_EQ(v1->GetInt64(2, 0), 2);
+  // In-flight readers of v0 never see the deletes.
+  EXPECT_FALSE(v0->RowDeleted(2));
+  EXPECT_EQ(v0->num_live_rows(), 8u);
+}
+
+TEST(TableVersionTest, UpdateIsDeletePlusReInsert) {
+  auto v0 = MustWrap(4);
+  TableDelta delta;
+  delta.Update(1, {Value(int64_t{99}), Value(0.5), Value(std::string("u"))});
+  auto v1 = MustApply(v0, delta);
+  EXPECT_TRUE(v1->RowDeleted(1));
+  EXPECT_EQ(v1->num_rows(), 5u);
+  EXPECT_EQ(v1->num_live_rows(), 4u);
+  EXPECT_EQ(v1->GetInt64(4, 0), 99);  // fresh id past the old end
+}
+
+TEST(TableVersionTest, BadBatchChangesNothing) {
+  auto v0 = MustWrap(6);
+  {
+    TableDelta out_of_range;
+    out_of_range.Delete(6);
+    EXPECT_FALSE(v0->Apply(out_of_range).ok());
+  }
+  {
+    TableDelta twice;
+    twice.Delete(3);
+    twice.Delete(3);
+    EXPECT_FALSE(v0->Apply(twice).ok());
+  }
+  {
+    TableDelta bad_row;
+    bad_row.Insert({Value(int64_t{1})});  // wrong arity
+    EXPECT_FALSE(v0->Apply(bad_row).ok());
+  }
+  EXPECT_EQ(v0->num_rows(), 6u);
+  EXPECT_EQ(v0->num_live_rows(), 6u);
+}
+
+TEST(TableVersionTest, DoubleDeleteAcrossVersionsRejected) {
+  auto v0 = MustWrap(6);
+  TableDelta first;
+  first.Delete(1);
+  auto v1 = MustApply(v0, first);
+  TableDelta again;
+  again.Delete(1);
+  auto v2 = v1->Apply(again);
+  ASSERT_FALSE(v2.ok());
+  EXPECT_EQ(v2.status().code(), StatusCode::kInvalidArgument);
+  // The same row is still deletable from the older snapshot, whose bitmap
+  // never saw the first batch.
+  EXPECT_TRUE(v0->Apply(again).ok());
+}
+
+TEST(TableVersionTest, LoadChunkStraddlingTheBaseBoundaryMatchesPointReads) {
+  auto v0 = MustWrap(10);
+  TableDelta delta;
+  for (int i = 0; i < 6; ++i) {
+    delta.Insert({Value(int64_t{200 + i}), Value(100.0 + i),
+                  Value(std::string("a"))});
+  }
+  auto v1 = MustApply(v0, delta);
+
+  // Contiguous span covering base-only, append-only, and the straddle.
+  for (RowId start : {RowId{0}, RowId{8}, RowId{10}, RowId{12}}) {
+    uint32_t len = static_cast<uint32_t>(
+        std::min<size_t>(4, v1->num_rows() - start));
+    RowSpan span;
+    span.start = start;
+    span.len = len;
+    NumericBatch batch;
+    v1->LoadChunk(1, span, &batch);
+    for (uint32_t i = 0; i < len; ++i) {
+      EXPECT_DOUBLE_EQ(batch.values[i], v1->GetDouble(start + i, 1))
+          << "row " << start + i;
+    }
+  }
+
+  // Gather lists touching both sides. RowSpan carries no ordering
+  // contract, so unsorted lists must route correctly too — including ones
+  // whose first/last entries both land on one side of the boundary while
+  // the middle crosses it.
+  for (std::vector<RowId> rows :
+       {std::vector<RowId>{1, 9, 10, 15}, std::vector<RowId>{15, 3, 12, 0},
+        std::vector<RowId>{4, 13, 2}, std::vector<RowId>{11, 5, 14}}) {
+    RowSpan gather;
+    gather.rows = rows.data();
+    gather.len = static_cast<uint32_t>(rows.size());
+    NumericBatch batch;
+    v1->LoadChunk(1, gather, &batch);
+    for (uint32_t i = 0; i < gather.len; ++i) {
+      EXPECT_DOUBLE_EQ(batch.values[i], v1->GetDouble(rows[i], 1))
+          << "gather lane " << i << " (row " << rows[i] << ")";
+    }
+    v1->LoadChunkRaw(1, gather, &batch);
+    for (uint32_t i = 0; i < gather.len; ++i) {
+      EXPECT_DOUBLE_EQ(batch.values[i], v1->GetDouble(rows[i], 1));
+    }
+  }
+}
+
+TEST(TableVersionTest, NonNullRowsSkipsDeleted) {
+  auto v0 = MustWrap(6);
+  TableDelta delta;
+  delta.Delete(0);
+  delta.Delete(4);
+  delta.Insert({Value(int64_t{50}), Value(1.0), Value(std::string("z"))});
+  auto v1 = MustApply(v0, delta);
+  std::vector<RowId> live = v1->NonNullRows({1});
+  EXPECT_EQ(live, (std::vector<RowId>{1, 2, 3, 5, 6}));
+}
+
+TEST(TableVersionTest, VersionsChainAndShareTheBase) {
+  auto v0 = MustWrap(4);
+  TableDelta ins;
+  ins.Insert({Value(int64_t{10}), Value(2.0), Value(std::string("b"))});
+  auto v1 = MustApply(v0, ins);
+  TableDelta del;
+  del.Delete(0);
+  auto v2 = MustApply(v1, del);
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_EQ(v1->base().get(), v0->base().get());
+  EXPECT_EQ(v2->base().get(), v0->base().get());
+  EXPECT_EQ(v2->num_live_rows(), 4u);
+  // Appends accumulated in v1 carry into v2.
+  EXPECT_EQ(v2->GetInt64(4, 0), 10);
+}
+
+TEST(ParseInsertRowsTest, ParsesTypedFieldsAndNulls) {
+  Schema schema({{"id", DataType::kInt64},
+                 {"x", DataType::kDouble},
+                 {"tag", DataType::kString}});
+  TableDelta delta;
+  ASSERT_TRUE(
+      ParseInsertRows(schema, "1, 2.5, hello; 2, NULL, ; 3,4,x", &delta).ok());
+  ASSERT_EQ(delta.inserts.size(), 3u);
+  EXPECT_EQ(delta.inserts[0][0].AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(delta.inserts[0][1].AsDouble(), 2.5);
+  EXPECT_EQ(delta.inserts[0][2].AsString(), "hello");
+  EXPECT_TRUE(delta.inserts[1][1].is_null());
+  EXPECT_TRUE(delta.inserts[1][2].is_null());  // empty field
+}
+
+TEST(ParseInsertRowsTest, RejectsArityAndTypeMismatches) {
+  Schema schema({{"id", DataType::kInt64}, {"x", DataType::kDouble}});
+  TableDelta delta;
+  EXPECT_FALSE(ParseInsertRows(schema, "1,2,3", &delta).ok());
+  EXPECT_FALSE(ParseInsertRows(schema, "notanint,2.0", &delta).ok());
+  EXPECT_FALSE(ParseInsertRows(schema, "1,notadouble", &delta).ok());
+  EXPECT_FALSE(ParseInsertRows(schema, "   ", &delta).ok());
+}
+
+TEST(ParseDeleteRowsTest, ParsesIdListsAndRejectsJunk) {
+  TableDelta delta;
+  ASSERT_TRUE(ParseDeleteRows(" 3, 1 ,8 ", &delta).ok());
+  EXPECT_EQ(delta.deletes, (std::vector<RowId>{3, 1, 8}));
+  TableDelta bad;
+  EXPECT_FALSE(ParseDeleteRows("1,two,3", &bad).ok());
+  EXPECT_FALSE(ParseDeleteRows("", &bad).ok());
+  EXPECT_FALSE(ParseDeleteRows("-4", &bad).ok());
+}
+
+}  // namespace
+}  // namespace paql::relation
