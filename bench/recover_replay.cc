@@ -1,0 +1,321 @@
+// Durability bench: what the WAL costs on the write path and what it
+// delivers on the recovery path (writes BENCH_recover.json).
+//
+// Section 1 — append overhead. The same deterministic update stream runs
+// through Session::ApplyUpdates three times: WAL off, WAL with batched
+// fsync (the default), WAL with fsync-per-record. The PR's promise is
+// that batched fsync keeps end-to-end update overhead under 10%; the
+// fsync-per-record number is reported so the cost of the strongest
+// setting is visible, not gated (it is dominated by device sync latency).
+// A raw WalWriter loop additionally reports records/s per sync policy,
+// isolating the log from the rest of the update path.
+//
+// Section 2 — replay throughput. A WAL carrying ~1M inserted rows (at
+// scale 1) is replayed twice: ReplayWal alone (decode + CRC throughput)
+// and Session::RecoverFromWal (full recovery: decode + re-apply +
+// version-chain rebuild). The bench aborts unless the recovered session
+// matches the live one exactly — version, live-row count, and sampled
+// cells — so BENCH_recover.json only ever records recoveries that were
+// correct.
+//
+// Usage: recover_replay [--rows N] [--batches B] [--quick] [--scale f]
+#include <filesystem>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "relation/table_version.h"
+#include "relation/wal.h"
+
+namespace paql::bench {
+namespace {
+
+using relation::DataType;
+using relation::RowId;
+using relation::Schema;
+using relation::Table;
+using relation::TableDelta;
+using relation::TableVersion;
+using relation::Value;
+using relation::WalOptions;
+using relation::WalRecord;
+using relation::WalSync;
+using relation::WalWriter;
+
+struct RecoverConfig {
+  size_t replay_rows = 1'000'000;  // rows carried by the replayed WAL
+  int overhead_batches = 40;       // batches in the append-overhead stream
+  size_t overhead_batch_rows = 500;
+  BenchConfig base;
+};
+
+RecoverConfig ParseRecoverArgs(int argc, char** argv) {
+  RecoverConfig config;
+  if (const char* env = std::getenv("PAQL_BENCH_SCALE")) {
+    config.base.scale = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--rows" && i + 1 < argc) {
+      config.replay_rows = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--batches" && i + 1 < argc) {
+      config.overhead_batches = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--scale" && i + 1 < argc) {
+      config.base.scale = std::atof(argv[++i]);
+    } else if (arg == "--quick") {
+      config.base.quick = true;
+    } else {
+      std::cerr << "ignoring unknown bench argument: " << arg << "\n";
+    }
+  }
+  if (config.base.scale <= 0) config.base.scale = 1.0;
+  config.replay_rows =
+      static_cast<size_t>(config.replay_rows * config.base.scale);
+  if (config.base.quick) {
+    config.replay_rows = std::min<size_t>(config.replay_rows, 100'000);
+    config.overhead_batches = std::min(config.overhead_batches, 10);
+  }
+  return config;
+}
+
+std::string TempDirFor(const char* leaf) {
+  auto path = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+Table SeedTable(size_t rows) {
+  Table t{Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}})};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRowUnchecked({Value(static_cast<int64_t>(i)),
+                          Value(static_cast<double>((i * 31) % 1009))});
+  }
+  return t;
+}
+
+/// Deterministic batch `b`: `rows` inserts, plus one delete per prior
+/// batch (a row inserted by batch b-1, so it is live in every schedule).
+TableDelta BatchDelta(int b, size_t rows, size_t seed_rows) {
+  TableDelta delta;
+  Rng rng(4242 + b);
+  for (size_t i = 0; i < rows; ++i) {
+    delta.Insert({Value(static_cast<int64_t>(1'000'000 + b * 100'000) +
+                        static_cast<int64_t>(i)),
+                  Value(rng.Uniform(0.0, 1000.0))});
+  }
+  if (b > 0) delta.Delete(static_cast<RowId>(seed_rows + (b - 1) * rows));
+  return delta;
+}
+
+/// Run the overhead stream once; returns total ApplyUpdates seconds.
+/// The stream carries a standing query, so each batch pays the realistic
+/// price of an update — absorption plus standing-query repair — and the
+/// WAL append is measured against real work, not an empty loop.
+double TimeUpdateStream(const RecoverConfig& config, const WalOptions* wal) {
+  auto session = Engine::Open(SeedTable(10'000), "R");
+  PAQL_CHECK_MSG(session.ok(), session.status().ToString());
+  if (wal != nullptr) {
+    Status durable = session->EnableDurability(*wal);
+    PAQL_CHECK_MSG(durable.ok(), durable.ToString());
+  }
+  auto watch_id = session->Watch(
+      "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+      "SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.v)");
+  PAQL_CHECK_MSG(watch_id.ok(), watch_id.status().ToString());
+  Stopwatch watch;
+  for (int b = 0; b < config.overhead_batches; ++b) {
+    auto applied = session->ApplyUpdates(
+        "R", BatchDelta(b, config.overhead_batch_rows, 10'000));
+    PAQL_CHECK_MSG(applied.ok(), applied.status().ToString());
+  }
+  return watch.ElapsedSeconds();
+}
+
+/// Raw WalWriter throughput for one sync policy: records/s over `n`
+/// appends of a representative small delta record.
+double RawAppendRecordsPerSec(WalSync sync, int n, const char* leaf) {
+  WalOptions wal;
+  wal.dir = TempDirFor(leaf);
+  wal.sync = sync;
+  auto writer = WalWriter::Open(wal);
+  PAQL_CHECK_MSG(writer.ok(), writer.status().ToString());
+  WalRecord record;
+  record.kind = WalRecord::Kind::kDelta;
+  record.table = "R";
+  record.delta = BatchDelta(1, 8, 0);
+  Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    record.base_version = static_cast<uint64_t>(i);
+    Status appended = (*writer)->Append(record);
+    PAQL_CHECK_MSG(appended.ok(), appended.ToString());
+  }
+  double seconds = watch.ElapsedSeconds();
+  std::filesystem::remove_all(wal.dir);
+  return seconds > 0 ? n / seconds : 0;
+}
+
+int Run(int argc, char** argv) {
+  RecoverConfig config = ParseRecoverArgs(argc, argv);
+  std::cout << "recover_replay: replay_rows=" << config.replay_rows
+            << " overhead_batches=" << config.overhead_batches
+            << (config.base.quick ? " (quick)" : "") << "\n\n";
+
+  // --- Section 1: append overhead on the live update path. ---
+  WalOptions batch_wal;
+  batch_wal.dir = TempDirFor("paql_bench_wal_batch");
+  batch_wal.sync = WalSync::kBatch;
+  WalOptions always_wal;
+  always_wal.dir = TempDirFor("paql_bench_wal_always");
+  always_wal.sync = WalSync::kAlways;
+
+  // Warm-up pass (page cache, allocator), then the measured passes.
+  (void)TimeUpdateStream(config, nullptr);
+  double no_wal_s = TimeUpdateStream(config, nullptr);
+  double batch_s = TimeUpdateStream(config, &batch_wal);
+  double always_s = TimeUpdateStream(config, &always_wal);
+  double overhead_batch_pct = (batch_s / no_wal_s - 1.0) * 100.0;
+  double overhead_always_pct = (always_s / no_wal_s - 1.0) * 100.0;
+  std::cout << "ApplyUpdates stream (" << config.overhead_batches
+            << " batches x " << config.overhead_batch_rows << " rows):\n"
+            << "  no WAL        " << FormatDouble(no_wal_s, 3) << "s\n"
+            << "  fsync batched " << FormatDouble(batch_s, 3) << "s  (+"
+            << FormatDouble(overhead_batch_pct, 3) << "%)\n"
+            << "  fsync always  " << FormatDouble(always_s, 3) << "s  (+"
+            << FormatDouble(overhead_always_pct, 3) << "%)\n";
+
+  const int raw_appends = config.base.quick ? 2'000 : 20'000;
+  double raw_none = RawAppendRecordsPerSec(WalSync::kNone, raw_appends,
+                                           "paql_bench_wal_raw_none");
+  double raw_batch = RawAppendRecordsPerSec(WalSync::kBatch, raw_appends,
+                                            "paql_bench_wal_raw_batch");
+  double raw_always = RawAppendRecordsPerSec(
+      WalSync::kAlways, std::min(raw_appends, 2'000),
+      "paql_bench_wal_raw_always");
+  std::cout << "raw WalWriter appends/s: none="
+            << FormatDouble(raw_none, 6) << " batch="
+            << FormatDouble(raw_batch, 6) << " always="
+            << FormatDouble(raw_always, 6) << "\n\n";
+
+  // --- Section 2: replay throughput. ---
+  // Build a log carrying ~replay_rows inserted rows in 10k-row batches.
+  const size_t batch_rows = 10'000;
+  const int replay_batches =
+      static_cast<int>((config.replay_rows + batch_rows - 1) / batch_rows);
+  WalOptions replay_wal;
+  replay_wal.dir = TempDirFor("paql_bench_wal_replay");
+  replay_wal.sync = WalSync::kBatch;
+  const size_t seed_rows = 10'000;
+
+  auto live = Engine::Open(SeedTable(seed_rows), "R");
+  PAQL_CHECK_MSG(live.ok(), live.status().ToString());
+  PAQL_CHECK_MSG(live->EnableDurability(replay_wal).ok(),
+                 "EnableDurability failed");
+  size_t total_rows = 0;
+  for (int b = 0; b < replay_batches; ++b) {
+    auto applied =
+        live->ApplyUpdates("R", BatchDelta(b, batch_rows, seed_rows));
+    PAQL_CHECK_MSG(applied.ok(), applied.status().ToString());
+    total_rows += batch_rows;
+  }
+
+  // Raw replay: decode + CRC, no re-application.
+  Stopwatch raw_watch;
+  size_t replayed_records = 0, replayed_rows = 0;
+  auto raw_stats = ReplayWal(replay_wal, [&](const WalRecord& record) {
+    ++replayed_records;
+    replayed_rows += record.delta.inserts.size();
+    return Status::OK();
+  });
+  double raw_replay_s = raw_watch.ElapsedSeconds();
+  PAQL_CHECK_MSG(raw_stats.ok(), raw_stats.status().ToString());
+  PAQL_CHECK_MSG(!raw_stats->torn_tail, "bench WAL should end cleanly");
+  PAQL_CHECK_MSG(replayed_rows == total_rows, "replayed row count mismatch");
+
+  // Full recovery into a fresh session.
+  auto recovered = Engine::Open(SeedTable(seed_rows), "R");
+  PAQL_CHECK_MSG(recovered.ok(), recovered.status().ToString());
+  Stopwatch recover_watch;
+  auto rec_stats = recovered->RecoverFromWal(replay_wal);
+  double recover_s = recover_watch.ElapsedSeconds();
+  PAQL_CHECK_MSG(rec_stats.ok(), rec_stats.status().ToString());
+
+  // Correctness gate: the recovered session is the live session.
+  auto live_table = live->GetTable("R");
+  auto rec_table = recovered->GetTable("R");
+  PAQL_CHECK_MSG(live_table.ok() && rec_table.ok(), "GetTable failed");
+  auto live_version =
+      std::dynamic_pointer_cast<const TableVersion>(*live_table);
+  auto rec_version =
+      std::dynamic_pointer_cast<const TableVersion>(*rec_table);
+  PAQL_CHECK_MSG(live_version != nullptr && rec_version != nullptr,
+                 "expected TableVersion snapshots");
+  bool recovered_matches =
+      live_version->version() == rec_version->version() &&
+      live_version->num_live_rows() == rec_version->num_live_rows() &&
+      live_version->num_rows() == rec_version->num_rows();
+  for (RowId r = 0; recovered_matches && r < live_version->num_rows();
+       r += 997) {
+    recovered_matches =
+        live_version->RowDeleted(r) == rec_version->RowDeleted(r) &&
+        (live_version->RowDeleted(r) ||
+         (live_version->GetInt64(r, 0) == rec_version->GetInt64(r, 0) &&
+          live_version->GetDouble(r, 1) == rec_version->GetDouble(r, 1)));
+  }
+  PAQL_CHECK_MSG(recovered_matches,
+                 "recovered session diverged from the live session");
+
+  double raw_rows_per_s = raw_replay_s > 0 ? total_rows / raw_replay_s : 0;
+  double recover_rows_per_s = recover_s > 0 ? total_rows / recover_s : 0;
+  std::cout << "replay of " << replayed_records << " records / "
+            << total_rows << " rows:\n"
+            << "  decode only   " << FormatDouble(raw_replay_s, 3) << "s  ("
+            << FormatDouble(raw_rows_per_s / 1e6, 2) << "M rows/s)\n"
+            << "  full recovery " << FormatDouble(recover_s, 3) << "s  ("
+            << FormatDouble(recover_rows_per_s / 1e6, 2) << "M rows/s)\n";
+  std::filesystem::remove_all(replay_wal.dir);
+
+  // --- BENCH_recover.json ---
+  std::ofstream os("BENCH_recover.json");
+  PAQL_CHECK_MSG(static_cast<bool>(os), "cannot write BENCH_recover.json");
+  os << "{\n";
+  os << "  \"bench\": \"recover_replay\",\n";
+  os << "  \"replay_rows\": " << total_rows << ",\n";
+  os << "  \"overhead_batches\": " << config.overhead_batches << ",\n";
+  os << "  \"overhead_batch_rows\": " << config.overhead_batch_rows << ",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "  \"append\": {\n";
+  os << "    \"no_wal_s\": " << FormatDouble(no_wal_s, 4) << ",\n";
+  os << "    \"batch_s\": " << FormatDouble(batch_s, 4) << ",\n";
+  os << "    \"always_s\": " << FormatDouble(always_s, 4) << ",\n";
+  os << "    \"overhead_batch_pct\": " << FormatDouble(overhead_batch_pct, 4)
+     << ",\n";
+  os << "    \"overhead_always_pct\": "
+     << FormatDouble(overhead_always_pct, 4) << ",\n";
+  os << "    \"raw_appends_per_s_none\": " << FormatDouble(raw_none, 6)
+     << ",\n";
+  os << "    \"raw_appends_per_s_batch\": " << FormatDouble(raw_batch, 6)
+     << ",\n";
+  os << "    \"raw_appends_per_s_always\": " << FormatDouble(raw_always, 6)
+     << "\n";
+  os << "  },\n";
+  os << "  \"replay\": {\n";
+  os << "    \"records\": " << replayed_records << ",\n";
+  os << "    \"decode_rows_per_s\": " << FormatDouble(raw_rows_per_s, 6)
+     << ",\n";
+  os << "    \"recover_rows_per_s\": " << FormatDouble(recover_rows_per_s, 6)
+     << ",\n";
+  os << "    \"torn_tail\": false,\n";
+  os << "    \"recovered_matches_live\": "
+     << (recovered_matches ? "true" : "false") << "\n";
+  os << "  }\n";
+  os << "}\n";
+  std::cout << "\nwrote BENCH_recover.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace paql::bench
+
+int main(int argc, char** argv) { return paql::bench::Run(argc, argv); }

@@ -141,11 +141,8 @@ std::string CanonicalPayload(const Result<QueryResult>& result) {
     std::string lines = service::FormatResultLines(*result, 0);
     return lines.substr(0, lines.find('\n'));
   }
-  std::string message(result.status().message());
-  for (char& c : message) {
-    if (c == '\n' || c == '\r') c = ' ';
-  }
-  return StrCat("ERR ", message);
+  std::string line = service::FormatErrorLine(result.status());
+  return line.substr(0, line.find('\n'));
 }
 
 struct ServeWorkload {

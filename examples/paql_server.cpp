@@ -14,6 +14,16 @@
 //                          concurrency, min 2); excess requests queue,
 //                          interactive before batch
 //   --threshold <rows>     planner DIRECT vs SKETCHREFINE threshold
+//   --wal-dir <dir>        durability: recover from (then append to) the
+//                          write-ahead log in <dir> — INSERT/DELETE
+//                          batches and WATCHes survive a crash or kill
+//   --fsync <policy>       WAL sync policy: always (acked = durable),
+//                          batch (default; bounded loss window), none
+//   --idle-timeout <s>     close connections silent for <s> seconds
+//                          (default 300; 0 disables)
+//   --shed-queue <n>       shed batch requests when <n> are queued
+//                          (interactive at 4x<n>; ERR OVERLOADED with a
+//                          retry-after-ms hint; 0 = never shed)
 //
 // Protocol (one request per line; try it with `nc 127.0.0.1 <port>`):
 //   RUN <paql>      evaluate with interactive priority
@@ -66,6 +76,7 @@ bool IsBlockStorePath(const std::string& path) {
 int main(int argc, char** argv) {
   std::vector<std::string> csvs;
   paql::service::ServerOptions options;
+  options.idle_timeout_s = 300;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -75,6 +86,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--threshold" && i + 1 < argc) {
       options.scheduler.engine.planner.direct_row_threshold =
           static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      options.wal_dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      std::string policy = argv[++i];
+      if (policy == "always") {
+        options.wal_sync = paql::relation::WalSync::kAlways;
+      } else if (policy == "batch") {
+        options.wal_sync = paql::relation::WalSync::kBatch;
+      } else if (policy == "none") {
+        options.wal_sync = paql::relation::WalSync::kNone;
+      } else {
+        std::cerr << "--fsync wants always|batch|none, got '" << policy
+                  << "'\n";
+        return 2;
+      }
+    } else if (arg == "--idle-timeout" && i + 1 < argc) {
+      options.idle_timeout_s = std::atof(argv[++i]);
+    } else if (arg == "--shed-queue" && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      options.scheduler.shed_waiting_batch = n;
+      options.scheduler.shed_waiting_interactive = n > 0 ? 4 * n : 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return 2;
@@ -84,7 +116,9 @@ int main(int argc, char** argv) {
   }
   if (csvs.empty()) {
     std::cerr << "usage: paql_server <table.csv|table.pqb> [more ...] "
-                 "[--port n] [--max-concurrent n] [--threshold rows]\n";
+                 "[--port n] [--max-concurrent n] [--threshold rows] "
+                 "[--wal-dir dir] [--fsync always|batch|none] "
+                 "[--idle-timeout s] [--shed-queue n]\n";
     return 2;
   }
 
@@ -107,6 +141,15 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::cerr << status << "\n";
     return 1;
+  }
+  if (!options.wal_dir.empty()) {
+    std::cout << "durable: wal-dir=" << options.wal_dir << " fsync="
+              << (options.wal_sync == paql::relation::WalSync::kAlways
+                      ? "always"
+                      : options.wal_sync == paql::relation::WalSync::kBatch
+                            ? "batch"
+                            : "none")
+              << "\n";
   }
   std::cout << "listening on 127.0.0.1:" << server.port()
             << " (RUN/BATCH/INSERT/DELETE/WATCH/STATS/QUIT; Ctrl-C to "

@@ -42,6 +42,14 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
     block counts) are compared only when both runs used the same row
     count, and scan throughput additionally requires matching
     hardware_threads.
+  * durability — BENCH_recover.json files (bench == "recover_replay").
+    The correctness invariant (the session recovered from the WAL matched
+    the live one cell-for-cell) is enforced on the CURRENT run
+    unconditionally. The scale-dependent numbers — batched-fsync append
+    overhead (with its <10% acceptance target) and replay/recovery
+    throughput — are compared only when replay_rows, overhead_batches,
+    and hardware_threads all match the baseline, which was recorded at
+    the full 1M replayed rows.
 
 A missing entry in CURRENT fails: silently dropping a measurement is how
 perf regressions hide.
@@ -294,6 +302,67 @@ def main() -> int:
                 else:
                     print(f"ok update 5x floor: {cur_speedup:g}x at "
                           f"{cur.get('rows')} rows")
+
+    if base.get("bench") == "recover_replay":
+        if cur.get("bench") != "recover_replay":
+            failures.append("current run is not a recover_replay bench result")
+        else:
+            # Correctness invariant, any scale: the bench aborts unless the
+            # recovered session matched the live one cell-for-cell, so a
+            # well-formed file must say so — a missing/false entry means
+            # the bench stopped checking.
+            cur_replay = cur.get("replay", {})
+            cur_append = cur.get("append", {})
+            if cur_replay.get("recovered_matches_live") is not True:
+                failures.append(
+                    "recover: recovered session did not match the live one")
+            else:
+                print("ok recover invariant: recovered session matches live")
+            if not cur_replay.get("records", 0) > 0:
+                failures.append("recover: replay saw zero WAL records")
+
+            scale_match = (
+                base.get("replay_rows") == cur.get("replay_rows")
+                and base.get("overhead_batches") == cur.get("overhead_batches")
+                and base.get("hardware_threads") == cur.get("hardware_threads"))
+            if scale_match:
+                # The PR's acceptance target: batched fsync keeps the
+                # end-to-end update overhead under 10%. Absolute percent,
+                # not a baseline ratio — the promise is the number itself.
+                cur_overhead = cur_append.get("overhead_batch_pct")
+                if cur_overhead is None:
+                    failures.append(
+                        "recover: overhead_batch_pct missing from current run")
+                elif cur_overhead > 10.0:
+                    failures.append(
+                        f"recover: batched WAL append overhead "
+                        f"{cur_overhead:g}% exceeds the 10% target")
+                else:
+                    print(f"ok recover append overhead: {cur_overhead:g}% "
+                          f"(target <10%)")
+                for name in ("decode_rows_per_s", "recover_rows_per_s"):
+                    b_tp = base.get("replay", {}).get(name)
+                    c_tp = cur_replay.get(name)
+                    if c_tp is None:
+                        failures.append(
+                            f"recover: replay {name} missing from current run")
+                    elif b_tp is not None and c_tp < b_tp * (1 - tol):
+                        failures.append(
+                            f"recover: replay {name} regressed: {c_tp:g} < "
+                            f"{b_tp:g} * (1 - {tol:g})")
+                    else:
+                        print(f"ok recover {name}: {c_tp:g} "
+                              f"(baseline {b_tp:g})")
+            else:
+                print(
+                    f"skipping recover perf comparison: baseline "
+                    f"replay_rows={base.get('replay_rows')} "
+                    f"batches={base.get('overhead_batches')} "
+                    f"threads={base.get('hardware_threads')} vs current "
+                    f"replay_rows={cur.get('replay_rows')} "
+                    f"batches={cur.get('overhead_batches')} "
+                    f"threads={cur.get('hardware_threads')} (fsync cost and "
+                    f"replay throughput drift with scale and hardware)")
 
     if strict_absolute and sizes_match:
         for name, b in base_solver.get("entries", {}).items():

@@ -1,0 +1,343 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <optional>
+
+#include "common/str_util.h"
+
+namespace paql {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return StrCat(op, " ", path, ": ", ::strerror(errno));
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* buf,
+              size_t* bytes_read) override {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::pread(fd_, buf + got, n - got,
+                                static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *bytes_read = got;
+        return Status::IoError(Errno("pread", path_));
+      }
+      if (r == 0) break;  // end of file
+      got += static_cast<size_t>(r);
+    }
+    *bytes_read = got;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("write", path_));
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Status::IoError(Errno("close", path_));
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IoError(Errno("open", path));
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(path, fd));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IoError(Errno("open", path));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::IoError(Errno("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError(Errno("mkdir", path));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return Status::IoError(Errno("opendir", path));
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IoError(Errno("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(Errno("rename", from));
+    }
+    return Status::OK();
+  }
+};
+
+Status InjectedError(FaultSpec::Kind kind, const char* op,
+                     const std::string& path) {
+  switch (kind) {
+    case FaultSpec::Kind::kEintr:
+      return Status::IoError(
+          StrCat("injected EINTR: ", op, " ", path, " interrupted"));
+    case FaultSpec::Kind::kFsyncFail:
+      return Status::IoError(StrCat("injected fsync failure: ", path));
+    default:
+      return Status::IoError(StrCat("injected ", op, " failure: ", path));
+  }
+}
+
+class FaultInjectingRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultInjectingRandomAccessFile(FaultInjectingEnv* env, std::string path,
+                                 std::unique_ptr<RandomAccessFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* buf,
+              size_t* bytes_read) override {
+    const auto fault = env_->NextFault(FaultSpec::Op::kRead, path_);
+    if (fault && *fault != FaultSpec::Kind::kBitFlip) {
+      *bytes_read = 0;
+      return InjectedError(*fault, "read", path_);
+    }
+    PAQL_RETURN_IF_ERROR(base_->Read(offset, n, buf, bytes_read));
+    if (fault && *fault == FaultSpec::Kind::kBitFlip && *bytes_read > 0) {
+      // Deterministic position: derived from the offset so the same
+      // schedule flips the same bit on every run.
+      const size_t byte = static_cast<size_t>(offset * 131 + 7) % *bytes_read;
+      buf[byte] = static_cast<char>(buf[byte] ^ 0x10);
+    }
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingEnv* env, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override {
+    const auto fault = env_->NextFault(FaultSpec::Op::kWrite, path_);
+    if (!fault) return base_->Append(data, n);
+    if (*fault == FaultSpec::Kind::kShortWrite) {
+      // A torn write: a prefix really lands on disk, then the "crash".
+      const size_t half = n / 2;
+      if (half > 0) PAQL_RETURN_IF_ERROR(base_->Append(data, half));
+      return Status::IoError(
+          StrCat("injected short write: ", path_, " wrote ", half, "/", n));
+    }
+    return InjectedError(*fault, "write", path_);
+  }
+
+  Status Sync() override {
+    const auto fault = env_->NextFault(FaultSpec::Op::kSync, path_);
+    if (fault) return InjectedError(*fault, "fsync", path_);
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+Status RandomAccessFile::ReadExact(uint64_t offset, size_t n, char* buf) {
+  size_t got = 0;
+  PAQL_RETURN_IF_ERROR(Read(offset, n, buf, &got));
+  if (got != n) {
+    return Status::IoError(StrCat("short read: wanted ", n, " bytes at offset ",
+                                  offset, ", got ", got));
+  }
+  return Status::OK();
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+void FaultInjectingEnv::AddFault(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(std::move(spec));
+}
+
+void FaultInjectingEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+int FaultInjectingEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+int64_t FaultInjectingEnv::reads_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(FaultSpec::Op::kRead)];
+}
+int64_t FaultInjectingEnv::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(FaultSpec::Op::kWrite)];
+}
+int64_t FaultInjectingEnv::syncs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(FaultSpec::Op::kSync)];
+}
+int64_t FaultInjectingEnv::opens_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(FaultSpec::Op::kOpen)];
+}
+
+std::optional<FaultSpec::Kind> FaultInjectingEnv::NextFault(
+    FaultSpec::Op op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t count = counts_[static_cast<int>(op)]++;
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->op != op) continue;
+    if (!it->path_substr.empty() &&
+        path.find(it->path_substr) == std::string::npos) {
+      continue;
+    }
+    const bool due = it->sticky ? count >= it->nth : count == it->nth;
+    if (!due) continue;
+    const FaultSpec::Kind kind = it->kind;
+    ++fired_;
+    if (!it->sticky) faults_.erase(it);
+    return kind;
+  }
+  return std::nullopt;
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  const auto fault = NextFault(FaultSpec::Op::kOpen, path);
+  if (fault) return InjectedError(*fault, "open", path);
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> base,
+                        base_->NewRandomAccessFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultInjectingRandomAccessFile(this, path, std::move(base)));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  const auto fault = NextFault(FaultSpec::Op::kOpen, path);
+  if (fault) return InjectedError(*fault, "open", path);
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, path, std::move(base)));
+}
+
+Result<uint64_t> FaultInjectingEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+}  // namespace paql

@@ -1,0 +1,156 @@
+// Env — a small seam over the filesystem so every byte the engine reads
+// or writes can be intercepted in tests.
+//
+// The block store (relation/block_store.cc) and the write-ahead log
+// (relation/wal.cc) do all their file I/O through this interface. In
+// production `Env::Default()` is a thin POSIX wrapper (pread/write loops
+// with EINTR retry, fsync for durability). In tests a `FaultInjectingEnv`
+// wraps it and fires scripted faults — fail-the-nth-read, short (torn)
+// writes, bit flips, EINTR, fsync failure — so recovery and corruption
+// paths are exercised deterministically in ctest instead of hoped-for.
+//
+// Contracts:
+//  - RandomAccessFile::Read fills `*bytes_read`; a short count is only
+//    legal at end-of-file. Any other failure is a non-OK Status.
+//  - WritableFile::Append either writes all of `n` bytes or returns
+//    non-OK; on a torn (injected or real) write, a prefix of the buffer
+//    may have landed on disk — exactly the state crash recovery must
+//    tolerate.
+//  - WritableFile::Sync makes previously appended bytes durable; Close
+//    without Sync promises nothing.
+#ifndef PAQL_COMMON_ENV_H_
+#define PAQL_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace paql {
+
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Read up to `n` bytes at `offset` into `buf`; sets `*bytes_read`.
+  /// Short reads happen only at end-of-file.
+  virtual Status Read(uint64_t offset, size_t n, char* buf,
+                      size_t* bytes_read) = 0;
+
+  /// Read exactly `n` bytes; IoError("short read ...") if the file ends
+  /// before `offset + n`.
+  Status ReadExact(uint64_t offset, size_t n, char* buf);
+};
+
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Append all `n` bytes, or return non-OK (a prefix may have landed).
+  virtual Status Append(const void* data, size_t n) = 0;
+  Status Append(std::string_view data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Make all appended bytes durable (fsync).
+  virtual Status Sync() = 0;
+
+  /// Close the file. Idempotent; does not imply Sync.
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  /// Create (or truncate) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// mkdir; OK if the directory already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// Names (not paths) of regular files in `path`, unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Process-wide POSIX Env; never null, never deleted.
+  static Env* Default();
+};
+
+/// One scripted fault. Faults are matched in the order they were added;
+/// the first spec whose op/path matches an operation at its trigger count
+/// fires (and, unless `sticky`, is spent).
+struct FaultSpec {
+  enum class Op { kRead, kWrite, kSync, kOpen };
+  enum class Kind {
+    kFail,        // the operation returns IoError; no side effects
+    kEintr,       // as kFail, but labeled as an interrupted syscall
+    kShortWrite,  // a *prefix* of the buffer lands on disk, then IoError
+    kBitFlip,     // the read succeeds but one bit of the result is flipped
+    kFsyncFail,   // Sync returns IoError (bytes may or may not be durable)
+  };
+
+  Op op = Op::kRead;
+  Kind kind = Kind::kFail;
+  /// Fire on the nth matching operation (0-based), counted env-wide.
+  int nth = 0;
+  /// Keep firing on every matching operation from `nth` onward.
+  bool sticky = false;
+  /// Only match operations on paths containing this substring ("" = all).
+  std::string path_substr;
+};
+
+/// An Env that forwards to `base` but fires scripted faults. Thread-safe.
+/// Operation counters are env-wide (not per-file) so a schedule addresses
+/// "the 7th read anywhere" deterministically in single-threaded tests.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base = Env::Default()) : base_(base) {}
+
+  void AddFault(FaultSpec spec);
+  void ClearFaults();
+
+  int faults_fired() const;
+  int64_t reads_seen() const;
+  int64_t writes_seen() const;
+  int64_t syncs_seen() const;
+  int64_t opens_seen() const;
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+
+  /// Consults the schedule for one operation on `path`. Returns the Kind
+  /// to inject, or nullopt to pass through. Advances the op counter.
+  /// Public for the file wrappers; not intended for direct use by tests.
+  std::optional<FaultSpec::Kind> NextFault(FaultSpec::Op op,
+                                           const std::string& path);
+
+ private:
+  Env* base_;
+  mutable std::mutex mu_;
+  std::vector<FaultSpec> faults_;
+  int64_t counts_[4] = {0, 0, 0, 0};  // indexed by FaultSpec::Op
+  int fired_ = 0;
+};
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_ENV_H_

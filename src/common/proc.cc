@@ -1,0 +1,21 @@
+#include "common/proc.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace paql {
+
+size_t ProcessResidentBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0, resident_pages = 0;
+  int fields = std::fscanf(f, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<size_t>(resident_pages) * static_cast<size_t>(page);
+}
+
+}  // namespace paql

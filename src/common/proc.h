@@ -1,0 +1,17 @@
+// Process self-observation helpers (Linux /proc; graceful elsewhere).
+#ifndef PAQL_COMMON_PROC_H_
+#define PAQL_COMMON_PROC_H_
+
+#include <cstddef>
+
+namespace paql {
+
+/// Resident set size of this process in bytes, from /proc/self/statm.
+/// Returns 0 when the file is unavailable (non-Linux), which disables
+/// every watermark built on it — degraded observability, never a wrong
+/// shedding decision.
+size_t ProcessResidentBytes();
+
+}  // namespace paql
+
+#endif  // PAQL_COMMON_PROC_H_

@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIoError: return "IoError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

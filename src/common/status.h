@@ -26,7 +26,9 @@ enum class StatusCode {
   kUnbounded,         // the LP/ILP objective is unbounded
   kResourceExhausted, // solver exceeded its time/node/memory budget
   kInternal,          // invariant violation inside the library
-  kIoError,           // filesystem I/O failure
+  kIoError,           // filesystem I/O failure (often transient; retryable)
+  kCorruption,        // on-disk bytes failed a checksum / structural check
+  kUnavailable,       // service is shedding load; retry after a backoff
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +71,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -79,6 +87,14 @@ class Status {
   bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  /// True for failure classes a caller may reasonably retry verbatim:
+  /// transient I/O errors and load shedding. Corruption is NOT retryable —
+  /// the bytes on disk will not improve — and neither are semantic errors.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kIoError || code_ == StatusCode::kUnavailable;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -467,6 +467,15 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
   Stopwatch eval_watch;
   auto result = strategy->Evaluate(compiled, exec);
   out.timings.evaluate_seconds = eval_watch.ElapsedSeconds();
+  // Drain the storage-fault channel before trusting the outcome: the scan
+  // accessors have no error path, so an out-of-core source that hit
+  // unreadable bytes served placeholder lanes and recorded the failure
+  // here. The structured Status (store path, column, block) outranks
+  // whatever the solver concluded from those lanes — including a
+  // "feasible" package built on zeros, or an Infeasible verdict caused
+  // by them. Zone-pruned corrupt blocks are never decoded, so queries
+  // that prune past the damage pass this check and succeed.
+  PAQL_RETURN_IF_ERROR(resolved.table->ConsumeError());
   if (!result.ok()) return result.status();
 
   out.package = std::move(result->package);
@@ -483,6 +492,9 @@ Result<QueryResult> Session::Execute(std::string_view paql) {
   // constraints — the `ilp` artifact carries them even for ratio queries).
   Status valid =
       core::ValidatePackage(compiled.ilp, *resolved.table, out.package);
+  // Validation re-reads the package rows; it may touch blocks the scan
+  // pruned, so drain the fault channel again before judging its verdict.
+  PAQL_RETURN_IF_ERROR(resolved.table->ConsumeError());
   if (!valid.ok()) {
     return Status::Internal(StrCat("strategy ",
                                    engine::StrategyName(out.plan.strategy),
@@ -700,6 +712,20 @@ Result<UpdateResult> Session::ApplyUpdates(const std::string& table_name,
                               std::move(ar.partitioning)));
   }
 
+  // Durability point: the committed batch reaches the log (and disk, per
+  // the sync policy) before any reader can observe it. A failed append
+  // fails the whole batch with nothing published — the caller retries
+  // against the unchanged snapshot, and the possibly-torn log prefix is
+  // exactly what replay's torn-tail handling expects.
+  if (wal_ != nullptr && !wal_replaying_) {
+    relation::WalRecord record;
+    record.kind = relation::WalRecord::Kind::kDelta;
+    record.table = name;
+    record.base_version = base_version->version();
+    record.delta = delta;
+    PAQL_RETURN_IF_ERROR(wal_->Append(record));
+  }
+
   // Publish: swap the snapshot, refresh the partition registry, drop the
   // statement artifacts (their plans and warm bases described the old
   // snapshot) and the join cache (joined results embed the old rows).
@@ -818,6 +844,11 @@ void Session::RepairStandingQuery(
 }
 
 Result<uint64_t> Session::Watch(std::string_view paql) {
+  return WatchInternal(paql, 0);
+}
+
+Result<uint64_t> Session::WatchInternal(std::string_view paql,
+                                        uint64_t forced_id) {
   PAQL_ASSIGN_OR_RETURN(ResolvedQuery resolved, Resolve(paql, nullptr));
   if (resolved.joined_from) {
     return Status::Unsupported(
@@ -846,15 +877,112 @@ Result<uint64_t> Session::Watch(std::string_view paql) {
     return result.status();
   }
   std::lock_guard<std::mutex> lock(sync_->mu);
-  sq.id = sync_->next_watch_id++;
+  if (forced_id != 0) {
+    sq.id = forced_id;
+    if (sync_->next_watch_id <= forced_id) {
+      sync_->next_watch_id = forced_id + 1;
+    }
+  } else {
+    sq.id = sync_->next_watch_id++;
+  }
   uint64_t id = sq.id;
+  std::string text = sq.text;
   sync_->standing.emplace(id, std::move(sq));
+  // Log the registration before acking it; a failed append deregisters,
+  // so the log and the registry never disagree about which watches exist.
+  if (wal_ != nullptr && !wal_replaying_) {
+    relation::WalRecord record;
+    record.kind = relation::WalRecord::Kind::kWatch;
+    record.watch_id = id;
+    record.query = std::move(text);
+    Status logged = wal_->Append(record);
+    if (!logged.ok()) {
+      sync_->standing.erase(id);
+      return logged;
+    }
+  }
   return id;
 }
 
 bool Session::Unwatch(uint64_t id) {
   std::lock_guard<std::mutex> lock(sync_->mu);
-  return sync_->standing.erase(id) > 0;
+  bool removed = sync_->standing.erase(id) > 0;
+  if (removed && wal_ != nullptr && !wal_replaying_) {
+    // Best effort: if the append fails, recovery re-registers the watch —
+    // a spurious standing query after a crash, never lost data. Watch and
+    // delta appends, whose loss would be real, fail their operations.
+    (void)wal_->Append([&] {
+      relation::WalRecord record;
+      record.kind = relation::WalRecord::Kind::kUnwatch;
+      record.watch_id = id;
+      return record;
+    }());
+  }
+  return removed;
+}
+
+Status Session::EnableDurability(const relation::WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "durability is already enabled on this session");
+  }
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<relation::WalWriter> writer,
+                        relation::WalWriter::Open(options));
+  wal_ = std::move(writer);
+  return Status::OK();
+}
+
+Result<relation::WalReplayStats> Session::RecoverFromWal(
+    const relation::WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "RecoverFromWal replays the log and must not append to it: "
+        "recover first, then EnableDurability");
+  }
+  wal_replaying_ = true;
+  auto replayed = relation::ReplayWal(
+      options, [&](const relation::WalRecord& record) -> Status {
+        switch (record.kind) {
+          case relation::WalRecord::Kind::kDelta: {
+            // The chain must line up: each logged delta names the version
+            // it applied on top of, so a log replayed against the wrong
+            // base state (or out of order) is caught here instead of
+            // silently rebuilding different data.
+            PAQL_ASSIGN_OR_RETURN(
+                std::shared_ptr<const relation::ColumnSource> table,
+                GetTable(record.table));
+            uint64_t current = 0;
+            if (auto v =
+                    std::dynamic_pointer_cast<const relation::TableVersion>(
+                        table)) {
+              current = v->version();
+            }
+            if (current != record.base_version) {
+              return Status::Corruption(StrCat(
+                  "wal replay: delta for table '", record.table,
+                  "' applies on version ", record.base_version,
+                  " but the table is at version ", current,
+                  " (the log does not continue from this base state)"));
+            }
+            PAQL_ASSIGN_OR_RETURN(UpdateResult applied,
+                                  ApplyUpdates(record.table, record.delta));
+            (void)applied;
+            return Status::OK();
+          }
+          case relation::WalRecord::Kind::kWatch: {
+            PAQL_ASSIGN_OR_RETURN(
+                uint64_t id, WatchInternal(record.query, record.watch_id));
+            (void)id;
+            return Status::OK();
+          }
+          case relation::WalRecord::Kind::kUnwatch:
+            (void)Unwatch(record.watch_id);
+            return Status::OK();
+        }
+        return Status::Internal("unhandled wal record kind");
+      });
+  wal_replaying_ = false;
+  return replayed;
 }
 
 Result<StandingQuery> Session::GetStandingQuery(uint64_t id) const {

@@ -39,6 +39,7 @@
 #include "relation/column_source.h"
 #include "relation/table.h"
 #include "relation/table_version.h"
+#include "relation/wal.h"
 
 namespace paql {
 
@@ -201,6 +202,32 @@ class Session {
   /// Remove a standing query. Returns false when the id is unknown.
   bool Unwatch(uint64_t id);
 
+  /// Open (or create) the write-ahead log in `options.dir` and start
+  /// logging: every committed ApplyUpdates batch and every Watch/Unwatch
+  /// from now on is appended (and fsynced per `options.sync`) *before* it
+  /// becomes visible to readers, so a crash loses at most the configured
+  /// sync window. Call RecoverFromWal first when the directory may hold a
+  /// previous incarnation's log. Fails when durability is already on.
+  Status EnableDurability(const relation::WalOptions& options);
+
+  /// Replay the write-ahead log in `options.dir` into this session. Every
+  /// logged delta re-applies through the normal ApplyUpdates path —
+  /// partitionings absorb the batch and standing queries are repaired per
+  /// batch, exactly as on the live path — and the standing-query set is
+  /// re-registered under its original ids, so the recovered session is
+  /// indistinguishable from one that never crashed. Requires the tables
+  /// at their pre-log base state and durability not yet enabled (nothing
+  /// replayed is re-logged); a torn final record is the normal crash
+  /// signature and replay stops cleanly before it (prefix durability). A
+  /// version mismatch between a logged delta and the table it applies to
+  /// fails recovery with kCorruption.
+  Result<relation::WalReplayStats> RecoverFromWal(
+      const relation::WalOptions& options);
+
+  /// The open log writer (null until EnableDurability); exposed for
+  /// append/sync statistics.
+  const relation::WalWriter* wal() const { return wal_.get(); }
+
   /// Snapshot of one / all registered standing queries.
   Result<StandingQuery> GetStandingQuery(uint64_t id) const;
   std::vector<StandingQuery> standing_queries() const;
@@ -298,6 +325,11 @@ class Session {
     uint64_t next_watch_id = 1;
   };
 
+  /// Watch with the id chosen by the caller (0 = assign the next free
+  /// one). The forced-id path is how WAL replay re-registers standing
+  /// queries under their original ids.
+  Result<uint64_t> WatchInternal(std::string_view paql, uint64_t forced_id);
+
   /// Re-execute or incrementally repair one standing query after a batch
   /// (called with update_mu held, mu released). `dirty` maps partition
   /// cache keys to the batch's dirty group ids for that partitioning.
@@ -308,6 +340,12 @@ class Session {
 
   std::map<std::string, std::shared_ptr<const relation::ColumnSource>> tables_;
   std::shared_ptr<relation::BlockCache> block_cache_;
+  /// Write-ahead log; null until EnableDurability. Shared so copies of a
+  /// durable session (the service clones per-query sessions) append to
+  /// the same log. `wal_replaying_` suppresses re-logging during replay;
+  /// recovery runs single-threaded before the session is shared.
+  std::shared_ptr<relation::WalWriter> wal_;
+  bool wal_replaying_ = false;
   std::shared_ptr<engine::QueryCache> cache_ =
       std::make_shared<engine::QueryCache>();
   std::shared_ptr<SyncState> sync_ = std::make_shared<SyncState>();

@@ -1,16 +1,14 @@
 #include "relation/block_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <unordered_map>
 
+#include "common/crc32.h"
 #include "common/str_util.h"
+#include "relation/coding.h"
 #include "relation/csv.h"
 
 namespace paql::relation {
@@ -19,46 +17,10 @@ namespace {
 constexpr char kHeaderMagic[4] = {'P', 'Q', 'B', '1'};
 constexpr char kFooterMagic[4] = {'P', 'Q', 'B', 'F'};
 
-// --- Little-endian scalar serialization --------------------------------
-
-template <typename T>
-void PutScalar(std::vector<uint8_t>* out, T v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const size_t at = out->size();
-  out->resize(at + sizeof(T));
-  std::memcpy(out->data() + at, &v, sizeof(T));
-}
-
-template <typename T>
-bool GetScalar(const uint8_t* data, size_t size, size_t* at, T* v) {
-  if (*at + sizeof(T) > size) return false;
-  std::memcpy(v, data + *at, sizeof(T));
-  *at += sizeof(T);
-  return true;
-}
-
-void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out->push_back(static_cast<uint8_t>(v));
-}
-
-bool GetVarint(const uint8_t* data, size_t size, size_t* at, uint64_t* v) {
-  uint64_t result = 0;
-  int shift = 0;
-  while (*at < size && shift < 64) {
-    uint8_t byte = data[(*at)++];
-    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *v = result;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;
-}
+/// Footer version sentinel: v1 footers open with num_cols (high bit never
+/// set); v2+ footers open with 0x80000000 | version.
+constexpr uint32_t kVersionBit = 0x80000000u;
+constexpr uint32_t kFormatV2 = 2;
 
 // --- Bit packing --------------------------------------------------------
 
@@ -398,7 +360,7 @@ Status DecodeNulls(const uint8_t* data, size_t size, size_t* at, size_t rows,
     return Status::OK();
   }
   if (*at + rows > size) {
-    return Status::IoError("block store: truncated null bitmap");
+    return Status::Corruption("block store: truncated null bitmap");
   }
   nulls->assign(data + *at, data + *at + rows);
   *at += rows;
@@ -503,9 +465,10 @@ Status WriteBlockStore(const Table& table, const std::string& path,
   if (table.num_rows() > std::numeric_limits<RowId>::max()) {
     return Status::InvalidArgument("block store: too many rows for RowId");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError(StrCat("cannot open for write: ", path));
-  out.write(kHeaderMagic, sizeof(kHeaderMagic));
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                        env->NewWritableFile(path));
+  PAQL_RETURN_IF_ERROR(out->Append(kHeaderMagic, sizeof(kHeaderMagic)));
 
   const size_t num_rows = table.num_rows();
   const size_t num_cols = table.num_columns();
@@ -541,14 +504,16 @@ Status WriteBlockStore(const Table& table, const std::string& path,
       }
       meta.offset = offset;
       meta.stored_bytes = static_cast<uint32_t>(stored->size());
-      out.write(reinterpret_cast<const char*>(stored->data()),
-                static_cast<std::streamsize>(stored->size()));
+      meta.crc32 = MaskCrc32(Crc32(stored->data(), stored->size()));
+      PAQL_RETURN_IF_ERROR(out->Append(stored->data(), stored->size()));
       offset += stored->size();
     }
   }
 
-  // Footer: schema, row/block counts, then every BlockMeta.
+  // Footer (v2): version sentinel, schema, row/block counts, every
+  // BlockMeta (with its block CRC), then the footer's own CRC.
   std::vector<uint8_t> footer;
+  PutScalar<uint32_t>(&footer, kVersionBit | kFormatV2);
   PutScalar<uint32_t>(&footer, static_cast<uint32_t>(num_cols));
   for (size_t c = 0; c < num_cols; ++c) {
     const ColumnDef& def = table.schema().column(c);
@@ -570,17 +535,18 @@ Status WriteBlockStore(const Table& table, const std::string& path,
       PutScalar<uint8_t>(&footer, m.compressed);
       PutScalar<double>(&footer, m.min);
       PutScalar<double>(&footer, m.max);
+      PutScalar<uint32_t>(&footer, m.crc32);
     }
   }
-  out.write(reinterpret_cast<const char*>(footer.data()),
-            static_cast<std::streamsize>(footer.size()));
-  uint64_t footer_offset = offset;
-  out.write(reinterpret_cast<const char*>(&footer_offset),
-            sizeof(footer_offset));
-  out.write(kFooterMagic, sizeof(kFooterMagic));
-  out.flush();
-  if (!out) return Status::IoError(StrCat("write failed: ", path));
-  return Status::OK();
+  PutScalar<uint32_t>(&footer,
+                      MaskCrc32(Crc32(footer.data(), footer.size())));
+  PAQL_RETURN_IF_ERROR(out->Append(footer.data(), footer.size()));
+  std::vector<uint8_t> tail;
+  PutScalar<uint64_t>(&tail, offset);  // footer offset
+  tail.insert(tail.end(), kFooterMagic, kFooterMagic + sizeof(kFooterMagic));
+  PAQL_RETURN_IF_ERROR(out->Append(tail.data(), tail.size()));
+  PAQL_RETURN_IF_ERROR(out->Sync());
+  return out->Close();
 }
 
 Status ConvertCsvToBlockStore(const std::string& csv_path,
@@ -592,56 +558,71 @@ Status ConvertCsvToBlockStore(const std::string& csv_path,
 
 // --- Reader -------------------------------------------------------------
 
-BlockStoreReader::~BlockStoreReader() {
-  if (fd_ >= 0) ::close(fd_);
-}
+BlockStoreReader::~BlockStoreReader() = default;
 
 Result<std::shared_ptr<BlockStoreReader>> BlockStoreReader::Open(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IoError(StrCat("cannot open block store: ", path));
-  }
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  PAQL_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        env->NewRandomAccessFile(path));
+  PAQL_ASSIGN_OR_RETURN(const uint64_t file_size, env->GetFileSize(path));
+  // Structural problems in the file are corruption (the bytes are bad and
+  // will not improve); I/O failures below propagate as IoError.
   auto fail = [&](const std::string& msg) -> Status {
-    ::close(fd);
-    return Status::IoError(StrCat("block store ", path, ": ", msg));
+    return Status::Corruption(StrCat("block store ", path, ": ", msg));
   };
-  const off_t file_size = ::lseek(fd, 0, SEEK_END);
-  if (file_size < static_cast<off_t>(sizeof(kHeaderMagic) + 12)) {
-    return fail("file too small");
-  }
+  if (file_size < sizeof(kHeaderMagic) + 12) return fail("file too small");
   char head[4];
-  if (::pread(fd, head, 4, 0) != 4 ||
-      std::memcmp(head, kHeaderMagic, 4) != 0) {
+  PAQL_RETURN_IF_ERROR(file->ReadExact(0, 4, head));
+  if (std::memcmp(head, kHeaderMagic, 4) != 0) {
     return fail("bad header magic");
   }
   uint8_t tail[12];
-  if (::pread(fd, tail, 12, file_size - 12) != 12) return fail("bad tail");
+  PAQL_RETURN_IF_ERROR(
+      file->ReadExact(file_size - 12, 12, reinterpret_cast<char*>(tail)));
   if (std::memcmp(tail + 8, kFooterMagic, 4) != 0) {
     return fail("bad footer magic");
   }
   uint64_t footer_offset = 0;
   std::memcpy(&footer_offset, tail, sizeof(footer_offset));
-  if (footer_offset >= static_cast<uint64_t>(file_size) - 12) {
-    return fail("bad footer offset");
-  }
+  if (footer_offset >= file_size - 12) return fail("bad footer offset");
   const size_t footer_size =
       static_cast<size_t>(file_size) - 12 - footer_offset;
   std::vector<uint8_t> footer(footer_size);
-  if (::pread(fd, footer.data(), footer_size,
-              static_cast<off_t>(footer_offset)) !=
-      static_cast<ssize_t>(footer_size)) {
-    return fail("truncated footer");
-  }
+  PAQL_RETURN_IF_ERROR(file->ReadExact(
+      footer_offset, footer_size, reinterpret_cast<char*>(footer.data())));
 
   auto reader = std::shared_ptr<BlockStoreReader>(new BlockStoreReader());
   reader->path_ = path;
-  reader->fd_ = fd;
+  reader->file_ = std::move(file);
 
   size_t at = 0;
   uint32_t num_cols = 0;
   if (!GetScalar(footer.data(), footer.size(), &at, &num_cols)) {
     return fail("truncated schema");
+  }
+  // v2+ footers open with a version sentinel (high bit set) and close
+  // with a masked CRC of everything before it; v1 footers open directly
+  // with num_cols and carry no checksums.
+  uint32_t version = 1;
+  if ((num_cols & kVersionBit) != 0) {
+    version = num_cols & ~kVersionBit;
+    if (version != kFormatV2) {
+      return fail(StrCat("unsupported format version ", version));
+    }
+    if (footer.size() < at + sizeof(uint32_t)) {
+      return fail("footer too small for checksum");
+    }
+    const size_t crc_at = footer.size() - sizeof(uint32_t);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, footer.data() + crc_at, sizeof(stored_crc));
+    if (UnmaskCrc32(stored_crc) != Crc32(footer.data(), crc_at)) {
+      return fail("footer checksum mismatch");
+    }
+    footer.resize(crc_at);  // parse only the covered bytes
+    if (!GetScalar(footer.data(), footer.size(), &at, &num_cols)) {
+      return fail("truncated schema");
+    }
   }
   std::vector<ColumnDef> defs;
   defs.reserve(num_cols);
@@ -685,6 +666,9 @@ Result<std::shared_ptr<BlockStoreReader>> BlockStoreReader::Open(
                           &m.compressed) &&
                 GetScalar(footer.data(), footer.size(), &at, &m.min) &&
                 GetScalar(footer.data(), footer.size(), &at, &m.max);
+      if (ok && version >= kFormatV2) {
+        ok = GetScalar(footer.data(), footer.size(), &at, &m.crc32);
+      }
       if (!ok) return fail("truncated block index");
       reader->stored_bytes_ += m.stored_bytes;
     }
@@ -699,19 +683,35 @@ Result<DecodedBlock> BlockStoreReader::DecodeBlock(size_t col,
   const DataType type = schema_.column(col).type;
   const size_t rows = meta.num_rows;
 
+  auto bad = [&](const char* what) -> Status {
+    return Status::Corruption(
+        StrCat("block store ", path_, ": ", what, " (column '",
+               schema_.column(col).name, "', block ", block, ", offset ",
+               meta.offset, ")"));
+  };
+
   std::vector<uint8_t> stored(meta.stored_bytes);
-  if (meta.stored_bytes > 0 &&
-      ::pread(fd_, stored.data(), meta.stored_bytes,
-              static_cast<off_t>(meta.offset)) !=
-          static_cast<ssize_t>(meta.stored_bytes)) {
-    return Status::IoError(StrCat("block store ", path_, ": short read at ",
-                                  meta.offset));
+  if (meta.stored_bytes > 0) {
+    size_t got = 0;
+    // Syscall failure is IoError (retryable); reading past end-of-file
+    // means the file was truncated under us — corruption.
+    PAQL_RETURN_IF_ERROR(file_->Read(
+        meta.offset, meta.stored_bytes,
+        reinterpret_cast<char*>(stored.data()), &got));
+    if (got != meta.stored_bytes) return bad("block truncated");
+  }
+  // v2 stores checksum every block; a mismatch means bit rot or a torn
+  // write, and decoding the bytes would at best produce garbage values.
+  if (meta.crc32 != 0 &&
+      UnmaskCrc32(meta.crc32) != Crc32(stored.data(), stored.size())) {
+    return bad("block checksum mismatch");
   }
   std::vector<uint8_t> payload;
   if (meta.compressed != 0) {
     payload.resize(meta.payload_bytes);
-    PAQL_RETURN_IF_ERROR(LzDecompress(stored.data(), stored.size(),
-                                      payload.data(), payload.size()));
+    Status codec = LzDecompress(stored.data(), stored.size(),
+                                payload.data(), payload.size());
+    if (!codec.ok()) return bad(codec.message().c_str());
   } else {
     payload = std::move(stored);
   }
@@ -722,10 +722,6 @@ Result<DecodedBlock> BlockStoreReader::DecodeBlock(size_t col,
   const size_t size = payload.size();
   size_t at = 0;
   const auto enc = static_cast<BlockEncoding>(meta.encoding);
-  auto bad = [&](const char* what) -> Status {
-    return Status::IoError(StrCat("block store ", path_, ": ", what,
-                                  " (col ", col, " block ", block, ")"));
-  };
 
   switch (type) {
     case DataType::kInt64: {

@@ -16,6 +16,16 @@
 //   * The tail is the footer offset (u64) + "PQBF", so a reader seeks to
 //     the end, loads the footer, and reads blocks on demand.
 //
+// Format v2 (this writer): the footer opens with a u32 version sentinel
+// whose high bit is set (a v1 footer opens with num_cols, which never has
+// the high bit set, so readers accept both). v2 adds a masked CRC32 of
+// each block's stored bytes to its BlockMeta and a masked CRC32 of the
+// whole footer as the footer's last 4 bytes. Readers verify the footer
+// CRC at Open and each block CRC at DecodeBlock, so bit rot and torn
+// writes surface as structured `Status::Corruption` errors naming the
+// store path, column, and block — never as silently wrong query results.
+// All file I/O goes through common/env.h, so tests can inject faults.
+//
 // Encodings (chosen per block, smallest wins; every one is LOSSLESS so
 // out-of-core scans are bit-identical to in-memory ones — the raw stored
 // lanes round-trip exactly, NULL bitmaps ride separately):
@@ -39,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "relation/block_cache.h"
 #include "relation/chunk_types.h"
@@ -73,14 +84,22 @@ struct BlockMeta {
   // meaningless when null_count == num_rows or the column is a string).
   double min = 0;
   double max = 0;
+  /// Masked CRC32 of the stored bytes (format v2). 0 in v1 files, which
+  /// predate checksums — the reader skips verification for those.
+  uint32_t crc32 = 0;
 };
 
 struct BlockStoreOptions {
   /// Apply the byte codec on top of each encoded block when it shrinks.
   bool compress = true;
+  /// Filesystem seam; null = Env::Default(). Tests pass a
+  /// FaultInjectingEnv to script write failures.
+  Env* env = nullptr;
 };
 
-/// Write `table` to `path` in block-store format.
+/// Write `table` to `path` in block-store format (v2, checksummed).
+/// Every write and the final sync are checked; any I/O failure reaches
+/// the caller as a non-OK Status.
 Status WriteBlockStore(const Table& table, const std::string& path,
                        const BlockStoreOptions& options = {});
 
@@ -91,12 +110,15 @@ Status ConvertCsvToBlockStore(const std::string& csv_path,
                               const BlockStoreOptions& options = {});
 
 /// Metadata + on-demand block decoding for one block-store file. Holds
-/// the open file descriptor; reads use pread, so concurrent DecodeBlock
-/// calls from morsel-parallel scans are safe.
+/// the open file handle; reads are positional (pread), so concurrent
+/// DecodeBlock calls from morsel-parallel scans are safe.
 class BlockStoreReader {
  public:
+  /// `env` null = Env::Default(). Open failures and footer corruption
+  /// return structured errors (IoError for transient I/O, Corruption for
+  /// bad bytes); they never crash.
   static Result<std::shared_ptr<BlockStoreReader>> Open(
-      const std::string& path);
+      const std::string& path, Env* env = nullptr);
   ~BlockStoreReader();
 
   BlockStoreReader(const BlockStoreReader&) = delete;
@@ -112,14 +134,17 @@ class BlockStoreReader {
   /// Total stored bytes across all blocks (the on-disk data size).
   size_t stored_bytes() const { return stored_bytes_; }
 
-  /// Read + decompress + decode one block.
+  /// Read + decompress + decode one block. CRC-verified for v2 stores:
+  /// a checksum mismatch or malformed payload returns Status::Corruption
+  /// naming the store path, column, and block; transient read failures
+  /// return Status::IoError (callers may retry).
   Result<DecodedBlock> DecodeBlock(size_t col, size_t block) const;
 
  private:
   BlockStoreReader() = default;
 
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<RandomAccessFile> file_;
   Schema schema_;
   size_t num_rows_ = 0;
   size_t num_blocks_ = 0;

@@ -1,0 +1,59 @@
+// Little-endian scalar / varint framing helpers shared by the PQB1 block
+// store (relation/block_store.cc) and the write-ahead log (relation/wal.cc).
+//
+// These were born inside block_store.cc; the WAL frames its records with
+// the same primitives so the two on-disk formats stay idiomatic twins.
+// All integers little-endian (the repo targets x86-64/ARM64 Linux).
+#ifndef PAQL_RELATION_CODING_H_
+#define PAQL_RELATION_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace paql::relation {
+
+template <typename T>
+inline void PutScalar(std::vector<uint8_t>* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+inline bool GetScalar(const uint8_t* data, size_t size, size_t* at, T* v) {
+  if (*at + sizeof(T) > size) return false;
+  std::memcpy(v, data + *at, sizeof(T));
+  *at += sizeof(T);
+  return true;
+}
+
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+inline bool GetVarint(const uint8_t* data, size_t size, size_t* at,
+                      uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*at < size && shift < 64) {
+    uint8_t byte = data[(*at)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace paql::relation
+
+#endif  // PAQL_RELATION_CODING_H_

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "relation/chunk_types.h"
 #include "relation/schema.h"
 #include "relation/value.h"
@@ -110,6 +111,20 @@ class ColumnSource {
   /// Cheap guard for the scan paths: false means no RowDeleted call can
   /// return true, so scans skip the per-row check entirely.
   virtual bool has_deleted_rows() const { return false; }
+
+  // --- Storage-fault channel (out-of-core sources; see disk_table.h) ---
+
+  /// Returns-and-clears the first storage error recorded since the last
+  /// call (non-OK only when a read-path accessor hit unreadable bytes).
+  ///
+  /// The read accessors above deliberately have no error channel — they
+  /// mirror Table, whose reads cannot fail — so an out-of-core source
+  /// that hits corrupt or unreadable bytes records the failure here and
+  /// serves deterministic placeholder lanes (zeros, flagged NULL). Query
+  /// execution drains this channel after evaluating and fails the query
+  /// with the recorded structured Status instead of trusting the result.
+  /// Plain in-memory sources always return OK.
+  virtual Status ConsumeError() const { return Status::OK(); }
 
   /// Rows with non-NULL values in all the given columns.
   virtual std::vector<RowId> NonNullRows(const std::vector<size_t>& cols) const;

@@ -1,43 +1,105 @@
 #include "relation/disk_table.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "common/str_util.h"
 
 namespace paql::relation {
 
 Result<std::shared_ptr<DiskTable>> DiskTable::Open(
-    const std::string& path, std::shared_ptr<BlockCache> cache) {
+    const std::string& path, std::shared_ptr<BlockCache> cache, Env* env,
+    const RetryOptions& retry) {
   PAQL_ASSIGN_OR_RETURN(std::shared_ptr<BlockStoreReader> reader,
-                        BlockStoreReader::Open(path));
+                        BlockStoreReader::Open(path, env));
   if (cache == nullptr) cache = std::make_shared<BlockCache>();
   return std::shared_ptr<DiskTable>(
-      new DiskTable(std::move(reader), std::move(cache)));
+      new DiskTable(std::move(reader), std::move(cache), retry));
 }
 
 DiskTable::DiskTable(std::shared_ptr<BlockStoreReader> reader,
-                     std::shared_ptr<BlockCache> cache)
+                     std::shared_ptr<BlockCache> cache,
+                     const RetryOptions& retry)
     : reader_(std::move(reader)),
       cache_(std::move(cache)),
-      store_id_(BlockCache::NewStoreId()) {}
+      store_id_(BlockCache::NewStoreId()),
+      retry_(retry) {}
 
 DiskTable::~DiskTable() { cache_->EraseStore(store_id_); }
+
+Result<DecodedBlock> DiskTable::DecodeWithRetry(size_t col,
+                                                size_t block) const {
+  const uint64_t qkey = (static_cast<uint64_t>(col) << 32) | block;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    auto it = quarantine_.find(qkey);
+    if (it != quarantine_.end()) return it->second;  // fail fast
+  }
+  Status last = Status::OK();
+  int backoff_us = retry_.backoff_initial_us;
+  for (int attempt = 0; attempt < std::max(1, retry_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= retry_.backoff_multiplier;
+      io_retries_.fetch_add(1);
+    }
+    Result<DecodedBlock> decoded = reader_->DecodeBlock(col, block);
+    if (decoded.ok()) return decoded;
+    last = decoded.status();
+  }
+  // Every attempt failed: quarantine so later touches fail fast instead
+  // of re-paying the retry storm for bytes that will not improve.
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (quarantine_.emplace(qkey, last).second) quarantined_.fetch_add(1);
+  }
+  return last;
+}
+
+BlockCache::Handle DiskTable::PoisonBlock(size_t col, size_t block) const {
+  auto poison = std::make_shared<DecodedBlock>();
+  const BlockMeta& meta = reader_->meta(col, block);
+  poison->type = reader_->schema().column(col).type;
+  switch (poison->type) {
+    case DataType::kInt64: poison->ints.assign(meta.num_rows, 0); break;
+    case DataType::kDouble: poison->doubles.assign(meta.num_rows, 0.0); break;
+    case DataType::kString:
+      poison->strings.assign(meta.num_rows, std::string());
+      break;
+  }
+  poison->nulls.assign(meta.num_rows, 1);
+  return poison;
+}
 
 BlockCache::Handle DiskTable::Block(size_t col, size_t block) const {
   BlockKey key{store_id_, static_cast<uint32_t>(col),
                static_cast<uint32_t>(block)};
-  return cache_->GetOrLoad(key, [&]() -> BlockCache::Handle {
-    Result<DecodedBlock> decoded = reader_->DecodeBlock(col, block);
-    // Read-path accessors (GetDouble, LoadChunk) have no error channel —
-    // exactly like Table, whose reads cannot fail. A decode failure here
-    // means the file was truncated or corrupted after Open validated the
-    // footer, which is a crashing invariant violation, not a user error.
-    PAQL_CHECK_MSG(decoded.ok(),
-                   StrCat("block decode failed: ", decoded.status().message()));
+  BlockCache::Handle h = cache_->GetOrLoad(key, [&]() -> BlockCache::Handle {
+    Result<DecodedBlock> decoded = DecodeWithRetry(col, block);
+    if (!decoded.ok()) {
+      // Record the first failure for ConsumeError; return null so the
+      // cache does NOT retain the placeholder (a later successful read —
+      // say, after the operator restores the file — must not be shadowed
+      // by a cached poison block).
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      if (first_error_.ok()) first_error_ = decoded.status();
+      return nullptr;
+    }
     return std::make_shared<const DecodedBlock>(std::move(*decoded));
   });
+  if (h == nullptr) return PoisonBlock(col, block);
+  return h;
+}
+
+Status DiskTable::ConsumeError() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  Status out = first_error_;
+  first_error_ = Status::OK();
+  return out;
 }
 
 BlockCache::Handle DiskTable::StringBlock(size_t col, size_t block) const {

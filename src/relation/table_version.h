@@ -112,6 +112,11 @@ class TableVersion final : public ColumnSource {
   }
   bool has_deleted_rows() const override { return num_deleted_ > 0; }
 
+  /// Storage faults originate in the base (the append segment is an
+  /// in-memory Table and cannot fail); forward the channel so a versioned
+  /// DiskTable still surfaces corruption to query execution.
+  Status ConsumeError() const override { return base_->ConsumeError(); }
+
   // --- Version chain facts ---
 
   /// Monotonic version number: Wrap gives 0, each Apply adds 1.

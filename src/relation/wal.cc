@@ -1,0 +1,440 @@
+#include "relation/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/crc32.h"
+#include "common/str_util.h"
+#include "relation/coding.h"
+
+namespace paql::relation {
+namespace {
+
+constexpr char kWalMagic[4] = {'P', 'Q', 'W', 'L'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kSegmentHeaderBytes = sizeof(kWalMagic) + sizeof(uint32_t);
+constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);  // crc + len
+/// Sanity bound on one record's payload (a delta batch is row-granular;
+/// anything near this is a corrupt length field, not a real record).
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+constexpr char kSegmentPrefix[] = "wal-";
+constexpr char kSegmentSuffix[] = ".log";
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parse "wal-NNNNNN.log" -> seq; 0 when the name is not a segment.
+uint64_t SegmentSeq(const std::string& name) {
+  const size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix) return 0;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return 0;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+/// Sorted sequence numbers of the segments present in `dir` (empty when
+/// the directory is missing — a fresh database has no log yet).
+Result<std::vector<uint64_t>> ListSegments(Env* env, const std::string& dir) {
+  if (!env->FileExists(dir)) return std::vector<uint64_t>{};
+  PAQL_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    const uint64_t seq = SegmentSeq(name);
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool GetString(const uint8_t* data, size_t size, size_t* at, std::string* s) {
+  uint64_t len = 0;
+  if (!GetVarint(data, size, at, &len) || *at + len > size) return false;
+  s->assign(reinterpret_cast<const char*>(data + *at),
+            static_cast<size_t>(len));
+  *at += len;
+  return true;
+}
+
+// Value tags inside a delta payload.
+enum : uint8_t {
+  kValNull = 0,
+  kValInt64 = 1,
+  kValDouble = 2,
+  kValString = 3,
+};
+
+void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  if (v.is_null()) {
+    PutScalar<uint8_t>(out, kValNull);
+  } else if (v.is_int64()) {
+    PutScalar<uint8_t>(out, kValInt64);
+    PutScalar<int64_t>(out, v.AsInt64());
+  } else if (v.is_double()) {
+    PutScalar<uint8_t>(out, kValDouble);
+    PutScalar<double>(out, v.AsDouble());
+  } else {
+    PutScalar<uint8_t>(out, kValString);
+    PutString(out, v.AsString());
+  }
+}
+
+bool GetValue(const uint8_t* data, size_t size, size_t* at, Value* v) {
+  uint8_t tag = 0;
+  if (!GetScalar(data, size, at, &tag)) return false;
+  switch (tag) {
+    case kValNull:
+      *v = Value::Null();
+      return true;
+    case kValInt64: {
+      int64_t i = 0;
+      if (!GetScalar(data, size, at, &i)) return false;
+      *v = Value(i);
+      return true;
+    }
+    case kValDouble: {
+      double d = 0;
+      if (!GetScalar(data, size, at, &d)) return false;
+      *v = Value(d);
+      return true;
+    }
+    case kValString: {
+      std::string s;
+      if (!GetString(data, size, at, &s)) return false;
+      *v = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
+  std::vector<uint8_t> out;
+  PutScalar<uint8_t>(&out, static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecord::Kind::kDelta: {
+      PutString(&out, record.table);
+      PutScalar<uint64_t>(&out, record.base_version);
+      PutVarint(&out, record.delta.inserts.size());
+      for (const std::vector<Value>& row : record.delta.inserts) {
+        PutVarint(&out, row.size());
+        for (const Value& v : row) PutValue(&out, v);
+      }
+      PutVarint(&out, record.delta.deletes.size());
+      for (const RowId row : record.delta.deletes) PutVarint(&out, row);
+      break;
+    }
+    case WalRecord::Kind::kWatch:
+      PutScalar<uint64_t>(&out, record.watch_id);
+      PutString(&out, record.query);
+      break;
+    case WalRecord::Kind::kUnwatch:
+      PutScalar<uint64_t>(&out, record.watch_id);
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeWalRecord(const uint8_t* data, size_t size) {
+  auto bad = [](const char* what) {
+    return Status::Corruption(StrCat("wal record: ", what));
+  };
+  size_t at = 0;
+  uint8_t kind = 0;
+  if (!GetScalar(data, size, &at, &kind)) return bad("empty payload");
+  WalRecord record;
+  switch (kind) {
+    case static_cast<uint8_t>(WalRecord::Kind::kDelta): {
+      record.kind = WalRecord::Kind::kDelta;
+      if (!GetString(data, size, &at, &record.table)) {
+        return bad("bad table name");
+      }
+      if (!GetScalar(data, size, &at, &record.base_version)) {
+        return bad("bad base version");
+      }
+      uint64_t n_inserts = 0;
+      if (!GetVarint(data, size, &at, &n_inserts) || n_inserts > size) {
+        return bad("bad insert count");
+      }
+      record.delta.inserts.reserve(n_inserts);
+      for (uint64_t i = 0; i < n_inserts; ++i) {
+        uint64_t n_values = 0;
+        if (!GetVarint(data, size, &at, &n_values) || n_values > size) {
+          return bad("bad row arity");
+        }
+        std::vector<Value> row;
+        row.reserve(n_values);
+        for (uint64_t v = 0; v < n_values; ++v) {
+          Value value;
+          if (!GetValue(data, size, &at, &value)) return bad("bad value");
+          row.push_back(std::move(value));
+        }
+        record.delta.inserts.push_back(std::move(row));
+      }
+      uint64_t n_deletes = 0;
+      if (!GetVarint(data, size, &at, &n_deletes) || n_deletes > size) {
+        return bad("bad delete count");
+      }
+      record.delta.deletes.reserve(n_deletes);
+      for (uint64_t i = 0; i < n_deletes; ++i) {
+        uint64_t row = 0;
+        if (!GetVarint(data, size, &at, &row) ||
+            row > std::numeric_limits<RowId>::max()) {
+          return bad("bad delete row id");
+        }
+        record.delta.deletes.push_back(static_cast<RowId>(row));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(WalRecord::Kind::kWatch):
+      record.kind = WalRecord::Kind::kWatch;
+      if (!GetScalar(data, size, &at, &record.watch_id)) {
+        return bad("bad watch id");
+      }
+      if (!GetString(data, size, &at, &record.query)) {
+        return bad("bad watch query");
+      }
+      break;
+    case static_cast<uint8_t>(WalRecord::Kind::kUnwatch):
+      record.kind = WalRecord::Kind::kUnwatch;
+      if (!GetScalar(data, size, &at, &record.watch_id)) {
+        return bad("bad unwatch id");
+      }
+      break;
+    default:
+      return bad("unknown record kind");
+  }
+  if (at != size) return bad("trailing bytes");
+  return record;
+}
+
+// --- Writer -------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("wal: empty directory");
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(options));
+  writer->env_ =
+      options.env != nullptr ? options.env : Env::Default();
+  PAQL_RETURN_IF_ERROR(writer->env_->CreateDir(options.dir));
+  PAQL_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs,
+                        ListSegments(writer->env_, options.dir));
+  std::lock_guard<std::mutex> lock(writer->mu_);
+  writer->seq_ = seqs.empty() ? 0 : seqs.back();
+  PAQL_RETURN_IF_ERROR(writer->OpenSegmentLocked());
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) (void)Close();  // best effort; errors unreportable
+}
+
+Status WalWriter::OpenSegmentLocked() {
+  if (file_ != nullptr) {
+    PAQL_RETURN_IF_ERROR(file_->Sync());
+    PAQL_RETURN_IF_ERROR(file_->Close());
+    file_ = nullptr;
+  }
+  ++seq_;
+  const std::string path = StrCat(options_.dir, "/", SegmentName(seq_));
+  PAQL_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path));
+  std::vector<uint8_t> header;
+  header.insert(header.end(), kWalMagic, kWalMagic + sizeof(kWalMagic));
+  PutScalar<uint32_t>(&header, kWalVersion);
+  PAQL_RETURN_IF_ERROR(file_->Append(header.data(), header.size()));
+  segment_bytes_ = header.size();
+  unsynced_records_ = 0;
+  ++segments_;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Internal("wal: writer is closed");
+  const std::vector<uint8_t> payload = EncodeWalRecord(record);
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameBytes + payload.size());
+  PutScalar<uint32_t>(&frame,
+                      MaskCrc32(Crc32(payload.data(), payload.size())));
+  PutScalar<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  // One write per record: a crash tears at most the frame's tail, which
+  // replay recognizes as the end of the log.
+  PAQL_RETURN_IF_ERROR(file_->Append(frame.data(), frame.size()));
+  segment_bytes_ += frame.size();
+  bytes_ += frame.size();
+  ++records_;
+  ++unsynced_records_;
+
+  switch (options_.sync) {
+    case WalSync::kAlways:
+      PAQL_RETURN_IF_ERROR(file_->Sync());
+      ++syncs_;
+      unsynced_records_ = 0;
+      break;
+    case WalSync::kBatch:
+      if (unsynced_records_ >= std::max(1, options_.sync_every_n)) {
+        PAQL_RETURN_IF_ERROR(file_->Sync());
+        ++syncs_;
+        unsynced_records_ = 0;
+      }
+      break;
+    case WalSync::kNone:
+      break;
+  }
+  if (segment_bytes_ >= options_.segment_bytes) {
+    PAQL_RETURN_IF_ERROR(OpenSegmentLocked());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Internal("wal: writer is closed");
+  PAQL_RETURN_IF_ERROR(file_->Sync());
+  ++syncs_;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  Status sync = file_->Sync();
+  Status close = file_->Close();
+  file_ = nullptr;
+  PAQL_RETURN_IF_ERROR(sync);
+  return close;
+}
+
+uint64_t WalWriter::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+uint64_t WalWriter::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+uint64_t WalWriter::segments_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_;
+}
+uint64_t WalWriter::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+// --- Replay -------------------------------------------------------------
+
+Result<WalReplayStats> ReplayWal(
+    const WalOptions& options,
+    const std::function<Status(const WalRecord&)>& apply) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  WalReplayStats stats;
+  PAQL_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs,
+                        ListSegments(env, options.dir));
+  for (size_t s = 0; s < seqs.size(); ++s) {
+    const bool last_segment = s + 1 == seqs.size();
+    const std::string path =
+        StrCat(options.dir, "/", SegmentName(seqs[s]));
+    PAQL_ASSIGN_OR_RETURN(const uint64_t file_size, env->GetFileSize(path));
+    PAQL_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                          env->NewRandomAccessFile(path));
+    // A segment too small for its header: torn at creation time. Legal
+    // only as the final segment (the crash that tore it ended the log).
+    if (file_size < kSegmentHeaderBytes) {
+      if (last_segment) {
+        stats.torn_tail = true;
+        break;
+      }
+      return Status::Corruption(StrCat("wal ", path, ": truncated header"));
+    }
+    std::vector<uint8_t> bytes(file_size);
+    PAQL_RETURN_IF_ERROR(file->ReadExact(
+        0, file_size, reinterpret_cast<char*>(bytes.data())));
+    if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      return Status::Corruption(StrCat("wal ", path, ": bad magic"));
+    }
+    uint32_t version = 0;
+    size_t at = sizeof(kWalMagic);
+    (void)GetScalar(bytes.data(), bytes.size(), &at, &version);
+    if (version != kWalVersion) {
+      return Status::Corruption(
+          StrCat("wal ", path, ": unsupported version ", version));
+    }
+    ++stats.segments;
+
+    while (at < bytes.size()) {
+      auto torn = [&](const char* what) -> Status {
+        if (last_segment) {
+          // The crash signature: an incomplete or checksum-failing final
+          // record. Everything before it is intact — stop cleanly.
+          stats.torn_tail = true;
+          at = bytes.size();
+          return Status::OK();
+        }
+        return Status::Corruption(StrCat("wal ", path, ": ", what));
+      };
+      uint32_t masked_crc = 0, len = 0;
+      if (at + kFrameBytes > bytes.size()) {
+        PAQL_RETURN_IF_ERROR(torn("truncated frame"));
+        continue;
+      }
+      (void)GetScalar(bytes.data(), bytes.size(), &at, &masked_crc);
+      (void)GetScalar(bytes.data(), bytes.size(), &at, &len);
+      if (len > kMaxRecordBytes || at + len > bytes.size()) {
+        at -= kFrameBytes;
+        PAQL_RETURN_IF_ERROR(torn("truncated record"));
+        continue;
+      }
+      if (UnmaskCrc32(masked_crc) != Crc32(bytes.data() + at, len)) {
+        at -= kFrameBytes;
+        PAQL_RETURN_IF_ERROR(torn("record checksum mismatch"));
+        continue;
+      }
+      PAQL_ASSIGN_OR_RETURN(WalRecord record,
+                            DecodeWalRecord(bytes.data() + at, len));
+      at += len;
+      stats.bytes += kFrameBytes + len;
+      ++stats.records;
+      PAQL_RETURN_IF_ERROR(apply(record));
+    }
+    if (stats.torn_tail) break;
+  }
+  return stats;
+}
+
+Status PurgeWal(const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  PAQL_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs, ListSegments(env, dir));
+  for (const uint64_t seq : seqs) {
+    PAQL_RETURN_IF_ERROR(
+        env->RemoveFile(StrCat(dir, "/", SegmentName(seq))));
+  }
+  return Status::OK();
+}
+
+}  // namespace paql::relation

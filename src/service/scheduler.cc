@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/proc.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 
@@ -29,6 +30,32 @@ Result<int> QueryScheduler::Admit(QueryClass query_class,
   std::unique_lock<std::mutex> lock(mu_);
   const bool interactive = query_class == QueryClass::kInteractive;
   int& waiting = interactive ? waiting_interactive_ : waiting_batch_;
+  // Load shedding happens at arrival, before the request ever queues:
+  // under overload, a fast "come back in N ms" beats a slow admission
+  // that starves the work already queued. The retry hint scales with the
+  // queue depth (each waiter is roughly one service time of backlog).
+  {
+    const int bar =
+        interactive ? options_.shed_waiting_interactive
+                    : options_.shed_waiting_batch;
+    if (bar > 0 && waiting >= bar) {
+      ++shed_queue_;
+      ++rejected_;
+      return Status::Unavailable(StrCat(
+          "admission queue full (", waiting, " ",
+          interactive ? "interactive" : "batch",
+          " requests waiting); retry-after-ms=", 50 * (waiting + 1)));
+    }
+    if (options_.shed_memory_bytes > 0 &&
+        ProcessResidentBytes() >= options_.shed_memory_bytes) {
+      ++shed_memory_;
+      ++rejected_;
+      return Status::Unavailable(StrCat(
+          "memory watermark exceeded (rss ", ProcessResidentBytes() >> 20,
+          " MiB >= ", options_.shed_memory_bytes >> 20,
+          " MiB); retry-after-ms=", 200));
+    }
+  }
   ++waiting;
   // Interactive admits once a slot frees; batch additionally defers to any
   // waiting interactive request (the admission-level half of the priority
@@ -159,6 +186,8 @@ SchedulerStats QueryScheduler::stats() const {
   out.waiting = waiting_interactive_ + waiting_batch_;
   out.gate_yields = PriorityGate::Global().yields();
   out.aged_batch_admits = aged_batch_admits_;
+  out.shed_queue = shed_queue_;
+  out.shed_memory = shed_memory_;
   return out;
 }
 

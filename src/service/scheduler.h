@@ -77,6 +77,26 @@ struct SchedulerOptions {
   /// enables the fair-share grant; an explicit count is honored as-is.
   /// exec.limits and exec.cancel are per-request and always overridden.
   EngineOptions engine;
+
+  // --- Load shedding (graceful degradation under overload) ---
+  //
+  // An unbounded admission queue turns overload into unbounded latency
+  // for everyone; shedding the excess keeps the latency of admitted work
+  // sane and tells rejected callers when to come back. Deferrable work
+  // sheds first: batch requests are rejected at `shed_waiting_batch`
+  // queued requests of their class, interactive only at the higher
+  // `shed_waiting_interactive` bar. Rejections carry kUnavailable with a
+  // machine-readable `retry-after-ms=N` hint scaled to the queue depth.
+
+  /// Shed an arriving interactive request when this many interactive
+  /// requests already wait for admission. 0 disables the bar.
+  int shed_waiting_interactive = 0;
+  /// Shed an arriving batch request when this many batch requests already
+  /// wait. 0 disables the bar.
+  int shed_waiting_batch = 0;
+  /// Shed every arriving request while the process RSS (from
+  /// /proc/self/statm) exceeds this many bytes. 0 disables the watermark.
+  size_t shed_memory_bytes = 0;
 };
 
 /// Counters (consistent snapshot) for observability and the service tests.
@@ -90,6 +110,10 @@ struct SchedulerStats {
   /// Batch requests admitted past waiting interactive ones because their
   /// wait exceeded batch_starvation_window_s.
   int64_t aged_batch_admits = 0;
+  /// Requests rejected at arrival with kUnavailable: admission queue past
+  /// its shedding bar, and process RSS past the memory watermark.
+  int64_t shed_queue = 0;
+  int64_t shed_memory = 0;
 };
 
 class QueryScheduler {
@@ -156,6 +180,8 @@ class QueryScheduler {
   int64_t completed_ = 0;
   int64_t rejected_ = 0;
   int64_t aged_batch_admits_ = 0;
+  int64_t shed_queue_ = 0;
+  int64_t shed_memory_ = 0;
 };
 
 }  // namespace paql::service

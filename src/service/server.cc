@@ -65,6 +65,29 @@ std::string FormatResultLines(const QueryResult& result, int64_t micros) {
   return os.str();
 }
 
+const char* ErrCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kParseError: return "PARSE";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kUnbounded: return "UNBOUNDED";
+    case StatusCode::kResourceExhausted: return "BUDGET";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kIoError: return "IO";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kUnavailable: return "OVERLOADED";
+  }
+  return "INTERNAL";
+}
+
+std::string FormatErrorLine(const Status& status) {
+  return StrCat("ERR ", ErrCodeToken(status.code()), " ",
+                OneLine(status.message()), "\n");
+}
+
 Server::Server(Catalog& catalog, ServerOptions options)
     : catalog_(&catalog),
       scheduler_(catalog, options.scheduler),
@@ -75,6 +98,15 @@ Server::~Server() { Stop(); }
 
 Status Server::Start() {
   if (running_.load()) return Status::OK();
+
+  // Durability first: recover (and start logging) before the listener
+  // exists, so no connection can ever observe pre-recovery state.
+  if (!options_.wal_dir.empty()) {
+    relation::WalOptions wal;
+    wal.dir = options_.wal_dir;
+    wal.sync = options_.wal_sync;
+    PAQL_RETURN_IF_ERROR(registry_.Recover(wal).status());
+  }
 
   int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (lfd < 0) {
@@ -156,6 +188,15 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(int fd) {
+  // Idle/read timeout: a silent client's recv() returns EAGAIN after
+  // idle_timeout_s instead of pinning this thread forever.
+  if (options_.idle_timeout_s > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.idle_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options_.idle_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -163,14 +204,36 @@ void Server::ServeConnection(int fd) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Idle timeout expired. Tell the client why before closing.
+        (void)SendAll(fd, FormatErrorLine(Status::Unavailable(StrCat(
+                              "idle timeout (", options_.idle_timeout_s,
+                              "s) expired; reconnect to continue"))));
+      }
       break;
     }
     buffer.append(chunk, static_cast<size_t>(n));
+    // Bounded request line: a client streaming bytes with no newline is
+    // rejected before its line buffer outgrows the request budget.
+    if (buffer.size() > options_.max_request_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      (void)SendAll(fd, FormatErrorLine(Status::InvalidArgument(StrCat(
+                            "request line exceeds ",
+                            options_.max_request_bytes, " bytes"))));
+      break;
+    }
     size_t newline;
     while (open && (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > options_.max_request_bytes) {
+        (void)SendAll(fd, FormatErrorLine(Status::InvalidArgument(StrCat(
+                              "request line exceeds ",
+                              options_.max_request_bytes, " bytes"))));
+        open = false;
+        break;
+      }
       std::string response;
       open = HandleLine(line, &response);
       if (!response.empty() && !SendAll(fd, response)) open = false;
@@ -210,7 +273,11 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
        << " rows_inserted=" << u.rows_inserted
        << " rows_deleted=" << u.rows_deleted << " watches=" << u.watches
        << " repairs=" << u.repairs
-       << " incremental_repairs=" << u.incremental << "\n";
+       << " incremental_repairs=" << u.incremental
+       << " shed_queue=" << s.shed_queue << " shed_memory=" << s.shed_memory
+       << " durable=" << (u.durable ? 1 : 0)
+       << " wal_records=" << u.wal_records << " wal_syncs=" << u.wal_syncs
+       << "\n";
     *response = os.str();
     return true;
   }
@@ -227,7 +294,8 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
 
   if (verb == "RUN" || verb == "BATCH") {
     if (rest.find_first_not_of(" \t") == std::string::npos) {
-      *response = StrCat("ERR ", verb, " needs a PaQL statement\n");
+      *response = FormatErrorLine(
+          Status::InvalidArgument(StrCat(verb, " needs a PaQL statement")));
       return true;
     }
     QueryRequest request;
@@ -238,15 +306,16 @@ bool Server::HandleLine(const std::string& line, std::string* response) {
     auto result = scheduler_.Execute(request);
     int64_t micros = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
     if (!result.ok()) {
-      *response = StrCat("ERR ", OneLine(result.status().message()), "\n");
+      *response = FormatErrorLine(result.status());
       return true;
     }
     *response = FormatResultLines(*result, micros);
     return true;
   }
 
-  *response = StrCat("ERR unknown command '", OneLine(verb),
-                     "' (RUN, BATCH, INSERT, DELETE, WATCH, STATS, QUIT)\n");
+  *response = FormatErrorLine(Status::InvalidArgument(
+      StrCat("unknown command '", verb,
+             "' (RUN, BATCH, INSERT, DELETE, WATCH, STATS, QUIT)")));
   return true;
 }
 
@@ -254,8 +323,8 @@ void Server::HandleUpdate(bool is_insert, const std::string& rest,
                           std::string* response) {
   size_t name_start = rest.find_first_not_of(" \t");
   if (name_start == std::string::npos) {
-    *response = StrCat("ERR ", is_insert ? "INSERT" : "DELETE",
-                       " needs a table name\n");
+    *response = FormatErrorLine(Status::InvalidArgument(StrCat(
+        is_insert ? "INSERT" : "DELETE", " needs a table name")));
     return;
   }
   size_t name_end = rest.find_first_of(" \t", name_start);
@@ -263,8 +332,8 @@ void Server::HandleUpdate(bool is_insert, const std::string& rest,
   std::string payload =
       name_end == std::string::npos ? std::string() : rest.substr(name_end + 1);
   if (payload.find_first_not_of(" \t") == std::string::npos) {
-    *response = StrCat("ERR ", is_insert ? "INSERT needs rows" : "DELETE needs row ids",
-                       "\n");
+    *response = FormatErrorLine(Status::InvalidArgument(
+        is_insert ? "INSERT needs rows" : "DELETE needs row ids"));
     return;
   }
 
@@ -273,20 +342,20 @@ void Server::HandleUpdate(bool is_insert, const std::string& rest,
     auto snapshot = catalog_->Snapshot();
     auto it = snapshot->find(table);
     if (it == snapshot->end()) {
-      *response = StrCat("ERR table '", OneLine(table),
-                         "' is not registered\n");
+      *response = FormatErrorLine(Status::NotFound(
+          StrCat("table '", table, "' is not registered")));
       return;
     }
     Status parsed =
         relation::ParseInsertRows(it->second->schema(), payload, &delta);
     if (!parsed.ok()) {
-      *response = StrCat("ERR ", OneLine(parsed.message()), "\n");
+      *response = FormatErrorLine(parsed);
       return;
     }
   } else {
     Status parsed = relation::ParseDeleteRows(payload, &delta);
     if (!parsed.ok()) {
-      *response = StrCat("ERR ", OneLine(parsed.message()), "\n");
+      *response = FormatErrorLine(parsed);
       return;
     }
   }
@@ -295,7 +364,7 @@ void Server::HandleUpdate(bool is_insert, const std::string& rest,
   auto result = registry_.ApplyUpdates(table, delta);
   int64_t micros = static_cast<int64_t>(watch.ElapsedSeconds() * 1e6);
   if (!result.ok()) {
-    *response = StrCat("ERR ", OneLine(result.status().message()), "\n");
+    *response = FormatErrorLine(result.status());
     return;
   }
   std::ostringstream os;
@@ -312,7 +381,8 @@ void Server::HandleWatch(const std::string& rest, std::string* response) {
   std::string trimmed = rest;
   size_t start = trimmed.find_first_not_of(" \t");
   if (start == std::string::npos) {
-    *response = "ERR WATCH needs a PaQL statement or a watch id\n";
+    *response = FormatErrorLine(Status::InvalidArgument(
+        "WATCH needs a PaQL statement or a watch id"));
     return;
   }
   size_t end = trimmed.find_last_not_of(" \t");
@@ -324,19 +394,19 @@ void Server::HandleWatch(const std::string& rest, std::string* response) {
     // WATCH <id>: look up the standing query's current package.
     auto got = registry_.Get(std::strtoull(trimmed.c_str(), nullptr, 10));
     if (!got.ok()) {
-      *response = StrCat("ERR ", OneLine(got.status().message()), "\n");
+      *response = FormatErrorLine(got.status());
       return;
     }
     sq = std::move(*got);
   } else {
     auto id = registry_.Watch(trimmed);
     if (!id.ok()) {
-      *response = StrCat("ERR ", OneLine(id.status().message()), "\n");
+      *response = FormatErrorLine(id.status());
       return;
     }
     auto got = registry_.Get(*id);
     if (!got.ok()) {
-      *response = StrCat("ERR ", OneLine(got.status().message()), "\n");
+      *response = FormatErrorLine(got.status());
       return;
     }
     sq = std::move(*got);

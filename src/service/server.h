@@ -21,7 +21,14 @@
 //   WATCH <id>      (look up)          (same as WATCH <paql>)
 //   STATS                              STATS active=... hits=... ...
 //   QUIT                               (connection closes)
-//   <anything else / failed query>     ERR <one-line message>
+//   <anything else / failed query>     ERR <CODE> <one-line message>
+//
+// Every failure class has a distinct ERR code so clients can react
+// without parsing prose: PARSE, INVALID_ARGUMENT, NOT_FOUND, UNSUPPORTED,
+// INFEASIBLE, UNBOUNDED, BUDGET (solver budget exhausted / cancelled),
+// OVERLOADED (the scheduler shed the request — the message carries a
+// retry-after-ms hint), CORRUPTION (on-disk bytes failed a checksum; not
+// retryable), IO (filesystem failure; retryable), INTERNAL.
 //
 // `id:mult` pairs are the package rows (ascending row id) with their
 // multiplicities — enough for a client to verify bit-identical results
@@ -46,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "relation/wal.h"
 #include "service/catalog.h"
 #include "service/scheduler.h"
 #include "service/standing_query.h"
@@ -58,12 +66,40 @@ struct ServerOptions {
   uint16_t port = 0;
   int listen_backlog = 64;
   SchedulerOptions scheduler;
+
+  /// Close a connection that stays silent this long between requests
+  /// (SO_RCVTIMEO on the socket) — an idle or wedged client must not pin
+  /// a connection thread forever. <= 0 disables the timeout.
+  double idle_timeout_s = 0;
+  /// Largest accepted request line. A client that streams bytes without
+  /// ever sending a newline gets ERR INVALID_ARGUMENT and the connection
+  /// closes instead of growing the line buffer without bound.
+  size_t max_request_bytes = 1 << 20;
+
+  /// Non-empty enables durability: Start() replays any existing
+  /// write-ahead log in this directory (rebuilding table versions and
+  /// standing queries, publishing them to the catalog), then every
+  /// subsequent INSERT/DELETE batch and WATCH is logged before it is
+  /// acked. See relation/wal.h.
+  std::string wal_dir;
+  /// Fsync policy for the log: kAlways = acked implies durable; kBatch =
+  /// bounded loss window, near-zero overhead; kNone = rotation/close only.
+  relation::WalSync wal_sync = relation::WalSync::kBatch;
 };
 
 /// Formats one successful result as the two protocol lines
 /// ("PKG ...\nOK <micros>\n"); shared by the server and the in-process
 /// bench so "what the client would see" has exactly one definition.
 std::string FormatResultLines(const QueryResult& result, int64_t micros);
+
+/// The protocol's error-code token for a status code ("PARSE",
+/// "OVERLOADED", ...). Never returns null.
+const char* ErrCodeToken(StatusCode code);
+
+/// Formats a failure as the protocol's error line, newline included:
+/// "ERR <CODE> <one-line message>\n". Shared with the serve bench, whose
+/// serial baseline predicts server responses byte-for-byte.
+std::string FormatErrorLine(const Status& status);
 
 class Server {
  public:

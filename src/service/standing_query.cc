@@ -59,6 +59,39 @@ std::vector<StandingQuery> StandingQueryRegistry::List() const {
   return session_->standing_queries();
 }
 
+Result<relation::WalReplayStats> StandingQueryRegistry::Recover(
+    const relation::WalOptions& wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAQL_RETURN_IF_ERROR(EnsureSessionLocked());
+  relation::WalReplayStats stats;
+  {
+    // Replay is batch-class work like the live update path, so a server
+    // that starts recovering while already accepting queries does not add
+    // tail latency to them.
+    ScopedWorkClass batch_class(WorkClass::kBatch);
+    PAQL_ASSIGN_OR_RETURN(stats, session_->RecoverFromWal(wal));
+  }
+  // Publish every version the replay rebuilt; sessions opened from here
+  // on read the recovered state, not the base files.
+  for (const std::string& name : session_->table_names()) {
+    auto table = session_->GetTable(name);
+    if (!table.ok()) continue;
+    auto version =
+        std::dynamic_pointer_cast<const relation::TableVersion>(*table);
+    if (version == nullptr || version->version() == 0) continue;
+    PAQL_RETURN_IF_ERROR(catalog_->PublishVersion(name, *table));
+  }
+  stats_.watches = session_->standing_queries().size();
+  PAQL_RETURN_IF_ERROR(session_->EnableDurability(wal));
+  return stats;
+}
+
+Status StandingQueryRegistry::EnableDurability(const relation::WalOptions& wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PAQL_RETURN_IF_ERROR(EnsureSessionLocked());
+  return session_->EnableDurability(wal);
+}
+
 Result<UpdateResult> StandingQueryRegistry::ApplyUpdates(
     const std::string& table_name, const relation::TableDelta& delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -87,7 +120,14 @@ Result<UpdateResult> StandingQueryRegistry::ApplyUpdates(
 
 StandingQueryStats StandingQueryRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  StandingQueryStats out = stats_;
+  if (session_.has_value() && session_->wal() != nullptr) {
+    out.durable = true;
+    out.wal_records =
+        static_cast<int64_t>(session_->wal()->records_appended());
+    out.wal_syncs = static_cast<int64_t>(session_->wal()->syncs());
+  }
+  return out;
 }
 
 }  // namespace paql::service

@@ -31,6 +31,7 @@
 
 #include "engine/engine.h"
 #include "relation/table_version.h"
+#include "relation/wal.h"
 #include "service/catalog.h"
 
 namespace paql::service {
@@ -43,6 +44,9 @@ struct StandingQueryStats {
   int64_t repairs = 0;          // standing-query refreshes performed
   int64_t incremental = 0;      // ... of which via ReEvaluatePackage
   size_t watches = 0;           // currently registered standing queries
+  bool durable = false;         // write-ahead logging is on
+  int64_t wal_records = 0;      // records appended since durability began
+  int64_t wal_syncs = 0;        // fsyncs issued by the log
 };
 
 class StandingQueryRegistry {
@@ -63,6 +67,20 @@ class StandingQueryRegistry {
   /// Current state of one / all standing queries.
   Result<StandingQuery> Get(uint64_t id) const;
   std::vector<StandingQuery> List() const;
+
+  /// Recover from — then keep appending to — the write-ahead log in
+  /// `wal.dir`: replay every intact record against the catalog's base
+  /// tables (the recovered deltas flow through the normal ApplyUpdates
+  /// path, repairs included), publish the recovered versions to the
+  /// catalog so new sessions read them, re-register the standing queries
+  /// under their original ids, and finally open the log for appending so
+  /// subsequent batches are durable. Call once, after the base tables are
+  /// registered, before serving. An empty or absent directory recovers
+  /// zero records and simply turns durability on.
+  Result<relation::WalReplayStats> Recover(const relation::WalOptions& wal);
+
+  /// Turn on logging without replaying (a directory known to be fresh).
+  Status EnableDurability(const relation::WalOptions& wal);
 
   /// Apply one batch to `table_name`: advance the version chain, absorb
   /// the batch into the cached partitionings, repair the standing queries

@@ -1,0 +1,235 @@
+// Kill-and-recover torture harness: a child process (this binary,
+// re-executed with --crash-child) streams deterministic update batches
+// into a WAL-durable session and prints an ack per committed batch; the
+// parent SIGKILLs it at a randomized crash point, replays the log into a
+// fresh session, and compares the result cell-for-cell against a twin
+// that applied the same prefix without ever crashing. Byte-identical
+// recovery at every crash point is the whole durability claim.
+//
+// This file has its own main() (it links gtest, not gtest_main): the
+// --crash-child mode must run the update loop, not the test suite.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "engine/engine.h"
+#include "relation/table.h"
+#include "relation/table_version.h"
+#include "relation/wal.h"
+
+namespace paql::relation {
+namespace {
+
+constexpr int kCrashPoints = 50;
+constexpr size_t kSeedRows = 64;
+constexpr size_t kInsertsPerBatch = 4;
+constexpr char kWatchQuery[] =
+    "SELECT PACKAGE(R) AS P FROM R REPEAT 0 "
+    "SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.v)";
+
+/// The base relation both the child and every twin start from.
+Table SeedTable() {
+  Table t{Schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}})};
+  for (size_t i = 0; i < kSeedRows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),
+                 Value(static_cast<double>((i * 13) % 101) + 0.5)});
+  }
+  return t;
+}
+
+/// Batch `b`, identical in every process that computes it: four inserts,
+/// and from the second batch on one delete of the first row the previous
+/// batch inserted (a live row in every version, never deleted twice).
+TableDelta DeltaForBatch(int b) {
+  TableDelta delta;
+  Rng rng(9000 + b);
+  for (size_t i = 0; i < kInsertsPerBatch; ++i) {
+    delta.Insert({Value(static_cast<int64_t>(100000 + b * 10) +
+                        static_cast<int64_t>(i)),
+                  Value(rng.Uniform(-50.0, 50.0))});
+  }
+  if (b > 0) {
+    delta.Delete(static_cast<RowId>(kSeedRows + (b - 1) * kInsertsPerBatch));
+  }
+  return delta;
+}
+
+Result<Session> OpenSession() {
+  EngineOptions eo;
+  eo.exec.threads = 1;  // replay determinism: one absorb/repair order
+  return Engine::Open(SeedTable(), "R", eo);
+}
+
+/// The child: durable session, one standing query, then batches streamed
+/// until the parent's SIGKILL lands. One "acked N" line per *committed*
+/// batch — by the time a line is printed, the delta is fsync'd in the WAL.
+int ChildMain(const char* wal_dir) {
+  auto session = OpenSession();
+  if (!session.ok()) return 3;
+  WalOptions wal;
+  wal.dir = wal_dir;
+  wal.sync = WalSync::kAlways;
+  if (!session->EnableDurability(wal).ok()) return 3;
+  if (!session->Watch(kWatchQuery).ok()) return 3;
+  for (int b = 0; b < 1000000; ++b) {
+    auto applied = session->ApplyUpdates("R", DeltaForBatch(b));
+    if (!applied.ok()) {
+      std::fprintf(stderr, "child: %s\n",
+                   std::string(applied.status().message()).c_str());
+      return 3;
+    }
+    std::printf("acked %d\n", b);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// Every cell (NULL flag, deleted flag, bit-exact value) equal.
+void ExpectByteIdentical(const ColumnSource& a, const ColumnSource& b) {
+  ASSERT_TRUE(a.schema() == b.schema());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (RowId r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.RowDeleted(r), b.RowDeleted(r)) << "row " << r;
+    if (a.RowDeleted(r)) continue;
+    ASSERT_EQ(a.IsNull(r, 0), b.IsNull(r, 0)) << "row " << r;
+    ASSERT_EQ(a.GetInt64(r, 0), b.GetInt64(r, 0)) << "row " << r;
+    ASSERT_EQ(a.GetDouble(r, 1), b.GetDouble(r, 1)) << "row " << r;
+  }
+}
+
+TEST(CrashRecoveryTest, RandomizedKillPointsRecoverByteIdentical) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "paql_crash_recovery")
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  int torn_tails = 0;
+  for (int iter = 0; iter < kCrashPoints; ++iter) {
+    SCOPED_TRACE(StrCat("crash point ", iter));
+    Rng rng(777 + iter);
+    const std::string wal_dir = StrCat(root, "/wal_", iter);
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: acks to the pipe, then exec ourselves in --crash-child
+      // mode (a fresh process image, so no gtest state leaks through).
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      execl("/proc/self/exe", "crash_recovery_test", "--crash-child",
+            wal_dir.c_str(), static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    close(fds[1]);
+
+    // Read acks until the randomized crash point, then pull the trigger.
+    // A random post-ack dawdle moves the kill around inside the next
+    // batch: sometimes mid-append (a torn tail), sometimes between
+    // records (a clean end) — both must recover.
+    const int target = static_cast<int>(rng.UniformInt(1, 24));
+    FILE* acks = fdopen(fds[0], "r");
+    ASSERT_NE(acks, nullptr);
+    int acked = 0;
+    char line[64];
+    while (acked < target && std::fgets(line, sizeof(line), acks)) {
+      ++acked;
+    }
+    ASSERT_EQ(acked, target) << "child died before the crash point";
+    if (rng.Bernoulli(0.5)) {
+      usleep(static_cast<useconds_t>(rng.UniformInt(0, 3000)));
+    }
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL)
+        << "child exited on its own (status " << wstatus
+        << "): the kill was not mid-stream";
+    std::fclose(acks);
+
+    // Recover the crashed state from the log.
+    WalOptions wal;
+    wal.dir = wal_dir;
+    auto recovered = OpenSession();
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    auto stats = recovered->RecoverFromWal(wal);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    torn_tails += stats->torn_tail ? 1 : 0;
+    auto rec_table = recovered->GetTable("R");
+    ASSERT_TRUE(rec_table.ok());
+    auto rec_version =
+        std::dynamic_pointer_cast<const TableVersion>(*rec_table);
+    ASSERT_NE(rec_version, nullptr);
+    const int committed = static_cast<int>(rec_version->version());
+    // Prefix durability: everything acked before the kill is present
+    // (fsync-per-record), possibly plus batches committed after the last
+    // ack the parent happened to read.
+    ASSERT_GE(committed, acked);
+
+    // The never-crashed twin: same watch, same batch prefix, no WAL.
+    auto twin = OpenSession();
+    ASSERT_TRUE(twin.ok()) << twin.status();
+    ASSERT_TRUE(twin->Watch(kWatchQuery).ok());
+    for (int b = 0; b < committed; ++b) {
+      auto applied = twin->ApplyUpdates("R", DeltaForBatch(b));
+      ASSERT_TRUE(applied.ok()) << applied.status();
+    }
+    auto twin_table = twin->GetTable("R");
+    ASSERT_TRUE(twin_table.ok());
+    auto twin_version =
+        std::dynamic_pointer_cast<const TableVersion>(*twin_table);
+    ASSERT_NE(twin_version, nullptr);
+
+    ASSERT_EQ(rec_version->version(), twin_version->version());
+    ASSERT_EQ(rec_version->num_live_rows(), twin_version->num_live_rows());
+    ExpectByteIdentical(*twin_version, *rec_version);
+
+    // The standing query came back under its original id with the same
+    // repaired answer, and fresh queries agree exactly.
+    auto rec_sq = recovered->GetStandingQuery(1);
+    auto twin_sq = twin->GetStandingQuery(1);
+    ASSERT_TRUE(rec_sq.ok() && twin_sq.ok());
+    ASSERT_EQ(rec_sq->valid, twin_sq->valid);
+    ASSERT_EQ(rec_sq->package.rows, twin_sq->package.rows);
+    ASSERT_EQ(rec_sq->version, twin_sq->version);
+    auto rec_q = recovered->Execute(kWatchQuery);
+    auto twin_q = twin->Execute(kWatchQuery);
+    ASSERT_TRUE(rec_q.ok() && twin_q.ok());
+    ASSERT_EQ(rec_q->package.rows, twin_q->package.rows);
+    ASSERT_EQ(rec_q->objective, twin_q->objective);
+
+    std::filesystem::remove_all(wal_dir);
+  }
+  // The dawdle makes some kills land mid-append; flag if the sweep never
+  // once produced a torn tail AND never once a clean cut (either way the
+  // randomization has collapsed). Clean cuts dominate (fsync-per-record
+  // makes the append window narrow), so only warn via the test log.
+  std::printf("[ torture  ] %d/%d crash points left a torn tail\n",
+              torn_tails, kCrashPoints);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace paql::relation
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--crash-child") == 0) {
+    return paql::relation::ChildMain(argv[2]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -638,7 +638,9 @@ class TestClient {
     if (fd_ >= 0) ::close(fd_);
   }
   bool SendLine(const std::string& line) {
-    std::string data = line + "\n";
+    return SendRaw(line + "\n");
+  }
+  bool SendRaw(const std::string& data) {
     return ::send(fd_, data.data(), data.size(), 0) ==
            static_cast<ssize_t>(data.size());
   }
@@ -705,7 +707,7 @@ TEST(ServerTest, SpeaksTheLineProtocol) {
   EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
   ASSERT_TRUE(client.SendLine("FROB x"));
   ASSERT_TRUE(client.ReadLine(&line));
-  EXPECT_EQ(line.rfind("ERR unknown command", 0), 0u) << line;
+  EXPECT_EQ(line.rfind("ERR INVALID_ARGUMENT unknown command", 0), 0u) << line;
   ASSERT_TRUE(client.SendLine("RUN"));
   ASSERT_TRUE(client.ReadLine(&line));
   EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
@@ -767,6 +769,152 @@ TEST(ServerTest, ConcurrentClientsGetBitIdenticalAnswers) {
   }
   for (std::thread& thread : clients) thread.join();
   EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: load shedding and connection hygiene
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, ShedsAtTheQueueBarWithRetryAfterHint) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  SchedulerOptions sopts;
+  sopts.engine = DeterministicOptions();
+  sopts.max_concurrent = 1;
+  sopts.shed_waiting_interactive = 1;
+  QueryScheduler scheduler(catalog, sopts);
+
+  // Hold the only slot, then park one request in the admission queue.
+  ASSERT_TRUE(
+      SchedulerTestAccess::Admit(&scheduler, QueryClass::kInteractive).ok());
+  std::thread waiter([&] {
+    QueryRequest request;
+    request.paql = kRecipesQuery;
+    request.budget.deadline_seconds = 30;
+    EXPECT_TRUE(scheduler.Execute(request).ok());
+  });
+  while (scheduler.stats().waiting < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The queue is at the bar: the next arrival is shed immediately with a
+  // machine-readable come-back-later hint, instead of queueing behind
+  // work that cannot drain.
+  QueryRequest probe;
+  probe.paql = kRecipesQuery;
+  auto shed = scheduler.Execute(probe);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status();
+  EXPECT_NE(shed.status().message().find("retry-after-ms="),
+            std::string::npos)
+      << shed.status();
+  EXPECT_EQ(scheduler.stats().shed_queue, 1);
+
+  // Shedding is about arrival, not occupancy: releasing the slot drains
+  // the queued request normally.
+  SchedulerTestAccess::Release(&scheduler);
+  waiter.join();
+  EXPECT_EQ(scheduler.stats().waiting, 0);
+}
+
+TEST(SchedulerTest, MemoryWatermarkShedsEveryArrival) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  SchedulerOptions sopts;
+  sopts.engine = DeterministicOptions();
+  sopts.shed_memory_bytes = 1;  // any live process is over this watermark
+  QueryScheduler scheduler(catalog, sopts);
+
+  QueryRequest request;
+  request.paql = kRecipesQuery;
+  auto shed = scheduler.Execute(request);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status();
+  EXPECT_NE(shed.status().message().find("memory watermark"),
+            std::string::npos)
+      << shed.status();
+  EXPECT_NE(shed.status().message().find("retry-after-ms="),
+            std::string::npos)
+      << shed.status();
+  EXPECT_EQ(scheduler.stats().shed_memory, 1);
+}
+
+TEST(ServerTest, OverloadShowsUpAsOverloadedErrLine) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  ServerOptions options;
+  options.scheduler.engine = DeterministicOptions();
+  options.scheduler.shed_memory_bytes = 1;  // permanently "overloaded"
+  Server server(catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(client.SendLine(StrCat("RUN ", kRecipesQuery)));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR OVERLOADED ", 0), 0u) << line;
+  EXPECT_NE(line.find("retry-after-ms="), std::string::npos) << line;
+  // The connection survives shedding: the client is meant to retry.
+  ASSERT_TRUE(client.SendLine("STATS"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("STATS ", 0), 0u) << line;
+  EXPECT_NE(line.find("shed_memory=1"), std::string::npos) << line;
+  server.Stop();
+}
+
+TEST(ServerTest, IdleConnectionsTimeOutWithAnExplanation) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  ServerOptions options;
+  options.scheduler.engine = DeterministicOptions();
+  options.idle_timeout_s = 0.2;
+  Server server(catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // Say nothing. The server explains the hangup, then closes.
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR OVERLOADED idle timeout", 0), 0u) << line;
+  EXPECT_TRUE(client.AtEof());
+  server.Stop();
+}
+
+TEST(ServerTest, OversizedRequestLinesAreRejectedNotBuffered) {
+  Catalog catalog;
+  PopulateServiceCatalog(&catalog);
+  ServerOptions options;
+  options.scheduler.engine = DeterministicOptions();
+  options.max_request_bytes = 64;
+  Server server(catalog, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A newline-terminated line over the budget: rejected, connection done.
+  {
+    TestClient client;
+    ASSERT_TRUE(client.Connect(server.port()));
+    ASSERT_TRUE(client.SendLine("RUN " + std::string(200, 'x')));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR INVALID_ARGUMENT request line exceeds", 0), 0u)
+        << line;
+    EXPECT_TRUE(client.AtEof());
+  }
+  // A byte stream with no newline at all: rejected as soon as the buffer
+  // passes the budget, not after unbounded growth.
+  {
+    TestClient client;
+    ASSERT_TRUE(client.Connect(server.port()));
+    ASSERT_TRUE(client.SendRaw(std::string(4096, 'y')));  // never a newline
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR INVALID_ARGUMENT request line exceeds", 0), 0u)
+        << line;
+    EXPECT_TRUE(client.AtEof());
+  }
   server.Stop();
 }
 
