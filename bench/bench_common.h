@@ -219,6 +219,47 @@ struct MicroSpeedup {
   double factor = 0;
 };
 
+/// A speedup the JSON writer derives at write time:
+/// factor = entries[baseline] / entries[optimized]. Suites declare the
+/// pairing and never hand-compute (or worse, hand-maintain) the factor,
+/// so the top-level "speedup" map can never drift from the measurements
+/// it summarizes.
+struct SpeedupRule {
+  std::string name;
+  std::string baseline;   // entry name of the unoptimized path
+  std::string optimized;  // entry name of the optimized path
+};
+
+/// Resolve one rule against the measured entry lists (pipeline entries
+/// first, then solver entries). Aborts on a dangling entry name: a rule
+/// referencing a measurement nobody recorded is a bench bug.
+inline std::vector<MicroSpeedup> DeriveSpeedups(
+    const std::vector<SpeedupRule>& rules,
+    const std::vector<MicroMeasurement>& entries,
+    const std::vector<MicroMeasurement>& solver_entries) {
+  auto lookup = [&](const std::string& name) {
+    for (const auto& e : entries) {
+      if (e.name == name) return e.ns_per_row;
+    }
+    for (const auto& e : solver_entries) {
+      if (e.name == name) return e.ns_per_row;
+    }
+    PAQL_CHECK_MSG(false, "speedup rule references unmeasured entry '"
+                              << name << "'");
+    return 0.0;
+  };
+  std::vector<MicroSpeedup> out;
+  out.reserve(rules.size());
+  for (const auto& rule : rules) {
+    double baseline = lookup(rule.baseline);
+    double optimized = lookup(rule.optimized);
+    PAQL_CHECK_MSG(optimized > 0, "speedup rule '" << rule.name
+                                                   << "' divides by zero");
+    out.push_back({rule.name, baseline / optimized});
+  }
+  return out;
+}
+
 /// The morsel-parallel suite's own BENCH_micro.json section. Parallel
 /// speedups scale with the core count, so they carry the worker count and
 /// the machine's hardware threads; the regression guard only compares two
@@ -233,17 +274,52 @@ struct ParallelBenchSection {
   std::vector<MicroSpeedup> speedups;
 };
 
+/// The SIMD-kernel suite's BENCH_micro.json section. Each entry pair is
+/// the same dispatched kernel with SIMD active vs forced onto its scalar
+/// fallback, so the ratios are a property of the instruction set, not the
+/// machine's clock; the section carries the dispatch level so the
+/// regression guard only compares files measured at the same level (a
+/// scalar-only container measuring ~1x is not a regression against an
+/// AVX2 baseline's 4x).
+struct SimdBenchSection {
+  std::string level;  // simd::LevelName(simd::ActiveLevel()) at run time
+  size_t rows = 0;    // lanes per kernel invocation
+  std::vector<MicroMeasurement> entries;
+  std::vector<SpeedupRule> rules;  // derived at write time, like the rest
+};
+
+/// The dual-pricing suite's BENCH_micro.json section: warm knapsack node
+/// re-solves with steepest-edge pricing + bound flips vs the
+/// most-violated-row baseline. Pivot counts are deterministic for a fixed
+/// model, so the pivot ratio transfers across machines and is the number
+/// the regression guard watches; the wall-clock entries live in the
+/// solver section like every other per-solve timing.
+struct DsePricingSection {
+  int resolves = 0;             // warm re-solves per mode
+  int64_t baseline_pivots = 0;  // total simplex iterations, DSE off
+  int64_t dse_pivots = 0;       // total simplex iterations, DSE on
+  int64_t bound_flips = 0;      // nonbasic bound flips the DSE runs took
+  double pivot_ratio = 0;       // baseline_pivots / dse_pivots
+};
+
 /// Write the BENCH_micro.json perf-trajectory record: per-kernel ns/row for
 /// the expression pipelines, per-solve µs for the solver paths (their own
 /// section, since the unit and problem size differ), plus the speedup
-/// factors (unitless ratios, shared across both suites). The format is
-/// flat on purpose — stable keys — so successive PRs diff cleanly.
+/// factors (unitless ratios, shared across both suites). Every factor in
+/// the top-level "speedup" map is derived HERE, at write time, from the
+/// named measurements via `rules` — the suites only declare which two
+/// entries form each ratio. The format is flat on purpose — stable keys —
+/// so successive PRs diff cleanly.
 inline Status WriteBenchMicroJson(
     const std::string& path, size_t rows,
     const std::vector<MicroMeasurement>& entries,
-    const std::vector<MicroSpeedup>& speedups,
+    const std::vector<SpeedupRule>& rules,
     const std::vector<MicroMeasurement>& solver_entries = {},
-    size_t solver_rows = 0, const ParallelBenchSection* parallel = nullptr) {
+    size_t solver_rows = 0, const ParallelBenchSection* parallel = nullptr,
+    const SimdBenchSection* simd = nullptr,
+    const DsePricingSection* dse = nullptr) {
+  std::vector<MicroSpeedup> speedups =
+      DeriveSpeedups(rules, entries, solver_entries);
   std::ofstream os(path);
   if (!os) {
     return Status::InvalidArgument(StrCat("cannot write ", path));
@@ -293,6 +369,38 @@ inline Status WriteBenchMicroJson(
          << (i + 1 < parallel->speedups.size() ? "," : "") << "\n";
     }
     os << "    }\n";
+    os << "  },\n";
+  }
+  if (simd != nullptr) {
+    std::vector<MicroSpeedup> simd_speedups =
+        DeriveSpeedups(simd->rules, simd->entries, {});
+    os << "  \"simd\": {\n";
+    os << "    \"level\": \"" << simd->level << "\",\n";
+    os << "    \"rows\": " << simd->rows << ",\n";
+    os << "    \"entries\": {\n";
+    for (size_t i = 0; i < simd->entries.size(); ++i) {
+      os << "      \"" << simd->entries[i].name
+         << "\": " << FormatDouble(simd->entries[i].ns_per_row, 3)
+         << (i + 1 < simd->entries.size() ? "," : "") << "\n";
+    }
+    os << "    },\n";
+    os << "    \"speedup\": {\n";
+    for (size_t i = 0; i < simd_speedups.size(); ++i) {
+      os << "      \"" << simd_speedups[i].name
+         << "\": " << FormatDouble(simd_speedups[i].factor, 2)
+         << (i + 1 < simd_speedups.size() ? "," : "") << "\n";
+    }
+    os << "    }\n";
+    os << "  },\n";
+  }
+  if (dse != nullptr) {
+    os << "  \"dse_pricing\": {\n";
+    os << "    \"resolves\": " << dse->resolves << ",\n";
+    os << "    \"baseline_pivots\": " << dse->baseline_pivots << ",\n";
+    os << "    \"dse_pivots\": " << dse->dse_pivots << ",\n";
+    os << "    \"bound_flips\": " << dse->bound_flips << ",\n";
+    os << "    \"pivot_ratio\": " << FormatDouble(dse->pivot_ratio, 2)
+       << "\n";
     os << "  },\n";
   }
   os << "  \"speedup\": {\n";

@@ -10,12 +10,16 @@
 // keeps future performance PRs honest.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <random>
 
 #include "bench/bench_common.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "relation/block_store.h"
 #include "core/direct.h"
 #include "core/ratio_objective.h"
 #include "core/sketch_refine.h"
@@ -345,10 +349,11 @@ double BestNsPerRow(size_t rows, int reps, Fn fn) {
 
 /// Measure the four pipeline kernels at `rows` rows, cross-check that both
 /// pipelines agree exactly, print a paper-style table, and append the
-/// measurements to `entries`/`speedups`.
+/// measurements to `entries` plus the speedup pairings to `rules` (the
+/// JSON writer derives the factors from the entries at write time).
 void RunVectorizedMicroSuite(size_t rows,
                              std::vector<MicroMeasurement>* out_entries,
-                             std::vector<MicroSpeedup>* out_speedups) {
+                             std::vector<SpeedupRule>* out_rules) {
   MicroKernels k = MakeMicroKernels(rows);
   const relation::Table& t = *k.table;
 
@@ -385,26 +390,26 @@ void RunVectorizedMicroSuite(size_t rows,
                            translate::AggregateSumVectorized(t, k.agg));
                      })});
 
-  std::vector<MicroSpeedup> speedups;
-  speedups.push_back(
-      {"predicate_scan", entries[0].ns_per_row / entries[1].ns_per_row});
-  speedups.push_back(
-      {"sum_aggregate", entries[2].ns_per_row / entries[3].ns_per_row});
+  out_rules->push_back({"predicate_scan", "predicate_scan_scalar",
+                        "predicate_scan_vectorized"});
+  out_rules->push_back({"sum_aggregate", "sum_aggregate_scalar",
+                        "sum_aggregate_vectorized"});
 
   TablePrinter printer({"kernel", "ns/row", "speedup"});
   printer.AddRow({entries[0].name, FormatDouble(entries[0].ns_per_row, 2),
                   "1.00"});
   printer.AddRow({entries[1].name, FormatDouble(entries[1].ns_per_row, 2),
-                  FormatDouble(speedups[0].factor, 2)});
+                  FormatDouble(entries[0].ns_per_row / entries[1].ns_per_row,
+                               2)});
   printer.AddRow({entries[2].name, FormatDouble(entries[2].ns_per_row, 2),
                   "1.00"});
   printer.AddRow({entries[3].name, FormatDouble(entries[3].ns_per_row, 2),
-                  FormatDouble(speedups[1].factor, 2)});
+                  FormatDouble(entries[2].ns_per_row / entries[3].ns_per_row,
+                               2)});
   std::cout << "== scalar vs vectorized pipelines (" << rows << " rows) ==\n";
   printer.Print(std::cout);
 
   out_entries->insert(out_entries->end(), entries.begin(), entries.end());
-  out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
 }
 
 /// Cold vs warm solver paths, the other BENCH_micro.json suite:
@@ -425,7 +430,7 @@ void RunVectorizedMicroSuite(size_t rows,
 /// compare inside the timed loop — negligible).
 void RunWarmStartMicroSuite(size_t rows,
                             std::vector<MicroMeasurement>* out_entries,
-                            std::vector<MicroSpeedup>* out_speedups) {
+                            std::vector<SpeedupRule>* out_rules) {
   const relation::Table& t = SharedGalaxy(rows);
   auto q = lang::ParsePackageQuery(kQueryText);
   PAQL_CHECK_MSG(q.ok(), q.status());
@@ -567,25 +572,25 @@ void RunWarmStartMicroSuite(size_t rows,
   entries.push_back({"node_resolve_warm_us", us_per(node_warm_s, kResolves)});
   entries.push_back({"refine_loop_cold_us", us_per(refine_cold_s, kRefines)});
   entries.push_back({"refine_loop_warm_us", us_per(refine_warm_s, kRefines)});
-  std::vector<MicroSpeedup> speedups;
-  speedups.push_back({"warm_node_resolve", node_cold_s / node_warm_s});
-  speedups.push_back({"warm_refine_loop", refine_cold_s / refine_warm_s});
+  out_rules->push_back({"warm_node_resolve", "node_resolve_cold_us",
+                        "node_resolve_warm_us"});
+  out_rules->push_back({"warm_refine_loop", "refine_loop_cold_us",
+                        "refine_loop_warm_us"});
 
   TablePrinter printer({"solver path", "us/solve", "speedup"});
   printer.AddRow({entries[0].name, FormatDouble(entries[0].ns_per_row, 1),
                   "1.00"});
   printer.AddRow({entries[1].name, FormatDouble(entries[1].ns_per_row, 1),
-                  FormatDouble(speedups[0].factor, 2)});
+                  FormatDouble(node_cold_s / node_warm_s, 2)});
   printer.AddRow({entries[2].name, FormatDouble(entries[2].ns_per_row, 1),
                   "1.00"});
   printer.AddRow({entries[3].name, FormatDouble(entries[3].ns_per_row, 1),
-                  FormatDouble(speedups[1].factor, 2)});
+                  FormatDouble(refine_cold_s / refine_warm_s, 2)});
   std::cout << "== cold vs warm solver (" << rows << " rows, "
             << group->size() << "-row refine group) ==\n";
   printer.Print(std::cout);
 
   out_entries->insert(out_entries->end(), entries.begin(), entries.end());
-  out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
 }
 
 /// Sparse solver core suite, the third BENCH_micro.json section:
@@ -603,7 +608,7 @@ void RunWarmStartMicroSuite(size_t rows,
 /// Both pairs are cross-checked for identical objectives before timing.
 void RunSparseSolverMicroSuite(size_t pricing_rows, size_t presolve_cols,
                                std::vector<MicroMeasurement>* out_entries,
-                               std::vector<MicroSpeedup>* out_speedups) {
+                               std::vector<SpeedupRule>* out_rules) {
   Deadline deadline(300.0);
 
   // --- Per-pivot pricing over the 1M-column package LP. ---
@@ -743,27 +748,310 @@ void RunSparseSolverMicroSuite(size_t pricing_rows, size_t presolve_cols,
       {"pricing_partial_us_per_pivot_1m_cols", partial_us_per_pivot});
   entries.push_back({"presolve_off_ilp_us", off_s * 1e6});
   entries.push_back({"presolve_on_ilp_us", on_s * 1e6});
-  std::vector<MicroSpeedup> speedups;
-  speedups.push_back(
-      {"pricing_full_vs_partial", full_us_per_pivot / partial_us_per_pivot});
-  speedups.push_back({"presolve_on_vs_off", off_s / on_s});
+  out_rules->push_back({"pricing_full_vs_partial",
+                        "pricing_full_us_per_pivot_1m_cols",
+                        "pricing_partial_us_per_pivot_1m_cols"});
+  out_rules->push_back(
+      {"presolve_on_vs_off", "presolve_off_ilp_us", "presolve_on_ilp_us"});
 
   TablePrinter printer({"solver path", "us", "speedup"});
   printer.AddRow({entries[0].name, FormatDouble(entries[0].ns_per_row, 2),
                   "1.00"});
   printer.AddRow({entries[1].name, FormatDouble(entries[1].ns_per_row, 2),
-                  FormatDouble(speedups[0].factor, 2)});
+                  FormatDouble(full_us_per_pivot / partial_us_per_pivot, 2)});
   printer.AddRow({entries[2].name, FormatDouble(entries[2].ns_per_row, 1),
                   "1.00"});
   printer.AddRow({entries[3].name, FormatDouble(entries[3].ns_per_row, 1),
-                  FormatDouble(speedups[1].factor, 2)});
+                  FormatDouble(off_s / on_s, 2)});
   std::cout << "== sparse solver core (" << pricing_rows
             << "-column pricing LP, " << presolve_cols
             << "-column presolve ILP) ==\n";
   printer.Print(std::cout);
 
   out_entries->insert(out_entries->end(), entries.begin(), entries.end());
-  out_speedups->insert(out_speedups->end(), speedups.begin(), speedups.end());
+}
+
+/// SIMD-kernel suite, the "simd" BENCH_micro.json section: three
+/// dispatched kernels measured with SIMD active vs forced onto their
+/// scalar fallbacks (the simd::ForceScalar runtime switch — the same
+/// binary, the same call sites, only the dispatch flips):
+///
+///  * predicate scan — the full vectorized WHERE pipeline (compare +
+///    compact into selection vectors) over the Galaxy table;
+///  * compaction — the branchless CompactCmpConst kernel alone, chunk by
+///    chunk, the shape translate/vector_expr feeds it;
+///  * FOR decode — block-store scaled-decimal decode (bit unpack +
+///    frame-of-reference add + exact int64->double divide) through
+///    BlockStoreReader::DecodeBlock on an uncompressed store.
+///
+/// Every pair is cross-checked for identical results before timing; the
+/// section records the active dispatch level so the regression guard only
+/// compares files measured at the same level.
+void RunSimdMicroSuite(size_t rows, SimdBenchSection* out) {
+  out->level = simd::LevelName(simd::ActiveLevel());
+  out->rows = rows;
+  PAQL_CHECK_MSG(!simd::ScalarForced(),
+                 "simd suite started with scalar dispatch forced");
+  constexpr int kReps = 5;
+
+  // --- Predicate scan through the vectorized pipeline. ---
+  MicroKernels k = MakeMicroKernels(rows);
+  const relation::Table& t = *k.table;
+  simd::ForceScalar(true);
+  size_t scalar_count = CountVectorized(t, k.batch_pred);
+  double scan_scalar_ns = BestNsPerRow(rows, kReps, [&] {
+    benchmark::DoNotOptimize(CountVectorized(t, k.batch_pred));
+  });
+  simd::ForceScalar(false);
+  size_t simd_count = CountVectorized(t, k.batch_pred);
+  double scan_simd_ns = BestNsPerRow(rows, kReps, [&] {
+    benchmark::DoNotOptimize(CountVectorized(t, k.batch_pred));
+  });
+  PAQL_CHECK_MSG(scalar_count == simd_count,
+                 "SIMD predicate scan diverged: " << simd_count << " vs "
+                                                  << scalar_count);
+
+  // --- The compaction kernel alone, chunk by chunk. ---
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> lane(-20.0, 20.0);
+  std::vector<double> lanes(rows);
+  for (auto& v : lanes) v = lane(rng);
+  // One SIMD group may be written past the returned count (see simd.h).
+  std::vector<uint16_t> idx(relation::kChunkSize + 8);
+  auto compact_all = [&] {
+    size_t n = 0;
+    for (size_t start = 0; start < rows; start += relation::kChunkSize) {
+      uint32_t len = static_cast<uint32_t>(
+          std::min(relation::kChunkSize, rows - start));
+      n += simd::CompactCmpConst(lanes.data() + start, len, simd::Cmp::kLe,
+                                 0.0, idx.data());
+    }
+    return n;
+  };
+  simd::ForceScalar(true);
+  size_t compact_scalar = compact_all();
+  double compact_scalar_ns =
+      BestNsPerRow(rows, kReps, [&] { benchmark::DoNotOptimize(compact_all()); });
+  simd::ForceScalar(false);
+  size_t compact_simd = compact_all();
+  double compact_simd_ns =
+      BestNsPerRow(rows, kReps, [&] { benchmark::DoNotOptimize(compact_all()); });
+  PAQL_CHECK_MSG(compact_scalar == compact_simd,
+                 "SIMD compaction diverged: " << compact_simd << " vs "
+                                              << compact_scalar);
+
+  // --- Scaled-decimal FOR decode through the block store. ---
+  // Values are exactly i/100, so the writer picks kForDecimal; compression
+  // is off so the timed loop is the decode kernels, not the LZ codec.
+  const size_t decode_rows = 8 * relation::kBlockRows;
+  relation::Table dec{relation::Schema({{"v", relation::DataType::kDouble}})};
+  std::uniform_int_distribution<int64_t> cents(-500000, 500000);
+  for (size_t r = 0; r < decode_rows; ++r) {
+    dec.AppendRowUnchecked(
+        {relation::Value(static_cast<double>(cents(rng)) / 100.0)});
+  }
+  std::string store_path =
+      (std::filesystem::temp_directory_path() / "paql_bench_for_decode.pqb")
+          .string();
+  relation::BlockStoreOptions store_opts;
+  store_opts.compress = false;
+  PAQL_CHECK(relation::WriteBlockStore(dec, store_path, store_opts).ok());
+  auto reader = relation::BlockStoreReader::Open(store_path);
+  PAQL_CHECK_MSG(reader.ok(), reader.status());
+  for (size_t b = 0; b < (*reader)->num_blocks(); ++b) {
+    PAQL_CHECK_MSG(
+        (*reader)->meta(0, b).encoding ==
+            static_cast<uint8_t>(relation::BlockEncoding::kForDecimal),
+        "FOR-decode suite block " << b << " did not encode as kForDecimal");
+  }
+  auto decode_all = [&] {
+    double acc = 0;
+    for (size_t b = 0; b < (*reader)->num_blocks(); ++b) {
+      auto block = (*reader)->DecodeBlock(0, b);
+      PAQL_CHECK_MSG(block.ok(), block.status());
+      acc += block->doubles.front() + block->doubles.back();
+    }
+    return acc;
+  };
+  // Cross-check: both modes must reproduce the source bit-for-bit.
+  for (bool force : {true, false}) {
+    simd::ForceScalar(force);
+    size_t row = 0;
+    for (size_t b = 0; b < (*reader)->num_blocks(); ++b) {
+      auto block = (*reader)->DecodeBlock(0, b);
+      PAQL_CHECK_MSG(block.ok(), block.status());
+      for (double v : block->doubles) {
+        PAQL_CHECK_MSG(
+            v == dec.GetDouble(static_cast<relation::RowId>(row), 0),
+            "FOR decode diverged at row " << row << " (forced_scalar="
+                                          << force << ")");
+        ++row;
+      }
+    }
+    PAQL_CHECK(row == decode_rows);
+  }
+  simd::ForceScalar(true);
+  double decode_scalar_ns = BestNsPerRow(decode_rows, kReps, [&] {
+    benchmark::DoNotOptimize(decode_all());
+  });
+  simd::ForceScalar(false);
+  double decode_simd_ns = BestNsPerRow(decode_rows, kReps, [&] {
+    benchmark::DoNotOptimize(decode_all());
+  });
+  reader->reset();
+  std::remove(store_path.c_str());
+
+  out->entries.push_back({"predicate_scan_forced_scalar", scan_scalar_ns});
+  out->entries.push_back({"predicate_scan_simd", scan_simd_ns});
+  out->entries.push_back({"compaction_forced_scalar", compact_scalar_ns});
+  out->entries.push_back({"compaction_simd", compact_simd_ns});
+  out->entries.push_back({"for_decode_forced_scalar", decode_scalar_ns});
+  out->entries.push_back({"for_decode_simd", decode_simd_ns});
+  out->rules.push_back({"simd_predicate_scan", "predicate_scan_forced_scalar",
+                        "predicate_scan_simd"});
+  out->rules.push_back(
+      {"simd_compaction", "compaction_forced_scalar", "compaction_simd"});
+  out->rules.push_back(
+      {"simd_for_decode", "for_decode_forced_scalar", "for_decode_simd"});
+
+  TablePrinter printer({"kernel", "ns/row", "speedup"});
+  printer.AddRow({out->entries[0].name,
+                  FormatDouble(scan_scalar_ns, 2), "1.00"});
+  printer.AddRow({out->entries[1].name, FormatDouble(scan_simd_ns, 2),
+                  FormatDouble(scan_scalar_ns / scan_simd_ns, 2)});
+  printer.AddRow({out->entries[2].name,
+                  FormatDouble(compact_scalar_ns, 2), "1.00"});
+  printer.AddRow({out->entries[3].name, FormatDouble(compact_simd_ns, 2),
+                  FormatDouble(compact_scalar_ns / compact_simd_ns, 2)});
+  printer.AddRow({out->entries[4].name,
+                  FormatDouble(decode_scalar_ns, 2), "1.00"});
+  printer.AddRow({out->entries[5].name, FormatDouble(decode_simd_ns, 2),
+                  FormatDouble(decode_scalar_ns / decode_simd_ns, 2)});
+  std::cout << "== forced-scalar vs SIMD kernels (level " << out->level
+            << ", " << rows << " scan rows, " << decode_rows
+            << " decode rows) ==\n";
+  printer.Print(std::cout);
+}
+
+/// Dual-pricing suite, the "dse_pricing" BENCH_micro.json section: warm
+/// node re-solves on a boxed knapsack LP — overload the capacity by fixing
+/// a batch of columns to 1, re-optimize from the root basis with the dual
+/// simplex — under steepest-edge pricing + bound-flipping (the default)
+/// vs the most-violated-row baseline (the kill switch). Objectives are
+/// cross-checked every step; the recorded pivot counts are deterministic
+/// for the fixed model, so their ratio transfers across machines (the
+/// wall-clock entries join the solver section like every other timing).
+void RunDsePricingMicroSuite(std::vector<MicroMeasurement>* out_entries,
+                             std::vector<SpeedupRule>* out_rules,
+                             DsePricingSection* out) {
+  constexpr int kCols = 400;
+  constexpr int kResolves = 40;
+  constexpr int kFixPerResolve = 30;
+  Deadline deadline(120.0);
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> value(1.0, 10.0), weight(1.0, 5.0);
+  lp::Model m;
+  m.set_sense(lp::Sense::kMaximize);
+  lp::RowDef cap;
+  for (int j = 0; j < kCols; ++j) {
+    m.AddVariable(0, 1, value(rng), false);
+    cap.vars.push_back(j);
+    cap.coefs.push_back(weight(rng));
+  }
+  // Loose enough that any kFixPerResolve columns fit (max weight 5 each),
+  // tight enough that the root solution saturates it — so every re-solve
+  // overloads the capacity and runs the dual phase.
+  cap.lo = -lp::kInf;
+  cap.hi = static_cast<double>(kCols) / 2.0;
+  PAQL_CHECK(m.AddRow(std::move(cap)).ok());
+
+  lp::SimplexOptions dse_opts, base_opts;
+  base_opts.dual_steepest_edge = false;
+
+  // One full re-solve sweep; returns seconds and accumulates counters and
+  // per-step objectives (the cross-check between the two modes).
+  auto sweep = [&](const lp::SimplexOptions& opts, int64_t* pivots,
+                   int64_t* flips, int64_t* dse_pivots,
+                   std::vector<double>* objectives) {
+    lp::SimplexSolver solver(m, opts);
+    PAQL_CHECK(solver.Solve(deadline).status == lp::LpStatus::kOptimal);
+    lp::Basis root = solver.SnapshotBasis();
+    Stopwatch watch;
+    for (int i = 0; i < kResolves; ++i) {
+      solver.RestoreBasis(root);
+      for (int f = 0; f < kFixPerResolve; ++f) {
+        solver.SetVarBounds((i * 131 + f * 17) % kCols, 1, 1);
+      }
+      lp::LpResult r = solver.Solve(deadline);
+      PAQL_CHECK_MSG(r.status == lp::LpStatus::kOptimal,
+                     "dse suite re-solve " << i << " not optimal");
+      *pivots += r.iterations;
+      *flips += r.bound_flips;
+      *dse_pivots += r.dse_pivots;
+      objectives->push_back(r.objective);
+      for (int f = 0; f < kFixPerResolve; ++f) {
+        solver.SetVarBounds((i * 131 + f * 17) % kCols, 0, 1);
+      }
+    }
+    return watch.ElapsedSeconds();
+  };
+
+  constexpr int kReps = 3;
+  double dse_s = std::numeric_limits<double>::infinity();
+  double base_s = std::numeric_limits<double>::infinity();
+  int64_t dse_total_pivots = 0, base_total_pivots = 0;
+  int64_t dse_flips = 0, dse_dse_pivots = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    int64_t pivots = 0, flips = 0, dse_count = 0;
+    std::vector<double> dse_obj, base_obj;
+    dse_s = std::min(dse_s, sweep(dse_opts, &pivots, &flips, &dse_count,
+                                  &dse_obj));
+    if (rep == 0) {
+      dse_total_pivots = pivots;
+      dse_flips = flips;
+      dse_dse_pivots = dse_count;
+    }
+    pivots = 0;
+    int64_t base_flips = 0, base_dse = 0;
+    base_s = std::min(base_s, sweep(base_opts, &pivots, &base_flips,
+                                    &base_dse, &base_obj));
+    if (rep == 0) base_total_pivots = pivots;
+    // The kill switch must actually kill, and the answers must agree.
+    PAQL_CHECK_MSG(base_flips == 0 && base_dse == 0,
+                   "baseline mode used DSE machinery");
+    PAQL_CHECK(dse_obj.size() == base_obj.size());
+    for (size_t i = 0; i < dse_obj.size(); ++i) {
+      PAQL_CHECK_MSG(std::abs(dse_obj[i] - base_obj[i]) <=
+                         1e-7 * (1.0 + std::abs(base_obj[i])),
+                     "dual pricing modes diverged at re-solve "
+                         << i << ": " << dse_obj[i] << " vs " << base_obj[i]);
+    }
+  }
+  PAQL_CHECK_MSG(dse_flips > 0, "long-step ratio test never flipped a bound");
+  PAQL_CHECK_MSG(dse_dse_pivots > 0, "steepest-edge weights never engaged");
+
+  out->resolves = kResolves;
+  out->baseline_pivots = base_total_pivots;
+  out->dse_pivots = dse_total_pivots;
+  out->bound_flips = dse_flips;
+  out->pivot_ratio = static_cast<double>(base_total_pivots) /
+                     static_cast<double>(std::max<int64_t>(1, dse_total_pivots));
+
+  auto us_per = [](double seconds) { return seconds * 1e6 / kResolves; };
+  out_entries->push_back({"knapsack_resolve_baseline_us", us_per(base_s)});
+  out_entries->push_back({"knapsack_resolve_dse_us", us_per(dse_s)});
+  out_rules->push_back({"dse_pricing", "knapsack_resolve_baseline_us",
+                        "knapsack_resolve_dse_us"});
+
+  TablePrinter printer({"dual pricing", "us/solve", "pivots", "flips"});
+  printer.AddRow({"most_violated_row", FormatDouble(us_per(base_s), 1),
+                  StrCat(base_total_pivots), "0"});
+  printer.AddRow({"steepest_edge+flips", FormatDouble(us_per(dse_s), 1),
+                  StrCat(dse_total_pivots), StrCat(dse_flips)});
+  std::cout << "== dual pricing on warm knapsack re-solves (" << kCols
+            << " columns, " << kResolves << " re-solves x " << kFixPerResolve
+            << " fixed) ==\n";
+  printer.Print(std::cout);
 }
 
 /// Morsel-parallel suite, the fourth BENCH_micro.json section:
@@ -911,7 +1199,7 @@ int main(int argc, char** argv) {
   // The paper-trajectory suites run first so every invocation — including
   // `--benchmark_filter=none` smoke runs — refreshes BENCH_micro.json.
   std::vector<paql::bench::MicroMeasurement> entries, solver_entries;
-  std::vector<paql::bench::MicroSpeedup> speedups;
+  std::vector<paql::bench::SpeedupRule> rules;
   size_t pipeline_rows = config.quick ? 200000 : 1000000;
   size_t solver_rows = config.quick ? 8000 : 20000;
   // The pricing LP keeps its 1M columns even under --quick: the per-pivot
@@ -919,19 +1207,25 @@ int main(int argc, char** argv) {
   // second either way; only the presolve ILP shrinks.
   size_t pricing_rows = 1000000;
   size_t presolve_cols = config.quick ? 20000 : 60000;
-  paql::bench::RunVectorizedMicroSuite(pipeline_rows, &entries, &speedups);
-  paql::bench::RunWarmStartMicroSuite(solver_rows, &solver_entries,
-                                      &speedups);
+  paql::bench::RunVectorizedMicroSuite(pipeline_rows, &entries, &rules);
+  paql::bench::RunWarmStartMicroSuite(solver_rows, &solver_entries, &rules);
   paql::bench::RunSparseSolverMicroSuite(pricing_rows, presolve_cols,
-                                         &solver_entries, &speedups);
+                                         &solver_entries, &rules);
+  // The SIMD suite keeps the full 1M-row scan even under --quick: the
+  // forced-scalar-vs-SIMD ratio is the acceptance number (>= 1.5x for the
+  // predicate scan on AVX2) and only amortizes at scale.
+  paql::bench::SimdBenchSection simd_section;
+  paql::bench::RunSimdMicroSuite(1000000, &simd_section);
+  paql::bench::DsePricingSection dse_section;
+  paql::bench::RunDsePricingMicroSuite(&solver_entries, &rules, &dse_section);
   // The parallel scan keeps its 1M rows even under --quick, like the
   // pricing LP: the 1-vs-N ratio is the acceptance number and morsel
   // overheads only amortize at scale.
   paql::bench::ParallelBenchSection parallel;
   paql::bench::RunParallelMicroSuite(1000000, &parallel);
   paql::Status written = paql::bench::WriteBenchMicroJson(
-      "BENCH_micro.json", pipeline_rows, entries, speedups, solver_entries,
-      solver_rows, &parallel);
+      "BENCH_micro.json", pipeline_rows, entries, rules, solver_entries,
+      solver_rows, &parallel, &simd_section, &dse_section);
   PAQL_CHECK_MSG(written.ok(), written);
   std::cout << "wrote BENCH_micro.json\n\n";
   benchmark::RunSpecifiedBenchmarks();

@@ -401,6 +401,8 @@ int RunStatement(Session& session, const ShellOptions& options,
   std::cout << "-- solver: " << result->stats.bnb_nodes << " nodes, "
             << result->stats.lp_iterations << " pivots, "
             << result->stats.pricing_candidate_hits << " candidate hits, "
+            << result->stats.bound_flips << " bound flips, "
+            << result->stats.dse_pivots << " DSE pivots, "
             << result->stats.rc_fixed_vars << " reduced-cost-fixed, "
             << result->stats.presolve_fixed_vars << " presolve-fixed, "
             << result->stats.warm_lp_solves << " warm LP solves\n";

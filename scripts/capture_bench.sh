@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Refresh every checked-in BENCH_*.json from a Release build.
+#
+# Usage: scripts/capture_bench.sh [--quick] [extra bench args...]
+#
+# Runs the five bench binaries that write machine-readable perf records —
+#   micro_components  -> BENCH_micro.json
+#   serve_throughput  -> BENCH_serve.json
+#   scan_oocore       -> BENCH_scan.json
+#   update_stream     -> BENCH_update.json
+#   recover_replay    -> BENCH_recover.json
+# — from the repo root, so the refreshed files land exactly where they are
+# checked in. Arguments are passed through to every bench (--quick shrinks
+# the sweeps for smoke runs; a checked-in refresh should run without it).
+#
+# The numbers only mean something in Release mode, so the script builds
+# into its own tree (build-release by default, override with BENCH_BUILD)
+# and never touches the default Debug/test build. Hardware context is
+# printed up front and recorded inside the JSON where it matters: the
+# "parallel" section and the serve/scan/recover files carry
+# hardware_threads, and the "simd" section carries the dispatch level, so
+# the regression guard knows which numbers transfer across machines and
+# which do not. Capture on a 1-core container is honest but weak evidence
+# for the parallel ratios (~1x there by construction); prefer a multi-core
+# machine for a baseline refresh when one is available.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${BENCH_BUILD:-build-release}"
+BENCHES=(micro_components serve_throughput scan_oocore update_stream
+         recover_replay)
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}"
+
+echo "== capture host =="
+echo "cores: $(nproc)"
+model=$(grep -m1 'model name' /proc/cpuinfo | cut -d: -f2- | sed 's/^ //')
+echo "cpu:   ${model:-unknown}"
+echo "flags: $(grep -m1 -o 'avx2\|avx512f\|asimd' /proc/cpuinfo || echo none)"
+echo
+
+for bench in "${BENCHES[@]}"; do
+  echo "== $bench =="
+  args=("$@")
+  if [ "$bench" = micro_components ]; then
+    # The JSON suites run before the registered google-benchmark sweeps;
+    # skip the sweeps so a capture run stays minutes, not hours.
+    args+=(--benchmark_filter=none)
+  fi
+  "$BUILD/bench/$bench" "${args[@]}"
+  echo
+done
+
+echo "== refreshed files =="
+for f in BENCH_micro.json BENCH_serve.json BENCH_scan.json \
+         BENCH_update.json BENCH_recover.json; do
+  python3 -m json.tool "$f" > /dev/null  # fail loudly on malformed output
+  echo "ok $f"
+done

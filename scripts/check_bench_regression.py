@@ -21,6 +21,19 @@ Two families of checks, both bounded by MAX_REGRESS (default 0.25):
     when both files were measured with the same worker count on the same
     hardware_threads (a 1-core container measuring ~1x is not a
     regression against an 8-core baseline's 4x, and vice versa).
+  * SIMD kernels — the "simd" section of BENCH_micro.json. The
+    forced-scalar-vs-SIMD ratios are a property of the instruction set, so
+    they are only compared when both files were measured at the same
+    dispatch level and row count (a scalar-only container measuring ~1x is
+    not a regression against an AVX2 baseline). On AVX2 hardware the
+    acceptance floor itself is enforced on the CURRENT run: the SIMD
+    predicate scan must beat the forced-scalar kernel by at least 1.5x.
+  * dual pricing — the "dse_pricing" section of BENCH_micro.json. Pivot
+    counts are deterministic for the fixed knapsack model, so the
+    baseline/DSE pivot ratio transfers across machines: the CURRENT run
+    must flip bounds, must not take more pivots than the most-violated-row
+    baseline, and the ratio may not drop more than MAX_REGRESS below the
+    checked-in baseline's when both measured the same re-solve count.
   * serving throughput — BENCH_serve.json files (bench ==
     "serve_throughput").
     Throughput (qps, lower bound) and tail latency (latency_us.p99, upper
@@ -118,6 +131,84 @@ def main() -> int:
             f"current {cur_parallel.get('workers')} on "
             f"{cur_parallel.get('hardware_threads')} (core-count-dependent "
             f"ratios do not transfer)")
+
+    base_simd = base.get("simd", {})
+    cur_simd = cur.get("simd", {})
+    if base_simd and not cur_simd:
+        failures.append('"simd" section missing from current run')
+    elif base_simd:
+        simd_match = (
+            base_simd.get("level") == cur_simd.get("level")
+            and base_simd.get("rows") == cur_simd.get("rows"))
+        if simd_match:
+            for name, b in base_simd.get("speedup", {}).items():
+                c = cur_simd.get("speedup", {}).get(name)
+                if c is None:
+                    failures.append(
+                        f"simd speedup '{name}' missing from current run")
+                elif c < b * (1 - tol):
+                    failures.append(
+                        f"simd speedup '{name}' regressed: {c:g} < {b:g} "
+                        f"* (1 - {tol:g})")
+                else:
+                    print(f"ok simd speedup {name}: {c:g} (baseline {b:g})")
+        else:
+            print(
+                f"skipping simd speedups: baseline measured level "
+                f"'{base_simd.get('level')}' at {base_simd.get('rows')} rows "
+                f"vs current '{cur_simd.get('level')}' at "
+                f"{cur_simd.get('rows')} (instruction-set-dependent ratios "
+                f"do not transfer)")
+        # The PR's acceptance floor, enforced on the current run whenever
+        # it ran on AVX2 hardware: the SIMD predicate scan must beat the
+        # forced-scalar kernel by at least 1.5x.
+        if cur_simd.get("level") == "avx2":
+            scan = cur_simd.get("speedup", {}).get("simd_predicate_scan")
+            if scan is None:
+                failures.append(
+                    "simd: simd_predicate_scan missing from an avx2 run")
+            elif scan < 1.5:
+                failures.append(
+                    f"simd: predicate scan speedup {scan:g} below the 1.5x "
+                    f"floor on avx2")
+            else:
+                print(f"ok simd 1.5x floor: predicate scan {scan:g}x on avx2")
+
+    base_dse = base.get("dse_pricing", {})
+    cur_dse = cur.get("dse_pricing", {})
+    if base_dse and not cur_dse:
+        failures.append('"dse_pricing" section missing from current run')
+    elif base_dse:
+        # Machine-independent invariants on the current run: the long-step
+        # ratio test must actually flip bounds, and steepest-edge pricing
+        # plus flips must not take more pivots than the baseline rule.
+        if not cur_dse.get("bound_flips", 0) > 0:
+            failures.append("dse: the long-step ratio test flipped no bounds")
+        cur_ratio = cur_dse.get("pivot_ratio")
+        if cur_ratio is None:
+            failures.append("dse: pivot_ratio missing from current run")
+        elif cur_ratio < 1.0:
+            failures.append(
+                f"dse: steepest-edge + bound flips took MORE pivots than the "
+                f"baseline (ratio {cur_ratio:g} < 1)")
+        else:
+            print(f"ok dse invariants: {cur_dse.get('bound_flips')} flips, "
+                  f"pivot ratio {cur_ratio:g}")
+        if base_dse.get("resolves") == cur_dse.get("resolves"):
+            b_ratio = base_dse.get("pivot_ratio")
+            if cur_ratio is not None and b_ratio is not None and \
+                    cur_ratio < b_ratio * (1 - tol):
+                failures.append(
+                    f"dse: pivot ratio regressed: {cur_ratio:g} < {b_ratio:g} "
+                    f"* (1 - {tol:g})")
+            elif cur_ratio is not None and b_ratio is not None:
+                print(f"ok dse pivot ratio: {cur_ratio:g} "
+                      f"(baseline {b_ratio:g})")
+        else:
+            print(
+                f"skipping dse pivot-ratio comparison: baseline measured "
+                f"{base_dse.get('resolves')} re-solves vs current "
+                f"{cur_dse.get('resolves')}")
 
     if base.get("bench") == "serve_throughput":
         if cur.get("bench") != "serve_throughput":

@@ -94,6 +94,8 @@ void EvalStats::Accumulate(const ilp::IlpStats& ilp) {
   solve_seconds += ilp.wall_seconds;
   warm_lp_solves += ilp.warm_lp_solves;
   pricing_candidate_hits += ilp.pricing_candidate_hits;
+  bound_flips += ilp.bound_flips;
+  dse_pivots += ilp.dse_pivots;
   rc_fixed_vars += ilp.rc_fixed_vars;
   presolve_fixed_vars += ilp.presolve_fixed_vars;
   parallel_bnb_nodes += ilp.parallel_nodes;

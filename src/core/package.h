@@ -58,6 +58,12 @@ struct EvalStats {
   /// Simplex pivots priced straight off the partial-pricing candidate list
   /// (zero when ExecContext::pricing is off).
   int64_t pricing_candidate_hits = 0;
+  /// Boxed columns flipped by the bound-flipping dual ratio test across
+  /// all simplex solves (zero when ExecContext::dse is off).
+  int64_t bound_flips = 0;
+  /// Dual pivots whose leaving row was chosen by the steepest-edge weights
+  /// (zero when ExecContext::dse is off).
+  int64_t dse_pivots = 0;
   /// Integer variables permanently fixed by root reduced-cost fixing
   /// across all ILP solves (zero when ExecContext::pricing is off).
   int64_t rc_fixed_vars = 0;

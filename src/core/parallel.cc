@@ -186,6 +186,8 @@ Result<EvalResult> ParallelSketchRefineEvaluator::EvaluateGroupParallel(
       result->stats.bnb_nodes += partial.bnb_nodes;
       result->stats.warm_lp_solves += partial.warm_lp_solves;
       result->stats.pricing_candidate_hits += partial.pricing_candidate_hits;
+      result->stats.bound_flips += partial.bound_flips;
+      result->stats.dse_pivots += partial.dse_pivots;
       result->stats.rc_fixed_vars += partial.rc_fixed_vars;
       result->stats.presolve_fixed_vars += partial.presolve_fixed_vars;
       result->stats.parallel_bnb_nodes += partial.parallel_bnb_nodes;

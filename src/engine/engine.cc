@@ -63,6 +63,7 @@ void FillPlanExecFlags(const ExecContext& exec, const CompiledQuery& compiled,
   plan->vectorized = exec.vectorized && compiled.ilp.fully_vectorizable();
   plan->warm_start = exec.warm_start;
   plan->pricing = exec.pricing;
+  plan->dse = exec.dse;
   plan->exec_threads = exec.EffectiveThreads();
 }
 

@@ -93,6 +93,14 @@ struct ExecContext {
   /// `vectorized` and `warm_start`, a kill switch and A/B baseline.
   bool pricing = true;
 
+  /// Dual-simplex pricing upgrade: steepest-edge leaving-row weights plus
+  /// the bound-flipping (long-step) dual ratio test in warm re-solves.
+  /// Results are identical either way (the dual phase is an accelerator;
+  /// the primal phases always finish the solve) — false restores the plain
+  /// most-violated-row / min-ratio dual phase as the A/B baseline. Like
+  /// `pricing`, a kill switch and benchmarking knob.
+  bool dse = true;
+
   /// Worker threads for intra-query parallelism: the morsel-driven chunk
   /// pipeline (parallel scans, coefficient fills, per-group partitioning
   /// statistics) and the concurrent branch-and-bound search all draw this
@@ -115,6 +123,7 @@ struct ExecContext {
     ilp::BranchAndBoundOptions bnb = branch_and_bound;
     bnb.warm_start = warm_start;
     bnb.simplex.partial_pricing = pricing;
+    bnb.simplex.dual_steepest_edge = dse;
     bnb.presolve = pricing;
     bnb.reduced_cost_fixing = pricing;
     bnb.threads = EffectiveThreads();

@@ -135,6 +135,9 @@ std::string Plan::Explain() const {
      << (warm_start ? "warm-started (dual simplex basis reuse)"
                     : "cold (primal from scratch per node)")
      << ", "
+     << (dse ? "steepest-edge dual pricing + bound flips"
+             : "most-violated-row dual pricing")
+     << ", "
      << (pricing ? "partial pricing (devex candidates + presolve + "
                    "reduced-cost fixing)"
                  : "full Dantzig pricing (presolve off)")

@@ -86,6 +86,11 @@ struct Plan {
   /// session from ExecContext::pricing.
   bool pricing = true;
 
+  /// Whether warm dual re-solves use steepest-edge row pricing plus the
+  /// bound-flipping ratio test, or the plain most-violated-row / min-ratio
+  /// dual phase. Filled by the session from ExecContext::dse.
+  bool dse = true;
+
   /// Effective degree of parallelism: the resolved ExecContext::threads
   /// worker count the morsel-driven pipeline and the concurrent
   /// branch-and-bound run with (1 = serial). Filled by the session.

@@ -228,6 +228,8 @@ class Searcher {
       lp::LpResult lp = solver_.Solve(deadline_);
       stats_.lp_iterations += lp.iterations;
       stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+      stats_.bound_flips += lp.bound_flips;
+      stats_.dse_pivots += lp.dse_pivots;
       if (lp.used_dual) ++stats_.warm_lp_solves;
       if (lp.status != lp::LpStatus::kOptimal) break;
       x = lp.x;
@@ -304,6 +306,8 @@ class Searcher {
         lp::LpResult lp = solver_.Solve(deadline_);
         stats_.lp_iterations += lp.iterations;
         stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+        stats_.bound_flips += lp.bound_flips;
+        stats_.dse_pivots += lp.dse_pivots;
         if (lp.used_dual) ++stats_.warm_lp_solves;
         if (root && warm_ != nullptr) {
           warm_->root_basis = solver_.SnapshotBasis();
@@ -550,6 +554,8 @@ class ParallelSearcher {
     out.proven_optimal = stats_.proven_optimal;
     out.warm_lp_solves = stats_.warm_lp_solves;
     out.pricing_candidate_hits = stats_.pricing_candidate_hits;
+    out.bound_flips = stats_.bound_flips;
+    out.dse_pivots = stats_.dse_pivots;
     out.rc_fixed_vars = stats_.rc_fixed_vars;
     out.parallel_nodes = out.nodes;
     return out;
@@ -631,6 +637,8 @@ class ParallelSearcher {
     int64_t lp_iterations = 0;
     int64_t warm_lp_solves = 0;
     int64_t pricing_candidate_hits = 0;
+    int64_t bound_flips = 0;
+    int64_t dse_pivots = 0;
     int64_t max_depth = 0;
   };
 
@@ -720,6 +728,8 @@ class ParallelSearcher {
       lp::LpResult lp = solver->Solve(deadline_);
       local.lp_iterations += lp.iterations;
       local.pricing_candidate_hits += lp.pricing_candidate_hits;
+      local.bound_flips += lp.bound_flips;
+      local.dse_pivots += lp.dse_pivots;
       if (lp.used_dual) ++local.warm_lp_solves;
       if (lp.status == lp::LpStatus::kTimeLimit) {
         FinishFrame();
@@ -782,6 +792,8 @@ class ParallelSearcher {
     stats_.lp_iterations += local.lp_iterations;
     stats_.warm_lp_solves += local.warm_lp_solves;
     stats_.pricing_candidate_hits += local.pricing_candidate_hits;
+    stats_.bound_flips += local.bound_flips;
+    stats_.dse_pivots += local.dse_pivots;
     stats_.max_depth = std::max(stats_.max_depth, local.max_depth);
   }
 
@@ -834,6 +846,8 @@ class ParallelSearcher {
       lp::LpResult lp = solver->Solve(deadline_);
       stats_.lp_iterations += lp.iterations;
       stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+      stats_.bound_flips += lp.bound_flips;
+      stats_.dse_pivots += lp.dse_pivots;
       if (lp.used_dual) ++stats_.warm_lp_solves;
       if (lp.status != lp::LpStatus::kOptimal) break;
       x = lp.x;
@@ -856,6 +870,8 @@ class ParallelSearcher {
     lp::LpResult lp = root_solver.Solve(deadline_);
     stats_.lp_iterations += lp.iterations;
     stats_.pricing_candidate_hits += lp.pricing_candidate_hits;
+    stats_.bound_flips += lp.bound_flips;
+    stats_.dse_pivots += lp.dse_pivots;
     if (lp.used_dual) ++stats_.warm_lp_solves;
     if (warm_ != nullptr) warm_->root_basis = root_solver.SnapshotBasis();
     if (lp.status == lp::LpStatus::kTimeLimit) {
@@ -976,6 +992,8 @@ class ParallelSearcher {
     int64_t max_depth = 0;
     int64_t warm_lp_solves = 0;
     int64_t pricing_candidate_hits = 0;
+    int64_t bound_flips = 0;
+    int64_t dse_pivots = 0;
     int64_t rc_fixed_vars = 0;
     double root_bound = 0;
     bool proven_optimal = false;
@@ -1042,7 +1060,8 @@ lp::Model AddRootCuts(const lp::Model& model,
                       const BranchAndBoundOptions& options,
                       const Deadline& deadline, int64_t* cuts_added,
                       int64_t* cut_rounds, int64_t* lp_iterations,
-                      int64_t* pricing_hits, IlpWarmStart* warm) {
+                      int64_t* pricing_hits, int64_t* bound_flips,
+                      int64_t* dse_pivots, IlpWarmStart* warm) {
   lp::Model augmented = model;
   for (int round = 0; round < options.cuts.max_rounds; ++round) {
     if (deadline.Expired()) break;
@@ -1059,6 +1078,8 @@ lp::Model AddRootCuts(const lp::Model& model,
     lp::LpResult lp = solver.Solve(deadline);
     *lp_iterations += lp.iterations;
     *pricing_hits += lp.pricing_candidate_hits;
+    *bound_flips += lp.bound_flips;
+    *dse_pivots += lp.dse_pivots;
     if (lp.status != lp::LpStatus::kOptimal) break;
     // Nothing to separate at an integral point.
     bool fractional = false;
@@ -1118,9 +1139,11 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
   Deadline deadline(limits.time_limit_s);
   int64_t cuts_added = 0, cut_rounds = 0, lp_iterations = 0;
   int64_t pricing_hits = 0;
+  int64_t cut_bound_flips = 0, cut_dse_pivots = 0;
   lp::Model augmented =
       AddRootCuts(model, options, deadline, &cuts_added, &cut_rounds,
-                  &lp_iterations, &pricing_hits, warm);
+                  &lp_iterations, &pricing_hits, &cut_bound_flips,
+                  &cut_dse_pivots, warm);
   double cut_seconds = cut_watch.ElapsedSeconds();
   SolverLimits search_limits = limits;
   if (search_limits.time_limit_s > 0) {
@@ -1133,6 +1156,8 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
     solution->stats.cut_rounds = cut_rounds;
     solution->stats.lp_iterations += lp_iterations;
     solution->stats.pricing_candidate_hits += pricing_hits;
+    solution->stats.bound_flips += cut_bound_flips;
+    solution->stats.dse_pivots += cut_dse_pivots;
     solution->stats.wall_seconds += cut_seconds;
   }
   if (stats_out) {
@@ -1140,6 +1165,8 @@ Result<IlpSolution> SolveWithCuts(const lp::Model& model,
     stats_out->cut_rounds = cut_rounds;
     stats_out->lp_iterations += lp_iterations;
     stats_out->pricing_candidate_hits += pricing_hits;
+    stats_out->bound_flips += cut_bound_flips;
+    stats_out->dse_pivots += cut_dse_pivots;
     stats_out->wall_seconds += cut_seconds;
   }
   return solution;

@@ -35,6 +35,13 @@ struct IlpStats {
   /// Primal pivots whose entering variable came straight from the simplex
   /// pricing candidate list (zero when partial pricing is off).
   int64_t pricing_candidate_hits = 0;
+  /// Boxed nonbasic columns flipped by the simplex's bound-flipping dual
+  /// ratio test across all node LP solves (zero when
+  /// SimplexOptions::dual_steepest_edge is off).
+  int64_t bound_flips = 0;
+  /// Dual pivots whose leaving row was chosen by the steepest-edge weights
+  /// across all node LP solves (zero when dual_steepest_edge is off).
+  int64_t dse_pivots = 0;
   /// Integer variables permanently fixed by root reduced-cost fixing: the
   /// root LP's reduced cost proves they cannot leave their bound in any
   /// solution better than the incumbent, so every child LP shrinks.

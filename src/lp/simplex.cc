@@ -78,6 +78,7 @@ SimplexSolver::SimplexSolver(const Model& model, SimplexOptions options)
   binv0_.assign(static_cast<size_t>(m_) * m_, 0.0);
   xb_.assign(m_, 0.0);
   devex_w_.assign(total_, 1.0);
+  dse_w_.assign(m_, 1.0);
 }
 
 size_t SimplexSolver::ApproximateBytes() const {
@@ -179,8 +180,11 @@ void SimplexSolver::InitAllSlackBasis() {
   basis_valid_ = true;
   pivots_since_refactor_ = 0;
   // Fresh basis geometry: restart the devex reference framework and drop
-  // any stale pricing candidates.
+  // any stale pricing candidates. The steepest-edge row weights reset to 1
+  // too (for B = -I they are exact: ||B^{-T}e_r||^2 = 1); this is the
+  // devex-style fallback the recurrence restarts from.
   std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  std::fill(dse_w_.begin(), dse_w_.end(), 1.0);
   cand_.clear();
   pivots_since_rebuild_ = 0;
 }
@@ -243,8 +247,11 @@ bool SimplexSolver::RestoreBasis(const Basis& basis) {
     return false;
   }
   basis_valid_ = true;
-  // The restored basis came from elsewhere; its devex history is stale.
+  // The restored basis came from elsewhere; its devex history and the
+  // steepest-edge row weights are stale. Reset both to the reference
+  // framework (weight 1) — the devex-style fallback.
   std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  std::fill(dse_w_.begin(), dse_w_.end(), 1.0);
   cand_.clear();
   pivots_since_rebuild_ = 0;
   return true;
@@ -635,6 +642,34 @@ void SimplexSolver::UpdateDevexWeights(int enter, int leave_row,
   devex_w_[basis_[leave_row]] = std::max(wq / (alpha_q * alpha_q), 1.0);
 }
 
+void SimplexSolver::UpdateDseWeights(int leave_row,
+                                     const std::vector<double>& w,
+                                     const std::vector<double>& rho,
+                                     double gamma_exact) {
+  // Forrest–Goldfarb recurrence for gamma_i ~ ||B^{-T}e_i||^2 across the
+  // pivot (w = B^{-1}A_enter, alpha_r = w[r], tau = B^{-1}rho — all against
+  // the pre-pivot basis, so this must run before PushEta):
+  //   gamma_i' = gamma_i - 2 (w_i/alpha_r) tau_i + (w_i/alpha_r)^2 gamma_r
+  //   gamma_r' = gamma_r / alpha_r^2
+  // gamma_r is anchored to the exact rho·rho of the pivot row (the
+  // maintained weight may have drifted); every weight is floored so a
+  // cancellation-heavy update cannot produce a nonpositive divisor.
+  constexpr double kDseFloor = 1e-4;
+  const double alpha_r = w[leave_row];
+  const double gr = std::max(gamma_exact, kDseFloor);
+  dse_tau_ = rho;
+  FtranVec(&dse_tau_);
+  for (int i = 0; i < m_; ++i) {
+    if (i == leave_row) continue;
+    double wi = w[i];
+    if (wi == 0.0) continue;
+    double kappa = wi / alpha_r;
+    double g = dse_w_[i] - 2.0 * kappa * dse_tau_[i] + kappa * kappa * gr;
+    dse_w_[i] = std::max(g, kDseFloor);
+  }
+  dse_w_[leave_row] = std::max(gr / (alpha_r * alpha_r), kDseFloor);
+}
+
 LpStatus SimplexSolver::RunPhase(bool phase1, const Deadline& deadline,
                                  int* iterations) {
   std::vector<double> y, w;
@@ -807,7 +842,17 @@ bool SimplexSolver::MakeDualFeasible() {
 LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
                                      bool* bailed) {
   *bailed = false;
+  const bool dse = options_.dual_steepest_edge;
   std::vector<double> y, w, rho;
+  /// One dual-ratio-test breakpoint (bound-flipping mode only).
+  struct Breakpoint {
+    double ratio;      // |d_j| / |alpha_j|
+    double abs_alpha;  // tie-break: larger pivots are numerically safer
+    int j;
+    double alpha;
+  };
+  std::vector<Breakpoint> bps;
+  std::vector<double> flip_accum;
   // Stall guard: a warm re-optimization should need few pivots; past this
   // the primal phases are the better tool (and always correct).
   const int dual_cap = *iterations + 50 * m_ + 200;
@@ -833,27 +878,34 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
       ComputeBasicValues();
     }
 
-    // --- Leaving row: the most violated basic variable. ---
+    // --- Leaving row. Plain mode: the most violated basic variable.
+    // Steepest-edge mode: maximize violation^2 / gamma_r — violations
+    // measured in the geometry of the dual edge the pivot would travel,
+    // so rows whose inverse row has blown up stop looking artificially
+    // attractive (the classic warm-re-solve pivot-count win). ---
     int leave_row = -1;
-    double best_viol = 0;
+    double best_viol = 0;  // violation of the chosen row (BFRT slope seed)
+    double best_score = 0;
     bool below = false;
     for (int i = 0; i < m_; ++i) {
       int b = basis_[i];
       double tol = options_.feas_tol * (1.0 + std::abs(xb_[i]));
+      double viol = 0;
+      bool is_below = false;
       if (xb_[i] < lb_[b] - tol) {
-        double viol = lb_[b] - xb_[i];
-        if (viol > best_viol) {
-          best_viol = viol;
-          leave_row = i;
-          below = true;
-        }
+        viol = lb_[b] - xb_[i];
+        is_below = true;
       } else if (xb_[i] > ub_[b] + tol) {
-        double viol = xb_[i] - ub_[b];
-        if (viol > best_viol) {
-          best_viol = viol;
-          leave_row = i;
-          below = false;
-        }
+        viol = xb_[i] - ub_[b];
+      } else {
+        continue;
+      }
+      double score = dse ? viol * viol / dse_w_[i] : viol;
+      if (score > best_score) {
+        best_score = score;
+        best_viol = viol;
+        leave_row = i;
+        below = is_below;
       }
     }
     if (leave_row < 0) return LpStatus::kOptimal;  // primal feasible
@@ -862,6 +914,12 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
     rho.assign(static_cast<size_t>(m_), 0.0);
     rho[leave_row] = 1.0;
     BtranVec(&rho);
+    // Exact steepest-edge weight of the pivot row, anchoring the update
+    // recurrence (the maintained dse_w_ may have drifted).
+    double gamma_exact = 0;
+    if (dse) {
+      for (int i = 0; i < m_; ++i) gamma_exact += rho[i] * rho[i];
+    }
     ComputeDuals(/*phase1=*/false, &y);
 
     // --- Dual ratio test: entering column with the smallest |d|/|alpha|
@@ -872,6 +930,7 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
     int enter = -1;
     double best_ratio = kInf;
     double best_alpha = 0;
+    if (dse) bps.clear();
     for (int j : active_) {
       VarStatus st = status_[j];
       if (st == VarStatus::kBasic) continue;
@@ -892,12 +951,76 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
       if (!eligible) continue;
       double d = ReducedCost(/*phase1=*/false, y, j);
       double ratio = std::abs(d) / std::abs(alpha);
+      if (dse) {
+        // Bound-flipping mode keeps every breakpoint: the long-step walk
+        // below decides which one pivots and which merely flip.
+        bps.push_back({ratio, std::abs(alpha), j, alpha});
+        continue;
+      }
       if (ratio < best_ratio - 1e-12 ||
           (ratio < best_ratio + 1e-12 &&
            std::abs(alpha) > std::abs(best_alpha))) {
         best_ratio = ratio;
         enter = j;
         best_alpha = alpha;
+      }
+    }
+    if (dse && !bps.empty()) {
+      // --- Bound-flipping (long-step) ratio test. Walk the breakpoints in
+      // dual-ratio order; a boxed column whose whole box fits inside the
+      // remaining violation is *flipped* across it (its reduced cost will
+      // change sign as the duals move past its breakpoint, and a boxed
+      // variable is dual feasible at either bound), retiring the
+      // breakpoint without a basis change. The first breakpoint that
+      // cannot flip — free or one-sided column, box too large, or the last
+      // one standing — becomes the entering pivot column. ---
+      std::sort(bps.begin(), bps.end(),
+                [](const Breakpoint& a, const Breakpoint& b) {
+                  if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                  if (a.abs_alpha != b.abs_alpha) {
+                    return a.abs_alpha > b.abs_alpha;
+                  }
+                  return a.j < b.j;
+                });
+      double slope = best_viol;
+      const double keep_tol =
+          options_.feas_tol * (1.0 + std::abs(xb_[leave_row]));
+      size_t pivot_k = 0;
+      size_t flip_end = 0;  // breakpoints [0, flip_end) get flipped
+      for (size_t k = 0; k < bps.size(); ++k) {
+        const Breakpoint& bp = bps[k];
+        pivot_k = k;
+        if (k + 1 == bps.size()) break;  // someone must pivot
+        if (std::isinf(lb_[bp.j]) || std::isinf(ub_[bp.j])) break;
+        double step = bp.abs_alpha * (ub_[bp.j] - lb_[bp.j]);
+        if (slope - step <= keep_tol) break;  // flip would erase the viol
+        slope -= step;
+        flip_end = k + 1;
+      }
+      enter = bps[pivot_k].j;
+      best_alpha = bps[pivot_k].alpha;
+      if (flip_end > 0) {
+        // Apply every flip with a single FTRAN of the accumulated delta
+        // column: xb -= B^{-1} (sum_j delta_j A_j). The basis is untouched,
+        // so no eta is spent and the eta file stays short.
+        flip_accum.assign(static_cast<size_t>(m_), 0.0);
+        for (size_t k = 0; k < flip_end; ++k) {
+          int j = bps[k].j;
+          double delta_j = status_[j] == VarStatus::kAtLower
+                               ? ub_[j] - lb_[j]
+                               : lb_[j] - ub_[j];
+          if (j < n_) {
+            ScatterCol(j, delta_j, flip_accum.data());
+          } else {
+            flip_accum[j - n_] -= delta_j;
+          }
+          status_[j] = status_[j] == VarStatus::kAtLower
+                           ? VarStatus::kAtUpper
+                           : VarStatus::kAtLower;
+        }
+        bound_flips_ += static_cast<int64_t>(flip_end);
+        FtranVec(&flip_accum);
+        for (int i = 0; i < m_; ++i) xb_[i] -= flip_accum[i];
       }
     }
     if (enter < 0) {
@@ -914,6 +1037,12 @@ LpStatus SimplexSolver::RunDualPhase(const Deadline& deadline, int* iterations,
       ComputeBasicValues();
       *bailed = true;
       return LpStatus::kOptimal;
+    }
+
+    if (dse) {
+      // Weight recurrence needs the pre-pivot inverse: before PushEta.
+      UpdateDseWeights(leave_row, w, rho, gamma_exact);
+      ++dse_pivots_;
     }
 
     ++*iterations;
@@ -961,6 +1090,8 @@ LpResult SimplexSolver::Solve(const Deadline& deadline) {
         result.iterations = iterations;
         result.status = dual_st;
         result.pricing_candidate_hits = candidate_hits_;
+        result.bound_flips = bound_flips_;
+        result.dse_pivots = dse_pivots_;
         return result;
       }
     }
@@ -977,6 +1108,8 @@ LpResult SimplexSolver::Solve(const Deadline& deadline) {
   result.iterations = iterations;
   result.status = st;
   result.pricing_candidate_hits = candidate_hits_;
+  result.bound_flips = bound_flips_;
+  result.dse_pivots = dse_pivots_;
   if (st != LpStatus::kOptimal) return result;
 
   result.x.assign(n_, 0.0);

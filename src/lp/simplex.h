@@ -41,6 +41,24 @@
 // exhaustive scan over the active columns (a min-ratio over a subset could
 // pick an invalid pivot); its partial pricing takes the form of the
 // fixed-column skip list plus sparse column dots.
+//
+// Dual pricing (`dual_steepest_edge`, default on) upgrades the dual phase
+// two ways, both answer-preserving:
+//  * steepest-edge row choice: the leaving row maximizes violation^2 /
+//    gamma_r where gamma_r tracks ||B^{-T} e_r||^2 (Forrest–Goldfarb
+//    reference weights, maintained with one extra FTRAN per dual pivot and
+//    reset to 1 — the devex-style reference framework — whenever the basis
+//    is rebuilt from scratch). Scale-aware row choice cuts the pivot count
+//    on warm branch-and-bound re-solves.
+//  * bound-flipping ratio test (long-step): instead of always pivoting on
+//    the minimum dual ratio, the test walks the sorted breakpoints and
+//    *flips* boxed nonbasic columns across their box while the leaving
+//    row's violation survives the flip, applying all flips with a single
+//    FTRAN of the accumulated column. Each flip retires a dual breakpoint
+//    without spending a basis change, so degenerate-ish warm re-solves
+//    need fewer etas. Flipped columns stay dual feasible by construction
+//    (a boxed variable is feasible at either bound once its reduced cost
+//    changes sign).
 #ifndef PAQL_LP_SIMPLEX_H_
 #define PAQL_LP_SIMPLEX_H_
 
@@ -77,6 +95,13 @@ struct LpResult {
   /// candidate list (no full sweep that iteration). Always 0 when
   /// SimplexOptions::partial_pricing is off.
   int64_t pricing_candidate_hits = 0;
+  /// Boxed nonbasic columns flipped across their box by the bound-flipping
+  /// dual ratio test (each one a dual breakpoint retired without a pivot).
+  /// Always 0 when SimplexOptions::dual_steepest_edge is off.
+  int64_t bound_flips = 0;
+  /// Dual pivots whose leaving row was chosen by the steepest-edge weights
+  /// (every dual pivot when dual_steepest_edge is on; 0 otherwise).
+  int64_t dse_pivots = 0;
 };
 
 struct SimplexOptions {
@@ -103,6 +128,12 @@ struct SimplexOptions {
   /// Pivots between forced candidate-list rebuilds (the list also rebuilds
   /// early when it runs out of attractive candidates).
   int pricing_rebuild_every = 64;
+  /// Dual-phase upgrade: steepest-edge leaving-row weights plus the
+  /// bound-flipping (long-step) dual ratio test. false = the plain
+  /// most-violated-row / min-ratio dual phase (the A/B baseline). Either
+  /// way the optimum is identical — the dual phase is an accelerator and
+  /// the primal phases always finish the solve.
+  bool dual_steepest_edge = true;
 };
 
 /// A saved simplex basis: the status of every variable (structural then
@@ -225,7 +256,19 @@ class SimplexSolver {
   // Rebuild the active (non-fixed) column list if bounds changed.
   void RefreshActiveColumns();
 
-  void InitSolveCounters() { candidate_hits_ = 0; }
+  // Forrest–Goldfarb steepest-edge weight update after a dual pivot on
+  // `leave_row` with w = B^{-1}A_enter and rho = B^{-T}e_r (both against
+  // the pre-pivot basis). gamma_exact = rho·rho, the exact weight of the
+  // pivot row (the maintained weight may have drifted; the exact value
+  // anchors the recurrence).
+  void UpdateDseWeights(int leave_row, const std::vector<double>& w,
+                        const std::vector<double>& rho, double gamma_exact);
+
+  void InitSolveCounters() {
+    candidate_hits_ = 0;
+    bound_flips_ = 0;
+    dse_pivots_ = 0;
+  }
 
   // One simplex phase. phase1 == true minimizes total infeasibility of the
   // basic variables; phase1 == false minimizes cost_.
@@ -291,6 +334,14 @@ class SimplexSolver {
   size_t section_cursor_ = 0;      // rotating rebuild-window position
   int pivots_since_rebuild_ = 0;
   int64_t candidate_hits_ = 0;     // per-Solve counter
+
+  // Dual steepest-edge state: per-row reference weights approximating
+  // ||B^{-T}e_r||^2, reset to 1 (the devex-style fallback) whenever the
+  // basis is rebuilt from scratch. Scratch vectors avoid per-pivot allocs.
+  std::vector<double> dse_w_;      // size m_
+  std::vector<double> dse_tau_;    // scratch: B^{-1}rho
+  int64_t bound_flips_ = 0;        // per-Solve counter
+  int64_t dse_pivots_ = 0;         // per-Solve counter
 };
 
 }  // namespace paql::lp

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/crc32.h"
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "relation/coding.h"
 #include "relation/csv.h"
@@ -55,7 +56,23 @@ bool UnpackBits(const uint8_t* data, size_t size, size_t* at, size_t count,
   if (*at + bytes > size) return false;
   const uint8_t* src = data + *at;
   size_t bitpos = 0;
-  for (size_t i = 0; i < count; ++i) {
+  size_t i = 0;
+  // Word-at-a-time fast path: one unaligned 64-bit load covers a whole
+  // value when its bit offset within the first byte (<= 7) plus its width
+  // fits 64 bits, i.e. width <= 57 (every FOR width in practice). Pure
+  // shift-and-mask integer work, bit-exact vs. the bit loop below, which
+  // remains as the wide-value / trailing-bytes fallback.
+  if (width <= 57) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    while (i < count && (bitpos >> 3) + 8 <= bytes) {
+      uint64_t word;
+      std::memcpy(&word, src + (bitpos >> 3), sizeof(word));
+      (*out)[i] = (word >> (bitpos & 7)) & mask;
+      bitpos += static_cast<size_t>(width);
+      ++i;
+    }
+  }
+  for (; i < count; ++i) {
     uint64_t v = 0;
     for (int b = 0; b < width; ++b, ++bitpos) {
       v |= static_cast<uint64_t>((src[bitpos >> 3] >> (bitpos & 7)) & 1)
@@ -113,10 +130,8 @@ bool ForUnpack(const uint8_t* data, size_t size, size_t* at, size_t count,
   std::vector<uint64_t> offsets;
   if (!UnpackBits(data, size, at, count, width, &offsets)) return false;
   out->resize(count);
-  for (size_t i = 0; i < count; ++i) {
-    (*out)[i] =
-        static_cast<int64_t>(static_cast<uint64_t>(vmin) + offsets[i]);
-  }
+  simd::AddConstU64(offsets.data(), static_cast<uint32_t>(count),
+                    static_cast<uint64_t>(vmin), out->data());
   return true;
 }
 
@@ -775,8 +790,14 @@ Result<DecodedBlock> BlockStoreReader::DecodeBlock(size_t col,
           }
           const double scale = DecimalScale(exp);
           out.doubles.resize(rows);
-          for (size_t i = 0; i < rows; ++i) {
-            out.doubles[i] = static_cast<double>(ints[i]) / scale;
+          // SIMD convert-and-divide; falls back to the scalar loop when a
+          // value is outside the |v| <= 2^51-1 range where the vector
+          // int64->double conversion is exact.
+          if (!simd::I64ToDoubleDiv(ints.data(), static_cast<uint32_t>(rows),
+                                    scale, out.doubles.data())) {
+            for (size_t i = 0; i < rows; ++i) {
+              out.doubles[i] = static_cast<double>(ints[i]) / scale;
+            }
           }
           break;
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace paql::relation {
@@ -49,6 +50,9 @@ double GatherMean(const ColumnSource& source, size_t col,
     span.rows = rows.data() + off;
     span.len = static_cast<uint32_t>(std::min(kChunkSize, rows.size() - off));
     source.LoadChunkRaw(col, span, &batch);
+    // Deliberately scalar: a float SUM is order-sensitive, and the
+    // determinism contract fixes the accumulation order (docs, "SIMD
+    // kernels").
     for (uint32_t i = 0; i < span.len; ++i) sum += batch.values[i];
   }
   return sum / static_cast<double>(rows.size());
@@ -67,9 +71,8 @@ double GatherMaxAbsDeviation(const ColumnSource& source, size_t col,
       span.rows = rows.data() + off;
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - off));
       source.LoadChunkRaw(col, span, &batch);
-      for (uint32_t i = 0; i < span.len; ++i) {
-        radius = std::max(radius, std::abs(batch.values[i] - center));
-      }
+      simd::FoldMaxAbsDeviation(batch.values.data(), span.len, center,
+                                &radius);
     }
     partial[begin / kMorselRows] = radius;
   });
@@ -92,10 +95,7 @@ std::pair<double, double> ColumnMinMax(const ColumnSource& source, size_t col,
       span.start = static_cast<RowId>(start);
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
       source.LoadChunkRaw(col, span, &batch);
-      for (uint32_t i = 0; i < span.len; ++i) {
-        lo = std::min(lo, batch.values[i]);
-        hi = std::max(hi, batch.values[i]);
-      }
+      simd::FoldMinMax(batch.values.data(), span.len, &lo, &hi);
     }
     lo_partial[begin / kMorselRows] = lo;
     hi_partial[begin / kMorselRows] = hi;
@@ -120,9 +120,7 @@ double ColumnMinAbs(const ColumnSource& source, size_t col, int threads) {
       span.start = static_cast<RowId>(start);
       span.len = static_cast<uint32_t>(std::min(kChunkSize, end - start));
       source.LoadChunkRaw(col, span, &batch);
-      for (uint32_t i = 0; i < span.len; ++i) {
-        best = std::min(best, std::abs(batch.values[i]));
-      }
+      simd::FoldMinAbs(batch.values.data(), span.len, &best);
     }
     partial[begin / kMorselRows] = best;
   });

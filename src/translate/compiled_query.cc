@@ -4,6 +4,7 @@
 #include <cmath>
 #include <initializer_list>
 
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "paql/validator.h"
@@ -48,7 +49,12 @@ void LinearExpr::CoeffBatch(const ColumnSource& table, const relation::RowSpan& 
     if (sel.empty()) continue;
     term.agg.batch_value(table, span, &batch);
     // Per lane, terms accumulate in declaration order — the same floating
-    // point operation sequence as the scalar Coeff loop.
+    // point operation sequence as the scalar Coeff loop. The dense SIMD
+    // fill vectorizes ACROSS lanes, which preserves that per-lane order.
+    if (sel.count == span.len) {
+      simd::MulAddConst(out, batch.values.data(), span.len, term.scale);
+      continue;
+    }
     for (uint32_t k = 0; k < sel.count; ++k) {
       uint16_t i = sel.idx[k];
       out[i] += term.scale * batch.values[i];
@@ -947,7 +953,8 @@ Result<lp::Model> CompiledQuery::BuildModelSegments(
   if (offsets_updatable_ && !leaf_row_order_.empty()) {
     size_t nnz = 0;
     for (const auto& leaf_coeffs : coeffs) {
-      for (double c : leaf_coeffs) nnz += c != 0.0 ? 1 : 0;
+      nnz += simd::CountNonZero(leaf_coeffs.data(),
+                                static_cast<uint32_t>(leaf_coeffs.size()));
     }
     lp::SparseMatrixBuilder builder(model.num_rows());
     builder.Reserve(nnz);

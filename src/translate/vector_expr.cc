@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "translate/string_operand.h"
@@ -60,33 +61,27 @@ BatchFn MakeBinaryFn(BatchFn lhs, BatchFn rhs, Op op) {
 }
 
 /// Constant-folded variants: one operand is a literal, so there is no
-/// second batch to materialize — the loop applies the constant directly
-/// (the same floating-point operation the scalar closure performs).
-template <typename Op>
-BatchFn MakeBinaryConstRhs(BatchFn lhs, double c, Op op) {
+/// second batch to materialize — the SIMD kernel applies the constant
+/// lane-wise (the identical per-lane floating-point operation the scalar
+/// closure performs, explicitly unfused).
+BatchFn MakeBinaryConstRhs(BatchFn lhs, double c, simd::Arith op) {
   return [lhs = std::move(lhs), c, op](const ColumnSource& t, const RowSpan& span,
                                        NumericBatch* out) {
     lhs(t, span, out);
-    for (uint32_t i = 0; i < span.len; ++i) {
-      out->values[i] = op(out->values[i], c);
-    }
+    simd::ApplyConstRhs(out->values.data(), span.len, op, c);
   };
 }
 
-template <typename Op>
-BatchFn MakeBinaryConstLhs(double c, BatchFn rhs, Op op) {
+BatchFn MakeBinaryConstLhs(double c, BatchFn rhs, simd::Arith op) {
   return [rhs = std::move(rhs), c, op](const ColumnSource& t, const RowSpan& span,
                                        NumericBatch* out) {
     rhs(t, span, out);
-    for (uint32_t i = 0; i < span.len; ++i) {
-      out->values[i] = op(c, out->values[i]);
-    }
+    simd::ApplyConstLhs(out->values.data(), span.len, op, c);
   };
 }
 
-template <typename Op>
 Result<BatchFn> CompileBinaryBatch(const ScalarExpr& expr,
-                                   const Schema& schema, Op op) {
+                                   const Schema& schema, simd::Arith op) {
   double c;
   if (IsNumericLiteral(*expr.rhs, &c)) {
     PAQL_ASSIGN_OR_RETURN(BatchFn lhs, CompileScalarBatch(*expr.lhs, schema));
@@ -98,7 +93,21 @@ Result<BatchFn> CompileBinaryBatch(const ScalarExpr& expr,
   }
   PAQL_ASSIGN_OR_RETURN(BatchFn lhs, CompileScalarBatch(*expr.lhs, schema));
   PAQL_ASSIGN_OR_RETURN(BatchFn rhs, CompileScalarBatch(*expr.rhs, schema));
-  return MakeBinaryFn(std::move(lhs), std::move(rhs), op);
+  switch (op) {
+    case simd::Arith::kAdd:
+      return MakeBinaryFn(std::move(lhs), std::move(rhs),
+                          [](double a, double b) { return a + b; });
+    case simd::Arith::kSub:
+      return MakeBinaryFn(std::move(lhs), std::move(rhs),
+                          [](double a, double b) { return a - b; });
+    case simd::Arith::kMul:
+      return MakeBinaryFn(std::move(lhs), std::move(rhs),
+                          [](double a, double b) { return a * b; });
+    case simd::Arith::kDiv:
+      return MakeBinaryFn(std::move(lhs), std::move(rhs),
+                          [](double a, double b) { return a / b; });
+  }
+  return Status::Internal("unreachable arith op");
 }
 
 /// Comparison predicate kernel: evaluate both operand batches over the
@@ -129,49 +138,77 @@ BatchPred MakeCmpPred(BatchFn lhs, BatchFn rhs, Cmp cmp) {
   };
 }
 
+/// The scalar form of a simd::Cmp: NaN fails everything, kNe is ordered.
+/// Used by the sparse-selection path, whose gathered lanes the compaction
+/// kernel cannot address.
+bool ScalarCmp(simd::Cmp op, double a, double c) {
+  switch (op) {
+    case simd::Cmp::kEq: return a == c;
+    case simd::Cmp::kNe: return a != c && !std::isnan(a) && !std::isnan(c);
+    case simd::Cmp::kLt: return a < c;
+    case simd::Cmp::kLe: return a <= c;
+    case simd::Cmp::kGt: return a > c;
+    case simd::Cmp::kGe: return a >= c;
+  }
+  return false;
+}
+
 /// Constant-folded comparison: one operand batch against a literal. The
 /// dense-selection case (every lane still active, the common shape for the
-/// first conjunct of a WHERE scan) skips the index indirection.
-template <typename Cmp>
-BatchPred MakeCmpConstPred(BatchFn lhs, double c, Cmp cmp) {
-  return [lhs = std::move(lhs), c, cmp](const ColumnSource& t, const RowSpan& span,
-                                        SelectionVector* sel) {
+/// first conjunct of a WHERE scan) is the branchless SIMD compaction; the
+/// sparse case keeps the scalar gather loop.
+BatchPred MakeCmpConstPred(BatchFn lhs, double c, simd::Cmp op) {
+  return [lhs = std::move(lhs), c, op](const ColumnSource& t, const RowSpan& span,
+                                       SelectionVector* sel) {
     if (sel->empty()) return;
     NumericBatch a;
     lhs(t, span, &a);
-    uint32_t kept = 0;
     if (sel->count == span.len) {
-      for (uint32_t i = 0; i < span.len; ++i) {
-        sel->idx[kept] = static_cast<uint16_t>(i);
-        kept += static_cast<uint32_t>(cmp(a.values[i], c));
-      }
-    } else {
-      for (uint32_t k = 0; k < sel->count; ++k) {
-        uint16_t i = sel->idx[k];
-        sel->idx[kept] = i;
-        kept += static_cast<uint32_t>(cmp(a.values[i], c));
-      }
+      sel->count =
+          simd::CompactCmpConst(a.values.data(), span.len, op, c,
+                                sel->idx.data());
+      return;
+    }
+    uint32_t kept = 0;
+    for (uint32_t k = 0; k < sel->count; ++k) {
+      uint16_t i = sel->idx[k];
+      sel->idx[kept] = i;
+      kept += static_cast<uint32_t>(ScalarCmp(op, a.values[i], c));
     }
     sel->count = kept;
   };
 }
 
+/// The constant-comparison op with operands flipped (literal on the lhs):
+/// c op x  ==  x flip(op) c.
+simd::Cmp FlipSimdCmp(simd::Cmp op) {
+  switch (op) {
+    case simd::Cmp::kLt: return simd::Cmp::kGt;
+    case simd::Cmp::kLe: return simd::Cmp::kGe;
+    case simd::Cmp::kGt: return simd::Cmp::kLt;
+    case simd::Cmp::kGe: return simd::Cmp::kLe;
+    case simd::Cmp::kEq:
+    case simd::Cmp::kNe: break;  // symmetric
+  }
+  return op;
+}
+
 /// Dispatch a numeric comparison, folding a literal on either side into
 /// the constant variant (with the operands flipped for a literal lhs).
-template <typename Cmp, typename FlippedCmp>
+template <typename Cmp>
 Result<BatchPred> CompileCmpBatch(const lang::BoolExpr& expr,
-                                  const Schema& schema, Cmp cmp,
-                                  FlippedCmp flipped) {
+                                  const Schema& schema, simd::Cmp op,
+                                  Cmp cmp) {
   double c;
   if (IsNumericLiteral(*expr.scalar_rhs, &c)) {
     PAQL_ASSIGN_OR_RETURN(BatchFn lhs,
                           CompileScalarBatch(*expr.scalar_lhs, schema));
-    return MakeCmpConstPred(std::move(lhs), c, cmp);
+    return MakeCmpConstPred(std::move(lhs), c, op);
   }
   if (IsNumericLiteral(*expr.scalar_lhs, &c)) {
     PAQL_ASSIGN_OR_RETURN(BatchFn rhs,
                           CompileScalarBatch(*expr.scalar_rhs, schema));
-    return MakeCmpConstPred(std::move(rhs), c, flipped);
+    return MakeCmpConstPred(std::move(rhs), c, FlipSimdCmp(op));
   }
   PAQL_ASSIGN_OR_RETURN(BatchFn lhs,
                         CompileScalarBatch(*expr.scalar_lhs, schema));
@@ -245,23 +282,17 @@ Result<BatchFn> CompileScalarBatch(const ScalarExpr& expr,
       return BatchFn([inner](const ColumnSource& t, const RowSpan& span,
                              NumericBatch* out) {
         inner(t, span, out);
-        for (uint32_t i = 0; i < span.len; ++i) {
-          out->values[i] = -out->values[i];
-        }
+        simd::Negate(out->values.data(), span.len);
       });
     }
     case ScalarKind::kAdd:
-      return CompileBinaryBatch(expr, schema,
-                                [](double a, double b) { return a + b; });
+      return CompileBinaryBatch(expr, schema, simd::Arith::kAdd);
     case ScalarKind::kSub:
-      return CompileBinaryBatch(expr, schema,
-                                [](double a, double b) { return a - b; });
+      return CompileBinaryBatch(expr, schema, simd::Arith::kSub);
     case ScalarKind::kMul:
-      return CompileBinaryBatch(expr, schema,
-                                [](double a, double b) { return a * b; });
+      return CompileBinaryBatch(expr, schema, simd::Arith::kMul);
     case ScalarKind::kDiv:
-      return CompileBinaryBatch(expr, schema,
-                                [](double a, double b) { return a / b; });
+      return CompileBinaryBatch(expr, schema, simd::Arith::kDiv);
   }
   return Status::Internal("unreachable scalar kind");
 }
@@ -303,31 +334,26 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
       // functor handles a literal lhs (operands flipped).
       switch (expr.cmp) {
         case CmpOp::kEq:
-          return CompileCmpBatch(expr, schema,
-                                 [](double a, double b) { return a == b; },
-                                 [](double b, double a) { return a == b; });
-        case CmpOp::kNe: {
-          auto ne = [](double a, double b) {
-            return a != b && !std::isnan(a) && !std::isnan(b);
-          };
-          return CompileCmpBatch(expr, schema, ne, ne);
-        }
+          return CompileCmpBatch(expr, schema, simd::Cmp::kEq,
+                                 [](double a, double b) { return a == b; });
+        case CmpOp::kNe:
+          return CompileCmpBatch(expr, schema, simd::Cmp::kNe,
+                                 [](double a, double b) {
+                                   return a != b && !std::isnan(a) &&
+                                          !std::isnan(b);
+                                 });
         case CmpOp::kLt:
-          return CompileCmpBatch(expr, schema,
-                                 [](double a, double b) { return a < b; },
-                                 [](double b, double a) { return a < b; });
+          return CompileCmpBatch(expr, schema, simd::Cmp::kLt,
+                                 [](double a, double b) { return a < b; });
         case CmpOp::kLe:
-          return CompileCmpBatch(expr, schema,
-                                 [](double a, double b) { return a <= b; },
-                                 [](double b, double a) { return a <= b; });
+          return CompileCmpBatch(expr, schema, simd::Cmp::kLe,
+                                 [](double a, double b) { return a <= b; });
         case CmpOp::kGt:
-          return CompileCmpBatch(expr, schema,
-                                 [](double a, double b) { return a > b; },
-                                 [](double b, double a) { return a > b; });
+          return CompileCmpBatch(expr, schema, simd::Cmp::kGt,
+                                 [](double a, double b) { return a > b; });
         case CmpOp::kGe:
-          return CompileCmpBatch(expr, schema,
-                                 [](double a, double b) { return a >= b; },
-                                 [](double b, double a) { return a >= b; });
+          return CompileCmpBatch(expr, schema, simd::Cmp::kGe,
+                                 [](double a, double b) { return a >= b; });
       }
       return Status::Internal("unreachable comparison op");
     }
@@ -344,23 +370,19 @@ Result<BatchPred> CompileBoolBatch(const BoolExpr& expr,
           if (sel->empty()) return;
           NumericBatch v;
           subject(t, span, &v);
-          uint32_t kept = 0;
           if (sel->count == span.len) {
-            for (uint32_t i = 0; i < span.len; ++i) {
-              sel->idx[kept] = static_cast<uint16_t>(i);
-              // Bitwise & keeps the test branch-free on unsorted data.
-              kept += static_cast<uint32_t>(
-                  static_cast<int>(v.values[i] >= lo_c) &
-                  static_cast<int>(v.values[i] <= hi_c));
-            }
-          } else {
-            for (uint32_t k = 0; k < sel->count; ++k) {
-              uint16_t i = sel->idx[k];
-              sel->idx[kept] = i;
-              kept += static_cast<uint32_t>(
-                  static_cast<int>(v.values[i] >= lo_c) &
-                  static_cast<int>(v.values[i] <= hi_c));
-            }
+            sel->count = simd::CompactRangeConst(v.values.data(), span.len,
+                                                 lo_c, hi_c, sel->idx.data());
+            return;
+          }
+          uint32_t kept = 0;
+          for (uint32_t k = 0; k < sel->count; ++k) {
+            uint16_t i = sel->idx[k];
+            sel->idx[kept] = i;
+            // Bitwise & keeps the test branch-free on unsorted data.
+            kept += static_cast<uint32_t>(
+                static_cast<int>(v.values[i] >= lo_c) &
+                static_cast<int>(v.values[i] <= hi_c));
           }
           sel->count = kept;
         });

@@ -22,6 +22,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/str_util.h"
 #include "core/direct.h"
 #include "core/naive.h"
@@ -288,6 +289,76 @@ TEST(DifferentialTest, VectorizedMatchesScalarOn200RandomQueries) {
     }
     ASSERT_EQ(cq->LeafActivities(table, pkg, mults),
               cq->LeafActivitiesVectorized(table, pkg, mults));
+  }
+  // Guard against the generator drifting into vacuity.
+  EXPECT_GE(models_built, kQueries / 2);
+  EXPECT_GE(nonempty_bases, kQueries / 2);
+}
+
+// ---------------------------------------------------------------------------
+// (a') SIMD vs forced-scalar kernels, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialTest, SimdMatchesForcedScalarOn200RandomQueries) {
+  // The simd.h kernels (predicate compaction, arithmetic, reductions,
+  // coefficient fills, block decode) claim bit-identity with their scalar
+  // fallbacks. Run the vectorized pipeline twice — SIMD dispatch active,
+  // then runtime-forced scalar — and require identical base rows, models,
+  // and leaf activities. On a machine whose build already resolves to the
+  // scalar level (PAQL_NO_SIMD) both runs are the same code path and the
+  // sweep passes trivially; the CI no-SIMD job covers that configuration.
+  struct ForceScalarGuard {
+    ~ForceScalarGuard() { simd::ForceScalar(false); }
+  } guard;
+  constexpr int kQueries = 200;
+  int models_built = 0;
+  int nonempty_bases = 0;
+  for (int seed = 1; seed <= kQueries; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 1099511628211u + 7);
+    Table table =
+        RandomTable(&rng, 200 + static_cast<size_t>(rng.UniformInt(0, 400)),
+                    /*null_p=*/0.2);
+    PackageQuery query = RandomQueryA(&rng);
+    SCOPED_TRACE(StrCat("seed ", seed, " simd level ",
+                        simd::LevelName(simd::ActiveLevel()), "\nquery:\n",
+                        lang::ToString(query)));
+
+    auto cq = CompiledQuery::Compile(query, table.schema());
+    ASSERT_TRUE(cq.ok()) << cq.status();
+
+    CompiledQuery::BuildOptions vec;
+    vec.vectorized = true;
+
+    simd::ForceScalar(false);
+    std::vector<RowId> base_simd = cq->ComputeBaseRowsVectorized(table);
+    auto m_simd = cq->BuildModel(table, base_simd, vec);
+
+    simd::ForceScalar(true);
+    std::vector<RowId> base_scalar = cq->ComputeBaseRowsVectorized(table);
+    auto m_scalar = cq->BuildModel(table, base_scalar, vec);
+    simd::ForceScalar(false);
+
+    ASSERT_EQ(base_simd, base_scalar);
+    ASSERT_EQ(m_simd.ok(), m_scalar.ok())
+        << m_simd.status() << " vs " << m_scalar.status();
+    if (m_simd.ok()) {
+      ExpectSameModel(*m_scalar, *m_simd);
+      ++models_built;
+    }
+    if (!base_simd.empty()) ++nonempty_bases;
+
+    // Leaf activities over a pseudo-random package drawn from the base.
+    std::vector<RowId> pkg;
+    std::vector<int64_t> mults;
+    for (size_t k = 0; k < base_simd.size(); k += 5) {
+      pkg.push_back(base_simd[k]);
+      mults.push_back(rng.UniformInt(0, 3));
+    }
+    auto act_simd = cq->LeafActivitiesVectorized(table, pkg, mults);
+    simd::ForceScalar(true);
+    auto act_scalar = cq->LeafActivitiesVectorized(table, pkg, mults);
+    simd::ForceScalar(false);
+    ASSERT_EQ(act_simd, act_scalar);
   }
   // Guard against the generator drifting into vacuity.
   EXPECT_GE(models_built, kQueries / 2);

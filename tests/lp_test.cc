@@ -694,6 +694,146 @@ TEST(SimplexPricingTest, EtaFileMatchesEagerRefactorization) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dual steepest-edge pricing + bound-flipping ratio test
+// ---------------------------------------------------------------------------
+
+/// Random boxed LP: every variable lies in a finite box, rows mix one- and
+/// two-sided bounds. Boxes are what the bound-flipping ratio test flips, so
+/// this shape exercises both halves of the dual upgrade.
+Model MakeBoxedLp(int n, int rows, uint64_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coef(-4.0, 4.0), width(0.5, 2.0);
+  std::bernoulli_distribution two_sided(0.5), in_row(0.4), maximize(0.5);
+  Model m;
+  m.set_sense(maximize(rng) ? Sense::kMaximize : Sense::kMinimize);
+  for (int j = 0; j < n; ++j) m.AddVariable(0, width(rng), coef(rng), false);
+  for (int i = 0; i < rows; ++i) {
+    RowDef row;
+    for (int j = 0; j < n; ++j) {
+      if (!in_row(rng)) continue;
+      row.vars.push_back(j);
+      row.coefs.push_back(coef(rng));
+    }
+    double slack = 1.0 + std::abs(coef(rng));
+    row.lo = two_sided(rng) ? -slack : -kInf;
+    row.hi = slack;  // x = 0 always feasible
+    EXPECT_TRUE(m.AddRow(std::move(row)).ok());
+  }
+  return m;
+}
+
+TEST(SimplexDualPricingTest, BoundFlipsOccurOnBoxedKnapsackResolves) {
+  // Warm re-solves after overloading the knapsack: several columns jump to
+  // their upper bound at once, so the capacity slack is violated by far
+  // more than any single box — exactly the long-step situation where the
+  // ratio test should flip boxed columns instead of pivoting.
+  int64_t total_flips = 0, total_dse = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Model m = MakeKnapsackLp(200, seed);
+    SimplexSolver dse(m), plain(m, SimplexOptions{.dual_steepest_edge = false});
+    LpResult first = dse.Solve(Deadline(10.0));
+    LpResult pfirst = plain.Solve(Deadline(10.0));
+    ASSERT_EQ(first.status, LpStatus::kOptimal);
+    ASSERT_EQ(pfirst.status, LpStatus::kOptimal);
+    // Force a batch of zero-valued columns to 1: capacity overloads hard.
+    std::mt19937 rng(seed * 31);
+    std::uniform_int_distribution<int> pick(0, m.num_vars() - 1);
+    for (int k = 0; k < 40; ++k) {
+      int var = pick(rng);
+      dse.SetVarBounds(var, 1, 1);
+      plain.SetVarBounds(var, 1, 1);
+    }
+    LpResult w = dse.Solve(Deadline(10.0));
+    LpResult p = plain.Solve(Deadline(10.0));
+    ASSERT_EQ(w.status, p.status) << "seed " << seed;
+    if (w.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(w.objective, p.objective,
+                  1e-7 * (1.0 + std::abs(p.objective)))
+          << "seed " << seed;
+    }
+    // The kill switch must actually kill.
+    EXPECT_EQ(p.bound_flips, 0) << "seed " << seed;
+    EXPECT_EQ(p.dse_pivots, 0) << "seed " << seed;
+    total_flips += w.bound_flips;
+    total_dse += w.dse_pivots;
+  }
+  // Vacuity guards: the long-step test must have flipped real columns and
+  // the steepest-edge rule must have priced real dual pivots.
+  EXPECT_GT(total_flips, 0);
+  EXPECT_GT(total_dse, 0);
+}
+
+TEST(SimplexDualPricingTest, DseMatchesBaselineOn40RandomBoxedLps) {
+  // Objective equality, DSE+BFRT vs the plain dual phase, across warm
+  // re-solve sequences on random boxed LPs (the dual phase only runs warm;
+  // cold solves never reach it). A cold full-Dantzig solver referees.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Model m = MakeBoxedLp(80, 6, seed * 7);
+    SimplexSolver dse(m), plain(m, SimplexOptions{.dual_steepest_edge = false});
+    ASSERT_EQ(dse.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+    ASSERT_EQ(plain.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> pick(0, m.num_vars() - 1);
+    for (int step = 0; step < 6; ++step) {
+      int var = pick(rng);
+      double mid = 0.5 * (m.lb()[var] + m.ub()[var]);
+      bool fix_up = (step & 1) != 0;
+      double lo = fix_up ? mid : m.lb()[var];
+      double hi = fix_up ? m.ub()[var] : mid;
+      dse.SetVarBounds(var, lo, hi);
+      plain.SetVarBounds(var, lo, hi);
+      LpResult a = dse.Solve(Deadline(10.0));
+      LpResult b = plain.Solve(Deadline(10.0));
+      SimplexSolver cold(m, SimplexOptions{.warm_start = false,
+                                           .partial_pricing = false});
+      cold.SetVarBounds(var, lo, hi);
+      LpResult c = cold.Solve(Deadline(10.0));
+      ASSERT_EQ(a.status, c.status) << "seed " << seed << " step " << step;
+      ASSERT_EQ(b.status, c.status) << "seed " << seed << " step " << step;
+      if (c.status == LpStatus::kOptimal) {
+        EXPECT_NEAR(a.objective, c.objective,
+                    1e-7 * (1.0 + std::abs(c.objective)))
+            << "seed " << seed << " step " << step;
+        EXPECT_NEAR(b.objective, c.objective,
+                    1e-7 * (1.0 + std::abs(c.objective)))
+            << "seed " << seed << " step " << step;
+      }
+      // Re-relax so later steps stay feasible more often than not.
+      dse.SetVarBounds(var, m.lb()[var], m.ub()[var]);
+      plain.SetVarBounds(var, m.lb()[var], m.ub()[var]);
+    }
+  }
+}
+
+TEST(SimplexDualPricingTest, DseSurvivesBasisRestoreAndRefactor) {
+  // Weight resets: RestoreBasis and eager refactorization must leave the
+  // steepest-edge weights in a sane (reset-to-reference) state, never a
+  // stale one. Objective equality against a cold solver is the oracle.
+  Model m = MakeKnapsackLp(300, 17);
+  SimplexOptions eager;
+  eager.refactor_every = 1;  // collapse the eta file after every pivot
+  SimplexSolver warm(m, eager);
+  ASSERT_EQ(warm.Solve(Deadline(10.0)).status, LpStatus::kOptimal);
+  Basis root = warm.SnapshotBasis();
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> pick(0, m.num_vars() - 1);
+  for (int step = 0; step < 6; ++step) {
+    int var = pick(rng);
+    ASSERT_TRUE(warm.RestoreBasis(root));
+    warm.SetVarBounds(var, 1, 1);
+    LpResult w = warm.Solve(Deadline(10.0));
+    SimplexSolver cold(m, SimplexOptions{.warm_start = false});
+    cold.SetVarBounds(var, 1, 1);
+    LpResult c = cold.Solve(Deadline(10.0));
+    ASSERT_EQ(w.status, c.status) << "step " << step;
+    ASSERT_EQ(w.status, LpStatus::kOptimal) << "step " << step;
+    EXPECT_NEAR(w.objective, c.objective, 1e-7 * (1.0 + std::abs(c.objective)))
+        << "step " << step;
+    warm.SetVarBounds(var, 0, 1);
+  }
+}
+
 TEST(SimplexWarmStartTest, ColdKillSwitchDisablesBasisReuse) {
   Model m = MakeKnapsackLp(25, 3);
   SimplexOptions cold_opts;
